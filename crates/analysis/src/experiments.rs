@@ -1,0 +1,844 @@
+//! The experiment registry — one function per table/figure of the
+//! reconstructed evaluation (ids match DESIGN.md).
+
+use crate::runner::{capture_mix, capture_mix_with_style, run_untraced, CapturedRun, RunnerError};
+use crate::table::{Report, Table};
+use crate::Scale;
+use atum_baselines::{ArchExit, ArchSim, TbitTracer};
+use atum_cache::{
+    simulate, simulate_split, simulate_tlb, sweep_assoc, sweep_block, Cache, CacheConfig,
+    SwitchPolicy, TlbConfig, WritePolicy,
+};
+use atum_core::{PatchStyle, RecordKind, Trace};
+use atum_workloads::Workload;
+
+/// Budget generous enough for every experiment run.
+const BUDGET: u64 = 200_000_000_000;
+
+fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+fn mix(scale: Scale) -> Vec<Workload> {
+    match scale {
+        Scale::Quick => vec![
+            atum_workloads::matrix("matrix", 8),
+            atum_workloads::list_chase("list", 256, 4_000),
+            atum_workloads::lexer("lexer", 2_048, 1),
+        ],
+        Scale::Full => atum_workloads::mix_std(),
+    }
+}
+
+fn quantum(scale: Scale) -> u32 {
+    // Short enough for plenty of context switches over a mix's lifetime,
+    // long enough that a traced (slowed) machine still makes progress per
+    // quantum — the dilation effect ATUM itself had to live with.
+    match scale {
+        Scale::Quick => 20_000,
+        Scale::Full => 60_000,
+    }
+}
+
+/// A quantum long enough that scheduler overhead is negligible: the
+/// T1/A1 technique measurements isolate per-reference cost.
+const MEASURE_QUANTUM: u32 = 1_000_000;
+
+fn t1_workload(scale: Scale) -> Workload {
+    match scale {
+        Scale::Quick => atum_workloads::list_chase("probe", 64, 2_000),
+        Scale::Full => atum_workloads::list_chase("probe", 512, 40_000),
+    }
+}
+
+fn cache_sizes(scale: Scale) -> Vec<u32> {
+    match scale {
+        Scale::Quick => vec![1 << 10, 4 << 10, 16 << 10],
+        Scale::Full => vec![1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10],
+    }
+}
+
+/// Captures the standard mix once (shared by the F/E experiments).
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn capture_standard_mix(scale: Scale) -> Result<CapturedRun, RunnerError> {
+    capture_mix(&mix(scale), quantum(scale), BUDGET)
+}
+
+// ── T1: technique comparison ──────────────────────────────────────────
+
+/// T1 — the trace-technique comparison table: slowdown and completeness
+/// of each capture method on the same workload.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn t1_technique_comparison(scale: Scale) -> Result<Report, RunnerError> {
+    let w = t1_workload(scale);
+    let solo = vec![w.clone()];
+    let q = MEASURE_QUANTUM;
+
+    let (base_cycles, _, base_counts) = run_untraced(&solo, q, BUDGET)?;
+    let scratch = capture_mix_with_style(&solo, q, BUDGET, PatchStyle::Scratch)?;
+    let spill = capture_mix_with_style(&solo, q, BUDGET, PatchStyle::Spill)?;
+    let tbit = TbitTracer::default()
+        .measure(&w.source)
+        .map_err(|e| RunnerError::Tracer(e.to_string()))?;
+
+    // The architectural simulator: user-level only, runs on the host.
+    let img = atum_asm::assemble(&format!(".org 0x200\n{}\n", w.source))
+        .map_err(|e| RunnerError::Boot(e.to_string()))?;
+    let mut sim = ArchSim::new();
+    sim.load_image(&img);
+    sim.set_pc(img.symbol("start").unwrap_or(0x200));
+    sim.enable_trace(1);
+    let sim_exit = sim.run(500_000_000);
+    let sim_refs = sim.trace().ref_count();
+
+    let mut t = Table::new([
+        "technique",
+        "slowdown",
+        "refs captured",
+        "OS refs",
+        "all processes",
+        "data addrs",
+    ]);
+    t.row([
+        "hardware monitor (ref.)".to_string(),
+        "1.0x".to_string(),
+        format!("{} (window-limited)", base_counts.total_refs()),
+        "phys only".to_string(),
+        "yes".to_string(),
+        "yes".to_string(),
+    ]);
+    t.row([
+        "ATUM (scratch-reg patch)".to_string(),
+        format!("{:.1}x", scratch.cycles as f64 / base_cycles as f64),
+        format!("{}", scratch.trace.ref_count()),
+        "yes".to_string(),
+        "yes".to_string(),
+        "yes".to_string(),
+    ]);
+    t.row([
+        "ATUM (state-spill patch, 8200-like)".to_string(),
+        format!("{:.1}x", spill.cycles as f64 / base_cycles as f64),
+        format!("{}", spill.trace.ref_count()),
+        "yes".to_string(),
+        "yes".to_string(),
+        "yes".to_string(),
+    ]);
+    t.row([
+        "T-bit trap tracer (PCs only)".to_string(),
+        format!("{:.0}x", tbit.slowdown()),
+        format!("{} PCs", tbit.pcs.len()),
+        "no".to_string(),
+        "no".to_string(),
+        "no".to_string(),
+    ]);
+    t.row([
+        "architectural simulator".to_string(),
+        "~10^3-10^4x (runs off-machine)".to_string(),
+        format!("{sim_refs} (user only)"),
+        "no".to_string(),
+        "no".to_string(),
+        "yes".to_string(),
+    ]);
+
+    let mut r = Report::new("T1", "trace-capture technique comparison");
+    r.table("slowdown and completeness by technique", t);
+    r.note(format!(
+        "untraced reference: {} cycles, {} refs; simulator exit: {:?}",
+        base_cycles,
+        base_counts.total_refs(),
+        sim_exit == ArchExit::Exited
+    ));
+    r.note(
+        "shape vs paper: microcode tracing is 1-2 orders of magnitude cheaper than \
+         trap-driven tracing and captures everything; the scratch-register patch is \
+         cheaper than the 8200's because SVX reserves spare micro-registers for patches",
+    );
+    Ok(r)
+}
+
+// ── T2: trace characteristics ─────────────────────────────────────────
+
+/// T2 — the trace-characteristics table (the paper's per-benchmark trace
+/// statistics): reference mix, OS fraction, switches, pages.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn t2_trace_characteristics(scale: Scale) -> Result<Report, RunnerError> {
+    let suite = match scale {
+        Scale::Quick => vec![
+            atum_workloads::matrix("matrix", 6),
+            atum_workloads::list_chase("list", 128, 2_000),
+            atum_workloads::fib_recursive("fib", 12),
+        ],
+        Scale::Full => atum_workloads::suite_standard(),
+    };
+    let q = quantum(scale);
+
+    let mut t = Table::new([
+        "workload", "refs", "%I", "%R", "%W", "%OS", "ctx", "pages", "drains",
+    ]);
+    for w in &suite {
+        let run = capture_mix(std::slice::from_ref(w), q, BUDGET)?;
+        let s = run.trace.stats();
+        t.row([
+            w.name.clone(),
+            s.total_refs().to_string(),
+            pct(s.ifetch_fraction()),
+            pct(s.reads as f64 / s.total_refs().max(1) as f64),
+            pct(s.write_fraction()),
+            pct(s.os_fraction()),
+            s.ctx_switches.to_string(),
+            s.distinct_pages.to_string(),
+            run.drains.to_string(),
+        ]);
+    }
+    // The multiprogrammed mix as the final row.
+    let run = capture_standard_mix(scale)?;
+    let s = run.trace.stats();
+    t.row([
+        format!("mix({})", mix(scale).len()),
+        s.total_refs().to_string(),
+        pct(s.ifetch_fraction()),
+        pct(s.reads as f64 / s.total_refs().max(1) as f64),
+        pct(s.write_fraction()),
+        pct(s.os_fraction()),
+        s.ctx_switches.to_string(),
+        s.distinct_pages.to_string(),
+        run.drains.to_string(),
+    ]);
+
+    let mut r = Report::new("T2", "trace characteristics per workload");
+    r.table("complete-system traces under MOSS", t);
+
+    // OS fraction as a function of scheduling intensity: the quantum is
+    // the knob that turns a batch machine into a timesharing one.
+    let mut qt = Table::new(["quantum (cycles)", "%OS", "ctx switches"]);
+    // Floor: the *traced* context-switch path costs ~5–6k cycles; quanta
+    // below that spiral into pure scheduling (the dilation effect ATUM
+    // dealt with by tracing against a 10ms VMS clock, thousands of
+    // instructions per tick even when slowed).
+    let quanta: &[u32] = match scale {
+        Scale::Quick => &[12_000, 40_000],
+        Scale::Full => &[10_000, 20_000, 60_000, 240_000],
+    };
+    for &qq in quanta {
+        let run = capture_mix(&mix(scale), qq, BUDGET)?;
+        let s = run.trace.stats();
+        qt.row([
+            qq.to_string(),
+            pct(s.os_fraction()),
+            s.ctx_switches.to_string(),
+        ]);
+    }
+    r.table("standard mix: OS fraction vs scheduling quantum", qt);
+    r.note(
+        "shape vs paper: OS references are a solid fraction of every trace and \
+         grow sharply with multiprogramming intensity (shorter quanta). The \
+         paper's VMS traces sat in the tens of percent; MOSS is a micro-kernel, \
+         so its baseline is lower, but the knob behaves identically",
+    );
+    Ok(r)
+}
+
+// ── F1: complete vs user-only miss rates ──────────────────────────────
+
+/// F1 — cache miss rate vs size: complete-system trace vs the user-only
+/// view of the same execution.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn f1_os_vs_user(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let base = CacheConfig::builder()
+        .block(16)
+        .assoc(1)
+        .switch_policy(SwitchPolicy::Ignore)
+        .build()
+        .expect("config");
+    let sizes = cache_sizes(scale);
+    let user = run.trace.user_only();
+
+    let mut t = Table::new(["size", "complete miss%", "user-only miss%", "gap (pp)"]);
+    for &size in &sizes {
+        let full = simulate(&run.trace, &base.with_size(size));
+        let u = simulate(&user, &base.with_size(size));
+        t.row([
+            format!("{}K", size / 1024),
+            pct(full.miss_rate()),
+            pct(u.miss_rate()),
+            format!("{:+.2}", 100.0 * (full.miss_rate() - u.miss_rate())),
+        ]);
+    }
+    let mut r = Report::new("F1", "miss rate vs cache size: complete vs user-only trace");
+    r.table("direct-mapped, 16 B blocks", t);
+    r.note(
+        "shape vs paper: including OS references raises the miss rate at every \
+         size, and the gap persists (or grows) as caches get larger — user-only \
+         traces understate real miss rates",
+    );
+    Ok(r)
+}
+
+// ── F2: context-switch policy ─────────────────────────────────────────
+
+/// F2 — miss rate vs size under multiprogramming: purge-on-switch vs
+/// PID-tagged vs naive (ignore switches).
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn f2_switch_policy(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let base = CacheConfig::builder()
+        .block(16)
+        .assoc(2)
+        .build()
+        .expect("config");
+    let sizes = cache_sizes(scale);
+
+    let mut t = Table::new(["size", "flush miss%", "pid-tag miss%", "naive miss%"]);
+    for &size in &sizes {
+        let flush = simulate(&run.trace, &base.with_size(size).with_switch(SwitchPolicy::Flush));
+        let tag = simulate(&run.trace, &base.with_size(size).with_switch(SwitchPolicy::PidTag));
+        let naive = simulate(&run.trace, &base.with_size(size).with_switch(SwitchPolicy::Ignore));
+        t.row([
+            format!("{}K", size / 1024),
+            pct(flush.miss_rate()),
+            pct(tag.miss_rate()),
+            pct(naive.miss_rate()),
+        ]);
+    }
+    let mut r = Report::new("F2", "multiprogramming: purge-on-switch vs address-space tags");
+    r.table("2-way, 16 B blocks, complete trace", t);
+    r.note(
+        "shape vs paper: purging on every switch costs more as the cache grows \
+         (big caches never warm up); tags recover most of it; the naive model \
+         (ignoring switches) is optimistic because it aliases address spaces",
+    );
+    Ok(r)
+}
+
+// ── F3: block size ────────────────────────────────────────────────────
+
+/// F3 — miss rate vs block size at two cache sizes.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn f3_block_size(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let blocks: Vec<u32> = match scale {
+        Scale::Quick => vec![8, 32, 128],
+        Scale::Full => vec![4, 8, 16, 32, 64, 128],
+    };
+    let mut t = Table::new(["block", "8K miss%", "64K miss%"]);
+    let base8 = CacheConfig::builder()
+        .size(8 << 10)
+        .assoc(2)
+        .switch_policy(SwitchPolicy::PidTag)
+        .build()
+        .expect("config");
+    let base64 = base8.with_size(64 << 10);
+    let r8 = sweep_block(&run.trace, &base8, &blocks);
+    let r64 = sweep_block(&run.trace, &base64, &blocks);
+    for (i, &b) in blocks.iter().enumerate() {
+        t.row([
+            format!("{b}B"),
+            pct(r8[i].1.miss_rate()),
+            pct(r64[i].1.miss_rate()),
+        ]);
+    }
+    let mut r = Report::new("F3", "miss rate vs block size");
+    r.table("2-way, pid-tagged, complete trace", t);
+    r.note(
+        "shape vs paper: larger blocks exploit the I-stream's spatial locality \
+         until pollution flattens (or reverses) the curve at small cache sizes",
+    );
+    Ok(r)
+}
+
+// ── F4: associativity ─────────────────────────────────────────────────
+
+/// F4 — miss rate vs associativity at three cache sizes.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn f4_associativity(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let ways: Vec<u32> = match scale {
+        Scale::Quick => vec![1, 2, 4],
+        Scale::Full => vec![1, 2, 4, 8],
+    };
+    let sizes = [4u32 << 10, 16 << 10, 64 << 10];
+    let mut t = Table::new(["ways", "4K miss%", "16K miss%", "64K miss%"]);
+    let mut per_size = Vec::new();
+    for &s in &sizes {
+        let base = CacheConfig::builder()
+            .size(s)
+            .block(16)
+            .switch_policy(SwitchPolicy::PidTag)
+            .build()
+            .expect("config");
+        per_size.push(sweep_assoc(&run.trace, &base, &ways));
+    }
+    for (i, &w) in ways.iter().enumerate() {
+        t.row([
+            format!("{w}"),
+            pct(per_size[0][i].1.miss_rate()),
+            pct(per_size[1][i].1.miss_rate()),
+            pct(per_size[2][i].1.miss_rate()),
+        ]);
+    }
+    let mut r = Report::new("F4", "miss rate vs associativity");
+    r.table("16 B blocks, pid-tagged, complete trace", t);
+    r.note(
+        "shape vs paper: at sizes that hold the working set, 1→2 ways buys \
+         the most and returns diminish after; at sizes under capacity \
+         pressure extra ways can even hurt, because the multiprogrammed \
+         processes share identical user VAs and tagged lines compete for \
+         the smaller set count",
+    );
+    Ok(r)
+}
+
+// ── F5: TLB study ─────────────────────────────────────────────────────
+
+/// F5 — TLB miss rate: entries × (flush vs tagged) × (complete vs
+/// user-only trace).
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn f5_tlb(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let entries: Vec<u32> = match scale {
+        Scale::Quick => vec![16, 64],
+        Scale::Full => vec![8, 16, 32, 64, 128, 256],
+    };
+    let user = run.trace.user_only();
+    let mut t = Table::new([
+        "entries",
+        "flush miss%",
+        "tagged miss%",
+        "user-only tagged miss%",
+    ]);
+    for &e in &entries {
+        let flush = simulate_tlb(&run.trace, &TlbConfig::new(e, 2, SwitchPolicy::Flush));
+        let tag = simulate_tlb(&run.trace, &TlbConfig::new(e, 2, SwitchPolicy::PidTag));
+        let ut = simulate_tlb(&user, &TlbConfig::new(e, 2, SwitchPolicy::PidTag));
+        t.row([
+            e.to_string(),
+            pct(flush.miss_rate()),
+            pct(tag.miss_rate()),
+            pct(ut.miss_rate()),
+        ]);
+    }
+    let mut r = Report::new("F5", "TLB miss rate: size × switch policy × trace completeness");
+    r.table("2-way TLB, 512 B pages", t);
+    r.note(
+        "shape vs paper: flushing the TLB on every switch dominates its miss \
+         rate; OS references add misses the user-only trace never shows",
+    );
+    Ok(r)
+}
+
+// ── F6: cache organisation — split I/D and write policy ──────────────
+
+/// F6 — organisation study: unified vs split I/D at equal total budget,
+/// and write-back vs write-through memory traffic.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn f6_organisation(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let budgets: Vec<u32> = match scale {
+        Scale::Quick => vec![4 << 10, 16 << 10],
+        Scale::Full => vec![2 << 10, 8 << 10, 32 << 10, 128 << 10],
+    };
+    let mut t = Table::new(["total budget", "unified miss%", "split I miss%", "split D miss%", "split overall%"]);
+    for &b in &budgets {
+        let unified = CacheConfig::builder()
+            .size(b)
+            .block(16)
+            .assoc(2)
+            .switch_policy(SwitchPolicy::PidTag)
+            .build()
+            .expect("config");
+        let half = unified.with_size(b / 2);
+        let u = simulate(&run.trace, &unified);
+        let sp = simulate_split(&run.trace, &half, &half);
+        t.row([
+            format!("{}K", b / 1024),
+            pct(u.miss_rate()),
+            pct(sp.icache.miss_rate()),
+            pct(sp.dcache.miss_rate()),
+            pct(sp.miss_rate()),
+        ]);
+    }
+
+    // Write-policy traffic at one size.
+    let size = match scale {
+        Scale::Quick => 8 << 10,
+        Scale::Full => 16 << 10,
+    };
+    let wb = CacheConfig::builder()
+        .size(size)
+        .block(16)
+        .assoc(2)
+        .switch_policy(SwitchPolicy::PidTag)
+        .write_policy(WritePolicy::WriteBackAllocate)
+        .build()
+        .expect("config");
+    let wt = CacheConfig::builder()
+        .size(size)
+        .block(16)
+        .assoc(2)
+        .switch_policy(SwitchPolicy::PidTag)
+        .write_policy(WritePolicy::WriteThroughNoAllocate)
+        .build()
+        .expect("config");
+    let swb = simulate(&run.trace, &wb);
+    let swt = simulate(&run.trace, &wt);
+    let mut wtab = Table::new(["policy", "miss%", "memory write traffic (events)"]);
+    wtab.row([
+        "write-back + allocate".to_string(),
+        pct(swb.miss_rate()),
+        swb.writebacks.to_string(),
+    ]);
+    wtab.row([
+        "write-through, no allocate".to_string(),
+        pct(swt.miss_rate()),
+        swt.write_throughs.to_string(),
+    ]);
+
+    let mut r = Report::new("F6", "cache organisation: split I/D and write policy");
+    r.table("unified vs split at equal total budget (2-way, pid-tagged)", t);
+    r.table(&format!("write policies at {}K", size / 1024), wtab);
+    r.note(
+        "shape vs paper-era results: splitting helps once each half holds its stream (the I-stream dominates CISC traces); write-through turns every store into memory traffic while write-back pays only on eviction",
+    );
+    Ok(r)
+}
+
+// ── E1: cold-start / sampling bias ────────────────────────────────────
+
+/// Simulates the trace in discontiguous samples: every other window of
+/// `sample` references is kept, and the cache starts cold per window.
+fn sampled_miss_rate(trace: &Trace, cfg: &CacheConfig, sample: usize) -> f64 {
+    let refs: Vec<_> = trace.refs().collect();
+    let mut accesses = 0u64;
+    let mut misses = 0u64;
+    let mut i = 0usize;
+    while i < refs.len() {
+        let end = (i + sample).min(refs.len());
+        let mut cache = Cache::new(*cfg);
+        for r in &refs[i..end] {
+            let kind = match r.kind() {
+                RecordKind::IFetch => atum_cache::AccessKind::IFetch,
+                RecordKind::Write => atum_cache::AccessKind::Write,
+                _ => atum_cache::AccessKind::Read,
+            };
+            cache.access(r.addr, kind, r.pid());
+        }
+        accesses += cache.stats().accesses;
+        misses += cache.stats().misses;
+        i = end + sample; // skip a window: the samples are discontiguous
+    }
+    if accesses == 0 {
+        0.0
+    } else {
+        misses as f64 / accesses as f64
+    }
+}
+
+/// E1 — cold-start bias of sampled (stitched) traces vs the continuous
+/// trace, as a function of sample length.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn e1_cold_start(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let samples: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 10_000],
+        Scale::Full => vec![2_000, 8_000, 32_000, 128_000],
+    };
+    let cfg = CacheConfig::builder()
+        .size(16 << 10)
+        .block(16)
+        .assoc(2)
+        .switch_policy(SwitchPolicy::PidTag)
+        .build()
+        .expect("config");
+    let continuous = simulate(&run.trace, &cfg).miss_rate();
+
+    let mut t = Table::new(["sample refs", "sampled miss%", "continuous miss%", "bias (pp)"]);
+    for &s in &samples {
+        let m = sampled_miss_rate(&run.trace, &cfg, s);
+        t.row([
+            s.to_string(),
+            pct(m),
+            pct(continuous),
+            format!("{:+.2}", 100.0 * (m - continuous)),
+        ]);
+    }
+    let mut r = Report::new("E1", "cold-start bias of trace samples");
+    r.table("16K 2-way cache; every other window kept, cold start per window", t);
+    r.note(
+        "shape vs paper: short samples overstate miss rates (cold caches); the \
+         bias shrinks as samples grow — ATUM's big hidden buffer is what made \
+         long continuous samples possible",
+    );
+    Ok(r)
+}
+
+// ── E2: buffer capacity & compaction ──────────────────────────────────
+
+/// E2 — records per MiB of hidden buffer, raw vs host-compacted.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn e2_compaction(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let _ = scale;
+    let raw_bytes = run.trace.len() * 8;
+    let encoded = atum_core::encode_trace(&run.trace);
+    let mut t = Table::new(["form", "bytes", "bytes/record", "records per MiB"]);
+    t.row([
+        "in-buffer (microcode)".to_string(),
+        raw_bytes.to_string(),
+        "8.00".to_string(),
+        format!("{}", (1 << 20) / 8),
+    ]);
+    let bpr = encoded.len() as f64 / run.trace.len().max(1) as f64;
+    t.row([
+        "archived (host-compacted)".to_string(),
+        encoded.len().to_string(),
+        format!("{bpr:.2}"),
+        format!("{}", ((1 << 20) as f64 / bpr) as u64),
+    ]);
+    let mut r = Report::new("E2", "trace buffer capacity and compaction");
+    r.table(
+        &format!("{} records captured from the standard mix", run.trace.len()),
+        t,
+    );
+    r.note(format!(
+        "compaction {:.1}x: the microcode writes fat records fast; the host \
+         compacts at extraction, exactly the paper's division of labour",
+        raw_bytes as f64 / encoded.len().max(1) as f64
+    ));
+    Ok(r)
+}
+
+// ── E3: OS breakdown ──────────────────────────────────────────────────
+
+/// E3 — what the OS references are doing: attribution of kernel-mode
+/// references to scheduler/timer, system calls, faults and boot.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn e3_os_breakdown(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let _ = scale;
+    #[derive(Clone, Copy, PartialEq)]
+    enum Cat {
+        Boot,
+        Timer,
+        Syscall,
+        Fault,
+        CtxSwitch,
+    }
+    let mut counts = [0u64; 5];
+    let mut cat = Cat::Boot;
+    for r in run.trace.iter() {
+        match r.kind() {
+            RecordKind::Interrupt => {
+                cat = match r.addr {
+                    0xC0 => Cat::Timer,
+                    0x40 => Cat::Syscall,
+                    _ => Cat::Fault,
+                };
+            }
+            RecordKind::CtxSwitch => cat = Cat::CtxSwitch,
+            k if k.is_ref()
+                && r.is_kernel() => {
+                    counts[cat as usize] += 1;
+                }
+            _ => {}
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    let mut t = Table::new(["component", "kernel refs", "share"]);
+    for (name, idx) in [
+        ("boot/init", Cat::Boot),
+        ("timer & scheduler", Cat::Timer),
+        ("system calls", Cat::Syscall),
+        ("faults", Cat::Fault),
+        ("context-switch path", Cat::CtxSwitch),
+    ] {
+        let c = counts[idx as usize];
+        t.row([
+            name.to_string(),
+            c.to_string(),
+            pct(c as f64 / total.max(1) as f64),
+        ]);
+    }
+    let mut r = Report::new("E3", "operating-system reference breakdown");
+    r.table(
+        &format!("{total} kernel references in the standard mix"),
+        t,
+    );
+    r.note("attribution: each kernel reference charged to the most recent marker");
+    Ok(r)
+}
+
+// ── E4: working sets ──────────────────────────────────────────────────
+
+/// E4 — working-set curves: complete-system vs user-only demand.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn e4_working_set(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
+    let windows: Vec<usize> = match scale {
+        Scale::Quick => vec![1_000, 10_000],
+        Scale::Full => vec![1_000, 4_000, 16_000, 64_000],
+    };
+    let user = run.trace.user_only();
+    let mut t = Table::new([
+        "window (refs)",
+        "complete mean pages",
+        "complete max",
+        "user-only mean pages",
+    ]);
+    for &w in &windows {
+        let full = crate::working_set::working_set(&run.trace, w);
+        let u = crate::working_set::working_set(&user, w);
+        t.row([
+            w.to_string(),
+            format!("{:.1}", full.mean_pages),
+            full.max_pages.to_string(),
+            format!("{:.1}", u.mean_pages),
+        ]);
+    }
+    let mut r = Report::new("E4", "working sets: complete vs user-only demand");
+    r.table("distinct (pid, page) pairs per window", t);
+    r.note(
+        "shape vs paper: the complete trace demands more pages at every window — kernel code/data plus the compounding of per-process footprints across switches; memory-system studies sized from user-only traces under-provision",
+    );
+    Ok(r)
+}
+
+// ── A1: patch cost ablation ───────────────────────────────────────────
+
+/// A1 — patch cost decomposition: footprint and per-reference overhead
+/// of the two patch styles.
+///
+/// # Errors
+///
+/// Any [`RunnerError`].
+pub fn a1_patch_cost(scale: Scale) -> Result<Report, RunnerError> {
+    let w = t1_workload(scale);
+    let solo = vec![w];
+    let q = MEASURE_QUANTUM;
+    let (base_cycles, _, base_counts) = run_untraced(&solo, q, BUDGET)?;
+    let refs = base_counts.total_refs().max(1);
+    let base_cpr = base_cycles as f64 / refs as f64;
+
+    let mut t = Table::new([
+        "style",
+        "patch words",
+        "cycles/ref overhead",
+        "slowdown",
+    ]);
+    t.row([
+        "(untraced)".to_string(),
+        "0".to_string(),
+        "0.0".to_string(),
+        "1.0x".to_string(),
+    ]);
+    for (name, style) in [
+        ("scratch registers", PatchStyle::Scratch),
+        ("state spill (8200-like)", PatchStyle::Spill),
+    ] {
+        let run = capture_mix_with_style(&solo, q, BUDGET, style)?;
+        let cpr = run.cycles as f64 / refs as f64;
+        // Patch footprint: re-derive on a scratch store.
+        let mut cs = atum_ucode::stock::build();
+        let ps = atum_core::PatchSet::install_with_style(&mut cs, style)
+            .map_err(|e| RunnerError::Tracer(e.to_string()))?;
+        t.row([
+            name.to_string(),
+            ps.words().to_string(),
+            format!("{:.1}", cpr - base_cpr),
+            format!("{:.1}x", run.cycles as f64 / base_cycles as f64),
+        ]);
+    }
+    let mut r = Report::new("A1", "ablation: what the patch costs and why");
+    r.table(&format!("baseline {base_cpr:.1} cycles/ref"), t);
+    r.note(
+        "the 8200's reported ~20x sits above our spill variant because its \
+         trace stores went to slow main memory; the ordering and the reason \
+         (register spills + microtrap sequencing dominate) reproduce",
+    );
+    Ok(r)
+}
+
+/// Runs every experiment at a scale, capturing the shared mix once.
+///
+/// # Errors
+///
+/// Any [`RunnerError`] from any experiment.
+pub fn run_all(scale: Scale) -> Result<Vec<Report>, RunnerError> {
+    let shared = capture_standard_mix(scale)?;
+    Ok(vec![
+        t1_technique_comparison(scale)?,
+        t2_trace_characteristics(scale)?,
+        f1_os_vs_user(scale, &shared)?,
+        f2_switch_policy(scale, &shared)?,
+        f3_block_size(scale, &shared)?,
+        f4_associativity(scale, &shared)?,
+        f5_tlb(scale, &shared)?,
+        f6_organisation(scale, &shared)?,
+        e1_cold_start(scale, &shared)?,
+        e2_compaction(scale, &shared)?,
+        e3_os_breakdown(scale, &shared)?,
+        e4_working_set(scale, &shared)?,
+        a1_patch_cost(scale)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mix_captures() {
+        let run = capture_standard_mix(Scale::Quick).unwrap();
+        assert!(run.trace.ref_count() > 10_000);
+        let s = run.trace.stats();
+        assert!(s.os_fraction() > 0.02);
+        assert!(s.ctx_switches >= 3);
+    }
+
+    #[test]
+    fn f1_gap_is_positive_somewhere() {
+        let run = capture_standard_mix(Scale::Quick).unwrap();
+        let r = f1_os_vs_user(Scale::Quick, &run).unwrap();
+        let rows = r.tables[0].1.rows();
+        assert!(!rows.is_empty());
+        // At least one size where the complete trace misses more.
+        let any_gap = rows.iter().any(|row| row[3].starts_with('+'));
+        assert!(any_gap, "complete trace should miss more somewhere: {rows:?}");
+    }
+
+    #[test]
+    fn e2_reports_compaction() {
+        let run = capture_standard_mix(Scale::Quick).unwrap();
+        let r = e2_compaction(Scale::Quick, &run).unwrap();
+        assert_eq!(r.tables[0].1.rows().len(), 2);
+    }
+}

@@ -1,0 +1,195 @@
+//! Report rendering: aligned text tables and CSV.
+
+use std::fmt;
+
+/// A simple table: headers plus string rows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Table {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows (for assertions in tests).
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        render_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// A rendered experiment: id, title, tables and notes.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    /// Experiment id (e.g. "F1").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The tables, each with a caption.
+    pub tables: Vec<(String, Table)>,
+    /// Free-form observations (expected shape vs measured).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..Report::default()
+        }
+    }
+
+    /// Adds a captioned table.
+    pub fn table(&mut self, caption: &str, table: Table) -> &mut Report {
+        self.tables.push((caption.to_string(), table));
+        self
+    }
+
+    /// Adds a note.
+    pub fn note(&mut self, text: impl Into<String>) -> &mut Report {
+        self.notes.push(text.into());
+        self
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "## {} — {}", self.id, self.title)?;
+        for (caption, table) in &self.tables {
+            writeln!(f, "\n{caption}:\n")?;
+            write!(f, "{table}")?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for n in &self.notes {
+                writeln!(f, "* {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["x", "1"]);
+        t.row(["longer", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("name"));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["1,5", "say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn report_renders() {
+        let mut r = Report::new("F1", "miss rate vs size");
+        let mut t = Table::new(["size", "miss%"]);
+        t.row(["1K", "12.3"]);
+        r.table("main", t).note("shape holds");
+        let s = r.to_string();
+        assert!(s.contains("## F1"));
+        assert!(s.contains("shape holds"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Working-set analysis (Denning working sets over trace windows).
+//!
+//! The working set of a trace at window size `w` is the number of
+//! distinct pages touched in each consecutive window of `w` references;
+//! its average is the classic memory-demand curve. Complete-system
+//! traces show both the OS's own footprint and the *compounding* of
+//! per-process footprints across context switches.
+
+use atum_core::Trace;
+use std::collections::HashMap;
+
+/// The working-set measurement for one window size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkingSet {
+    /// Window length in references.
+    pub window: usize,
+    /// Mean distinct pages per window.
+    pub mean_pages: f64,
+    /// Largest window observed.
+    pub max_pages: usize,
+    /// Number of windows measured.
+    pub windows: usize,
+}
+
+/// Computes the working set of `trace` at one window size. Pages are
+/// distinguished per process id (two processes touching the same VA are
+/// two pages of demand).
+pub fn working_set(trace: &Trace, window: usize) -> WorkingSet {
+    assert!(window > 0, "window must be positive");
+    let mut mean_acc = 0f64;
+    let mut max_pages = 0usize;
+    let mut windows = 0usize;
+    let mut current: HashMap<(u8, u32), u32> = HashMap::new();
+    let mut in_window = 0usize;
+    for r in trace.refs() {
+        *current.entry((r.pid(), r.page())).or_insert(0) += 1;
+        in_window += 1;
+        if in_window == window {
+            mean_acc += current.len() as f64;
+            max_pages = max_pages.max(current.len());
+            windows += 1;
+            current.clear();
+            in_window = 0;
+        }
+    }
+    WorkingSet {
+        window,
+        mean_pages: if windows == 0 {
+            0.0
+        } else {
+            mean_acc / windows as f64
+        },
+        max_pages,
+        windows,
+    }
+}
+
+/// Computes the working-set curve across several window sizes.
+pub fn working_set_curve(trace: &Trace, windows: &[usize]) -> Vec<WorkingSet> {
+    windows.iter().map(|&w| working_set(trace, w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_core::{RecordKind, TraceRecord};
+
+    fn trace_of(pages: &[(u8, u32)]) -> Trace {
+        pages
+            .iter()
+            .map(|&(pid, page)| {
+                TraceRecord::new(RecordKind::Read, page * 512, 4, pid, false)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_page_working_set_is_one() {
+        let t = trace_of(&[(1, 5); 100]);
+        let ws = working_set(&t, 10);
+        assert_eq!(ws.mean_pages, 1.0);
+        assert_eq!(ws.max_pages, 1);
+        assert_eq!(ws.windows, 10);
+    }
+
+    #[test]
+    fn distinct_pages_counted() {
+        let t = trace_of(&[(1, 0), (1, 1), (1, 2), (1, 3)]);
+        let ws = working_set(&t, 4);
+        assert_eq!(ws.mean_pages, 4.0);
+    }
+
+    #[test]
+    fn pids_separate_demand() {
+        // Same VA from two pids is two pages of demand.
+        let t = trace_of(&[(1, 7), (2, 7), (1, 7), (2, 7)]);
+        let ws = working_set(&t, 4);
+        assert_eq!(ws.mean_pages, 2.0);
+    }
+
+    #[test]
+    fn curve_is_monotone_in_window() {
+        let pages: Vec<(u8, u32)> = (0..4096u32).map(|i| (1, i % 37)).collect();
+        let t = trace_of(&pages);
+        let curve = working_set_curve(&t, &[8, 64, 512]);
+        assert!(curve[0].mean_pages <= curve[1].mean_pages);
+        assert!(curve[1].mean_pages <= curve[2].mean_pages);
+        assert!(curve[2].mean_pages <= 37.0);
+    }
+
+    #[test]
+    fn markers_do_not_count() {
+        let mut t = trace_of(&[(1, 0), (1, 1)]);
+        t.push(TraceRecord::new(RecordKind::CtxSwitch, 0x9000, 0, 2, true));
+        let ws = working_set(&t, 2);
+        assert_eq!(ws.windows, 1);
+        assert_eq!(ws.mean_pages, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        working_set(&Trace::new(), 0);
+    }
+}

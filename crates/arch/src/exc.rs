@@ -1,0 +1,269 @@
+//! Exceptions, interrupts and the system control block (SCB).
+//!
+//! The SCB is one physical page (pointed at by the `SCBB` privileged
+//! register) of longword vectors. Exception and interrupt micro-flows push
+//! PSL, PC and any parameters onto the kernel stack and fetch the new PC
+//! from `SCBB + vector`.
+//!
+//! Faults push the PC **of** the faulting instruction (so `rei` retries it);
+//! traps push the PC of the **next** instruction. Aborts are faults whose
+//! instruction may be partially complete — the register change-log in the
+//! machine unwinds their side effects first, restoring fault semantics.
+
+use crate::mem::VirtAddr;
+use std::fmt;
+
+/// SCB vector byte offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u32)]
+pub enum ScbVector {
+    /// Machine check: internal inconsistency.
+    MachineCheck = 0x04,
+    /// Kernel stack not valid during exception processing.
+    KernelStackInvalid = 0x08,
+    /// Reserved or unimplemented opcode.
+    ReservedInstruction = 0x10,
+    /// Reserved operand form (e.g. bad privileged-register number).
+    ReservedOperand = 0x14,
+    /// Reserved addressing mode (e.g. indexed, or literal as destination).
+    ReservedAddrMode = 0x18,
+    /// Access-control violation (protection denied). Parameter: the VA.
+    AccessViolation = 0x20,
+    /// Translation not valid (page fault). Parameter: the VA.
+    TranslationInvalid = 0x24,
+    /// Trace (T-bit) trap, taken after each traced instruction.
+    TraceTrap = 0x28,
+    /// Breakpoint (`bpt`) trap.
+    Breakpoint = 0x2C,
+    /// Arithmetic trap. Parameter: an [`ArithKind`] code.
+    Arithmetic = 0x30,
+    /// Change-mode-to-kernel trap (`chmk`). Parameter: the code operand.
+    Chmk = 0x40,
+    /// Base of the software-interrupt vectors: level *n* uses `0x80 + 4n`.
+    SoftwareBase = 0x80,
+    /// Interval timer interrupt (IPL [`IPL_TIMER`]).
+    IntervalTimer = 0xC0,
+    /// Console receive interrupt (IPL [`IPL_CONSOLE`]).
+    ConsoleReceive = 0xF8,
+    /// Console transmit interrupt (IPL [`IPL_CONSOLE`]).
+    ConsoleTransmit = 0xFC,
+}
+
+impl ScbVector {
+    /// The vector's byte offset within the SCB page.
+    pub fn offset(self) -> u32 {
+        self as u32
+    }
+
+    /// The vector for software-interrupt level `level` (1–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level` is 0 or above 15.
+    pub fn software(level: u8) -> u32 {
+        assert!((1..=15).contains(&level), "software IRQ level {level}");
+        Self::SoftwareBase.offset() + 4 * level as u32
+    }
+}
+
+/// IPL at which the interval timer interrupts.
+pub const IPL_TIMER: u8 = 22;
+/// IPL at which the console device interrupts.
+pub const IPL_CONSOLE: u8 = 20;
+/// Highest IPL (all interrupts blocked).
+pub const IPL_MAX: u8 = 31;
+
+/// Arithmetic-trap type codes, pushed as the trap parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u32)]
+pub enum ArithKind {
+    /// Integer overflow.
+    Overflow = 1,
+    /// Integer divide by zero.
+    DivideByZero = 2,
+}
+
+/// Whether an exception is fault-like or trap-like (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExceptionClass {
+    /// Pushes the faulting instruction's PC; instruction restarts on `rei`.
+    Fault,
+    /// Pushes the next instruction's PC.
+    Trap,
+}
+
+/// An exception condition detected during execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Exception {
+    /// Unassigned opcode byte.
+    ReservedInstruction,
+    /// Reserved operand (bad privileged register, bad mask, ...).
+    ReservedOperand,
+    /// Reserved addressing mode, or a nonsense mode for the access type.
+    ReservedAddrMode,
+    /// Protection violation at the given VA.
+    AccessViolation(VirtAddr),
+    /// Page not valid at the given VA.
+    TranslationInvalid(VirtAddr),
+    /// T-bit single-step trap.
+    TraceTrap,
+    /// `bpt` executed.
+    Breakpoint,
+    /// Arithmetic trap of the given kind.
+    Arithmetic(ArithKind),
+    /// `chmk` executed with the given code.
+    Chmk(u16),
+    /// Privileged instruction executed in user mode. Delivered through the
+    /// reserved-instruction vector, as on the VAX.
+    PrivilegedInstruction,
+    /// Machine check: the micro-engine detected an internal inconsistency
+    /// (e.g. kernel stack unmapped during exception entry).
+    MachineCheck,
+}
+
+impl Exception {
+    /// The SCB vector this exception dispatches through.
+    pub fn vector(self) -> u32 {
+        match self {
+            Exception::ReservedInstruction | Exception::PrivilegedInstruction => {
+                ScbVector::ReservedInstruction.offset()
+            }
+            Exception::ReservedOperand => ScbVector::ReservedOperand.offset(),
+            Exception::ReservedAddrMode => ScbVector::ReservedAddrMode.offset(),
+            Exception::AccessViolation(_) => ScbVector::AccessViolation.offset(),
+            Exception::TranslationInvalid(_) => ScbVector::TranslationInvalid.offset(),
+            Exception::TraceTrap => ScbVector::TraceTrap.offset(),
+            Exception::Breakpoint => ScbVector::Breakpoint.offset(),
+            Exception::Arithmetic(_) => ScbVector::Arithmetic.offset(),
+            Exception::Chmk(_) => ScbVector::Chmk.offset(),
+            Exception::MachineCheck => ScbVector::MachineCheck.offset(),
+        }
+    }
+
+    /// Fault or trap (determines which PC is pushed).
+    pub fn class(self) -> ExceptionClass {
+        match self {
+            Exception::ReservedInstruction
+            | Exception::PrivilegedInstruction
+            | Exception::ReservedOperand
+            | Exception::ReservedAddrMode
+            | Exception::AccessViolation(_)
+            | Exception::TranslationInvalid(_)
+            | Exception::MachineCheck => ExceptionClass::Fault,
+            Exception::TraceTrap
+            | Exception::Breakpoint
+            | Exception::Arithmetic(_)
+            | Exception::Chmk(_) => ExceptionClass::Trap,
+        }
+    }
+
+    /// The extra longword pushed above PC/PSL, if this exception has one.
+    pub fn parameter(self) -> Option<u32> {
+        match self {
+            Exception::AccessViolation(va) | Exception::TranslationInvalid(va) => Some(va.0),
+            Exception::Arithmetic(kind) => Some(kind as u32),
+            Exception::Chmk(code) => Some(code as u32),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::ReservedInstruction => f.write_str("reserved instruction"),
+            Exception::PrivilegedInstruction => f.write_str("privileged instruction in user mode"),
+            Exception::ReservedOperand => f.write_str("reserved operand"),
+            Exception::ReservedAddrMode => f.write_str("reserved addressing mode"),
+            Exception::AccessViolation(va) => write!(f, "access violation at {va}"),
+            Exception::TranslationInvalid(va) => write!(f, "translation not valid at {va}"),
+            Exception::TraceTrap => f.write_str("trace trap"),
+            Exception::Breakpoint => f.write_str("breakpoint"),
+            Exception::Arithmetic(k) => write!(f, "arithmetic trap ({k:?})"),
+            Exception::Chmk(code) => write!(f, "chmk #{code}"),
+            Exception::MachineCheck => f.write_str("machine check"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vectors_are_longword_aligned_and_unique() {
+        let vs = [
+            ScbVector::MachineCheck,
+            ScbVector::KernelStackInvalid,
+            ScbVector::ReservedInstruction,
+            ScbVector::ReservedOperand,
+            ScbVector::ReservedAddrMode,
+            ScbVector::AccessViolation,
+            ScbVector::TranslationInvalid,
+            ScbVector::TraceTrap,
+            ScbVector::Breakpoint,
+            ScbVector::Arithmetic,
+            ScbVector::Chmk,
+            ScbVector::IntervalTimer,
+            ScbVector::ConsoleReceive,
+            ScbVector::ConsoleTransmit,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for v in vs {
+            assert_eq!(v.offset() % 4, 0);
+            assert!(v.offset() < 512, "vector fits in the SCB page");
+            assert!(seen.insert(v.offset()));
+        }
+    }
+
+    #[test]
+    fn software_vectors() {
+        assert_eq!(ScbVector::software(1), 0x84);
+        assert_eq!(ScbVector::software(15), 0x80 + 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "software IRQ level")]
+    fn software_level_zero_panics() {
+        ScbVector::software(0);
+    }
+
+    #[test]
+    fn fault_vs_trap_classes() {
+        assert_eq!(
+            Exception::TranslationInvalid(VirtAddr(0)).class(),
+            ExceptionClass::Fault
+        );
+        assert_eq!(Exception::Chmk(3).class(), ExceptionClass::Trap);
+        assert_eq!(Exception::TraceTrap.class(), ExceptionClass::Trap);
+        assert_eq!(Exception::ReservedInstruction.class(), ExceptionClass::Fault);
+    }
+
+    #[test]
+    fn parameters() {
+        assert_eq!(
+            Exception::AccessViolation(VirtAddr(0x1234)).parameter(),
+            Some(0x1234)
+        );
+        assert_eq!(Exception::Chmk(7).parameter(), Some(7));
+        assert_eq!(
+            Exception::Arithmetic(ArithKind::DivideByZero).parameter(),
+            Some(2)
+        );
+        assert_eq!(Exception::TraceTrap.parameter(), None);
+    }
+
+    #[test]
+    fn privileged_instruction_uses_reserved_vector() {
+        assert_eq!(
+            Exception::PrivilegedInstruction.vector(),
+            Exception::ReservedInstruction.vector()
+        );
+    }
+
+    #[test]
+    fn display_mentions_address() {
+        let s = Exception::TranslationInvalid(VirtAddr(0x8000_0000)).to_string();
+        assert!(s.contains("0x80000000"));
+    }
+}

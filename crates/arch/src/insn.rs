@@ -1,0 +1,437 @@
+//! Architectural instruction decoding.
+//!
+//! [`DecodedInsn::decode`] pulls one whole instruction out of a byte stream
+//! and produces a structured representation. The micro-engine does **not**
+//! use this — it decodes specifier-by-specifier in microcode, which is the
+//! point of the exercise — but the disassembler, the assembler's tests and
+//! the architectural oracle simulator in `atum-baselines` all do, giving us
+//! an independent second implementation of the encoding to check the
+//! microcode against.
+
+use crate::mode::{Access, AddrMode, DataSize};
+use crate::opcode::Opcode;
+use crate::reg::Gpr;
+use std::fmt;
+
+/// A decoded operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// 6-bit short literal.
+    Literal(u8),
+    /// Immediate constant (`(pc)+` autoincrement), already masked to size.
+    Immediate(u32),
+    /// Absolute address (`@(pc)+`).
+    Absolute(u32),
+    /// Register operand.
+    Register(Gpr),
+    /// `(Rn)`.
+    RegDeferred(Gpr),
+    /// `-(Rn)`.
+    AutoDec(Gpr),
+    /// `(Rn)+`.
+    AutoInc(Gpr),
+    /// `@(Rn)+`.
+    AutoIncDeferred(Gpr),
+    /// PC-relative operand, resolved at decode time to its absolute
+    /// target (the base is the address after the displacement bytes).
+    Relative(u32),
+    /// PC-relative deferred operand: the resolved address of a longword
+    /// holding the operand's address.
+    RelativeDeferred(u32),
+    /// `disp(Rn)` — displacement plus register (never the PC; PC forms
+    /// resolve to [`Operand::Relative`]).
+    Displacement {
+        /// Sign-extended displacement.
+        disp: i32,
+        /// Base register.
+        reg: Gpr,
+        /// Encoded displacement width.
+        width: DataSize,
+    },
+    /// `@disp(Rn)`.
+    DisplacementDeferred {
+        /// Sign-extended displacement.
+        disp: i32,
+        /// Base register.
+        reg: Gpr,
+        /// Encoded displacement width.
+        width: DataSize,
+    },
+    /// A branch displacement; the payload is the sign-extended displacement
+    /// from the address following the displacement field.
+    BranchDisp(i32),
+}
+
+/// A fully decoded instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodedInsn {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Decoded operands, in instruction-stream order.
+    pub operands: Vec<Operand>,
+    /// Total encoded length in bytes.
+    pub len: u32,
+}
+
+/// Errors from instruction decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte is unassigned.
+    BadOpcode(u8),
+    /// A specifier used a reserved addressing mode.
+    ReservedMode(u8),
+    /// A mode that cannot be used for this access type (e.g. literal or
+    /// immediate as a write destination, register mode for an address
+    /// operand).
+    InvalidForAccess(AddrMode, Access),
+    /// The byte source ran out mid-instruction.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "unassigned opcode byte {b:#04x}"),
+            DecodeError::ReservedMode(s) => {
+                write!(f, "reserved addressing mode in specifier {s:#04x}")
+            }
+            DecodeError::InvalidForAccess(mode, access) => {
+                write!(f, "{mode} mode invalid for {access:?} access")
+            }
+            DecodeError::Truncated => f.write_str("instruction truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Pulls little-endian integers off a fallible byte source.
+struct Cursor<'a, F: FnMut(u32) -> Option<u8>> {
+    fetch: &'a mut F,
+    addr: u32,
+    start: u32,
+}
+
+impl<F: FnMut(u32) -> Option<u8>> Cursor<'_, F> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = (self.fetch)(self.addr).ok_or(DecodeError::Truncated)?;
+        self.addr = self.addr.wrapping_add(1);
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let lo = self.u8()? as u16;
+        let hi = self.u8()? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let lo = self.u16()? as u32;
+        let hi = self.u16()? as u32;
+        Ok(lo | (hi << 16))
+    }
+
+    fn sized(&mut self, size: DataSize) -> Result<u32, DecodeError> {
+        Ok(match size {
+            DataSize::Byte => self.u8()? as u32,
+            DataSize::Word => self.u16()? as u32,
+            DataSize::Long => self.u32()?,
+        })
+    }
+
+    fn consumed(&self) -> u32 {
+        self.addr.wrapping_sub(self.start)
+    }
+}
+
+impl DecodedInsn {
+    /// Decodes one instruction starting at `addr`, fetching bytes through
+    /// `fetch` (which returns `None` past the end of the stream).
+    ///
+    /// # Errors
+    ///
+    /// Any [`DecodeError`]; the machine maps these onto reserved-instruction
+    /// / reserved-addressing-mode faults.
+    pub fn decode<F>(addr: u32, fetch: &mut F) -> Result<DecodedInsn, DecodeError>
+    where
+        F: FnMut(u32) -> Option<u8>,
+    {
+        let mut cur = Cursor {
+            fetch,
+            addr,
+            start: addr,
+        };
+        let opbyte = cur.u8()?;
+        let opcode = Opcode::from_byte(opbyte).ok_or(DecodeError::BadOpcode(opbyte))?;
+        let mut operands = Vec::with_capacity(opcode.operands().len());
+        for spec in opcode.operands() {
+            match spec.access {
+                Access::Branch(width) => {
+                    let raw = cur.sized(width)?;
+                    operands.push(Operand::BranchDisp(width.sign_extend(raw) as i32));
+                }
+                access => {
+                    operands.push(Self::decode_specifier(&mut cur, access, spec.size)?);
+                }
+            }
+        }
+        Ok(DecodedInsn {
+            opcode,
+            operands,
+            len: cur.consumed(),
+        })
+    }
+
+    fn decode_specifier<F>(
+        cur: &mut Cursor<'_, F>,
+        access: Access,
+        size: DataSize,
+    ) -> Result<Operand, DecodeError>
+    where
+        F: FnMut(u32) -> Option<u8>,
+    {
+        let spec = cur.u8()?;
+        let (mode, reg_n) =
+            AddrMode::decode_specifier(spec).map_err(|e| DecodeError::ReservedMode(e.specifier))?;
+        let reg = Gpr::from_nibble(reg_n);
+        let writable = matches!(access, Access::Write | Access::Modify);
+        let op = match mode {
+            AddrMode::Literal => {
+                if writable || access == Access::Address {
+                    return Err(DecodeError::InvalidForAccess(mode, access));
+                }
+                Operand::Literal(spec & 0x3F)
+            }
+            AddrMode::Register => {
+                if access == Access::Address || reg.is_pc() {
+                    return Err(DecodeError::InvalidForAccess(mode, access));
+                }
+                Operand::Register(reg)
+            }
+            AddrMode::RegDeferred => {
+                if reg.is_pc() {
+                    return Err(DecodeError::InvalidForAccess(mode, access));
+                }
+                Operand::RegDeferred(reg)
+            }
+            AddrMode::AutoDec => {
+                if reg.is_pc() {
+                    return Err(DecodeError::InvalidForAccess(mode, access));
+                }
+                Operand::AutoDec(reg)
+            }
+            AddrMode::AutoInc => {
+                if reg.is_pc() {
+                    if writable || access == Access::Address {
+                        return Err(DecodeError::InvalidForAccess(mode, access));
+                    }
+                    Operand::Immediate(cur.sized(size)?)
+                } else {
+                    Operand::AutoInc(reg)
+                }
+            }
+            AddrMode::AutoIncDeferred => {
+                if reg.is_pc() {
+                    Operand::Absolute(cur.u32()?)
+                } else {
+                    Operand::AutoIncDeferred(reg)
+                }
+            }
+            AddrMode::Displacement(width) => {
+                let raw = cur.sized(width)?;
+                let disp = width.sign_extend(raw) as i32;
+                if reg.is_pc() {
+                    Operand::Relative(cur.addr.wrapping_add(disp as u32))
+                } else {
+                    Operand::Displacement { disp, reg, width }
+                }
+            }
+            AddrMode::DisplacementDeferred(width) => {
+                let raw = cur.sized(width)?;
+                let disp = width.sign_extend(raw) as i32;
+                if reg.is_pc() {
+                    Operand::RelativeDeferred(cur.addr.wrapping_add(disp as u32))
+                } else {
+                    Operand::DisplacementDeferred { disp, reg, width }
+                }
+            }
+        };
+        Ok(op)
+    }
+}
+
+impl fmt::Display for DecodedInsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.opcode.mnemonic())?;
+        for (i, op) in self.operands.iter().enumerate() {
+            f.write_str(if i == 0 { " " } else { ", " })?;
+            write!(f, "{op}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Operand::Literal(v) => write!(f, "#{v}"),
+            Operand::Immediate(v) => write!(f, "#{:#x}", v),
+            Operand::Absolute(a) => write!(f, "@#{a:#x}"),
+            Operand::Register(r) => write!(f, "{r}"),
+            Operand::RegDeferred(r) => write!(f, "({r})"),
+            Operand::AutoDec(r) => write!(f, "-({r})"),
+            Operand::AutoInc(r) => write!(f, "({r})+"),
+            Operand::AutoIncDeferred(r) => write!(f, "@({r})+"),
+            Operand::Relative(a) => write!(f, "{a:#x}"),
+            Operand::RelativeDeferred(a) => write!(f, "@{a:#x}"),
+            Operand::Displacement { disp, reg, .. } => write!(f, "{disp}({reg})"),
+            Operand::DisplacementDeferred { disp, reg, .. } => write!(f, "@{disp}({reg})"),
+            Operand::BranchDisp(d) => write!(f, ".{:+}", d),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode(bytes: &[u8]) -> Result<DecodedInsn, DecodeError> {
+        let mut fetch = |a: u32| bytes.get(a as usize).copied();
+        DecodedInsn::decode(0, &mut fetch)
+    }
+
+    #[test]
+    fn decode_movl_register_to_register() {
+        // movl r1, r2
+        let insn = decode(&[Opcode::Movl.to_byte(), 0x51, 0x52]).unwrap();
+        assert_eq!(insn.opcode, Opcode::Movl);
+        assert_eq!(
+            insn.operands,
+            vec![
+                Operand::Register(Gpr::new(1)),
+                Operand::Register(Gpr::new(2))
+            ]
+        );
+        assert_eq!(insn.len, 3);
+        assert_eq!(insn.to_string(), "movl r1, r2");
+    }
+
+    #[test]
+    fn decode_short_literal() {
+        // movl #63, r0
+        let insn = decode(&[Opcode::Movl.to_byte(), 0x3F, 0x50]).unwrap();
+        assert_eq!(insn.operands[0], Operand::Literal(63));
+    }
+
+    #[test]
+    fn decode_immediate_long() {
+        // movl #0x11223344, r0  (immediate = (pc)+ = specifier 0x8F)
+        let insn = decode(&[
+            Opcode::Movl.to_byte(),
+            0x8F,
+            0x44,
+            0x33,
+            0x22,
+            0x11,
+            0x50,
+        ])
+        .unwrap();
+        assert_eq!(insn.operands[0], Operand::Immediate(0x1122_3344));
+        assert_eq!(insn.len, 7);
+    }
+
+    #[test]
+    fn decode_immediate_byte_width() {
+        // movb #0x7F, r0 — immediate is one byte for byte operands.
+        let insn = decode(&[Opcode::Movb.to_byte(), 0x8F, 0x7F, 0x50]).unwrap();
+        assert_eq!(insn.operands[0], Operand::Immediate(0x7F));
+        assert_eq!(insn.len, 4);
+    }
+
+    #[test]
+    fn decode_absolute() {
+        // tstl @#0x80000200
+        let insn = decode(&[Opcode::Tstl.to_byte(), 0x9F, 0x00, 0x02, 0x00, 0x80]).unwrap();
+        assert_eq!(insn.operands[0], Operand::Absolute(0x8000_0200));
+    }
+
+    #[test]
+    fn decode_displacement_widths() {
+        // movl -4(r3), r0 — byte displacement
+        let insn = decode(&[Opcode::Movl.to_byte(), 0xA3, 0xFC, 0x50]).unwrap();
+        assert_eq!(
+            insn.operands[0],
+            Operand::Displacement {
+                disp: -4,
+                reg: Gpr::new(3),
+                width: DataSize::Byte
+            }
+        );
+        // movl 0x1234(r3), r0 — word displacement
+        let insn = decode(&[Opcode::Movl.to_byte(), 0xC3, 0x34, 0x12, 0x50]).unwrap();
+        assert_eq!(
+            insn.operands[0],
+            Operand::Displacement {
+                disp: 0x1234,
+                reg: Gpr::new(3),
+                width: DataSize::Word
+            }
+        );
+    }
+
+    #[test]
+    fn decode_branch_displacement() {
+        let insn = decode(&[Opcode::Brb.to_byte(), 0xFE]).unwrap();
+        assert_eq!(insn.operands[0], Operand::BranchDisp(-2));
+        let insn = decode(&[Opcode::Brw.to_byte(), 0x00, 0x10]).unwrap();
+        assert_eq!(insn.operands[0], Operand::BranchDisp(0x1000));
+    }
+
+    #[test]
+    fn decode_sobgtr_operand_order() {
+        // sobgtr r5, .-3
+        let insn = decode(&[Opcode::Sobgtr.to_byte(), 0x55, 0xFD]).unwrap();
+        assert_eq!(insn.operands.len(), 2);
+        assert_eq!(insn.operands[0], Operand::Register(Gpr::new(5)));
+        assert_eq!(insn.operands[1], Operand::BranchDisp(-3));
+    }
+
+    #[test]
+    fn literal_as_destination_is_invalid() {
+        // movl r0, #5
+        let err = decode(&[Opcode::Movl.to_byte(), 0x50, 0x05]).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidForAccess(..)));
+    }
+
+    #[test]
+    fn register_mode_for_address_operand_is_invalid() {
+        // jmp r3 — jump needs an address, register mode has none.
+        let err = decode(&[Opcode::Jmp.to_byte(), 0x53]).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidForAccess(..)));
+    }
+
+    #[test]
+    fn pc_in_register_mode_is_invalid() {
+        let err = decode(&[Opcode::Tstl.to_byte(), 0x5F]).unwrap_err();
+        assert!(matches!(err, DecodeError::InvalidForAccess(..)));
+    }
+
+    #[test]
+    fn bad_opcode() {
+        assert_eq!(decode(&[0xFF]).unwrap_err(), DecodeError::BadOpcode(0xFF));
+    }
+
+    #[test]
+    fn truncated_stream() {
+        assert_eq!(
+            decode(&[Opcode::Movl.to_byte(), 0x8F, 0x01]).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn reserved_mode_surfaces() {
+        let err = decode(&[Opcode::Tstl.to_byte(), 0x42]).unwrap_err();
+        assert_eq!(err, DecodeError::ReservedMode(0x42));
+    }
+}

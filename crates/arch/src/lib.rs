@@ -1,0 +1,57 @@
+//! # atum-arch — the SVX architecture definition
+//!
+//! SVX is a VAX-flavoured 32-bit CISC instruction-set architecture defined
+//! for the ATUM reproduction. It keeps the properties the ATUM paper's
+//! technique depends on:
+//!
+//! * **variable-length instructions** — an opcode byte followed by operand
+//!   specifiers, so instruction fetch is a stream of byte references;
+//! * **rich addressing modes** — register, deferred, autoincrement /
+//!   autodecrement, displacement and displacement-deferred forms, literals
+//!   and immediates (see [`AddrMode`]);
+//! * **microcoded "showcase" instructions** — `CALLS`/`RET`, `MOVC3`,
+//!   `INSQUE`/`REMQUE`, `SVPCTX`/`LDPCTX`, `REI` — whose multi-reference
+//!   micro-flows are exactly where microcode tracing earns its keep;
+//! * **VAX-style memory management** — 512-byte pages, P0/P1/System regions
+//!   and software-visible page tables (see [`mem`]).
+//!
+//! This crate is pure data: no simulator state lives here. The micro-engine
+//! (`atum-ucode`, `atum-machine`), assembler (`atum-asm`) and the
+//! architectural oracle simulator (`atum-baselines`) all consume these
+//! definitions, which is what keeps them mutually consistent.
+//!
+//! ## Example
+//!
+//! ```
+//! use atum_arch::{Opcode, AddrMode, Gpr};
+//!
+//! let op = Opcode::from_byte(Opcode::Movl.to_byte()).unwrap();
+//! assert_eq!(op, Opcode::Movl);
+//! assert_eq!(op.operands().len(), 2);
+//!
+//! // Specifier byte 0x5A = mode 5 (register), register 10.
+//! let (mode, _) = AddrMode::decode_specifier(0x5A).unwrap();
+//! assert_eq!(mode, AddrMode::Register);
+//! assert_eq!(Gpr::new(10).to_string(), "r10");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exc;
+pub mod insn;
+pub mod mem;
+pub mod mode;
+pub mod opcode;
+pub mod prv;
+pub mod psl;
+pub mod reg;
+
+pub use exc::{Exception, ExceptionClass, ScbVector};
+pub use insn::{DecodeError, DecodedInsn, Operand};
+pub use mem::{PageProt, Pte, Region, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use mode::{Access, AddrMode, DataSize, OperandSpec};
+pub use opcode::Opcode;
+pub use prv::PrivReg;
+pub use psl::{CpuMode, Psl};
+pub use reg::Gpr;

@@ -1,0 +1,359 @@
+//! Memory-management architecture: pages, regions and PTEs.
+//!
+//! SVX keeps the VAX's unusually small **512-byte page** — the trace and TLB
+//! studies are sensitive to it — and its region-divided 32-bit virtual
+//! address space:
+//!
+//! ```text
+//!  31 30 29                    9 8        0
+//! ┌─────┬───────────────────────┬──────────┐
+//! │ reg │   virtual page number │  offset  │
+//! └─────┴───────────────────────┴──────────┘
+//! ```
+//!
+//! | Region bits | Region | Mapped by | Grows |
+//! |---|---|---|---|
+//! | `00` | **P0** — program region (code, data, heap) | `P0BR`/`P0LR` | up |
+//! | `01` | **P1** — control region (user stack) | `P1BR`/`P1LR` | down |
+//! | `10` | **System** — shared kernel space | `SBR`/`SLR` | up |
+//! | `11` | reserved | — | — |
+//!
+//! Deviation from the VAX: the per-process base registers (`P0BR` …) hold
+//! *physical* addresses of the page tables rather than system-space virtual
+//! addresses, so a translation never recurses. P1's table is indexed like
+//! P0's (by VPN within the region) rather than by the VAX's backwards
+//! scheme; the OS simply allocates stack pages from the top of P1 downward.
+//!
+//! A page-table entry:
+//!
+//! ```text
+//!  31 30  29 28 27 26       21 20                    0
+//! ┌───┬──────┬───┬──────────┬───────────────────────┐
+//! │ V │ PROT │ M │ reserved │   page frame number   │
+//! └───┴──────┴───┴──────────┴───────────────────────┘
+//! ```
+
+use crate::psl::CpuMode;
+use std::fmt;
+
+/// Log2 of the page size.
+pub const PAGE_SHIFT: u32 = 9;
+/// The page size in bytes (512, as on the VAX).
+pub const PAGE_SIZE: u32 = 1 << PAGE_SHIFT;
+/// Mask of the byte-within-page offset bits.
+pub const PAGE_OFFSET_MASK: u32 = PAGE_SIZE - 1;
+/// Number of VPN bits within a region.
+pub const VPN_BITS: u32 = 21;
+
+/// A virtual-address region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Region {
+    /// The program region (`00`): code, globals, heap.
+    P0,
+    /// The control region (`01`): the user stack.
+    P1,
+    /// The system region (`10`): the kernel.
+    System,
+    /// The reserved region (`11`): any access faults.
+    Reserved,
+}
+
+impl Region {
+    /// Decodes the region from the top two bits of a virtual address.
+    pub fn of_va(va: u32) -> Region {
+        match va >> 30 {
+            0 => Region::P0,
+            1 => Region::P1,
+            2 => Region::System,
+            _ => Region::Reserved,
+        }
+    }
+
+    /// The base virtual address of this region.
+    pub fn base(self) -> u32 {
+        match self {
+            Region::P0 => 0x0000_0000,
+            Region::P1 => 0x4000_0000,
+            Region::System => 0x8000_0000,
+            Region::Reserved => 0xC000_0000,
+        }
+    }
+
+    /// Whether this region's mapping is per-process (flushed from the TLB
+    /// on context switch) rather than shared system space.
+    pub fn is_per_process(self) -> bool {
+        matches!(self, Region::P0 | Region::P1)
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::P0 => f.write_str("P0"),
+            Region::P1 => f.write_str("P1"),
+            Region::System => f.write_str("system"),
+            Region::Reserved => f.write_str("reserved"),
+        }
+    }
+}
+
+/// A typed virtual address, decomposed on demand.
+///
+/// ```
+/// use atum_arch::{Region, VirtAddr};
+///
+/// let va = VirtAddr(0x8000_0204);
+/// assert_eq!(va.region(), Region::System);
+/// assert_eq!(va.vpn(), 1);
+/// assert_eq!(va.offset(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VirtAddr(pub u32);
+
+impl VirtAddr {
+    /// The region this address falls in.
+    pub fn region(self) -> Region {
+        Region::of_va(self.0)
+    }
+
+    /// The virtual page number *within its region*.
+    pub fn vpn(self) -> u32 {
+        (self.0 & 0x3FFF_FFFF) >> PAGE_SHIFT
+    }
+
+    /// The global page number (region bits included), used as a TLB tag.
+    pub fn global_vpn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// The byte offset within the page.
+    pub fn offset(self) -> u32 {
+        self.0 & PAGE_OFFSET_MASK
+    }
+
+    /// The address of the start of the containing page.
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !PAGE_OFFSET_MASK)
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#010x}", self.0)
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(v: u32) -> VirtAddr {
+        VirtAddr(v)
+    }
+}
+
+/// Page protection, a two-bit field in the PTE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageProt {
+    /// No access from any mode.
+    NoAccess,
+    /// Kernel may read and write; user has no access.
+    KernelRw,
+    /// Kernel may read and write; user may read.
+    KernelRwUserR,
+    /// Any mode may read and write.
+    AllRw,
+}
+
+impl PageProt {
+    /// Decodes the PROT field.
+    pub fn from_bits(bits: u32) -> PageProt {
+        match bits & 0b11 {
+            0 => PageProt::NoAccess,
+            1 => PageProt::KernelRw,
+            2 => PageProt::KernelRwUserR,
+            _ => PageProt::AllRw,
+        }
+    }
+
+    /// Encodes the PROT field.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            PageProt::NoAccess => 0,
+            PageProt::KernelRw => 1,
+            PageProt::KernelRwUserR => 2,
+            PageProt::AllRw => 3,
+        }
+    }
+
+    /// Whether `mode` may perform a read under this protection.
+    pub fn allows_read(self, mode: CpuMode) -> bool {
+        match self {
+            PageProt::NoAccess => false,
+            PageProt::KernelRw => mode.is_kernel(),
+            PageProt::KernelRwUserR | PageProt::AllRw => true,
+        }
+    }
+
+    /// Whether `mode` may perform a write under this protection.
+    pub fn allows_write(self, mode: CpuMode) -> bool {
+        match self {
+            PageProt::NoAccess => false,
+            PageProt::KernelRw | PageProt::KernelRwUserR => mode.is_kernel(),
+            PageProt::AllRw => true,
+        }
+    }
+}
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(pub u32);
+
+impl Pte {
+    const V: u32 = 1 << 31;
+    const PROT_SHIFT: u32 = 29;
+    const M: u32 = 1 << 26;
+    /// Number of PFN bits (21 → up to 1 GiB of physical memory).
+    pub const PFN_BITS: u32 = 21;
+    const PFN_MASK: u32 = (1 << Self::PFN_BITS) - 1;
+
+    /// Builds a valid PTE.
+    pub fn new(pfn: u32, prot: PageProt) -> Pte {
+        assert!(pfn <= Self::PFN_MASK, "PFN {pfn:#x} out of range");
+        Pte(Self::V | (prot.to_bits() << Self::PROT_SHIFT) | pfn)
+    }
+
+    /// An invalid (not-present) PTE.
+    pub fn invalid() -> Pte {
+        Pte(0)
+    }
+
+    /// The valid bit.
+    pub fn valid(self) -> bool {
+        self.0 & Self::V != 0
+    }
+
+    /// The protection field.
+    pub fn prot(self) -> PageProt {
+        PageProt::from_bits((self.0 >> Self::PROT_SHIFT) & 0b11)
+    }
+
+    /// The modify (dirty) bit.
+    pub fn modified(self) -> bool {
+        self.0 & Self::M != 0
+    }
+
+    /// Returns a copy with the modify bit set.
+    pub fn with_modified(self) -> Pte {
+        Pte(self.0 | Self::M)
+    }
+
+    /// The page frame number.
+    pub fn pfn(self) -> u32 {
+        self.0 & Self::PFN_MASK
+    }
+
+    /// The physical address of the start of the frame.
+    pub fn frame_base(self) -> u32 {
+        self.pfn() << PAGE_SHIFT
+    }
+}
+
+impl fmt::Display for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.valid() {
+            write!(
+                f,
+                "pte[pfn={:#x} prot={:?}{}]",
+                self.pfn(),
+                self.prot(),
+                if self.modified() { " M" } else { "" }
+            )
+        } else {
+            f.write_str("pte[invalid]")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_constants() {
+        assert_eq!(PAGE_SIZE, 512);
+        assert_eq!(PAGE_OFFSET_MASK, 511);
+    }
+
+    #[test]
+    fn region_decode() {
+        assert_eq!(Region::of_va(0x0000_1000), Region::P0);
+        assert_eq!(Region::of_va(0x4000_0000), Region::P1);
+        assert_eq!(Region::of_va(0x8123_4567), Region::System);
+        assert_eq!(Region::of_va(0xC000_0000), Region::Reserved);
+    }
+
+    #[test]
+    fn region_bases_round_trip() {
+        for r in [Region::P0, Region::P1, Region::System, Region::Reserved] {
+            assert_eq!(Region::of_va(r.base()), r);
+        }
+    }
+
+    #[test]
+    fn va_decomposition() {
+        let va = VirtAddr(0x4000_0604);
+        assert_eq!(va.region(), Region::P1);
+        assert_eq!(va.vpn(), 3);
+        assert_eq!(va.offset(), 4);
+        assert_eq!(va.page_base().0, 0x4000_0600);
+        assert_eq!(va.global_vpn(), 0x4000_0604 >> 9);
+    }
+
+    #[test]
+    fn per_process_regions() {
+        assert!(Region::P0.is_per_process());
+        assert!(Region::P1.is_per_process());
+        assert!(!Region::System.is_per_process());
+    }
+
+    #[test]
+    fn pte_round_trip() {
+        let pte = Pte::new(0x1FF, PageProt::KernelRwUserR);
+        assert!(pte.valid());
+        assert_eq!(pte.pfn(), 0x1FF);
+        assert_eq!(pte.prot(), PageProt::KernelRwUserR);
+        assert!(!pte.modified());
+        assert_eq!(pte.frame_base(), 0x1FF << 9);
+        let dirty = pte.with_modified();
+        assert!(dirty.modified());
+        assert_eq!(dirty.pfn(), pte.pfn());
+    }
+
+    #[test]
+    fn invalid_pte() {
+        assert!(!Pte::invalid().valid());
+    }
+
+    #[test]
+    fn protection_semantics() {
+        use CpuMode::*;
+        assert!(!PageProt::NoAccess.allows_read(Kernel));
+        assert!(PageProt::KernelRw.allows_read(Kernel));
+        assert!(!PageProt::KernelRw.allows_read(User));
+        assert!(PageProt::KernelRwUserR.allows_read(User));
+        assert!(!PageProt::KernelRwUserR.allows_write(User));
+        assert!(PageProt::KernelRwUserR.allows_write(Kernel));
+        assert!(PageProt::AllRw.allows_write(User));
+    }
+
+    #[test]
+    fn prot_bits_round_trip() {
+        for bits in 0..4 {
+            assert_eq!(PageProt::from_bits(bits).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pfn_overflow_panics() {
+        let _ = Pte::new(1 << 21, PageProt::AllRw);
+    }
+}

@@ -1,0 +1,429 @@
+//! Operand specifiers: addressing modes, access types and data sizes.
+//!
+//! Every non-branch operand of an SVX instruction is described in the
+//! instruction stream by a *specifier*: one byte whose high nibble selects
+//! the addressing mode and whose low nibble names a register, possibly
+//! followed by a displacement or immediate. This is the VAX scheme, minus
+//! indexed mode (mode 4), which SVX reserves — a documented simplification
+//! (array code computes its addresses with `ashl`/`addl3` instead).
+//!
+//! Specifier encodings:
+//!
+//! | High nibble | Mode | With `pc` as the register |
+//! |---|---|---|
+//! | `0..=3` | short literal (6-bit, value `byte & 0x3F`) | — |
+//! | `4` | *reserved* (VAX indexed) | — |
+//! | `5` | register `Rn` | reserved |
+//! | `6` | register deferred `(Rn)` | reserved |
+//! | `7` | autodecrement `-(Rn)` | reserved |
+//! | `8` | autoincrement `(Rn)+` | immediate `#imm` |
+//! | `9` | autoincrement deferred `@(Rn)+` | absolute `@#addr` |
+//! | `A` | byte displacement `d8(Rn)` | byte-relative |
+//! | `B` | byte displacement deferred `@d8(Rn)` | byte-relative deferred |
+//! | `C` | word displacement `d16(Rn)` | word-relative |
+//! | `D` | word displacement deferred `@d16(Rn)` | word-relative deferred |
+//! | `E` | long displacement `d32(Rn)` | long-relative |
+//! | `F` | long displacement deferred `@d32(Rn)` | long-relative deferred |
+
+use std::fmt;
+
+/// Operand data size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataSize {
+    /// 8 bits.
+    Byte,
+    /// 16 bits.
+    Word,
+    /// 32 bits.
+    Long,
+}
+
+impl DataSize {
+    /// Size in bytes (1, 2 or 4).
+    pub fn bytes(self) -> u32 {
+        match self {
+            DataSize::Byte => 1,
+            DataSize::Word => 2,
+            DataSize::Long => 4,
+        }
+    }
+
+    /// Size in bits (8, 16 or 32).
+    pub fn bits(self) -> u32 {
+        self.bytes() * 8
+    }
+
+    /// Mask selecting the low `bits()` bits of a longword.
+    pub fn mask(self) -> u32 {
+        match self {
+            DataSize::Byte => 0xFF,
+            DataSize::Word => 0xFFFF,
+            DataSize::Long => 0xFFFF_FFFF,
+        }
+    }
+
+    /// The sign bit for this size.
+    pub fn sign_bit(self) -> u32 {
+        1 << (self.bits() - 1)
+    }
+
+    /// Sign-extends `value` (assumed masked to this size) to 32 bits.
+    pub fn sign_extend(self, value: u32) -> u32 {
+        let v = value & self.mask();
+        if v & self.sign_bit() != 0 {
+            v | !self.mask()
+        } else {
+            v
+        }
+    }
+
+    /// Truncates `value` to this size.
+    pub fn truncate(self, value: u32) -> u32 {
+        value & self.mask()
+    }
+}
+
+impl fmt::Display for DataSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataSize::Byte => f.write_str("b"),
+            DataSize::Word => f.write_str("w"),
+            DataSize::Long => f.write_str("l"),
+        }
+    }
+}
+
+/// How an instruction uses an operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    /// The operand value is read.
+    Read,
+    /// The operand is written.
+    Write,
+    /// The operand is read, then written (e.g. `incl`).
+    Modify,
+    /// The operand's *address* is taken; no data reference is made by the
+    /// specifier itself (e.g. `moval`, `jmp`, `movc3` pointers).
+    Address,
+    /// A branch displacement embedded directly in the instruction stream
+    /// (no specifier byte); the payload is the displacement size.
+    Branch(DataSize),
+}
+
+impl Access {
+    /// Whether this access kind is encoded as an operand specifier (true)
+    /// or as a bare displacement in the instruction stream (false).
+    pub fn has_specifier(self) -> bool {
+        !matches!(self, Access::Branch(_))
+    }
+}
+
+/// One operand slot of an instruction: its access type and data size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OperandSpec {
+    /// How the operand is accessed.
+    pub access: Access,
+    /// The operand's data size.
+    pub size: DataSize,
+}
+
+impl OperandSpec {
+    /// Shorthand constructor.
+    pub const fn new(access: Access, size: DataSize) -> OperandSpec {
+        OperandSpec { access, size }
+    }
+}
+
+/// `.rb` — read byte.
+pub const RB: OperandSpec = OperandSpec::new(Access::Read, DataSize::Byte);
+/// `.rw` — read word.
+pub const RW: OperandSpec = OperandSpec::new(Access::Read, DataSize::Word);
+/// `.rl` — read longword.
+pub const RL: OperandSpec = OperandSpec::new(Access::Read, DataSize::Long);
+/// `.wb` — write byte.
+pub const WB: OperandSpec = OperandSpec::new(Access::Write, DataSize::Byte);
+/// `.ww` — write word.
+pub const WW: OperandSpec = OperandSpec::new(Access::Write, DataSize::Word);
+/// `.wl` — write longword.
+pub const WL: OperandSpec = OperandSpec::new(Access::Write, DataSize::Long);
+/// `.mb` — modify byte.
+pub const MB: OperandSpec = OperandSpec::new(Access::Modify, DataSize::Byte);
+/// `.mw` — modify word.
+pub const MW: OperandSpec = OperandSpec::new(Access::Modify, DataSize::Word);
+/// `.ml` — modify longword.
+pub const ML: OperandSpec = OperandSpec::new(Access::Modify, DataSize::Long);
+/// `.ab` — address of a byte.
+pub const AB: OperandSpec = OperandSpec::new(Access::Address, DataSize::Byte);
+/// `.al` — address of a longword.
+pub const AL: OperandSpec = OperandSpec::new(Access::Address, DataSize::Long);
+/// `.bb` — byte branch displacement.
+pub const BB: OperandSpec = OperandSpec::new(Access::Branch(DataSize::Byte), DataSize::Byte);
+/// `.bw` — word branch displacement.
+pub const BW: OperandSpec = OperandSpec::new(Access::Branch(DataSize::Word), DataSize::Word);
+
+/// Addressing mode of an operand specifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AddrMode {
+    /// 6-bit short literal (specifier high nibble 0–3).
+    Literal,
+    /// `Rn` — the operand lives in a register.
+    Register,
+    /// `(Rn)` — register holds the address.
+    RegDeferred,
+    /// `-(Rn)` — decrement register by operand size, then use as address.
+    AutoDec,
+    /// `(Rn)+` — use register as address, then increment by operand size.
+    /// With `pc`: immediate.
+    AutoInc,
+    /// `@(Rn)+` — register points at a longword holding the address.
+    /// With `pc`: absolute.
+    AutoIncDeferred,
+    /// `d(Rn)` — displacement plus register. Payload is displacement size.
+    Displacement(DataSize),
+    /// `@d(Rn)` — displacement plus register points at the address.
+    DisplacementDeferred(DataSize),
+}
+
+/// Error returned when a specifier byte encodes a reserved addressing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReservedModeError {
+    /// The offending specifier byte.
+    pub specifier: u8,
+}
+
+impl fmt::Display for ReservedModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reserved addressing mode in specifier byte {:#04x}",
+            self.specifier
+        )
+    }
+}
+
+impl std::error::Error for ReservedModeError {}
+
+impl AddrMode {
+    /// Decodes a specifier byte into `(mode, register-nibble)`.
+    ///
+    /// For [`AddrMode::Literal`] the "register" nibble is the low four bits
+    /// of the 6-bit literal; callers wanting the literal value should use
+    /// `specifier & 0x3F`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReservedModeError`] for mode 4 (indexed — reserved in SVX).
+    pub fn decode_specifier(specifier: u8) -> Result<(AddrMode, u8), ReservedModeError> {
+        let reg = specifier & 0x0F;
+        let mode = match specifier >> 4 {
+            0..=3 => AddrMode::Literal,
+            4 => return Err(ReservedModeError { specifier }),
+            5 => AddrMode::Register,
+            6 => AddrMode::RegDeferred,
+            7 => AddrMode::AutoDec,
+            8 => AddrMode::AutoInc,
+            9 => AddrMode::AutoIncDeferred,
+            0xA => AddrMode::Displacement(DataSize::Byte),
+            0xB => AddrMode::DisplacementDeferred(DataSize::Byte),
+            0xC => AddrMode::Displacement(DataSize::Word),
+            0xD => AddrMode::DisplacementDeferred(DataSize::Word),
+            0xE => AddrMode::Displacement(DataSize::Long),
+            0xF => AddrMode::DisplacementDeferred(DataSize::Long),
+            _ => unreachable!("nibble > 15"),
+        };
+        Ok((mode, reg))
+    }
+
+    /// The high nibble this mode encodes to (for non-literal modes).
+    ///
+    /// Literal returns 0; encoders place the literal's high two bits there.
+    pub fn encode_nibble(self) -> u8 {
+        match self {
+            AddrMode::Literal => 0,
+            AddrMode::Register => 5,
+            AddrMode::RegDeferred => 6,
+            AddrMode::AutoDec => 7,
+            AddrMode::AutoInc => 8,
+            AddrMode::AutoIncDeferred => 9,
+            AddrMode::Displacement(DataSize::Byte) => 0xA,
+            AddrMode::DisplacementDeferred(DataSize::Byte) => 0xB,
+            AddrMode::Displacement(DataSize::Word) => 0xC,
+            AddrMode::DisplacementDeferred(DataSize::Word) => 0xD,
+            AddrMode::Displacement(DataSize::Long) => 0xE,
+            AddrMode::DisplacementDeferred(DataSize::Long) => 0xF,
+        }
+    }
+
+    /// Number of extension bytes (displacement/immediate) that follow the
+    /// specifier byte, for an operand of size `op_size`, when the register
+    /// is `reg` (PC matters: autoincrement-PC is an immediate whose length
+    /// is the operand size).
+    pub fn extension_bytes(self, op_size: DataSize, reg: u8) -> u32 {
+        match self {
+            AddrMode::Literal | AddrMode::Register | AddrMode::RegDeferred | AddrMode::AutoDec => {
+                0
+            }
+            AddrMode::AutoInc => {
+                if reg == 15 {
+                    op_size.bytes()
+                } else {
+                    0
+                }
+            }
+            AddrMode::AutoIncDeferred => {
+                if reg == 15 {
+                    4
+                } else {
+                    0
+                }
+            }
+            AddrMode::Displacement(d) | AddrMode::DisplacementDeferred(d) => d.bytes(),
+        }
+    }
+}
+
+impl fmt::Display for AddrMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AddrMode::Literal => f.write_str("literal"),
+            AddrMode::Register => f.write_str("register"),
+            AddrMode::RegDeferred => f.write_str("register deferred"),
+            AddrMode::AutoDec => f.write_str("autodecrement"),
+            AddrMode::AutoInc => f.write_str("autoincrement"),
+            AddrMode::AutoIncDeferred => f.write_str("autoincrement deferred"),
+            AddrMode::Displacement(d) => write!(f, "{d}-displacement"),
+            AddrMode::DisplacementDeferred(d) => write!(f, "{d}-displacement deferred"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_size_arithmetic() {
+        assert_eq!(DataSize::Byte.bytes(), 1);
+        assert_eq!(DataSize::Word.bytes(), 2);
+        assert_eq!(DataSize::Long.bytes(), 4);
+        assert_eq!(DataSize::Byte.mask(), 0xFF);
+        assert_eq!(DataSize::Word.sign_bit(), 0x8000);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(DataSize::Byte.sign_extend(0x80), 0xFFFF_FF80);
+        assert_eq!(DataSize::Byte.sign_extend(0x7F), 0x7F);
+        assert_eq!(DataSize::Word.sign_extend(0xFFFF), 0xFFFF_FFFF);
+        assert_eq!(DataSize::Word.sign_extend(0x1234), 0x1234);
+        assert_eq!(DataSize::Long.sign_extend(0x8000_0000), 0x8000_0000);
+    }
+
+    #[test]
+    fn decode_every_literal_nibble() {
+        for hi in 0u8..=3 {
+            let spec = (hi << 4) | 0x2A & 0x0F;
+            let (mode, _) = AddrMode::decode_specifier(spec).unwrap();
+            assert_eq!(mode, AddrMode::Literal);
+        }
+    }
+
+    #[test]
+    fn decode_register_modes() {
+        assert_eq!(
+            AddrMode::decode_specifier(0x53).unwrap(),
+            (AddrMode::Register, 3)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0x6E).unwrap(),
+            (AddrMode::RegDeferred, 14)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0x7E).unwrap(),
+            (AddrMode::AutoDec, 14)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0x8F).unwrap(),
+            (AddrMode::AutoInc, 15)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0x9F).unwrap(),
+            (AddrMode::AutoIncDeferred, 15)
+        );
+    }
+
+    #[test]
+    fn decode_displacement_modes() {
+        use DataSize::*;
+        assert_eq!(
+            AddrMode::decode_specifier(0xA5).unwrap().0,
+            AddrMode::Displacement(Byte)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0xB5).unwrap().0,
+            AddrMode::DisplacementDeferred(Byte)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0xC5).unwrap().0,
+            AddrMode::Displacement(Word)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0xD5).unwrap().0,
+            AddrMode::DisplacementDeferred(Word)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0xE5).unwrap().0,
+            AddrMode::Displacement(Long)
+        );
+        assert_eq!(
+            AddrMode::decode_specifier(0xF5).unwrap().0,
+            AddrMode::DisplacementDeferred(Long)
+        );
+    }
+
+    #[test]
+    fn indexed_mode_is_reserved() {
+        let err = AddrMode::decode_specifier(0x42).unwrap_err();
+        assert_eq!(err.specifier, 0x42);
+        assert!(err.to_string().contains("0x42"));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        for spec in 0u8..=255 {
+            if spec >> 4 == 4 {
+                continue;
+            }
+            let (mode, reg) = AddrMode::decode_specifier(spec).unwrap();
+            if mode == AddrMode::Literal {
+                continue;
+            }
+            let re = (mode.encode_nibble() << 4) | reg;
+            assert_eq!(re, spec);
+        }
+    }
+
+    #[test]
+    fn extension_byte_counts() {
+        use DataSize::*;
+        assert_eq!(AddrMode::Register.extension_bytes(Long, 3), 0);
+        assert_eq!(AddrMode::AutoInc.extension_bytes(Long, 3), 0);
+        // Immediate: operand-size bytes follow.
+        assert_eq!(AddrMode::AutoInc.extension_bytes(Long, 15), 4);
+        assert_eq!(AddrMode::AutoInc.extension_bytes(Byte, 15), 1);
+        // Absolute: always a longword address.
+        assert_eq!(AddrMode::AutoIncDeferred.extension_bytes(Byte, 15), 4);
+        assert_eq!(AddrMode::Displacement(Word).extension_bytes(Byte, 2), 2);
+        assert_eq!(
+            AddrMode::DisplacementDeferred(Long).extension_bytes(Byte, 2),
+            4
+        );
+    }
+
+    #[test]
+    fn branch_access_has_no_specifier() {
+        assert!(!Access::Branch(DataSize::Byte).has_specifier());
+        assert!(Access::Read.has_specifier());
+        assert!(Access::Address.has_specifier());
+    }
+}

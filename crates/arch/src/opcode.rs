@@ -1,0 +1,412 @@
+//! The SVX opcode map.
+//!
+//! Every instruction is a single opcode byte followed by the operands
+//! described by [`Opcode::operands`]. The mnemonics and operand conventions
+//! are the VAX's; the byte values are SVX's own (documented deviation — the
+//! encoding is regenerated from this table everywhere, so nothing else
+//! depends on the particular numbers).
+
+use crate::mode::{OperandSpec, AB, AL, BB, BW, ML, RB, RL, RW, WB, WL, WW};
+use std::fmt;
+
+macro_rules! opcodes {
+    ($( $(#[doc = $doc:literal])* $name:ident = $byte:literal, $mnem:literal, [$($ops:expr),*]; )+) => {
+        /// An SVX instruction opcode.
+        ///
+        /// See the [module docs](self) for the encoding scheme.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u8)]
+        pub enum Opcode {
+            $( $(#[doc = $doc])* $name = $byte, )+
+        }
+
+        impl Opcode {
+            /// All defined opcodes, in encoding order.
+            pub const ALL: &'static [Opcode] = &[ $(Opcode::$name,)+ ];
+
+            /// Decodes an opcode byte.
+            ///
+            /// Returns `None` for unassigned encodings (which the machine
+            /// turns into a reserved-instruction fault).
+            pub fn from_byte(byte: u8) -> Option<Opcode> {
+                match byte {
+                    $( $byte => Some(Opcode::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The opcode's encoding byte.
+            pub fn to_byte(self) -> u8 {
+                self as u8
+            }
+
+            /// The assembler mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self {
+                    $( Opcode::$name => $mnem, )+
+                }
+            }
+
+            /// Looks an opcode up by mnemonic (lower-case).
+            pub fn from_mnemonic(mnemonic: &str) -> Option<Opcode> {
+                match mnemonic {
+                    $( $mnem => Some(Opcode::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The operand descriptors, in instruction-stream order.
+            pub fn operands(self) -> &'static [OperandSpec] {
+                match self {
+                    $( Opcode::$name => &[$($ops),*], )+
+                }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // ── System control ────────────────────────────────────────────────
+    /// Halt the processor (kernel only).
+    Halt   = 0x00, "halt",   [];
+    /// No operation.
+    Nop    = 0x01, "nop",    [];
+    /// Return from exception or interrupt: pop PC then PSL.
+    Rei    = 0x02, "rei",    [];
+    /// Breakpoint trap.
+    Bpt    = 0x03, "bpt",    [];
+    /// Change mode to kernel: trap through the CHMK vector with a code.
+    Chmk   = 0x04, "chmk",   [RW];
+    /// Save process context into the PCB addressed by the PCBB register.
+    Svpctx = 0x05, "svpctx", [];
+    /// Load process context from the PCB addressed by the PCBB register.
+    Ldpctx = 0x06, "ldpctx", [];
+    /// Move to privileged register (kernel only).
+    Mtpr   = 0x07, "mtpr",   [RL, RL];
+    /// Move from privileged register (kernel only).
+    Mfpr   = 0x08, "mfpr",   [RL, WL];
+
+    // ── Moves and conversions ─────────────────────────────────────────
+    /// Move byte.
+    Movb   = 0x10, "movb",   [RB, WB];
+    /// Move word.
+    Movw   = 0x11, "movw",   [RW, WW];
+    /// Move longword.
+    Movl   = 0x12, "movl",   [RL, WL];
+    /// Move zero-extended byte to longword.
+    Movzbl = 0x13, "movzbl", [RB, WL];
+    /// Move zero-extended word to longword.
+    Movzwl = 0x14, "movzwl", [RW, WL];
+    /// Move complemented longword.
+    Mcoml  = 0x15, "mcoml",  [RL, WL];
+    /// Move negated longword.
+    Mnegl  = 0x16, "mnegl",  [RL, WL];
+    /// Move address of longword operand.
+    Moval  = 0x17, "moval",  [AL, WL];
+    /// Move address of byte operand.
+    Movab  = 0x18, "movab",  [AB, WL];
+    /// Push longword onto the stack.
+    Pushl  = 0x19, "pushl",  [RL];
+    /// Push address of longword operand onto the stack.
+    Pushal = 0x1A, "pushal", [AL];
+    /// Clear byte.
+    Clrb   = 0x1B, "clrb",   [WB];
+    /// Clear word.
+    Clrw   = 0x1C, "clrw",   [WW];
+    /// Clear longword.
+    Clrl   = 0x1D, "clrl",   [WL];
+    /// Convert (sign-extend) byte to longword.
+    Cvtbl  = 0x1E, "cvtbl",  [RB, WL];
+    /// Convert (sign-extend) word to longword.
+    Cvtwl  = 0x1F, "cvtwl",  [RW, WL];
+
+    // ── Integer arithmetic and logic ──────────────────────────────────
+    /// Add longword, two-operand.
+    Addl2  = 0x20, "addl2",  [RL, ML];
+    /// Add longword, three-operand.
+    Addl3  = 0x21, "addl3",  [RL, RL, WL];
+    /// Subtract longword, two-operand (`dst -= src`).
+    Subl2  = 0x22, "subl2",  [RL, ML];
+    /// Subtract longword, three-operand (`dst = b - a`).
+    Subl3  = 0x23, "subl3",  [RL, RL, WL];
+    /// Multiply longword, two-operand.
+    Mull2  = 0x24, "mull2",  [RL, ML];
+    /// Multiply longword, three-operand.
+    Mull3  = 0x25, "mull3",  [RL, RL, WL];
+    /// Divide longword, two-operand (`dst /= src`).
+    Divl2  = 0x26, "divl2",  [RL, ML];
+    /// Divide longword, three-operand (`dst = b / a`).
+    Divl3  = 0x27, "divl3",  [RL, RL, WL];
+    /// Increment longword.
+    Incl   = 0x28, "incl",   [ML];
+    /// Decrement longword.
+    Decl   = 0x29, "decl",   [ML];
+    /// Arithmetic shift longword: positive count shifts left.
+    Ashl   = 0x2A, "ashl",   [RB, RL, WL];
+    /// Exclusive-or longword, two-operand.
+    Xorl2  = 0x2B, "xorl2",  [RL, ML];
+    /// Exclusive-or longword, three-operand.
+    Xorl3  = 0x2C, "xorl3",  [RL, RL, WL];
+    /// Bit set (inclusive or) longword, two-operand.
+    Bisl2  = 0x2D, "bisl2",  [RL, ML];
+    /// Bit set (inclusive or) longword, three-operand.
+    Bisl3  = 0x2E, "bisl3",  [RL, RL, WL];
+    /// Bit clear (and-not) longword, two-operand.
+    Bicl2  = 0x2F, "bicl2",  [RL, ML];
+    /// Bit clear (and-not) longword, three-operand.
+    Bicl3  = 0x30, "bicl3",  [RL, RL, WL];
+    /// Convert (truncate) longword to byte.
+    Cvtlb  = 0x31, "cvtlb",  [RL, WB];
+    /// Convert (truncate) longword to word.
+    Cvtlw  = 0x32, "cvtlw",  [RL, WW];
+
+    // ── Compare and test ──────────────────────────────────────────────
+    /// Compare byte.
+    Cmpb   = 0x34, "cmpb",   [RB, RB];
+    /// Compare word.
+    Cmpw   = 0x35, "cmpw",   [RW, RW];
+    /// Compare longword.
+    Cmpl   = 0x36, "cmpl",   [RL, RL];
+    /// Test byte.
+    Tstb   = 0x37, "tstb",   [RB];
+    /// Test word.
+    Tstw   = 0x38, "tstw",   [RW];
+    /// Test longword.
+    Tstl   = 0x39, "tstl",   [RL];
+    /// Bit test longword (AND, set condition codes, discard result).
+    Bitl   = 0x3A, "bitl",   [RL, RL];
+
+    // ── Branches ──────────────────────────────────────────────────────
+    /// Branch with byte displacement.
+    Brb    = 0x40, "brb",    [BB];
+    /// Branch with word displacement.
+    Brw    = 0x41, "brw",    [BW];
+    /// Branch if not equal (Z clear).
+    Bneq   = 0x42, "bneq",   [BB];
+    /// Branch if equal (Z set).
+    Beql   = 0x43, "beql",   [BB];
+    /// Branch if greater (signed).
+    Bgtr   = 0x44, "bgtr",   [BB];
+    /// Branch if less than or equal (signed).
+    Bleq   = 0x45, "bleq",   [BB];
+    /// Branch if greater than or equal (signed, N clear).
+    Bgeq   = 0x46, "bgeq",   [BB];
+    /// Branch if less than (signed, N set).
+    Blss   = 0x47, "blss",   [BB];
+    /// Branch if greater (unsigned).
+    Bgtru  = 0x48, "bgtru",  [BB];
+    /// Branch if less than or equal (unsigned).
+    Blequ  = 0x49, "blequ",  [BB];
+    /// Branch if overflow clear.
+    Bvc    = 0x4A, "bvc",    [BB];
+    /// Branch if overflow set.
+    Bvs    = 0x4B, "bvs",    [BB];
+    /// Branch if carry clear (unsigned greater or equal).
+    Bcc    = 0x4C, "bcc",    [BB];
+    /// Branch if carry set (unsigned less).
+    Bcs    = 0x4D, "bcs",    [BB];
+
+    // ── Subroutines and loops ─────────────────────────────────────────
+    /// Branch to subroutine, byte displacement (pushes return PC).
+    Bsbb   = 0x50, "bsbb",   [BB];
+    /// Branch to subroutine, word displacement.
+    Bsbw   = 0x51, "bsbw",   [BW];
+    /// Return from subroutine (pops PC).
+    Rsb    = 0x52, "rsb",    [];
+    /// Jump to the operand's address.
+    Jmp    = 0x53, "jmp",    [AB];
+    /// Jump to subroutine at the operand's address (pushes return PC).
+    Jsb    = 0x54, "jsb",    [AB];
+    /// Subtract one and branch if greater than zero.
+    Sobgtr = 0x55, "sobgtr", [ML, BB];
+    /// Subtract one and branch if greater than or equal to zero.
+    Sobgeq = 0x56, "sobgeq", [ML, BB];
+    /// Add one and branch if less than limit.
+    Aoblss = 0x57, "aoblss", [RL, ML, BB];
+    /// Add one and branch if less than or equal to limit.
+    Aobleq = 0x58, "aobleq", [RL, ML, BB];
+
+    // ── Procedure calls ───────────────────────────────────────────────
+    /// Call procedure with stack-argument list and register-save mask.
+    Calls  = 0x5C, "calls",  [RL, AB];
+    /// Return from a `calls` procedure.
+    Ret    = 0x5D, "ret",    [];
+
+    // ── String, block and queue (microcoded showcase) ─────────────────
+    /// Move character string: length, source address, destination address.
+    /// Leaves R0 = 0, R1 = end of source, R3 = end of destination.
+    Movc3  = 0x60, "movc3",  [RL, AB, AB];
+    /// Compare character strings; condition codes reflect the result.
+    Cmpc3  = 0x61, "cmpc3",  [RL, AB, AB];
+    /// Locate character: find byte in string; R0 = bytes remaining,
+    /// R1 = address of match (or end).
+    Locc   = 0x62, "locc",   [RB, RL, AB];
+    /// Insert entry into a doubly-linked queue after the predecessor.
+    Insque = 0x64, "insque", [AB, AB];
+    /// Remove entry from a doubly-linked queue; its address goes to the
+    /// destination. Sets V if the queue was empty.
+    Remque = 0x65, "remque", [AB, WL];
+
+    // ── Bit fields ────────────────────────────────────────────────────
+    /// Extract zero-extended bit field: position, size, base address, dst.
+    Extzv  = 0x68, "extzv",  [RL, RB, AB, WL];
+    /// Insert bit field: source, position, size, base address.
+    Insv   = 0x69, "insv",   [RL, RL, RB, AB];
+
+    // ── Register-mask push/pop ────────────────────────────────────────
+    /// Push the registers named by the mask (bit *n* = `Rn`, R0–R13).
+    Pushr  = 0x6C, "pushr",  [RW];
+    /// Pop the registers named by the mask.
+    Popr   = 0x6D, "popr",   [RW];
+
+    // ── Bit branches (low-bit tests used by kernels) ──────────────────
+    /// Branch on low bit set.
+    Blbs   = 0x70, "blbs",   [RL, BB];
+    /// Branch on low bit clear.
+    Blbc   = 0x71, "blbc",   [RL, BB];
+}
+
+impl Opcode {
+    /// Whether this opcode may only execute in kernel mode.
+    pub fn is_privileged(self) -> bool {
+        matches!(
+            self,
+            Opcode::Halt
+                | Opcode::Rei
+                | Opcode::Svpctx
+                | Opcode::Ldpctx
+                | Opcode::Mtpr
+                | Opcode::Mfpr
+        )
+    }
+
+    /// Whether this opcode is a conditional branch (excluding `brb`/`brw`).
+    pub fn is_conditional_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Bneq
+                | Opcode::Beql
+                | Opcode::Bgtr
+                | Opcode::Bleq
+                | Opcode::Bgeq
+                | Opcode::Blss
+                | Opcode::Bgtru
+                | Opcode::Blequ
+                | Opcode::Bvc
+                | Opcode::Bvs
+                | Opcode::Bcc
+                | Opcode::Bcs
+        )
+    }
+
+    /// The branch with the opposite condition, for assembler branch
+    /// relaxation (`bneq far` becomes `beql .+5; brw far`).
+    pub fn inverted_branch(self) -> Option<Opcode> {
+        Some(match self {
+            Opcode::Bneq => Opcode::Beql,
+            Opcode::Beql => Opcode::Bneq,
+            Opcode::Bgtr => Opcode::Bleq,
+            Opcode::Bleq => Opcode::Bgtr,
+            Opcode::Bgeq => Opcode::Blss,
+            Opcode::Blss => Opcode::Bgeq,
+            Opcode::Bgtru => Opcode::Blequ,
+            Opcode::Blequ => Opcode::Bgtru,
+            Opcode::Bvc => Opcode::Bvs,
+            Opcode::Bvs => Opcode::Bvc,
+            Opcode::Bcc => Opcode::Bcs,
+            Opcode::Bcs => Opcode::Bcc,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::Access;
+
+    #[test]
+    fn byte_round_trip_for_all() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_byte(op.to_byte()), Some(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip_for_all() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op), "{op}");
+        }
+    }
+
+    #[test]
+    fn unknown_encodings_decode_to_none() {
+        let assigned: std::collections::HashSet<u8> =
+            Opcode::ALL.iter().map(|o| o.to_byte()).collect();
+        for byte in 0u8..=255 {
+            assert_eq!(Opcode::from_byte(byte).is_some(), assigned.contains(&byte));
+        }
+    }
+
+    #[test]
+    fn encodings_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.to_byte()), "duplicate encoding for {op}");
+        }
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_lowercase() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            let m = op.mnemonic();
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+            assert_eq!(m, m.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn operand_counts() {
+        assert_eq!(Opcode::Halt.operands().len(), 0);
+        assert_eq!(Opcode::Movl.operands().len(), 2);
+        assert_eq!(Opcode::Addl3.operands().len(), 3);
+        assert_eq!(Opcode::Extzv.operands().len(), 4);
+        assert_eq!(Opcode::Aoblss.operands().len(), 3);
+    }
+
+    #[test]
+    fn branch_operands_are_branch_kind() {
+        for &op in Opcode::ALL {
+            if op.is_conditional_branch() {
+                let ops = op.operands();
+                assert!(matches!(ops.last().unwrap().access, Access::Branch(_)));
+            }
+        }
+    }
+
+    #[test]
+    fn branch_inversion_is_involutive() {
+        for &op in Opcode::ALL {
+            if let Some(inv) = op.inverted_branch() {
+                assert_eq!(inv.inverted_branch(), Some(op));
+                assert_ne!(inv, op);
+            }
+        }
+    }
+
+    #[test]
+    fn privileged_set() {
+        assert!(Opcode::Halt.is_privileged());
+        assert!(Opcode::Mtpr.is_privileged());
+        assert!(Opcode::Ldpctx.is_privileged());
+        assert!(!Opcode::Movl.is_privileged());
+        assert!(!Opcode::Chmk.is_privileged(), "chmk must work from user mode");
+    }
+}

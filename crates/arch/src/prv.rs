@@ -1,0 +1,158 @@
+//! Privileged (internal processor) registers, accessed with `mtpr`/`mfpr`.
+//!
+//! The set mirrors the VAX's where the simulator needs one, plus four
+//! registers the ATUM reproduction adds for trace control (`Tr*`). On the
+//! real 8200 those lived in microcode scratch and were poked from the
+//! console; modelling them as privileged registers keeps the host/harness
+//! interface honest (the patch microcode reads them from micro-scratch, and
+//! the host writes them through the machine's privileged-register file, not
+//! through some Rust back door).
+
+use std::fmt;
+
+macro_rules! prv_regs {
+    ($( $(#[doc = $doc:literal])* $name:ident = $num:literal, $mnem:literal; )+) => {
+        /// A privileged register number.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(u32)]
+        pub enum PrivReg {
+            $( $(#[doc = $doc])* $name = $num, )+
+        }
+
+        impl PrivReg {
+            /// All defined privileged registers.
+            pub const ALL: &'static [PrivReg] = &[ $(PrivReg::$name,)+ ];
+
+            /// Decodes a register number (as supplied to `mtpr`/`mfpr`).
+            pub fn from_number(num: u32) -> Option<PrivReg> {
+                match num {
+                    $( $num => Some(PrivReg::$name), )+
+                    _ => None,
+                }
+            }
+
+            /// The register's number.
+            pub fn number(self) -> u32 {
+                self as u32
+            }
+
+            /// The conventional mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self { $( PrivReg::$name => $mnem, )+ }
+            }
+
+            /// Looks a register up by mnemonic (lower-case).
+            pub fn from_mnemonic(m: &str) -> Option<PrivReg> {
+                match m {
+                    $( $mnem => Some(PrivReg::$name), )+
+                    _ => None,
+                }
+            }
+        }
+    };
+}
+
+prv_regs! {
+    /// Kernel stack pointer (banked; live SP swaps with this on mode change).
+    Ksp = 0, "ksp";
+    /// User stack pointer (banked).
+    Usp = 3, "usp";
+    /// P0 region page-table physical base address.
+    P0br = 8, "p0br";
+    /// P0 region page-table length, in entries.
+    P0lr = 9, "p0lr";
+    /// P1 region page-table physical base address.
+    P1br = 10, "p1br";
+    /// P1 region page-table length, in entries.
+    P1lr = 11, "p1lr";
+    /// System region page-table physical base address.
+    Sbr = 12, "sbr";
+    /// System region page-table length, in entries.
+    Slr = 13, "slr";
+    /// Process control block physical base address.
+    Pcbb = 16, "pcbb";
+    /// System control block (exception vector page) physical base address.
+    Scbb = 17, "scbb";
+    /// Interrupt priority level (writing alters the PSL IPL field).
+    Ipl = 18, "ipl";
+    /// Software interrupt request: writing level *n* requests soft IRQ *n*.
+    Sirr = 19, "sirr";
+    /// Software interrupt summary (pending levels bitmask; read-only).
+    Sisr = 20, "sisr";
+    /// Interval clock control/status: bit 0 run, bit 6 interrupt enable,
+    /// bit 7 interrupt pending (write 1 to clear).
+    Iccs = 24, "iccs";
+    /// Interval clock reload value, in microcycles between ticks.
+    Icr = 25, "icr";
+    /// Console transmit data buffer: writing sends a byte to the console.
+    Txdb = 32, "txdb";
+    /// Console transmit control/status (bit 7: ready; always ready here).
+    Txcs = 33, "txcs";
+    /// Console receive data buffer.
+    Rxdb = 34, "rxdb";
+    /// Console receive control/status (bit 7: byte available).
+    Rxcs = 35, "rxcs";
+    /// ATUM trace control: bit 0 enables capture; bits 8..16 hold the
+    /// current process id stamped into trace records.
+    Trctl = 48, "trctl";
+    /// ATUM trace buffer physical base address.
+    Trbase = 49, "trbase";
+    /// ATUM trace write pointer (physical; advanced by the patch microcode).
+    Trptr = 50, "trptr";
+    /// ATUM trace buffer physical limit (exclusive); reaching it raises the
+    /// buffer-full condition.
+    Trlim = 51, "trlim";
+    /// Memory-management enable: 0 at boot (VA = PA), 1 once the kernel has
+    /// built its page tables.
+    Mapen = 56, "mapen";
+    /// Translation-buffer invalidate all (write-only strobe).
+    Tbia = 57, "tbia";
+    /// Translation-buffer invalidate single (write the VA; write-only).
+    Tbis = 58, "tbis";
+}
+
+impl fmt::Display for PrivReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_round_trip() {
+        for &r in PrivReg::ALL {
+            assert_eq!(PrivReg::from_number(r.number()), Some(r));
+        }
+    }
+
+    #[test]
+    fn mnemonic_round_trip() {
+        for &r in PrivReg::ALL {
+            assert_eq!(PrivReg::from_mnemonic(r.mnemonic()), Some(r));
+        }
+    }
+
+    #[test]
+    fn unknown_numbers_are_none() {
+        assert_eq!(PrivReg::from_number(1), None);
+        assert_eq!(PrivReg::from_number(999), None);
+    }
+
+    #[test]
+    fn numbers_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &r in PrivReg::ALL {
+            assert!(seen.insert(r.number()));
+        }
+    }
+
+    #[test]
+    fn atum_registers_are_contiguous() {
+        assert_eq!(PrivReg::Trctl.number() + 1, PrivReg::Trbase.number());
+        assert_eq!(PrivReg::Trbase.number() + 1, PrivReg::Trptr.number());
+        assert_eq!(PrivReg::Trptr.number() + 1, PrivReg::Trlim.number());
+    }
+}

@@ -1,0 +1,354 @@
+//! The processor status longword (PSL).
+//!
+//! Layout (a compatible subset of the VAX PSL):
+//!
+//! ```text
+//!  31            26  25 24  23 22  20     16        4  3  2  1  0
+//! ┌───────────────┬─────┬──────┬──────────┬─────────┬──┬──┬──┬──┬──┐
+//! │   reserved    │ CUR │ PRV  │   IPL    │reserved │ T│ N│ Z│ V│ C│
+//! └───────────────┴─────┴──────┴──────────┴─────────┴──┴──┴──┴──┴──┘
+//! ```
+//!
+//! * `C V Z N` — the condition codes.
+//! * `T` — the trace (single-step) bit; when set, a [`TraceTrap`] is taken
+//!   after each instruction. The T-bit software tracer baseline in
+//!   `atum-baselines` is built on this, exactly like pre-ATUM trap-driven
+//!   tracers.
+//! * `IPL` — current interrupt priority level, 0–31.
+//! * `CUR`/`PRV` — current and previous CPU mode. SVX implements two of the
+//!   VAX's four modes: kernel (0) and user (3). This is a documented
+//!   simplification; the trace studies only distinguish "operating system"
+//!   from "user" references.
+//!
+//! [`TraceTrap`]: crate::exc::Exception::TraceTrap
+
+use std::fmt;
+
+/// CPU privilege mode.
+///
+/// SVX has two modes where the VAX had four; the encodings (0 and 3) match
+/// the VAX's kernel and user encodings so PSL images look familiar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CpuMode {
+    /// Most privileged mode; MTPR/MFPR and other privileged work allowed.
+    #[default]
+    Kernel,
+    /// Unprivileged mode; all application code runs here.
+    User,
+}
+
+impl CpuMode {
+    /// Decodes a two-bit mode field. Encodings 1 and 2 (the VAX's executive
+    /// and supervisor modes) collapse to [`CpuMode::User`].
+    pub fn from_bits(bits: u32) -> CpuMode {
+        if bits & 0b11 == 0 {
+            CpuMode::Kernel
+        } else {
+            CpuMode::User
+        }
+    }
+
+    /// The two-bit field encoding of this mode.
+    pub fn to_bits(self) -> u32 {
+        match self {
+            CpuMode::Kernel => 0,
+            CpuMode::User => 3,
+        }
+    }
+
+    /// Whether this is kernel mode.
+    pub fn is_kernel(self) -> bool {
+        matches!(self, CpuMode::Kernel)
+    }
+}
+
+impl fmt::Display for CpuMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuMode::Kernel => f.write_str("kernel"),
+            CpuMode::User => f.write_str("user"),
+        }
+    }
+}
+
+/// The processor status longword.
+///
+/// A transparent wrapper over the raw 32-bit image with typed accessors;
+/// exception micro-flows push and pop the raw image, so round-tripping
+/// through [`Psl::bits`] / [`Psl::from_bits`] must be lossless.
+///
+/// ```
+/// use atum_arch::{CpuMode, Psl};
+///
+/// let mut psl = Psl::new();
+/// psl.set_mode(CpuMode::User);
+/// psl.set_z(true);
+/// let image = psl.bits();
+/// assert_eq!(Psl::from_bits(image), psl);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Psl(u32);
+
+impl Psl {
+    /// Carry condition code.
+    pub const C: u32 = 1 << 0;
+    /// Overflow condition code.
+    pub const V: u32 = 1 << 1;
+    /// Zero condition code.
+    pub const Z: u32 = 1 << 2;
+    /// Negative condition code.
+    pub const N: u32 = 1 << 3;
+    /// Trace (single-step) trap enable.
+    pub const T: u32 = 1 << 4;
+    /// Trace-pending internal bit: latched copy of T sampled at the start of
+    /// the instruction so that setting/clearing T takes effect one
+    /// instruction later, as on the VAX.
+    pub const TP: u32 = 1 << 30;
+
+    const IPL_SHIFT: u32 = 16;
+    const IPL_MASK: u32 = 0x1F << Self::IPL_SHIFT;
+    const CUR_SHIFT: u32 = 24;
+    const CUR_MASK: u32 = 0b11 << Self::CUR_SHIFT;
+    const PRV_SHIFT: u32 = 22;
+    const PRV_MASK: u32 = 0b11 << Self::PRV_SHIFT;
+
+    /// Bits that may actually be set in a PSL image; the rest read as zero.
+    pub const VALID_MASK: u32 = Self::C
+        | Self::V
+        | Self::Z
+        | Self::N
+        | Self::T
+        | Self::TP
+        | Self::IPL_MASK
+        | Self::CUR_MASK
+        | Self::PRV_MASK;
+
+    /// A boot-state PSL: kernel mode, IPL 31, no condition codes.
+    pub fn new() -> Psl {
+        let mut p = Psl(0);
+        p.set_ipl(31);
+        p
+    }
+
+    /// Reconstructs a PSL from a raw image, discarding must-be-zero bits.
+    pub fn from_bits(bits: u32) -> Psl {
+        Psl(bits & Self::VALID_MASK)
+    }
+
+    /// The raw 32-bit image.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Carry flag.
+    pub fn c(self) -> bool {
+        self.0 & Self::C != 0
+    }
+
+    /// Overflow flag.
+    pub fn v(self) -> bool {
+        self.0 & Self::V != 0
+    }
+
+    /// Zero flag.
+    pub fn z(self) -> bool {
+        self.0 & Self::Z != 0
+    }
+
+    /// Negative flag.
+    pub fn n(self) -> bool {
+        self.0 & Self::N != 0
+    }
+
+    /// Trace-trap enable flag.
+    pub fn t(self) -> bool {
+        self.0 & Self::T != 0
+    }
+
+    /// Trace-pending flag (internal; see [`Psl::TP`]).
+    pub fn tp(self) -> bool {
+        self.0 & Self::TP != 0
+    }
+
+    /// Sets the carry flag.
+    pub fn set_c(&mut self, on: bool) {
+        self.set_bit(Self::C, on);
+    }
+
+    /// Sets the overflow flag.
+    pub fn set_v(&mut self, on: bool) {
+        self.set_bit(Self::V, on);
+    }
+
+    /// Sets the zero flag.
+    pub fn set_z(&mut self, on: bool) {
+        self.set_bit(Self::Z, on);
+    }
+
+    /// Sets the negative flag.
+    pub fn set_n(&mut self, on: bool) {
+        self.set_bit(Self::N, on);
+    }
+
+    /// Sets the trace-trap enable flag.
+    pub fn set_t(&mut self, on: bool) {
+        self.set_bit(Self::T, on);
+    }
+
+    /// Sets the trace-pending flag.
+    pub fn set_tp(&mut self, on: bool) {
+        self.set_bit(Self::TP, on);
+    }
+
+    /// Writes all four condition codes at once.
+    pub fn set_cc(&mut self, n: bool, z: bool, v: bool, c: bool) {
+        self.set_n(n);
+        self.set_z(z);
+        self.set_v(v);
+        self.set_c(c);
+    }
+
+    /// The current interrupt priority level (0–31).
+    pub fn ipl(self) -> u8 {
+        ((self.0 & Self::IPL_MASK) >> Self::IPL_SHIFT) as u8
+    }
+
+    /// Sets the interrupt priority level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ipl > 31`.
+    pub fn set_ipl(&mut self, ipl: u8) {
+        assert!(ipl < 32, "IPL {ipl} out of range");
+        self.0 = (self.0 & !Self::IPL_MASK) | ((ipl as u32) << Self::IPL_SHIFT);
+    }
+
+    /// The current CPU mode.
+    pub fn mode(self) -> CpuMode {
+        CpuMode::from_bits((self.0 & Self::CUR_MASK) >> Self::CUR_SHIFT)
+    }
+
+    /// Sets the current CPU mode.
+    pub fn set_mode(&mut self, mode: CpuMode) {
+        self.0 = (self.0 & !Self::CUR_MASK) | (mode.to_bits() << Self::CUR_SHIFT);
+    }
+
+    /// The previous CPU mode (recorded on exception entry).
+    pub fn prev_mode(self) -> CpuMode {
+        CpuMode::from_bits((self.0 & Self::PRV_MASK) >> Self::PRV_SHIFT)
+    }
+
+    /// Sets the previous CPU mode.
+    pub fn set_prev_mode(&mut self, mode: CpuMode) {
+        self.0 = (self.0 & !Self::PRV_MASK) | (mode.to_bits() << Self::PRV_SHIFT);
+    }
+
+    /// Whether the CPU is in kernel mode.
+    pub fn is_kernel(self) -> bool {
+        self.mode().is_kernel()
+    }
+
+    fn set_bit(&mut self, bit: u32, on: bool) {
+        if on {
+            self.0 |= bit;
+        } else {
+            self.0 &= !bit;
+        }
+    }
+}
+
+impl fmt::Display for Psl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ipl={} [{}{}{}{}{}]",
+            self.mode(),
+            self.ipl(),
+            if self.n() { 'N' } else { '-' },
+            if self.z() { 'Z' } else { '-' },
+            if self.v() { 'V' } else { '-' },
+            if self.c() { 'C' } else { '-' },
+            if self.t() { 'T' } else { '-' },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_psl_is_kernel_ipl31() {
+        let p = Psl::new();
+        assert!(p.is_kernel());
+        assert_eq!(p.ipl(), 31);
+        assert!(!p.c() && !p.v() && !p.z() && !p.n() && !p.t());
+    }
+
+    #[test]
+    fn condition_codes_round_trip() {
+        let mut p = Psl::new();
+        p.set_cc(true, false, true, false);
+        assert!(p.n());
+        assert!(!p.z());
+        assert!(p.v());
+        assert!(!p.c());
+        p.set_cc(false, true, false, true);
+        assert!(!p.n());
+        assert!(p.z());
+        assert!(!p.v());
+        assert!(p.c());
+    }
+
+    #[test]
+    fn mode_field_round_trips() {
+        let mut p = Psl::new();
+        p.set_mode(CpuMode::User);
+        p.set_prev_mode(CpuMode::Kernel);
+        assert_eq!(p.mode(), CpuMode::User);
+        assert_eq!(p.prev_mode(), CpuMode::Kernel);
+        assert!(!p.is_kernel());
+        let q = Psl::from_bits(p.bits());
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn ipl_round_trips_and_masks() {
+        let mut p = Psl::new();
+        for ipl in 0..32 {
+            p.set_ipl(ipl);
+            assert_eq!(p.ipl(), ipl);
+        }
+    }
+
+    #[test]
+    fn from_bits_discards_reserved() {
+        let p = Psl::from_bits(0xFFFF_FFFF);
+        assert_eq!(p.bits() & !Psl::VALID_MASK, 0);
+        assert_eq!(p.ipl(), 31);
+        assert!(p.t());
+    }
+
+    #[test]
+    fn mode_encodings_match_vax() {
+        assert_eq!(CpuMode::Kernel.to_bits(), 0);
+        assert_eq!(CpuMode::User.to_bits(), 3);
+        assert_eq!(CpuMode::from_bits(0), CpuMode::Kernel);
+        assert_eq!(CpuMode::from_bits(3), CpuMode::User);
+        // Executive/supervisor collapse to user.
+        assert_eq!(CpuMode::from_bits(1), CpuMode::User);
+        assert_eq!(CpuMode::from_bits(2), CpuMode::User);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!Psl::new().to_string().is_empty());
+        assert!(!CpuMode::User.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ipl_out_of_range_panics() {
+        Psl::new().set_ipl(32);
+    }
+}

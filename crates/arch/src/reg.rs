@@ -1,0 +1,138 @@
+//! General-purpose register names.
+//!
+//! SVX has sixteen 32-bit general-purpose registers. As on the VAX, the top
+//! four have architectural roles: `r12` is the argument pointer (AP), `r13`
+//! the frame pointer (FP), `r14` the stack pointer (SP) and `r15` the
+//! program counter (PC). The PC being a general register is what makes the
+//! PC-relative flavours of the addressing modes (immediate, absolute,
+//! relative) fall out of the ordinary specifier encodings.
+
+use std::fmt;
+
+/// A general-purpose register index (`r0`–`r15`).
+///
+/// ```
+/// use atum_arch::Gpr;
+/// assert_eq!(Gpr::SP.index(), 14);
+/// assert_eq!(Gpr::PC.to_string(), "pc");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// The argument pointer (`r12`).
+    pub const AP: Gpr = Gpr(12);
+    /// The frame pointer (`r13`).
+    pub const FP: Gpr = Gpr(13);
+    /// The stack pointer (`r14`).
+    pub const SP: Gpr = Gpr(14);
+    /// The program counter (`r15`).
+    pub const PC: Gpr = Gpr(15);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 15`.
+    pub fn new(index: u8) -> Gpr {
+        assert!(index < 16, "register index {index} out of range");
+        Gpr(index)
+    }
+
+    /// Creates a register from the low four bits of `raw`, ignoring the rest.
+    ///
+    /// This is the decoder-side constructor: operand specifier bytes carry
+    /// the register number in their low nibble.
+    pub fn from_nibble(raw: u8) -> Gpr {
+        Gpr(raw & 0x0F)
+    }
+
+    /// The register's index, in `0..16`.
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Whether this register is the program counter.
+    pub fn is_pc(self) -> bool {
+        self.0 == 15
+    }
+
+    /// Whether this register is the stack pointer.
+    pub fn is_sp(self) -> bool {
+        self.0 == 14
+    }
+
+    /// Iterates over all sixteen registers in index order.
+    pub fn all() -> impl Iterator<Item = Gpr> {
+        (0..16).map(Gpr)
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            12 => f.write_str("ap"),
+            13 => f.write_str("fp"),
+            14 => f.write_str("sp"),
+            15 => f.write_str("pc"),
+            n => write!(f, "r{n}"),
+        }
+    }
+}
+
+impl From<Gpr> for usize {
+    fn from(g: Gpr) -> usize {
+        g.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_have_expected_indices() {
+        assert_eq!(Gpr::AP.index(), 12);
+        assert_eq!(Gpr::FP.index(), 13);
+        assert_eq!(Gpr::SP.index(), 14);
+        assert_eq!(Gpr::PC.index(), 15);
+    }
+
+    #[test]
+    fn from_nibble_masks_high_bits() {
+        assert_eq!(Gpr::from_nibble(0xAB).index(), 0xB);
+        assert_eq!(Gpr::from_nibble(0x05).index(), 5);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Gpr::new(0).to_string(), "r0");
+        assert_eq!(Gpr::new(11).to_string(), "r11");
+        assert_eq!(Gpr::new(12).to_string(), "ap");
+        assert_eq!(Gpr::new(13).to_string(), "fp");
+        assert_eq!(Gpr::new(14).to_string(), "sp");
+        assert_eq!(Gpr::new(15).to_string(), "pc");
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Gpr::PC.is_pc());
+        assert!(!Gpr::SP.is_pc());
+        assert!(Gpr::SP.is_sp());
+        assert!(!Gpr::PC.is_sp());
+    }
+
+    #[test]
+    fn all_yields_sixteen() {
+        let v: Vec<_> = Gpr::all().collect();
+        assert_eq!(v.len(), 16);
+        assert_eq!(v[0], Gpr::new(0));
+        assert_eq!(v[15], Gpr::PC);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_out_of_range() {
+        let _ = Gpr::new(16);
+    }
+}

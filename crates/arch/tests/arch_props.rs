@@ -1,0 +1,107 @@
+//! Property tests on the architecture definitions: field encodings are
+//! lossless and decoders are total over their domains.
+
+use atum_arch::{CpuMode, DataSize, Opcode, Psl, Pte, VirtAddr, PAGE_SIZE};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn psl_image_round_trips(bits in any::<u32>()) {
+        let psl = Psl::from_bits(bits);
+        prop_assert_eq!(Psl::from_bits(psl.bits()), psl);
+        // Rebuilding from the accessors preserves every field. (Raw bits
+        // may differ: SVX collapses the VAX's executive/supervisor mode
+        // encodings onto user mode, deliberately.)
+        let mut rebuilt = Psl::new();
+        rebuilt.set_ipl(psl.ipl());
+        rebuilt.set_mode(psl.mode());
+        rebuilt.set_prev_mode(psl.prev_mode());
+        rebuilt.set_cc(psl.n(), psl.z(), psl.v(), psl.c());
+        rebuilt.set_t(psl.t());
+        rebuilt.set_tp(psl.tp());
+        prop_assert_eq!(rebuilt.ipl(), psl.ipl());
+        prop_assert_eq!(rebuilt.mode(), psl.mode());
+        prop_assert_eq!(rebuilt.prev_mode(), psl.prev_mode());
+        prop_assert_eq!(
+            (rebuilt.n(), rebuilt.z(), rebuilt.v(), rebuilt.c(), rebuilt.t(), rebuilt.tp()),
+            (psl.n(), psl.z(), psl.v(), psl.c(), psl.t(), psl.tp())
+        );
+        // Canonical images are fixed points.
+        prop_assert_eq!(Psl::from_bits(rebuilt.bits()).bits(), rebuilt.bits());
+    }
+
+    #[test]
+    fn psl_field_writes_are_independent(ipl in 0u8..32, n in any::<bool>(), z in any::<bool>()) {
+        let mut psl = Psl::new();
+        psl.set_mode(CpuMode::User);
+        psl.set_ipl(ipl);
+        psl.set_n(n);
+        psl.set_z(z);
+        prop_assert_eq!(psl.ipl(), ipl);
+        prop_assert_eq!(psl.mode(), CpuMode::User);
+        prop_assert_eq!(psl.n(), n);
+        prop_assert_eq!(psl.z(), z);
+    }
+
+    #[test]
+    fn virt_addr_decomposition_recomposes(va in any::<u32>()) {
+        let v = VirtAddr(va);
+        let rebuilt = v.region().base() + v.vpn() * PAGE_SIZE + v.offset();
+        prop_assert_eq!(rebuilt, va);
+        prop_assert_eq!(v.page_base().0 + v.offset(), va);
+        prop_assert_eq!(v.global_vpn(), va >> 9);
+    }
+
+    #[test]
+    fn pte_fields_round_trip(pfn in 0u32..(1 << 21), prot in 0u32..4) {
+        let prot = atum_arch::PageProt::from_bits(prot);
+        let pte = Pte::new(pfn, prot);
+        prop_assert!(pte.valid());
+        prop_assert_eq!(pte.pfn(), pfn);
+        prop_assert_eq!(pte.prot(), prot);
+        prop_assert_eq!(pte.frame_base(), pfn << 9);
+        prop_assert!(pte.with_modified().modified());
+        prop_assert_eq!(pte.with_modified().pfn(), pfn);
+    }
+
+    #[test]
+    fn sign_extension_is_idempotent(v in any::<u32>()) {
+        for size in [DataSize::Byte, DataSize::Word, DataSize::Long] {
+            let once = size.sign_extend(v);
+            prop_assert_eq!(size.sign_extend(once & size.mask()), once);
+            prop_assert_eq!(once & size.mask(), v & size.mask());
+        }
+    }
+
+    #[test]
+    fn opcode_decode_is_total_and_consistent(byte in any::<u8>()) {
+        match Opcode::from_byte(byte) {
+            Some(op) => {
+                prop_assert_eq!(op.to_byte(), byte);
+                prop_assert!(!op.mnemonic().is_empty());
+                prop_assert!(op.operands().len() <= 4);
+            }
+            None => {
+                // Unassigned bytes never collide with a defined opcode.
+                prop_assert!(Opcode::ALL.iter().all(|o| o.to_byte() != byte));
+            }
+        }
+    }
+
+    #[test]
+    fn exception_vectors_stay_in_the_scb_page(code in any::<u16>()) {
+        use atum_arch::Exception;
+        let excs = [
+            Exception::ReservedInstruction,
+            Exception::Chmk(code),
+            Exception::TranslationInvalid(VirtAddr(code as u32)),
+            Exception::TraceTrap,
+        ];
+        for e in excs {
+            prop_assert!(e.vector() < PAGE_SIZE);
+            prop_assert_eq!(e.vector() % 4, 0);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Disassembler: bytes → listing, built on the architectural decoder.
+
+use atum_arch::{DecodeError, DecodedInsn};
+use std::fmt;
+
+/// One disassembled instruction (or a byte the decoder rejected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Disassembly {
+    /// The instruction's address.
+    pub addr: u32,
+    /// The raw bytes consumed.
+    pub bytes: Vec<u8>,
+    /// The rendering: either the instruction text or an error note.
+    pub text: String,
+}
+
+impl fmt::Display for Disassembly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}:  ", self.addr)?;
+        let hex: Vec<String> = self.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        write!(f, "{:<24}  {}", hex.join(" "), self.text)
+    }
+}
+
+/// Disassembles one instruction at `addr` within `bytes` (indexed from
+/// `base`). Returns the disassembly and the next address.
+pub fn disassemble_one(bytes: &[u8], base: u32, addr: u32) -> (Disassembly, u32) {
+    let mut fetch = |a: u32| {
+        let idx = a.wrapping_sub(base) as usize;
+        bytes.get(idx).copied()
+    };
+    match DecodedInsn::decode(addr, &mut fetch) {
+        Ok(insn) => {
+            let start = addr.wrapping_sub(base) as usize;
+            let raw = bytes[start..start + insn.len as usize].to_vec();
+            let next = addr + insn.len;
+            (
+                Disassembly {
+                    addr,
+                    bytes: raw,
+                    text: insn.to_string(),
+                },
+                next,
+            )
+        }
+        Err(e) => {
+            let start = addr.wrapping_sub(base) as usize;
+            let raw = bytes.get(start..start + 1).unwrap_or(&[]).to_vec();
+            let text = match e {
+                DecodeError::Truncated => "<truncated>".to_string(),
+                other => format!("<{other}>"),
+            };
+            (
+                Disassembly {
+                    addr,
+                    bytes: raw,
+                    text,
+                },
+                addr + 1,
+            )
+        }
+    }
+}
+
+/// Disassembles a whole byte region loaded at `base`.
+pub fn disassemble(bytes: &[u8], base: u32) -> Vec<Disassembly> {
+    let mut out = Vec::new();
+    let mut addr = base;
+    let end = base as u64 + bytes.len() as u64;
+    while (addr as u64) < end {
+        let (d, next) = disassemble_one(bytes, base, addr);
+        if d.bytes.is_empty() {
+            break;
+        }
+        out.push(d);
+        addr = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+
+    #[test]
+    fn round_trips_simple_program() {
+        let img = assemble("movl #5, r0\n addl2 r1, r2\n halt\n").unwrap();
+        let listing = disassemble(&img.flatten(), 0);
+        assert_eq!(listing.len(), 3);
+        assert_eq!(listing[0].text, "movl #5, r0");
+        assert_eq!(listing[1].text, "addl2 r1, r2");
+        assert_eq!(listing[2].text, "halt");
+    }
+
+    #[test]
+    fn bad_byte_reported_and_skipped() {
+        let listing = disassemble(&[0xFF, 0x01], 0);
+        assert_eq!(listing.len(), 2);
+        assert!(listing[0].text.contains("unassigned"));
+        assert_eq!(listing[1].text, "nop");
+    }
+
+    #[test]
+    fn display_contains_address_and_hex() {
+        let img = assemble(".org 0x100\n nop\n").unwrap();
+        let listing = disassemble(&img.flatten(), 0x100);
+        let line = listing[0].to_string();
+        assert!(line.starts_with("00000100:"));
+        assert!(line.contains("01"));
+        assert!(line.contains("nop"));
+    }
+
+    #[test]
+    fn truncated_stream() {
+        // movl opcode with no operands following.
+        let listing = disassemble(&[atum_arch::Opcode::Movl.to_byte()], 0);
+        assert_eq!(listing[0].text, "<truncated>");
+    }
+}

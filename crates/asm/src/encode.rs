@@ -1,0 +1,369 @@
+//! Instruction and data encoding.
+//!
+//! [`encode_insn`] is used twice: leniently during layout (undefined
+//! symbols become 0, out-of-range values are truncated — only the *length*
+//! matters there, and length is fully determined by the chosen
+//! [`Form`]s), and strictly in the final pass, where every symbol must
+//! resolve and every value must fit its encoding.
+
+use crate::error::AsmError;
+use crate::expr::{Eval, Expr};
+use crate::image::Image;
+use crate::layout::{BranchKind, Form, LaidProgram, Width};
+use crate::parser::{InsnStmt, OperandAst, StmtKind};
+use atum_arch::{Access, DataSize, Opcode};
+use std::collections::HashMap;
+
+/// Encoding context shared by the lenient and strict passes.
+pub struct EncodeCtx<'a> {
+    /// Symbol table (values as i64 so negative assigns work).
+    pub symbols: &'a HashMap<String, i64>,
+    /// Strict mode: undefined symbols and range overflows are errors.
+    pub strict: bool,
+    /// Source line for errors.
+    pub lineno: u32,
+}
+
+impl EncodeCtx<'_> {
+    fn eval(&self, e: &Expr, dot: i64) -> Result<i64, AsmError> {
+        match e.eval(self.symbols, dot, self.lineno)? {
+            Eval::Value(v) => Ok(v),
+            Eval::Undefined(name) => {
+                if self.strict {
+                    Err(AsmError::new(
+                        self.lineno,
+                        format!("undefined symbol '{name}'"),
+                    ))
+                } else {
+                    Ok(0)
+                }
+            }
+        }
+    }
+
+    fn check_signed(&self, v: i64, width: Width, what: &str) -> Result<(), AsmError> {
+        if !self.strict {
+            return Ok(());
+        }
+        let (lo, hi) = width.signed_range();
+        if v < lo || v > hi {
+            return Err(AsmError::new(
+                self.lineno,
+                format!("{what} {v} does not fit in {width:?} displacement"),
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_sized_value(&self, v: i64, size: DataSize, what: &str) -> Result<(), AsmError> {
+        if !self.strict {
+            return Ok(());
+        }
+        let bits = size.bits();
+        let lo = -(1i64 << (bits - 1));
+        let hi = (1i64 << bits) - 1;
+        if v < lo || v > hi {
+            return Err(AsmError::new(
+                self.lineno,
+                format!("{what} {v} does not fit in {} bits", bits),
+            ));
+        }
+        Ok(())
+    }
+}
+
+fn push_sized(out: &mut Vec<u8>, v: i64, size: DataSize) {
+    let v = v as u64;
+    for i in 0..size.bytes() {
+        out.push((v >> (8 * i)) as u8);
+    }
+}
+
+/// Encodes one instruction at `addr` with the given operand forms.
+pub fn encode_insn(
+    insn: &InsnStmt,
+    forms: &[Form],
+    far: bool,
+    addr: u32,
+    ctx: &EncodeCtx<'_>,
+) -> Result<Vec<u8>, AsmError> {
+    let kind = BranchKind::of(insn.opcode);
+    let specs = insn.opcode.operands();
+    debug_assert_eq!(specs.len(), insn.operands.len());
+    debug_assert_eq!(specs.len(), forms.len());
+
+    let mut out = Vec::with_capacity(8);
+    // Opcode byte; relaxed byte-displacement branches swap to the wide form.
+    let opcode_byte = if far {
+        match kind {
+            BranchKind::Plain { wide: Some(w) } => w.to_byte(),
+            BranchKind::Cond => insn
+                .opcode
+                .inverted_branch()
+                .expect("conditional branch invertible")
+                .to_byte(),
+            _ => insn.opcode.to_byte(),
+        }
+    } else {
+        insn.opcode.to_byte()
+    };
+    out.push(opcode_byte);
+
+    for (i, ((ast, spec), form)) in insn
+        .operands
+        .iter()
+        .zip(specs.iter())
+        .zip(forms.iter())
+        .enumerate()
+    {
+        match spec.access {
+            Access::Branch(disp_size) => {
+                encode_branch(
+                    insn, kind, disp_size, ast, far, addr, &mut out, ctx, i,
+                )?;
+            }
+            access => {
+                encode_specifier(ast, access, spec.size, *form, addr, &mut out, ctx)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_branch(
+    insn: &InsnStmt,
+    kind: BranchKind,
+    disp_size: DataSize,
+    ast: &OperandAst,
+    far: bool,
+    addr: u32,
+    out: &mut Vec<u8>,
+    ctx: &EncodeCtx<'_>,
+    _index: usize,
+) -> Result<(), AsmError> {
+    let target = match ast {
+        OperandAst::Relative {
+            expr,
+            deferred: false,
+        } => ctx.eval(expr, addr as i64)?,
+        other => {
+            return Err(AsmError::new(
+                ctx.lineno,
+                format!("branch target must be a plain address expression, not {other:?}"),
+            ))
+        }
+    };
+
+    if !far {
+        let pos_after = addr as i64 + out.len() as i64 + disp_size.bytes() as i64;
+        let disp = target - pos_after;
+        let width = match disp_size {
+            DataSize::Byte => Width::B,
+            DataSize::Word => Width::W,
+            DataSize::Long => Width::L,
+        };
+        ctx.check_signed(disp, width, "branch displacement")?;
+        push_sized(out, disp, disp_size);
+        return Ok(());
+    }
+
+    match kind {
+        // brb/bsbb relaxed: opcode already swapped to the wide form.
+        BranchKind::Plain { wide: Some(_) } => {
+            let pos_after = addr as i64 + out.len() as i64 + 2;
+            let disp = target - pos_after;
+            ctx.check_signed(disp, Width::W, "branch displacement")?;
+            push_sized(out, disp, DataSize::Word);
+        }
+        // Inverted conditional over an unconditional wide branch:
+        //   [inv][+3][brw][d16]
+        BranchKind::Cond => {
+            out.push(3); // skip the 3-byte brw when the inverted test is true
+            out.push(Opcode::Brw.to_byte());
+            let pos_after = addr as i64 + out.len() as i64 + 2;
+            let disp = target - pos_after;
+            ctx.check_signed(disp, Width::W, "branch displacement")?;
+            push_sized(out, disp, DataSize::Word);
+        }
+        // Loop/bit branches keep their semantics and trampoline out:
+        //   [op][specs][+2][brb +3][brw d16]
+        BranchKind::Trailing => {
+            out.push(2); // taken path: hop to the brw
+            out.push(Opcode::Brb.to_byte());
+            out.push(3); // fall-through path: hop over the brw
+            out.push(Opcode::Brw.to_byte());
+            let pos_after = addr as i64 + out.len() as i64 + 2;
+            let disp = target - pos_after;
+            ctx.check_signed(disp, Width::W, "branch displacement")?;
+            push_sized(out, disp, DataSize::Word);
+        }
+        BranchKind::Plain { wide: None } | BranchKind::NotABranch => {
+            return Err(AsmError::new(
+                ctx.lineno,
+                format!("internal: {} cannot be relaxed", insn.opcode),
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn encode_specifier(
+    ast: &OperandAst,
+    access: Access,
+    size: DataSize,
+    form: Form,
+    addr: u32,
+    out: &mut Vec<u8>,
+    ctx: &EncodeCtx<'_>,
+) -> Result<(), AsmError> {
+    let writable = matches!(access, Access::Write | Access::Modify);
+    let err = |msg: String| Err(AsmError::new(ctx.lineno, msg));
+    match ast {
+        OperandAst::Immediate(e) => {
+            if writable || access == Access::Address {
+                return err("immediate operand cannot be a destination or address".into());
+            }
+            let v = ctx.eval(e, addr as i64)?;
+            match form {
+                Form::Literal => {
+                    debug_assert!((0..=63).contains(&v) || !ctx.strict);
+                    out.push((v & 0x3F) as u8);
+                }
+                _ => {
+                    ctx.check_sized_value(v, size, "immediate")?;
+                    out.push(0x8F);
+                    push_sized(out, v, size);
+                }
+            }
+        }
+        OperandAst::Absolute(e) => {
+            let v = ctx.eval(e, addr as i64)?;
+            out.push(0x9F);
+            push_sized(out, v, DataSize::Long);
+        }
+        OperandAst::Register(r) => {
+            if access == Access::Address {
+                return err(format!("register {r} has no address"));
+            }
+            if r.is_pc() {
+                return err("pc is not usable in register mode".into());
+            }
+            out.push(0x50 | r.index());
+        }
+        OperandAst::RegDeferred(r) => {
+            if r.is_pc() {
+                return err("pc is not usable in register-deferred mode".into());
+            }
+            out.push(0x60 | r.index());
+        }
+        OperandAst::AutoDec(r) => {
+            if r.is_pc() {
+                return err("pc is not usable in autodecrement mode".into());
+            }
+            out.push(0x70 | r.index());
+        }
+        OperandAst::AutoInc(r) => {
+            if r.is_pc() {
+                return err("write immediates as #value, not (pc)+".into());
+            }
+            out.push(0x80 | r.index());
+        }
+        OperandAst::AutoIncDeferred(r) => {
+            if r.is_pc() {
+                return err("write absolute as @#addr, not @(pc)+".into());
+            }
+            out.push(0x90 | r.index());
+        }
+        OperandAst::Displacement {
+            expr,
+            reg,
+            deferred,
+        } => {
+            let v = ctx.eval(expr, addr as i64)?;
+            let width = form.width().unwrap_or(Width::L);
+            ctx.check_signed(v, width, "displacement")?;
+            out.push(width.mode_nibble(*deferred) << 4 | reg.index());
+            push_sized(out, v, width.data_size());
+        }
+        OperandAst::Relative { expr, deferred } => {
+            let target = ctx.eval(expr, addr as i64)?;
+            let width = form.width().unwrap_or(Width::L);
+            let pos_after = addr as i64 + out.len() as i64 + 1 + width.data_size().bytes() as i64;
+            let disp = target - pos_after;
+            ctx.check_signed(disp, width, "pc-relative displacement")?;
+            out.push(width.mode_nibble(*deferred) << 4 | 0x0F);
+            push_sized(out, disp, width.data_size());
+        }
+    }
+    Ok(())
+}
+
+/// Final strict pass: turns a laid-out program into an [`Image`].
+pub fn encode(laid: LaidProgram) -> Result<Image, AsmError> {
+    let mut segments: Vec<(u32, Vec<u8>)> = Vec::new();
+    let mut current: Option<(u32, Vec<u8>)> = None;
+
+    let flush = |current: &mut Option<(u32, Vec<u8>)>, segments: &mut Vec<(u32, Vec<u8>)>| {
+        if let Some(seg) = current.take() {
+            if !seg.1.is_empty() {
+                segments.push(seg);
+            }
+        }
+    };
+
+    for ls in &laid.stmts {
+        let ctx = EncodeCtx {
+            symbols: &laid.symbols,
+            strict: true,
+            lineno: ls.stmt.lineno,
+        };
+        // Start or continue a segment at this statement's address.
+        let need_new = match &current {
+            Some((a, b)) => *a as u64 + b.len() as u64 != ls.addr as u64,
+            None => true,
+        };
+        if need_new {
+            flush(&mut current, &mut segments);
+            current = Some((ls.addr, Vec::new()));
+        }
+        let buf = &mut current.as_mut().expect("segment open").1;
+
+        match &ls.stmt.kind {
+            None | Some(StmtKind::Assign(..)) | Some(StmtKind::Org(_)) => {}
+            Some(StmtKind::Align(_)) | Some(StmtKind::Space(..)) => {
+                let fill = match &ls.stmt.kind {
+                    Some(StmtKind::Space(_, f)) => *f,
+                    _ => 0,
+                };
+                buf.extend(std::iter::repeat_n(fill, ls.size as usize));
+            }
+            Some(StmtKind::Data(size, exprs)) => {
+                for e in exprs {
+                    let v = ctx.eval(e, ls.addr as i64)?;
+                    ctx.check_sized_value(v, *size, "data value")?;
+                    push_sized(buf, v, *size);
+                }
+            }
+            Some(StmtKind::Bytes(bytes)) => buf.extend_from_slice(bytes),
+            Some(StmtKind::Insn(insn)) => {
+                let bytes = encode_insn(insn, &ls.forms, ls.far, ls.addr, &ctx)?;
+                debug_assert_eq!(
+                    bytes.len() as u32,
+                    ls.size,
+                    "layout/encode length disagreement at line {}",
+                    ls.stmt.lineno
+                );
+                buf.extend_from_slice(&bytes);
+            }
+        }
+    }
+    flush(&mut current, &mut segments);
+
+    let symbols = laid
+        .symbols
+        .iter()
+        .map(|(k, v)| (k.clone(), *v as u32))
+        .collect();
+    Ok(Image::from_parts(segments, symbols))
+}

@@ -1,0 +1,350 @@
+//! Constant-expression AST and evaluation.
+//!
+//! Expressions combine numbers, symbols, the location counter `.`, unary
+//! minus/complement and the binary operators `+ - * / & | ^ << >>` with the
+//! usual precedence. Evaluation happens against the layout's symbol table;
+//! a symbol may be undefined during early layout iterations, which the
+//! layout treats as "assume the widest form".
+
+use crate::error::AsmError;
+use crate::lexer::Token;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A constant expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Symbol reference (including numeric-local references like `1b`).
+    Sym(String),
+    /// The location counter at the start of the operand's statement.
+    Dot,
+    /// Negation.
+    Neg(Box<Expr>),
+    /// Bitwise complement (written as unary `^`).
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// Outcome of evaluating an expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Eval {
+    /// Fully evaluated.
+    Value(i64),
+    /// A symbol was not (yet) defined.
+    Undefined(String),
+}
+
+impl Expr {
+    /// Evaluates against `symbols`, with `dot` as the location counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for division by zero; undefined symbols are *not*
+    /// errors here (the caller decides whether they are).
+    pub fn eval(
+        &self,
+        symbols: &HashMap<String, i64>,
+        dot: i64,
+        lineno: u32,
+    ) -> Result<Eval, AsmError> {
+        Ok(match self {
+            Expr::Num(v) => Eval::Value(*v),
+            Expr::Dot => Eval::Value(dot),
+            Expr::Sym(name) => match symbols.get(name) {
+                Some(v) => Eval::Value(*v),
+                None => Eval::Undefined(name.clone()),
+            },
+            Expr::Neg(e) => match e.eval(symbols, dot, lineno)? {
+                Eval::Value(v) => Eval::Value(v.wrapping_neg()),
+                u => u,
+            },
+            Expr::Not(e) => match e.eval(symbols, dot, lineno)? {
+                Eval::Value(v) => Eval::Value(!v),
+                u => u,
+            },
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(symbols, dot, lineno)?;
+                let b = b.eval(symbols, dot, lineno)?;
+                match (a, b) {
+                    (Eval::Value(a), Eval::Value(b)) => Eval::Value(match op {
+                        BinOp::Add => a.wrapping_add(b),
+                        BinOp::Sub => a.wrapping_sub(b),
+                        BinOp::Mul => a.wrapping_mul(b),
+                        BinOp::Div => {
+                            if b == 0 {
+                                return Err(AsmError::new(lineno, "division by zero"));
+                            }
+                            a.wrapping_div(b)
+                        }
+                        BinOp::And => a & b,
+                        BinOp::Or => a | b,
+                        BinOp::Xor => a ^ b,
+                        BinOp::Shl => a.wrapping_shl(b as u32),
+                        BinOp::Shr => ((a as u64).wrapping_shr(b as u32)) as i64,
+                    }),
+                    (Eval::Undefined(s), _) | (_, Eval::Undefined(s)) => Eval::Undefined(s),
+                }
+            }
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Num(v) => write!(f, "{v}"),
+            Expr::Sym(s) => f.write_str(s),
+            Expr::Dot => f.write_str("."),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Not(e) => write!(f, "^({e})"),
+            Expr::Bin(op, a, b) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::Div => "/",
+                    BinOp::And => "&",
+                    BinOp::Or => "|",
+                    BinOp::Xor => "^",
+                    BinOp::Shl => "<<",
+                    BinOp::Shr => ">>",
+                };
+                write!(f, "({a} {sym} {b})")
+            }
+        }
+    }
+}
+
+/// A cursor over a token slice, shared by the expression and statement
+/// parsers.
+pub struct TokCursor<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    /// 1-based source line, for errors.
+    pub lineno: u32,
+}
+
+impl<'a> TokCursor<'a> {
+    /// Creates a cursor at the start of `toks`.
+    pub fn new(toks: &'a [Token], lineno: u32) -> TokCursor<'a> {
+        TokCursor {
+            toks,
+            pos: 0,
+            lineno,
+        }
+    }
+
+    /// Peeks at the current token.
+    pub fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    /// Peeks `n` tokens ahead.
+    pub fn peek_at(&self, n: usize) -> Option<&'a Token> {
+        self.toks.get(self.pos + n)
+    }
+
+    /// Consumes and returns the current token.
+    pub fn next(&mut self) -> Option<&'a Token> {
+        let t = self.toks.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consumes the current token if it equals `tok`.
+    pub fn eat(&mut self, tok: &Token) -> bool {
+        if self.peek() == Some(tok) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes `tok` or errors.
+    pub fn expect(&mut self, tok: &Token, what: &str) -> Result<(), AsmError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(AsmError::new(self.lineno, format!("expected {what}")))
+        }
+    }
+
+    /// Whether the cursor is exhausted.
+    pub fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError::new(self.lineno, msg)
+    }
+}
+
+/// Parses an expression at the cursor (precedence-climbing).
+pub fn parse_expr(cur: &mut TokCursor<'_>) -> Result<Expr, AsmError> {
+    parse_bin(cur, 0)
+}
+
+fn prec(tok: &Token) -> Option<(BinOp, u8)> {
+    Some(match tok {
+        Token::Pipe => (BinOp::Or, 1),
+        Token::Caret => (BinOp::Xor, 2),
+        Token::Amp => (BinOp::And, 3),
+        Token::Shl => (BinOp::Shl, 4),
+        Token::Shr => (BinOp::Shr, 4),
+        Token::Plus => (BinOp::Add, 5),
+        Token::Minus => (BinOp::Sub, 5),
+        Token::Star => (BinOp::Mul, 6),
+        Token::Slash => (BinOp::Div, 6),
+        _ => return None,
+    })
+}
+
+fn parse_bin(cur: &mut TokCursor<'_>, min_prec: u8) -> Result<Expr, AsmError> {
+    let mut lhs = parse_unary(cur)?;
+    while let Some(tok) = cur.peek() {
+        let Some((op, p)) = prec(tok) else { break };
+        if p < min_prec {
+            break;
+        }
+        cur.next();
+        let rhs = parse_bin(cur, p + 1)?;
+        lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+    }
+    Ok(lhs)
+}
+
+fn parse_unary(cur: &mut TokCursor<'_>) -> Result<Expr, AsmError> {
+    match cur.peek() {
+        Some(Token::Minus) => {
+            cur.next();
+            Ok(Expr::Neg(Box::new(parse_unary(cur)?)))
+        }
+        Some(Token::Caret) => {
+            cur.next();
+            Ok(Expr::Not(Box::new(parse_unary(cur)?)))
+        }
+        Some(Token::Number(v)) => {
+            let v = *v;
+            cur.next();
+            Ok(Expr::Num(v))
+        }
+        Some(Token::Ident(s)) => {
+            let s = s.clone();
+            cur.next();
+            Ok(Expr::Sym(s))
+        }
+        Some(Token::Dot) => {
+            cur.next();
+            Ok(Expr::Dot)
+        }
+        Some(Token::LParen) => {
+            cur.next();
+            let e = parse_bin(cur, 0)?;
+            cur.expect(&Token::RParen, "')'")?;
+            Ok(e)
+        }
+        other => Err(cur.err(format!("expected expression, found {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse(src: &str) -> Expr {
+        let toks = tokenize(src, 1).unwrap();
+        let mut cur = TokCursor::new(&toks, 1);
+        let e = parse_expr(&mut cur).unwrap();
+        assert!(cur.at_end(), "trailing tokens in {src:?}");
+        e
+    }
+
+    fn eval(src: &str) -> i64 {
+        let e = parse(src);
+        match e.eval(&HashMap::new(), 0x100, 1).unwrap() {
+            Eval::Value(v) => v,
+            Eval::Undefined(s) => panic!("undefined {s}"),
+        }
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(eval("2 + 3 * 4"), 14);
+        assert_eq!(eval("(2 + 3) * 4"), 20);
+        assert_eq!(eval("1 << 4 | 3"), 19);
+        assert_eq!(eval("0xFF & 0x0F"), 0x0F);
+        assert_eq!(eval("10 - 2 - 3"), 5, "left associative");
+        assert_eq!(eval("16 >> 2"), 4);
+    }
+
+    #[test]
+    fn unary_ops() {
+        assert_eq!(eval("-5 + 3"), -2);
+        assert_eq!(eval("^0 & 0xFF"), 0xFF);
+        assert_eq!(eval("--5"), 5);
+    }
+
+    #[test]
+    fn dot_is_location() {
+        assert_eq!(eval(". + 4"), 0x104);
+    }
+
+    #[test]
+    fn symbols_resolve() {
+        let e = parse("base + 8");
+        let mut syms = HashMap::new();
+        syms.insert("base".to_string(), 0x200);
+        assert_eq!(e.eval(&syms, 0, 1).unwrap(), Eval::Value(0x208));
+    }
+
+    #[test]
+    fn undefined_symbol_reported() {
+        let e = parse("nowhere + 1");
+        assert_eq!(
+            e.eval(&HashMap::new(), 0, 1).unwrap(),
+            Eval::Undefined("nowhere".to_string())
+        );
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let e = parse("1 / 0");
+        assert!(e.eval(&HashMap::new(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_structure() {
+        let e = parse("1 + 2 * x");
+        assert_eq!(e.to_string(), "(1 + (2 * x))");
+    }
+}

@@ -1,0 +1,133 @@
+//! Assembled output image.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// The result of assembling a source file: byte segments at absolute
+/// addresses plus the symbol table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Image {
+    segments: Vec<(u32, Vec<u8>)>,
+    symbols: HashMap<String, u32>,
+}
+
+impl Image {
+    /// Creates an image from raw parts. Adjacent segments are merged.
+    pub fn from_parts(mut segments: Vec<(u32, Vec<u8>)>, symbols: HashMap<String, u32>) -> Image {
+        segments.retain(|(_, b)| !b.is_empty());
+        segments.sort_by_key(|(a, _)| *a);
+        let mut merged: Vec<(u32, Vec<u8>)> = Vec::new();
+        for (addr, bytes) in segments {
+            if let Some((last_addr, last_bytes)) = merged.last_mut() {
+                if *last_addr as u64 + last_bytes.len() as u64 == addr as u64 {
+                    last_bytes.extend_from_slice(&bytes);
+                    continue;
+                }
+            }
+            merged.push((addr, bytes));
+        }
+        Image {
+            segments: merged,
+            symbols,
+        }
+    }
+
+    /// The contiguous byte segments, sorted by address.
+    pub fn segments(&self) -> &[(u32, Vec<u8>)] {
+        &self.segments
+    }
+
+    /// The value of a symbol, if defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All symbols.
+    pub fn symbols(&self) -> &HashMap<String, u32> {
+        &self.symbols
+    }
+
+    /// The lowest address occupied, or 0 for an empty image.
+    pub fn base(&self) -> u32 {
+        self.segments.first().map_or(0, |(a, _)| *a)
+    }
+
+    /// One past the highest address occupied, or 0 for an empty image.
+    pub fn end(&self) -> u32 {
+        self.segments
+            .last()
+            .map_or(0, |(a, b)| a + b.len() as u32)
+    }
+
+    /// Flattens to a single byte vector starting at [`Image::base`], with
+    /// zero fill between segments.
+    pub fn flatten(&self) -> Vec<u8> {
+        if self.segments.is_empty() {
+            return Vec::new();
+        }
+        let base = self.base();
+        let mut out = vec![0u8; (self.end() - base) as usize];
+        for (addr, bytes) in &self.segments {
+            let off = (addr - base) as usize;
+            out[off..off + bytes.len()].copy_from_slice(bytes);
+        }
+        out
+    }
+
+    /// Total number of content bytes (excluding inter-segment fill).
+    pub fn byte_len(&self) -> usize {
+        self.segments.iter().map(|(_, b)| b.len()).sum()
+    }
+}
+
+impl fmt::Display for Image {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "image: {} bytes in {} segment(s), {} symbol(s)",
+            self.byte_len(),
+            self.segments.len(),
+            self.symbols.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merges_adjacent_segments() {
+        let img = Image::from_parts(
+            vec![(0, vec![1, 2]), (2, vec![3]), (10, vec![4])],
+            HashMap::new(),
+        );
+        assert_eq!(img.segments().len(), 2);
+        assert_eq!(img.segments()[0], (0, vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn flatten_fills_gaps_with_zero() {
+        let img = Image::from_parts(vec![(4, vec![1]), (8, vec![2])], HashMap::new());
+        assert_eq!(img.base(), 4);
+        assert_eq!(img.end(), 9);
+        assert_eq!(img.flatten(), vec![1, 0, 0, 0, 2]);
+    }
+
+    #[test]
+    fn empty_image() {
+        let img = Image::default();
+        assert_eq!(img.base(), 0);
+        assert_eq!(img.end(), 0);
+        assert!(img.flatten().is_empty());
+    }
+
+    #[test]
+    fn symbols_accessible() {
+        let mut syms = HashMap::new();
+        syms.insert("x".to_string(), 42);
+        let img = Image::from_parts(vec![], syms);
+        assert_eq!(img.symbol("x"), Some(42));
+        assert_eq!(img.symbol("y"), None);
+    }
+}

@@ -1,0 +1,581 @@
+//! Layout: assign addresses and choose operand encodings to a fixpoint.
+//!
+//! Forms only ever *grow* (literal → immediate, byte → word → long
+//! displacement, near → far branch), so iterating layout until nothing
+//! changes terminates. The classic two-pass assembler is the degenerate
+//! case where one growth round suffices.
+
+use crate::encode::{encode_insn, EncodeCtx};
+use crate::error::AsmError;
+use crate::expr::{Eval, Expr};
+use crate::parser::{OperandAst, Stmt, StmtKind};
+use atum_arch::{Access, DataSize, Opcode};
+use std::collections::{HashMap, HashSet};
+
+/// Displacement width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Width {
+    /// Byte.
+    B,
+    /// Word.
+    W,
+    /// Longword.
+    L,
+}
+
+impl Width {
+    /// The signed range representable at this width.
+    pub fn signed_range(self) -> (i64, i64) {
+        match self {
+            Width::B => (i8::MIN as i64, i8::MAX as i64),
+            Width::W => (i16::MIN as i64, i16::MAX as i64),
+            Width::L => (i32::MIN as i64, i32::MAX as i64),
+        }
+    }
+
+    /// The corresponding operand data size.
+    pub fn data_size(self) -> DataSize {
+        match self {
+            Width::B => DataSize::Byte,
+            Width::W => DataSize::Word,
+            Width::L => DataSize::Long,
+        }
+    }
+
+    /// Addressing-mode high nibble for a displacement of this width.
+    pub fn mode_nibble(self, deferred: bool) -> u8 {
+        let base = match self {
+            Width::B => 0xA,
+            Width::W => 0xC,
+            Width::L => 0xE,
+        };
+        base + deferred as u8
+    }
+
+    /// The smallest width whose signed range contains `v`.
+    pub fn fitting(v: i64) -> Width {
+        if (i8::MIN as i64..=i8::MAX as i64).contains(&v) {
+            Width::B
+        } else if (i16::MIN as i64..=i16::MAX as i64).contains(&v) {
+            Width::W
+        } else {
+            Width::L
+        }
+    }
+}
+
+/// The chosen encoding form for one operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Form {
+    /// Fixed-size operand (register forms, absolute, branch displacement).
+    Fixed,
+    /// `#n` encoded as a 6-bit short literal.
+    Literal,
+    /// `#n` encoded as a full immediate.
+    Immediate,
+    /// Displacement or PC-relative operand at the given width.
+    Disp(Width),
+}
+
+impl Form {
+    /// The displacement width, if this is a displacement form.
+    pub fn width(self) -> Option<Width> {
+        match self {
+            Form::Disp(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// How an opcode participates in branch relaxation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BranchKind {
+    /// Not a branch.
+    NotABranch,
+    /// `brb`/`bsbb` (relax by swapping to `wide`), or `brw`/`bsbw`
+    /// (already wide; `wide` is `None`).
+    Plain {
+        /// The wide twin, if this is the byte form.
+        wide: Option<Opcode>,
+    },
+    /// A conditional branch: relax by inverting over a `brw`.
+    Cond,
+    /// `sobgtr`/`aoblss`/`blbs`/… — loop and bit branches with leading
+    /// operand specifiers; relax through a two-hop trampoline.
+    Trailing,
+}
+
+impl BranchKind {
+    /// Classifies an opcode.
+    pub fn of(op: Opcode) -> BranchKind {
+        match op {
+            Opcode::Brb => BranchKind::Plain {
+                wide: Some(Opcode::Brw),
+            },
+            Opcode::Bsbb => BranchKind::Plain {
+                wide: Some(Opcode::Bsbw),
+            },
+            Opcode::Brw | Opcode::Bsbw => BranchKind::Plain { wide: None },
+            Opcode::Sobgtr
+            | Opcode::Sobgeq
+            | Opcode::Aoblss
+            | Opcode::Aobleq
+            | Opcode::Blbs
+            | Opcode::Blbc => BranchKind::Trailing,
+            op if op.is_conditional_branch() => BranchKind::Cond,
+            _ => BranchKind::NotABranch,
+        }
+    }
+
+    /// Whether this kind can grow from near to far.
+    pub fn relaxable(self) -> bool {
+        !matches!(
+            self,
+            BranchKind::NotABranch | BranchKind::Plain { wide: None }
+        )
+    }
+}
+
+/// A statement with its resolved address, operand forms and size.
+#[derive(Debug, Clone)]
+pub struct LaidStmt {
+    /// The statement.
+    pub stmt: Stmt,
+    /// Assigned address.
+    pub addr: u32,
+    /// Chosen operand forms (instructions only; empty otherwise).
+    pub forms: Vec<Form>,
+    /// Whether the branch (if any) uses the far form.
+    pub far: bool,
+    /// Encoded size in bytes.
+    pub size: u32,
+}
+
+/// A fully laid-out program, ready for strict encoding.
+#[derive(Debug, Clone)]
+pub struct LaidProgram {
+    /// Statements with addresses and forms.
+    pub stmts: Vec<LaidStmt>,
+    /// Final symbol table.
+    pub symbols: HashMap<String, i64>,
+}
+
+/// Runs layout to a fixpoint.
+pub fn layout(stmts: Vec<Stmt>) -> Result<LaidProgram, AsmError> {
+    check_duplicate_definitions(&stmts)?;
+
+    let mut laid: Vec<LaidStmt> = stmts
+        .into_iter()
+        .map(|stmt| {
+            let forms = initial_forms(&stmt);
+            LaidStmt {
+                stmt,
+                addr: 0,
+                forms,
+                far: false,
+                size: 0,
+            }
+        })
+        .collect();
+
+    let mut symbols: HashMap<String, i64> = HashMap::new();
+    for round in 0.. {
+        if round > 100 {
+            return Err(AsmError::new(0, "layout did not converge"));
+        }
+        let new_symbols = assign_addresses(&mut laid, &symbols)?;
+        let grew = grow_forms(&mut laid, &new_symbols)?;
+        let stable = new_symbols == symbols && !grew;
+        symbols = new_symbols;
+        if stable {
+            break;
+        }
+    }
+    Ok(LaidProgram {
+        stmts: laid,
+        symbols,
+    })
+}
+
+fn check_duplicate_definitions(stmts: &[Stmt]) -> Result<(), AsmError> {
+    let mut seen: HashSet<&str> = HashSet::new();
+    for stmt in stmts {
+        for label in &stmt.labels {
+            if !seen.insert(label) {
+                return Err(AsmError::new(
+                    stmt.lineno,
+                    format!("duplicate definition of '{label}'"),
+                ));
+            }
+        }
+        if let Some(StmtKind::Assign(name, _)) = &stmt.kind {
+            if !seen.insert(name) {
+                return Err(AsmError::new(
+                    stmt.lineno,
+                    format!("duplicate definition of '{name}'"),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn initial_forms(stmt: &Stmt) -> Vec<Form> {
+    let Some(StmtKind::Insn(insn)) = &stmt.kind else {
+        return Vec::new();
+    };
+    insn.operands
+        .iter()
+        .map(|op| match op {
+            OperandAst::Immediate(_) => Form::Literal,
+            OperandAst::Displacement { .. } | OperandAst::Relative { .. } => Form::Disp(Width::B),
+            _ => Form::Fixed,
+        })
+        .collect()
+}
+
+/// One address-assignment pass. Sizes come from the *current* forms, so
+/// they never depend on symbol values; `prev_symbols` is only used for
+/// `.org`/`.align`/`.space` (which must be backward-defined) and assigns.
+fn assign_addresses(
+    laid: &mut [LaidStmt],
+    prev_symbols: &HashMap<String, i64>,
+) -> Result<HashMap<String, i64>, AsmError> {
+    let mut symbols = HashMap::new();
+    let mut dot: i64 = 0;
+    for ls in laid.iter_mut() {
+        ls.addr = dot as u32;
+        for label in &ls.stmt.labels {
+            symbols.insert(label.clone(), dot);
+        }
+        let lineno = ls.stmt.lineno;
+        // Directive expressions resolve against symbols defined so far this
+        // pass, falling back to the previous round's table.
+        let eval_directive = |e: &Expr, symbols: &HashMap<String, i64>| -> Result<i64, AsmError> {
+            match e.eval(symbols, dot, lineno)? {
+                Eval::Value(v) => Ok(v),
+                Eval::Undefined(_) => match e.eval(prev_symbols, dot, lineno)? {
+                    Eval::Value(v) => Ok(v),
+                    Eval::Undefined(name) => Err(AsmError::new(
+                        lineno,
+                        format!("'{name}' must be defined before use in a directive"),
+                    )),
+                },
+            }
+        };
+
+        let size: i64 = match &ls.stmt.kind {
+            None => 0,
+            Some(StmtKind::Assign(name, e)) => {
+                // Assigns may reference forward labels; leave undefined for
+                // now and let a later round (or the final check) settle it.
+                match e.eval(&symbols, dot, lineno)? {
+                    Eval::Value(v) => {
+                        symbols.insert(name.clone(), v);
+                    }
+                    Eval::Undefined(_) => {
+                        if let Eval::Value(v) = e.eval(prev_symbols, dot, lineno)? {
+                            symbols.insert(name.clone(), v);
+                        }
+                    }
+                }
+                0
+            }
+            Some(StmtKind::Org(e)) => {
+                let target = eval_directive(e, &symbols)?;
+                if !(0..=u32::MAX as i64).contains(&target) {
+                    return Err(AsmError::new(lineno, ".org target out of range"));
+                }
+                dot = target;
+                ls.addr = dot as u32;
+                // Labels on the same line as .org bind to the new address.
+                for label in &ls.stmt.labels {
+                    symbols.insert(label.clone(), dot);
+                }
+                0
+            }
+            Some(StmtKind::Align(e)) => {
+                let align = eval_directive(e, &symbols)?;
+                if align <= 0 || align & (align - 1) != 0 {
+                    return Err(AsmError::new(lineno, ".align requires a power of two"));
+                }
+                let aligned = (dot + align - 1) & !(align - 1);
+                aligned - dot
+            }
+            Some(StmtKind::Space(e, _)) => {
+                let n = eval_directive(e, &symbols)?;
+                if n < 0 {
+                    return Err(AsmError::new(lineno, ".space size is negative"));
+                }
+                n
+            }
+            Some(StmtKind::Data(sz, exprs)) => (sz.bytes() as usize * exprs.len()) as i64,
+            Some(StmtKind::Bytes(b)) => b.len() as i64,
+            Some(StmtKind::Insn(insn)) => {
+                let ctx = EncodeCtx {
+                    symbols: prev_symbols,
+                    strict: false,
+                    lineno,
+                };
+                encode_insn(insn, &ls.forms, ls.far, ls.addr, &ctx)?.len() as i64
+            }
+        };
+        ls.size = size as u32;
+        dot += size;
+        if dot > u32::MAX as i64 {
+            return Err(AsmError::new(lineno, "location counter overflowed"));
+        }
+    }
+    Ok(symbols)
+}
+
+/// Grows operand forms that no longer fit. Returns whether anything grew.
+fn grow_forms(laid: &mut [LaidStmt], symbols: &HashMap<String, i64>) -> Result<bool, AsmError> {
+    let mut grew = false;
+    for ls in laid.iter_mut() {
+        let Some(StmtKind::Insn(insn)) = &ls.stmt.kind else {
+            continue;
+        };
+        let lineno = ls.stmt.lineno;
+        let addr = ls.addr as i64;
+        let kind = BranchKind::of(insn.opcode);
+        let specs = insn.opcode.operands();
+        for ((ast, spec), form) in insn.operands.iter().zip(specs).zip(ls.forms.iter_mut()) {
+            match (ast, spec.access) {
+                (OperandAst::Relative { expr, .. }, Access::Branch(disp_size)) => {
+                    if ls.far || !kind.relaxable() {
+                        continue;
+                    }
+                    let target = match expr.eval(symbols, addr, lineno)? {
+                        Eval::Value(v) => v,
+                        Eval::Undefined(_) => {
+                            ls.far = true;
+                            grew = true;
+                            continue;
+                        }
+                    };
+                    // Worst-case near displacement: measured from the end of
+                    // the near-form instruction.
+                    let disp = target - (addr + ls.size as i64);
+                    let limit = match disp_size {
+                        DataSize::Byte => Width::B,
+                        _ => Width::W,
+                    };
+                    let (lo, hi) = limit.signed_range();
+                    // Leave slack so address drift between rounds can't
+                    // oscillate a marginal branch.
+                    if disp < lo + 8 || disp > hi - 8 {
+                        ls.far = true;
+                        grew = true;
+                    }
+                }
+                (OperandAst::Immediate(e), _) => {
+                    if *form != Form::Literal {
+                        continue;
+                    }
+                    let needs_full = match e.eval(symbols, addr, lineno)? {
+                        Eval::Value(v) => !(0..=63).contains(&v),
+                        Eval::Undefined(_) => true,
+                    };
+                    if needs_full {
+                        *form = Form::Immediate;
+                        grew = true;
+                    }
+                }
+                (OperandAst::Displacement { expr, .. }, _) => {
+                    let cur = form.width().unwrap_or(Width::L);
+                    let need = match expr.eval(symbols, addr, lineno)? {
+                        Eval::Value(v) => Width::fitting(v),
+                        Eval::Undefined(_) => Width::L,
+                    };
+                    if need > cur {
+                        *form = Form::Disp(need);
+                        grew = true;
+                    }
+                }
+                (OperandAst::Relative { expr, .. }, _) => {
+                    let cur = form.width().unwrap_or(Width::L);
+                    let need = match expr.eval(symbols, addr, lineno)? {
+                        Eval::Value(target) => {
+                            // Conservative: displacement measured from the
+                            // statement start, with slack for drift.
+                            let disp = target - addr;
+                            let fit = Width::fitting(disp.saturating_add(disp.signum() * 16));
+                            fit.max(Width::fitting(disp))
+                        }
+                        Eval::Undefined(_) => Width::L,
+                    };
+                    if need > cur {
+                        *form = Form::Disp(need);
+                        grew = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Ok(grew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble;
+    use atum_arch::{DecodedInsn, Operand};
+
+    fn decode_stream(bytes: &[u8]) -> Vec<DecodedInsn> {
+        let mut out = Vec::new();
+        let mut off = 0u32;
+        while (off as usize) < bytes.len() {
+            let insn = DecodedInsn::decode(off, &mut |a| bytes.get(a as usize).copied())
+                .unwrap_or_else(|e| panic!("decode at {off}: {e}"));
+            off += insn.len;
+            out.push(insn);
+        }
+        out
+    }
+
+    #[test]
+    fn widths_grow_as_needed() {
+        assert_eq!(Width::fitting(0), Width::B);
+        assert_eq!(Width::fitting(127), Width::B);
+        assert_eq!(Width::fitting(128), Width::W);
+        assert_eq!(Width::fitting(-129), Width::W);
+        assert_eq!(Width::fitting(40000), Width::L);
+    }
+
+    #[test]
+    fn literal_vs_immediate_choice() {
+        let img = assemble("movl #63, r0\n movl #64, r1\n movl #-1, r2\n").unwrap();
+        let insns = decode_stream(&img.flatten());
+        assert_eq!(insns[0].operands[0], Operand::Literal(63));
+        assert_eq!(insns[1].operands[0], Operand::Immediate(64));
+        assert_eq!(insns[2].operands[0], Operand::Immediate(0xFFFF_FFFF));
+    }
+
+    #[test]
+    fn near_branch_stays_near() {
+        let img = assemble("start: nop\n brb start\n").unwrap();
+        let bytes = img.flatten();
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(bytes[1], Opcode::Brb.to_byte());
+        assert_eq!(bytes[2] as i8, -3);
+    }
+
+    #[test]
+    fn far_brb_becomes_brw() {
+        let src = "brb target\n .space 300\n target: nop\n".to_string();
+        let img = assemble(&src).unwrap();
+        let bytes = img.flatten();
+        assert_eq!(bytes[0], Opcode::Brw.to_byte());
+        let disp = i16::from_le_bytes([bytes[1], bytes[2]]);
+        assert_eq!(3 + disp as i64, 303, "lands on target");
+    }
+
+    #[test]
+    fn far_conditional_inverts_over_brw() {
+        let src = "beql target\n .space 400\n target: halt\n";
+        let img = assemble(src).unwrap();
+        let bytes = img.flatten();
+        assert_eq!(bytes[0], Opcode::Bneq.to_byte(), "inverted");
+        assert_eq!(bytes[1], 3, "skips the brw");
+        assert_eq!(bytes[2], Opcode::Brw.to_byte());
+        let disp = i16::from_le_bytes([bytes[3], bytes[4]]);
+        assert_eq!(5 + disp as i64, 405);
+    }
+
+    #[test]
+    fn far_trailing_branch_uses_trampoline() {
+        let src = "loop: sobgtr r0, body\n .space 200\n body: brb loop\n";
+        let img = assemble(src).unwrap();
+        let bytes = img.flatten();
+        // [sobgtr][spec r0][+2][brb][+3][brw][d16]
+        assert_eq!(bytes[0], Opcode::Sobgtr.to_byte());
+        assert_eq!(bytes[1], 0x50);
+        assert_eq!(bytes[2], 2);
+        assert_eq!(bytes[3], Opcode::Brb.to_byte());
+        assert_eq!(bytes[4], 3);
+        assert_eq!(bytes[5], Opcode::Brw.to_byte());
+        let disp = i16::from_le_bytes([bytes[6], bytes[7]]);
+        assert_eq!(8 + disp as i64, 208, "brw lands on body");
+    }
+
+    #[test]
+    fn pc_relative_width_grows() {
+        // Target 5 bytes away: byte displacement suffices (3-byte insn).
+        let img = assemble("movl near, r0\n near: .long 7\n").unwrap();
+        let near = img.symbol("near").unwrap();
+        let bytes = img.flatten();
+        assert_eq!(bytes[1] >> 4, 0xA, "byte-displacement PC mode");
+        let insns = decode_stream(&bytes[..4]);
+        assert_eq!(insns[0].operands[0], Operand::Relative(near));
+        // Far target needs a wider displacement.
+        let img = assemble("movl far, r0\n .space 5000\n far: .long 7\n").unwrap();
+        let far = img.symbol("far").unwrap();
+        let bytes = img.flatten();
+        assert_eq!(bytes[1] >> 4, 0xC, "word-displacement PC mode");
+        let insns = decode_stream(&bytes[..5]);
+        assert_eq!(insns[0].operands[0], Operand::Relative(far));
+    }
+
+    #[test]
+    fn forward_and_backward_symbols_resolve() {
+        let img = assemble(
+            "A = 2\n movl #A, r0\n movl #B, r1\n B = 3\n",
+        )
+        .unwrap();
+        let insns = decode_stream(&img.flatten());
+        assert_eq!(insns[0].operands[0], Operand::Literal(2));
+        assert_eq!(insns[1].operands[0], Operand::Literal(3));
+    }
+
+    #[test]
+    fn org_moves_location() {
+        let img = assemble(".org 0x100\nstart: nop\n").unwrap();
+        assert_eq!(img.symbol("start"), Some(0x100));
+        assert_eq!(img.base(), 0x100);
+    }
+
+    #[test]
+    fn align_pads() {
+        let img = assemble("nop\n .align 4\nhere: .long 1\n").unwrap();
+        assert_eq!(img.symbol("here"), Some(4));
+        assert_eq!(img.flatten().len(), 8);
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn undefined_symbol_is_error() {
+        let e = assemble("movl #missing, r0\n").unwrap_err();
+        assert!(e.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn dot_in_expressions() {
+        let img = assemble("first: .long .\n .long .\n").unwrap();
+        let b = img.flatten();
+        assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), 0);
+        assert_eq!(u32::from_le_bytes(b[4..8].try_into().unwrap()), 4);
+    }
+
+    #[test]
+    fn branch_kind_classification() {
+        assert_eq!(
+            BranchKind::of(Opcode::Brb),
+            BranchKind::Plain {
+                wide: Some(Opcode::Brw)
+            }
+        );
+        assert_eq!(BranchKind::of(Opcode::Brw), BranchKind::Plain { wide: None });
+        assert_eq!(BranchKind::of(Opcode::Beql), BranchKind::Cond);
+        assert_eq!(BranchKind::of(Opcode::Sobgtr), BranchKind::Trailing);
+        assert_eq!(BranchKind::of(Opcode::Movl), BranchKind::NotABranch);
+        assert!(!BranchKind::of(Opcode::Brw).relaxable());
+        assert!(BranchKind::of(Opcode::Blbs).relaxable());
+    }
+}

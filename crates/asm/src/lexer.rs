@@ -1,0 +1,410 @@
+//! Tokenizer for SVX assembly source lines.
+
+use crate::error::AsmError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier or mnemonic (`start`, `movl`, `.long`, `1b`).
+    Ident(String),
+    /// Integer literal (decimal, `0x`, `0o`, `0b`, or `'c'`).
+    Number(i64),
+    /// String literal (after escape processing).
+    Str(Vec<u8>),
+    /// `#`
+    Hash,
+    /// `@`
+    At,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `.` (location counter, when not starting an identifier)
+    Dot,
+}
+
+/// Tokenizes one source line (comment already possible; `;` ends the line).
+pub fn tokenize(line: &str, lineno: u32) -> Result<Vec<Token>, AsmError> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let err = |msg: String| AsmError::new(lineno, msg);
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ';' => break,
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                out.push(Token::Hash);
+                i += 1;
+            }
+            '@' => {
+                out.push(Token::At);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '&' => {
+                out.push(Token::Amp);
+                i += 1;
+            }
+            '|' => {
+                out.push(Token::Pipe);
+                i += 1;
+            }
+            '^' => {
+                out.push(Token::Caret);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'<') {
+                    out.push(Token::Shl);
+                    i += 2;
+                } else {
+                    return Err(err("unexpected '<'".into()));
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Shr);
+                    i += 2;
+                } else {
+                    return Err(err("unexpected '>'".into()));
+                }
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Equals);
+                i += 1;
+            }
+            '"' => {
+                let (s, next) = lex_string(bytes, i + 1, lineno)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '\'' => {
+                let (v, next) = lex_char(bytes, i + 1, lineno)?;
+                out.push(Token::Number(v));
+                i = next;
+            }
+            '0'..='9' => {
+                let (v, next) = lex_number(bytes, i, lineno)?;
+                // Numeric local label references: `1b` / `1f`.
+                if let Some(&suf) = bytes.get(next) {
+                    if (suf == b'b' || suf == b'f')
+                        && !bytes
+                            .get(next + 1)
+                            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+                    {
+                        out.push(Token::Ident(format!("{v}{}", suf as char)));
+                        i = next + 1;
+                        continue;
+                    }
+                }
+                out.push(Token::Number(v));
+                i = next;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' || c == '.' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &line[start..i];
+                if word == "." {
+                    out.push(Token::Dot);
+                } else {
+                    out.push(Token::Ident(word.to_string()));
+                }
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(bytes: &[u8], start: usize, lineno: u32) -> Result<(i64, usize), AsmError> {
+    let mut i = start;
+    let (radix, digits_start) = if bytes[i] == b'0' && i + 1 < bytes.len() {
+        match bytes[i + 1] {
+            b'x' | b'X' => (16, i + 2),
+            b'o' | b'O' => (8, i + 2),
+            b'b' | b'B' if bytes.get(i + 2).is_some_and(|c| matches!(c, b'0' | b'1')) => {
+                (2, i + 2)
+            }
+            _ => (10, i),
+        }
+    } else {
+        (10, i)
+    };
+    i = digits_start;
+    let mut value: i64 = 0;
+    let mut any = false;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let d = match c.to_digit(radix) {
+            Some(d) => d,
+            None => break,
+        };
+        value = value
+            .checked_mul(radix as i64)
+            .and_then(|v| v.checked_add(d as i64))
+            .ok_or_else(|| AsmError::new(lineno, "numeric literal overflows"))?;
+        any = true;
+        i += 1;
+    }
+    if !any {
+        return Err(AsmError::new(lineno, "malformed numeric literal"));
+    }
+    Ok((value, i))
+}
+
+fn lex_char(bytes: &[u8], start: usize, lineno: u32) -> Result<(i64, usize), AsmError> {
+    let mut i = start;
+    let c = *bytes
+        .get(i)
+        .ok_or_else(|| AsmError::new(lineno, "unterminated character literal"))?;
+    let value = if c == b'\\' {
+        i += 1;
+        let esc = *bytes
+            .get(i)
+            .ok_or_else(|| AsmError::new(lineno, "unterminated escape"))?;
+        escape_value(esc).ok_or_else(|| AsmError::new(lineno, "unknown escape"))?
+    } else {
+        c
+    };
+    i += 1;
+    if bytes.get(i) != Some(&b'\'') {
+        return Err(AsmError::new(lineno, "unterminated character literal"));
+    }
+    Ok((value as i64, i + 1))
+}
+
+fn lex_string(bytes: &[u8], start: usize, lineno: u32) -> Result<(Vec<u8>, usize), AsmError> {
+    let mut out = Vec::new();
+    let mut i = start;
+    loop {
+        let c = *bytes
+            .get(i)
+            .ok_or_else(|| AsmError::new(lineno, "unterminated string literal"))?;
+        match c {
+            b'"' => return Ok((out, i + 1)),
+            b'\\' => {
+                i += 1;
+                let esc = *bytes
+                    .get(i)
+                    .ok_or_else(|| AsmError::new(lineno, "unterminated escape"))?;
+                out.push(
+                    escape_value(esc).ok_or_else(|| AsmError::new(lineno, "unknown escape"))?,
+                );
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn escape_value(esc: u8) -> Option<u8> {
+    Some(match esc {
+        b'n' => b'\n',
+        b't' => b'\t',
+        b'r' => b'\r',
+        b'0' => 0,
+        b'\\' => b'\\',
+        b'"' => b'"',
+        b'\'' => b'\'',
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex(s: &str) -> Vec<Token> {
+        tokenize(s, 1).unwrap()
+    }
+
+    #[test]
+    fn basic_line() {
+        assert_eq!(
+            lex("start: movl #5, r0"),
+            vec![
+                Token::Ident("start".into()),
+                Token::Colon,
+                Token::Ident("movl".into()),
+                Token::Hash,
+                Token::Number(5),
+                Token::Comma,
+                Token::Ident("r0".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn radixes() {
+        assert_eq!(lex("0x10 0o17 0b101 42"), {
+            vec![
+                Token::Number(16),
+                Token::Number(15),
+                Token::Number(5),
+                Token::Number(42),
+            ]
+        });
+    }
+
+    #[test]
+    fn comment_terminates() {
+        assert_eq!(lex("nop ; the rest is ignored: #@!("), vec![Token::Ident("nop".into())]);
+    }
+
+    #[test]
+    fn char_literals() {
+        assert_eq!(lex("'a'"), vec![Token::Number(97)]);
+        assert_eq!(lex("'\\n'"), vec![Token::Number(10)]);
+        assert_eq!(lex("'\\0'"), vec![Token::Number(0)]);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            lex("\"a\\tb\\n\""),
+            vec![Token::Str(b"a\tb\n".to_vec())]
+        );
+    }
+
+    #[test]
+    fn directives_are_idents() {
+        assert_eq!(
+            lex(".long 1"),
+            vec![Token::Ident(".long".into()), Token::Number(1)]
+        );
+    }
+
+    #[test]
+    fn dot_alone_is_location_counter() {
+        assert_eq!(lex(". + 2"), vec![Token::Dot, Token::Plus, Token::Number(2)]);
+    }
+
+    #[test]
+    fn numeric_local_label_refs() {
+        assert_eq!(
+            lex("brb 1b"),
+            vec![Token::Ident("brb".into()), Token::Ident("1b".into())]
+        );
+        assert_eq!(
+            lex("beql 2f"),
+            vec![Token::Ident("beql".into()), Token::Ident("2f".into())]
+        );
+        // But 0x1b is still a number.
+        assert_eq!(lex("0x1b"), vec![Token::Number(0x1b)]);
+    }
+
+    #[test]
+    fn shift_operators() {
+        assert_eq!(
+            lex("1 << 2 >> 3"),
+            vec![
+                Token::Number(1),
+                Token::Shl,
+                Token::Number(2),
+                Token::Shr,
+                Token::Number(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn addressing_punctuation() {
+        assert_eq!(
+            lex("-(sp) (r1)+ @8(fp)"),
+            vec![
+                Token::Minus,
+                Token::LParen,
+                Token::Ident("sp".into()),
+                Token::RParen,
+                Token::LParen,
+                Token::Ident("r1".into()),
+                Token::RParen,
+                Token::Plus,
+                Token::At,
+                Token::Number(8),
+                Token::LParen,
+                Token::Ident("fp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_errors() {
+        assert!(tokenize("movl %bad", 3).is_err());
+        assert_eq!(tokenize("movl %bad", 3).unwrap_err().line(), 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"abc", 1).is_err());
+    }
+}

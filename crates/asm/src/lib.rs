@@ -1,0 +1,140 @@
+//! # atum-asm — the SVX assembler and disassembler
+//!
+//! A two-pass (iterate-to-fixpoint) assembler for the SVX architecture
+//! defined in [`atum_arch`]. The MOSS kernel, all workloads and every test
+//! program in the reproduction are written in this assembly language, so
+//! the whole stack above the ISA is exercised through real machine code.
+//!
+//! ## Syntax
+//!
+//! ```text
+//! ; comments run to end of line
+//! start:  movl #100, r0          ; short literal or immediate chosen
+//!         movl count, r1         ; PC-relative (assembler picks width)
+//!         movl (r1)+, -4(fp)     ; autoincrement, byte displacement
+//!         movl @8(sp), @#0x80000200
+//! loop:   sobgtr r0, loop        ; branches relax automatically when far
+//!         chmk #1
+//!         halt
+//! count:  .long 42
+//! msg:    .asciz "hello"
+//!         .align 4
+//! buf:    .space 64
+//! PAGE    = 512                  ; symbol assignment
+//!         .org 0x400             ; move the location counter
+//! ```
+//!
+//! Numeric local labels (`1:` … referenced as `1b`/`1f`) are supported.
+//! `.` is the current location counter. `popl dst` is accepted as a pseudo
+//! for `movl (sp)+, dst`.
+//!
+//! ## Example
+//!
+//! ```
+//! let img = atum_asm::assemble("start: movl #5, r0\n halt\n").unwrap();
+//! assert_eq!(img.symbol("start"), Some(0));
+//! let bytes = img.flatten();
+//! assert_eq!(bytes[0], atum_arch::Opcode::Movl.to_byte());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod disasm;
+mod encode;
+mod error;
+mod expr;
+mod image;
+mod layout;
+mod lexer;
+mod parser;
+
+pub use disasm::{disassemble, disassemble_one, Disassembly};
+pub use error::AsmError;
+pub use image::Image;
+
+/// Assembles SVX source text into an [`Image`].
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] carrying the first offending line number for
+/// syntax errors, undefined or duplicate symbols, range violations, and
+/// operands that are invalid for their access type.
+pub fn assemble(source: &str) -> Result<Image, AsmError> {
+    let stmts = parser::parse(source)?;
+    let laid = layout::layout(stmts)?;
+    encode::encode(laid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_arch::{DecodedInsn, Opcode};
+
+    fn flat(src: &str) -> Vec<u8> {
+        assemble(src).expect("assembles").flatten()
+    }
+
+    #[test]
+    fn empty_source_is_empty_image() {
+        let img = assemble("").unwrap();
+        assert!(img.flatten().is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let img = assemble("; nothing\n\n   ; more nothing\n").unwrap();
+        assert!(img.flatten().is_empty());
+    }
+
+    #[test]
+    fn decodes_back_with_arch_decoder() {
+        let bytes = flat("movl #100, r0\n addl3 r0, r1, 8(r2)\n halt\n");
+        let mut off = 0u32;
+        let mut ops = Vec::new();
+        while (off as usize) < bytes.len() {
+            let insn =
+                DecodedInsn::decode(off, &mut |a| bytes.get(a as usize).copied()).unwrap();
+            ops.push(insn.opcode);
+            off += insn.len;
+        }
+        assert_eq!(ops, vec![Opcode::Movl, Opcode::Addl3, Opcode::Halt]);
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::assemble;
+
+    #[test]
+    fn word_directive_emits_little_endian() {
+        let img = assemble(".org 0\n .word 0x1234, 0xBEEF\n").unwrap();
+        assert_eq!(img.flatten(), vec![0x34, 0x12, 0xEF, 0xBE]);
+    }
+
+    #[test]
+    fn space_with_fill() {
+        let img = assemble(".space 3, 0xAA\n .byte 1\n").unwrap();
+        assert_eq!(img.flatten(), vec![0xAA, 0xAA, 0xAA, 1]);
+    }
+
+    #[test]
+    fn expressions_in_data() {
+        let img = assemble("BASE = 0x100\n .long BASE + 8 * 2, BASE - 1\n").unwrap();
+        let b = img.flatten();
+        assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), 0x110);
+        assert_eq!(u32::from_le_bytes(b[4..8].try_into().unwrap()), 0xFF);
+    }
+
+    #[test]
+    fn negative_byte_values_accepted() {
+        let img = assemble(".byte -1, -128, 255\n").unwrap();
+        assert_eq!(img.flatten(), vec![0xFF, 0x80, 0xFF]);
+    }
+
+    #[test]
+    fn oversize_data_value_rejected() {
+        assert!(assemble(".byte 256\n").is_err());
+        assert!(assemble(".word 0x10000\n").is_err());
+    }
+}

@@ -1,0 +1,593 @@
+//! Statement parser: source lines → statement list.
+
+use crate::error::AsmError;
+use crate::expr::{parse_expr, Expr, TokCursor};
+use crate::lexer::{tokenize, Token};
+use atum_arch::{DataSize, Gpr, Opcode};
+
+/// A parsed operand, before addressing-mode selection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperandAst {
+    /// `#expr`
+    Immediate(Expr),
+    /// `@#expr`
+    Absolute(Expr),
+    /// `rN`
+    Register(Gpr),
+    /// `(rN)`
+    RegDeferred(Gpr),
+    /// `-(rN)`
+    AutoDec(Gpr),
+    /// `(rN)+`
+    AutoInc(Gpr),
+    /// `@(rN)+`
+    AutoIncDeferred(Gpr),
+    /// `expr(rN)` or `@expr(rN)`
+    Displacement {
+        /// The displacement expression.
+        expr: Expr,
+        /// The base register.
+        reg: Gpr,
+        /// Whether the form was deferred (`@`).
+        deferred: bool,
+    },
+    /// Bare `expr` or `@expr`: PC-relative; also the form of branch targets.
+    Relative {
+        /// The target-address expression.
+        expr: Expr,
+        /// Whether the form was deferred (`@`).
+        deferred: bool,
+    },
+}
+
+/// An instruction statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsnStmt {
+    /// The opcode.
+    pub opcode: Opcode,
+    /// Parsed operands (same arity as `opcode.operands()`).
+    pub operands: Vec<OperandAst>,
+}
+
+/// The body of a statement (labels are attached separately).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// An instruction.
+    Insn(InsnStmt),
+    /// `sym = expr` or `.equ sym, expr`.
+    Assign(String, Expr),
+    /// `.org expr`
+    Org(Expr),
+    /// `.align expr` (power of two)
+    Align(Expr),
+    /// `.space expr[, fill]`
+    Space(Expr, u8),
+    /// `.byte`/`.word`/`.long` expression lists.
+    Data(DataSize, Vec<Expr>),
+    /// `.ascii`/`.asciz` string bytes (already escape-processed).
+    Bytes(Vec<u8>),
+}
+
+/// A statement with its labels and source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Labels defined at this statement's address.
+    pub labels: Vec<String>,
+    /// The statement body, if any (a line may be labels only).
+    pub kind: Option<StmtKind>,
+    /// 1-based source line.
+    pub lineno: u32,
+}
+
+/// Parses a register name.
+fn parse_reg_name(name: &str) -> Option<Gpr> {
+    match name {
+        "ap" => Some(Gpr::AP),
+        "fp" => Some(Gpr::FP),
+        "sp" => Some(Gpr::SP),
+        "pc" => Some(Gpr::PC),
+        _ => {
+            let rest = name.strip_prefix('r')?;
+            let n: u8 = rest.parse().ok()?;
+            if n < 16 && (rest.len() == 1 || !rest.starts_with('0')) {
+                Some(Gpr::new(n))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Parses assembly source into statements, with numeric local labels
+/// resolved into unique synthetic symbols.
+pub fn parse(source: &str) -> Result<Vec<Stmt>, AsmError> {
+    let mut stmts = Vec::new();
+    for (idx, line) in source.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let toks = tokenize(line, lineno)?;
+        if toks.is_empty() {
+            continue;
+        }
+        stmts.push(parse_line(&toks, lineno)?);
+    }
+    resolve_numeric_labels(&mut stmts)?;
+    Ok(stmts)
+}
+
+fn parse_line(toks: &[Token], lineno: u32) -> Result<Stmt, AsmError> {
+    let mut cur = TokCursor::new(toks, lineno);
+    let mut labels = Vec::new();
+
+    // Leading labels: `ident:` or `number:`.
+    loop {
+        match (cur.peek(), cur.peek_at(1)) {
+            (Some(Token::Ident(name)), Some(Token::Colon)) => {
+                labels.push(name.clone());
+                cur.next();
+                cur.next();
+            }
+            (Some(Token::Number(n)), Some(Token::Colon)) => {
+                labels.push(format!("{n}"));
+                cur.next();
+                cur.next();
+            }
+            _ => break,
+        }
+    }
+
+    // `sym = expr` assignment.
+    if let (Some(Token::Ident(name)), Some(Token::Equals)) = (cur.peek(), cur.peek_at(1)) {
+        let name = name.clone();
+        cur.next();
+        cur.next();
+        let e = parse_expr(&mut cur)?;
+        expect_end(&cur)?;
+        return Ok(Stmt {
+            labels,
+            kind: Some(StmtKind::Assign(name, e)),
+            lineno,
+        });
+    }
+
+    let kind = match cur.peek() {
+        None => None,
+        Some(Token::Ident(word)) if word.starts_with('.') => {
+            let word = word.clone();
+            cur.next();
+            Some(parse_directive(&word, &mut cur)?)
+        }
+        Some(Token::Ident(word)) => {
+            let word = word.clone();
+            cur.next();
+            Some(parse_insn(&word, &mut cur)?)
+        }
+        Some(t) => {
+            return Err(AsmError::new(lineno, format!("unexpected token {t:?}")));
+        }
+    };
+    if kind.is_some() {
+        expect_end(&cur)?;
+    }
+    Ok(Stmt {
+        labels,
+        kind,
+        lineno,
+    })
+}
+
+fn expect_end(cur: &TokCursor<'_>) -> Result<(), AsmError> {
+    if cur.at_end() {
+        Ok(())
+    } else {
+        Err(AsmError::new(
+            cur.lineno,
+            format!("unexpected trailing tokens: {:?}", cur.peek()),
+        ))
+    }
+}
+
+fn parse_directive(word: &str, cur: &mut TokCursor<'_>) -> Result<StmtKind, AsmError> {
+    match word {
+        ".org" => Ok(StmtKind::Org(parse_expr(cur)?)),
+        ".align" => Ok(StmtKind::Align(parse_expr(cur)?)),
+        ".space" => {
+            let n = parse_expr(cur)?;
+            let fill = if cur.eat(&Token::Comma) {
+                match cur.next() {
+                    Some(Token::Number(v)) => *v as u8,
+                    _ => return Err(AsmError::new(cur.lineno, ".space fill must be a number")),
+                }
+            } else {
+                0
+            };
+            Ok(StmtKind::Space(n, fill))
+        }
+        ".byte" => Ok(StmtKind::Data(DataSize::Byte, parse_expr_list(cur)?)),
+        ".word" => Ok(StmtKind::Data(DataSize::Word, parse_expr_list(cur)?)),
+        ".long" => Ok(StmtKind::Data(DataSize::Long, parse_expr_list(cur)?)),
+        ".ascii" | ".asciz" => {
+            let mut bytes = match cur.next() {
+                Some(Token::Str(s)) => s.clone(),
+                _ => {
+                    return Err(AsmError::new(
+                        cur.lineno,
+                        format!("{word} expects a string literal"),
+                    ))
+                }
+            };
+            if word == ".asciz" {
+                bytes.push(0);
+            }
+            Ok(StmtKind::Bytes(bytes))
+        }
+        ".equ" => {
+            let name = match cur.next() {
+                Some(Token::Ident(n)) => n.clone(),
+                _ => return Err(AsmError::new(cur.lineno, ".equ expects a symbol name")),
+            };
+            cur.expect(&Token::Comma, "','")?;
+            Ok(StmtKind::Assign(name, parse_expr(cur)?))
+        }
+        other => Err(AsmError::new(
+            cur.lineno,
+            format!("unknown directive {other}"),
+        )),
+    }
+}
+
+fn parse_expr_list(cur: &mut TokCursor<'_>) -> Result<Vec<Expr>, AsmError> {
+    let mut out = vec![parse_expr(cur)?];
+    while cur.eat(&Token::Comma) {
+        out.push(parse_expr(cur)?);
+    }
+    Ok(out)
+}
+
+fn parse_insn(word: &str, cur: &mut TokCursor<'_>) -> Result<StmtKind, AsmError> {
+    // Pseudo: popl dst → movl (sp)+, dst
+    if word == "popl" {
+        let dst = parse_operand(cur)?;
+        return Ok(StmtKind::Insn(InsnStmt {
+            opcode: Opcode::Movl,
+            operands: vec![OperandAst::AutoInc(Gpr::SP), dst],
+        }));
+    }
+    let opcode = Opcode::from_mnemonic(word)
+        .ok_or_else(|| AsmError::new(cur.lineno, format!("unknown mnemonic '{word}'")))?;
+    let mut operands = Vec::new();
+    for (i, _) in opcode.operands().iter().enumerate() {
+        if i > 0 {
+            cur.expect(&Token::Comma, "','")?;
+        }
+        operands.push(parse_operand(cur)?);
+    }
+    Ok(StmtKind::Insn(InsnStmt { opcode, operands }))
+}
+
+/// Parses one operand (see crate docs for the accepted forms).
+fn parse_operand(cur: &mut TokCursor<'_>) -> Result<OperandAst, AsmError> {
+    // `#expr`
+    if cur.eat(&Token::Hash) {
+        return Ok(OperandAst::Immediate(parse_expr(cur)?));
+    }
+    // Deferred family: `@#e`, `@(rN)+`, `@e(rN)`, `@e`
+    if cur.eat(&Token::At) {
+        if cur.eat(&Token::Hash) {
+            return Ok(OperandAst::Absolute(parse_expr(cur)?));
+        }
+        if let Some(reg) = peek_paren_reg(cur) {
+            consume_paren_reg(cur);
+            cur.expect(&Token::Plus, "'+' (only @(rN)+ is a deferred register form)")?;
+            return Ok(OperandAst::AutoIncDeferred(reg));
+        }
+        let e = parse_expr(cur)?;
+        if let Some(reg) = peek_paren_reg(cur) {
+            consume_paren_reg(cur);
+            return Ok(OperandAst::Displacement {
+                expr: e,
+                reg,
+                deferred: true,
+            });
+        }
+        return Ok(OperandAst::Relative {
+            expr: e,
+            deferred: true,
+        });
+    }
+    // `-(rN)` — autodecrement (checked before general expressions).
+    if cur.peek() == Some(&Token::Minus) {
+        if let Some(reg) = peek_paren_reg_at(cur, 1) {
+            cur.next(); // '-'
+            consume_paren_reg(cur);
+            return Ok(OperandAst::AutoDec(reg));
+        }
+    }
+    // `(rN)` / `(rN)+`
+    if let Some(reg) = peek_paren_reg(cur) {
+        consume_paren_reg(cur);
+        if cur.eat(&Token::Plus) {
+            return Ok(OperandAst::AutoInc(reg));
+        }
+        return Ok(OperandAst::RegDeferred(reg));
+    }
+    // Bare register.
+    if let Some(Token::Ident(name)) = cur.peek() {
+        if let Some(reg) = parse_reg_name(name) {
+            cur.next();
+            return Ok(OperandAst::Register(reg));
+        }
+    }
+    // Expression, possibly `expr(rN)`.
+    let e = parse_expr(cur)?;
+    if let Some(reg) = peek_paren_reg(cur) {
+        consume_paren_reg(cur);
+        return Ok(OperandAst::Displacement {
+            expr: e,
+            reg,
+            deferred: false,
+        });
+    }
+    Ok(OperandAst::Relative {
+        expr: e,
+        deferred: false,
+    })
+}
+
+fn peek_paren_reg(cur: &TokCursor<'_>) -> Option<Gpr> {
+    peek_paren_reg_at(cur, 0)
+}
+
+fn peek_paren_reg_at(cur: &TokCursor<'_>, off: usize) -> Option<Gpr> {
+    if cur.peek_at(off) != Some(&Token::LParen) {
+        return None;
+    }
+    let reg = match cur.peek_at(off + 1) {
+        Some(Token::Ident(name)) => parse_reg_name(name)?,
+        _ => return None,
+    };
+    if cur.peek_at(off + 2) != Some(&Token::RParen) {
+        return None;
+    }
+    Some(reg)
+}
+
+fn consume_paren_reg(cur: &mut TokCursor<'_>) {
+    cur.next();
+    cur.next();
+    cur.next();
+}
+
+/// Rewrites numeric labels (`1:`) and their references (`1b`, `1f`) into
+/// unique synthetic symbols (`.Ln.k`).
+fn resolve_numeric_labels(stmts: &mut [Stmt]) -> Result<(), AsmError> {
+    use std::collections::HashMap;
+    // Collect (stmt index, numeral, occurrence name) for every definition.
+    let mut defs: HashMap<String, Vec<(usize, String)>> = HashMap::new();
+    for (si, stmt) in stmts.iter_mut().enumerate() {
+        for label in &mut stmt.labels {
+            if label.chars().all(|c| c.is_ascii_digit()) {
+                let list = defs.entry(label.clone()).or_default();
+                let synthetic = format!(".L{label}.{}", list.len());
+                list.push((si, synthetic.clone()));
+                *label = synthetic;
+            }
+        }
+    }
+    // Rewrite references in every expression.
+    for (si, stmt) in stmts.iter_mut().enumerate() {
+        let lineno = stmt.lineno;
+        let rewrite = |e: &mut Expr| rewrite_expr(e, si, &defs, lineno);
+        match &mut stmt.kind {
+            Some(StmtKind::Insn(insn)) => {
+                for op in &mut insn.operands {
+                    match op {
+                        OperandAst::Immediate(e)
+                        | OperandAst::Absolute(e)
+                        | OperandAst::Displacement { expr: e, .. }
+                        | OperandAst::Relative { expr: e, .. } => rewrite(e)?,
+                        _ => {}
+                    }
+                }
+            }
+            Some(StmtKind::Assign(_, e)) | Some(StmtKind::Org(e)) | Some(StmtKind::Align(e))
+            | Some(StmtKind::Space(e, _)) => rewrite(e)?,
+            Some(StmtKind::Data(_, es)) => {
+                for e in es {
+                    rewrite(e)?;
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn rewrite_expr(
+    e: &mut Expr,
+    stmt_idx: usize,
+    defs: &std::collections::HashMap<String, Vec<(usize, String)>>,
+    lineno: u32,
+) -> Result<(), AsmError> {
+    match e {
+        Expr::Sym(name) => {
+            let (numeral, back) = match name.strip_suffix('b') {
+                Some(n) if !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()) => (n, true),
+                _ => match name.strip_suffix('f') {
+                    Some(n) if !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()) => {
+                        (n, false)
+                    }
+                    _ => return Ok(()),
+                },
+            };
+            let list = defs.get(numeral).ok_or_else(|| {
+                AsmError::new(lineno, format!("no definition for local label {name}"))
+            })?;
+            let found = if back {
+                list.iter().rev().find(|(si, _)| *si <= stmt_idx)
+            } else {
+                list.iter().find(|(si, _)| *si > stmt_idx)
+            };
+            let (_, synthetic) = found.ok_or_else(|| {
+                AsmError::new(
+                    lineno,
+                    format!(
+                        "no {} definition for local label {numeral}",
+                        if back { "previous" } else { "following" }
+                    ),
+                )
+            })?;
+            *name = synthetic.clone();
+            Ok(())
+        }
+        Expr::Neg(inner) | Expr::Not(inner) => rewrite_expr(inner, stmt_idx, defs, lineno),
+        Expr::Bin(_, a, b) => {
+            rewrite_expr(a, stmt_idx, defs, lineno)?;
+            rewrite_expr(b, stmt_idx, defs, lineno)
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one(src: &str) -> Stmt {
+        let stmts = parse(src).unwrap();
+        assert_eq!(stmts.len(), 1, "{stmts:?}");
+        stmts.into_iter().next().unwrap()
+    }
+
+    fn insn(src: &str) -> InsnStmt {
+        match one(src).kind {
+            Some(StmtKind::Insn(i)) => i,
+            other => panic!("expected insn, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_labels_and_insn() {
+        let s = one("start: second: nop");
+        assert_eq!(s.labels, vec!["start", "second"]);
+        assert!(matches!(s.kind, Some(StmtKind::Insn(_))));
+    }
+
+    #[test]
+    fn operand_forms() {
+        let i = insn("movl #5, r0");
+        assert_eq!(i.operands[0], OperandAst::Immediate(Expr::Num(5)));
+        assert_eq!(i.operands[1], OperandAst::Register(Gpr::new(0)));
+
+        let i = insn("movl (r1), (r2)+");
+        assert_eq!(i.operands[0], OperandAst::RegDeferred(Gpr::new(1)));
+        assert_eq!(i.operands[1], OperandAst::AutoInc(Gpr::new(2)));
+
+        let i = insn("movl -(sp), @(r3)+");
+        assert_eq!(i.operands[0], OperandAst::AutoDec(Gpr::SP));
+        assert_eq!(i.operands[1], OperandAst::AutoIncDeferred(Gpr::new(3)));
+
+        let i = insn("movl 8(fp), @-4(sp)");
+        assert_eq!(
+            i.operands[0],
+            OperandAst::Displacement {
+                expr: Expr::Num(8),
+                reg: Gpr::FP,
+                deferred: false
+            }
+        );
+        assert!(matches!(
+            &i.operands[1],
+            OperandAst::Displacement { deferred: true, reg, .. } if *reg == Gpr::SP
+        ));
+
+        let i = insn("movl @#0x200, target");
+        assert_eq!(i.operands[0], OperandAst::Absolute(Expr::Num(0x200)));
+        assert_eq!(
+            i.operands[1],
+            OperandAst::Relative {
+                expr: Expr::Sym("target".into()),
+                deferred: false
+            }
+        );
+    }
+
+    #[test]
+    fn negative_displacement_is_not_autodec() {
+        let i = insn("movl -8(sp), r0");
+        assert!(matches!(
+            &i.operands[0],
+            OperandAst::Displacement { deferred: false, .. }
+        ));
+    }
+
+    #[test]
+    fn popl_pseudo_expands() {
+        let i = insn("popl r3");
+        assert_eq!(i.opcode, Opcode::Movl);
+        assert_eq!(i.operands[0], OperandAst::AutoInc(Gpr::SP));
+    }
+
+    #[test]
+    fn assignment_forms() {
+        assert!(matches!(
+            one("PAGE = 512").kind,
+            Some(StmtKind::Assign(ref n, Expr::Num(512))) if n == "PAGE"
+        ));
+        assert!(matches!(
+            one(".equ TWO, 2").kind,
+            Some(StmtKind::Assign(ref n, Expr::Num(2))) if n == "TWO"
+        ));
+    }
+
+    #[test]
+    fn directives() {
+        assert!(matches!(one(".org 0x400").kind, Some(StmtKind::Org(_))));
+        assert!(matches!(one(".align 4").kind, Some(StmtKind::Align(_))));
+        assert!(
+            matches!(one(".space 8, 0xFF").kind, Some(StmtKind::Space(_, 0xFF)))
+        );
+        assert!(matches!(
+            one(".byte 1, 2, 3").kind,
+            Some(StmtKind::Data(DataSize::Byte, ref v)) if v.len() == 3
+        ));
+        assert!(matches!(
+            one(".asciz \"hi\"").kind,
+            Some(StmtKind::Bytes(ref b)) if b == &vec![b'h', b'i', 0]
+        ));
+    }
+
+    #[test]
+    fn wrong_arity_is_error() {
+        assert!(parse("movl r0").is_err());
+        assert!(parse("nop r0").is_err());
+    }
+
+    #[test]
+    fn unknown_mnemonic_is_error() {
+        let err = parse("frobnicate r0").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn numeric_labels_resolve() {
+        let stmts = parse("1: nop\n brb 1b\n brb 1f\n1: halt\n").unwrap();
+        // First statement's label renamed.
+        assert_eq!(stmts[0].labels, vec![".L1.0"]);
+        assert_eq!(stmts[3].labels, vec![".L1.1"]);
+        let target = |s: &Stmt| match &s.kind {
+            Some(StmtKind::Insn(i)) => match &i.operands[0] {
+                OperandAst::Relative { expr: Expr::Sym(n), .. } => n.clone(),
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(target(&stmts[1]), ".L1.0");
+        assert_eq!(target(&stmts[2]), ".L1.1");
+    }
+
+    #[test]
+    fn missing_local_label_is_error() {
+        assert!(parse("brb 9f\n").is_err());
+        assert!(parse("brb 1b\n1: nop\n").is_err(), "1b before definition");
+    }
+}

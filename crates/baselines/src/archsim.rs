@@ -1,0 +1,1020 @@
+//! The architectural simulator: an independent, instruction-level
+//! implementation of SVX semantics over a sparse address space.
+//!
+//! Deliberately shares no execution code with the micro-engine — it
+//! decodes with [`DecodedInsn`] and implements semantics from the
+//! architecture manual a second time, which is what makes it a usable
+//! oracle. Trace emission approximates the hardware's reference stream:
+//! one I-reference per aligned instruction longword entered, one
+//! D-reference per operand memory access (including indirection words).
+
+use atum_arch::{DataSize, DecodeError, DecodedInsn, Opcode, Operand, PAGE_SHIFT};
+use atum_core::{RecordKind, Trace, TraceRecord};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A simulator fault (the simulator kills the program, like a bare
+/// user-level tracer would).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimFault {
+    /// Instruction decode failed.
+    Decode(DecodeError),
+    /// An instruction this user-level simulator does not support.
+    Unsupported(Opcode),
+    /// Integer divide by zero.
+    DivideByZero,
+    /// An unknown `chmk` code.
+    BadSyscall(u16),
+}
+
+impl fmt::Display for SimFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFault::Decode(e) => write!(f, "decode: {e}"),
+            SimFault::Unsupported(op) => write!(f, "unsupported instruction {op}"),
+            SimFault::DivideByZero => f.write_str("divide by zero"),
+            SimFault::BadSyscall(c) => write!(f, "unknown syscall {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SimFault {}
+
+/// How a simulation run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArchExit {
+    /// The program exited (`chmk #0`, or `halt` in bare mode).
+    Exited,
+    /// The instruction budget ran out.
+    InsnLimit,
+    /// The program faulted.
+    Fault(SimFault),
+}
+
+/// Condition codes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct Flags {
+    n: bool,
+    z: bool,
+    v: bool,
+    c: bool,
+}
+
+/// The architectural simulator.
+#[derive(Debug)]
+pub struct ArchSim {
+    regs: [u32; 16],
+    flags: Flags,
+    pages: HashMap<u32, Box<[u8; 512]>>,
+    trace: Trace,
+    emit: bool,
+    pid: u8,
+    cur_iblock: u32,
+    console: Vec<u8>,
+    insns: u64,
+    /// Treat `halt` as exit instead of a fault (bare-metal oracle mode).
+    pub stop_on_halt: bool,
+}
+
+impl ArchSim {
+    /// Creates an empty simulator with the PC at 0 and SP at the MOSS
+    /// user stack top.
+    pub fn new() -> ArchSim {
+        let mut s = ArchSim {
+            regs: [0; 16],
+            flags: Flags::default(),
+            pages: HashMap::new(),
+            trace: Trace::new(),
+            emit: false,
+            pid: 1,
+            cur_iblock: u32::MAX,
+            console: Vec::new(),
+            insns: 0,
+            stop_on_halt: false,
+        };
+        s.regs[14] = atum_os::USER_STACK_TOP;
+        s
+    }
+
+    /// Loads an assembled image into the address space.
+    pub fn load_image(&mut self, image: &atum_asm::Image) {
+        for (addr, bytes) in image.segments() {
+            for (i, b) in bytes.iter().enumerate() {
+                self.write_u8_raw(addr + i as u32, *b);
+            }
+        }
+    }
+
+    /// Sets the PC.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.regs[15] = pc;
+        self.cur_iblock = u32::MAX;
+    }
+
+    /// A register's value.
+    pub fn reg(&self, n: u8) -> u32 {
+        self.regs[(n & 0xF) as usize]
+    }
+
+    /// Sets a register.
+    pub fn set_reg(&mut self, n: u8, v: u32) {
+        self.regs[(n & 0xF) as usize] = v;
+    }
+
+    /// The condition codes as (N, Z, V, C).
+    pub fn nzvc(&self) -> (bool, bool, bool, bool) {
+        (self.flags.n, self.flags.z, self.flags.v, self.flags.c)
+    }
+
+    /// Enables trace emission with the given pid stamp.
+    pub fn enable_trace(&mut self, pid: u8) {
+        self.emit = true;
+        self.pid = pid;
+    }
+
+    /// The collected trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Takes console output so far.
+    pub fn take_console_output(&mut self) -> Vec<u8> {
+        std::mem::take(&mut self.console)
+    }
+
+    /// Instructions executed so far.
+    pub fn insns(&self) -> u64 {
+        self.insns
+    }
+
+    /// Inspects a byte of simulated memory (unmapped pages read as 0).
+    pub fn peek(&self, addr: u32) -> u8 {
+        self.read_u8_raw(addr)
+    }
+
+    /// Runs up to `max_insns` instructions.
+    pub fn run(&mut self, max_insns: u64) -> ArchExit {
+        for _ in 0..max_insns {
+            match self.step() {
+                Ok(true) => return ArchExit::Exited,
+                Ok(false) => {}
+                Err(f) => return ArchExit::Fault(f),
+            }
+        }
+        ArchExit::InsnLimit
+    }
+
+    // ── Memory ────────────────────────────────────────────────────────
+
+    fn read_u8_raw(&self, addr: u32) -> u8 {
+        self.pages
+            .get(&(addr >> PAGE_SHIFT))
+            .map_or(0, |p| p[(addr & 511) as usize])
+    }
+
+    fn write_u8_raw(&mut self, addr: u32, v: u8) {
+        let page = self
+            .pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0; 512]));
+        page[(addr & 511) as usize] = v;
+    }
+
+    fn read_le_raw(&self, addr: u32, size: DataSize) -> u32 {
+        let mut v = 0u32;
+        for i in 0..size.bytes() {
+            v |= (self.read_u8_raw(addr.wrapping_add(i)) as u32) << (8 * i);
+        }
+        v
+    }
+
+    fn write_le_raw(&mut self, addr: u32, size: DataSize, v: u32) {
+        for i in 0..size.bytes() {
+            self.write_u8_raw(addr.wrapping_add(i), (v >> (8 * i)) as u8);
+        }
+    }
+
+    fn data_read(&mut self, addr: u32, size: DataSize) -> u32 {
+        if self.emit {
+            self.trace.push(TraceRecord::new(
+                RecordKind::Read,
+                addr,
+                size.bytes(),
+                self.pid,
+                false,
+            ));
+        }
+        self.read_le_raw(addr, size)
+    }
+
+    fn data_write(&mut self, addr: u32, size: DataSize, v: u32) {
+        if self.emit {
+            self.trace.push(TraceRecord::new(
+                RecordKind::Write,
+                addr,
+                size.bytes(),
+                self.pid,
+                false,
+            ));
+        }
+        self.write_le_raw(addr, size, v);
+    }
+
+    /// Emits the I-reference for the longword containing `addr` if it is
+    /// a new block (approximating the machine's prefetch buffer).
+    fn touch_istream(&mut self, addr: u32) {
+        let block = addr & !3;
+        if block != self.cur_iblock {
+            self.cur_iblock = block;
+            if self.emit {
+                self.trace
+                    .push(TraceRecord::new(RecordKind::IFetch, block, 4, self.pid, false));
+            }
+        }
+    }
+
+    // ── Execution ─────────────────────────────────────────────────────
+
+    /// Executes one instruction. `Ok(true)` means the program exited.
+    ///
+    /// # Errors
+    ///
+    /// A [`SimFault`] aborts the program.
+    pub fn step(&mut self) -> Result<bool, SimFault> {
+        let pc = self.regs[15];
+        // Decode, touching istream longwords as the decoder consumes them.
+        let insn = {
+            let pages = &self.pages;
+            let mut touched = Vec::new();
+            let mut fetch = |a: u32| {
+                touched.push(a);
+                Some(
+                    pages
+                        .get(&(a >> PAGE_SHIFT))
+                        .map_or(0, |p| p[(a & 511) as usize]),
+                )
+            };
+            let insn = DecodedInsn::decode(pc, &mut fetch).map_err(SimFault::Decode)?;
+            for a in touched {
+                self.touch_istream(a);
+            }
+            insn
+        };
+        self.regs[15] = pc.wrapping_add(insn.len);
+        self.insns += 1;
+        let exited = self.exec(&insn)?;
+        if self.regs[15] != pc.wrapping_add(insn.len) {
+            // A branch happened; force a fresh I-block on the next fetch.
+            self.cur_iblock = u32::MAX;
+        }
+        Ok(exited)
+    }
+
+    fn exec(&mut self, insn: &DecodedInsn) -> Result<bool, SimFault> {
+        use Opcode::*;
+        let ops = &insn.operands;
+        match insn.opcode {
+            Nop => {}
+            Halt => {
+                if self.stop_on_halt {
+                    return Ok(true);
+                }
+                return Err(SimFault::Unsupported(Halt));
+            }
+            Chmk => {
+                let code = self.rd(&ops[0], DataSize::Word)? as u16;
+                return self.syscall(code);
+            }
+            Bpt | Rei | Svpctx | Ldpctx | Mtpr | Mfpr => {
+                return Err(SimFault::Unsupported(insn.opcode))
+            }
+
+            Movb => self.mov(ops, DataSize::Byte)?,
+            Movw => self.mov(ops, DataSize::Word)?,
+            Movl => self.mov(ops, DataSize::Long)?,
+            Movzbl => {
+                let v = self.rd(&ops[0], DataSize::Byte)? & 0xFF;
+                self.set_logic(v, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, v)?;
+            }
+            Movzwl => {
+                let v = self.rd(&ops[0], DataSize::Word)? & 0xFFFF;
+                self.set_logic(v, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, v)?;
+            }
+            Cvtbl => {
+                let v = DataSize::Byte.sign_extend(self.rd(&ops[0], DataSize::Byte)?);
+                self.set_logic(v, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, v)?;
+            }
+            Cvtwl => {
+                let v = DataSize::Word.sign_extend(self.rd(&ops[0], DataSize::Word)?);
+                self.set_logic(v, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, v)?;
+            }
+            Cvtlb => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                self.set_logic(v & 0xFF, DataSize::Byte);
+                self.wr(&ops[1], DataSize::Byte, v)?;
+            }
+            Cvtlw => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                self.set_logic(v & 0xFFFF, DataSize::Word);
+                self.wr(&ops[1], DataSize::Word, v)?;
+            }
+            Mcoml => {
+                let v = !self.rd(&ops[0], DataSize::Long)?;
+                self.set_logic(v, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, v)?;
+            }
+            Mnegl => {
+                let b = self.rd(&ops[0], DataSize::Long)?;
+                let (r, fl) = sub(0, b, DataSize::Long);
+                self.flags = fl;
+                self.wr(&ops[1], DataSize::Long, r)?;
+            }
+            Moval => {
+                let a = self.addr_of(&ops[0], DataSize::Long)?;
+                self.set_logic(a, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, a)?;
+            }
+            Movab => {
+                let a = self.addr_of(&ops[0], DataSize::Byte)?;
+                self.set_logic(a, DataSize::Long);
+                self.wr(&ops[1], DataSize::Long, a)?;
+            }
+            Pushl => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                self.set_logic(v, DataSize::Long);
+                self.push(v);
+            }
+            Pushal => {
+                let a = self.addr_of(&ops[0], DataSize::Long)?;
+                self.set_logic(a, DataSize::Long);
+                self.push(a);
+            }
+            Clrb => {
+                self.set_logic(0, DataSize::Byte);
+                self.wr(&ops[0], DataSize::Byte, 0)?;
+            }
+            Clrw => {
+                self.set_logic(0, DataSize::Word);
+                self.wr(&ops[0], DataSize::Word, 0)?;
+            }
+            Clrl => {
+                self.set_logic(0, DataSize::Long);
+                self.wr(&ops[0], DataSize::Long, 0)?;
+            }
+
+            Addl2 | Addl3 => self.binop(ops, insn.opcode == Addl3, add)?,
+            Subl2 | Subl3 => self.binop(ops, insn.opcode == Subl3, |a, b, s| sub(b, a, s))?,
+            Mull2 | Mull3 => self.binop(ops, insn.opcode == Mull3, mul)?,
+            Divl2 | Divl3 => {
+                let divisor = self.rd(&ops[0], DataSize::Long)?;
+                let dividend = self.rd(&ops[1], DataSize::Long)?;
+                if divisor == 0 {
+                    return Err(SimFault::DivideByZero);
+                }
+                let (r, fl) = div(divisor, dividend);
+                self.flags = fl;
+                let dst = if insn.opcode == Divl3 { &ops[2] } else { &ops[1] };
+                self.wr(dst, DataSize::Long, r)?;
+            }
+            Incl => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                let (r, fl) = add(1, v, DataSize::Long);
+                self.flags = fl;
+                self.wr(&ops[0], DataSize::Long, r)?;
+            }
+            Decl => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                let (r, fl) = sub(v, 1, DataSize::Long);
+                self.flags = fl;
+                self.wr(&ops[0], DataSize::Long, r)?;
+            }
+            Ashl => {
+                let cnt = DataSize::Byte.sign_extend(self.rd(&ops[0], DataSize::Byte)?) as i32;
+                let src = self.rd(&ops[1], DataSize::Long)?;
+                let (r, v) = ash(cnt, src);
+                self.flags = Flags {
+                    n: (r as i32) < 0,
+                    z: r == 0,
+                    v,
+                    c: false,
+                };
+                self.wr(&ops[2], DataSize::Long, r)?;
+            }
+            Xorl2 | Xorl3 => self.binop_logic(ops, insn.opcode == Xorl3, |a, b| a ^ b)?,
+            Bisl2 | Bisl3 => self.binop_logic(ops, insn.opcode == Bisl3, |a, b| a | b)?,
+            Bicl2 | Bicl3 => self.binop_logic(ops, insn.opcode == Bicl3, |a, b| b & !a)?,
+
+            Cmpb => self.cmp(ops, DataSize::Byte)?,
+            Cmpw => self.cmp(ops, DataSize::Word)?,
+            Cmpl => self.cmp(ops, DataSize::Long)?,
+            Tstb => self.tst(ops, DataSize::Byte)?,
+            Tstw => self.tst(ops, DataSize::Word)?,
+            Tstl => self.tst(ops, DataSize::Long)?,
+            Bitl => {
+                let a = self.rd(&ops[0], DataSize::Long)?;
+                let b = self.rd(&ops[1], DataSize::Long)?;
+                self.set_logic(a & b, DataSize::Long);
+            }
+
+            Brb | Brw => self.branch(&ops[0]),
+            Bneq => self.branch_if(!self.flags.z, &ops[0]),
+            Beql => self.branch_if(self.flags.z, &ops[0]),
+            Bgtr => self.branch_if(!(self.flags.n || self.flags.z), &ops[0]),
+            Bleq => self.branch_if(self.flags.n || self.flags.z, &ops[0]),
+            Bgeq => self.branch_if(!self.flags.n, &ops[0]),
+            Blss => self.branch_if(self.flags.n, &ops[0]),
+            Bgtru => self.branch_if(!(self.flags.c || self.flags.z), &ops[0]),
+            Blequ => self.branch_if(self.flags.c || self.flags.z, &ops[0]),
+            Bvc => self.branch_if(!self.flags.v, &ops[0]),
+            Bvs => self.branch_if(self.flags.v, &ops[0]),
+            Bcc => self.branch_if(!self.flags.c, &ops[0]),
+            Bcs => self.branch_if(self.flags.c, &ops[0]),
+
+            Bsbb | Bsbw => {
+                self.push(self.regs[15]);
+                self.branch(&ops[0]);
+            }
+            Rsb => {
+                self.regs[15] = self.pop();
+            }
+            Jmp => {
+                self.regs[15] = self.addr_of(&ops[0], DataSize::Byte)?;
+            }
+            Jsb => {
+                let t = self.addr_of(&ops[0], DataSize::Byte)?;
+                self.push(self.regs[15]);
+                self.regs[15] = t;
+            }
+            Sobgtr | Sobgeq => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                let (r, fl) = sub(v, 1, DataSize::Long);
+                self.flags = fl;
+                self.wr(&ops[0], DataSize::Long, r)?;
+                let take = if insn.opcode == Sobgtr {
+                    !(fl.n || fl.z)
+                } else {
+                    !fl.n
+                };
+                self.branch_if(take, &ops[1]);
+            }
+            Aoblss | Aobleq => {
+                let limit = self.rd(&ops[0], DataSize::Long)?;
+                let v = self.rd(&ops[1], DataSize::Long)?;
+                let (r, fl) = add(v, 1, DataSize::Long);
+                self.flags = fl;
+                self.wr(&ops[1], DataSize::Long, r)?;
+                let lt = (r as i32) < (limit as i32);
+                let take = if insn.opcode == Aoblss {
+                    lt
+                } else {
+                    lt || r == limit
+                };
+                self.branch_if(take, &ops[2]);
+            }
+            Blbs => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                self.branch_if(v & 1 != 0, &ops[1]);
+            }
+            Blbc => {
+                let v = self.rd(&ops[0], DataSize::Long)?;
+                self.branch_if(v & 1 == 0, &ops[1]);
+            }
+
+            Calls => self.calls(ops)?,
+            Ret => self.ret()?,
+            Pushr => {
+                let mask = self.rd(&ops[0], DataSize::Word)?;
+                for i in (0..14).rev() {
+                    if mask & (1 << i) != 0 {
+                        self.push(self.regs[i]);
+                    }
+                }
+            }
+            Popr => {
+                let mask = self.rd(&ops[0], DataSize::Word)?;
+                for i in 0..14 {
+                    if mask & (1 << i) != 0 {
+                        self.regs[i] = self.pop();
+                    }
+                }
+            }
+
+            Movc3 => {
+                let len = self.rd(&ops[0], DataSize::Long)?;
+                let mut src = self.addr_of(&ops[1], DataSize::Byte)?;
+                let mut dst = self.addr_of(&ops[2], DataSize::Byte)?;
+                for _ in 0..len {
+                    let b = self.data_read(src, DataSize::Byte);
+                    self.data_write(dst, DataSize::Byte, b);
+                    src = src.wrapping_add(1);
+                    dst = dst.wrapping_add(1);
+                }
+                self.regs[0] = 0;
+                self.regs[1] = src;
+                self.regs[2] = 0;
+                self.regs[3] = dst;
+                self.regs[4] = 0;
+                self.regs[5] = 0;
+                self.flags = Flags {
+                    z: true,
+                    ..Flags::default()
+                };
+            }
+            Cmpc3 => {
+                let mut len = self.rd(&ops[0], DataSize::Long)?;
+                let mut s1 = self.addr_of(&ops[1], DataSize::Byte)?;
+                let mut s2 = self.addr_of(&ops[2], DataSize::Byte)?;
+                self.flags = Flags {
+                    z: true,
+                    ..Flags::default()
+                };
+                while len > 0 {
+                    let a = self.data_read(s1, DataSize::Byte);
+                    let b = self.data_read(s2, DataSize::Byte);
+                    let (_, fl) = sub(a, b, DataSize::Byte);
+                    // CMP semantics at byte width.
+                    self.flags = Flags {
+                        n: fl.n != fl.v,
+                        z: fl.z,
+                        v: false,
+                        c: fl.c,
+                    };
+                    if !self.flags.z {
+                        break;
+                    }
+                    s1 = s1.wrapping_add(1);
+                    s2 = s2.wrapping_add(1);
+                    len -= 1;
+                }
+                self.regs[0] = len;
+                self.regs[1] = s1;
+                self.regs[3] = s2;
+            }
+            Locc => {
+                let ch = self.rd(&ops[0], DataSize::Byte)? & 0xFF;
+                let mut len = self.rd(&ops[1], DataSize::Long)?;
+                let mut addr = self.addr_of(&ops[2], DataSize::Byte)?;
+                while len > 0 {
+                    let b = self.data_read(addr, DataSize::Byte);
+                    if b == ch {
+                        break;
+                    }
+                    addr = addr.wrapping_add(1);
+                    len -= 1;
+                }
+                self.regs[0] = len;
+                self.regs[1] = addr;
+                self.set_logic(len, DataSize::Long);
+                self.flags.c = false;
+            }
+            Insque => {
+                let entry = self.addr_of(&ops[0], DataSize::Byte)?;
+                let pred = self.addr_of(&ops[1], DataSize::Byte)?;
+                let succ = self.data_read(pred, DataSize::Long);
+                self.data_write(entry, DataSize::Long, succ);
+                self.data_write(entry.wrapping_add(4), DataSize::Long, pred);
+                self.data_write(pred, DataSize::Long, entry);
+                self.data_write(succ.wrapping_add(4), DataSize::Long, entry);
+                let (_, fl) = sub(succ, pred, DataSize::Long);
+                self.flags = Flags {
+                    n: fl.n != fl.v,
+                    z: fl.z,
+                    v: false,
+                    c: fl.c,
+                };
+            }
+            Remque => {
+                let entry = self.addr_of(&ops[0], DataSize::Byte)?;
+                let succ = self.data_read(entry, DataSize::Long);
+                let pred = self.data_read(entry.wrapping_add(4), DataSize::Long);
+                self.data_write(pred, DataSize::Long, succ);
+                self.data_write(succ.wrapping_add(4), DataSize::Long, pred);
+                self.wr(&ops[1], DataSize::Long, entry)?;
+                let (_, fl) = sub(succ, pred, DataSize::Long);
+                self.flags = Flags {
+                    n: fl.n != fl.v,
+                    z: fl.z,
+                    v: false,
+                    c: fl.c,
+                };
+            }
+            Extzv => {
+                let pos = self.rd(&ops[0], DataSize::Long)?;
+                let size = self.rd(&ops[1], DataSize::Byte)? & 0xFF;
+                let base = self.addr_of(&ops[2], DataSize::Byte)?;
+                if size > 24 {
+                    return Err(SimFault::Unsupported(Extzv));
+                }
+                let word = self.data_read(base.wrapping_add(pos >> 3), DataSize::Long);
+                let field = if size == 0 {
+                    0
+                } else {
+                    (word >> (pos & 7)) & ((1u32 << size) - 1)
+                };
+                self.set_logic(field, DataSize::Long);
+                self.wr(&ops[3], DataSize::Long, field)?;
+            }
+            Insv => {
+                let src = self.rd(&ops[0], DataSize::Long)?;
+                let pos = self.rd(&ops[1], DataSize::Long)?;
+                let size = self.rd(&ops[2], DataSize::Byte)? & 0xFF;
+                let base = self.addr_of(&ops[3], DataSize::Byte)?;
+                if size > 24 {
+                    return Err(SimFault::Unsupported(Insv));
+                }
+                let addr = base.wrapping_add(pos >> 3);
+                let old = self.data_read(addr, DataSize::Long);
+                let mask = if size == 0 { 0 } else { ((1u32 << size) - 1) << (pos & 7) };
+                let new = (old & !mask) | ((src << (pos & 7)) & mask);
+                self.data_write(addr, DataSize::Long, new);
+            }
+        }
+        Ok(false)
+    }
+
+    fn syscall(&mut self, code: u16) -> Result<bool, SimFault> {
+        match code {
+            0 => Ok(true),
+            1 => {
+                self.console.push(self.regs[0] as u8);
+                Ok(false)
+            }
+            2 => {
+                self.regs[0] = self.pid as u32;
+                Ok(false)
+            }
+            3 => Ok(false), // yield: no other process exists here
+            other => Err(SimFault::BadSyscall(other)),
+        }
+    }
+
+    // ── Operand access ────────────────────────────────────────────────
+
+    fn rd(&mut self, op: &Operand, size: DataSize) -> Result<u32, SimFault> {
+        Ok(match *op {
+            Operand::Literal(v) => v as u32,
+            Operand::Immediate(v) => v,
+            Operand::Register(r) => self.regs[usize::from(r)],
+            _ => {
+                let a = self.addr_of(op, size)?;
+                self.data_read(a, size)
+            }
+        })
+    }
+
+    fn wr(&mut self, op: &Operand, size: DataSize, v: u32) -> Result<(), SimFault> {
+        match *op {
+            Operand::Register(r) => {
+                let idx = usize::from(r);
+                let merged = (self.regs[idx] & !size.mask()) | (v & size.mask());
+                self.regs[idx] = merged;
+            }
+            _ => {
+                let a = self.addr_of(op, size)?;
+                self.data_write(a, size, v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Effective address with side effects (autoinc/autodec, indirection
+    /// reads). `size` scales the auto-adjust.
+    fn addr_of(&mut self, op: &Operand, size: DataSize) -> Result<u32, SimFault> {
+        Ok(match *op {
+            Operand::Absolute(a) => a,
+            Operand::Relative(a) => a,
+            Operand::RelativeDeferred(a) => self.data_read(a, DataSize::Long),
+            Operand::RegDeferred(r) => self.regs[usize::from(r)],
+            Operand::AutoDec(r) => {
+                let idx = usize::from(r);
+                self.regs[idx] = self.regs[idx].wrapping_sub(size.bytes());
+                self.regs[idx]
+            }
+            Operand::AutoInc(r) => {
+                let idx = usize::from(r);
+                let a = self.regs[idx];
+                self.regs[idx] = a.wrapping_add(size.bytes());
+                a
+            }
+            Operand::AutoIncDeferred(r) => {
+                let idx = usize::from(r);
+                let p = self.regs[idx];
+                self.regs[idx] = p.wrapping_add(4);
+                self.data_read(p, DataSize::Long)
+            }
+            Operand::Displacement { disp, reg, .. } => {
+                self.regs[usize::from(reg)].wrapping_add(disp as u32)
+            }
+            Operand::DisplacementDeferred { disp, reg, .. } => {
+                let p = self.regs[usize::from(reg)].wrapping_add(disp as u32);
+                self.data_read(p, DataSize::Long)
+            }
+            Operand::Literal(_) | Operand::Immediate(_) | Operand::Register(_)
+            | Operand::BranchDisp(_) => {
+                return Err(SimFault::Decode(DecodeError::InvalidForAccess(
+                    atum_arch::AddrMode::Literal,
+                    atum_arch::Access::Address,
+                )))
+            }
+        })
+    }
+
+    fn push(&mut self, v: u32) {
+        self.regs[14] = self.regs[14].wrapping_sub(4);
+        let sp = self.regs[14];
+        self.data_write(sp, DataSize::Long, v);
+    }
+
+    fn pop(&mut self) -> u32 {
+        let sp = self.regs[14];
+        let v = self.data_read(sp, DataSize::Long);
+        self.regs[14] = sp.wrapping_add(4);
+        v
+    }
+
+    fn branch(&mut self, op: &Operand) {
+        if let Operand::BranchDisp(d) = op {
+            self.regs[15] = self.regs[15].wrapping_add(*d as u32);
+        }
+    }
+
+    fn branch_if(&mut self, cond: bool, op: &Operand) {
+        if cond {
+            self.branch(op);
+        }
+    }
+
+    fn mov(&mut self, ops: &[Operand], size: DataSize) -> Result<(), SimFault> {
+        let v = self.rd(&ops[0], size)?;
+        self.set_logic(v & size.mask(), size);
+        self.wr(&ops[1], size, v)?;
+        Ok(())
+    }
+
+    fn binop(
+        &mut self,
+        ops: &[Operand],
+        three: bool,
+        f: fn(u32, u32, DataSize) -> (u32, Flags),
+    ) -> Result<(), SimFault> {
+        let a = self.rd(&ops[0], DataSize::Long)?;
+        let b = self.rd(&ops[1], DataSize::Long)?;
+        let (r, fl) = f(a, b, DataSize::Long);
+        self.flags = fl;
+        let dst = if three { &ops[2] } else { &ops[1] };
+        self.wr(dst, DataSize::Long, r)?;
+        Ok(())
+    }
+
+    fn binop_logic(
+        &mut self,
+        ops: &[Operand],
+        three: bool,
+        f: fn(u32, u32) -> u32,
+    ) -> Result<(), SimFault> {
+        let a = self.rd(&ops[0], DataSize::Long)?;
+        let b = self.rd(&ops[1], DataSize::Long)?;
+        let r = f(a, b);
+        self.set_logic(r, DataSize::Long);
+        let dst = if three { &ops[2] } else { &ops[1] };
+        self.wr(dst, DataSize::Long, r)?;
+        Ok(())
+    }
+
+    fn cmp(&mut self, ops: &[Operand], size: DataSize) -> Result<(), SimFault> {
+        let a = self.rd(&ops[0], size)? & size.mask();
+        let b = self.rd(&ops[1], size)? & size.mask();
+        let (_, fl) = sub(a, b, size);
+        self.flags = Flags {
+            n: fl.n != fl.v,
+            z: fl.z,
+            v: false,
+            c: fl.c,
+        };
+        Ok(())
+    }
+
+    fn tst(&mut self, ops: &[Operand], size: DataSize) -> Result<(), SimFault> {
+        let v = self.rd(&ops[0], size)? & size.mask();
+        self.set_logic(v, size);
+        self.flags.c = false;
+        Ok(())
+    }
+
+    fn set_logic(&mut self, v: u32, size: DataSize) {
+        self.flags.n = v & size.sign_bit() != 0;
+        self.flags.z = v & size.mask() == 0;
+        self.flags.v = false;
+        // C preserved.
+    }
+
+    fn calls(&mut self, ops: &[Operand]) -> Result<(), SimFault> {
+        let numarg = self.rd(&ops[0], DataSize::Long)?;
+        let dst = self.addr_of(&ops[1], DataSize::Byte)?;
+        self.push(numarg);
+        let new_ap = self.regs[14];
+        let mask = self.data_read(dst, DataSize::Word) & 0xFFFF;
+        for i in (0..=11u32).rev() {
+            if mask & (1 << i) != 0 {
+                self.push(self.regs[i as usize]);
+            }
+        }
+        self.push(self.regs[12]);
+        self.push(self.regs[13]);
+        self.push(self.regs[15]);
+        self.push(mask);
+        self.regs[12] = new_ap;
+        self.regs[13] = self.regs[14];
+        self.regs[15] = dst.wrapping_add(2);
+        Ok(())
+    }
+
+    fn ret(&mut self) -> Result<(), SimFault> {
+        self.regs[14] = self.regs[13];
+        let mask = self.pop();
+        let pc = self.pop();
+        self.regs[13] = self.pop();
+        self.regs[12] = self.pop();
+        for i in 0..=11u32 {
+            if mask & (1 << i) != 0 {
+                self.regs[i as usize] = self.pop();
+            }
+        }
+        let numarg = self.pop();
+        self.regs[14] = self.regs[14].wrapping_add(numarg.wrapping_mul(4));
+        self.regs[15] = pc;
+        Ok(())
+    }
+}
+
+impl Default for ArchSim {
+    fn default() -> ArchSim {
+        ArchSim::new()
+    }
+}
+
+// ── Flag helpers (independent implementations) ─────────────────────────
+
+fn add(a: u32, b: u32, size: DataSize) -> (u32, Flags) {
+    let am = a & size.mask();
+    let bm = b & size.mask();
+    let sum = am as u64 + bm as u64;
+    let r = (sum as u32) & size.mask();
+    (
+        r,
+        Flags {
+            n: r & size.sign_bit() != 0,
+            z: r == 0,
+            c: sum > size.mask() as u64,
+            v: ((am ^ r) & (bm ^ r) & size.sign_bit()) != 0,
+        },
+    )
+}
+
+fn sub(a: u32, b: u32, size: DataSize) -> (u32, Flags) {
+    let am = a & size.mask();
+    let bm = b & size.mask();
+    let r = am.wrapping_sub(bm) & size.mask();
+    (
+        r,
+        Flags {
+            n: r & size.sign_bit() != 0,
+            z: r == 0,
+            c: bm > am,
+            v: ((am ^ bm) & (am ^ r) & size.sign_bit()) != 0,
+        },
+    )
+}
+
+fn mul(a: u32, b: u32, size: DataSize) -> (u32, Flags) {
+    let prod = (size.sign_extend(a) as i32 as i64) * (size.sign_extend(b) as i32 as i64);
+    let r = (prod as u32) & size.mask();
+    (
+        r,
+        Flags {
+            n: r & size.sign_bit() != 0,
+            z: r == 0,
+            c: false,
+            v: prod != size.sign_extend(r) as i32 as i64,
+        },
+    )
+}
+
+fn div(divisor: u32, dividend: u32) -> (u32, Flags) {
+    let (ds, de) = (divisor as i32, dividend as i32);
+    let (r, v) = if de == i32::MIN && ds == -1 {
+        (dividend, true)
+    } else {
+        (de.wrapping_div(ds) as u32, false)
+    };
+    (
+        r,
+        Flags {
+            n: (r as i32) < 0,
+            z: r == 0,
+            c: false,
+            v,
+        },
+    )
+}
+
+fn ash(cnt: i32, src: u32) -> (u32, bool) {
+    if cnt >= 0 {
+        let c = cnt.min(63) as u32;
+        let r = if c >= 32 { 0 } else { src << c };
+        let back = if c >= 32 {
+            0
+        } else {
+            ((r as i32) >> c) as u32
+        };
+        (r, src != 0 && (back != src || c >= 32))
+    } else {
+        let c = (-cnt).min(31) as u32;
+        (((src as i32) >> c) as u32, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_src(src: &str) -> ArchSim {
+        let img = atum_asm::assemble(&format!(".org 0x200\n{src}\n")).unwrap();
+        let mut sim = ArchSim::new();
+        sim.load_image(&img);
+        sim.set_pc(img.symbol("start").unwrap_or(0x200));
+        assert_eq!(sim.run(1_000_000), ArchExit::Exited);
+        sim
+    }
+
+    #[test]
+    fn basic_program() {
+        let mut sim = run_src(
+            "start: movl #5, r1\n addl3 r1, #10, r2\n movl #'x', r0\n chmk #1\n chmk #0\n",
+        );
+        assert_eq!(sim.reg(2), 15);
+        assert_eq!(sim.take_console_output(), b"x");
+    }
+
+    #[test]
+    fn memory_and_loops() {
+        let sim = run_src(
+            "start: clrl r1\n movl #10, r2\nloop: addl2 r2, r1\n sobgtr r2, loop\n \
+             movl r1, out\n movl out, r3\n chmk #0\nout: .long 0",
+        );
+        assert_eq!(sim.reg(3), 55);
+    }
+
+    #[test]
+    fn calls_and_ret() {
+        let sim = run_src(
+            "start: pushl #4\n calls #1, dbl\n chmk #0\n\
+             dbl: .word 0\n movl 4(ap), r0\n addl2 r0, r0\n ret",
+        );
+        assert_eq!(sim.reg(0), 8);
+    }
+
+    #[test]
+    fn trace_emission_includes_all_kinds() {
+        let img = atum_asm::assemble(
+            ".org 0x200\nstart: movl data, r1\n movl r1, out\n chmk #0\n\
+             data: .long 5\nout: .long 0\n",
+        )
+        .unwrap();
+        let mut sim = ArchSim::new();
+        sim.load_image(&img);
+        sim.set_pc(0x200);
+        sim.enable_trace(1);
+        assert_eq!(sim.run(1000), ArchExit::Exited);
+        let s = sim.trace().stats();
+        assert!(s.ifetch >= 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.kernel_refs, 0, "no OS exists here — the blind spot");
+    }
+
+    #[test]
+    fn divide_by_zero_faults() {
+        let img = atum_asm::assemble(".org 0x200\nstart: clrl r1\n divl2 r1, r2\n").unwrap();
+        let mut sim = ArchSim::new();
+        sim.load_image(&img);
+        sim.set_pc(0x200);
+        assert_eq!(
+            sim.run(10),
+            ArchExit::Fault(SimFault::DivideByZero)
+        );
+    }
+
+    #[test]
+    fn privileged_unsupported() {
+        let img = atum_asm::assemble(".org 0x200\nstart: mtpr #0, #18\n").unwrap();
+        let mut sim = ArchSim::new();
+        sim.load_image(&img);
+        sim.set_pc(0x200);
+        assert!(matches!(sim.run(10), ArchExit::Fault(SimFault::Unsupported(_))));
+    }
+}

@@ -1,0 +1,243 @@
+//! Differential testing: the microcoded machine against the independent
+//! architectural simulator. Random programs must leave identical
+//! architectural state on both — this is the oracle check that keeps the
+//! 700-word stock microcode honest.
+
+use atum_baselines::{ArchExit, ArchSim};
+use atum_machine::{Machine, MemLayout, RunExit};
+use proptest::prelude::*;
+
+const ORG: u32 = 0x1000;
+const SCRATCH: u32 = 0x4000;
+
+/// One generated instruction as assembly text.
+#[derive(Debug, Clone)]
+struct Insn(String);
+
+fn reg() -> impl Strategy<Value = String> {
+    (0u8..10).prop_map(|r| format!("r{r}"))
+}
+
+/// A read operand: register, literal, immediate, or scratch memory.
+fn src() -> impl Strategy<Value = String> {
+    prop_oneof![
+        reg(),
+        (0u32..64).prop_map(|v| format!("#{v}")),
+        any::<i32>().prop_map(|v| format!("#{v}")),
+        (0u32..32).prop_map(|o| format!("@#{:#x}", SCRATCH + o * 4)),
+        (0u32..32).prop_map(|o| format!("{}(r10)", o * 4)),
+    ]
+}
+
+/// A read operand for byte-sized instructions (immediates must fit).
+fn bsrc() -> impl Strategy<Value = String> {
+    prop_oneof![
+        reg(),
+        (0u32..64).prop_map(|v| format!("#{v}")),
+        (-128i32..256).prop_map(|v| format!("#{v}")),
+        (0u32..32).prop_map(|o| format!("@#{:#x}", SCRATCH + o * 4)),
+        (0u32..32).prop_map(|o| format!("{}(r10)", o * 4)),
+    ]
+}
+
+/// A write operand: register or scratch memory.
+fn dst() -> impl Strategy<Value = String> {
+    prop_oneof![
+        reg(),
+        (0u32..32).prop_map(|o| format!("@#{:#x}", SCRATCH + o * 4)),
+        (0u32..32).prop_map(|o| format!("{}(r10)", o * 4)),
+    ]
+}
+
+fn insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (src(), dst()).prop_map(|(a, b)| Insn(format!("movl {a}, {b}"))),
+        (bsrc(), dst()).prop_map(|(a, b)| Insn(format!("movb {a}, {b}"))),
+        (bsrc(), dst()).prop_map(|(a, b)| Insn(format!("movw {a}, {b}"))),
+        (src(), reg()).prop_map(|(a, b)| Insn(format!("addl2 {a}, {b}"))),
+        (src(), src(), dst()).prop_map(|(a, b, c)| Insn(format!("addl3 {a}, {b}, {c}"))),
+        (src(), src(), dst()).prop_map(|(a, b, c)| Insn(format!("subl3 {a}, {b}, {c}"))),
+        (src(), src(), dst()).prop_map(|(a, b, c)| Insn(format!("mull3 {a}, {b}, {c}"))),
+        (src(), src(), dst()).prop_map(|(a, b, c)| Insn(format!("xorl3 {a}, {b}, {c}"))),
+        (src(), src(), dst()).prop_map(|(a, b, c)| Insn(format!("bisl3 {a}, {b}, {c}"))),
+        (src(), src(), dst()).prop_map(|(a, b, c)| Insn(format!("bicl3 {a}, {b}, {c}"))),
+        ((-8i32..8), src(), dst()).prop_map(|(n, b, c)| Insn(format!("ashl #{n}, {b}, {c}"))),
+        (src(), src()).prop_map(|(a, b)| Insn(format!("cmpl {a}, {b}"))),
+        (bsrc(), bsrc()).prop_map(|(a, b)| Insn(format!("cmpb {a}, {b}"))),
+        src().prop_map(|a| Insn(format!("tstl {a}"))),
+        reg().prop_map(|a| Insn(format!("incl {a}"))),
+        reg().prop_map(|a| Insn(format!("decl {a}"))),
+        (bsrc(), dst()).prop_map(|(a, b)| Insn(format!("movzbl {a}, {b}"))),
+        (bsrc(), dst()).prop_map(|(a, b)| Insn(format!("cvtbl {a}, {b}"))),
+        (src(), dst()).prop_map(|(a, b)| Insn(format!("mnegl {a}, {b}"))),
+        (src(), dst()).prop_map(|(a, b)| Insn(format!("mcoml {a}, {b}"))),
+        (src(), src()).prop_map(|(a, b)| Insn(format!("bitl {a}, {b}"))),
+    ]
+}
+
+/// A control-flow block: straight-line, a bounded `sobgtr` loop, or a
+/// conditional skip. Loops use `r11` as their counter (excluded from the
+/// random operand pool, which stops at r9) so termination is guaranteed.
+#[derive(Debug, Clone)]
+enum Block {
+    Straight(Vec<Insn>),
+    Loop { count: u8, body: Vec<Insn> },
+    Cond { a: String, b: String, body: Vec<Insn> },
+}
+
+fn block() -> impl Strategy<Value = Block> {
+    prop_oneof![
+        4 => proptest::collection::vec(insn(), 1..8).prop_map(Block::Straight),
+        1 => (1u8..6, proptest::collection::vec(insn(), 1..5))
+            .prop_map(|(count, body)| Block::Loop { count, body }),
+        1 => (src(), src(), proptest::collection::vec(insn(), 1..5))
+            .prop_map(|(a, b, body)| Block::Cond { a, b, body }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(block(), 1..8).prop_map(|blocks| {
+        let mut src = String::from("start:\n");
+        // r10 anchors the displacement operands at the scratch buffer.
+        src.push_str(&format!("        movl #{SCRATCH:#x}, r10\n"));
+        for (bi, b) in blocks.iter().enumerate() {
+            match b {
+                Block::Straight(insns) => {
+                    for Insn(i) in insns {
+                        src.push_str(&format!("        {i}\n"));
+                    }
+                }
+                Block::Loop { count, body } => {
+                    src.push_str(&format!("        movl #{count}, r11\n"));
+                    src.push_str(&format!("loop{bi}:\n"));
+                    for Insn(i) in body {
+                        src.push_str(&format!("        {i}\n"));
+                    }
+                    src.push_str(&format!("        sobgtr r11, loop{bi}\n"));
+                }
+                Block::Cond { a, b, body } => {
+                    src.push_str(&format!("        cmpl {a}, {b}\n"));
+                    src.push_str(&format!("        beql skip{bi}\n"));
+                    for Insn(i) in body {
+                        src.push_str(&format!("        {i}\n"));
+                    }
+                    src.push_str(&format!("skip{bi}:\n"));
+                }
+            }
+        }
+        src.push_str("        halt\n");
+        src
+    })
+}
+
+fn run_machine(img: &atum_asm::Image) -> Machine {
+    let mut m = Machine::new(MemLayout::small());
+    for (a, b) in img.segments() {
+        m.write_phys(*a, b).unwrap();
+    }
+    m.set_gpr(14, 0x8000);
+    m.set_gpr(10, SCRATCH); // harmless; program re-sets it
+    m.set_pc(ORG);
+    assert_eq!(m.run(10_000_000), RunExit::Halted, "machine did not halt");
+    m
+}
+
+fn run_sim(img: &atum_asm::Image) -> ArchSim {
+    let mut sim = ArchSim::new();
+    sim.load_image(img);
+    sim.set_pc(ORG);
+    sim.set_reg(14, 0x8000);
+    sim.set_reg(10, SCRATCH);
+    sim.stop_on_halt = true;
+    assert_eq!(sim.run(1_000_000), ArchExit::Exited, "simulator did not halt");
+    sim
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn machine_and_simulator_agree(src in program()) {
+        let full = format!(".org {ORG:#x}\n{src}\n");
+        let img = atum_asm::assemble(&full).expect("generated program assembles");
+        let m = run_machine(&img);
+        let sim = run_sim(&img);
+
+        for r in 0..14u8 {
+            prop_assert_eq!(
+                m.gpr(r), sim.reg(r),
+                "r{} differs after:\n{}", r, src
+            );
+        }
+        let psl = m.psl();
+        let machine_nzvc = (psl.n(), psl.z(), psl.v(), psl.c());
+        prop_assert_eq!(machine_nzvc, sim.nzvc(), "flags differ after:\n{}", src);
+
+        // Scratch memory must match too.
+        let mbytes = m.read_phys(SCRATCH, 128).unwrap();
+        for (i, b) in mbytes.iter().enumerate() {
+            prop_assert_eq!(
+                *b,
+                sim.peek(SCRATCH + i as u32),
+                "scratch byte {} differs after:\n{}",
+                i,
+                src
+            );
+        }
+    }
+}
+
+#[test]
+fn data_reference_streams_match_on_workloads() {
+    // The ATUM user-mode data-reference stream of a solo process equals
+    // the architectural simulator's stream for the same program —
+    // record-for-record (quantum long enough that no timer fires).
+    use atum_core::{RecordKind, Tracer};
+
+    for w in [
+        atum_workloads::list_chase("l", 64, 300),
+        atum_workloads::lexer("x", 256, 1),
+        atum_workloads::fib_recursive("f", 10),
+    ] {
+        let image = atum_os::BootImage::builder()
+            .user_program(&w.source)
+            .quantum(500_000_000)
+            .build()
+            .unwrap();
+        let mut m = Machine::new(image.memory_layout());
+        image.load_into(&mut m).unwrap();
+        let tracer = Tracer::attach(&mut m).unwrap();
+        tracer.set_enabled(&mut m, true);
+        assert_eq!(m.run(10_000_000_000), RunExit::Halted);
+        let atum_refs: Vec<(u32, RecordKind, u32)> = tracer
+            .extract(&m)
+            .unwrap()
+            .refs()
+            .filter(|r| !r.is_kernel() && r.kind().is_data())
+            .map(|r| (r.addr, r.kind(), r.size()))
+            .collect();
+
+        let img = atum_asm::assemble(&format!(".org 0x200\n{}\n", w.source)).unwrap();
+        let mut sim = ArchSim::new();
+        sim.load_image(&img);
+        sim.set_pc(img.symbol("start").unwrap_or(0x200));
+        sim.enable_trace(1);
+        assert_eq!(sim.run(100_000_000), ArchExit::Exited);
+        let sim_refs: Vec<(u32, RecordKind, u32)> = sim
+            .trace()
+            .refs()
+            .filter(|r| r.kind().is_data())
+            .map(|r| (r.addr, r.kind(), r.size()))
+            .collect();
+
+        assert_eq!(
+            atum_refs.len(),
+            sim_refs.len(),
+            "{}: ref counts differ",
+            w.name
+        );
+        for (i, (a, s)) in atum_refs.iter().zip(sim_refs.iter()).enumerate() {
+            assert_eq!(a, s, "{}: data ref #{i} differs", w.name);
+        }
+    }
+}

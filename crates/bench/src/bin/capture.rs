@@ -1,0 +1,174 @@
+//! Capture an ATUM trace from named workloads and write the archival
+//! trace file — the downstream-user tool.
+//!
+//! ```text
+//! capture list matrix            # 2-process mix of named workloads
+//! capture mix                    # the standard multiprogramming mix
+//! capture lexer -q 8000 -o t.atum --dump 20
+//! ```
+//!
+//! Workload names: matrix, list, lexer, sort, copy, fib, bsearch, queue,
+//! heap — or `mix` for the standard mix. `-q` sets the scheduling quantum in
+//! microcycles, `-o` writes the compact trace file, `--dump N` prints the
+//! first N records.
+
+use atum_core::{CaptureSession, Tracer};
+use atum_machine::{Machine, RunExit};
+use atum_os::BootImage;
+use atum_workloads::Workload;
+use std::process::ExitCode;
+
+fn preset(name: &str) -> Option<Workload> {
+    Some(match name {
+        "matrix" => atum_workloads::matrix("matrix", 16),
+        "list" => atum_workloads::list_chase("list", 1_024, 40_000),
+        "lexer" => atum_workloads::lexer("lexer", 8_192, 3),
+        "sort" => atum_workloads::sort("sort", 1_024),
+        "copy" => atum_workloads::block_copy("copy", 8_192, 24),
+        "fib" => atum_workloads::fib_recursive("fib", 18),
+        "bsearch" => atum_workloads::binary_search("bsearch", 2_048, 15_000),
+        "queue" => atum_workloads::queue_sim("queue", 48, 30_000),
+        "heap" => atum_workloads::heap_walk("heap", 30, 400),
+        _ => return None,
+    })
+}
+
+struct Args {
+    workloads: Vec<Workload>,
+    quantum: u32,
+    out: Option<String>,
+    dump: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workloads: Vec::new(),
+        quantum: 20_000,
+        out: None,
+        dump: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-q" | "--quantum" => {
+                args.quantum = it
+                    .next()
+                    .ok_or("missing value for -q")?
+                    .parse()
+                    .map_err(|e| format!("bad quantum: {e}"))?;
+            }
+            "-o" | "--out" => {
+                args.out = Some(it.next().ok_or("missing value for -o")?);
+            }
+            "--dump" => {
+                args.dump = it
+                    .next()
+                    .ok_or("missing value for --dump")?
+                    .parse()
+                    .map_err(|e| format!("bad dump count: {e}"))?;
+            }
+            "mix" => args.workloads.extend(atum_workloads::mix_std()),
+            name => {
+                args.workloads.push(
+                    preset(name).ok_or_else(|| format!("unknown workload '{name}'"))?,
+                );
+            }
+        }
+    }
+    if args.workloads.is_empty() {
+        return Err(
+            "usage: capture <workloads…|mix> [-q quantum] [-o file.atum] [--dump N]".to_string(),
+        );
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut builder = BootImage::builder().quantum(args.quantum);
+    for w in &args.workloads {
+        builder = builder.user_program(&w.source);
+    }
+    let image = match builder.build() {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("boot: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut machine = Machine::new(image.memory_layout());
+    if let Err(e) = image.load_into(&mut machine) {
+        eprintln!("load: {e}");
+        return ExitCode::FAILURE;
+    }
+    let tracer = match Tracer::attach(&mut machine) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("attach: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    tracer.set_pid(&mut machine, 0);
+    let capture = match CaptureSession::new(&tracer, u64::MAX / 2).run(&mut machine) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("capture: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if capture.exit != RunExit::Halted {
+        eprintln!("machine did not halt: {}", capture.exit);
+        return ExitCode::FAILURE;
+    }
+
+    let console = String::from_utf8_lossy(&machine.take_console_output()).to_string();
+    eprintln!(
+        "workloads: {}",
+        args.workloads
+            .iter()
+            .map(|w| w.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    eprintln!(
+        "console: {console:?} (expected checksums: {})",
+        args.workloads
+            .iter()
+            .map(|w| w.expected_output.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    eprintln!(
+        "cycles: {}  instructions: {}  drains: {}",
+        machine.cycles(),
+        machine.insns(),
+        capture.drains
+    );
+    eprintln!("{}", capture.trace.stats());
+
+    if args.dump > 0 {
+        for r in capture.trace.iter().take(args.dump) {
+            println!("{r}");
+        }
+    }
+    if let Some(path) = &args.out {
+        let bytes = atum_core::encode_trace(&capture.trace);
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "wrote {path}: {} bytes ({:.2} bytes/record)",
+            bytes.len(),
+            bytes.len() as f64 / capture.trace.len().max(1) as f64
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,98 @@
+//! Regenerates every table and figure of the reconstructed ATUM
+//! evaluation.
+//!
+//! ```text
+//! cargo run -p atum-bench --release --bin experiments            # full, all
+//! cargo run -p atum-bench --release --bin experiments -- quick   # small instances
+//! cargo run -p atum-bench --release --bin experiments -- full f1 f2
+//! cargo run -p atum-bench --release --bin experiments -- quick --csv f1
+//! ```
+//!
+//! `--csv` additionally emits each table as CSV after its report.
+
+use atum_analysis::{experiments, Report, Scale};
+use std::process::ExitCode;
+
+fn run_one(id: &str, scale: Scale) -> Result<Report, String> {
+    let shared_needed = matches!(id, "f1" | "f2" | "f3" | "f4" | "f5" | "f6" | "e1" | "e2" | "e3" | "e4");
+    let shared = if shared_needed {
+        Some(experiments::capture_standard_mix(scale).map_err(|e| e.to_string())?)
+    } else {
+        None
+    };
+    let shared = shared.as_ref();
+    let report = match id {
+        "t1" => experiments::t1_technique_comparison(scale),
+        "t2" => experiments::t2_trace_characteristics(scale),
+        "f1" => experiments::f1_os_vs_user(scale, shared.unwrap()),
+        "f2" => experiments::f2_switch_policy(scale, shared.unwrap()),
+        "f3" => experiments::f3_block_size(scale, shared.unwrap()),
+        "f4" => experiments::f4_associativity(scale, shared.unwrap()),
+        "f5" => experiments::f5_tlb(scale, shared.unwrap()),
+        "f6" => experiments::f6_organisation(scale, shared.unwrap()),
+        "e1" => experiments::e1_cold_start(scale, shared.unwrap()),
+        "e2" => experiments::e2_compaction(scale, shared.unwrap()),
+        "e3" => experiments::e3_os_breakdown(scale, shared.unwrap()),
+        "e4" => experiments::e4_working_set(scale, shared.unwrap()),
+        "a1" => experiments::a1_patch_cost(scale),
+        other => return Err(format!("unknown experiment id '{other}'")),
+    };
+    report.map_err(|e| e.to_string())
+}
+
+fn print_report(r: &Report, csv: bool) {
+    println!("{r}\n");
+    if csv {
+        for (caption, table) in &r.tables {
+            println!("csv: {} — {caption}\n{}", r.id, table.to_csv());
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let (scale, ids): (Scale, Vec<String>) = match args.split_first() {
+        Some((first, rest)) if first == "quick" => (Scale::Quick, rest.to_vec()),
+        Some((first, rest)) if first == "full" => (Scale::Full, rest.to_vec()),
+        Some(_) => (Scale::Full, args.clone()),
+        None => (Scale::Full, Vec::new()),
+    };
+
+    eprintln!(
+        "# ATUM reproduction — experiment harness ({:?} scale)",
+        scale
+    );
+
+    if ids.is_empty() {
+        match experiments::run_all(scale) {
+            Ok(reports) => {
+                for r in reports {
+                    print_report(&r, csv);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("experiment run failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut ok = true;
+        for id in &ids {
+            match run_one(&id.to_lowercase(), scale) {
+                Ok(r) => print_report(&r, csv),
+                Err(e) => {
+                    eprintln!("{id}: {e}");
+                    ok = false;
+                }
+            }
+        }
+        if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
+}

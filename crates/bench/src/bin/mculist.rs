@@ -1,0 +1,58 @@
+//! Microcode listing tool: dump the stock control store, a single
+//! routine, the entry table, or the ATUM patch region.
+//!
+//! ```text
+//! mculist entries            # where the patchable hooks point
+//! mculist xfer.read          # one routine
+//! mculist patches            # the ATUM patch region (installs first)
+//! mculist all                # the whole store
+//! ```
+
+use atum_core::PatchSet;
+use atum_ucode::stock;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "entries".to_string());
+    let mut cs = stock::build();
+    match arg.as_str() {
+        "entries" => {
+            println!("stock entry table:\n{}", cs.entry_summary());
+            PatchSet::install(&mut cs).expect("install");
+            println!("after installing the ATUM patches:\n{}", cs.entry_summary());
+        }
+        "patches" => {
+            let ps = PatchSet::install(&mut cs).expect("install");
+            println!(
+                ";; ATUM patch region: {} micro-words\n{}",
+                ps.words(),
+                cs.listing(cs.stock_len(), cs.len())
+            );
+        }
+        "all" => {
+            println!("{}", cs.listing(0, cs.len()));
+        }
+        sym => {
+            // Patch symbols (atum.*) only exist after installation.
+            if cs.symbol(sym).is_none() {
+                let _ = PatchSet::install(&mut cs);
+            }
+            match cs.listing_of(sym) {
+                Some(l) => println!("{l}"),
+                None => {
+                let mut names: Vec<&String> = cs.symbols().keys().collect();
+                names.sort();
+                    eprintln!("unknown symbol '{sym}'. available:");
+                    for chunk in names.chunks(6) {
+                        eprintln!(
+                            "  {}",
+                            chunk.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("  ")
+                        );
+                    }
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,17 @@
+//! # atum-bench — benchmark harness
+//!
+//! Two entry points:
+//!
+//! * the `experiments` binary (`cargo run -p atum-bench --release --bin
+//!   experiments [-- quick|full] [ids…]`) regenerates every table and
+//!   figure of the reconstructed evaluation and prints the reports that
+//!   `EXPERIMENTS.md` records;
+//! * the Criterion benches (`cargo bench -p atum-bench`) time the moving
+//!   parts: machine throughput traced/untraced (the slowdown measurement
+//!   itself), cache-simulation throughput, assembler and control-store
+//!   build times.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use atum_analysis::{experiments, Report, Scale};

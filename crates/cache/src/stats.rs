@@ -1,0 +1,118 @@
+//! Cache statistics.
+
+use std::fmt;
+
+/// Counters accumulated by a cache or TLB simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// First-touch (compulsory) misses.
+    pub cold_misses: u64,
+    /// Instruction-fetch accesses.
+    pub ifetch_accesses: u64,
+    /// Instruction-fetch misses.
+    pub ifetch_misses: u64,
+    /// Data-read accesses.
+    pub read_accesses: u64,
+    /// Data-read misses.
+    pub read_misses: u64,
+    /// Data-write accesses.
+    pub write_accesses: u64,
+    /// Data-write misses.
+    pub write_misses: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Write-through traffic events.
+    pub write_throughs: u64,
+    /// Lines invalidated by context-switch flushes.
+    pub flush_invalidations: u64,
+    /// Context switches observed.
+    pub context_switches: u64,
+}
+
+impl CacheStats {
+    /// Overall miss rate (0–1).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Instruction-fetch miss rate.
+    pub fn ifetch_miss_rate(&self) -> f64 {
+        if self.ifetch_accesses == 0 {
+            0.0
+        } else {
+            self.ifetch_misses as f64 / self.ifetch_accesses as f64
+        }
+    }
+
+    /// Data (read+write) miss rate.
+    pub fn data_miss_rate(&self) -> f64 {
+        let acc = self.read_accesses + self.write_accesses;
+        if acc == 0 {
+            0.0
+        } else {
+            (self.read_misses + self.write_misses) as f64 / acc as f64
+        }
+    }
+
+    /// Misses that are not compulsory (conflict + capacity + purge).
+    pub fn non_cold_misses(&self) -> u64 {
+        self.misses - self.cold_misses
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} accesses, {} misses ({:.2}%), {} cold, {} writebacks",
+            self.accesses,
+            self.misses,
+            100.0 * self.miss_rate(),
+            self.cold_misses,
+            self.writebacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CacheStats {
+            accesses: 100,
+            hits: 90,
+            misses: 10,
+            cold_misses: 4,
+            ifetch_accesses: 50,
+            ifetch_misses: 5,
+            read_accesses: 30,
+            read_misses: 3,
+            write_accesses: 20,
+            write_misses: 2,
+            ..Default::default()
+        };
+        assert!((s.miss_rate() - 0.10).abs() < 1e-12);
+        assert!((s.ifetch_miss_rate() - 0.10).abs() < 1e-12);
+        assert!((s.data_miss_rate() - 0.10).abs() < 1e-12);
+        assert_eq!(s.non_cold_misses(), 6);
+    }
+
+    #[test]
+    fn empty_stats() {
+        let s = CacheStats::default();
+        assert_eq!(s.miss_rate(), 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+}

@@ -1,0 +1,444 @@
+//! The ATUM control-store patches.
+//!
+//! [`PatchSet::install`] appends five routines to the writable control
+//! store and re-points the patchable indirections:
+//!
+//! | Hook | Stock target | Patch |
+//! |---|---|---|
+//! | `Entry::XferRead` | `xfer.read` | `atum.read` — log `{R, addr}` |
+//! | `Entry::XferWrite` | `xfer.write` | `atum.write` — log `{W, addr}` |
+//! | `Entry::XferIFetch` | `xfer.ifetch` | `atum.ifetch` — log `{I, addr}` |
+//! | opcode `ldpctx` | `i.ldpctx` | `atum.ldpctx` — stamp PID, log `{CTX}` |
+//! | `Entry::ExcDispatch` | `exc.entry` | `atum.exc` — log `{INT, vector}` |
+//!
+//! Every patch ends with a tail-jump to the stock routine it displaced,
+//! so behaviour is unchanged except for the logging micro-ops. The shared
+//! logger (`atum.log`) costs ~20 micro-ops per reference including two
+//! physical stores — that, times the reference count, *is* the ATUM
+//! slowdown, measurable as patched/unpatched microcycles.
+//!
+//! Register discipline: patches use only the `P0`–`P7` scratch registers
+//! (never touched by stock microcode) plus MAR/MDR, which they save and
+//! restore around the record stores. ALU ops use `CcEffect::None`, so the
+//! architectural condition codes are untouched.
+
+use crate::record::{meta, RecordKind};
+use atum_arch::{Opcode, PrivReg};
+use atum_ucode::{
+    AluOp, ControlStore, Entry, MicroAsm, MicroCond, MicroOp, MicroReg, Target,
+};
+use std::fmt;
+
+/// TRCTL bit assignments.
+pub mod trctl {
+    /// Capture enabled.
+    pub const ENABLE: u32 = 1 << 0;
+    /// Buffer full; set by microcode, cleared by the host after draining.
+    pub const FULL: u32 = 1 << 1;
+    /// Shift of the current-pid field.
+    pub const PID_SHIFT: u32 = 8;
+    /// Mask of the current-pid field (pre-shift).
+    pub const PID_MASK: u32 = 0xFF;
+}
+
+/// How the patch manages its working registers — the A1 cost ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PatchStyle {
+    /// Use the spare `P0`–`P7` micro-scratch registers (SVX reserves
+    /// them for patches). The streamlined, cheap variant.
+    #[default]
+    Scratch,
+    /// Model the 8200's constraints: no spare micro-registers, so the
+    /// logger spills and restores its working set through a physical
+    /// scratch line (placed at `TRLIM`) and pays a microtrap-style
+    /// entry/exit sequence. Roughly the slowdown band the paper reports.
+    Spill,
+}
+
+/// Error installing the patches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// The control store already contains an ATUM patch set.
+    AlreadyInstalled,
+}
+
+impl fmt::Display for PatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatchError::AlreadyInstalled => f.write_str("ATUM patches already installed"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Handle to an installed patch set: remembers the displaced stock
+/// targets and the patch footprint.
+#[derive(Debug, Clone)]
+pub struct PatchSet {
+    stock_read: u32,
+    stock_write: u32,
+    stock_ifetch: u32,
+    stock_ldpctx: u32,
+    stock_exc: u32,
+    words: u32,
+}
+
+impl PatchSet {
+    /// Installs the ATUM patches into a control store with the default
+    /// (scratch-register) style.
+    ///
+    /// # Errors
+    ///
+    /// [`PatchError::AlreadyInstalled`] if a patch set is already present.
+    pub fn install(cs: &mut ControlStore) -> Result<PatchSet, PatchError> {
+        PatchSet::install_with_style(cs, PatchStyle::Scratch)
+    }
+
+    /// Installs the ATUM patches with an explicit [`PatchStyle`].
+    ///
+    /// # Errors
+    ///
+    /// [`PatchError::AlreadyInstalled`] if a patch set is already present.
+    pub fn install_with_style(
+        cs: &mut ControlStore,
+        style: PatchStyle,
+    ) -> Result<PatchSet, PatchError> {
+        if cs.symbol("atum.log").is_some() {
+            return Err(PatchError::AlreadyInstalled);
+        }
+        let before = cs.len();
+        let stock_read = cs.entry(Entry::XferRead);
+        let stock_write = cs.entry(Entry::XferWrite);
+        let stock_ifetch = cs.entry(Entry::XferIFetch);
+        let stock_ldpctx = cs.opcode_target(Opcode::Ldpctx.to_byte());
+        let stock_exc = cs.entry(Entry::ExcDispatch);
+
+        build_logger(cs, style);
+        let read = build_ref_stub(cs, "atum.read", RecordKind::Read, None, stock_read);
+        let write = build_ref_stub(cs, "atum.write", RecordKind::Write, None, stock_write);
+        let ifetch = build_ref_stub(cs, "atum.ifetch", RecordKind::IFetch, Some(4), stock_ifetch);
+        let ldpctx = build_ldpctx(cs, stock_ldpctx);
+        let exc = build_exc(cs, stock_exc);
+
+        cs.set_entry(Entry::XferRead, read);
+        cs.set_entry(Entry::XferWrite, write);
+        cs.set_entry(Entry::XferIFetch, ifetch);
+        cs.set_opcode_target(Opcode::Ldpctx.to_byte(), ldpctx);
+        cs.set_entry(Entry::ExcDispatch, exc);
+
+        Ok(PatchSet {
+            stock_read,
+            stock_write,
+            stock_ifetch,
+            stock_ldpctx,
+            stock_exc,
+            words: cs.len() - before,
+        })
+    }
+
+    /// Removes the patches by re-pointing all hooks at the stock routines.
+    /// (The patch words stay in the WCS, inert — as on real hardware until
+    /// the next microcode load.)
+    pub fn uninstall(&self, cs: &mut ControlStore) {
+        cs.set_entry(Entry::XferRead, self.stock_read);
+        cs.set_entry(Entry::XferWrite, self.stock_write);
+        cs.set_entry(Entry::XferIFetch, self.stock_ifetch);
+        cs.set_opcode_target(Opcode::Ldpctx.to_byte(), self.stock_ldpctx);
+        cs.set_entry(Entry::ExcDispatch, self.stock_exc);
+    }
+
+    /// Number of micro-words the patch set added — the control-store
+    /// footprint the paper reports.
+    pub fn words(&self) -> u32 {
+        self.words
+    }
+}
+
+fn p(n: u8) -> MicroReg {
+    MicroReg::P(n)
+}
+
+fn imm(v: u32) -> MicroReg {
+    MicroReg::Imm(v)
+}
+
+/// The shared logger: P5 holds the pre-seeded high-word (kind and, for
+/// fixed-size hooks, size). Stores the record, advances TRPTR, restores
+/// MAR/MDR. On a full buffer: sets FULL, halts for host service, retries.
+fn build_logger(cs: &mut ControlStore, style: PatchStyle) {
+    let mut ua = MicroAsm::new();
+    ua.global("atum.log");
+    // Save the live MAR/MDR first — the caller's access happens after us,
+    // and the spill prologue below needs MAR for its own stores.
+    ua.mov(MicroReg::Mar, p(0));
+    ua.mov(MicroReg::Mdr, p(6));
+    if style == PatchStyle::Spill {
+        // Microtrap entry: with no spare micro-registers, the 8200's
+        // patch had to evacuate its working set to memory first. The
+        // scratch line lives at TRLIM (the tracer reserves it).
+        ua.op(MicroOp::ReadPr {
+            num: imm(PrivReg::Trlim.number()),
+            dst: p(2),
+        });
+        for i in 0..8u32 {
+            ua.alu_l(AluOp::Add, p(2), imm(4 * i), MicroReg::Mar);
+            ua.mov(p((i % 8) as u8), MicroReg::Mdr);
+            ua.op(MicroOp::PhysWrite);
+        }
+        // Microtrap sequencing overhead (pipeline drain, dispatch ROM
+        // hops) — modelled as straight-line micro-ops.
+        for _ in 0..24 {
+            ua.alu_l(AluOp::Add, p(7), imm(0), p(7));
+        }
+    }
+    ua.label("begin");
+    // Capacity check: TRPTR + 8 must not exceed TRLIM.
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trptr.number()),
+        dst: p(2),
+    });
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trlim.number()),
+        dst: p(3),
+    });
+    ua.alu_l(AluOp::Add, p(2), imm(8), p(4));
+    // Borrow (carry) set when TRLIM < TRPTR+8.
+    ua.alu_l(AluOp::Sub, p(3), p(4), p(7));
+    ua.jif(MicroCond::UCarry, "full");
+    // Low longword: the virtual address (in MAR at hook time, saved in P0).
+    ua.mov(p(2), MicroReg::Mar);
+    ua.mov(p(0), MicroReg::Mdr);
+    ua.op(MicroOp::PhysWrite);
+    // High longword: seed | pid | kernel flag.
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trctl.number()),
+        dst: p(1),
+    });
+    ua.alu_l(AluOp::Lsr, imm(trctl::PID_SHIFT), p(1), p(7));
+    ua.alu_l(AluOp::And, p(7), imm(trctl::PID_MASK), p(7));
+    ua.alu_l(AluOp::Lsl, imm(meta::PID_SHIFT), p(7), p(7));
+    ua.alu_l(AluOp::Or, p(5), p(7), p(5));
+    ua.jif(MicroCond::UserMode, "notkernel");
+    ua.alu_l(AluOp::Or, p(5), imm(meta::KERNEL_BIT), p(5));
+    ua.label("notkernel");
+    ua.alu_l(AluOp::Add, p(2), imm(4), MicroReg::Mar);
+    ua.mov(p(5), MicroReg::Mdr);
+    ua.op(MicroOp::PhysWrite);
+    // Advance the pointer and restore the datapath.
+    ua.op(MicroOp::WritePr {
+        num: imm(PrivReg::Trptr.number()),
+        src: p(4),
+    });
+    ua.mov(p(0), MicroReg::Mar);
+    ua.mov(p(6), MicroReg::Mdr);
+    if style == PatchStyle::Spill {
+        // Microtrap exit: reload the spilled working set from the
+        // scratch line (the memory traffic is what the cost model needs;
+        // the values themselves are intact in this engine's P registers).
+        ua.op(MicroOp::ReadPr {
+            num: imm(PrivReg::Trlim.number()),
+            dst: p(4),
+        });
+        for i in 0..8u32 {
+            ua.alu_l(AluOp::Add, p(4), imm(4 * i), MicroReg::Mar);
+            ua.op(MicroOp::PhysRead);
+        }
+        // Re-restore the caller's MAR/MDR after the reload sequence.
+        ua.mov(p(0), MicroReg::Mar);
+        ua.mov(p(6), MicroReg::Mdr);
+    }
+    ua.ret();
+    // Buffer full: flag it, halt for the host, then retry from the top
+    // once the console resumes us (TRPTR reset, FULL cleared).
+    ua.label("full");
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trctl.number()),
+        dst: p(1),
+    });
+    ua.alu_l(AluOp::Or, p(1), imm(trctl::FULL), p(1));
+    ua.op(MicroOp::WritePr {
+        num: imm(PrivReg::Trctl.number()),
+        src: p(1),
+    });
+    ua.op(MicroOp::Halt);
+    ua.jmp("begin");
+    ua.commit(cs).expect("atum.log");
+}
+
+/// A reference hook: enable check, seed the high word (size from the
+/// operand-size latch unless fixed), log, tail-jump to the stock routine.
+fn build_ref_stub(
+    cs: &mut ControlStore,
+    name: &str,
+    kind: RecordKind,
+    fixed_size: Option<u32>,
+    stock: u32,
+) -> u32 {
+    let mut ua = MicroAsm::new();
+    ua.global(name);
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trctl.number()),
+        dst: p(1),
+    });
+    ua.alu_l(AluOp::And, p(1), imm(trctl::ENABLE), p(7));
+    ua.jif(MicroCond::UZero, "off");
+    match fixed_size {
+        Some(sz) => {
+            ua.mov(
+                imm((kind as u32) << meta::KIND_SHIFT | sz << meta::SIZE_SHIFT),
+                p(5),
+            );
+        }
+        None => {
+            ua.mov(imm((kind as u32) << meta::KIND_SHIFT), p(5));
+            ua.alu_l(AluOp::Lsl, imm(meta::SIZE_SHIFT), MicroReg::OSizeBytes, p(7));
+            ua.alu_l(AluOp::Or, p(5), p(7), p(5));
+        }
+    }
+    ua.call("atum.log");
+    ua.label("off");
+    ua.op(MicroOp::Jump(Target::Abs(stock)));
+    ua.commit(cs).expect(name)
+}
+
+/// The ldpctx wrapper: read the incoming PID from the PCB, stamp it into
+/// TRCTL, log a context-switch marker, continue with the stock ldpctx.
+fn build_ldpctx(cs: &mut ControlStore, stock: u32) -> u32 {
+    let mut ua = MicroAsm::new();
+    ua.global("atum.ldpctx");
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trctl.number()),
+        dst: p(1),
+    });
+    ua.alu_l(AluOp::And, p(1), imm(trctl::ENABLE), p(7));
+    ua.jif(MicroCond::UZero, "off");
+    // PID from PCB[PID] (physical, like all PCB traffic).
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Pcbb.number()),
+        dst: p(2),
+    });
+    ua.alu_l(
+        AluOp::Add,
+        p(2),
+        imm(atum_ucode::stock::pcb::PID),
+        MicroReg::Mar,
+    );
+    ua.op(MicroOp::PhysRead);
+    ua.alu_l(AluOp::And, MicroReg::Mdr, imm(0xFF), p(3));
+    // TRCTL ← (TRCTL & ~pidfield) | pid << 8.
+    ua.alu_l(AluOp::Lsl, imm(trctl::PID_SHIFT), p(3), p(3));
+    ua.alu_l(
+        AluOp::BicR,
+        imm(trctl::PID_MASK << trctl::PID_SHIFT),
+        p(1),
+        p(4),
+    );
+    ua.alu_l(AluOp::Or, p(4), p(3), p(1));
+    ua.op(MicroOp::WritePr {
+        num: imm(PrivReg::Trctl.number()),
+        src: p(1),
+    });
+    // Marker: address = PCB base, pid freshly stamped.
+    ua.mov(p(2), MicroReg::Mar);
+    ua.mov(
+        imm((RecordKind::CtxSwitch as u32) << meta::KIND_SHIFT),
+        p(5),
+    );
+    ua.call("atum.log");
+    ua.label("off");
+    ua.op(MicroOp::Jump(Target::Abs(stock)));
+    ua.commit(cs).expect("atum.ldpctx")
+}
+
+/// The exception-dispatch wrapper: log an interrupt/exception marker
+/// carrying the SCB vector, then run the stock entry flow.
+fn build_exc(cs: &mut ControlStore, stock: u32) -> u32 {
+    let mut ua = MicroAsm::new();
+    ua.global("atum.exc");
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Trctl.number()),
+        dst: p(1),
+    });
+    ua.alu_l(AluOp::And, p(1), imm(trctl::ENABLE), p(7));
+    ua.jif(MicroCond::UZero, "off");
+    ua.mov(MicroReg::ExcVec, MicroReg::Mar);
+    ua.mov(
+        imm((RecordKind::Interrupt as u32) << meta::KIND_SHIFT),
+        p(5),
+    );
+    ua.call("atum.log");
+    ua.label("off");
+    ua.op(MicroOp::Jump(Target::Abs(stock)));
+    ua.commit(cs).expect("atum.exc")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_ucode::stock;
+
+    #[test]
+    fn install_repoints_all_hooks() {
+        let mut cs = stock::build();
+        let stock_read = cs.entry(Entry::XferRead);
+        let ps = PatchSet::install(&mut cs).unwrap();
+        assert_ne!(cs.entry(Entry::XferRead), stock_read);
+        assert_eq!(cs.entry(Entry::XferRead), cs.symbol("atum.read").unwrap());
+        assert_eq!(cs.entry(Entry::XferWrite), cs.symbol("atum.write").unwrap());
+        assert_eq!(
+            cs.entry(Entry::XferIFetch),
+            cs.symbol("atum.ifetch").unwrap()
+        );
+        assert_eq!(
+            cs.opcode_target(Opcode::Ldpctx.to_byte()),
+            cs.symbol("atum.ldpctx").unwrap()
+        );
+        assert_eq!(cs.entry(Entry::ExcDispatch), cs.symbol("atum.exc").unwrap());
+        assert_eq!(ps.words(), cs.patch_words());
+        assert!(ps.words() > 30, "patch footprint is non-trivial");
+        assert!(ps.words() < 200, "patch footprint stays modest");
+    }
+
+    #[test]
+    fn double_install_rejected() {
+        let mut cs = stock::build();
+        PatchSet::install(&mut cs).unwrap();
+        assert_eq!(
+            PatchSet::install(&mut cs).unwrap_err(),
+            PatchError::AlreadyInstalled
+        );
+    }
+
+    #[test]
+    fn uninstall_restores_stock_targets() {
+        let mut cs = stock::build();
+        let stock_read = cs.entry(Entry::XferRead);
+        let stock_exc = cs.entry(Entry::ExcDispatch);
+        let stock_ldpctx = cs.opcode_target(Opcode::Ldpctx.to_byte());
+        let ps = PatchSet::install(&mut cs).unwrap();
+        ps.uninstall(&mut cs);
+        assert_eq!(cs.entry(Entry::XferRead), stock_read);
+        assert_eq!(cs.entry(Entry::ExcDispatch), stock_exc);
+        assert_eq!(cs.opcode_target(Opcode::Ldpctx.to_byte()), stock_ldpctx);
+        // The words remain in the WCS, inert.
+        assert_eq!(cs.patch_words(), ps.words());
+    }
+
+    #[test]
+    fn patches_only_use_patch_scratch_for_state() {
+        // The patch may read any register but must only *write* P regs,
+        // MAR/MDR (restored) and privileged state.
+        let mut cs = stock::build();
+        let _ = PatchSet::install(&mut cs).unwrap();
+        for addr in cs.stock_len()..cs.len() {
+            if let MicroOp::Alu { dst, .. } | MicroOp::Mov { dst, .. } = cs.word(addr) {
+                let ok = matches!(
+                    dst,
+                    MicroReg::P(_) | MicroReg::Mar | MicroReg::Mdr
+                );
+                assert!(ok, "patch word {addr} writes {dst}");
+            }
+        }
+    }
+}

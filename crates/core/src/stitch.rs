@@ -1,0 +1,78 @@
+//! Capture sessions: run the machine, service buffer-full halts, stitch
+//! the drained samples — the paper's methodology for traces longer than
+//! the hidden buffer.
+
+use crate::trace::Trace;
+use crate::tracer::{Tracer, TracerError};
+use atum_machine::{Machine, RunExit};
+
+/// The result of a capture session.
+#[derive(Debug)]
+pub struct Capture {
+    /// The stitched trace.
+    pub trace: Trace,
+    /// How the final run ended.
+    pub exit: RunExit,
+    /// Number of buffer-full drains that occurred (segments - 1).
+    pub drains: u32,
+}
+
+/// Drives a traced machine to completion, draining the hidden buffer each
+/// time the patch microcode halts with the FULL flag.
+#[derive(Debug)]
+pub struct CaptureSession<'t> {
+    tracer: &'t Tracer,
+    max_total_cycles: u64,
+    max_drains: u32,
+}
+
+impl<'t> CaptureSession<'t> {
+    /// Creates a session with a total cycle budget.
+    pub fn new(tracer: &'t Tracer, max_total_cycles: u64) -> CaptureSession<'t> {
+        CaptureSession {
+            tracer,
+            max_total_cycles,
+            max_drains: 100_000,
+        }
+    }
+
+    /// Caps the number of drains (guards against runaway programs).
+    pub fn max_drains(mut self, n: u32) -> CaptureSession<'t> {
+        self.max_drains = n;
+        self
+    }
+
+    /// Enables capture and runs until the machine halts for a reason other
+    /// than a full buffer (or the budget runs out), stitching every
+    /// drained sample.
+    ///
+    /// # Errors
+    ///
+    /// [`TracerError::Extract`] if a drain fails.
+    pub fn run(&self, m: &mut Machine) -> Result<Capture, TracerError> {
+        self.tracer.set_enabled(m, true);
+        let deadline = m.cycles().saturating_add(self.max_total_cycles);
+        let mut trace = Trace::new();
+        let mut drains = 0u32;
+        loop {
+            let budget = deadline.saturating_sub(m.cycles());
+            let exit = m.run(budget);
+            match exit {
+                RunExit::Halted if self.tracer.is_full(m) && drains < self.max_drains => {
+                    trace.stitch(self.tracer.drain(m)?);
+                    drains += 1;
+                    m.resume();
+                }
+                other => {
+                    trace.stitch(self.tracer.drain(m)?);
+                    self.tracer.set_enabled(m, false);
+                    return Ok(Capture {
+                        trace,
+                        exit: other,
+                        drains,
+                    });
+                }
+            }
+        }
+    }
+}

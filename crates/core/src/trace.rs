@@ -1,0 +1,198 @@
+//! In-memory traces: a record sequence with segment boundaries.
+
+use crate::record::{RecordKind, TraceRecord};
+use crate::stats::TraceStats;
+use std::fmt;
+
+/// An address trace: records in capture order, with the indices where
+/// stitched segments begin.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+    segment_starts: Vec<usize>,
+}
+
+impl Trace {
+    /// An empty trace (one implicit segment).
+    pub fn new() -> Trace {
+        Trace {
+            records: Vec::new(),
+            segment_starts: vec![0],
+        }
+    }
+
+    /// Number of records (markers included).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, r: TraceRecord) {
+        self.records.push(r);
+    }
+
+    /// Appends another trace as a new segment (the stitch operation),
+    /// separated by a [`RecordKind::SegmentMark`].
+    pub fn stitch(&mut self, other: Trace) {
+        if !self.records.is_empty() {
+            self.records
+                .push(TraceRecord::new(RecordKind::SegmentMark, 0, 0, 0, false));
+        }
+        self.segment_starts.push(self.records.len());
+        self.records.extend(other.records);
+    }
+
+    /// Number of stitched segments.
+    pub fn segments(&self) -> usize {
+        self.segment_starts.len()
+    }
+
+    /// Iterates over all records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// The records as a slice.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over memory references only (I and D records).
+    pub fn refs(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.records.iter().copied().filter(|r| r.is_ref())
+    }
+
+    /// Total number of memory references.
+    pub fn ref_count(&self) -> usize {
+        self.refs().count()
+    }
+
+    /// A new trace containing only user-mode references — what a
+    /// pre-ATUM user-level tracer would have seen.
+    pub fn user_only(&self) -> Trace {
+        Trace {
+            records: self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| r.is_ref() && !r.is_kernel())
+                .collect(),
+            segment_starts: vec![0],
+        }
+    }
+
+    /// A new trace containing only references from one process (kernel
+    /// references stamped with that pid included).
+    pub fn pid_only(&self, pid: u8) -> Trace {
+        Trace {
+            records: self
+                .records
+                .iter()
+                .copied()
+                .filter(|r| r.is_ref() && r.pid() == pid)
+                .collect(),
+            segment_starts: vec![0],
+        }
+    }
+
+    /// Computes summary statistics.
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+}
+
+impl Extend<TraceRecord> for Trace {
+    fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+impl FromIterator<TraceRecord> for Trace {
+    fn from_iter<T: IntoIterator<Item = TraceRecord>>(iter: T) -> Trace {
+        let mut t = Trace::new();
+        t.extend(iter);
+        t
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace: {} records ({} refs) in {} segment(s)",
+            self.len(),
+            self.ref_count(),
+            self.segments()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: RecordKind, addr: u32, pid: u8, kernel: bool) -> TraceRecord {
+        TraceRecord::new(kind, addr, 4, pid, kernel)
+    }
+
+    #[test]
+    fn push_and_filter() {
+        let mut t = Trace::new();
+        t.push(rec(RecordKind::IFetch, 0x100, 1, false));
+        t.push(rec(RecordKind::Read, 0x200, 1, false));
+        t.push(rec(RecordKind::Write, 0x300, 1, true));
+        t.push(rec(RecordKind::CtxSwitch, 0x9000, 2, true));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.ref_count(), 3);
+        assert_eq!(t.user_only().len(), 2);
+        assert_eq!(t.pid_only(1).len(), 3);
+        assert_eq!(t.pid_only(2).len(), 0, "markers excluded");
+    }
+
+    #[test]
+    fn stitch_inserts_marks() {
+        let mut a: Trace = vec![rec(RecordKind::Read, 1, 0, false)]
+            .into_iter()
+            .collect();
+        let b: Trace = vec![rec(RecordKind::Read, 2, 0, false)]
+            .into_iter()
+            .collect();
+        a.stitch(b);
+        assert_eq!(a.segments(), 2);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.records()[1].kind(), RecordKind::SegmentMark);
+        assert_eq!(a.ref_count(), 2, "marks are not references");
+    }
+
+    #[test]
+    fn stitch_into_empty_adds_no_mark() {
+        let mut a = Trace::new();
+        a.stitch(
+            vec![rec(RecordKind::Read, 2, 0, false)]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.segments(), 2);
+    }
+
+    #[test]
+    fn display() {
+        let t = Trace::new();
+        assert!(t.to_string().contains("0 records"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Host-side tracer control: attach, enable, drain, extract.
+
+use crate::patch::{trctl, PatchError, PatchSet};
+use crate::record::TraceRecord;
+use crate::trace::Trace;
+use atum_arch::PrivReg;
+use atum_machine::Machine;
+use std::fmt;
+
+/// Errors from tracer operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TracerError {
+    /// Patch installation failed.
+    Patch(PatchError),
+    /// The machine's reserved region is too small for even one record.
+    ReservedTooSmall,
+    /// The trace region contents could not be read back.
+    Extract(String),
+}
+
+impl fmt::Display for TracerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TracerError::Patch(e) => write!(f, "patch installation failed: {e}"),
+            TracerError::ReservedTooSmall => f.write_str("reserved region too small"),
+            TracerError::Extract(e) => write!(f, "trace extraction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TracerError {}
+
+impl From<PatchError> for TracerError {
+    fn from(e: PatchError) -> TracerError {
+        TracerError::Patch(e)
+    }
+}
+
+/// The attached ATUM tracer: owns the patch handle and the buffer bounds.
+///
+/// All control flows through the machine's privileged registers — the
+/// same interface the console used on the 8200. The tracer holds no
+/// machine reference; pass the machine to each operation.
+#[derive(Debug)]
+pub struct Tracer {
+    patches: PatchSet,
+    base: u32,
+    limit: u32,
+}
+
+impl Tracer {
+    /// Installs the patches and points the trace buffer at the machine's
+    /// entire reserved region. Capture starts disabled.
+    ///
+    /// # Errors
+    ///
+    /// [`TracerError::Patch`] on double-install; [`TracerError::ReservedTooSmall`]
+    /// if the reserved region cannot hold a record.
+    pub fn attach(m: &mut Machine) -> Result<Tracer, TracerError> {
+        let layout = m.memory().layout();
+        Tracer::attach_region(m, layout.reserved_base(), layout.reserved_len())
+    }
+
+    /// Installs the patches with an explicit [`PatchStyle`] over the whole
+    /// reserved region (the A1 patch-cost ablation).
+    ///
+    /// # Errors
+    ///
+    /// As [`Tracer::attach`].
+    ///
+    /// [`PatchStyle`]: crate::patch::PatchStyle
+    pub fn attach_with_style(
+        m: &mut Machine,
+        style: crate::patch::PatchStyle,
+    ) -> Result<Tracer, TracerError> {
+        let layout = m.memory().layout();
+        Tracer::attach_region_with_style(m, layout.reserved_base(), layout.reserved_len(), style)
+    }
+
+    /// Installs the patches with an explicit buffer region (used by the
+    /// buffer-size experiments).
+    ///
+    /// # Errors
+    ///
+    /// As [`Tracer::attach`].
+    pub fn attach_region(m: &mut Machine, base: u32, len: u32) -> Result<Tracer, TracerError> {
+        Tracer::attach_region_with_style(m, base, len, crate::patch::PatchStyle::Scratch)
+    }
+
+    /// Installs the patches with an explicit region and style. The spill
+    /// style reserves the 32 bytes at the buffer limit as its scratch
+    /// line, shrinking the record capacity accordingly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tracer::attach`].
+    pub fn attach_region_with_style(
+        m: &mut Machine,
+        base: u32,
+        mut len: u32,
+        style: crate::patch::PatchStyle,
+    ) -> Result<Tracer, TracerError> {
+        if style == crate::patch::PatchStyle::Spill {
+            len = len.saturating_sub(32);
+        }
+        if len < 8 {
+            return Err(TracerError::ReservedTooSmall);
+        }
+        let patches = PatchSet::install_with_style(m.control_store_mut(), style)?;
+        let limit = base + len;
+        m.write_prv(PrivReg::Trbase, base);
+        m.write_prv(PrivReg::Trptr, base);
+        m.write_prv(PrivReg::Trlim, limit);
+        m.write_prv(PrivReg::Trctl, 0);
+        Ok(Tracer {
+            patches,
+            base,
+            limit,
+        })
+    }
+
+    /// The installed patch set (for footprint reporting).
+    pub fn patches(&self) -> &PatchSet {
+        &self.patches
+    }
+
+    /// Buffer capacity in records.
+    pub fn capacity_records(&self) -> u32 {
+        (self.limit - self.base) / 8
+    }
+
+    /// Turns capture on or off (the TRCTL enable bit).
+    pub fn set_enabled(&self, m: &mut Machine, on: bool) {
+        let mut v = m.read_prv(PrivReg::Trctl);
+        if on {
+            v |= trctl::ENABLE;
+        } else {
+            v &= !trctl::ENABLE;
+        }
+        m.write_prv(PrivReg::Trctl, v);
+    }
+
+    /// Whether capture is enabled.
+    pub fn is_enabled(&self, m: &Machine) -> bool {
+        m.read_prv(PrivReg::Trctl) & trctl::ENABLE != 0
+    }
+
+    /// Whether the microcode has flagged the buffer full.
+    pub fn is_full(&self, m: &Machine) -> bool {
+        m.read_prv(PrivReg::Trctl) & trctl::FULL != 0
+    }
+
+    /// Stamps the current process id into TRCTL (the boot path; `ldpctx`
+    /// keeps it up to date afterwards).
+    pub fn set_pid(&self, m: &mut Machine, pid: u8) {
+        let v = m.read_prv(PrivReg::Trctl);
+        let v = (v & !(trctl::PID_MASK << trctl::PID_SHIFT)) | ((pid as u32) << trctl::PID_SHIFT);
+        m.write_prv(PrivReg::Trctl, v);
+    }
+
+    /// Number of records currently in the buffer.
+    pub fn pending_records(&self, m: &Machine) -> u32 {
+        (m.read_prv(PrivReg::Trptr) - self.base) / 8
+    }
+
+    /// Reads the buffered records without disturbing the machine.
+    ///
+    /// # Errors
+    ///
+    /// [`TracerError::Extract`] if the region read fails or a record is
+    /// corrupt.
+    pub fn extract(&self, m: &Machine) -> Result<Trace, TracerError> {
+        let ptr = m.read_prv(PrivReg::Trptr);
+        let len = ptr.saturating_sub(self.base);
+        let bytes = m
+            .read_phys(self.base, len)
+            .map_err(TracerError::Extract)?;
+        let mut trace = Trace::new();
+        for chunk in bytes.chunks_exact(8) {
+            let addr = u32::from_le_bytes(chunk[0..4].try_into().expect("chunk"));
+            let meta = u32::from_le_bytes(chunk[4..8].try_into().expect("chunk"));
+            let rec = TraceRecord::from_raw(addr, meta).ok_or_else(|| {
+                TracerError::Extract(format!("corrupt record meta {meta:#010x}"))
+            })?;
+            trace.push(rec);
+        }
+        Ok(trace)
+    }
+
+    /// Extracts the buffer, resets the write pointer and clears the FULL
+    /// flag — the console's drain operation during stitched captures.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tracer::extract`].
+    pub fn drain(&self, m: &mut Machine) -> Result<Trace, TracerError> {
+        let t = self.extract(m)?;
+        m.write_prv(PrivReg::Trptr, self.base);
+        let v = m.read_prv(PrivReg::Trctl) & !trctl::FULL;
+        m.write_prv(PrivReg::Trctl, v);
+        Ok(t)
+    }
+
+    /// Detaches: disables capture and restores the stock dispatch targets.
+    pub fn detach(self, m: &mut Machine) {
+        self.set_enabled(m, false);
+        self.patches.uninstall(m.control_store_mut());
+    }
+}

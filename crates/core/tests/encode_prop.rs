@@ -1,0 +1,83 @@
+//! Property tests on the trace record format and the archival encoding.
+
+use atum_core::{decode_trace, encode_trace, RecordKind, Trace, TraceRecord};
+use proptest::prelude::*;
+
+fn record() -> impl Strategy<Value = TraceRecord> {
+    (
+        prop_oneof![
+            Just(RecordKind::IFetch),
+            Just(RecordKind::Read),
+            Just(RecordKind::Write),
+            Just(RecordKind::CtxSwitch),
+            Just(RecordKind::Interrupt),
+            Just(RecordKind::SegmentMark),
+        ],
+        any::<u32>(),
+        prop_oneof![Just(0u32), Just(1), Just(2), Just(4)],
+        any::<u8>(),
+        any::<bool>(),
+    )
+        .prop_map(|(kind, addr, size, pid, kernel)| {
+            TraceRecord::new(kind, addr, size, pid, kernel)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn record_fields_round_trip(r in record()) {
+        let parsed = TraceRecord::from_raw(r.addr, r.meta).expect("valid meta");
+        prop_assert_eq!(parsed, r);
+        prop_assert_eq!(parsed.kind(), r.kind());
+        prop_assert_eq!(parsed.pid(), r.pid());
+        prop_assert_eq!(parsed.is_kernel(), r.is_kernel());
+        prop_assert_eq!(parsed.size(), r.size());
+    }
+
+    #[test]
+    fn encode_decode_round_trips(records in proptest::collection::vec(record(), 0..500)) {
+        let trace: Trace = records.iter().copied().collect();
+        let bytes = encode_trace(&trace);
+        let back = decode_trace(&bytes).expect("decodes");
+        prop_assert_eq!(back.records(), trace.records());
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = decode_trace(&bytes); // must return, never panic
+    }
+
+    #[test]
+    fn decode_never_panics_on_truncated_valid(records in proptest::collection::vec(record(), 1..100), cut in any::<prop::sample::Index>()) {
+        let trace: Trace = records.iter().copied().collect();
+        let bytes = encode_trace(&trace);
+        let cut = cut.index(bytes.len());
+        let _ = decode_trace(&bytes[..cut]); // must return, never panic
+    }
+
+    #[test]
+    fn stats_are_consistent(records in proptest::collection::vec(record(), 0..300)) {
+        let trace: Trace = records.iter().copied().collect();
+        let s = trace.stats();
+        prop_assert_eq!(s.total_refs(), s.ifetch + s.reads + s.writes);
+        prop_assert_eq!(s.kernel_refs + s.user_refs, s.total_refs());
+        prop_assert_eq!(s.records, records.len() as u64);
+        prop_assert!(s.distinct_pages >= s.distinct_data_pages);
+        let by_pid: u64 = s.refs_by_pid.values().sum();
+        prop_assert_eq!(by_pid, s.total_refs());
+        prop_assert!(s.os_fraction() >= 0.0 && s.os_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn user_only_is_a_clean_subset(records in proptest::collection::vec(record(), 0..300)) {
+        let trace: Trace = records.iter().copied().collect();
+        let user = trace.user_only();
+        prop_assert_eq!(user.stats().kernel_refs, 0);
+        prop_assert_eq!(user.ref_count() as u64, trace.stats().user_refs);
+        for r in user.iter() {
+            prop_assert!(r.is_ref() && !r.is_kernel());
+        }
+    }
+}

@@ -1,0 +1,946 @@
+//! The micro-engine: executes micro-ops from the control store.
+//!
+//! One `match` arm per [`MicroOp`]. Cycle accounting: memory micro-ops
+//! cost 2 microcycles, PTE-walk reads 2 each, everything else 1 — a
+//! deliberately simple model, but patched-vs-stock *ratios* (the paper's
+//! slowdown numbers) are insensitive to the absolute constants.
+
+use crate::mmu::{self, AccessKind};
+use crate::Machine;
+use atum_arch::exc::{ArithKind, ScbVector, IPL_TIMER};
+use atum_arch::mem::PAGE_OFFSET_MASK;
+use atum_arch::{
+    DataSize, Exception, ExceptionClass, PrivReg, Psl, Region, VirtAddr, PAGE_SIZE,
+};
+use atum_ucode::{
+    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel, Target,
+};
+
+/// Maximum micro-subroutine nesting.
+const MICRO_STACK_LIMIT: usize = 64;
+
+/// How a [`Machine::run`] call ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// The `halt` micro-op executed (HALT instruction, or a patch halting
+    /// for host service, e.g. trace-buffer full).
+    Halted,
+    /// The cycle budget ran out.
+    CycleLimit,
+    /// Unrecoverable: a third nested exception during exception entry.
+    TripleFault,
+    /// Unrecoverable micro-architecture error (bad microcode).
+    MicroError(&'static str),
+}
+
+impl std::fmt::Display for RunExit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunExit::Halted => f.write_str("halted"),
+            RunExit::CycleLimit => f.write_str("cycle limit reached"),
+            RunExit::TripleFault => f.write_str("triple fault"),
+            RunExit::MicroError(m) => write!(f, "micro-architecture error: {m}"),
+        }
+    }
+}
+
+/// Reference and event counters — the "hardware monitor" view used by the
+/// slowdown and completeness accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefCounts {
+    /// Instruction-stream longword fetches.
+    pub ifetch: u64,
+    /// Data reads.
+    pub data_reads: u64,
+    /// Data writes.
+    pub data_writes: u64,
+    /// PTE reads performed by the hardware walker.
+    pub pte_reads: u64,
+    /// Exceptions taken (faults and traps).
+    pub exceptions: u64,
+    /// Interrupts delivered.
+    pub interrupts: u64,
+}
+
+impl RefCounts {
+    /// Total architectural memory references (I + D).
+    pub fn total_refs(&self) -> u64 {
+        self.ifetch + self.data_reads + self.data_writes
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct AluFlags {
+    z: bool,
+    n: bool,
+    c: bool,
+    v: bool,
+    divz: bool,
+}
+
+impl Machine {
+    /// Executes micro-ops until halt, a fatal condition, or `max_cycles`
+    /// additional microcycles have elapsed.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let deadline = self.cycles.saturating_add(max_cycles);
+        loop {
+            if self.halted {
+                return RunExit::Halted;
+            }
+            if self.cycles >= deadline {
+                return RunExit::CycleLimit;
+            }
+            if let Some(exit) = self.step_micro() {
+                if exit == RunExit::Halted {
+                    self.halted = true;
+                }
+                return exit;
+            }
+        }
+    }
+
+    /// Runs until `n` more architectural instructions complete (or another
+    /// exit happens first). Returns the exit if one occurred.
+    pub fn step_insns(&mut self, n: u64, max_cycles: u64) -> Option<RunExit> {
+        let target = self.insns + n;
+        let deadline = self.cycles.saturating_add(max_cycles);
+        while self.insns < target {
+            if self.halted {
+                return Some(RunExit::Halted);
+            }
+            if self.cycles >= deadline {
+                return Some(RunExit::CycleLimit);
+            }
+            if let Some(exit) = self.step_micro() {
+                if exit == RunExit::Halted {
+                    self.halted = true;
+                }
+                return Some(exit);
+            }
+        }
+        None
+    }
+
+    /// Executes one micro-op. Returns `Some` on halt/fatal.
+    fn step_micro(&mut self) -> Option<RunExit> {
+        if self.upc >= self.cs.len() {
+            return Some(RunExit::MicroError("micro-PC outside control store"));
+        }
+        let op = self.cs.word(self.upc);
+        self.upc += 1;
+        self.cycles += 1;
+        match op {
+            MicroOp::Mov { src, dst } => {
+                let v = self.read_src(src);
+                self.write_dst(dst, v);
+            }
+            MicroOp::Alu {
+                op,
+                a,
+                b,
+                dst,
+                cc,
+                size,
+            } => {
+                let av = self.read_src(a);
+                let bv = self.read_src(b);
+                let (result, flags) = alu_exec(op, av, bv, size);
+                self.regs.uflags = crate::regs::UFlags {
+                    z: flags.z,
+                    n: flags.n,
+                    c: flags.c,
+                    v: flags.v,
+                    divz: flags.divz,
+                };
+                self.apply_cc(cc, flags);
+                self.write_dst(dst, result);
+            }
+            MicroOp::SetSize(s) => self.regs.osize = s,
+            MicroOp::SetSizeDyn(r) => {
+                let v = self.read_src(r);
+                self.regs.osize = match v {
+                    1 => DataSize::Byte,
+                    2 => DataSize::Word,
+                    4 => DataSize::Long,
+                    _ => return Some(RunExit::MicroError("bad dynamic size latch")),
+                };
+            }
+            MicroOp::Read { class, size } => {
+                self.cycles += 1;
+                let size = self.sel_size(size);
+                if let Err(e) = self.vread(size, class) {
+                    if let Err(x) = self.enter_exception(e) {
+                        return Some(x);
+                    }
+                }
+            }
+            MicroOp::Write { size } => {
+                self.cycles += 1;
+                let size = self.sel_size(size);
+                if let Err(e) = self.vwrite(size) {
+                    if let Err(x) = self.enter_exception(e) {
+                        return Some(x);
+                    }
+                }
+            }
+            MicroOp::PhysRead => {
+                self.cycles += 1;
+                match self.mem.read_le(self.regs.mar, 4) {
+                    Some(v) => self.regs.mdr = v,
+                    None => {
+                        if let Err(x) = self.enter_exception(Exception::MachineCheck) {
+                            return Some(x);
+                        }
+                    }
+                }
+            }
+            MicroOp::PhysWrite => {
+                self.cycles += 1;
+                let v = self.regs.mdr;
+                if self.mem.write_le(self.regs.mar, 4, v).is_none() {
+                    if let Err(x) = self.enter_exception(Exception::MachineCheck) {
+                        return Some(x);
+                    }
+                }
+            }
+            MicroOp::Jump(t) => self.upc = self.resolve(t),
+            MicroOp::JumpIf { cond, target } => {
+                if self.cond(cond) {
+                    self.upc = self.resolve(target);
+                }
+            }
+            MicroOp::Call(t) => {
+                if self.ustack.len() >= MICRO_STACK_LIMIT {
+                    return Some(RunExit::MicroError("micro-stack overflow"));
+                }
+                self.ustack.push(self.upc);
+                self.upc = self.resolve(t);
+            }
+            MicroOp::Ret => match self.ustack.pop() {
+                Some(addr) => self.upc = addr,
+                None => return Some(RunExit::MicroError("micro-stack underflow")),
+            },
+            MicroOp::DispatchOpcode => {
+                self.upc = self.cs.opcode_target(self.regs.opreg as u8);
+            }
+            MicroOp::DispatchSpec(table) => {
+                self.upc = self.cs.spec_target(table, (self.regs.spec >> 4) as u8);
+            }
+            MicroOp::DecodeNext => return self.boundary(),
+            MicroOp::AdvancePc => {
+                self.log_gpr(15);
+                self.regs.gpr[15] = self.regs.gpr[15].wrapping_add(1);
+            }
+            MicroOp::Fault(kind) => {
+                let exc = self.fault_to_exception(kind);
+                if let Err(x) = self.enter_exception(exc) {
+                    return Some(x);
+                }
+            }
+            MicroOp::ReadPr { num, dst } => {
+                let n = self.read_src(num);
+                match self.read_prv_dyn(n) {
+                    Ok(v) => self.write_dst(dst, v),
+                    Err(e) => {
+                        if let Err(x) = self.enter_exception(e) {
+                            return Some(x);
+                        }
+                    }
+                }
+            }
+            MicroOp::WritePr { num, src } => {
+                let n = self.read_src(num);
+                let v = self.read_src(src);
+                match PrivReg::from_number(n) {
+                    Some(reg) => self.write_prv_internal(reg, v),
+                    None => {
+                        if let Err(x) = self.enter_exception(Exception::ReservedOperand) {
+                            return Some(x);
+                        }
+                    }
+                }
+            }
+            MicroOp::TbFlushAll => self.tlb.flush_all(),
+            MicroOp::TbFlushProc => self.tlb.flush_process(),
+            MicroOp::Halt => return Some(RunExit::Halted),
+        }
+        None
+    }
+
+    fn sel_size(&self, sel: SizeSel) -> DataSize {
+        match sel {
+            SizeSel::Fixed(s) => s,
+            SizeSel::OSize => self.regs.osize,
+        }
+    }
+
+    fn resolve(&self, t: Target) -> u32 {
+        match t {
+            Target::Abs(a) => a,
+            Target::Entry(e) => self.cs.entry(e),
+        }
+    }
+
+    pub(crate) fn read_src(&mut self, r: MicroReg) -> u32 {
+        match r {
+            MicroReg::Gpr(n) => self.regs.gpr[(n & 0xF) as usize],
+            MicroReg::T(n) => self.regs.t[(n & 0xF) as usize],
+            MicroReg::P(n) => self.regs.p[(n & 0x7) as usize],
+            MicroReg::Mar => self.regs.mar,
+            MicroReg::Mdr => self.regs.mdr,
+            MicroReg::Psl => self.regs.psl.bits(),
+            MicroReg::Spec => self.regs.spec,
+            MicroReg::OpReg => self.regs.opreg,
+            MicroReg::RegNum => self.regs.regnum,
+            MicroReg::GprIdx => self.regs.gpr[(self.regs.regnum & 0xF) as usize],
+            MicroReg::OSizeBytes => self.regs.osize.bytes(),
+            MicroReg::OSizeMask => self.regs.osize.mask(),
+            MicroReg::IbData => self.regs.ibdata,
+            MicroReg::IbCnt => self.regs.ibcnt,
+            MicroReg::ExcVec => self.regs.excvec,
+            MicroReg::ExcParam => self.regs.excparam,
+            MicroReg::ExcFlags => self.regs.excflags,
+            MicroReg::ExcPc => self.regs.excpc,
+            MicroReg::ExcIpl => self.regs.excipl,
+            MicroReg::Imm(v) => v,
+        }
+    }
+
+    pub(crate) fn write_dst(&mut self, r: MicroReg, v: u32) {
+        match r {
+            MicroReg::Gpr(n) => {
+                let n = (n & 0xF) as usize;
+                self.log_gpr(n as u8);
+                self.regs.gpr[n] = v;
+                if n == 15 {
+                    self.regs.ibcnt = 0;
+                }
+            }
+            MicroReg::GprIdx => {
+                let n = (self.regs.regnum & 0xF) as usize;
+                self.log_gpr(n as u8);
+                self.regs.gpr[n] = v;
+                if n == 15 {
+                    self.regs.ibcnt = 0;
+                }
+            }
+            MicroReg::T(n) => self.regs.t[(n & 0xF) as usize] = v,
+            MicroReg::P(n) => self.regs.p[(n & 0x7) as usize] = v,
+            MicroReg::Mar => self.regs.mar = v,
+            MicroReg::Mdr => self.regs.mdr = v,
+            MicroReg::Psl => self.regs.psl = Psl::from_bits(v),
+            MicroReg::Spec => self.regs.spec = v & 0xFF,
+            MicroReg::OpReg => self.regs.opreg = v & 0xFF,
+            MicroReg::RegNum => self.regs.regnum = v & 0xF,
+            MicroReg::IbData => self.regs.ibdata = v,
+            MicroReg::IbCnt => self.regs.ibcnt = v,
+            MicroReg::ExcVec => self.regs.excvec = v,
+            MicroReg::ExcParam => self.regs.excparam = v,
+            MicroReg::ExcFlags => self.regs.excflags = v,
+            MicroReg::ExcPc => self.regs.excpc = v,
+            MicroReg::ExcIpl => self.regs.excipl = v,
+            MicroReg::Imm(_) | MicroReg::OSizeBytes | MicroReg::OSizeMask => {
+                debug_assert!(false, "write to read-only micro-register {r}");
+            }
+        }
+    }
+
+    fn log_gpr(&mut self, n: u8) {
+        let bit = 1u16 << n;
+        if self.rlog_mask & bit == 0 {
+            self.rlog_mask |= bit;
+            self.rlog.push((n, self.regs.gpr[n as usize]));
+        }
+    }
+
+    fn rollback(&mut self) {
+        while let Some((n, old)) = self.rlog.pop() {
+            self.regs.gpr[n as usize] = old;
+        }
+        self.rlog_mask = 0;
+        self.regs.psl = self.psl_at_start;
+        self.regs.ibcnt = 0;
+    }
+
+    fn apply_cc(&mut self, cc: CcEffect, f: AluFlags) {
+        let psl = &mut self.regs.psl;
+        match cc {
+            CcEffect::None => {}
+            CcEffect::Logic => {
+                psl.set_n(f.n);
+                psl.set_z(f.z);
+                psl.set_v(false);
+            }
+            CcEffect::Test => {
+                psl.set_n(f.n);
+                psl.set_z(f.z);
+                psl.set_v(false);
+                psl.set_c(false);
+            }
+            CcEffect::Arith => {
+                psl.set_cc(f.n, f.z, f.v, f.c);
+            }
+            // VAX CMP semantics: N is the *signed comparison* outcome
+            // (sign of the subtraction corrected for overflow), V is
+            // cleared, C is the unsigned comparison. This is what makes
+            // `blss` after `cmpl` correct even when a-b overflows.
+            CcEffect::Cmp => {
+                psl.set_cc(f.n != f.v, f.z, false, f.c);
+            }
+        }
+    }
+
+    fn cond(&self, c: MicroCond) -> bool {
+        let f = self.regs.uflags;
+        let psl = self.regs.psl;
+        match c {
+            MicroCond::UZero => f.z,
+            MicroCond::UNotZero => !f.z,
+            MicroCond::UNeg => f.n,
+            MicroCond::UPos => !f.n,
+            MicroCond::UCarry => f.c,
+            MicroCond::UNoCarry => !f.c,
+            MicroCond::UOvf => f.v,
+            MicroCond::UDivZero => f.divz,
+            MicroCond::USLess => f.n != f.v,
+            MicroCond::USLeq => (f.n != f.v) || f.z,
+            MicroCond::RegNumIsPc => self.regs.regnum & 0xF == 15,
+            MicroCond::UserMode => !psl.is_kernel(),
+            MicroCond::KernelMode => psl.is_kernel(),
+            MicroCond::ArchEql => psl.z(),
+            MicroCond::ArchNeq => !psl.z(),
+            MicroCond::ArchGtr => !(psl.n() || psl.z()),
+            MicroCond::ArchLeq => psl.n() || psl.z(),
+            MicroCond::ArchGeq => !psl.n(),
+            MicroCond::ArchLss => psl.n(),
+            MicroCond::ArchGtru => !(psl.c() || psl.z()),
+            MicroCond::ArchLequ => psl.c() || psl.z(),
+            MicroCond::ArchVs => psl.v(),
+            MicroCond::ArchVc => !psl.v(),
+            MicroCond::ArchCs => psl.c(),
+            MicroCond::ArchCc => !psl.c(),
+        }
+    }
+
+    fn fault_to_exception(&self, kind: FaultKind) -> Exception {
+        match kind {
+            FaultKind::ReservedInstruction => Exception::ReservedInstruction,
+            FaultKind::ReservedOperand => Exception::ReservedOperand,
+            FaultKind::ReservedAddrMode => Exception::ReservedAddrMode,
+            FaultKind::Privileged => Exception::PrivilegedInstruction,
+            FaultKind::Arithmetic => Exception::Arithmetic(match self.regs.excparam {
+                1 => ArithKind::Overflow,
+                _ => ArithKind::DivideByZero,
+            }),
+            FaultKind::Chmk => Exception::Chmk(self.regs.excparam as u16),
+            FaultKind::Breakpoint => Exception::Breakpoint,
+        }
+    }
+
+    /// Enters the exception micro-flow.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(RunExit::TripleFault)` on a third nested exception.
+    fn enter_exception(&mut self, exc: Exception) -> Result<(), RunExit> {
+        self.counts.exceptions += 1;
+        if self.exc_depth >= 2 {
+            return Err(RunExit::TripleFault);
+        }
+        let exc = if self.exc_depth == 1 {
+            Exception::MachineCheck
+        } else {
+            exc
+        };
+        self.exc_depth += 1;
+        if exc.class() == ExceptionClass::Fault {
+            self.rollback();
+        }
+        self.regs.excvec = exc.vector();
+        let (param, has_param) = match exc.parameter() {
+            Some(p) => (p, 1),
+            None => (0, 0),
+        };
+        self.regs.excparam = param;
+        self.regs.excflags = has_param;
+        self.regs.excpc = if exc.class() == ExceptionClass::Fault {
+            self.insn_pc
+        } else {
+            self.regs.gpr[15]
+        };
+        self.regs.ibcnt = 0;
+        self.ustack.clear();
+        self.upc = self.cs.entry(Entry::ExcDispatch);
+        Ok(())
+    }
+
+    fn enter_interrupt(&mut self, vector: u32, ipl: u8) {
+        self.counts.interrupts += 1;
+        self.exc_depth = 1;
+        self.regs.excvec = vector;
+        self.regs.excparam = 0;
+        self.regs.excflags = 2;
+        self.regs.excipl = ipl as u32;
+        self.regs.excpc = self.regs.gpr[15];
+        self.regs.ibcnt = 0;
+        self.ustack.clear();
+        self.upc = self.cs.entry(Entry::ExcDispatch);
+    }
+
+    /// Instruction-boundary duties (the `DecodeNext` micro-op).
+    fn boundary(&mut self) -> Option<RunExit> {
+        self.exc_depth = 0;
+        self.rlog.clear();
+        self.rlog_mask = 0;
+        self.insns += 1;
+        self.ustack.clear();
+
+        // Trace (T-bit) trap sequencing: TP set at the start of a traced
+        // instruction fires here, before anything else.
+        if self.regs.psl.tp() {
+            let mut psl = self.regs.psl;
+            psl.set_tp(false);
+            self.regs.psl = psl;
+            self.psl_at_start = psl;
+            self.insn_pc = self.regs.gpr[15];
+            if let Err(x) = self.enter_exception(Exception::TraceTrap) {
+                return Some(x);
+            }
+            return None;
+        }
+        if self.regs.psl.t() {
+            let mut psl = self.regs.psl;
+            psl.set_tp(true);
+            self.regs.psl = psl;
+        }
+
+        // Interval timer.
+        if self.prv.iccs & 1 != 0 && self.cycles >= self.timer_deadline {
+            self.timer_pending = true;
+            self.prv.iccs |= 0x80;
+            let icr = self.prv.icr.max(1) as u64;
+            self.timer_deadline = self.cycles + icr;
+        }
+
+        // Interrupt arbitration, highest IPL first.
+        let cur_ipl = self.regs.psl.ipl();
+        if self.timer_pending && self.prv.iccs & 0x40 != 0 && IPL_TIMER > cur_ipl {
+            self.timer_pending = false;
+            self.prv.iccs &= !0x80;
+            self.insn_pc = self.regs.gpr[15];
+            self.psl_at_start = self.regs.psl;
+            self.enter_interrupt(ScbVector::IntervalTimer.offset(), IPL_TIMER);
+            return None;
+        }
+        if self.prv.sisr != 0 {
+            let level = 31 - self.prv.sisr.leading_zeros();
+            if level as u8 > cur_ipl && (1..=15).contains(&level) {
+                self.prv.sisr &= !(1 << level);
+                self.insn_pc = self.regs.gpr[15];
+                self.psl_at_start = self.regs.psl;
+                self.enter_interrupt(ScbVector::software(level as u8), level as u8);
+                return None;
+            }
+        }
+
+        self.insn_pc = self.regs.gpr[15];
+        self.psl_at_start = self.regs.psl;
+        self.upc = self.cs.entry(Entry::Fetch);
+        None
+    }
+
+    // ── Virtual memory ────────────────────────────────────────────────
+
+    fn vread(&mut self, size: DataSize, class: RefClass) -> Result<(), Exception> {
+        match class {
+            RefClass::IFetch => self.counts.ifetch += 1,
+            _ => self.counts.data_reads += 1,
+        }
+        let va = self.regs.mar;
+        let n = size.bytes();
+        if self.prv.mapen == 0 {
+            self.regs.mdr = self
+                .mem
+                .read_le(va, n)
+                .ok_or(Exception::TranslationInvalid(VirtAddr(va)))?;
+            return Ok(());
+        }
+        if (va & PAGE_OFFSET_MASK) + n <= PAGE_SIZE {
+            let pa = self.translate(va, AccessKind::Read)?;
+            self.regs.mdr = self.mem.read_le(pa, n).ok_or(Exception::MachineCheck)?;
+        } else {
+            let mut v = 0u32;
+            for i in 0..n {
+                let pa = self.translate(va.wrapping_add(i), AccessKind::Read)?;
+                let b = self.mem.read_u8(pa).ok_or(Exception::MachineCheck)?;
+                v |= (b as u32) << (8 * i);
+            }
+            self.regs.mdr = v;
+        }
+        Ok(())
+    }
+
+    fn vwrite(&mut self, size: DataSize) -> Result<(), Exception> {
+        self.counts.data_writes += 1;
+        let va = self.regs.mar;
+        let v = self.regs.mdr;
+        let n = size.bytes();
+        if self.prv.mapen == 0 {
+            self.mem
+                .write_le(va, n, v)
+                .ok_or(Exception::TranslationInvalid(VirtAddr(va)))?;
+            return Ok(());
+        }
+        if (va & PAGE_OFFSET_MASK) + n <= PAGE_SIZE {
+            let pa = self.translate(va, AccessKind::Write)?;
+            self.mem.write_le(pa, n, v).ok_or(Exception::MachineCheck)?;
+        } else {
+            // Translate both pages first so a fault can't leave a torn
+            // write behind.
+            for i in 0..n {
+                self.translate(va.wrapping_add(i), AccessKind::Write)?;
+            }
+            for i in 0..n {
+                let pa = self.translate(va.wrapping_add(i), AccessKind::Write)?;
+                self.mem
+                    .write_u8(pa, (v >> (8 * i)) as u8)
+                    .ok_or(Exception::MachineCheck)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn region_base_len(&self, region: Region) -> (u32, u32) {
+        match region {
+            Region::P0 => (self.prv.p0br, self.prv.p0lr),
+            Region::P1 => (self.prv.p1br, self.prv.p1lr),
+            Region::System => (self.prv.sbr, self.prv.slr),
+            Region::Reserved => (0, 0),
+        }
+    }
+
+    pub(crate) fn translate(&mut self, va: u32, kind: AccessKind) -> Result<u32, Exception> {
+        let vaddr = VirtAddr(va);
+        let gvpn = vaddr.global_vpn();
+        let mode = self.regs.psl.mode();
+        let mut pte = match self.tlb.lookup(gvpn) {
+            Some(p) => p,
+            None => {
+                let bl = (
+                    self.region_base_len(Region::P0),
+                    self.region_base_len(Region::P1),
+                    self.region_base_len(Region::System),
+                );
+                let mem = &self.mem;
+                let r = mmu::walk(
+                    vaddr,
+                    |region| match region {
+                        Region::P0 => bl.0,
+                        Region::P1 => bl.1,
+                        Region::System => bl.2,
+                        Region::Reserved => (0, 0),
+                    },
+                    |pa| mem.read_le(pa, 4),
+                )?;
+                self.counts.pte_reads += r.pte_reads as u64;
+                self.cycles += 2 * r.pte_reads as u64;
+                self.tlb
+                    .insert(gvpn, r.pte, vaddr.region().is_per_process());
+                r.pte
+            }
+        };
+        mmu::check_access(pte, kind, mode, vaddr)?;
+        if kind == AccessKind::Write && !pte.modified() {
+            pte = pte.with_modified();
+            let (base, _) = self.region_base_len(vaddr.region());
+            let pte_pa = base.wrapping_add(vaddr.vpn() * 4);
+            self.mem.write_le(pte_pa, 4, pte.0);
+            self.tlb.update(gvpn, pte);
+        }
+        let pa = pte.frame_base() + vaddr.offset();
+        if !self.mem.contains(pa, 1) {
+            return Err(Exception::MachineCheck);
+        }
+        Ok(pa)
+    }
+
+    // ── Privileged registers ──────────────────────────────────────────
+
+    fn read_prv_dyn(&mut self, num: u32) -> Result<u32, Exception> {
+        let reg = PrivReg::from_number(num).ok_or(Exception::ReservedOperand)?;
+        Ok(match reg {
+            PrivReg::Rxdb => self.console_in.pop_front().map_or(0, u32::from),
+            PrivReg::Rxcs => {
+                if self.console_in.is_empty() {
+                    0
+                } else {
+                    0x80
+                }
+            }
+            _ => self.prv.read(reg, &self.regs),
+        })
+    }
+
+    pub(crate) fn write_prv_internal(&mut self, reg: PrivReg, v: u32) {
+        match reg {
+            PrivReg::Ksp => self.prv.ksp = v,
+            PrivReg::Usp => self.prv.usp = v,
+            PrivReg::P0br => self.prv.p0br = v,
+            PrivReg::P0lr => self.prv.p0lr = v,
+            PrivReg::P1br => self.prv.p1br = v,
+            PrivReg::P1lr => self.prv.p1lr = v,
+            PrivReg::Sbr => self.prv.sbr = v,
+            PrivReg::Slr => self.prv.slr = v,
+            PrivReg::Pcbb => self.prv.pcbb = v,
+            PrivReg::Scbb => self.prv.scbb = v,
+            PrivReg::Ipl => self.regs.psl.set_ipl((v & 31) as u8),
+            PrivReg::Sirr => {
+                if (1..=15).contains(&v) {
+                    self.prv.sisr |= 1 << v;
+                }
+            }
+            PrivReg::Sisr => self.prv.sisr = v & 0xFFFE,
+            PrivReg::Iccs => {
+                if v & 0x80 != 0 {
+                    self.prv.iccs &= !0x80;
+                    self.timer_pending = false;
+                }
+                let was_running = self.prv.iccs & 1 != 0;
+                self.prv.iccs = (self.prv.iccs & 0x80) | (v & 0x41);
+                if !was_running && v & 1 != 0 {
+                    self.timer_deadline = self.cycles + self.prv.icr.max(1) as u64;
+                }
+            }
+            PrivReg::Icr => {
+                self.prv.icr = v;
+                if self.prv.iccs & 1 != 0 {
+                    self.timer_deadline = self.cycles + v.max(1) as u64;
+                }
+            }
+            PrivReg::Txdb => self.console_out.push(v as u8),
+            PrivReg::Txcs | PrivReg::Rxdb | PrivReg::Rxcs => {}
+            PrivReg::Trctl => self.prv.trctl = v,
+            PrivReg::Trbase => self.prv.trbase = v,
+            PrivReg::Trptr => self.prv.trptr = v,
+            PrivReg::Trlim => self.prv.trlim = v,
+            PrivReg::Mapen => self.prv.mapen = v & 1,
+            PrivReg::Tbia => self.tlb.flush_all(),
+            PrivReg::Tbis => self.tlb.flush_single(v),
+        }
+    }
+}
+
+// ── The ALU ───────────────────────────────────────────────────────────
+
+pub(crate) fn alu_exec(op: AluOp, a: u32, b: u32, size: DataSize) -> (u32, AluFlags) {
+    let mask = size.mask();
+    let sign = size.sign_bit();
+    let am = a & mask;
+    let bm = b & mask;
+    let mut f = AluFlags::default();
+    let result: u32 = match op {
+        AluOp::Add => {
+            let sum = am as u64 + bm as u64;
+            let r = (sum as u32) & mask;
+            f.c = sum > mask as u64;
+            f.v = ((am ^ r) & (bm ^ r) & sign) != 0;
+            r
+        }
+        AluOp::Sub => sub_flags(am, bm, mask, sign, &mut f),
+        AluOp::RSub => sub_flags(bm, am, mask, sign, &mut f),
+        AluOp::Mul => {
+            let prod = sext(am, size) as i64 * sext(bm, size) as i64;
+            let r = (prod as u32) & mask;
+            f.v = prod != sext(r, size) as i64;
+            r
+        }
+        AluOp::Div | AluOp::Rem => {
+            let divisor = sext(am, size);
+            let dividend = sext(bm, size);
+            if divisor == 0 {
+                f.divz = true;
+                bm
+            } else if dividend == i32::MIN && divisor == -1 && size == DataSize::Long {
+                f.v = true;
+                bm
+            } else if op == AluOp::Div {
+                (dividend.wrapping_div(divisor) as u32) & mask
+            } else {
+                (dividend.wrapping_rem(divisor) as u32) & mask
+            }
+        }
+        AluOp::And => am & bm,
+        AluOp::BicR => bm & !am,
+        AluOp::Or => am | bm,
+        AluOp::Xor => am ^ bm,
+        AluOp::Ash => {
+            let count = sext(am, DataSize::Long);
+            if count >= 0 {
+                let c = count.min(63) as u32;
+                let shifted = if c >= 32 { 0 } else { bm << c } & mask;
+                // V if any significant bits were lost.
+                let back = if c >= 32 {
+                    0
+                } else {
+                    ((sext(shifted, size) >> c) as u32) & mask
+                };
+                f.v = bm != 0 && (back != bm || c >= 32);
+                shifted
+            } else {
+                let c = (-count).min(31) as u32;
+                ((sext(bm, size) >> c) as u32) & mask
+            }
+        }
+        AluOp::Lsr => {
+            let c = am.min(63);
+            if c >= 32 {
+                0
+            } else {
+                (bm >> c) & mask
+            }
+        }
+        AluOp::Lsl => {
+            let c = am.min(63);
+            if c >= 32 {
+                0
+            } else {
+                (bm << c) & mask
+            }
+        }
+        AluOp::Pass => bm,
+        AluOp::Not => !bm & mask,
+        AluOp::Neg => sub_flags(0, bm, mask, sign, &mut f),
+        AluOp::SextB => (bm as u8 as i8 as i32 as u32) & mask,
+        AluOp::SextW => (bm as u16 as i16 as i32 as u32) & mask,
+    };
+    f.z = result & mask == 0;
+    f.n = result & sign != 0;
+    (result, f)
+}
+
+fn sub_flags(a: u32, b: u32, mask: u32, sign: u32, f: &mut AluFlags) -> u32 {
+    // a - b with the VAX borrow convention: C set when b > a unsigned.
+    let r = a.wrapping_sub(b) & mask;
+    f.c = b > a;
+    f.v = ((a ^ b) & (a ^ r) & sign) != 0;
+    r
+}
+
+fn sext(v: u32, size: DataSize) -> i32 {
+    size.sign_extend(v) as i32
+}
+
+#[cfg(test)]
+mod alu_tests {
+    use super::*;
+
+    fn run(op: AluOp, a: u32, b: u32) -> (u32, AluFlags) {
+        alu_exec(op, a, b, DataSize::Long)
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let (r, f) = run(AluOp::Add, 0xFFFF_FFFF, 1);
+        assert_eq!(r, 0);
+        assert!(f.c && f.z && !f.n);
+        let (r, f) = run(AluOp::Add, 0x7FFF_FFFF, 1);
+        assert_eq!(r, 0x8000_0000);
+        assert!(f.v && f.n && !f.c);
+    }
+
+    #[test]
+    fn sub_borrow() {
+        let (r, f) = run(AluOp::Sub, 1, 2);
+        assert_eq!(r, 0xFFFF_FFFF);
+        assert!(f.c && f.n);
+        let (_, f) = run(AluOp::Sub, 5, 5);
+        assert!(f.z && !f.c);
+    }
+
+    #[test]
+    fn rsub_is_reverse() {
+        let (r, _) = run(AluOp::RSub, 2, 10);
+        assert_eq!(r, 8);
+    }
+
+    #[test]
+    fn byte_size_flags() {
+        let (r, f) = alu_exec(AluOp::Add, 0x7F, 1, DataSize::Byte);
+        assert_eq!(r, 0x80);
+        assert!(f.v && f.n, "byte-size overflow detected");
+        let (r, f) = alu_exec(AluOp::Add, 0xFF, 1, DataSize::Byte);
+        assert_eq!(r, 0);
+        assert!(f.c && f.z);
+    }
+
+    #[test]
+    fn mul_overflow() {
+        let (_, f) = run(AluOp::Mul, 0x10000, 0x10000);
+        assert!(f.v);
+        let (r, f) = run(AluOp::Mul, 6, 7);
+        assert_eq!(r, 42);
+        assert!(!f.v);
+        let (r, _) = run(AluOp::Mul, 0xFFFF_FFFF, 5); // -1 * 5
+        assert_eq!(r as i32, -5);
+    }
+
+    #[test]
+    fn div_and_rem() {
+        let (r, f) = run(AluOp::Div, 3, 10);
+        assert_eq!(r, 3);
+        assert!(!f.divz);
+        let (r, _) = run(AluOp::Rem, 3, 10);
+        assert_eq!(r, 1);
+        let (r, _) = run(AluOp::Div, 0xFFFF_FFFE, 10); // 10 / -2
+        assert_eq!(r as i32, -5);
+        let (_, f) = run(AluOp::Div, 0, 10);
+        assert!(f.divz);
+        let (_, f) = run(AluOp::Div, 0xFFFF_FFFF, 0x8000_0000); // MIN / -1
+        assert!(f.v);
+    }
+
+    #[test]
+    fn ash_both_directions() {
+        let (r, _) = run(AluOp::Ash, 4, 1);
+        assert_eq!(r, 16);
+        let (r, _) = run(AluOp::Ash, 0xFFFF_FFFE, 16); // >> 2
+        assert_eq!(r, 4);
+        let (r, _) = run(AluOp::Ash, 0xFFFF_FFFF, 0x8000_0000u32); // -1 arith
+        assert_eq!(r, 0xC000_0000);
+        let (_, f) = run(AluOp::Ash, 1, 0x4000_0000);
+        assert!(f.v, "lost the sign bit");
+    }
+
+    #[test]
+    fn logic_ops() {
+        assert_eq!(run(AluOp::And, 0b1100, 0b1010).0, 0b1000);
+        assert_eq!(run(AluOp::Or, 0b1100, 0b1010).0, 0b1110);
+        assert_eq!(run(AluOp::Xor, 0b1100, 0b1010).0, 0b0110);
+        assert_eq!(run(AluOp::BicR, 0b1100, 0b1010).0, 0b0010);
+        assert_eq!(run(AluOp::Not, 0, 0).0, 0xFFFF_FFFF);
+    }
+
+    #[test]
+    fn neg_carry_convention() {
+        let (r, f) = run(AluOp::Neg, 0, 5);
+        assert_eq!(r as i32, -5);
+        assert!(f.c, "C set when operand nonzero");
+        let (_, f) = run(AluOp::Neg, 0, 0);
+        assert!(!f.c && f.z);
+    }
+
+    #[test]
+    fn sign_extensions() {
+        assert_eq!(run(AluOp::SextB, 0, 0x80).0, 0xFFFF_FF80);
+        assert_eq!(run(AluOp::SextB, 0, 0x7F).0, 0x7F);
+        assert_eq!(run(AluOp::SextW, 0, 0x8000).0, 0xFFFF_8000);
+    }
+
+    #[test]
+    fn shifts_saturate() {
+        assert_eq!(run(AluOp::Lsl, 40, 1).0, 0);
+        assert_eq!(run(AluOp::Lsr, 40, 0xFFFF_FFFF).0, 0);
+        assert_eq!(run(AluOp::Lsl, 4, 1).0, 16);
+        assert_eq!(run(AluOp::Lsr, 4, 16).0, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Physical memory with an OS-invisible reserved region.
+//!
+//! ATUM hid the trace buffer by telling the operating system at boot that
+//! the machine had less memory than it physically did. [`MemLayout`]
+//! captures that split: `os_visible_bytes` is what the boot image reports
+//! to the kernel, and the range above it up to `total_bytes` is the
+//! reserved region the tracer uses. Nothing enforces the boundary at the
+//! hardware level — exactly as on the 8200, where the protection was
+//! purely "the OS never learns those page frames exist".
+
+use std::fmt;
+
+/// Physical memory sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLayout {
+    /// Total physical bytes (must be a multiple of the page size).
+    pub total_bytes: u32,
+    /// Bytes reported to the operating system; the rest is reserved.
+    pub os_visible_bytes: u32,
+}
+
+impl MemLayout {
+    /// 4 MiB total with a 1 MiB reserved region — roughly the 8200 setup
+    /// scaled to SVX's workloads.
+    pub fn small() -> MemLayout {
+        MemLayout {
+            total_bytes: 4 << 20,
+            os_visible_bytes: 3 << 20,
+        }
+    }
+
+    /// 16 MiB total with a `reserved` -byte trace region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reserved` does not leave at least 1 MiB visible.
+    pub fn with_reserved(reserved: u32) -> MemLayout {
+        let total: u32 = 16 << 20;
+        assert!(reserved <= total - (1 << 20), "reserved region too large");
+        MemLayout {
+            total_bytes: total,
+            os_visible_bytes: total - reserved,
+        }
+    }
+
+    /// First physical address of the reserved region.
+    pub fn reserved_base(&self) -> u32 {
+        self.os_visible_bytes
+    }
+
+    /// Size of the reserved region in bytes.
+    pub fn reserved_len(&self) -> u32 {
+        self.total_bytes - self.os_visible_bytes
+    }
+}
+
+impl fmt::Display for MemLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} KiB physical ({} KiB visible + {} KiB reserved)",
+            self.total_bytes / 1024,
+            self.os_visible_bytes / 1024,
+            self.reserved_len() / 1024
+        )
+    }
+}
+
+/// Flat little-endian physical memory.
+#[derive(Debug, Clone)]
+pub struct PhysMemory {
+    bytes: Vec<u8>,
+    layout: MemLayout,
+}
+
+impl PhysMemory {
+    /// Allocates zeroed memory for the layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is inconsistent or not page-aligned.
+    pub fn new(layout: MemLayout) -> PhysMemory {
+        assert!(layout.os_visible_bytes <= layout.total_bytes);
+        assert_eq!(layout.total_bytes % atum_arch::PAGE_SIZE, 0);
+        assert_eq!(layout.os_visible_bytes % atum_arch::PAGE_SIZE, 0);
+        PhysMemory {
+            bytes: vec![0; layout.total_bytes as usize],
+            layout,
+        }
+    }
+
+    /// The layout this memory was built with.
+    pub fn layout(&self) -> MemLayout {
+        self.layout
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Whether the memory is empty (never true in practice).
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Whether `pa..pa+len` lies inside physical memory.
+    pub fn contains(&self, pa: u32, len: u32) -> bool {
+        (pa as u64) + (len as u64) <= self.bytes.len() as u64
+    }
+
+    /// Reads a byte. Returns `None` outside memory.
+    #[inline]
+    pub fn read_u8(&self, pa: u32) -> Option<u8> {
+        self.bytes.get(pa as usize).copied()
+    }
+
+    /// Writes a byte. Returns `None` outside memory.
+    #[inline]
+    pub fn write_u8(&mut self, pa: u32, v: u8) -> Option<()> {
+        *self.bytes.get_mut(pa as usize)? = v;
+        Some(())
+    }
+
+    /// Reads a little-endian value of `size` bytes (1, 2 or 4).
+    #[inline]
+    pub fn read_le(&self, pa: u32, size: u32) -> Option<u32> {
+        let start = pa as usize;
+        let end = start.checked_add(size as usize)?;
+        let slice = self.bytes.get(start..end)?;
+        let mut v = 0u32;
+        for (i, b) in slice.iter().enumerate() {
+            v |= (*b as u32) << (8 * i);
+        }
+        Some(v)
+    }
+
+    /// Writes a little-endian value of `size` bytes (1, 2 or 4).
+    #[inline]
+    pub fn write_le(&mut self, pa: u32, size: u32, v: u32) -> Option<()> {
+        let start = pa as usize;
+        let end = start.checked_add(size as usize)?;
+        let slice = self.bytes.get_mut(start..end)?;
+        for (i, b) in slice.iter_mut().enumerate() {
+            *b = (v >> (8 * i)) as u8;
+        }
+        Some(())
+    }
+
+    /// Bulk write (loader path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the range falls outside memory.
+    pub fn write_bytes(&mut self, pa: u32, data: &[u8]) -> Result<(), String> {
+        if !self.contains(pa, data.len() as u32) {
+            return Err(format!(
+                "physical write {:#x}..{:#x} outside {} bytes of memory",
+                pa,
+                pa as u64 + data.len() as u64,
+                self.bytes.len()
+            ));
+        }
+        self.bytes[pa as usize..pa as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Bulk read (extraction path).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the range falls outside memory.
+    pub fn read_bytes(&self, pa: u32, len: u32) -> Result<Vec<u8>, String> {
+        if !self.contains(pa, len) {
+            return Err(format!(
+                "physical read {:#x}+{} outside {} bytes of memory",
+                pa,
+                len,
+                self.bytes.len()
+            ));
+        }
+        Ok(self.bytes[pa as usize..(pa + len) as usize].to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_small() {
+        let l = MemLayout::small();
+        assert_eq!(l.reserved_base(), 3 << 20);
+        assert_eq!(l.reserved_len(), 1 << 20);
+    }
+
+    #[test]
+    fn layout_with_reserved() {
+        let l = MemLayout::with_reserved(2 << 20);
+        assert_eq!(l.total_bytes, 16 << 20);
+        assert_eq!(l.reserved_len(), 2 << 20);
+    }
+
+    #[test]
+    fn le_round_trip() {
+        let mut m = PhysMemory::new(MemLayout::small());
+        m.write_le(0x100, 4, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.read_le(0x100, 4), Some(0xDEAD_BEEF));
+        assert_eq!(m.read_le(0x100, 2), Some(0xBEEF));
+        assert_eq!(m.read_u8(0x103), Some(0xDE));
+        m.write_le(0x200, 1, 0x1FF).unwrap();
+        assert_eq!(m.read_u8(0x200), Some(0xFF));
+    }
+
+    #[test]
+    fn out_of_range_is_none() {
+        let m = PhysMemory::new(MemLayout::small());
+        let top = m.len();
+        assert_eq!(m.read_le(top - 2, 4), None);
+        assert_eq!(m.read_u8(top), None);
+        assert!(m.read_le(u32::MAX, 4).is_none());
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let mut m = PhysMemory::new(MemLayout::small());
+        m.write_bytes(0x400, &[1, 2, 3]).unwrap();
+        assert_eq!(m.read_bytes(0x400, 3).unwrap(), vec![1, 2, 3]);
+        assert!(m.write_bytes(m.len() - 1, &[1, 2]).is_err());
+        assert!(m.read_bytes(m.len(), 1).is_err());
+    }
+}

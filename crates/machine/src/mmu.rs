@@ -1,0 +1,289 @@
+//! Memory management: translation buffer and hardware PTE walk.
+//!
+//! VAX-style single-level page tables per region (see [`atum_arch::mem`]).
+//! The translation buffer is a direct-mapped array of [`TB_ENTRIES`]
+//! entries tagged by global VPN; process-region entries (P0/P1) carry a
+//! `per_process` flag so `ldpctx`'s `TbFlushProc` can drop exactly them,
+//! which is what makes multiprogramming visible to the TLB studies.
+//!
+//! This TB is the *functional* one inside the machine; the evaluation's
+//! TLB experiments run trace-driven simulations in `atum-cache` instead
+//! (the paper's methodology — traces first, memory-system studies after).
+
+use atum_arch::{Exception, PageProt, Pte, Region, VirtAddr, PAGE_SHIFT};
+
+/// Number of translation-buffer entries.
+pub const TB_ENTRIES: usize = 256;
+
+/// Access intent for a translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read (instruction fetch or data load).
+    Read,
+    /// Write (data store).
+    Write,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct TbEntry {
+    valid: bool,
+    tag: u32,
+    pte: Pte,
+    per_process: bool,
+}
+
+/// Translation-buffer statistics (functional TB, not the studied one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed and walked.
+    pub misses: u64,
+    /// Entries dropped by process flushes.
+    pub proc_flushes: u64,
+    /// Entries dropped by full flushes.
+    pub full_flushes: u64,
+}
+
+/// The translation buffer.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TbEntry>,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// An empty TB.
+    pub fn new() -> Tlb {
+        Tlb {
+            entries: vec![TbEntry::default(); TB_ENTRIES],
+            stats: TlbStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+
+    /// Looks up a global VPN; hit returns the cached PTE.
+    pub fn lookup(&mut self, gvpn: u32) -> Option<Pte> {
+        let e = &self.entries[(gvpn as usize) % TB_ENTRIES];
+        if e.valid && e.tag == gvpn {
+            self.stats.hits += 1;
+            Some(e.pte)
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Installs a translation.
+    pub fn insert(&mut self, gvpn: u32, pte: Pte, per_process: bool) {
+        self.entries[(gvpn as usize) % TB_ENTRIES] = TbEntry {
+            valid: true,
+            tag: gvpn,
+            pte,
+            per_process,
+        };
+    }
+
+    /// Updates the cached PTE for a VPN if present (modify-bit setting).
+    pub fn update(&mut self, gvpn: u32, pte: Pte) {
+        let e = &mut self.entries[(gvpn as usize) % TB_ENTRIES];
+        if e.valid && e.tag == gvpn {
+            e.pte = pte;
+        }
+    }
+
+    /// Invalidates everything.
+    pub fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+        self.stats.full_flushes += 1;
+    }
+
+    /// Invalidates per-process (P0/P1) entries only.
+    pub fn flush_process(&mut self) {
+        for e in &mut self.entries {
+            if e.per_process {
+                e.valid = false;
+            }
+        }
+        self.stats.proc_flushes += 1;
+    }
+
+    /// Invalidates the entry covering one virtual address.
+    pub fn flush_single(&mut self, va: u32) {
+        let gvpn = va >> PAGE_SHIFT;
+        let e = &mut self.entries[(gvpn as usize) % TB_ENTRIES];
+        if e.valid && e.tag == gvpn {
+            e.valid = false;
+        }
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Tlb {
+        Tlb::new()
+    }
+}
+
+/// Outcome of a hardware walk: the PTE plus how many PTE reads it took
+/// (cycle accounting).
+#[derive(Debug, Clone, Copy)]
+pub struct WalkResult {
+    /// The page-table entry found.
+    pub pte: Pte,
+    /// PTE memory reads performed.
+    pub pte_reads: u32,
+}
+
+/// Walks the page tables for `va`. `read_phys` reads physical longwords.
+///
+/// # Errors
+///
+/// `TranslationInvalid` for out-of-bounds VPNs, invalid PTEs, the reserved
+/// region, or page tables pointing outside physical memory.
+pub fn walk<F>(
+    va: VirtAddr,
+    base_len: impl Fn(Region) -> (u32, u32),
+    mut read_phys: F,
+) -> Result<WalkResult, Exception>
+where
+    F: FnMut(u32) -> Option<u32>,
+{
+    let region = va.region();
+    if region == Region::Reserved {
+        return Err(Exception::TranslationInvalid(va));
+    }
+    let (base, len) = base_len(region);
+    let vpn = va.vpn();
+    if vpn >= len {
+        return Err(Exception::TranslationInvalid(va));
+    }
+    let pte_pa = base.wrapping_add(vpn * 4);
+    let raw = read_phys(pte_pa).ok_or(Exception::TranslationInvalid(va))?;
+    let pte = Pte(raw);
+    if !pte.valid() {
+        return Err(Exception::TranslationInvalid(va));
+    }
+    Ok(WalkResult { pte, pte_reads: 1 })
+}
+
+/// Protection check for a translated access.
+pub fn check_access(
+    pte: Pte,
+    kind: AccessKind,
+    mode: atum_arch::CpuMode,
+    va: VirtAddr,
+) -> Result<(), Exception> {
+    let prot: PageProt = pte.prot();
+    let ok = match kind {
+        AccessKind::Read => prot.allows_read(mode),
+        AccessKind::Write => prot.allows_write(mode),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(Exception::AccessViolation(va))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_arch::CpuMode;
+
+    fn pte(pfn: u32, prot: PageProt) -> u32 {
+        Pte::new(pfn, prot).0
+    }
+
+    #[test]
+    fn tlb_hit_miss_and_flush() {
+        let mut tlb = Tlb::new();
+        assert_eq!(tlb.lookup(5), None);
+        tlb.insert(5, Pte::new(9, PageProt::AllRw), true);
+        assert_eq!(tlb.lookup(5).unwrap().pfn(), 9);
+        tlb.flush_process();
+        assert_eq!(tlb.lookup(5), None);
+        tlb.insert(5, Pte::new(9, PageProt::AllRw), false);
+        tlb.flush_process();
+        assert!(tlb.lookup(5).is_some(), "system entries survive");
+        tlb.flush_all();
+        assert_eq!(tlb.lookup(5), None);
+        let s = tlb.stats();
+        assert_eq!(s.proc_flushes, 2);
+        assert_eq!(s.full_flushes, 1);
+    }
+
+    #[test]
+    fn tlb_flush_single() {
+        let mut tlb = Tlb::new();
+        tlb.insert(0x8000_0200 >> 9, Pte::new(1, PageProt::AllRw), false);
+        tlb.flush_single(0x8000_0200);
+        assert_eq!(tlb.lookup(0x8000_0200 >> 9), None);
+    }
+
+    #[test]
+    fn tlb_conflicting_tags_evict() {
+        let mut tlb = Tlb::new();
+        let a = 3;
+        let b = 3 + TB_ENTRIES as u32; // same slot
+        tlb.insert(a, Pte::new(1, PageProt::AllRw), false);
+        tlb.insert(b, Pte::new(2, PageProt::AllRw), false);
+        assert_eq!(tlb.lookup(a), None);
+        assert_eq!(tlb.lookup(b).unwrap().pfn(), 2);
+    }
+
+    #[test]
+    fn walk_valid_mapping() {
+        // One-entry system table at PA 0x1000 mapping VPN 0 → PFN 7.
+        let table = move |pa: u32| {
+            if pa == 0x1000 {
+                Some(pte(7, PageProt::KernelRw))
+            } else {
+                None
+            }
+        };
+        let r = walk(
+            VirtAddr(0x8000_0004),
+            |region| {
+                assert_eq!(region, Region::System);
+                (0x1000, 1)
+            },
+            table,
+        )
+        .unwrap();
+        assert_eq!(r.pte.pfn(), 7);
+        assert_eq!(r.pte_reads, 1);
+    }
+
+    #[test]
+    fn walk_length_violation() {
+        let err = walk(VirtAddr(0x8000_0200), |_| (0x1000, 1), |_| Some(0)).unwrap_err();
+        assert!(matches!(err, Exception::TranslationInvalid(_)));
+    }
+
+    #[test]
+    fn walk_invalid_pte() {
+        let err = walk(VirtAddr(0x8000_0000), |_| (0x1000, 1), |_| Some(0)).unwrap_err();
+        assert!(matches!(err, Exception::TranslationInvalid(_)));
+    }
+
+    #[test]
+    fn walk_reserved_region() {
+        let err = walk(VirtAddr(0xC000_0000), |_| (0, 0), |_| Some(0)).unwrap_err();
+        assert!(matches!(err, Exception::TranslationInvalid(_)));
+    }
+
+    #[test]
+    fn access_checks() {
+        let p = Pte::new(1, PageProt::KernelRwUserR);
+        let va = VirtAddr(0x100);
+        assert!(check_access(p, AccessKind::Read, CpuMode::User, va).is_ok());
+        assert!(check_access(p, AccessKind::Write, CpuMode::User, va).is_err());
+        assert!(check_access(p, AccessKind::Write, CpuMode::Kernel, va).is_ok());
+    }
+}

@@ -1,0 +1,200 @@
+//! The micro-register file and the privileged-register file.
+
+use atum_arch::{DataSize, Psl};
+
+/// Micro-flags latched by every ALU operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UFlags {
+    /// Result zero.
+    pub z: bool,
+    /// Result negative (at the operation size).
+    pub n: bool,
+    /// Carry / borrow out.
+    pub c: bool,
+    /// Signed overflow.
+    pub v: bool,
+    /// Divide by zero happened.
+    pub divz: bool,
+}
+
+/// The datapath register file.
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    /// Architectural general registers (R15 = PC).
+    pub gpr: [u32; 16],
+    /// Micro-temporaries.
+    pub t: [u32; 16],
+    /// Patch scratch.
+    pub p: [u32; 8],
+    /// Memory address register.
+    pub mar: u32,
+    /// Memory data register.
+    pub mdr: u32,
+    /// Current specifier byte.
+    pub spec: u32,
+    /// Current opcode byte.
+    pub opreg: u32,
+    /// Register-number latch.
+    pub regnum: u32,
+    /// Prefetch-buffer data.
+    pub ibdata: u32,
+    /// Prefetch-buffer valid byte count.
+    pub ibcnt: u32,
+    /// Exception latches.
+    pub excvec: u32,
+    /// Exception parameter.
+    pub excparam: u32,
+    /// Exception flags.
+    pub excflags: u32,
+    /// PC to push for the pending exception.
+    pub excpc: u32,
+    /// IPL for interrupt entry.
+    pub excipl: u32,
+    /// The PSL.
+    pub psl: Psl,
+    /// Operand-size latch.
+    pub osize: DataSize,
+    /// Micro-flags.
+    pub uflags: UFlags,
+}
+
+impl RegFile {
+    /// Boot-state register file.
+    pub fn new() -> RegFile {
+        RegFile {
+            gpr: [0; 16],
+            t: [0; 16],
+            p: [0; 8],
+            mar: 0,
+            mdr: 0,
+            spec: 0,
+            opreg: 0,
+            regnum: 0,
+            ibdata: 0,
+            ibcnt: 0,
+            excvec: 0,
+            excparam: 0,
+            excflags: 0,
+            excpc: 0,
+            excipl: 0,
+            psl: Psl::new(),
+            osize: DataSize::Long,
+            uflags: UFlags::default(),
+        }
+    }
+}
+
+impl Default for RegFile {
+    fn default() -> RegFile {
+        RegFile::new()
+    }
+}
+
+/// The privileged (internal processor) register file.
+///
+/// `read` needs the [`RegFile`] only for registers derived from live
+/// device state elsewhere; the stack-pointer latches live here.
+#[derive(Debug, Clone, Default)]
+pub struct PrvFile {
+    /// Kernel stack pointer latch.
+    pub ksp: u32,
+    /// User stack pointer latch.
+    pub usp: u32,
+    /// P0 page-table base (physical).
+    pub p0br: u32,
+    /// P0 page-table length (entries).
+    pub p0lr: u32,
+    /// P1 page-table base (physical).
+    pub p1br: u32,
+    /// P1 page-table length (entries).
+    pub p1lr: u32,
+    /// System page-table base (physical).
+    pub sbr: u32,
+    /// System page-table length (entries).
+    pub slr: u32,
+    /// Process control block base (physical).
+    pub pcbb: u32,
+    /// System control block base (physical).
+    pub scbb: u32,
+    /// Software interrupt summary (pending levels bitmask).
+    pub sisr: u32,
+    /// Interval clock control/status.
+    pub iccs: u32,
+    /// Interval clock reload value.
+    pub icr: u32,
+    /// Memory-management enable.
+    pub mapen: u32,
+    /// ATUM trace control.
+    pub trctl: u32,
+    /// ATUM trace buffer base.
+    pub trbase: u32,
+    /// ATUM trace write pointer.
+    pub trptr: u32,
+    /// ATUM trace buffer limit.
+    pub trlim: u32,
+}
+
+impl PrvFile {
+    /// Boot-state privileged registers.
+    pub fn new() -> PrvFile {
+        PrvFile::default()
+    }
+
+    /// Reads a register's stored value (side-effect-free registers only;
+    /// the engine handles IPL/console/TBI specially).
+    pub fn read(&self, reg: atum_arch::PrivReg, regs: &RegFile) -> u32 {
+        use atum_arch::PrivReg::*;
+        match reg {
+            Ksp => self.ksp,
+            Usp => self.usp,
+            P0br => self.p0br,
+            P0lr => self.p0lr,
+            P1br => self.p1br,
+            P1lr => self.p1lr,
+            Sbr => self.sbr,
+            Slr => self.slr,
+            Pcbb => self.pcbb,
+            Scbb => self.scbb,
+            Ipl => regs.psl.ipl() as u32,
+            Sirr => 0,
+            Sisr => self.sisr,
+            Iccs => self.iccs,
+            Icr => self.icr,
+            Txdb => 0,
+            Txcs => 0x80, // always ready
+            Rxdb => 0,    // engine overrides with queued input
+            Rxcs => 0,    // engine overrides with availability
+            Trctl => self.trctl,
+            Trbase => self.trbase,
+            Trptr => self.trptr,
+            Trlim => self.trlim,
+            Mapen => self.mapen,
+            Tbia | Tbis => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boot_state_is_zeroed() {
+        let r = RegFile::new();
+        assert!(r.gpr.iter().all(|&v| v == 0));
+        assert_eq!(r.osize, DataSize::Long);
+        assert!(r.psl.is_kernel());
+    }
+
+    #[test]
+    fn prv_reads_reflect_stores() {
+        let mut p = PrvFile::new();
+        p.sbr = 0x1000;
+        p.trctl = 0x501;
+        let r = RegFile::new();
+        assert_eq!(p.read(atum_arch::PrivReg::Sbr, &r), 0x1000);
+        assert_eq!(p.read(atum_arch::PrivReg::Trctl, &r), 0x501);
+        assert_eq!(p.read(atum_arch::PrivReg::Ipl, &r), 31);
+        assert_eq!(p.read(atum_arch::PrivReg::Txcs, &r), 0x80);
+    }
+}

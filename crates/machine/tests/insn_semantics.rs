@@ -1,0 +1,562 @@
+//! Instruction-semantics tests: assemble SVX source with `atum-asm`, run
+//! it on the microcoded machine (mapping disabled, kernel mode), and check
+//! architectural state. Every instruction goes through the full
+//! micro-engine path: prefetch buffer, specifier dispatch, xfer routines.
+
+use atum_machine::{Machine, MemLayout, RunExit};
+
+const ORG: u32 = 0x1000;
+
+/// Assembles `src` at `ORG`, loads and runs it to a halt.
+fn run(src: &str) -> Machine {
+    let full = format!(".org {ORG:#x}\n{src}\n");
+    let img = atum_asm::assemble(&full).unwrap_or_else(|e| panic!("asm: {e}\n{src}"));
+    let mut m = Machine::new(MemLayout::small());
+    for (addr, bytes) in img.segments() {
+        m.write_phys(*addr, bytes).expect("load");
+    }
+    m.set_gpr(14, 0x8000); // a stack well away from the code
+    m.set_pc(img.symbol("start").unwrap_or(ORG));
+    let exit = m.run(2_000_000);
+    assert_eq!(exit, RunExit::Halted, "program did not halt cleanly");
+    m
+}
+
+fn psl_nzvc(m: &Machine) -> (bool, bool, bool, bool) {
+    let p = m.psl();
+    (p.n(), p.z(), p.v(), p.c())
+}
+
+// ── Moves and condition codes ─────────────────────────────────────────
+
+#[test]
+fn movl_literal_and_immediate() {
+    let m = run("start: movl #5, r0\n movl #100000, r1\n movl #-3, r2\n halt");
+    assert_eq!(m.gpr(0), 5);
+    assert_eq!(m.gpr(1), 100_000);
+    assert_eq!(m.gpr(2) as i32, -3);
+    let (n, z, v, _) = psl_nzvc(&m);
+    assert!(n && !z && !v, "last move was negative");
+}
+
+#[test]
+fn movl_zero_sets_z() {
+    let m = run("start: movl #0, r0\n halt");
+    let (n, z, _, _) = psl_nzvc(&m);
+    assert!(!n && z);
+}
+
+#[test]
+fn movb_merges_into_register() {
+    let m = run("start: movl #0x11223344, r0\n movb #0xAA, r0\n halt");
+    assert_eq!(m.gpr(0), 0x1122_33AA, "byte write preserves upper bytes");
+}
+
+#[test]
+fn movw_merges_into_register() {
+    let m = run("start: movl #0x11223344, r0\n movw #0xBEEF, r0\n halt");
+    assert_eq!(m.gpr(0), 0x1122_BEEF);
+}
+
+#[test]
+fn movzbl_and_cvtbl() {
+    let m = run(
+        "start: movl #0xFFFFFF85, r1\n movzbl r1, r2\n cvtbl r1, r3\n \
+         movzwl r1, r4\n cvtwl r1, r5\n halt",
+    );
+    assert_eq!(m.gpr(2), 0x85);
+    assert_eq!(m.gpr(3), 0xFFFF_FF85);
+    assert_eq!(m.gpr(4), 0xFF85);
+    assert_eq!(m.gpr(5), 0xFFFF_FF85);
+}
+
+#[test]
+fn cvtlb_truncates() {
+    let m = run("start: movl #0x12345678, r1\n clrl r2\n cvtlb r1, r2\n cvtlw r1, r3\n halt");
+    assert_eq!(m.gpr(2), 0x78);
+    assert_eq!(m.gpr(3) & 0xFFFF, 0x5678);
+}
+
+#[test]
+fn mcoml_and_mnegl() {
+    let m = run("start: movl #0x0F0F0F0F, r1\n mcoml r1, r2\n movl #7, r3\n mnegl r3, r4\n halt");
+    assert_eq!(m.gpr(2), 0xF0F0_F0F0);
+    assert_eq!(m.gpr(4) as i32, -7);
+}
+
+#[test]
+fn clr_family() {
+    let m = run(
+        "start: movl #-1, r0\n movl #-1, r1\n movl #-1, r2\n \
+         clrb r0\n clrw r1\n clrl r2\n halt",
+    );
+    assert_eq!(m.gpr(0), 0xFFFF_FF00);
+    assert_eq!(m.gpr(1), 0xFFFF_0000);
+    assert_eq!(m.gpr(2), 0);
+}
+
+// ── Addressing modes ──────────────────────────────────────────────────
+
+#[test]
+fn register_deferred_and_displacement() {
+    let m = run(
+        "start: moval data, r1\n movl (r1), r2\n movl 4(r1), r3\n movl -4(r1), r4\n halt\n\
+         .long 0x11\ndata: .long 0x22, 0x33",
+    );
+    assert_eq!(m.gpr(2), 0x22);
+    assert_eq!(m.gpr(3), 0x33);
+    assert_eq!(m.gpr(4), 0x11);
+}
+
+#[test]
+fn autoincrement_and_autodecrement() {
+    let m = run(
+        "start: moval data, r5\n moval data, r1\n movl (r1)+, r2\n movl (r1)+, r3\n \
+         movl -(r1), r4\n halt\ndata: .long 7, 8",
+    );
+    assert_eq!(m.gpr(2), 7);
+    assert_eq!(m.gpr(3), 8);
+    assert_eq!(m.gpr(4), 8, "autodec steps back to the second element");
+    assert_eq!(m.gpr(1), m.gpr(5) + 4, "two increments, one decrement");
+}
+
+#[test]
+fn autoinc_scales_by_operand_size() {
+    let m = run(
+        "start: moval data, r1\n movb (r1)+, r2\n movb (r1)+, r3\n halt\n\
+         data: .byte 0x41, 0x42",
+    );
+    assert_eq!(m.gpr(2) & 0xFF, 0x41);
+    assert_eq!(m.gpr(3) & 0xFF, 0x42);
+}
+
+#[test]
+fn deferred_modes() {
+    let m = run(
+        "start: moval ptr, r1\n movl @(r1)+, r2\n moval ptr, r3\n movl @0(r3), r4\n \
+         movl @#data, r5\n halt\n\
+         ptr: .long data\ndata: .long 0x99",
+    );
+    assert_eq!(m.gpr(2), 0x99);
+    assert_eq!(m.gpr(4), 0x99);
+    assert_eq!(m.gpr(5), 0x99);
+}
+
+#[test]
+fn pc_relative_modes() {
+    let m = run("start: movl data, r1\n movl @dptr, r2\n halt\ndata: .long 0x77\ndptr: .long data");
+    assert_eq!(m.gpr(1), 0x77);
+    assert_eq!(m.gpr(2), 0x77);
+}
+
+#[test]
+fn writes_through_modes() {
+    let m = run(
+        "start: moval buf, r1\n movl #1, (r1)\n movl #2, 4(r1)\n \
+         moval buf, r2\n movl #3, (r2)+\n movl @#buf2, r0\n movl #4, @#buf2\n \
+         movl buf, r5\n movl buf+4, r6\n movl buf2, r7\n halt\n\
+         buf: .long 0, 0\nbuf2: .long 9",
+    );
+    assert_eq!(m.gpr(5), 3, "autoinc write overwrote (r1) write");
+    assert_eq!(m.gpr(6), 2);
+    assert_eq!(m.gpr(7), 4);
+    assert_eq!(m.gpr(0), 9, "absolute read saw the original");
+}
+
+#[test]
+fn unaligned_longword_access() {
+    let m = run(
+        "start: moval buf, r1\n movl #0xDEADBEEF, 1(r1)\n movl 1(r1), r2\n halt\n\
+         buf: .long 0, 0",
+    );
+    assert_eq!(m.gpr(2), 0xDEAD_BEEF);
+}
+
+// ── Arithmetic ────────────────────────────────────────────────────────
+
+#[test]
+fn add_sub_three_operand() {
+    let m = run("start: movl #10, r1\n movl #3, r2\n addl3 r1, r2, r3\n subl3 r2, r1, r4\n halt");
+    assert_eq!(m.gpr(3), 13);
+    assert_eq!(m.gpr(4), 7, "subl3 a,b,dst computes b - a");
+}
+
+#[test]
+fn add_sub_two_operand() {
+    let m = run("start: movl #10, r1\n addl2 #5, r1\n subl2 #3, r1\n halt");
+    assert_eq!(m.gpr(1), 12);
+}
+
+#[test]
+fn add_sets_carry_and_overflow() {
+    let m = run("start: movl #-1, r1\n addl2 #1, r1\n halt");
+    let (_, z, v, c) = psl_nzvc(&m);
+    assert!(z && c && !v);
+    let m = run("start: movl #0x7FFFFFFF, r1\n addl2 #1, r1\n halt");
+    let (n, _, v, c) = psl_nzvc(&m);
+    assert!(n && v && !c);
+}
+
+#[test]
+fn mul_and_div() {
+    let m = run(
+        "start: movl #6, r1\n mull3 #7, r1, r2\n movl #100, r3\n divl3 #7, r3, r4\n \
+         movl #100, r5\n divl2 #10, r5\n halt",
+    );
+    assert_eq!(m.gpr(2), 42);
+    assert_eq!(m.gpr(4), 14);
+    assert_eq!(m.gpr(5), 10);
+}
+
+#[test]
+fn div_negative_truncates_toward_zero() {
+    let m = run("start: movl #-7, r1\n divl3 #2, r1, r2\n halt");
+    assert_eq!(m.gpr(2) as i32, -3);
+}
+
+#[test]
+fn incl_decl() {
+    let m = run("start: movl #5, r1\n incl r1\n incl r1\n decl r1\n halt");
+    assert_eq!(m.gpr(1), 6);
+}
+
+#[test]
+fn incl_memory_operand() {
+    let m = run("start: incl counter\n incl counter\n movl counter, r1\n halt\ncounter: .long 40");
+    assert_eq!(m.gpr(1), 42);
+}
+
+#[test]
+fn ashl_shifts() {
+    let m = run(
+        "start: movl #1, r1\n ashl #4, r1, r2\n movl #-16, r3\n ashl #-2, r3, r4\n halt",
+    );
+    assert_eq!(m.gpr(2), 16);
+    assert_eq!(m.gpr(4) as i32, -4, "negative count is arithmetic right");
+}
+
+#[test]
+fn logic_ops() {
+    let m = run(
+        "start: movl #0b1100, r1\n bisl3 #0b0011, r1, r2\n bicl3 #0b0100, r1, r3\n \
+         xorl3 #0b1111, r1, r4\n movl #0b1010, r5\n bisl2 #1, r5\n halt",
+    );
+    assert_eq!(m.gpr(2), 0b1111);
+    assert_eq!(m.gpr(3), 0b1000, "bic clears mask bits");
+    assert_eq!(m.gpr(4), 0b0011);
+    assert_eq!(m.gpr(5), 0b1011);
+}
+
+#[test]
+fn cmp_and_tst_flags() {
+    let m = run("start: movl #5, r1\n cmpl r1, #5\n halt");
+    let (_, z, _, _) = psl_nzvc(&m);
+    assert!(z);
+    let m = run("start: movl #3, r1\n cmpl r1, #5\n halt");
+    let (n, z, _, c) = psl_nzvc(&m);
+    assert!(n && !z && c, "3 < 5 signed and unsigned");
+    let m = run("start: movl #-1, r1\n tstl r1\n halt");
+    let (n, z, v, c) = psl_nzvc(&m);
+    assert!(n && !z && !v && !c, "tst clears V and C");
+}
+
+#[test]
+fn cmpb_uses_byte_width() {
+    // 0x180 vs 0x80 equal at byte width.
+    let m = run("start: movl #0x180, r1\n movl #0x80, r2\n cmpb r1, r2\n beql 1f\n movl #1, r3\n1: halt");
+    assert_eq!(m.gpr(3), 0, "branch taken on byte equality");
+}
+
+#[test]
+fn bitl_sets_z() {
+    let m = run("start: movl #0b1100, r1\n bitl #0b0011, r1\n beql 1f\n movl #9, r2\n1: halt");
+    assert_eq!(m.gpr(2), 0, "no common bits → Z → branch taken");
+}
+
+// ── Branches and loops ────────────────────────────────────────────────
+
+#[test]
+fn conditional_branch_matrix() {
+    // Each case: (setup producing flags, branch, expect taken).
+    let cases = [
+        ("cmpl #1, #1", "beql", true),
+        ("cmpl #1, #2", "beql", false),
+        ("cmpl #1, #2", "bneq", true),
+        ("cmpl #2, #1", "bgtr", true),
+        ("cmpl #1, #1", "bgtr", false),
+        ("cmpl #1, #1", "bgeq", true),
+        ("cmpl #1, #2", "blss", true),
+        ("cmpl #1, #1", "bleq", true),
+        ("cmpl #-1, #1", "bgtru", true), // 0xFFFFFFFF unsigned-greater
+        ("cmpl #-1, #1", "blss", true),
+        ("cmpl #1, #-1", "blequ", true),
+        ("cmpl #1, #2", "bcs", true), // borrow
+        ("cmpl #2, #1", "bcc", true),
+    ];
+    for (setup, branch, taken) in cases {
+        let src = format!("start: {setup}\n {branch} 1f\n movl #1, r9\n1: halt");
+        let m = run(&src);
+        let was_taken = m.gpr(9) == 0;
+        assert_eq!(was_taken, taken, "{setup}; {branch}");
+    }
+}
+
+#[test]
+fn brw_and_relaxed_branches() {
+    // Force a relaxed conditional branch across 300 bytes.
+    let m = run(
+        "start: movl #1, r1\n cmpl r1, #1\n beql far\n movl #99, r2\n .space 300\n\
+         far: movl #5, r3\n halt",
+    );
+    assert_eq!(m.gpr(2), 0);
+    assert_eq!(m.gpr(3), 5);
+}
+
+#[test]
+fn sobgtr_loops() {
+    let m = run("start: movl #5, r1\n clrl r2\nloop: addl2 r1, r2\n sobgtr r1, loop\n halt");
+    assert_eq!(m.gpr(2), 15, "5+4+3+2+1");
+    assert_eq!(m.gpr(1), 0);
+}
+
+#[test]
+fn sobgeq_runs_once_more() {
+    let m = run("start: movl #2, r1\n clrl r2\nloop: incl r2\n sobgeq r1, loop\n halt");
+    assert_eq!(m.gpr(2), 3, "iterates for 2,1,0");
+}
+
+#[test]
+fn aoblss_loops() {
+    let m = run("start: clrl r1\n clrl r2\nloop: addl2 #2, r2\n aoblss #4, r1, loop\n halt");
+    assert_eq!(m.gpr(1), 4);
+    assert_eq!(m.gpr(2), 8);
+}
+
+#[test]
+fn blbs_blbc() {
+    let m = run("start: movl #5, r1\n blbs r1, 1f\n movl #9, r2\n1: blbc r1, 2f\n movl #3, r3\n2: halt");
+    assert_eq!(m.gpr(2), 0, "low bit set → taken");
+    assert_eq!(m.gpr(3), 3, "blbc not taken");
+}
+
+#[test]
+fn bsb_rsb() {
+    let m = run(
+        "start: bsbb sub\n movl #2, r2\n halt\n\
+         sub: movl #1, r1\n rsb",
+    );
+    assert_eq!(m.gpr(1), 1);
+    assert_eq!(m.gpr(2), 2);
+}
+
+#[test]
+fn jsb_with_deferred_target_and_jmp() {
+    let m = run(
+        "start: jsb @vec\n movl #2, r2\n jmp end\n movl #99, r3\n\
+         end: halt\n\
+         sub: movl #1, r1\n rsb\n\
+         vec: .long sub",
+    );
+    assert_eq!(m.gpr(1), 1);
+    assert_eq!(m.gpr(2), 2);
+    assert_eq!(m.gpr(3), 0);
+}
+
+// ── Stack, calls ──────────────────────────────────────────────────────
+
+#[test]
+fn push_pop() {
+    let m = run("start: pushl #11\n pushl #22\n popl r1\n popl r2\n halt");
+    assert_eq!(m.gpr(1), 22);
+    assert_eq!(m.gpr(2), 11);
+}
+
+#[test]
+fn pushal_pushes_address() {
+    let m = run("start: pushal data\n popl r1\n movl (r1), r2\n halt\ndata: .long 0xCAFE");
+    assert_eq!(m.gpr(2), 0xCAFE);
+}
+
+#[test]
+fn calls_ret_with_register_save() {
+    let m = run(
+        "start: movl #111, r2\n movl #222, r3\n \
+         pushl #41\n calls #1, proc\n halt\n\
+         proc: .word 0b1100       ; save r2, r3\n\
+         movl 4(ap), r0\n incl r0\n movl #0, r2\n movl #0, r3\n ret",
+    );
+    assert_eq!(m.gpr(0), 42, "argument fetched through AP");
+    assert_eq!(m.gpr(2), 111, "r2 restored by ret");
+    assert_eq!(m.gpr(3), 222, "r3 restored by ret");
+}
+
+#[test]
+fn calls_cleans_arguments_and_restores_sp() {
+    let m = run(
+        "start: movl sp, r6\n pushl #1\n pushl #2\n calls #2, proc\n \
+         subl3 sp, r6, r7\n halt\n\
+         proc: .word 0\n ret",
+    );
+    assert_eq!(m.gpr(7), 0, "SP fully restored after ret");
+}
+
+#[test]
+fn nested_calls() {
+    let m = run(
+        "start: calls #0, outer\n halt\n\
+         outer: .word 0b10   ; saves r1\n\
+         movl #5, r1\n calls #0, inner\n addl3 r1, r0, r0\n ret\n\
+         inner: .word 0b10\n movl #100, r1\n movl r1, r0\n ret",
+    );
+    // inner returns r0=100 (r1 restored to 5), outer adds 5 → 105.
+    assert_eq!(m.gpr(0), 105);
+}
+
+#[test]
+fn pushr_popr() {
+    let m = run(
+        "start: movl #1, r1\n movl #2, r2\n movl #3, r3\n \
+         pushr #0b1110\n clrl r1\n clrl r2\n clrl r3\n popr #0b1110\n halt",
+    );
+    assert_eq!(m.gpr(1), 1);
+    assert_eq!(m.gpr(2), 2);
+    assert_eq!(m.gpr(3), 3);
+}
+
+// ── String, queue, bit-field ──────────────────────────────────────────
+
+#[test]
+fn movc3_copies() {
+    let m = run(
+        "start: movl dst, r4 ; preload to prove it changes\n \
+         movc3 #5, src, dst\n halt\n\
+         src: .ascii \"HELLO\"\n .space 3\ndst: .space 8, 0xEE",
+    );
+    assert_eq!(m.gpr(0), 0, "R0 cleared");
+    assert!(m.psl().z(), "movc3 leaves Z set");
+    // R3 is one past the destination end; read the copy back from memory.
+    let dst = m.gpr(3) - 5;
+    assert_eq!(m.read_phys(dst, 5).unwrap(), b"HELLO");
+    assert_eq!(m.read_phys(dst + 5, 1).unwrap(), vec![0xEE], "no overrun");
+}
+
+#[test]
+fn movc3_leaves_cursors() {
+    let m = run(
+        "start: movc3 #3, src, dst\n halt\nsrc: .ascii \"abc\"\n .space 1\ndst: .space 4",
+    );
+    // R1 = src end, R3 = dst end; check via distance.
+    assert_eq!(m.gpr(3) - m.gpr(1), 4, "dst is 4 past src here");
+}
+
+#[test]
+fn cmpc3_equal_and_differing() {
+    let m = run(
+        "start: cmpc3 #3, a, b\n beql 1f\n movl #9, r5\n1: halt\n\
+         a: .ascii \"abc\"\nb: .ascii \"abc\"",
+    );
+    assert_eq!(m.gpr(5), 0, "equal strings set Z");
+    assert_eq!(m.gpr(0), 0, "R0 = remaining = 0");
+
+    let m = run(
+        "start: cmpc3 #3, a, b\n blss 1f\n movl #9, r5\n1: halt\n\
+         a: .ascii \"abd\"\nb: .ascii \"abq\"",
+    );
+    assert_eq!(m.gpr(5), 0, "d < q at the mismatch");
+    assert_eq!(m.gpr(0), 1, "one byte remained at mismatch");
+}
+
+#[test]
+fn locc_finds_byte() {
+    let m = run(
+        "start: locc #'l', #5, str\n halt\nstr: .ascii \"hello\"",
+    );
+    assert_eq!(m.gpr(0), 3, "bytes remaining at the first l");
+    assert!(!m.psl().z());
+    let m = run("start: locc #'z', #5, str\n halt\nstr: .ascii \"hello\"");
+    assert_eq!(m.gpr(0), 0);
+    assert!(m.psl().z(), "not found sets Z");
+}
+
+#[test]
+fn insque_remque_round_trip() {
+    let m = run(
+        "start: moval head, r0\n movl r0, (r0)\n movl r0, 4(r0)   ; empty queue\n\
+         insque e1, head\n bneq bad\n                              ; was empty → Z\n\
+         insque e2, e1\n beql bad\n\
+         remque @head, r3\n\
+         movl head, r4\n halt\n\
+         bad: movl #1, r9\n halt\n\
+         head: .long 0, 0\n\
+         e1: .long 0, 0\n\
+         e2: .long 0, 0",
+    );
+    assert_eq!(m.gpr(9), 0);
+    // After inserting e1 then e2-after-e1 and removing the head's first
+    // element (e1), head should point at e2.
+    let e1 = m.gpr(3);
+    let head = m.gpr(4);
+    assert_ne!(e1, head);
+    assert_eq!(head, e1 + 8, "e2 follows e1 in the image");
+}
+
+#[test]
+fn extzv_extracts() {
+    let m = run(
+        "start: extzv #4, #8, word, r1\n extzv #0, #4, word, r2\n halt\n\
+         word: .long 0xABCD1234",
+    );
+    assert_eq!(m.gpr(1), 0x23);
+    assert_eq!(m.gpr(2), 0x4);
+}
+
+#[test]
+fn insv_inserts() {
+    let m = run(
+        "start: insv #0xF, #4, #8, word\n movl word, r1\n halt\n\
+         word: .long 0xABCD1234",
+    );
+    assert_eq!(m.gpr(1), 0xABCD_10F4, "bits 4..12 replaced with 0x0F");
+}
+
+#[test]
+fn extzv_rejects_wide_fields() {
+    // size 30 > 24 → reserved operand fault; with no SCB the machine
+    // ends up machine-checking into a triple fault — any non-halt exit.
+    let full = format!(".org {ORG:#x}\nstart: extzv #0, #30, w, r1\n halt\nw: .long 0\n");
+    let img = atum_asm::assemble(&full).unwrap();
+    let mut m = Machine::new(MemLayout::small());
+    for (addr, bytes) in img.segments() {
+        m.write_phys(*addr, bytes).unwrap();
+    }
+    m.set_gpr(14, 0x8000);
+    m.set_pc(ORG);
+    // With SCBB = 0 the reserved-operand fault vectors through longword
+    // 0x14 (which holds 0) and lands on opcode 0x00 = HALT at address 0.
+    let exit = m.run(100_000);
+    assert_eq!(exit, RunExit::Halted);
+    assert!(m.pc() <= 4, "vectored to the null handler, pc={:#x}", m.pc());
+    assert_eq!(m.gpr(1), 0, "destination untouched");
+    assert!(m.counts().exceptions >= 1);
+}
+
+// ── Reference counting sanity ─────────────────────────────────────────
+
+#[test]
+fn counts_track_references() {
+    let m = run("start: movl data, r1\n movl r1, out\n halt\ndata: .long 5\nout: .long 0");
+    let c = m.counts();
+    assert!(c.ifetch >= 2, "several istream longwords fetched");
+    assert_eq!(c.data_reads, 1);
+    assert_eq!(c.data_writes, 1);
+    assert!(m.cycles() > 0);
+    // halt stops before its own boundary, so only the two moves count.
+    assert_eq!(m.insns(), 2);
+}
+
+#[test]
+fn console_output() {
+    // MTPR of 'A' (65) to TXDB (32).
+    let mut m = run("start: mtpr #65, #32\n mtpr #66, #32\n halt");
+    assert_eq!(m.take_console_output(), b"AB");
+}

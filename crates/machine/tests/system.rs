@@ -1,0 +1,468 @@
+//! System-level machine tests: exception vectoring, traps, interrupts,
+//! memory management, mode switching, context switching and fault
+//! restartability — the behaviours the MOSS kernel is built on.
+
+use atum_arch::{PageProt, PrivReg, Pte, Psl};
+use atum_machine::{Machine, MemLayout, RunExit};
+
+const ORG: u32 = 0x1000;
+const SCB: u32 = 0x6000;
+const KSTACK: u32 = 0x8000;
+
+/// Assembles and loads `src` (which must define `start`), points SCBB at a
+/// zeroed SCB page, and sets up a kernel stack. Does not run.
+fn load(src: &str) -> Machine {
+    let full = format!(".org {ORG:#x}\n{src}\n");
+    let img = atum_asm::assemble(&full).unwrap_or_else(|e| panic!("asm: {e}"));
+    let mut m = Machine::new(MemLayout::small());
+    for (addr, bytes) in img.segments() {
+        m.write_phys(*addr, bytes).expect("load");
+    }
+    // Wire any `vec_<name>` symbols into the SCB.
+    for (name, addr) in img.symbols() {
+        if let Some(off) = name.strip_prefix("handler_at_") {
+            let off = u32::from_str_radix(off, 16).expect("vector offset");
+            m.write_phys(SCB + off, &addr.to_le_bytes()).unwrap();
+        }
+    }
+    m.write_prv(PrivReg::Scbb, SCB);
+    m.set_gpr(14, KSTACK);
+    m.set_pc(img.symbol("start").expect("start"));
+    m
+}
+
+fn run(src: &str) -> Machine {
+    let mut m = load(src);
+    assert_eq!(m.run(5_000_000), RunExit::Halted, "did not halt");
+    m
+}
+
+// ── Traps and faults ──────────────────────────────────────────────────
+
+#[test]
+fn chmk_traps_with_code_and_rei_returns() {
+    let m = run(
+        "start: chmk #42\n movl #7, r2\n halt\n\
+         handler_at_40: popl r1      ; parameter (the chmk code)\n rei",
+    );
+    assert_eq!(m.gpr(1), 42, "handler saw the chmk code");
+    assert_eq!(m.gpr(2), 7, "rei resumed after the chmk");
+}
+
+#[test]
+fn reserved_opcode_faults() {
+    let m = run(
+        "start: .byte 0xFF\n halt\n\
+         handler_at_10: movl #1, r9\n halt",
+    );
+    assert_eq!(m.gpr(9), 1);
+    assert_eq!(m.counts().exceptions, 1);
+}
+
+#[test]
+fn divide_by_zero_traps_with_code() {
+    let m = run(
+        "start: movl #10, r1\n clrl r2\n divl3 r2, r1, r3\n halt\n\
+         handler_at_30: popl r8\n rei",
+    );
+    assert_eq!(m.gpr(8), 2, "arithmetic trap code 2 = divide by zero");
+    assert_eq!(m.gpr(3), 0, "destination untouched");
+}
+
+#[test]
+fn bpt_traps() {
+    let m = run(
+        "start: bpt\n movl #5, r1\n halt\n\
+         handler_at_2c: movl #1, r9\n rei",
+    );
+    assert_eq!(m.gpr(9), 1);
+    assert_eq!(m.gpr(1), 5, "trap PC was past the bpt");
+}
+
+#[test]
+fn fault_pushes_faulting_pc_and_restarts() {
+    // Read through r1 pointing outside physical memory; the handler fixes
+    // r1 to a valid buffer and reis — the instruction must restart and
+    // succeed, proving the PC pushed was the *faulting* instruction's and
+    // that autoincrement side effects were rolled back.
+    let m = run(
+        "start: movl #0x00700000, r1   ; beyond 4 MiB of memory\n\
+         movl (r1)+, r2\n halt\n\
+         handler_at_24: popl r7        ; faulting VA parameter\n\
+         moval data, r1                ; repair\n rei\n\
+         data: .long 0xFEED",
+    );
+    assert_eq!(m.gpr(7), 0x0070_0000, "fault parameter is the VA");
+    assert_eq!(m.gpr(2), 0xFEED, "instruction restarted after repair");
+}
+
+#[test]
+fn autoincrement_rolled_back_on_fault() {
+    let m = run(
+        "start: movl #0x00700000, r1\n movl (r1)+, r2\n halt\n\
+         handler_at_24: popl r7        ; discard the VA parameter\n\
+         movl r1, r6                   ; observe r1 inside the handler\n\
+         moval data, r1\n rei\n\
+         data: .long 1",
+    );
+    assert_eq!(m.gpr(6), 0x0070_0000, "autoincrement was unwound");
+}
+
+#[test]
+fn trace_bit_single_steps() {
+    // Kernel enables T in the PSL it reis to; each subsequent instruction
+    // then takes a trace trap. The handler counts them and clears T after
+    // three, letting the program finish.
+    let m = run(
+        "start: clrl r6\n\
+         pushal traced\n                ; PC\n\
+         mfpr #18, r0                   ; current IPL (reuse as scratch)\n\
+         movl (sp), r1\n popl r1\n\
+         pushl #0x10                    ; PSL with T set, kernel, IPL 0\n\
+         pushl r1\n rei\n\
+         traced: incl r2\n incl r2\n incl r2\n incl r2\n halt\n\
+         handler_at_28: incl r6\n cmpl r6, #3\n bneq 1f\n\
+         bicl2 #0x10, 4(sp)             ; clear T in the saved PSL\n\
+         1: rei",
+    );
+    assert_eq!(m.gpr(6), 3, "three trace traps");
+    assert_eq!(m.gpr(2), 4, "program still completed");
+}
+
+// ── Interrupts ────────────────────────────────────────────────────────
+
+#[test]
+fn interval_timer_interrupts() {
+    let m = run(
+        "start: clrl r6\n\
+         mtpr #500, #25      ; ICR: every 500 cycles\n\
+         mtpr #0x41, #24     ; ICCS: run + interrupt enable\n\
+         mtpr #0, #18        ; IPL 0 opens the gate\n\
+         loop: cmpl r6, #3\n blss loop\n\
+         mtpr #0, #24        ; stop the clock\n halt\n\
+         handler_at_c0: incl r6\n rei",
+    );
+    assert_eq!(m.gpr(6), 3);
+    assert_eq!(m.counts().interrupts, 3);
+}
+
+#[test]
+fn timer_blocked_above_its_ipl() {
+    // At IPL 31 the timer must never deliver.
+    let mut m = load(
+        "start: mtpr #200, #25\n mtpr #0x41, #24\n\
+         movl #2000, r1\n loop: sobgtr r1, loop\n halt\n\
+         handler_at_c0: incl r6\n rei",
+    );
+    assert_eq!(m.run(5_000_000), RunExit::Halted);
+    assert_eq!(m.gpr(6), 0);
+    assert_eq!(m.counts().interrupts, 0);
+}
+
+#[test]
+fn software_interrupt_via_sirr() {
+    let m = run(
+        "start: mtpr #3, #19     ; request soft IRQ level 3\n\
+         movl #1, r1            ; still blocked: boot IPL is 31\n\
+         mtpr #0, #18           ; open the gate\n\
+         movl #2, r2\n halt\n\
+         handler_at_8c: movl r1, r7\n incl r6\n rei",
+    );
+    assert_eq!(m.gpr(6), 1, "delivered exactly once");
+    assert_eq!(m.gpr(7), 1, "delivery waited for the IPL drop");
+}
+
+#[test]
+fn interrupt_priority_nesting() {
+    // A level-2 handler requests level 5 mid-flight; level 5 preempts it
+    // because the handler runs at IPL 2.
+    let m = run(
+        "start: clrl r6\n clrl r7\n\
+         mtpr #2, #19\n mtpr #0, #18\n\
+         movl #1, r9\n halt\n\
+         handler_at_88: movl #1, r6\n\
+         mtpr #5, #19          ; higher level preempts immediately\n\
+         movl r7, r8           ; r8 records whether 5 already ran\n\
+         rei\n\
+         handler_at_94: movl #1, r7\n rei",
+    );
+    assert_eq!(m.gpr(6), 1);
+    assert_eq!(m.gpr(7), 1);
+    assert_eq!(m.gpr(8), 1, "level 5 ran before level 2 finished");
+}
+
+// ── Mode switching ────────────────────────────────────────────────────
+
+/// PSL image for user mode, IPL 0.
+fn user_psl() -> u32 {
+    let mut p = Psl::new();
+    p.set_ipl(0);
+    p.set_mode(atum_arch::CpuMode::User);
+    p.bits()
+}
+
+#[test]
+fn rei_to_user_and_chmk_back() {
+    let src = format!(
+        "start: mtpr #0x7000, #3     ; USP\n\
+         pushl #{psl:#x}\n pushal user\n rei\n\
+         user: movl #5, r1\n chmk #9\n\
+         unreachable: halt\n\
+         handler_at_40: popl r2      ; code\n movl r1, r3\n halt",
+        psl = user_psl()
+    );
+    let m = run(&src);
+    assert_eq!(m.gpr(2), 9);
+    assert_eq!(m.gpr(3), 5, "user computation visible in kernel");
+    assert!(m.is_kernel());
+}
+
+#[test]
+fn user_mode_halt_is_privileged() {
+    let src = format!(
+        "start: mtpr #0x7000, #3\n pushl #{psl:#x}\n pushal user\n rei\n\
+         user: halt\n\
+         handler_at_10: movl #1, r9\n halt",
+        psl = user_psl()
+    );
+    let m = run(&src);
+    assert_eq!(m.gpr(9), 1, "user halt vectored to reserved-instruction");
+}
+
+#[test]
+fn user_mode_mtpr_is_privileged() {
+    let src = format!(
+        "start: mtpr #0x7000, #3\n pushl #{psl:#x}\n pushal user\n rei\n\
+         user: mtpr #0, #18\n\
+         handler_at_10: movl #1, r9\n halt",
+        psl = user_psl()
+    );
+    let m = run(&src);
+    assert_eq!(m.gpr(9), 1);
+}
+
+#[test]
+fn stack_pointers_bank_on_mode_switch() {
+    let src = format!(
+        "start: mtpr #0x7000, #3\n pushl #{psl:#x}\n pushal user\n rei\n\
+         user: pushl #77\n chmk #0\n\
+         handler_at_40: popl r1        ; code\n\
+         mfpr #3, r2                  ; user SP after its push\n\
+         movl sp, r3                  ; kernel SP\n halt",
+        psl = user_psl()
+    );
+    let m = run(&src);
+    assert_eq!(m.gpr(2), 0x7000 - 4, "USP reflects the user push");
+    assert!(m.gpr(3) <= KSTACK, "kernel stack in use for the trap");
+    let user_word = m.read_phys(0x7000 - 4, 4).unwrap();
+    assert_eq!(u32::from_le_bytes(user_word.try_into().unwrap()), 77);
+}
+
+// ── Memory management ─────────────────────────────────────────────────
+
+/// Builds identity page tables: P0 covering `pages` pages with `p0_prot`,
+/// system space mapping the same physical range at 0x8000_0000.
+fn setup_mapping(m: &mut Machine, pages: u32, p0_prot: PageProt) {
+    let p0_table = 0x0010_0000u32;
+    let sys_table = 0x0011_0000u32;
+    for vpn in 0..pages {
+        let pte = Pte::new(vpn, p0_prot);
+        m.write_phys(p0_table + vpn * 4, &pte.0.to_le_bytes()).unwrap();
+        let spte = Pte::new(vpn, PageProt::KernelRw);
+        m.write_phys(sys_table + vpn * 4, &spte.0.to_le_bytes()).unwrap();
+    }
+    m.write_prv(PrivReg::P0br, p0_table);
+    m.write_prv(PrivReg::P0lr, pages);
+    m.write_prv(PrivReg::Sbr, sys_table);
+    m.write_prv(PrivReg::Slr, pages);
+}
+
+#[test]
+fn mapping_translates_and_system_alias_works() {
+    let mut m = load(
+        "start: mtpr #1, #56          ; MAPEN\n\
+         movl #0xABCD, @#0x80002000   ; write via system alias\n\
+         movl @#0x2000, r1            ; read via P0 identity\n halt",
+    );
+    setup_mapping(&mut m, 64, PageProt::AllRw);
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    assert_eq!(m.gpr(1), 0xABCD);
+    assert!(m.tlb_stats().misses > 0, "walks happened");
+    assert!(m.counts().pte_reads > 0);
+}
+
+#[test]
+fn user_write_to_kernel_page_violates() {
+    let user = user_psl();
+    let src = format!(
+        "start: mtpr #1, #56\n mtpr #0x7000, #3\n\
+         pushl #{user:#x}\n pushal user\n rei\n\
+         user: movl #1, @#0x3000\n halt\n\
+         handler_at_20: popl r7\n movl #1, r9\n halt"
+    );
+    let mut m = load(&src);
+    setup_mapping(&mut m, 64, PageProt::KernelRwUserR);
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    assert_eq!(m.gpr(9), 1, "access violation taken");
+    assert_eq!(m.gpr(7), 0x3000, "VA parameter pushed");
+}
+
+#[test]
+fn user_read_of_user_readable_page_is_fine() {
+    let user = user_psl();
+    let src = format!(
+        "start: mtpr #1, #56\n mtpr #0x7000, #3\n\
+         movl #0x5A5A, @#0x3000\n\
+         pushl #{user:#x}\n pushal user\n rei\n\
+         user: movl @#0x3000, r1\n chmk #0\n\
+         handler_at_40: popl r0\n halt"
+    );
+    let mut m = load(&src);
+    setup_mapping(&mut m, 64, PageProt::KernelRwUserR);
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    assert_eq!(m.gpr(1), 0x5A5A);
+}
+
+#[test]
+fn invalid_pte_page_faults_with_va() {
+    let mut m = load(
+        "start: mtpr #1, #56\n movl @#0x9000, r1\n halt\n\
+         handler_at_24: popl r7\n movl #1, r9\n halt",
+    );
+    // Map 64 pages (up to 0x8000, covering code and the kernel stack);
+    // VA 0x9000 is page 72 — beyond P0LR.
+    setup_mapping(&mut m, 64, PageProt::AllRw);
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    assert_eq!(m.gpr(9), 1);
+    assert_eq!(m.gpr(7), 0x9000);
+}
+
+#[test]
+fn modify_bit_set_on_first_write() {
+    let mut m = load(
+        "start: mtpr #1, #56\n\
+         movl @#0x2000, r1            ; read: M stays clear\n\
+         movl #1, @#0x2200\n halt     ; write to the next page: M set",
+    );
+    setup_mapping(&mut m, 64, PageProt::AllRw);
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    let p0_table = 0x0010_0000u32;
+    let read_pte = Pte(u32::from_le_bytes(
+        m.read_phys(p0_table + (0x2000 >> 9) * 4, 4).unwrap().try_into().unwrap(),
+    ));
+    let write_pte = Pte(u32::from_le_bytes(
+        m.read_phys(p0_table + (0x2200 >> 9) * 4, 4).unwrap().try_into().unwrap(),
+    ));
+    assert!(!read_pte.modified());
+    assert!(write_pte.modified());
+}
+
+#[test]
+fn tbia_flushes_translation_buffer() {
+    let mut m = load(
+        "start: mtpr #1, #56\n\
+         movl @#0x2000, r1\n movl @#0x2000, r2\n\
+         mtpr #0, #57                 ; TBIA\n\
+         movl @#0x2000, r3\n halt",
+    );
+    setup_mapping(&mut m, 64, PageProt::AllRw);
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    let s = m.tlb_stats();
+    assert!(s.full_flushes >= 1);
+    assert!(s.misses >= 2, "re-walk after the flush");
+}
+
+// ── Context switching ─────────────────────────────────────────────────
+
+#[test]
+fn svpctx_ldpctx_round_trip() {
+    // PCB A at 0x9000, PCB B at 0x9100. The program pretends to be inside
+    // an exception frame (pushes PSL/PC), saves into A, loads B (prepared
+    // by the host) and reis into `ctxb`.
+    let psl_kernel_ipl0 = {
+        let mut p = Psl::new();
+        p.set_ipl(0);
+        p.bits()
+    };
+    let src = format!(
+        "start: mtpr #0x9000, #16     ; PCBB = A\n\
+         movl #0x1111, r1\n movl #0x2222, r2\n\
+         pushl #{psl:#x}\n pushal resume_a\n\
+         svpctx\n\
+         mtpr #0x9100, #16           ; PCBB = B\n\
+         ldpctx\n rei\n\
+         resume_a: movl #0xAAAA, r9\n halt\n\
+         ctxb: movl r1, r5\n movl r2, r6\n halt",
+        psl = psl_kernel_ipl0
+    );
+    let mut m = load(&src);
+
+    // Prepare PCB B by hand: registers, PC = ctxb, PSL kernel IPL 0.
+    let img = atum_asm::assemble(&format!(".org {ORG:#x}\n{src}\n")).unwrap();
+    let ctxb = img.symbol("ctxb").unwrap();
+    let pcb_b = 0x9100u32;
+    let mut pcb = vec![0u8; 92];
+    pcb[0..4].copy_from_slice(&0x7800u32.to_le_bytes()); // KSP
+    pcb[8 + 4..8 + 8].copy_from_slice(&0xB001u32.to_le_bytes()); // R1
+    pcb[8 + 8..8 + 12].copy_from_slice(&0xB002u32.to_le_bytes()); // R2
+    pcb[64..68].copy_from_slice(&ctxb.to_le_bytes()); // PC
+    pcb[68..72].copy_from_slice(&psl_kernel_ipl0.to_le_bytes()); // PSL
+    m.write_phys(pcb_b, &pcb).unwrap();
+
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    assert_eq!(m.gpr(5), 0xB001, "context B registers loaded");
+    assert_eq!(m.gpr(6), 0xB002);
+    assert_eq!(m.gpr(9), 0, "context A not resumed");
+
+    // Context A's PCB captured the live values.
+    let pcb_a = m.read_phys(0x9000, 92).unwrap();
+    let r1 = u32::from_le_bytes(pcb_a[12..16].try_into().unwrap());
+    let r2 = u32::from_le_bytes(pcb_a[16..20].try_into().unwrap());
+    let pc = u32::from_le_bytes(pcb_a[64..68].try_into().unwrap());
+    assert_eq!(r1, 0x1111);
+    assert_eq!(r2, 0x2222);
+    assert_eq!(pc, img.symbol("resume_a").unwrap());
+}
+
+#[test]
+fn ldpctx_flushes_process_tlb_entries() {
+    let mut m = load(
+        "start: mtpr #1, #56\n\
+         movl @#0x2000, r1            ; P0 entry cached\n\
+         movl @#0x80002000, r2        ; system entry cached\n\
+         mtpr #0x9000, #16\n ldpctx\n\
+         halt",
+    );
+    setup_mapping(&mut m, 64, PageProt::AllRw);
+    // A PCB that "loads" the same context back (identity round trip).
+    let mut pcb = vec![0u8; 92];
+    pcb[0..4].copy_from_slice(&(KSTACK - 0x100).to_le_bytes());
+    pcb[64..68].copy_from_slice(&ORG.to_le_bytes());
+    pcb[68..72].copy_from_slice(&Psl::new().bits().to_le_bytes());
+    pcb[72..76].copy_from_slice(&0x0010_0000u32.to_le_bytes()); // P0BR
+    pcb[76..80].copy_from_slice(&64u32.to_le_bytes()); // P0LR
+    m.write_phys(0x9000, &pcb).unwrap();
+    assert_eq!(m.run(1_000_000), RunExit::Halted);
+    assert!(m.tlb_stats().proc_flushes >= 1);
+}
+
+// ── Fatal paths ───────────────────────────────────────────────────────
+
+#[test]
+fn triple_fault_detected() {
+    // SCBB points at an unmapped region and the kernel stack is outside
+    // memory: exception entry faults, its machine check faults again.
+    let mut m = Machine::new(MemLayout::small());
+    m.write_phys(0x100, &[0xFF]).unwrap(); // reserved opcode
+    m.write_prv(PrivReg::Scbb, 0x6000);
+    m.set_gpr(14, 0x00F0_0000); // kernel stack outside the 4 MiB
+    m.set_pc(0x100);
+    assert_eq!(m.run(100_000), RunExit::TripleFault);
+}
+
+#[test]
+fn cycle_limit_exit() {
+    let mut m = load("start: brb start");
+    assert_eq!(m.run(10_000), RunExit::CycleLimit);
+    assert!(m.cycles() >= 10_000);
+}

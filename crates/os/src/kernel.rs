@@ -1,0 +1,355 @@
+//! The MOSS kernel source (SVX assembly), generated with options.
+//!
+//! The kernel is linked at [`KERNEL_BASE_VA`] in system space and runs
+//! entirely through the machine's microcode — every reference it makes is
+//! visible to an attached ATUM tracer. The host pokes `nproc`, `quantum`
+//! and the `pcbtab` entries after assembly (see [`crate::BootImage`]).
+//!
+//! [`KERNEL_BASE_VA`]: crate::KERNEL_BASE_VA
+
+use std::fmt::Write as _;
+
+/// What the T-bit (trace-trap) handler does — the hook the trap-driven
+/// software-tracer baseline builds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TbitMode {
+    /// Ignore trace traps (plain `rei`).
+    #[default]
+    Ignore,
+    /// Log the trapped PC into the kernel's software-trace buffer — the
+    /// classic pre-ATUM trap-per-instruction tracer. Slow by design.
+    LogPc,
+}
+
+/// Kernel build options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOptions {
+    /// T-bit handler behaviour.
+    pub tbit: TbitMode,
+    /// Size in bytes of the in-kernel software-trace buffer (only used by
+    /// [`TbitMode::LogPc`]).
+    pub swtrace_bytes: u32,
+}
+
+impl Default for KernelOptions {
+    fn default() -> KernelOptions {
+        KernelOptions {
+            tbit: TbitMode::default(),
+            swtrace_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// Generates the kernel assembly source for the given options.
+pub fn source(opts: &KernelOptions) -> String {
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        r#"; ── MOSS: the micro operating system ──────────────────────────────
+; Linked in system space; assembled by atum-asm; executed by the SVX
+; microcode. The host boot-loader pokes nproc/quantum/pcbtab.
+
+SCB     = 0x80000000        ; system-space view of the SCB page (phys 0)
+PCBB    = 16                ; privileged register numbers
+IPL     = 18
+ICCS    = 24
+ICR     = 25
+TXDB    = 32
+
+        .org {base:#x}
+
+; ── Boot ──────────────────────────────────────────────────────────────
+kstart:
+        ; exception vectors
+        movl    #vec_fatal,  @#SCB+0x04   ; machine check
+        movl    #vec_fatal,  @#SCB+0x08   ; kernel stack invalid
+        movl    #vec_kill,   @#SCB+0x10   ; reserved instruction
+        movl    #vec_kill,   @#SCB+0x14   ; reserved operand
+        movl    #vec_kill,   @#SCB+0x18   ; reserved addressing mode
+        movl    #vec_killp,  @#SCB+0x20   ; access violation (has param)
+        movl    #vec_pgflt,  @#SCB+0x24   ; translation not valid (param)
+        movl    #vec_tbit,   @#SCB+0x28   ; trace trap
+        movl    #vec_kill,   @#SCB+0x2C   ; breakpoint
+        movl    #vec_killp,  @#SCB+0x30   ; arithmetic (param)
+        movl    #vec_chmk,   @#SCB+0x40   ; system call
+        movl    #vec_timer,  @#SCB+0xC0   ; interval timer
+
+        ; state[i] = 1 for each loaded process
+        clrl    r1
+1:      moval   state, r2
+        addl2   r1, r2
+        movb    #1, (r2)
+        aoblss  nproc, r1, 1b
+
+        ; start the clock
+        movl    quantum, r1
+        mtpr    r1, #ICR
+        mtpr    #0x41, #ICCS              ; run + interrupt enable
+
+        ; dispatch process 0 (we are at boot IPL 31; the process PSL in
+        ; its PCB carries IPL 0, so interrupts open when it starts)
+        clrl    r0
+        brw     dispatch
+
+; ── Scheduler ─────────────────────────────────────────────────────────
+; pick_next: r0 ← index of next runnable process after `cur` (round
+; robin, may return cur itself), or -1 if none. Clobbers r1-r4.
+pick_next:
+        movl    nproc, r2
+        movl    cur, r1
+        movl    r2, r3
+1:      incl    r1
+        cmpl    r1, r2
+        blss    2f
+        clrl    r1
+2:      moval   state, r4
+        addl2   r1, r4
+        tstb    (r4)
+        bneq    3f
+        sobgtr  r3, 1b
+        movl    #-1, r0
+        rsb
+3:      movl    r1, r0
+        rsb
+
+; dispatch: switch to process r0 (stack must hold nothing the new
+; context needs — ldpctx pushes its own PSL/PC frame for rei).
+dispatch:
+        movl    r0, cur
+        moval   pcbtab, r1
+        ashl    #2, r0, r2
+        addl2   r2, r1
+        mtpr    (r1), #PCBB
+        ldpctx
+        rei
+
+; ── Interval timer: preemptive round robin ────────────────────────────
+vec_timer:
+        svpctx                    ; frame (PC,PSL) folds into the PCB
+        bsbw    pick_next
+        brw     dispatch          ; current is runnable, so r0 >= 0
+
+; ── System calls ──────────────────────────────────────────────────────
+; frame on entry: [code][PC][PSL], user registers live.
+vec_chmk:
+        mtpr    #31, #IPL         ; no preemption while switching
+        pushr   #0b0110           ; save r1, r2
+        movl    8(sp), r1         ; the chmk code
+        tstl    r1
+        beql    sys_exit
+        cmpl    r1, #1
+        beql    sys_putc
+        cmpl    r1, #2
+        beql    sys_getpid
+        cmpl    r1, #3
+        beql    sys_yield
+        brb     sys_exit          ; unknown syscall kills the process
+
+sys_putc:
+        mtpr    r0, #TXDB
+        brb     sys_ret
+sys_getpid:
+        movl    cur, r0
+        incl    r0                ; pid = index + 1
+sys_ret:
+        popr    #0b0110
+        addl2   #4, sp            ; drop the code
+        rei
+
+sys_yield:
+        popr    #0b0110
+        addl2   #4, sp            ; drop the code → frame is (PC,PSL)
+        svpctx
+        bsbw    pick_next
+        brw     dispatch
+
+sys_exit:
+        popr    #0b0110
+        addl2   #12, sp           ; drop the whole frame
+reap:
+        moval   state, r1
+        addl2   cur, r1
+        clrb    (r1)              ; mark dead
+        bsbw    pick_next
+        cmpl    r0, #-1
+        bneq    dispatch
+        halt                      ; nothing left to run
+
+; ── Page fault: demand-zero paging for marked P0 pages ────────────────
+; A PTE with the demand bit (bit 25) set and valid clear is a lazily
+; allocated page: take a frame from the free list, validate the PTE,
+; flush the stale TB entry, and restart the instruction.
+vec_pgflt:
+        mtpr    #31, #IPL
+        pushr   #0b111110         ; save r1-r5
+        movl    20(sp), r1        ; faulting VA (above the saved regs)
+        ; only P0 can be demand-paged
+        ashl    #-30, r1, r2
+        tstl    r2
+        bneq    pf_kill
+        ; vpn, bounds-checked against P0LR
+        bicl3   #0xC0000000, r1, r2
+        ashl    #-9, r2, r2
+        mfpr    #9, r3            ; P0LR
+        cmpl    r2, r3
+        bcc     pf_kill           ; vpn >= length
+        ; PTE address (P0BR is physical; view it through system space)
+        mfpr    #8, r3            ; P0BR
+        ashl    #2, r2, r4
+        addl2   r4, r3
+        addl2   #0x80000000, r3
+        movl    (r3), r4
+        bitl    #0x02000000, r4   ; demand-zero marker?
+        beql    pf_kill
+        ; grab a frame
+        movl    freemem, r5
+        cmpl    r5, freemem_end
+        bcc     pf_kill           ; out of physical memory
+        addl3   #0x200, r5, r2
+        movl    r2, freemem
+        ; PTE ← valid | user-writable | pfn
+        ashl    #-9, r5, r5
+        bisl3   #0xE0000000, r5, r4
+        movl    r4, (r3)
+        mtpr    r1, #58           ; TBIS the faulting VA
+        incl    pfaults
+        popr    #0b111110
+        addl2   #4, sp            ; drop the fault parameter
+        rei                       ; restart the faulting instruction
+pf_kill:
+        popr    #0b111110
+        addl2   #4, sp
+        brw     vec_kill_common
+
+; ── Faults: kill the offending process ────────────────────────────────
+vec_killp:
+        mtpr    #31, #IPL
+        addl2   #4, sp            ; drop the fault parameter
+        brb     vec_kill_common
+vec_kill:
+        mtpr    #31, #IPL
+vec_kill_common:
+        addl2   #8, sp            ; drop PC/PSL
+        brw     reap
+
+vec_fatal:
+        halt
+
+"#,
+        base = crate::KERNEL_BASE_VA,
+    );
+
+    match opts.tbit {
+        TbitMode::Ignore => {
+            s.push_str(
+                "; ── Trace trap: ignored in the stock kernel ─────────────────\n\
+                 vec_tbit:\n        rei\n\n",
+            );
+        }
+        TbitMode::LogPc => {
+            // The buffer itself lives outside the kernel image (the boot
+            // loader allocates it and pokes swt_base/swt_ptr/swt_limit),
+            // so large buffers cannot collide with the physical layout.
+            s.push_str(
+                r#"; ── Trace trap: the pre-ATUM software tracer ─────────────────
+; Logs the next PC of the traced process into the loader-provided
+; buffer; a real trap tracer would also decode operands, costing more.
+vec_tbit:
+        pushr   #0b0110
+        movl    swt_ptr, r1
+        cmpl    r1, swt_limit
+        bcc     1f                ; buffer full: drop (unsigned >=)
+        movl    8(sp), r2         ; trapped PC from the frame
+        movl    r2, (r1)+
+        movl    r1, swt_ptr
+        incl    swt_count
+1:      popr    #0b0110
+        rei
+
+        .align  4
+swt_base:  .long 0
+swt_ptr:   .long 0
+swt_limit: .long 0
+swt_count: .long 0
+"#,
+            );
+        }
+    }
+
+    s.push_str(
+        r#"
+; ── Kernel data (nproc/quantum/pcbtab poked by the boot loader) ───────
+        .align  4
+cur:     .long 0
+nproc:   .long 0
+quantum: .long 20000
+freemem:     .long 0          ; next free frame (poked by the loader)
+freemem_end: .long 0          ; frame-pool limit (poked by the loader)
+pfaults:     .long 0          ; demand-zero faults served
+pcbtab:  .space 64            ; up to 16 PCB physical addresses
+state:   .space 16
+        .align  4
+        .space  2048          ; boot kernel stack
+kstack_top:
+"#,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_kernel_assembles() {
+        let img = atum_asm::assemble(&source(&KernelOptions::default()))
+            .unwrap_or_else(|e| panic!("kernel does not assemble: {e}"));
+        for sym in [
+            "kstart",
+            "pick_next",
+            "dispatch",
+            "vec_timer",
+            "vec_chmk",
+            "vec_tbit",
+            "vec_pgflt",
+            "nproc",
+            "quantum",
+            "pcbtab",
+            "state",
+            "kstack_top",
+            "freemem",
+            "freemem_end",
+            "pfaults",
+        ] {
+            assert!(img.symbol(sym).is_some(), "missing {sym}");
+        }
+        assert_eq!(img.base(), crate::KERNEL_BASE_VA);
+        assert!(img.byte_len() < 16 * 1024, "kernel stays small");
+    }
+
+    #[test]
+    fn tbit_kernel_assembles_with_pokeable_buffer_vars() {
+        let img = atum_asm::assemble(&source(&KernelOptions {
+            tbit: TbitMode::LogPc,
+            swtrace_bytes: 4096,
+        }))
+        .unwrap();
+        for sym in ["swt_base", "swt_ptr", "swt_limit", "swt_count"] {
+            assert!(img.symbol(sym).is_some(), "missing {sym}");
+        }
+    }
+
+    #[test]
+    fn kernel_symbols_live_in_system_space() {
+        let img = atum_asm::assemble(&source(&KernelOptions::default())).unwrap();
+        for (name, addr) in img.symbols() {
+            if name.starts_with(".L") {
+                continue;
+            }
+            assert!(
+                *addr >= crate::SYSTEM_VA || *addr < 0x100,
+                "{name} at {addr:#x} outside system space"
+            );
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! # atum-os — MOSS, the micro operating system
+//!
+//! A small multiprogramming kernel **written in SVX assembly and executed
+//! on the simulated CPU**. This is the load-bearing substrate for the
+//! reproduction's completeness claims: operating-system references appear
+//! in ATUM traces only because kernel code — scheduler, system calls,
+//! interrupt handlers, context switches — actually runs on the traced
+//! machine.
+//!
+//! MOSS provides:
+//!
+//! * boot: SCB vector setup, process-table initialisation, interval-timer
+//!   programming, dispatch of the first process;
+//! * preemptive round-robin scheduling off the interval timer, using
+//!   `svpctx`/`ldpctx` (so the ATUM context-switch patch sees every
+//!   switch);
+//! * system calls via `chmk`: `exit`(0), `putc`(1, byte in R0),
+//!   `getpid`(2, result in R0), `yield`(3);
+//! * **demand-zero paging**: pages at [`USER_HEAP_VA`] are marked lazy by
+//!   the loader and materialised by the kernel's translation-not-valid
+//!   handler on first touch — fault-driven kernel activity in the traces;
+//! * fault handling: a faulting process (outside the lazy heap) is killed
+//!   and the next one scheduled; the machine halts when no process
+//!   remains.
+//!
+//! The host side ([`BootImage`]) plays the console/boot-loader role the
+//! VAX console played: it assembles the kernel and user programs, builds
+//! page tables and PCBs in physical memory, pokes the kernel's process
+//! table, and sets the boot registers. Everything after that is SVX code.
+//!
+//! ## Example
+//!
+//! ```
+//! use atum_machine::Machine;
+//!
+//! let image = atum_os::BootImage::builder()
+//!     .user_program("start: movl #'h', r0\n chmk #1\n movl #'i', r0\n chmk #1\n chmk #0\n")
+//!     .build()
+//!     .unwrap();
+//! let mut m = Machine::new(image.memory_layout());
+//! image.load_into(&mut m).unwrap();
+//! m.run_until_halt(10_000_000).unwrap();
+//! assert_eq!(m.take_console_output(), b"hi");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+mod loader;
+
+pub use kernel::{KernelOptions, TbitMode};
+pub use loader::{BootError, BootImage, BootImageBuilder, LoadedProcess};
+
+/// System-space virtual address of physical 0 (identity system mapping).
+pub const SYSTEM_VA: u32 = 0x8000_0000;
+/// Virtual address the kernel image is linked at.
+pub const KERNEL_BASE_VA: u32 = 0x8000_2000;
+/// Lowest user virtual address (page 0 is a null guard).
+pub const USER_BASE_VA: u32 = 0x0000_0200;
+/// Initial user stack pointer (top of the P1 stack mapping).
+pub const USER_STACK_TOP: u32 = 0x4001_0000;
+/// Number of 512-byte pages in each user stack.
+pub const USER_STACK_PAGES: u32 = 16;
+/// Base virtual address of the demand-zero heap (P0): pages here are
+/// materialised by the kernel's page-fault handler on first touch.
+pub const USER_HEAP_VA: u32 = 0x0010_0000;
+/// Software PTE bit marking a demand-zero (lazily allocated) page.
+pub const PTE_DEMAND_ZERO: u32 = 1 << 25;
+/// Maximum number of processes.
+pub const MAX_PROCS: usize = 16;
+
+/// MOSS system-call numbers.
+pub mod syscalls {
+    /// Terminate the calling process.
+    pub const EXIT: u16 = 0;
+    /// Write the low byte of R0 to the console.
+    pub const PUTC: u16 = 1;
+    /// Return the caller's pid in R0.
+    pub const GETPID: u16 = 2;
+    /// Yield the CPU to the next runnable process.
+    pub const YIELD: u16 = 3;
+}

@@ -1,0 +1,171 @@
+//! Demand-zero paging tests: the MOSS page-fault handler materialises
+//! lazy heap pages, traced fault activity shows up, and the failure
+//! edges (out of frames, stray access) behave.
+
+use atum_core::{RecordKind, Tracer};
+use atum_machine::{Machine, RunExit};
+use atum_os::{BootImage, SYSTEM_VA, USER_HEAP_VA};
+
+fn boot(image: &BootImage) -> Machine {
+    let mut m = Machine::new(image.memory_layout());
+    image.load_into(&mut m).expect("load");
+    m
+}
+
+fn kernel_long(image: &BootImage, m: &Machine, sym: &str) -> u32 {
+    let pa = image.kernel().symbol(sym).expect("symbol") - SYSTEM_VA;
+    u32::from_le_bytes(m.read_phys(pa, 4).unwrap().try_into().unwrap())
+}
+
+/// Writes then reads back a pattern across `pages` lazy heap pages.
+fn heap_program(pages: u32) -> String {
+    format!(
+        "start: movl #{USER_HEAP_VA:#x}, r6\n\
+         movl #{pages}, r7\n\
+         wloop: movl r7, (r6)\n\
+         movl r6, 4(r6)\n\
+         addl2 #512, r6\n\
+         sobgtr r7, wloop\n\
+         ; read back and check\n\
+         movl #{USER_HEAP_VA:#x}, r6\n\
+         movl #{pages}, r7\n\
+         rloop: cmpl (r6), r7\n\
+         bneq bad\n\
+         addl2 #512, r6\n\
+         sobgtr r7, rloop\n\
+         movl #'k', r0\n chmk #1\n chmk #0\n\
+         bad: movl #'x', r0\n chmk #1\n chmk #0\n"
+    )
+}
+
+#[test]
+fn heap_pages_materialise_on_first_touch() {
+    let image = BootImage::builder()
+        .user_program(&heap_program(8))
+        .lazy_heap_pages(16)
+        .build()
+        .unwrap();
+    let mut m = boot(&image);
+    assert_eq!(m.run(100_000_000), RunExit::Halted);
+    assert_eq!(m.take_console_output(), b"k", "pattern survived paging");
+    let pfaults = kernel_long(&image, &m, "pfaults");
+    assert_eq!(pfaults, 8, "one demand fault per touched page");
+    // The frame pool advanced by exactly 8 frames.
+    let freemem = kernel_long(&image, &m, "freemem");
+    assert!(freemem > 0);
+}
+
+#[test]
+fn untouched_heap_pages_cost_nothing() {
+    let image = BootImage::builder()
+        .user_program("start: chmk #0\n")
+        .lazy_heap_pages(32)
+        .build()
+        .unwrap();
+    let mut m = boot(&image);
+    assert_eq!(m.run(50_000_000), RunExit::Halted);
+    assert_eq!(kernel_long(&image, &m, "pfaults"), 0);
+}
+
+#[test]
+fn heap_pages_are_zero_filled() {
+    let src = format!(
+        "start: movl @#{USER_HEAP_VA:#x}, r3\n\
+         tstl r3\n bneq bad\n\
+         movl #'z', r0\n chmk #1\n chmk #0\n\
+         bad: movl #'x', r0\n chmk #1\n chmk #0\n"
+    );
+    let image = BootImage::builder().user_program(&src).build().unwrap();
+    let mut m = boot(&image);
+    assert_eq!(m.run(50_000_000), RunExit::Halted);
+    assert_eq!(m.take_console_output(), b"z");
+}
+
+#[test]
+fn stray_access_beyond_heap_still_kills() {
+    // Touch past the end of the lazy region: P0LR violation → killed.
+    let image = BootImage::builder()
+        .user_program(&format!(
+            "start: movl #1, @#{:#x}\n movl #'x', r0\n chmk #1\n chmk #0\n",
+            USER_HEAP_VA + 4 * 512
+        ))
+        .lazy_heap_pages(4)
+        .build()
+        .unwrap();
+    let mut m = boot(&image);
+    assert_eq!(m.run(50_000_000), RunExit::Halted);
+    assert_eq!(m.take_console_output(), b"", "process died before printing");
+}
+
+#[test]
+fn exhausted_frame_pool_kills_the_toucher() {
+    let image = BootImage::builder()
+        .user_program(&heap_program(8))
+        .user_program("start: movl #'s', r0\n chmk #1\n chmk #0\n")
+        .lazy_heap_pages(16)
+        .build()
+        .unwrap();
+    let mut m = boot(&image);
+    // Sabotage: empty the frame pool before running.
+    let freemem_pa = image.kernel().symbol("freemem").unwrap() - SYSTEM_VA;
+    let end = kernel_long(&image, &m, "freemem_end");
+    m.write_phys(freemem_pa, &end.to_le_bytes()).unwrap();
+    assert_eq!(m.run(100_000_000), RunExit::Halted);
+    assert_eq!(
+        m.take_console_output(),
+        b"s",
+        "heap toucher died, the frugal process survived"
+    );
+}
+
+#[test]
+fn traced_paging_shows_fault_markers_and_kernel_work() {
+    let image = BootImage::builder()
+        .user_program(&heap_program(6))
+        .lazy_heap_pages(8)
+        .build()
+        .unwrap();
+    let mut m = boot(&image);
+    let tracer = Tracer::attach(&mut m).unwrap();
+    tracer.set_pid(&mut m, 0);
+    tracer.set_enabled(&mut m, true);
+    assert_eq!(m.run(1_000_000_000), RunExit::Halted);
+    assert_eq!(m.take_console_output(), b"k");
+    let trace = tracer.extract(&m).unwrap();
+    // Translation-not-valid markers carry vector 0x24.
+    let tnv = trace
+        .iter()
+        .filter(|r| r.kind() == RecordKind::Interrupt && r.addr == 0x24)
+        .count();
+    assert_eq!(tnv, 6, "one marker per demand fault");
+    // The PTE writes by the handler are kernel data writes in the trace.
+    assert!(trace
+        .iter()
+        .any(|r| r.kind() == RecordKind::Write && r.is_kernel()));
+}
+
+#[test]
+fn two_processes_get_separate_heap_frames() {
+    let prog = format!(
+        "start: chmk #2\n movl r0, @#{USER_HEAP_VA:#x}\n chmk #3\n\
+         movl @#{USER_HEAP_VA:#x}, r1\n chmk #2\n\
+         cmpl r0, r1\n bneq bad\n\
+         addl2 #'0', r0\n chmk #1\n chmk #0\n\
+         bad: movl #'x', r0\n chmk #1\n chmk #0\n"
+    );
+    let image = BootImage::builder()
+        .user_program(&prog)
+        .user_program(&prog)
+        .quantum(50_000_000) // yields drive the interleaving
+        .build()
+        .unwrap();
+    let mut m = boot(&image);
+    assert_eq!(m.run(200_000_000), RunExit::Halted);
+    let mut out = m.take_console_output();
+    out.sort_unstable();
+    assert_eq!(
+        out,
+        b"12",
+        "each process saw its own pid at the same heap VA"
+    );
+}

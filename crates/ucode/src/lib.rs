@@ -1,0 +1,57 @@
+//! # atum-ucode — the SVX micro-architecture
+//!
+//! SVX is executed by a vertical micro-engine: every architectural
+//! instruction, operand-specifier decode, exception entry and context
+//! switch is a sequence of [`MicroOp`]s held in a [`ControlStore`]. The
+//! engine itself (the datapath) lives in `atum-machine`; this crate defines
+//! the micro-instruction set, the micro-assembler, the control store with
+//! its **writable-control-store patch API**, and the stock microcode.
+//!
+//! The patch API is the load-bearing piece of the whole reproduction: the
+//! ATUM tracer in `atum-core` is nothing but a set of micro-routines
+//! appended to the control store plus re-pointed [`Entry`] slots and
+//! dispatch-table entries — exactly what Agarwal, Sites and Horowitz did to
+//! the VAX 8200's control store. No Rust-level callback is involved in
+//! tracing; an unpatched machine cannot observe the tracer because the
+//! tracer does not exist in its control store.
+//!
+//! ## Structure
+//!
+//! * [`uop`] — micro-operations, micro-registers, conditions, ALU ops.
+//! * [`store`] — the control store: micro-words, entry-point table,
+//!   opcode/specifier dispatch tables, and patching.
+//! * [`masm`] — a label-based micro-assembler for building routines.
+//! * [`stock`] — the shipped microcode implementing all of SVX.
+//!
+//! ## Example: inspecting and patching
+//!
+//! ```
+//! use atum_ucode::{stock, Entry, MicroOp, Target};
+//!
+//! let mut cs = stock::build();
+//! let stock_read = cs.entry(Entry::XferRead);
+//!
+//! // Install a (useless) patch: a routine that just tail-jumps to the
+//! // stock read path, the way the ATUM patches chain to the original.
+//! let patch = cs.append_routine("demo.patch", vec![
+//!     MicroOp::Jump(Target::Abs(stock_read)),
+//! ]);
+//! cs.set_entry(Entry::XferRead, patch);
+//! assert_eq!(cs.entry(Entry::XferRead), patch);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod listing;
+pub mod masm;
+pub mod stock;
+pub mod store;
+pub mod uop;
+
+pub use masm::MicroAsm;
+pub use store::ControlStore;
+pub use uop::{
+    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
+    SpecTable, Target,
+};

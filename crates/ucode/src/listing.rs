@@ -1,0 +1,200 @@
+//! Control-store listings: render micro-code readably, with symbol
+//! names, dispatch-table annotations and patch-region marking — the
+//! microcode listing a WCS-era machine shipped on microfiche.
+
+use crate::store::ControlStore;
+use crate::uop::{Entry, MicroOp, SizeSel, Target};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+impl std::fmt::Display for MicroOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MicroOp::Mov { src, dst } => write!(f, "mov    {src} -> {dst}"),
+            MicroOp::Alu {
+                op,
+                a,
+                b,
+                dst,
+                cc,
+                size,
+            } => write!(f, "alu.{size} {op:?}({a}, {b}) -> {dst} [cc {cc:?}]"),
+            MicroOp::SetSize(s) => write!(f, "size   {s}"),
+            MicroOp::SetSizeDyn(r) => write!(f, "size   from {r}"),
+            MicroOp::Read { class, size } => {
+                let sz = match size {
+                    SizeSel::Fixed(s) => s.to_string(),
+                    SizeSel::OSize => "osize".to_string(),
+                };
+                write!(f, "read.{sz} [{class:?}] [mar] -> mdr")
+            }
+            MicroOp::Write { size } => {
+                let sz = match size {
+                    SizeSel::Fixed(s) => s.to_string(),
+                    SizeSel::OSize => "osize".to_string(),
+                };
+                write!(f, "write.{sz} mdr -> [mar]")
+            }
+            MicroOp::PhysRead => write!(f, "phys.read  [mar] -> mdr"),
+            MicroOp::PhysWrite => write!(f, "phys.write mdr -> [mar]"),
+            MicroOp::Jump(t) => write!(f, "jump   {t:?}"),
+            MicroOp::JumpIf { cond, target } => write!(f, "jif    {cond:?} -> {target:?}"),
+            MicroOp::Call(t) => write!(f, "call   {t:?}"),
+            MicroOp::Ret => write!(f, "ret"),
+            MicroOp::DispatchOpcode => write!(f, "dispatch.opcode"),
+            MicroOp::DispatchSpec(t) => write!(f, "dispatch.spec {t:?}"),
+            MicroOp::DecodeNext => write!(f, "decode.next"),
+            MicroOp::AdvancePc => write!(f, "pc++"),
+            MicroOp::Fault(k) => write!(f, "fault  {k:?}"),
+            MicroOp::ReadPr { num, dst } => write!(f, "mfpr   [{num}] -> {dst}"),
+            MicroOp::WritePr { num, src } => write!(f, "mtpr   {src} -> [{num}]"),
+            MicroOp::TbFlushAll => write!(f, "tb.flush.all"),
+            MicroOp::TbFlushProc => write!(f, "tb.flush.proc"),
+            MicroOp::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl ControlStore {
+    /// Renders a listing of the region `[start, end)`, annotating symbol
+    /// entry points, resolving jump targets back to symbol+offset form,
+    /// and marking the writable (patch) region.
+    pub fn listing(&self, start: u32, end: u32) -> String {
+        let end = end.min(self.len());
+        // Invert the symbol table for annotation.
+        let mut by_addr: HashMap<u32, Vec<&str>> = HashMap::new();
+        for (name, addr) in self.symbols() {
+            by_addr.entry(*addr).or_default().push(name);
+        }
+        for names in by_addr.values_mut() {
+            names.sort_unstable();
+        }
+        // Sorted symbol starts for target resolution.
+        let mut starts: Vec<(u32, &str)> = self
+            .symbols()
+            .iter()
+            .map(|(n, a)| (*a, n.as_str()))
+            .collect();
+        starts.sort_unstable();
+        let resolve = |addr: u32| -> String {
+            match starts.binary_search_by_key(&addr, |&(a, _)| a) {
+                Ok(i) => starts[i].1.to_string(),
+                Err(0) => format!("{addr:#x}"),
+                Err(i) => {
+                    let (base, name) = starts[i - 1];
+                    format!("{name}+{}", addr - base)
+                }
+            }
+        };
+
+        let mut out = String::new();
+        for addr in start..end {
+            if addr == self.stock_len() {
+                out.push_str(";; ─── writable control store (patches) ───\n");
+            }
+            if let Some(names) = by_addr.get(&addr) {
+                for n in names {
+                    let _ = writeln!(out, "{n}:");
+                }
+            }
+            let rendered = match self.word(addr) {
+                MicroOp::Jump(Target::Abs(t)) => format!("jump   {}", resolve(t)),
+                MicroOp::JumpIf {
+                    cond,
+                    target: Target::Abs(t),
+                } => format!("jif    {cond:?} -> {}", resolve(t)),
+                MicroOp::Call(Target::Abs(t)) => format!("call   {}", resolve(t)),
+                MicroOp::Jump(Target::Entry(e)) => format!("jump   entry[{e:?}]"),
+                MicroOp::Call(Target::Entry(e)) => format!("call   entry[{e:?}]"),
+                other => other.to_string(),
+            };
+            let _ = writeln!(out, "  {addr:04}  {rendered}");
+        }
+        out
+    }
+
+    /// Renders the listing of one named routine (through the next symbol).
+    pub fn listing_of(&self, symbol: &str) -> Option<String> {
+        let start = self.symbol(symbol)?;
+        let end = self
+            .symbols()
+            .values()
+            .copied()
+            .filter(|&a| a > start)
+            .min()
+            .unwrap_or(self.len());
+        Some(self.listing(start, end))
+    }
+
+    /// Summarises the entry table (which symbol each hook points at).
+    pub fn entry_summary(&self) -> String {
+        let mut starts: Vec<(u32, &str)> = self
+            .symbols()
+            .iter()
+            .map(|(n, a)| (*a, n.as_str()))
+            .collect();
+        starts.sort_unstable();
+        let mut out = String::new();
+        for e in Entry::ALL {
+            let addr = self.entry(e);
+            let name = starts
+                .iter()
+                .rev()
+                .find(|&&(a, _)| a <= addr)
+                .map(|&(a, n)| {
+                    if a == addr {
+                        n.to_string()
+                    } else {
+                        format!("{n}+{}", addr - a)
+                    }
+                })
+                .unwrap_or_else(|| format!("{addr:#x}"));
+            let _ = writeln!(out, "{e:?} -> {name} ({addr})");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::stock;
+
+    #[test]
+    fn listing_of_xfer_read_is_minimal() {
+        let cs = stock::build();
+        let l = cs.listing_of("xfer.read").unwrap();
+        assert!(l.contains("xfer.read:"), "{l}");
+        assert!(l.contains("read."), "{l}");
+        assert!(l.contains("ret"), "{l}");
+        assert_eq!(l.lines().count(), 3, "entry + two words:\n{l}");
+    }
+
+    #[test]
+    fn listing_resolves_call_targets_to_symbols() {
+        let cs = stock::build();
+        let l = cs.listing_of("fetch.insn").unwrap();
+        assert!(l.contains("call   ifetch.byte"), "{l}");
+        assert!(l.contains("dispatch.opcode"), "{l}");
+    }
+
+    #[test]
+    fn entry_summary_names_stock_routines() {
+        let cs = stock::build();
+        let s = cs.entry_summary();
+        assert!(s.contains("Fetch -> fetch.insn"), "{s}");
+        assert!(s.contains("XferRead -> xfer.read"), "{s}");
+    }
+
+    #[test]
+    fn full_listing_renders_every_word() {
+        let cs = stock::build();
+        let l = cs.listing(0, cs.len());
+        // One line per word plus symbol lines.
+        assert!(l.lines().count() >= cs.len() as usize);
+        // Every line with an address parses.
+        for line in l.lines().filter(|l| l.starts_with("  ")) {
+            let addr: u32 = line.trim().split_whitespace().next().unwrap().parse().unwrap();
+            assert!(addr < cs.len());
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Microcode for moves, conversions, integer arithmetic, logic, and
+//! compare/test instructions.
+
+use super::{imm, t, JUNK, SP};
+use crate::masm::MicroAsm;
+use crate::store::ControlStore;
+use crate::uop::{AluOp, CcEffect, Entry, MicroCond, MicroReg};
+use atum_arch::{DataSize, Opcode};
+
+/// Builds the routines; returns (opcode, symbol) pairs for dispatch.
+pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
+    let mut out = Vec::new();
+
+    // ── Moves ─────────────────────────────────────────────────────────
+    for (op, sym, size) in [
+        (Opcode::Movb, "i.movb", DataSize::Byte),
+        (Opcode::Movw, "i.movw", DataSize::Word),
+        (Opcode::Movl, "i.movl", DataSize::Long),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(size);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.alu(AluOp::Pass, imm(0), t(7), JUNK, CcEffect::Logic, size);
+        ua.mov(t(7), t(1));
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // Zero/sign-extending moves and conversions: read at the narrow size,
+    // transform, write at the target size.
+    for (op, sym, rsize, wsize, alu, cc) in [
+        (Opcode::Movzbl, "i.movzbl", DataSize::Byte, DataSize::Long, Some((AluOp::And, imm(0xFF))), CcEffect::Logic),
+        (Opcode::Movzwl, "i.movzwl", DataSize::Word, DataSize::Long, Some((AluOp::And, imm(0xFFFF))), CcEffect::Logic),
+        (Opcode::Cvtbl, "i.cvtbl", DataSize::Byte, DataSize::Long, Some((AluOp::SextB, imm(0))), CcEffect::Logic),
+        (Opcode::Cvtwl, "i.cvtwl", DataSize::Word, DataSize::Long, Some((AluOp::SextW, imm(0))), CcEffect::Logic),
+        (Opcode::Mcoml, "i.mcoml", DataSize::Long, DataSize::Long, Some((AluOp::Not, imm(0))), CcEffect::Logic),
+        (Opcode::Mnegl, "i.mnegl", DataSize::Long, DataSize::Long, Some((AluOp::Neg, imm(0))), CcEffect::Arith),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(rsize);
+        ua.call("spec.read");
+        if let Some((aop, a)) = alu {
+            // Unary transforms take the operand as `b`.
+            ua.alu(aop, a, t(0), t(7), cc, wsize);
+        }
+        ua.set_size(wsize);
+        ua.mov(t(7), t(1));
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // cvtlb / cvtlw: truncating conversions; CC at the narrow size.
+    for (op, sym, wsize) in [
+        (Opcode::Cvtlb, "i.cvtlb", DataSize::Byte),
+        (Opcode::Cvtlw, "i.cvtlw", DataSize::Word),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.alu(AluOp::Pass, imm(0), t(0), t(7), CcEffect::Logic, wsize);
+        ua.set_size(wsize);
+        ua.mov(t(7), t(1));
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // moval / movab: the address of the operand, stored as a longword.
+    for (op, sym, asize) in [
+        (Opcode::Moval, "i.moval", DataSize::Long),
+        (Opcode::Movab, "i.movab", DataSize::Byte),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(asize);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(7));
+        ua.alu(AluOp::Pass, imm(0), t(7), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.set_size(DataSize::Long);
+        ua.mov(t(7), t(1));
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // pushl / pushal.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.pushl");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.alu(AluOp::Pass, imm(0), t(0), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.mov(t(0), t(1));
+        ua.call("stack.push");
+        ua.decode_next();
+        ua.commit(cs).expect("i.pushl");
+        out.push((Opcode::Pushl, "i.pushl"));
+
+        let mut ua = MicroAsm::new();
+        ua.global("i.pushal");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.addr");
+        ua.alu(AluOp::Pass, imm(0), t(0), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.mov(t(0), t(1));
+        ua.call("stack.push");
+        ua.decode_next();
+        ua.commit(cs).expect("i.pushal");
+        out.push((Opcode::Pushal, "i.pushal"));
+        let _ = SP;
+    }
+
+    // clr family.
+    for (op, sym, size) in [
+        (Opcode::Clrb, "i.clrb", DataSize::Byte),
+        (Opcode::Clrw, "i.clrw", DataSize::Word),
+        (Opcode::Clrl, "i.clrl", DataSize::Long),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(size);
+        ua.alu(AluOp::Pass, imm(0), imm(0), t(1), CcEffect::Logic, size);
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // ── Three-operand arithmetic/logic: op(src1, src2) → dst ──────────
+    for (op, sym, aop, cc) in [
+        (Opcode::Addl3, "i.addl3", AluOp::Add, CcEffect::Arith),
+        (Opcode::Subl3, "i.subl3", AluOp::RSub, CcEffect::Arith),
+        (Opcode::Mull3, "i.mull3", AluOp::Mul, CcEffect::Arith),
+        (Opcode::Xorl3, "i.xorl3", AluOp::Xor, CcEffect::Logic),
+        (Opcode::Bisl3, "i.bisl3", AluOp::Or, CcEffect::Logic),
+        (Opcode::Bicl3, "i.bicl3", AluOp::BicR, CcEffect::Logic),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("spec.read");
+        ua.alu(aop, t(7), t(0), t(1), cc, DataSize::Long);
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // ── Two-operand arithmetic/logic: dst ← op(src, dst) ──────────────
+    for (op, sym, aop, cc) in [
+        (Opcode::Addl2, "i.addl2", AluOp::Add, CcEffect::Arith),
+        (Opcode::Subl2, "i.subl2", AluOp::RSub, CcEffect::Arith),
+        (Opcode::Mull2, "i.mull2", AluOp::Mul, CcEffect::Arith),
+        (Opcode::Xorl2, "i.xorl2", AluOp::Xor, CcEffect::Logic),
+        (Opcode::Bisl2, "i.bisl2", AluOp::Or, CcEffect::Logic),
+        (Opcode::Bicl2, "i.bicl2", AluOp::BicR, CcEffect::Logic),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("spec.modify");
+        ua.alu(aop, t(7), t(0), t(1), cc, DataSize::Long);
+        ua.call("spec.writeback");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // ── Division (divisor test before any write; see DESIGN.md) ───────
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.divl3");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read"); // divisor
+        ua.mov(t(0), t(7));
+        ua.call("spec.read"); // dividend
+        ua.mov(t(0), t(8));
+        ua.call("spec.modify"); // destination (decoded as modify; doc'd)
+        ua.alu(AluOp::Div, t(7), t(8), t(1), CcEffect::Arith, DataSize::Long);
+        ua.jif(MicroCond::UDivZero, "cs.div.zero");
+        ua.call("spec.writeback");
+        ua.decode_next();
+        ua.commit(cs).expect("i.divl3");
+        out.push((Opcode::Divl3, "i.divl3"));
+
+        let mut ua = MicroAsm::new();
+        ua.global("i.divl2");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read"); // divisor
+        ua.mov(t(0), t(7));
+        ua.call("spec.modify"); // dividend/destination
+        ua.alu(AluOp::Div, t(7), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.jif(MicroCond::UDivZero, "cs.div.zero");
+        ua.call("spec.writeback");
+        ua.decode_next();
+        ua.commit(cs).expect("i.divl2");
+        out.push((Opcode::Divl2, "i.divl2"));
+    }
+
+    // ── incl / decl ────────────────────────────────────────────────────
+    for (op, sym, aop) in [
+        (Opcode::Incl, "i.incl", AluOp::Add),
+        (Opcode::Decl, "i.decl", AluOp::RSub),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.modify");
+        // incl: T0 + 1; decl: T0 - 1 (RSub with a=1, b=T0).
+        ua.alu(aop, imm(1), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.call("spec.writeback");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // ── ashl cnt.rb, src.rl, dst.wl ────────────────────────────────────
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.ashl");
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.read");
+        ua.alu_l(AluOp::SextB, imm(0), t(0), t(7));
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.alu(AluOp::Ash, t(7), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect("i.ashl");
+        out.push((Opcode::Ashl, "i.ashl"));
+    }
+
+    // ── Compares and tests ─────────────────────────────────────────────
+    for (op, sym, size) in [
+        (Opcode::Cmpb, "i.cmpb", DataSize::Byte),
+        (Opcode::Cmpw, "i.cmpw", DataSize::Word),
+        (Opcode::Cmpl, "i.cmpl", DataSize::Long),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(size);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("spec.read");
+        ua.alu(AluOp::Sub, t(7), t(0), JUNK, CcEffect::Cmp, size);
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    for (op, sym, size) in [
+        (Opcode::Tstb, "i.tstb", DataSize::Byte),
+        (Opcode::Tstw, "i.tstw", DataSize::Word),
+        (Opcode::Tstl, "i.tstl", DataSize::Long),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(size);
+        ua.call("spec.read");
+        ua.alu(AluOp::Pass, imm(0), t(0), JUNK, CcEffect::Test, size);
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // bitl: AND, set codes, discard.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.bitl");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("spec.read");
+        ua.alu(AluOp::And, t(7), t(0), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.decode_next();
+        ua.commit(cs).expect("i.bitl");
+        out.push((Opcode::Bitl, "i.bitl"));
+    }
+
+    let _ = MicroReg::Mdr;
+    let _ = Entry::Fetch;
+    out
+}

@@ -1,0 +1,185 @@
+//! Microcode for branch, loop and subroutine-linkage instructions.
+
+use super::{imm, t, JUNK, PC};
+use crate::masm::MicroAsm;
+use crate::store::ControlStore;
+use crate::uop::{AluOp, CcEffect, MicroCond, MicroReg};
+use atum_arch::{DataSize, Opcode};
+
+/// Builds the routines; returns (opcode, symbol) pairs for dispatch.
+pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
+    let mut out = Vec::new();
+
+    // Shared helpers: gather a branch displacement into T2 (sign-extended),
+    // and the taken-branch tail.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("br.disp8");
+        ua.call("ifetch.byte");
+        ua.alu_l(AluOp::SextB, imm(0), MicroReg::Mdr, t(2));
+        ua.ret();
+        ua.global("br.disp16");
+        ua.mov(imm(2), t(14));
+        ua.call("istream.n");
+        ua.alu_l(AluOp::SextW, imm(0), t(2), t(2));
+        ua.ret();
+        // br.take: PC ← PC + T2 (invalidates the prefetch buffer), done.
+        ua.global("br.take");
+        ua.alu_l(AluOp::Add, PC, t(2), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("branch helpers");
+    }
+
+    // Unconditional branches.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.brb");
+        ua.call("br.disp8");
+        ua.jmp("br.take");
+        ua.commit(cs).expect("i.brb");
+        out.push((Opcode::Brb, "i.brb"));
+
+        let mut ua = MicroAsm::new();
+        ua.global("i.brw");
+        ua.call("br.disp16");
+        ua.jmp("br.take");
+        ua.commit(cs).expect("i.brw");
+        out.push((Opcode::Brw, "i.brw"));
+    }
+
+    // Conditional branches: displacement first (istream must be consumed
+    // whether or not the branch is taken), then test.
+    for (op, sym, cond) in [
+        (Opcode::Bneq, "i.bneq", MicroCond::ArchNeq),
+        (Opcode::Beql, "i.beql", MicroCond::ArchEql),
+        (Opcode::Bgtr, "i.bgtr", MicroCond::ArchGtr),
+        (Opcode::Bleq, "i.bleq", MicroCond::ArchLeq),
+        (Opcode::Bgeq, "i.bgeq", MicroCond::ArchGeq),
+        (Opcode::Blss, "i.blss", MicroCond::ArchLss),
+        (Opcode::Bgtru, "i.bgtru", MicroCond::ArchGtru),
+        (Opcode::Blequ, "i.blequ", MicroCond::ArchLequ),
+        (Opcode::Bvc, "i.bvc", MicroCond::ArchVc),
+        (Opcode::Bvs, "i.bvs", MicroCond::ArchVs),
+        (Opcode::Bcc, "i.bcc", MicroCond::ArchCc),
+        (Opcode::Bcs, "i.bcs", MicroCond::ArchCs),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.call("br.disp8");
+        ua.jif(cond, "br.take");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // Subroutine branches: push the return PC (after the displacement).
+    for (op, sym, disp) in [
+        (Opcode::Bsbb, "i.bsbb", "br.disp8"),
+        (Opcode::Bsbw, "i.bsbw", "br.disp16"),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.call(disp);
+        ua.mov(PC, t(1));
+        ua.call("stack.push");
+        ua.jmp("br.take");
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // rsb: pop the return PC.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.rsb");
+        ua.call("stack.pop");
+        ua.mov(t(0), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("i.rsb");
+        out.push((Opcode::Rsb, "i.rsb"));
+    }
+
+    // jmp / jsb: address operand.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.jmp");
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("i.jmp");
+        out.push((Opcode::Jmp, "i.jmp"));
+
+        let mut ua = MicroAsm::new();
+        ua.global("i.jsb");
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(7));
+        ua.mov(PC, t(1));
+        ua.call("stack.push");
+        ua.mov(t(7), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("i.jsb");
+        out.push((Opcode::Jsb, "i.jsb"));
+    }
+
+    // sobgtr / sobgeq: decrement, write back, branch on the new value.
+    for (op, sym, cond) in [
+        (Opcode::Sobgtr, "i.sobgtr", MicroCond::ArchGtr),
+        (Opcode::Sobgeq, "i.sobgeq", MicroCond::ArchGeq),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.modify");
+        ua.alu(AluOp::RSub, imm(1), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.call("spec.writeback");
+        ua.call("br.disp8");
+        ua.jif(cond, "br.take");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // aoblss / aobleq: limit.rl, index.ml; the branch test compares the
+    // incremented index against the limit (micro-flags, not PSL).
+    for (op, sym, cond) in [
+        (Opcode::Aoblss, "i.aoblss", MicroCond::USLess),
+        (Opcode::Aobleq, "i.aobleq", MicroCond::USLeq),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("spec.modify");
+        ua.alu(AluOp::Add, t(0), imm(1), t(1), CcEffect::Arith, DataSize::Long);
+        ua.mov(t(1), t(8));
+        ua.call("spec.writeback");
+        ua.call("br.disp8");
+        ua.alu_l(AluOp::Sub, t(8), t(7), JUNK);
+        ua.jif(cond, "br.take");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    // blbs / blbc: branch on low bit.
+    for (op, sym, cond) in [
+        (Opcode::Blbs, "i.blbs", MicroCond::UNotZero),
+        (Opcode::Blbc, "i.blbc", MicroCond::UZero),
+    ] {
+        let mut ua = MicroAsm::new();
+        ua.global(sym);
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("br.disp8");
+        ua.alu_l(AluOp::And, t(7), imm(1), JUNK);
+        ua.jif(cond, "br.take");
+        ua.decode_next();
+        ua.commit(cs).expect(sym);
+        out.push((op, sym));
+    }
+
+    out
+}

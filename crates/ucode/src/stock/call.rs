@@ -1,0 +1,164 @@
+//! Microcode for the procedure-call instructions (`calls`/`ret`) and the
+//! register-mask push/pop (`pushr`/`popr`).
+//!
+//! The `calls` frame (simplified VAX; see DESIGN.md):
+//!
+//! ```text
+//! high addresses
+//!   [ args ... ]            pushed by the caller
+//!   [ numarg ]              ← AP
+//!   [ saved Rn ... ]        registers named by the entry mask, R11 first
+//!   [ saved AP ]
+//!   [ saved FP ]
+//!   [ return PC ]
+//!   [ entry mask ]          ← FP = SP
+//! low addresses
+//! ```
+
+use super::{imm, t, JUNK, PC, SP};
+use crate::masm::MicroAsm;
+use crate::store::ControlStore;
+use crate::uop::{AluOp, Entry, MicroCond, MicroReg};
+use atum_arch::{DataSize, Opcode};
+
+const AP: MicroReg = MicroReg::Gpr(12);
+const FP: MicroReg = MicroReg::Gpr(13);
+
+/// Builds the routines; returns (opcode, symbol) pairs for dispatch.
+pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
+    let mut out = Vec::new();
+
+    // calls numarg.rl, dst.ab
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.calls");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7)); // numarg
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(8)); // procedure address
+        // Push numarg; AP will point at it.
+        ua.mov(t(7), t(1));
+        ua.call("stack.push");
+        ua.mov(SP, t(10));
+        // Entry mask word at the procedure head.
+        ua.mov(t(8), MicroReg::Mar);
+        ua.set_size(DataSize::Word);
+        ua.call_entry(Entry::XferRead);
+        ua.mov(MicroReg::Mdr, t(9));
+        // Push R11..R0 per mask.
+        ua.mov(imm(11), t(11));
+        ua.label("save");
+        ua.alu_l(AluOp::Lsr, t(11), t(9), JUNK);
+        ua.alu_l(AluOp::And, JUNK, imm(1), JUNK);
+        ua.jif(MicroCond::UZero, "skip");
+        ua.mov(t(11), MicroReg::RegNum);
+        ua.mov(MicroReg::GprIdx, t(1));
+        ua.call("stack.push");
+        ua.label("skip");
+        ua.alu_l(AluOp::Sub, t(11), imm(1), t(11));
+        ua.jif(MicroCond::UPos, "save");
+        // Push AP, FP, return PC, mask; then build the new frame.
+        ua.mov(AP, t(1));
+        ua.call("stack.push");
+        ua.mov(FP, t(1));
+        ua.call("stack.push");
+        ua.mov(PC, t(1));
+        ua.call("stack.push");
+        ua.mov(t(9), t(1));
+        ua.call("stack.push");
+        ua.mov(t(10), AP);
+        ua.mov(SP, FP);
+        ua.alu_l(AluOp::Add, t(8), imm(2), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("i.calls");
+        out.push((Opcode::Calls, "i.calls"));
+    }
+
+    // ret
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.ret");
+        ua.mov(FP, SP);
+        ua.call("stack.pop"); // mask
+        ua.mov(t(0), t(9));
+        ua.call("stack.pop"); // return PC
+        ua.mov(t(0), t(10));
+        ua.call("stack.pop"); // saved FP
+        ua.mov(t(0), FP);
+        ua.call("stack.pop"); // saved AP
+        ua.mov(t(0), AP);
+        // Pop saved registers, ascending.
+        ua.mov(imm(0), t(11));
+        ua.label("restore");
+        ua.alu_l(AluOp::Lsr, t(11), t(9), JUNK);
+        ua.alu_l(AluOp::And, JUNK, imm(1), JUNK);
+        ua.jif(MicroCond::UZero, "skip");
+        ua.call("stack.pop");
+        ua.mov(t(11), MicroReg::RegNum);
+        ua.mov(t(0), MicroReg::GprIdx);
+        ua.label("skip");
+        ua.alu_l(AluOp::Add, t(11), imm(1), t(11));
+        ua.alu_l(AluOp::Sub, t(11), imm(12), JUNK);
+        ua.jif(MicroCond::UNotZero, "restore");
+        // Pop numarg and drop the argument list.
+        ua.call("stack.pop");
+        ua.alu_l(AluOp::Lsl, imm(2), t(0), JUNK);
+        ua.alu_l(AluOp::Add, SP, JUNK, SP);
+        ua.mov(t(10), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("i.ret");
+        out.push((Opcode::Ret, "i.ret"));
+    }
+
+    // pushr mask.rw — push registers named by the mask (R0–R13), highest
+    // index first so the lowest ends up at the lowest address.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.pushr");
+        ua.set_size(DataSize::Word);
+        ua.call("spec.read");
+        ua.mov(t(0), t(9));
+        ua.mov(imm(13), t(11));
+        ua.label("save");
+        ua.alu_l(AluOp::Lsr, t(11), t(9), JUNK);
+        ua.alu_l(AluOp::And, JUNK, imm(1), JUNK);
+        ua.jif(MicroCond::UZero, "skip");
+        ua.mov(t(11), MicroReg::RegNum);
+        ua.mov(MicroReg::GprIdx, t(1));
+        ua.call("stack.push");
+        ua.label("skip");
+        ua.alu_l(AluOp::Sub, t(11), imm(1), t(11));
+        ua.jif(MicroCond::UPos, "save");
+        ua.decode_next();
+        ua.commit(cs).expect("i.pushr");
+        out.push((Opcode::Pushr, "i.pushr"));
+    }
+
+    // popr mask.rw — inverse order.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.popr");
+        ua.set_size(DataSize::Word);
+        ua.call("spec.read");
+        ua.mov(t(0), t(9));
+        ua.mov(imm(0), t(11));
+        ua.label("restore");
+        ua.alu_l(AluOp::Lsr, t(11), t(9), JUNK);
+        ua.alu_l(AluOp::And, JUNK, imm(1), JUNK);
+        ua.jif(MicroCond::UZero, "skip");
+        ua.call("stack.pop");
+        ua.mov(t(11), MicroReg::RegNum);
+        ua.mov(t(0), MicroReg::GprIdx);
+        ua.label("skip");
+        ua.alu_l(AluOp::Add, t(11), imm(1), t(11));
+        ua.alu_l(AluOp::Sub, t(11), imm(14), JUNK);
+        ua.jif(MicroCond::UNotZero, "restore");
+        ua.decode_next();
+        ua.commit(cs).expect("i.popr");
+        out.push((Opcode::Popr, "i.popr"));
+    }
+
+    out
+}

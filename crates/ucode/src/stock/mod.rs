@@ -1,0 +1,195 @@
+//! The stock SVX microcode.
+//!
+//! [`build`] assembles the complete control store: shared helpers
+//! (instruction fetch, memory transfer, stack, istream gathering), the four
+//! operand-specifier decode tables, one micro-routine per architectural
+//! instruction, and the exception-entry flow; then it wires the entry table
+//! and dispatch tables.
+//!
+//! ## Micro-register conventions
+//!
+//! | Register | Role |
+//! |---|---|
+//! | `T0` | specifier result: operand value (`spec.read`/`spec.modify`) or effective address (`spec.addr`) |
+//! | `T1` | value for `spec.write`, `spec.writeback` and `stack.push` |
+//! | `T2`, `T3` | specifier/helper scratch |
+//! | `T4`–`T6` | modify write-back descriptor: is-register flag, register number, address |
+//! | `T7`–`T12` | instruction-level saves |
+//! | `T13`, `T14` | istream gathering scratch |
+//! | `T15` | junk destination (flag-setting ops) |
+//! | `P0`–`P7` | never touched — reserved for control-store patches |
+//!
+//! Micro-flags do not survive `Call`s (helpers use the ALU); routines
+//! branch on flags immediately after setting them. The architectural
+//! condition codes are only written by ops with a non-`None` [`CcEffect`],
+//! so helpers never disturb them.
+//!
+//! [`CcEffect`]: crate::uop::CcEffect
+
+mod arith;
+mod branch;
+mod call;
+mod plumbing;
+mod spec;
+mod string;
+mod sys;
+
+pub use sys::pcb;
+
+use crate::store::ControlStore;
+use crate::uop::{Entry, MicroReg};
+use atum_arch::Opcode;
+
+/// Junk destination for flag-setting ALU ops.
+pub(crate) const JUNK: MicroReg = MicroReg::T(15);
+/// Stack pointer.
+pub(crate) const SP: MicroReg = MicroReg::Gpr(14);
+/// Program counter.
+pub(crate) const PC: MicroReg = MicroReg::Gpr(15);
+
+/// Immediate-source shorthand.
+pub(crate) fn imm(v: u32) -> MicroReg {
+    MicroReg::Imm(v)
+}
+
+/// Micro-temp shorthand.
+pub(crate) fn t(n: u8) -> MicroReg {
+    MicroReg::T(n)
+}
+
+/// Builds the complete stock control store.
+pub fn build() -> ControlStore {
+    let mut cs = ControlStore::new();
+
+    let fault_addr = plumbing::build(&mut cs);
+    let spec_tables = spec::build(&mut cs, fault_addr);
+
+    // Instruction routines; each submodule returns (opcode, symbol) pairs.
+    let mut insns: Vec<(Opcode, &'static str)> = Vec::new();
+    insns.extend(arith::build(&mut cs));
+    insns.extend(branch::build(&mut cs));
+    insns.extend(call::build(&mut cs));
+    insns.extend(string::build(&mut cs));
+    insns.extend(sys::build(&mut cs));
+
+    // Opcode dispatch table: unassigned bytes fault.
+    let mut opcode_table = [fault_addr; 256];
+    for (op, sym) in &insns {
+        let addr = cs
+            .symbol(sym)
+            .unwrap_or_else(|| panic!("instruction routine {sym} missing"));
+        opcode_table[op.to_byte() as usize] = addr;
+    }
+
+    // Every assigned opcode must have a routine.
+    for op in Opcode::ALL {
+        assert!(
+            opcode_table[op.to_byte() as usize] != fault_addr,
+            "no microcode for {op}"
+        );
+    }
+
+    let entries = [
+        cs.symbol(Entry::Fetch.symbol()).expect("fetch.insn"),
+        cs.symbol(Entry::ExcDispatch.symbol()).expect("exc.entry"),
+        cs.symbol(Entry::XferRead.symbol()).expect("xfer.read"),
+        cs.symbol(Entry::XferWrite.symbol()).expect("xfer.write"),
+        cs.symbol(Entry::XferIFetch.symbol()).expect("xfer.ifetch"),
+    ];
+
+    cs.finish_stock(fault_addr, entries, opcode_table, spec_tables);
+    cs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{MicroOp, SpecTable};
+
+    #[test]
+    fn builds_without_panicking() {
+        let cs = build();
+        assert!(cs.len() > 200, "store suspiciously small: {}", cs.len());
+        assert_eq!(cs.patch_words(), 0);
+    }
+
+    #[test]
+    fn every_opcode_dispatches_somewhere_real() {
+        let cs = build();
+        for op in Opcode::ALL {
+            let addr = cs.opcode_target(op.to_byte());
+            assert!(addr < cs.len(), "{op} dispatches out of store");
+            assert_ne!(addr, cs.fault_addr(), "{op} dispatches to fault");
+        }
+    }
+
+    #[test]
+    fn unassigned_opcodes_dispatch_to_fault() {
+        let cs = build();
+        let assigned: std::collections::HashSet<u8> =
+            Opcode::ALL.iter().map(|o| o.to_byte()).collect();
+        for byte in 0u8..=255 {
+            if !assigned.contains(&byte) {
+                assert_eq!(cs.opcode_target(byte), cs.fault_addr());
+            }
+        }
+    }
+
+    #[test]
+    fn entries_point_at_symbols() {
+        let cs = build();
+        for e in Entry::ALL {
+            assert_eq!(cs.entry(e), cs.symbol(e.symbol()).unwrap());
+        }
+    }
+
+    #[test]
+    fn spec_tables_fully_populated() {
+        let cs = build();
+        for table in [
+            SpecTable::Read,
+            SpecTable::Write,
+            SpecTable::Modify,
+            SpecTable::Addr,
+        ] {
+            for nibble in 0..16 {
+                let addr = cs.spec_target(table, nibble);
+                assert!(addr < cs.len(), "{table:?}/{nibble} out of store");
+            }
+        }
+    }
+
+    #[test]
+    fn mode_4_faults_in_every_table() {
+        let cs = build();
+        let rsvd = cs.symbol("cs.rsvd.mode").unwrap();
+        for table in [
+            SpecTable::Read,
+            SpecTable::Write,
+            SpecTable::Modify,
+            SpecTable::Addr,
+        ] {
+            assert_eq!(cs.spec_target(table, 4), rsvd);
+        }
+    }
+
+    #[test]
+    fn no_stock_word_uses_patch_scratch() {
+        let cs = build();
+        for addr in 0..cs.len() {
+            let uses_p = match cs.word(addr) {
+                MicroOp::Mov { src, dst } => is_p(src) || is_p(dst),
+                MicroOp::Alu { a, b, dst, .. } => is_p(a) || is_p(b) || is_p(dst),
+                MicroOp::ReadPr { num, dst } => is_p(num) || is_p(dst),
+                MicroOp::WritePr { num, src } => is_p(num) || is_p(src),
+                MicroOp::SetSizeDyn(r) => is_p(r),
+                _ => false,
+            };
+            assert!(!uses_p, "stock word {addr} uses patch scratch");
+        }
+    }
+
+    fn is_p(r: MicroReg) -> bool {
+        matches!(r, MicroReg::P(_))
+    }
+}

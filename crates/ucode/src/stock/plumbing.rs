@@ -1,0 +1,253 @@
+//! Shared micro-plumbing: fault stubs, memory transfer routines, the
+//! prefetch-buffered instruction fetch, istream gathering, the stack
+//! helpers and the exception-entry flow.
+
+use super::{imm, t, JUNK, PC, SP};
+use crate::masm::MicroAsm;
+use crate::store::ControlStore;
+use crate::uop::{
+    AluOp, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
+};
+use atum_arch::{DataSize, PrivReg, Psl};
+
+/// Builds the plumbing; returns the reserved-instruction fault address
+/// (the default opcode-dispatch target).
+pub fn build(cs: &mut ControlStore) -> u32 {
+    build_faults(cs);
+    build_xfer(cs);
+    build_ifetch(cs);
+    build_istream(cs);
+    build_stack(cs);
+    build_exc_entry(cs);
+    cs.symbol("cs.rsvd.insn").expect("fault routine")
+}
+
+fn build_faults(cs: &mut ControlStore) {
+    let mut ua = MicroAsm::new();
+    ua.global("cs.rsvd.insn");
+    ua.fault(FaultKind::ReservedInstruction);
+    ua.global("cs.rsvd.mode");
+    ua.fault(FaultKind::ReservedAddrMode);
+    ua.global("cs.rsvd.operand");
+    ua.fault(FaultKind::ReservedOperand);
+    ua.global("cs.priv");
+    ua.fault(FaultKind::Privileged);
+    ua.global("cs.div.zero");
+    ua.mov(imm(atum_arch::exc::ArithKind::DivideByZero as u32), MicroReg::ExcParam);
+    ua.fault(FaultKind::Arithmetic);
+    ua.commit(cs).expect("faults");
+}
+
+fn build_xfer(cs: &mut ControlStore) {
+    // The three ATUM hook points. Deliberately minimal: the stock machine
+    // pays two micro-words per data reference; everything a patch adds is
+    // measurable against this baseline.
+    let mut ua = MicroAsm::new();
+    ua.global("xfer.read");
+    ua.read(RefClass::DataRead);
+    ua.ret();
+    ua.global("xfer.write");
+    ua.write();
+    ua.ret();
+    ua.global("xfer.ifetch");
+    ua.op(MicroOp::Read {
+        class: RefClass::IFetch,
+        size: SizeSel::Fixed(DataSize::Long),
+    });
+    ua.ret();
+    ua.commit(cs).expect("xfer");
+
+    // Pointer indirection: longword read at MAR preserving the operand
+    // size latch. Result in MDR.
+    let mut ua = MicroAsm::new();
+    ua.global("ptr.read");
+    ua.mov(MicroReg::OSizeBytes, t(3));
+    ua.set_size(DataSize::Long);
+    ua.call_entry(Entry::XferRead);
+    ua.op(MicroOp::SetSizeDyn(t(3)));
+    ua.ret();
+    ua.commit(cs).expect("ptr.read");
+}
+
+fn build_ifetch(cs: &mut ControlStore) {
+    // ifetch.byte: next instruction-stream byte → MDR; advances PC without
+    // flushing the prefetch buffer. Refills through Entry::XferIFetch one
+    // aligned longword at a time — that longword fetch is the I-reference
+    // ATUM records.
+    let mut ua = MicroAsm::new();
+    ua.global("ifetch.byte");
+    ua.test(MicroReg::IbCnt);
+    ua.jif(MicroCond::UNotZero, "serve");
+    // Refill: MAR ← PC & ~3. Scratch discipline: ifetch.byte is called
+    // from inside the istream gather loop, so it may only clobber the
+    // junk temp (T15), MDR and its own IbData/IbCnt.
+    ua.alu_l(AluOp::And, PC, imm(!3u32), MicroReg::Mar);
+    ua.call_entry(Entry::XferIFetch);
+    ua.mov(MicroReg::Mdr, MicroReg::IbData);
+    // IbCnt ← 4 - (PC & 3); IbData >>= 8 * (PC & 3).
+    ua.alu_l(AluOp::And, PC, imm(3), JUNK);
+    ua.alu_l(AluOp::RSub, JUNK, imm(4), MicroReg::IbCnt);
+    ua.alu_l(AluOp::Lsl, imm(3), JUNK, JUNK);
+    ua.alu_l(AluOp::Lsr, JUNK, MicroReg::IbData, MicroReg::IbData);
+    ua.label("serve");
+    ua.alu_l(AluOp::And, MicroReg::IbData, imm(0xFF), MicroReg::Mdr);
+    ua.alu_l(AluOp::Lsr, imm(8), MicroReg::IbData, MicroReg::IbData);
+    ua.alu_l(AluOp::Sub, MicroReg::IbCnt, imm(1), MicroReg::IbCnt);
+    ua.op(MicroOp::AdvancePc);
+    ua.ret();
+    ua.commit(cs).expect("ifetch.byte");
+
+    // fetch.insn: the per-instruction entry point.
+    let mut ua = MicroAsm::new();
+    ua.global("fetch.insn");
+    ua.call("ifetch.byte");
+    ua.mov(MicroReg::Mdr, MicroReg::OpReg);
+    ua.dispatch_opcode();
+    ua.commit(cs).expect("fetch.insn");
+}
+
+fn build_istream(cs: &mut ControlStore) {
+    // istream.n: gather T14 little-endian istream bytes into T2.
+    // Clobbers T13, T14, T15, MDR.
+    let mut ua = MicroAsm::new();
+    ua.global("istream.n");
+    ua.mov(imm(0), t(2));
+    ua.mov(imm(0), t(13));
+    ua.label("gather");
+    ua.call("ifetch.byte");
+    ua.alu_l(AluOp::Lsl, t(13), MicroReg::Mdr, JUNK);
+    ua.alu_l(AluOp::Or, t(2), JUNK, t(2));
+    ua.alu_l(AluOp::Add, t(13), imm(8), t(13));
+    ua.alu_l(AluOp::Sub, t(14), imm(1), t(14));
+    ua.jif(MicroCond::UNotZero, "gather");
+    ua.ret();
+    // istream.osize: gather one operand-sized value.
+    ua.global("istream.osize");
+    ua.mov(MicroReg::OSizeBytes, t(14));
+    ua.jmp("istream.n");
+    // istream.long: gather a longword.
+    ua.global("istream.long");
+    ua.mov(imm(4), t(14));
+    ua.jmp("istream.n");
+    ua.commit(cs).expect("istream");
+}
+
+fn build_stack(cs: &mut ControlStore) {
+    // stack.push: push T1 (longword). Leaves the size latch at Long.
+    let mut ua = MicroAsm::new();
+    ua.global("stack.push");
+    ua.set_size(DataSize::Long);
+    ua.alu_l(AluOp::Sub, SP, imm(4), SP);
+    ua.mov(SP, MicroReg::Mar);
+    ua.mov(t(1), MicroReg::Mdr);
+    ua.call_entry(Entry::XferWrite);
+    ua.ret();
+    // stack.pop: pop a longword into T0. Leaves the size latch at Long.
+    ua.global("stack.pop");
+    ua.set_size(DataSize::Long);
+    ua.mov(SP, MicroReg::Mar);
+    ua.call_entry(Entry::XferRead);
+    ua.alu_l(AluOp::Add, SP, imm(4), SP);
+    ua.mov(MicroReg::Mdr, t(0));
+    ua.ret();
+    ua.commit(cs).expect("stack");
+}
+
+fn build_exc_entry(cs: &mut ControlStore) {
+    // exc.entry: the engine arrives here with ExcVec/ExcParam/ExcFlags/
+    // ExcPc/ExcIpl latched. Pushes the exception frame on the kernel stack
+    // (traced memory references, as on the real machine) and vectors
+    // through the SCB (physical, untraced — hardware-internal).
+    let mut ua = MicroAsm::new();
+    ua.global("exc.entry");
+    ua.mov(MicroReg::Psl, t(7));
+    ua.jif(MicroCond::KernelMode, "nostack");
+    // Bank stacks: USP ← SP, SP ← KSP.
+    ua.op(MicroOp::WritePr {
+        num: imm(PrivReg::Usp.number()),
+        src: SP,
+    });
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Ksp.number()),
+        dst: SP,
+    });
+    ua.label("nostack");
+    // New PSL: kernel mode, prv ← old cur, T/TP/CC clear, IPL kept or
+    // raised to ExcIpl for interrupts.
+    ua.alu_l(AluOp::Lsr, imm(24), t(7), t(9));
+    ua.alu_l(AluOp::And, t(9), imm(3), t(9));
+    ua.alu_l(AluOp::Lsl, imm(22), t(9), t(9));
+    ua.alu_l(AluOp::And, t(7), imm(0x1F << 16), t(10));
+    ua.alu_l(AluOp::And, MicroReg::ExcFlags, imm(2), JUNK);
+    ua.jif(MicroCond::UZero, "keepipl");
+    ua.alu_l(AluOp::Lsl, imm(16), MicroReg::ExcIpl, t(10));
+    ua.label("keepipl");
+    ua.alu_l(AluOp::Or, t(9), t(10), t(11));
+    ua.mov(t(11), MicroReg::Psl);
+    // Push PSL, PC, optional parameter.
+    ua.mov(t(7), t(1));
+    ua.call("stack.push");
+    ua.mov(MicroReg::ExcPc, t(1));
+    ua.call("stack.push");
+    ua.alu_l(AluOp::And, MicroReg::ExcFlags, imm(1), JUNK);
+    ua.jif(MicroCond::UZero, "noparam");
+    ua.mov(MicroReg::ExcParam, t(1));
+    ua.call("stack.push");
+    ua.label("noparam");
+    // Vector through the SCB.
+    ua.op(MicroOp::ReadPr {
+        num: imm(PrivReg::Scbb.number()),
+        dst: t(12),
+    });
+    ua.alu_l(AluOp::Add, t(12), MicroReg::ExcVec, MicroReg::Mar);
+    ua.op(MicroOp::PhysRead);
+    ua.mov(MicroReg::Mdr, PC);
+    ua.decode_next();
+    ua.commit(cs).expect("exc.entry");
+
+    // Keep the PSL constants honest: the bit positions the microcode above
+    // hard-codes must match the architecture crate.
+    debug_assert_eq!(Psl::VALID_MASK & (0x1F << 16), 0x1F << 16);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stock;
+
+    #[test]
+    fn plumbing_symbols_exist() {
+        let cs = stock::build();
+        for sym in [
+            "cs.rsvd.insn",
+            "cs.rsvd.mode",
+            "cs.rsvd.operand",
+            "cs.priv",
+            "cs.div.zero",
+            "xfer.read",
+            "xfer.write",
+            "xfer.ifetch",
+            "ptr.read",
+            "ifetch.byte",
+            "fetch.insn",
+            "istream.n",
+            "istream.osize",
+            "istream.long",
+            "stack.push",
+            "stack.pop",
+            "exc.entry",
+        ] {
+            assert!(cs.symbol(sym).is_some(), "missing {sym}");
+        }
+    }
+
+    #[test]
+    fn xfer_read_is_two_words() {
+        // The stock read path is [Read][Ret]; the ATUM slowdown measurement
+        // depends on this baseline staying minimal, so pin it.
+        let cs = stock::build();
+        let a = cs.symbol("xfer.read").unwrap();
+        assert!(matches!(cs.word(a), MicroOp::Read { .. }));
+        assert_eq!(cs.word(a + 1), MicroOp::Ret);
+    }
+}

@@ -1,0 +1,263 @@
+//! Microcode for the string/block, queue and bit-field instructions —
+//! the long-running microcoded loops that make CISC traces interesting.
+
+use super::{imm, t, JUNK};
+use crate::masm::MicroAsm;
+use crate::store::ControlStore;
+use crate::uop::{AluOp, CcEffect, Entry, MicroCond, MicroReg};
+use atum_arch::{DataSize, Opcode};
+
+/// Builds the routines; returns (opcode, symbol) pairs for dispatch.
+pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
+    let mut out = Vec::new();
+
+    // movc3 len.rl, src.ab, dst.ab — byte copy loop.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.movc3");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7)); // len
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(8)); // src
+        ua.call("spec.addr");
+        ua.mov(t(0), t(9)); // dst
+        ua.label("loop");
+        ua.test(t(7));
+        ua.jif(MicroCond::UZero, "done");
+        ua.mov(t(8), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead); // byte in MDR
+        ua.mov(t(9), MicroReg::Mar);
+        ua.call_entry(Entry::XferWrite);
+        ua.alu_l(AluOp::Add, t(8), imm(1), t(8));
+        ua.alu_l(AluOp::Add, t(9), imm(1), t(9));
+        ua.alu_l(AluOp::Sub, t(7), imm(1), t(7));
+        ua.jmp("loop");
+        ua.label("done");
+        // R0=0, R1=src end, R2=0, R3=dst end, R4=0, R5=0; Z set.
+        ua.mov(imm(0), MicroReg::Gpr(0));
+        ua.mov(t(8), MicroReg::Gpr(1));
+        ua.mov(imm(0), MicroReg::Gpr(2));
+        ua.mov(t(9), MicroReg::Gpr(3));
+        ua.mov(imm(0), MicroReg::Gpr(4));
+        ua.mov(imm(0), MicroReg::Gpr(5));
+        ua.alu(AluOp::Pass, imm(0), imm(0), JUNK, CcEffect::Test, DataSize::Long);
+        ua.decode_next();
+        ua.commit(cs).expect("i.movc3");
+        out.push((Opcode::Movc3, "i.movc3"));
+    }
+
+    // cmpc3 len.rl, s1.ab, s2.ab — compare until mismatch; condition codes
+    // from the first differing pair. R0 = remaining count, R1/R3 = cursors.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.cmpc3");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(8));
+        ua.call("spec.addr");
+        ua.mov(t(0), t(9));
+        ua.label("loop");
+        ua.test(t(7));
+        ua.jif(MicroCond::UZero, "equal");
+        ua.mov(t(8), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead);
+        ua.mov(MicroReg::Mdr, t(10));
+        ua.mov(t(9), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead);
+        // Compare s1 byte with s2 byte; stop on mismatch.
+        ua.alu(AluOp::Sub, t(10), MicroReg::Mdr, JUNK, CcEffect::Cmp, DataSize::Byte);
+        ua.jif(MicroCond::ArchNeq, "done");
+        ua.alu_l(AluOp::Add, t(8), imm(1), t(8));
+        ua.alu_l(AluOp::Add, t(9), imm(1), t(9));
+        ua.alu_l(AluOp::Sub, t(7), imm(1), t(7));
+        ua.jmp("loop");
+        ua.label("equal");
+        ua.alu(AluOp::Pass, imm(0), imm(0), JUNK, CcEffect::Test, DataSize::Long);
+        ua.label("done");
+        ua.mov(t(7), MicroReg::Gpr(0));
+        ua.mov(t(8), MicroReg::Gpr(1));
+        ua.mov(t(9), MicroReg::Gpr(3));
+        ua.decode_next();
+        ua.commit(cs).expect("i.cmpc3");
+        out.push((Opcode::Cmpc3, "i.cmpc3"));
+    }
+
+    // locc char.rb, len.rl, addr.ab — find a byte. R0 = bytes remaining at
+    // the match (0 if none, Z set), R1 = address of the match or the end.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.locc");
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.read");
+        ua.alu_l(AluOp::And, t(0), imm(0xFF), t(10)); // char
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7)); // len
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(8)); // cursor
+        ua.label("loop");
+        ua.test(t(7));
+        ua.jif(MicroCond::UZero, "done");
+        ua.mov(t(8), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead);
+        ua.alu_l(AluOp::Sub, MicroReg::Mdr, t(10), JUNK);
+        ua.jif(MicroCond::UZero, "done");
+        ua.alu_l(AluOp::Add, t(8), imm(1), t(8));
+        ua.alu_l(AluOp::Sub, t(7), imm(1), t(7));
+        ua.jmp("loop");
+        ua.label("done");
+        ua.mov(t(7), MicroReg::Gpr(0));
+        ua.mov(t(8), MicroReg::Gpr(1));
+        ua.alu(AluOp::Pass, imm(0), t(7), JUNK, CcEffect::Test, DataSize::Long);
+        ua.decode_next();
+        ua.commit(cs).expect("i.locc");
+        out.push((Opcode::Locc, "i.locc"));
+    }
+
+    // insque entry.ab, pred.ab — doubly-linked queue insert.
+    // Layout: [addr] = forward link, [addr+4] = backward link.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.insque");
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(7)); // entry
+        ua.call("spec.addr");
+        ua.mov(t(0), t(8)); // pred
+        ua.set_size(DataSize::Long);
+        // succ = [pred]
+        ua.mov(t(8), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead);
+        ua.mov(MicroReg::Mdr, t(9));
+        // [entry] = succ; [entry+4] = pred
+        ua.mov(t(7), MicroReg::Mar);
+        ua.call_entry(Entry::XferWrite); // MDR still = succ
+        ua.alu_l(AluOp::Add, t(7), imm(4), MicroReg::Mar);
+        ua.mov(t(8), MicroReg::Mdr);
+        ua.call_entry(Entry::XferWrite);
+        // [pred] = entry; [succ+4] = entry
+        ua.mov(t(8), MicroReg::Mar);
+        ua.mov(t(7), MicroReg::Mdr);
+        ua.call_entry(Entry::XferWrite);
+        ua.alu_l(AluOp::Add, t(9), imm(4), MicroReg::Mar);
+        ua.mov(t(7), MicroReg::Mdr);
+        ua.call_entry(Entry::XferWrite);
+        // Z set if the queue was empty before (succ == pred).
+        ua.alu(AluOp::Sub, t(9), t(8), JUNK, CcEffect::Cmp, DataSize::Long);
+        ua.decode_next();
+        ua.commit(cs).expect("i.insque");
+        out.push((Opcode::Insque, "i.insque"));
+    }
+
+    // remque entry.ab, dst.wl — queue removal. V set if the queue was
+    // empty (entry linked to itself); Z set if it is empty afterwards.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.remque");
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.addr");
+        ua.mov(t(0), t(7)); // entry
+        ua.set_size(DataSize::Long);
+        ua.mov(t(7), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead);
+        ua.mov(MicroReg::Mdr, t(8)); // succ
+        ua.alu_l(AluOp::Add, t(7), imm(4), MicroReg::Mar);
+        ua.call_entry(Entry::XferRead);
+        ua.mov(MicroReg::Mdr, t(9)); // pred
+        // [pred] = succ; [succ+4] = pred
+        ua.mov(t(9), MicroReg::Mar);
+        ua.mov(t(8), MicroReg::Mdr);
+        ua.call_entry(Entry::XferWrite);
+        ua.alu_l(AluOp::Add, t(8), imm(4), MicroReg::Mar);
+        ua.mov(t(9), MicroReg::Mdr);
+        ua.call_entry(Entry::XferWrite);
+        // dst ← entry address; then Z from (succ == pred).
+        ua.mov(t(7), t(1));
+        ua.call("spec.write");
+        ua.alu(AluOp::Sub, t(8), t(9), JUNK, CcEffect::Cmp, DataSize::Long);
+        ua.decode_next();
+        ua.commit(cs).expect("i.remque");
+        out.push((Opcode::Remque, "i.remque"));
+    }
+
+    // extzv pos.rl, size.rb, base.ab, dst.wl — extract zero-extended bit
+    // field. SVX restriction (documented): size ≤ 24 bits, so the field
+    // always fits the unaligned longword read at base + pos/8.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.extzv");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7)); // pos
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.read");
+        ua.alu_l(AluOp::And, t(0), imm(0xFF), t(8)); // size
+        ua.alu_l(AluOp::Sub, t(8), imm(25), JUNK);
+        ua.jif(MicroCond::UPos, "cs.rsvd.operand");
+        ua.call("spec.addr");
+        ua.mov(t(0), t(9)); // base
+        // MAR ← base + pos>>3; bit ← pos & 7.
+        ua.alu_l(AluOp::Lsr, imm(3), t(7), t(10));
+        ua.alu_l(AluOp::Add, t(9), t(10), MicroReg::Mar);
+        ua.alu_l(AluOp::And, t(7), imm(7), t(11));
+        ua.set_size(DataSize::Long);
+        ua.call_entry(Entry::XferRead);
+        ua.alu_l(AluOp::Lsr, t(11), MicroReg::Mdr, t(12));
+        // mask = (1 << size) - 1
+        ua.alu_l(AluOp::Lsl, t(8), imm(1), t(13));
+        ua.alu_l(AluOp::Sub, t(13), imm(1), t(13));
+        ua.alu(AluOp::And, t(12), t(13), t(1), CcEffect::Logic, DataSize::Long);
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect("i.extzv");
+        out.push((Opcode::Extzv, "i.extzv"));
+    }
+
+    // insv src.rl, pos.rl, size.rb, base.ab — insert bit field
+    // (read-modify-write of the containing longword).
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.insv");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(12)); // src
+        ua.call("spec.read");
+        ua.mov(t(0), t(7)); // pos
+        ua.set_size(DataSize::Byte);
+        ua.call("spec.read");
+        ua.alu_l(AluOp::And, t(0), imm(0xFF), t(8)); // size
+        ua.alu_l(AluOp::Sub, t(8), imm(25), JUNK);
+        ua.jif(MicroCond::UPos, "cs.rsvd.operand");
+        ua.call("spec.addr");
+        ua.mov(t(0), t(9)); // base
+        ua.alu_l(AluOp::Lsr, imm(3), t(7), t(10));
+        ua.alu_l(AluOp::Add, t(9), t(10), t(9)); // byte address
+        ua.alu_l(AluOp::And, t(7), imm(7), t(11)); // bit offset
+        ua.mov(t(9), MicroReg::Mar);
+        ua.set_size(DataSize::Long);
+        ua.call_entry(Entry::XferRead);
+        ua.mov(MicroReg::Mdr, t(10)); // old longword
+        // mask = ((1 << size) - 1) << bit
+        ua.alu_l(AluOp::Lsl, t(8), imm(1), t(13));
+        ua.alu_l(AluOp::Sub, t(13), imm(1), t(13));
+        ua.alu_l(AluOp::Lsl, t(11), t(13), t(13));
+        // new = (old & ~mask) | ((src << bit) & mask)
+        ua.alu_l(AluOp::BicR, t(13), t(10), t(10));
+        ua.alu_l(AluOp::Lsl, t(11), t(12), t(14));
+        ua.alu_l(AluOp::And, t(14), t(13), t(14));
+        ua.alu_l(AluOp::Or, t(10), t(14), MicroReg::Mdr);
+        ua.mov(t(9), MicroReg::Mar);
+        ua.call_entry(Entry::XferWrite);
+        ua.decode_next();
+        ua.commit(cs).expect("i.insv");
+        out.push((Opcode::Insv, "i.insv"));
+    }
+
+    out
+}

@@ -1,0 +1,261 @@
+//! Microcode for system-control instructions: halt, traps, `rei`,
+//! privileged-register moves and the context-switch pair
+//! (`svpctx`/`ldpctx`).
+//!
+//! PCB layout (physical, addressed by the `PCBB` privileged register):
+//!
+//! ```text
+//! +0   KSP      +4   USP
+//! +8   R0 … +60 R13
+//! +64  PC       +68  PSL
+//! +72  P0BR     +76  P0LR
+//! +80  P1BR     +84  P1LR
+//! +88  PID (SVX extension; read by the ATUM ldpctx patch)
+//! ```
+
+use super::{imm, t, JUNK, PC, SP};
+use crate::masm::MicroAsm;
+use crate::store::ControlStore;
+use crate::uop::{AluOp, FaultKind, MicroCond, MicroOp, MicroReg};
+use atum_arch::{DataSize, Opcode, PrivReg};
+
+/// PCB field offsets (longwords at PCBB + offset).
+pub mod pcb {
+    /// Kernel stack pointer.
+    pub const KSP: u32 = 0;
+    /// User stack pointer.
+    pub const USP: u32 = 4;
+    /// Base of the R0–R13 block.
+    pub const GPRS: u32 = 8;
+    /// Saved PC.
+    pub const PC: u32 = 64;
+    /// Saved PSL.
+    pub const PSL: u32 = 68;
+    /// P0 page-table base.
+    pub const P0BR: u32 = 72;
+    /// P0 page-table length.
+    pub const P0LR: u32 = 76;
+    /// P1 page-table base.
+    pub const P1BR: u32 = 80;
+    /// P1 page-table length.
+    pub const P1LR: u32 = 84;
+    /// Process id (SVX extension, consumed by the ATUM patch).
+    pub const PID: u32 = 88;
+    /// Total PCB size in bytes.
+    pub const SIZE: u32 = 92;
+}
+
+fn rd_pr(ua: &mut MicroAsm, pr: PrivReg, dst: MicroReg) {
+    ua.op(MicroOp::ReadPr {
+        num: imm(pr.number()),
+        dst,
+    });
+}
+
+fn wr_pr(ua: &mut MicroAsm, pr: PrivReg, src: MicroReg) {
+    ua.op(MicroOp::WritePr {
+        num: imm(pr.number()),
+        src,
+    });
+}
+
+/// Builds the routines; returns (opcode, symbol) pairs for dispatch.
+pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
+    let mut out = Vec::new();
+
+    // Trivia.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.halt");
+        ua.jif(MicroCond::UserMode, "cs.priv");
+        ua.op(MicroOp::Halt);
+        ua.decode_next();
+        ua.global("i.nop");
+        ua.decode_next();
+        ua.global("i.bpt");
+        ua.fault(FaultKind::Breakpoint);
+        ua.commit(cs).expect("sys trivia");
+        out.push((Opcode::Halt, "i.halt"));
+        out.push((Opcode::Nop, "i.nop"));
+        out.push((Opcode::Bpt, "i.bpt"));
+    }
+
+    // chmk code.rw — the system-call trap.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.chmk");
+        ua.set_size(DataSize::Word);
+        ua.call("spec.read");
+        ua.mov(t(0), MicroReg::ExcParam);
+        ua.fault(FaultKind::Chmk);
+        ua.commit(cs).expect("i.chmk");
+        out.push((Opcode::Chmk, "i.chmk"));
+    }
+
+    // rei — return from exception/interrupt. SVX restricts it to kernel
+    // mode (documented deviation; the VAX validated a no-privilege-gain
+    // rule instead).
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.rei");
+        ua.jif(MicroCond::UserMode, "cs.priv");
+        ua.call("stack.pop");
+        ua.mov(t(0), t(7)); // new PC
+        ua.call("stack.pop");
+        ua.mov(t(0), t(8)); // new PSL
+        // If returning to user mode, bank the stack pointers.
+        ua.alu_l(AluOp::Lsr, imm(24), t(8), JUNK);
+        ua.alu_l(AluOp::And, JUNK, imm(3), JUNK);
+        ua.jif(MicroCond::UZero, "tokernel");
+        wr_pr(&mut ua, PrivReg::Ksp, SP);
+        rd_pr(&mut ua, PrivReg::Usp, SP);
+        ua.label("tokernel");
+        ua.mov(t(8), MicroReg::Psl);
+        ua.mov(t(7), PC);
+        ua.decode_next();
+        ua.commit(cs).expect("i.rei");
+        out.push((Opcode::Rei, "i.rei"));
+    }
+
+    // mtpr src.rl, prnum.rl / mfpr prnum.rl, dst.wl.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.mtpr");
+        ua.jif(MicroCond::UserMode, "cs.priv");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.mov(t(0), t(7));
+        ua.call("spec.read");
+        ua.op(MicroOp::WritePr {
+            num: t(0),
+            src: t(7),
+        });
+        ua.decode_next();
+        ua.commit(cs).expect("i.mtpr");
+        out.push((Opcode::Mtpr, "i.mtpr"));
+
+        let mut ua = MicroAsm::new();
+        ua.global("i.mfpr");
+        ua.jif(MicroCond::UserMode, "cs.priv");
+        ua.set_size(DataSize::Long);
+        ua.call("spec.read");
+        ua.op(MicroOp::ReadPr {
+            num: t(0),
+            dst: t(1),
+        });
+        ua.call("spec.write");
+        ua.decode_next();
+        ua.commit(cs).expect("i.mfpr");
+        out.push((Opcode::Mfpr, "i.mfpr"));
+    }
+
+    // svpctx — save context into the PCB. Expects to run inside an
+    // exception/interrupt frame: pops PC and PSL off the kernel stack into
+    // the PCB, then saves R0–R13, the stack pointers and the MMU state.
+    // PCB accesses are physical (hardware-internal, untraced).
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.svpctx");
+        ua.jif(MicroCond::UserMode, "cs.priv");
+        rd_pr(&mut ua, PrivReg::Pcbb, t(7));
+        ua.call("stack.pop"); // PC of the interrupted context
+        ua.mov(t(0), t(8));
+        ua.call("stack.pop"); // PSL of the interrupted context
+        ua.mov(t(0), t(9));
+        // R0..R13 → PCB.
+        ua.mov(imm(0), t(10));
+        ua.label("save");
+        ua.mov(t(10), MicroReg::RegNum);
+        ua.alu_l(AluOp::Lsl, imm(2), t(10), JUNK);
+        ua.alu_l(AluOp::Add, JUNK, imm(pcb::GPRS), JUNK);
+        ua.alu_l(AluOp::Add, t(7), JUNK, MicroReg::Mar);
+        ua.mov(MicroReg::GprIdx, MicroReg::Mdr);
+        ua.op(MicroOp::PhysWrite);
+        ua.alu_l(AluOp::Add, t(10), imm(1), t(10));
+        ua.alu_l(AluOp::Sub, t(10), imm(14), JUNK);
+        ua.jif(MicroCond::UNotZero, "save");
+        // KSP (the SP as it stands after the pops), USP latch, PC, PSL.
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::KSP), MicroReg::Mar);
+        ua.mov(SP, MicroReg::Mdr);
+        ua.op(MicroOp::PhysWrite);
+        rd_pr(&mut ua, PrivReg::Usp, MicroReg::Mdr);
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::USP), MicroReg::Mar);
+        ua.op(MicroOp::PhysWrite);
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::PC), MicroReg::Mar);
+        ua.mov(t(8), MicroReg::Mdr);
+        ua.op(MicroOp::PhysWrite);
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::PSL), MicroReg::Mar);
+        ua.mov(t(9), MicroReg::Mdr);
+        ua.op(MicroOp::PhysWrite);
+        // MMU per-process state.
+        for (off, pr) in [
+            (pcb::P0BR, PrivReg::P0br),
+            (pcb::P0LR, PrivReg::P0lr),
+            (pcb::P1BR, PrivReg::P1br),
+            (pcb::P1LR, PrivReg::P1lr),
+        ] {
+            rd_pr(&mut ua, pr, MicroReg::Mdr);
+            ua.alu_l(AluOp::Add, t(7), imm(off), MicroReg::Mar);
+            ua.op(MicroOp::PhysWrite);
+        }
+        ua.decode_next();
+        ua.commit(cs).expect("i.svpctx");
+        out.push((Opcode::Svpctx, "i.svpctx"));
+    }
+
+    // ldpctx — load context from the PCB (set PCBB first), flush the
+    // per-process translation buffer, and push PSL/PC so the kernel can
+    // `rei` into the new context. This is the routine the ATUM patch
+    // wraps to emit process-switch markers.
+    {
+        let mut ua = MicroAsm::new();
+        ua.global("i.ldpctx");
+        ua.jif(MicroCond::UserMode, "cs.priv");
+        rd_pr(&mut ua, PrivReg::Pcbb, t(7));
+        // R0..R13 ← PCB.
+        ua.mov(imm(0), t(10));
+        ua.label("load");
+        ua.mov(t(10), MicroReg::RegNum);
+        ua.alu_l(AluOp::Lsl, imm(2), t(10), JUNK);
+        ua.alu_l(AluOp::Add, JUNK, imm(pcb::GPRS), JUNK);
+        ua.alu_l(AluOp::Add, t(7), JUNK, MicroReg::Mar);
+        ua.op(MicroOp::PhysRead);
+        ua.mov(MicroReg::Mdr, MicroReg::GprIdx);
+        ua.alu_l(AluOp::Add, t(10), imm(1), t(10));
+        ua.alu_l(AluOp::Sub, t(10), imm(14), JUNK);
+        ua.jif(MicroCond::UNotZero, "load");
+        // Stack pointers and MMU state.
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::KSP), MicroReg::Mar);
+        ua.op(MicroOp::PhysRead);
+        ua.mov(MicroReg::Mdr, SP);
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::USP), MicroReg::Mar);
+        ua.op(MicroOp::PhysRead);
+        wr_pr(&mut ua, PrivReg::Usp, MicroReg::Mdr);
+        for (off, pr) in [
+            (pcb::P0BR, PrivReg::P0br),
+            (pcb::P0LR, PrivReg::P0lr),
+            (pcb::P1BR, PrivReg::P1br),
+            (pcb::P1LR, PrivReg::P1lr),
+        ] {
+            ua.alu_l(AluOp::Add, t(7), imm(off), MicroReg::Mar);
+            ua.op(MicroOp::PhysRead);
+            wr_pr(&mut ua, pr, MicroReg::Mdr);
+        }
+        ua.op(MicroOp::TbFlushProc);
+        // Push PSL then PC for the kernel's `rei` (traced kernel-stack
+        // writes, as on the VAX).
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::PSL), MicroReg::Mar);
+        ua.op(MicroOp::PhysRead);
+        ua.mov(MicroReg::Mdr, t(1));
+        ua.call("stack.push");
+        ua.alu_l(AluOp::Add, t(7), imm(pcb::PC), MicroReg::Mar);
+        ua.op(MicroOp::PhysRead);
+        ua.mov(MicroReg::Mdr, t(1));
+        ua.call("stack.push");
+        ua.decode_next();
+        ua.commit(cs).expect("i.ldpctx");
+        out.push((Opcode::Ldpctx, "i.ldpctx"));
+    }
+
+    out
+}

@@ -1,0 +1,257 @@
+//! The control store: micro-words plus the dispatch structures, with the
+//! writable-control-store (WCS) patch API.
+//!
+//! A real 8200 divided its control store into a ROM region and a writable
+//! region the console could load; ATUM's patches lived in the writable
+//! part and re-routed a handful of ROM entry points. Here the whole store
+//! is one `Vec<MicroOp>` with three patchable indirection structures:
+//!
+//! 1. the **entry table** ([`Entry`] slots) — read by `Target::Entry`
+//!    jumps/calls at execution time;
+//! 2. the **opcode dispatch table** (256 slots) — used by
+//!    [`MicroOp::DispatchOpcode`];
+//! 3. the **specifier dispatch tables** (4 × 16 slots) — used by
+//!    [`MicroOp::DispatchSpec`].
+//!
+//! [`ControlStore::append_routine`] plays the role of loading micro-words
+//! into the WCS; the `set_*` methods re-point the indirections.
+
+use crate::uop::{Entry, MicroOp, SpecTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The control store.
+#[derive(Debug, Clone)]
+pub struct ControlStore {
+    words: Vec<MicroOp>,
+    entries: [u32; Entry::COUNT],
+    opcode_table: [u32; 256],
+    spec_tables: [[u32; 16]; SpecTable::COUNT],
+    symbols: HashMap<String, u32>,
+    /// Address of the stock "reserved instruction" fault routine; unset
+    /// dispatch slots point here.
+    fault_addr: u32,
+    /// Length of the stock portion (everything appended later is "WCS").
+    stock_len: u32,
+}
+
+impl ControlStore {
+    /// Creates an empty store whose dispatch slots all point at micro-word
+    /// 0 (builders overwrite everything; see [`crate::stock::build`]).
+    pub fn new() -> ControlStore {
+        ControlStore {
+            words: Vec::new(),
+            entries: [0; Entry::COUNT],
+            opcode_table: [0; 256],
+            spec_tables: [[0; 16]; SpecTable::COUNT],
+            symbols: HashMap::new(),
+            fault_addr: 0,
+            stock_len: 0,
+        }
+    }
+
+    /// The micro-word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is outside the store (a real sequencer would fetch
+    /// garbage; the simulator prefers to fail loudly).
+    pub fn word(&self, addr: u32) -> MicroOp {
+        self.words[addr as usize]
+    }
+
+    /// Number of micro-words.
+    pub fn len(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Number of micro-words in the stock (pre-patch) portion.
+    pub fn stock_len(&self) -> u32 {
+        self.stock_len
+    }
+
+    /// Number of micro-words appended after the stock build — the patch
+    /// footprint, one of the quantities the paper reports.
+    pub fn patch_words(&self) -> u32 {
+        self.len() - self.stock_len
+    }
+
+    /// The address an [`Entry`] slot points at.
+    pub fn entry(&self, e: Entry) -> u32 {
+        self.entries[e.index()]
+    }
+
+    /// Re-points an [`Entry`] slot (the patch operation).
+    pub fn set_entry(&mut self, e: Entry, addr: u32) {
+        assert!(addr < self.len(), "entry target {addr} out of store");
+        self.entries[e.index()] = addr;
+    }
+
+    /// The opcode dispatch target for an opcode byte.
+    pub fn opcode_target(&self, opcode: u8) -> u32 {
+        self.opcode_table[opcode as usize]
+    }
+
+    /// Re-points an opcode dispatch slot.
+    pub fn set_opcode_target(&mut self, opcode: u8, addr: u32) {
+        assert!(addr < self.len(), "dispatch target {addr} out of store");
+        self.opcode_table[opcode as usize] = addr;
+    }
+
+    /// The specifier dispatch target for a mode nibble.
+    pub fn spec_target(&self, table: SpecTable, nibble: u8) -> u32 {
+        self.spec_tables[table.index()][(nibble & 0xF) as usize]
+    }
+
+    /// Re-points a specifier dispatch slot.
+    pub fn set_spec_target(&mut self, table: SpecTable, nibble: u8, addr: u32) {
+        assert!(addr < self.len(), "dispatch target {addr} out of store");
+        self.spec_tables[table.index()][(nibble & 0xF) as usize] = addr;
+    }
+
+    /// Appends a routine to the store (the WCS load) and records `name` in
+    /// the symbol table. Returns the routine's address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is empty or `name` is already defined.
+    pub fn append_routine(&mut self, name: &str, words: Vec<MicroOp>) -> u32 {
+        assert!(!words.is_empty(), "empty micro-routine {name}");
+        let addr = self.len();
+        assert!(
+            self.symbols.insert(name.to_string(), addr).is_none(),
+            "duplicate micro-symbol {name}"
+        );
+        self.words.extend(words);
+        addr
+    }
+
+    /// Looks up a micro-symbol.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// All micro-symbols (for listings and tests).
+    pub fn symbols(&self) -> &HashMap<String, u32> {
+        &self.symbols
+    }
+
+    /// The reserved-instruction fault routine's address.
+    pub fn fault_addr(&self) -> u32 {
+        self.fault_addr
+    }
+
+    pub(crate) fn finish_stock(
+        &mut self,
+        fault_addr: u32,
+        entries: [u32; Entry::COUNT],
+        opcode_table: [u32; 256],
+        spec_tables: [[u32; 16]; SpecTable::COUNT],
+    ) {
+        self.fault_addr = fault_addr;
+        self.entries = entries;
+        self.opcode_table = opcode_table;
+        self.spec_tables = spec_tables;
+        self.stock_len = self.len();
+    }
+
+    pub(crate) fn raw_append(&mut self, words: Vec<MicroOp>) {
+        self.words.extend(words);
+    }
+
+    pub(crate) fn define_symbol(&mut self, name: String, addr: u32) {
+        assert!(
+            self.symbols.insert(name.clone(), addr).is_none(),
+            "duplicate micro-symbol {name}"
+        );
+    }
+}
+
+impl Default for ControlStore {
+    fn default() -> ControlStore {
+        ControlStore::new()
+    }
+}
+
+impl fmt::Display for ControlStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "control store: {} micro-words ({} stock + {} patch), {} symbols",
+            self.len(),
+            self.stock_len(),
+            self.patch_words(),
+            self.symbols.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::Target;
+
+    #[test]
+    fn append_and_lookup() {
+        let mut cs = ControlStore::new();
+        let a = cs.append_routine("one", vec![MicroOp::Halt]);
+        let b = cs.append_routine("two", vec![MicroOp::Ret, MicroOp::Halt]);
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(cs.symbol("one"), Some(0));
+        assert_eq!(cs.symbol("two"), Some(1));
+        assert_eq!(cs.word(1), MicroOp::Ret);
+        assert_eq!(cs.len(), 3);
+    }
+
+    #[test]
+    fn patch_words_counts_post_stock_appends() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("stockish", vec![MicroOp::Halt]);
+        cs.finish_stock(0, [0; Entry::COUNT], [0; 256], [[0; 16]; 4]);
+        assert_eq!(cs.patch_words(), 0);
+        cs.append_routine("patch", vec![MicroOp::Ret, MicroOp::Ret]);
+        assert_eq!(cs.patch_words(), 2);
+        assert_eq!(cs.stock_len(), 1);
+    }
+
+    #[test]
+    fn entry_repointing() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("a", vec![MicroOp::Halt, MicroOp::Halt]);
+        cs.set_entry(Entry::XferRead, 1);
+        assert_eq!(cs.entry(Entry::XferRead), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of store")]
+    fn entry_out_of_range_panics() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("a", vec![MicroOp::Halt]);
+        cs.set_entry(Entry::Fetch, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate micro-symbol")]
+    fn duplicate_symbol_panics() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("x", vec![MicroOp::Halt]);
+        cs.append_routine("x", vec![MicroOp::Halt]);
+    }
+
+    #[test]
+    fn dispatch_tables() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("a", vec![MicroOp::Jump(Target::Abs(0)), MicroOp::Halt]);
+        cs.set_opcode_target(0x12, 1);
+        assert_eq!(cs.opcode_target(0x12), 1);
+        cs.set_spec_target(SpecTable::Read, 5, 1);
+        assert_eq!(cs.spec_target(SpecTable::Read, 5), 1);
+        assert_eq!(cs.spec_target(SpecTable::Read, 6), 0);
+    }
+}

@@ -1,0 +1,490 @@
+//! Micro-operations, micro-registers, ALU operations and conditions.
+//!
+//! The micro-instruction set is vertical: one operation per control-store
+//! word, with an implicit fall-through to the next word plus explicit
+//! jumps, calls and dispatches. This matches the flavour of the VAX 8200's
+//! microcode closely enough for the tracing argument to carry over, while
+//! staying simple enough to execute at tens of millions of micro-ops per
+//! second on the host.
+
+use atum_arch::DataSize;
+use std::fmt;
+
+/// A micro-register — the micro-engine's datapath storage.
+///
+/// `Gpr(15)` is the architectural PC; writing it through [`MicroOp::Mov`]
+/// or [`MicroOp::Alu`] invalidates the instruction prefetch buffer (the
+/// engine enforces this), while [`MicroOp::AdvancePc`] does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroReg {
+    /// Architectural general register `R0`–`R15`.
+    Gpr(u8),
+    /// Micro-temporary `T0`–`T15`. Conventions used by the stock microcode:
+    /// `T0` = specifier result (value or address), `T1` = value to write,
+    /// `T2`/`T3` = specifier scratch, `T4`–`T6` = write-back descriptor
+    /// (is-register flag, register number, address), `T7`–`T15` =
+    /// instruction-level saves.
+    T(u8),
+    /// Memory address register (input to `Read`/`Write`/`Phys*`).
+    Mar,
+    /// Memory data register (output of reads, input to writes).
+    Mdr,
+    /// The architectural PSL image.
+    Psl,
+    /// The current operand-specifier byte.
+    Spec,
+    /// The current opcode byte.
+    OpReg,
+    /// Dynamic register-number latch; `GprIdx` indexes through it.
+    RegNum,
+    /// The GPR selected by `RegNum` (both readable and writable).
+    GprIdx,
+    /// Operand size in bytes (1/2/4), set by [`MicroOp::SetSize`]. Read-only.
+    OSizeBytes,
+    /// Mask for the current operand size (0xFF/0xFFFF/0xFFFF_FFFF). Read-only.
+    OSizeMask,
+    /// Instruction-buffer data longword (managed by the ifetch microcode).
+    IbData,
+    /// Instruction-buffer valid byte count.
+    IbCnt,
+    /// Exception vector latch (set by the engine on faults, readable and
+    /// writable by microcode).
+    ExcVec,
+    /// Exception parameter latch.
+    ExcParam,
+    /// Exception flags latch: bit 0 = has parameter, bit 1 = set IPL from
+    /// `ExcIpl` (interrupts).
+    ExcFlags,
+    /// Patch scratch `P0`–`P7`: micro-temporaries the stock microcode never
+    /// touches, reserved for control-store patches (the 8200 had spare
+    /// micro-scratch registers; ATUM's patches lived in them).
+    P(u8),
+    /// PC value to push for the pending exception.
+    ExcPc,
+    /// New IPL for interrupt entry.
+    ExcIpl,
+    /// An immediate constant (source only).
+    Imm(u32),
+}
+
+impl MicroReg {
+    /// Whether this register can be a destination.
+    pub fn is_writable(self) -> bool {
+        !matches!(self, MicroReg::Imm(_) | MicroReg::OSizeBytes | MicroReg::OSizeMask)
+    }
+}
+
+impl fmt::Display for MicroReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MicroReg::Gpr(n) => write!(f, "r{n}"),
+            MicroReg::T(n) => write!(f, "t{n}"),
+            MicroReg::Mar => f.write_str("mar"),
+            MicroReg::Mdr => f.write_str("mdr"),
+            MicroReg::Psl => f.write_str("psl"),
+            MicroReg::Spec => f.write_str("spec"),
+            MicroReg::OpReg => f.write_str("opreg"),
+            MicroReg::RegNum => f.write_str("regnum"),
+            MicroReg::GprIdx => f.write_str("gpr[regnum]"),
+            MicroReg::OSizeBytes => f.write_str("osize"),
+            MicroReg::OSizeMask => f.write_str("omask"),
+            MicroReg::IbData => f.write_str("ibdata"),
+            MicroReg::IbCnt => f.write_str("ibcnt"),
+            MicroReg::ExcVec => f.write_str("excvec"),
+            MicroReg::ExcParam => f.write_str("excparam"),
+            MicroReg::ExcFlags => f.write_str("excflags"),
+            MicroReg::P(n) => write!(f, "p{n}"),
+            MicroReg::ExcPc => f.write_str("excpc"),
+            MicroReg::ExcIpl => f.write_str("excipl"),
+            MicroReg::Imm(v) => write!(f, "#{v:#x}"),
+        }
+    }
+}
+
+/// ALU operations. Results are masked to the operation's [`DataSize`];
+/// micro-flags (Z/N/C/V at that size) latch after every ALU op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// `a + b`
+    Add,
+    /// `a - b` (also the comparison op: flags as VAX `CMP`).
+    Sub,
+    /// `b - a` (reverse subtract, matches `subl3 a, b, dst`).
+    RSub,
+    /// `a * b` (V on signed overflow).
+    Mul,
+    /// `b / a` signed (micro divide-by-zero flag when `a == 0`).
+    Div,
+    /// `b % a` signed.
+    Rem,
+    /// `a & b`
+    And,
+    /// `a & !b` (VAX `BIC` with operands as `bicl2 mask, dst`: `dst & !mask`
+    /// is computed as `And` with complement; this op is `b & !a`).
+    BicR,
+    /// `a | b`
+    Or,
+    /// `a ^ b`
+    Xor,
+    /// `b` shifted by signed count `a`: positive left, negative arithmetic
+    /// right (the VAX `ASH` rule).
+    Ash,
+    /// `b >> a` logical (micro-level helper).
+    Lsr,
+    /// `b << a` logical (micro-level helper).
+    Lsl,
+    /// Pass `b` through (sets flags; `a` ignored).
+    Pass,
+    /// `!b`
+    Not,
+    /// `0 - b`
+    Neg,
+    /// Sign-extend low byte of `b`.
+    SextB,
+    /// Sign-extend low word of `b`.
+    SextW,
+}
+
+/// How an ALU op updates the architectural condition codes in the PSL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CcEffect {
+    /// PSL untouched (micro-flags still latch).
+    None,
+    /// N and Z from the result; V cleared; C preserved (VAX move/logical).
+    Logic,
+    /// N, Z, V, C all from the operation (VAX add/sub).
+    Arith,
+    /// Like `Arith` but C is the *borrow* convention used by VAX `CMP`
+    /// (C = unsigned a < b for `Sub a-b`).
+    Cmp,
+    /// N and Z from the result; V and C cleared (VAX `TST`).
+    Test,
+}
+
+/// Selects the size of a memory micro-transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeSel {
+    /// Fixed size.
+    Fixed(DataSize),
+    /// The size set by the last [`MicroOp::SetSize`].
+    OSize,
+}
+
+/// Classification of a memory reference, as recorded in trace records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RefClass {
+    /// Instruction-stream fetch.
+    IFetch,
+    /// Data read.
+    DataRead,
+    /// Data write.
+    DataWrite,
+}
+
+/// Micro-branch conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroCond {
+    /// Last ALU result was zero.
+    UZero,
+    /// Last ALU result was nonzero.
+    UNotZero,
+    /// Last ALU result was negative (at its size).
+    UNeg,
+    /// Last ALU result was non-negative.
+    UPos,
+    /// Last ALU op carried/borrowed.
+    UCarry,
+    /// Last ALU op did not carry.
+    UNoCarry,
+    /// Last ALU op overflowed (signed).
+    UOvf,
+    /// Last ALU divide had a zero divisor.
+    UDivZero,
+    /// Signed less-than from the last subtract (N xor V).
+    USLess,
+    /// Signed less-or-equal from the last subtract ((N xor V) or Z).
+    USLeq,
+    /// `RegNum` latch holds 15 (the PC).
+    RegNumIsPc,
+    /// The CPU is in user mode.
+    UserMode,
+    /// The CPU is in kernel mode.
+    KernelMode,
+    /// Architectural Z set (`beql`).
+    ArchEql,
+    /// Architectural Z clear (`bneq`).
+    ArchNeq,
+    /// Signed greater (`bgtr`): !(N | Z).
+    ArchGtr,
+    /// Signed less-or-equal (`bleq`): N | Z.
+    ArchLeq,
+    /// Signed greater-or-equal (`bgeq`): !N.
+    ArchGeq,
+    /// Signed less (`blss`): N.
+    ArchLss,
+    /// Unsigned greater (`bgtru`): !(C | Z).
+    ArchGtru,
+    /// Unsigned less-or-equal (`blequ`): C | Z.
+    ArchLequ,
+    /// V set (`bvs`).
+    ArchVs,
+    /// V clear (`bvc`).
+    ArchVc,
+    /// C set (`bcs`).
+    ArchCs,
+    /// C clear (`bcc`).
+    ArchCc,
+}
+
+/// A micro-jump target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Target {
+    /// Absolute control-store address (what the assembler resolves to).
+    Abs(u32),
+    /// Indirect through the entry-point table — the patchable indirection.
+    Entry(Entry),
+}
+
+/// Patchable entry points. The control store holds one address per entry;
+/// `Target::Entry` jumps/calls read the slot at execution time, so
+/// repointing a slot reroutes every use at once. These are the hooks ATUM
+/// uses (plus opcode-dispatch patching for `ldpctx`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Entry {
+    /// Start of instruction processing (fetch + opcode dispatch).
+    Fetch,
+    /// Exception/interrupt micro-entry (engine jumps here on faults).
+    ExcDispatch,
+    /// Data-read transfer: `[MAR] → MDR` at `OSize`… the ATUM read hook.
+    XferRead,
+    /// Data-write transfer: `MDR → [MAR]`… the ATUM write hook.
+    XferWrite,
+    /// Instruction-stream longword fetch into the prefetch buffer… the
+    /// ATUM instruction-fetch hook.
+    XferIFetch,
+}
+
+impl Entry {
+    /// Number of entry slots.
+    pub const COUNT: usize = 5;
+
+    /// All entries.
+    pub const ALL: [Entry; Entry::COUNT] = [
+        Entry::Fetch,
+        Entry::ExcDispatch,
+        Entry::XferRead,
+        Entry::XferWrite,
+        Entry::XferIFetch,
+    ];
+
+    /// The slot index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The conventional symbol name of the stock routine behind this entry.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Entry::Fetch => "fetch.insn",
+            Entry::ExcDispatch => "exc.entry",
+            Entry::XferRead => "xfer.read",
+            Entry::XferWrite => "xfer.write",
+            Entry::XferIFetch => "xfer.ifetch",
+        }
+    }
+}
+
+/// The four specifier dispatch tables (one per access type). Each maps the
+/// specifier high nibble (0–15) to a micro-address; they are patchable like
+/// everything else in the control store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SpecTable {
+    /// Operand value is read.
+    Read,
+    /// Operand is written (value in `T1`).
+    Write,
+    /// Operand is read and later written back.
+    Modify,
+    /// Operand address is computed.
+    Addr,
+}
+
+impl SpecTable {
+    /// Number of tables.
+    pub const COUNT: usize = 4;
+
+    /// The table index.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Faults microcode can raise explicitly (memory faults come from the
+/// `Read`/`Write` micro-ops instead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Unassigned opcode.
+    ReservedInstruction,
+    /// Reserved operand value.
+    ReservedOperand,
+    /// Reserved addressing mode / mode invalid for access type.
+    ReservedAddrMode,
+    /// Privileged instruction in user mode.
+    Privileged,
+    /// Arithmetic trap; type code in `ExcParam`.
+    Arithmetic,
+    /// `chmk` trap; code in `ExcParam`.
+    Chmk,
+    /// `bpt` trap.
+    Breakpoint,
+}
+
+/// One micro-operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// `dst ← src` (full 32 bits).
+    Mov {
+        /// Source.
+        src: MicroReg,
+        /// Destination.
+        dst: MicroReg,
+    },
+    /// ALU operation: `dst ← a op b`, masked to `size`; micro-flags latch;
+    /// `cc` controls the PSL condition codes.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// First input.
+        a: MicroReg,
+        /// Second input.
+        b: MicroReg,
+        /// Destination.
+        dst: MicroReg,
+        /// PSL condition-code effect.
+        cc: CcEffect,
+        /// Operation size.
+        size: DataSize,
+    },
+    /// Latches the operand size (`OSizeBytes`/`OSizeMask` and
+    /// [`SizeSel::OSize`] transfers).
+    SetSize(DataSize),
+    /// Latches the operand size from a register holding 1, 2 or 4 (used to
+    /// restore the size around pointer indirections). Any other value is a
+    /// machine check.
+    SetSizeDyn(MicroReg),
+    /// Virtual-memory read: `MDR ← [MAR]`, zero-extended. Faults abort the
+    /// instruction into the exception micro-flow.
+    Read {
+        /// Reference classification (for tracing).
+        class: RefClass,
+        /// Transfer size.
+        size: SizeSel,
+    },
+    /// Virtual-memory write: `[MAR] ← MDR` (low bytes).
+    Write {
+        /// Transfer size.
+        size: SizeSel,
+    },
+    /// Physical longword read: `MDR ← phys[MAR]`. Used by microcode for
+    /// SCB/PCB accesses and by the ATUM patch to manage its buffer.
+    PhysRead,
+    /// Physical longword write: `phys[MAR] ← MDR`. The ATUM patch's store.
+    PhysWrite,
+    /// Unconditional micro-jump.
+    Jump(Target),
+    /// Conditional micro-jump.
+    JumpIf {
+        /// Condition.
+        cond: MicroCond,
+        /// Target when true.
+        target: Target,
+    },
+    /// Micro-subroutine call (micro-stack, depth-limited).
+    Call(Target),
+    /// Return from micro-subroutine.
+    Ret,
+    /// Jump through the opcode dispatch table on `OpReg`.
+    DispatchOpcode,
+    /// Jump through a specifier dispatch table on `Spec`'s high nibble.
+    DispatchSpec(SpecTable),
+    /// End of architectural instruction: commit side effects, honour trace
+    /// traps and pending interrupts, continue at `Entry::Fetch`.
+    DecodeNext,
+    /// `PC ← PC + 1` without invalidating the prefetch buffer (the ifetch
+    /// path's private increment).
+    AdvancePc,
+    /// Raise a fault/trap from microcode.
+    Fault(FaultKind),
+    /// `dst ← privileged register[num]`.
+    ReadPr {
+        /// Register number source.
+        num: MicroReg,
+        /// Destination.
+        dst: MicroReg,
+    },
+    /// `privileged register[num] ← src` (with device side effects).
+    WritePr {
+        /// Register number source.
+        num: MicroReg,
+        /// Value source.
+        src: MicroReg,
+    },
+    /// Invalidate the whole translation buffer.
+    TbFlushAll,
+    /// Invalidate per-process translation-buffer entries (context switch).
+    TbFlushProc,
+    /// Halt the processor (host regains control).
+    Halt,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_is_not_writable() {
+        assert!(!MicroReg::Imm(0).is_writable());
+        assert!(!MicroReg::OSizeBytes.is_writable());
+        assert!(MicroReg::Gpr(3).is_writable());
+        assert!(MicroReg::GprIdx.is_writable());
+    }
+
+    #[test]
+    fn entry_indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for e in Entry::ALL {
+            assert!(e.index() < Entry::COUNT);
+            assert!(seen.insert(e.index()));
+        }
+    }
+
+    #[test]
+    fn entry_symbols_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for e in Entry::ALL {
+            assert!(seen.insert(e.symbol()));
+        }
+    }
+
+    #[test]
+    fn spec_table_indices() {
+        assert_eq!(SpecTable::Read.index(), 0);
+        assert_eq!(SpecTable::Addr.index(), 3);
+        const { assert!(SpecTable::COUNT == 4) };
+    }
+
+    #[test]
+    fn micro_reg_display_nonempty() {
+        for r in [
+            MicroReg::Gpr(0),
+            MicroReg::T(7),
+            MicroReg::Mar,
+            MicroReg::GprIdx,
+            MicroReg::Imm(5),
+        ] {
+            assert!(!r.to_string().is_empty());
+        }
+    }
+}

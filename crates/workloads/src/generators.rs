@@ -1,0 +1,659 @@
+//! The workload generators and their Rust mirrors.
+//!
+//! Each generator emits SVX assembly *and* computes the expected checksum
+//! by mirroring the algorithm in Rust with identical wrapping arithmetic.
+
+use crate::{fold, lcg, Workload, EPILOGUE, FOLD_AND_PRINT};
+
+/// Dense integer matrix multiply (`n × n`), the numeric/"circuit
+/// simulator" analogue: long sequential sweeps with high spatial locality.
+pub fn matrix(name: &str, n: u32) -> Workload {
+    assert!((2..=64).contains(&n), "matrix size out of range");
+    let source = format!(
+        r#"
+start:
+        ; init A[i][j] = i + 2j ; B[i][j] = i*j + 1
+        clrl    r2
+init_i: clrl    r3
+init_j: mull3   #{n}, r2, r4
+        addl2   r3, r4
+        ashl    #2, r4, r4
+        moval   A, r5
+        addl2   r4, r5
+        ashl    #1, r3, r6
+        addl3   r2, r6, r7
+        movl    r7, (r5)
+        moval   B, r5
+        addl2   r4, r5
+        mull3   r2, r3, r7
+        incl    r7
+        movl    r7, (r5)
+        aoblss  #{n}, r3, init_j
+        aoblss  #{n}, r2, init_i
+
+        ; C = A × B
+        clrl    r2
+mul_i:  clrl    r3
+mul_j:  clrl    r8
+        clrl    r4
+mul_k:  mull3   #{n}, r2, r5
+        addl2   r4, r5
+        ashl    #2, r5, r5
+        moval   A, r6
+        addl2   r5, r6
+        movl    (r6), r7
+        mull3   #{n}, r4, r5
+        addl2   r3, r5
+        ashl    #2, r5, r5
+        moval   B, r6
+        addl2   r5, r6
+        mull2   (r6), r7
+        addl2   r7, r8
+        aoblss  #{n}, r4, mul_k
+        mull3   #{n}, r2, r5
+        addl2   r3, r5
+        ashl    #2, r5, r5
+        moval   C, r6
+        addl2   r5, r6
+        movl    r8, (r6)
+        aoblss  #{n}, r3, mul_j
+        aoblss  #{n}, r2, mul_i
+
+        ; checksum: xor of C
+        clrl    r8
+        movl    #{nn}, r2
+        moval   C, r3
+cksum:  xorl2   (r3)+, r8
+        sobgtr  r2, cksum
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+A:      .space {bytes}
+B:      .space {bytes}
+C:      .space {bytes}
+"#,
+        nn = n * n,
+        bytes = n * n * 4,
+    );
+
+    // Rust mirror.
+    let n = n as usize;
+    let mut a = vec![0u32; n * n];
+    let mut b = vec![0u32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = (i + 2 * j) as u32;
+            b[i * n + j] = (i * j + 1) as u32;
+        }
+    }
+    let mut check = 0u32;
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u32;
+            for k in 0..n {
+                acc = acc.wrapping_add(a[i * n + k].wrapping_mul(b[k * n + j]));
+            }
+            check ^= acc;
+        }
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+/// Pointer chasing over a scattered cycle — the "Lisp runtime" analogue:
+/// one dependent load per step, poor spatial locality.
+pub fn list_chase(name: &str, nodes: u32, iters: u32) -> Workload {
+    assert!(nodes >= 4, "too few nodes");
+    // Stride must be coprime with the node count for a single cycle.
+    let stride = {
+        let mut s = nodes / 2 + 1;
+        while gcd(s, nodes) != 1 {
+            s += 1;
+        }
+        s
+    };
+    let source = format!(
+        r#"
+start:
+        ; node[j]: next ← &node[(j + {stride}) mod {nodes}], value ← j
+        clrl    r2
+init:   addl3   #{stride}, r2, r3
+        cmpl    r3, #{nodes}
+        blss    1f
+        subl2   #{nodes}, r3
+1:      ashl    #3, r3, r4
+        moval   nodes, r5
+        addl2   r4, r5
+        ashl    #3, r2, r4
+        moval   nodes, r6
+        addl2   r4, r6
+        movl    r5, (r6)
+        movl    r2, 4(r6)
+        aoblss  #{nodes}, r2, init
+
+        ; chase
+        moval   nodes, r1
+        clrl    r8
+        movl    #{iters}, r2
+chase:  addl2   4(r1), r8
+        movl    (r1), r1
+        sobgtr  r2, chase
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+nodes:  .space {bytes}
+"#,
+        bytes = nodes * 8,
+    );
+
+    // Rust mirror.
+    let mut sum = 0u32;
+    let mut j = 0u32;
+    for _ in 0..iters {
+        sum = sum.wrapping_add(j);
+        j = (j + stride) % nodes;
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(sum)),
+    }
+}
+
+fn gcd(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// Byte scanning with branchy classification — the "compiler front end"
+/// analogue: sequential byte loads, heavy conditional branching.
+pub fn lexer(name: &str, text_len: u32, passes: u32) -> Workload {
+    assert!(text_len >= 16 && passes >= 1);
+    let source = format!(
+        r#"
+start:
+        ; synthesise "text": letters with embedded spaces
+        movl    #1, r7
+        moval   buf, r1
+        movl    #{text_len}, r2
+fill:   mull2   #1103515245, r7
+        addl2   #12345, r7
+        ashl    #-16, r7, r3
+        bicl3   #0xFFFFFFE0, r3, r4
+        cmpl    r4, #26
+        blss    1f
+        movb    #32, (r1)+
+        brb     2f
+1:      addl2   #97, r4
+        movb    r4, (r1)+
+2:      sobgtr  r2, fill
+
+        ; scan {passes} pass(es): count words, sum bytes
+        clrl    r8
+        movl    #{passes}, r9
+pass:   moval   buf, r1
+        movl    #{text_len}, r2
+        clrl    r5
+        clrl    r6
+        clrl    r7
+scan:   movzbl  (r1)+, r3
+        addl2   r3, r6
+        cmpl    r3, #32
+        beql    sc_sp
+        tstl    r7
+        bneq    sc_nx
+        incl    r5
+        movl    #1, r7
+        brb     sc_nx
+sc_sp:  clrl    r7
+sc_nx:  sobgtr  r2, scan
+        mull3   #7, r5, r3
+        addl2   r3, r8
+        addl2   r6, r8
+        sobgtr  r9, pass
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+buf:    .space {text_len}
+"#,
+    );
+
+    // Rust mirror.
+    let mut x = 1u32;
+    let mut text = Vec::with_capacity(text_len as usize);
+    for _ in 0..text_len {
+        x = lcg(x);
+        let v = (x >> 16) & 31;
+        text.push(if v >= 26 { 32u8 } else { 97 + v as u8 });
+    }
+    let mut check = 0u32;
+    for _ in 0..passes {
+        let mut words = 0u32;
+        let mut sum = 0u32;
+        let mut in_word = false;
+        for &c in &text {
+            sum = sum.wrapping_add(c as u32);
+            if c == 32 {
+                in_word = false;
+            } else if !in_word {
+                words += 1;
+                in_word = true;
+            }
+        }
+        check = check.wrapping_add(words.wrapping_mul(7)).wrapping_add(sum);
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+/// Shellsort over pseudo-random longs — gap-strided array traffic.
+pub fn sort(name: &str, n: u32) -> Workload {
+    assert!(n >= 4);
+    let source = format!(
+        r#"
+start:
+        ; fill with LCG values
+        movl    #7, r7
+        moval   arr, r1
+        movl    #{n}, r2
+fill:   mull2   #1103515245, r7
+        addl2   #12345, r7
+        movl    r7, (r1)+
+        sobgtr  r2, fill
+
+        ; shellsort
+        movl    #{n}, r9
+        ashl    #-1, r9, r9
+gaploop:
+        tstl    r9
+        beql    sorted
+        movl    r9, r2
+outer:  cmpl    r2, #{n}
+        bgeq    gapnext
+        ashl    #2, r2, r3
+        moval   arr, r4
+        addl2   r3, r4
+        movl    (r4), r5
+        movl    r2, r6
+inner:  cmpl    r6, r9
+        blss    insert
+        subl3   r9, r6, r7
+        ashl    #2, r7, r8
+        moval   arr, r10
+        addl2   r8, r10
+        cmpl    (r10), r5
+        bleq    insert
+        ashl    #2, r6, r8
+        moval   arr, r11
+        addl2   r8, r11
+        movl    (r10), (r11)
+        movl    r7, r6
+        brb     inner
+insert: ashl    #2, r6, r8
+        moval   arr, r10
+        addl2   r8, r10
+        movl    r5, (r10)
+        incl    r2
+        brb     outer
+gapnext:
+        ashl    #-1, r9, r9
+        brb     gaploop
+sorted:
+        ; checksum: min xor max xor median
+        movl    arr, r8
+        xorl2   arr+{last_off}, r8
+        xorl2   arr+{mid_off}, r8
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+arr:    .space {bytes}
+"#,
+        last_off = (n - 1) * 4,
+        mid_off = (n / 2) * 4,
+        bytes = n * 4,
+    );
+
+    // Rust mirror (signed sort, like the assembly's cmpl/bleq).
+    let mut x = 7u32;
+    let mut arr: Vec<i32> = (0..n)
+        .map(|_| {
+            x = lcg(x);
+            x as i32
+        })
+        .collect();
+    arr.sort_unstable();
+    let check =
+        (arr[0] as u32) ^ (arr[(n - 1) as usize] as u32) ^ (arr[(n / 2) as usize] as u32);
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+/// Repeated `movc3` block moves — the I/O-staging analogue and a heavy
+/// exercise of the microcoded string loop.
+pub fn block_copy(name: &str, block: u32, iters: u32) -> Workload {
+    assert!(block >= 16 && iters >= 1);
+    let source = format!(
+        r#"
+start:
+        ; fill the source block
+        movl    #99, r7
+        moval   src, r1
+        movl    #{block}, r2
+fill:   mull2   #1103515245, r7
+        addl2   #12345, r7
+        ashl    #-16, r7, r3
+        movb    r3, (r1)+
+        sobgtr  r2, fill
+
+        ; copy back and forth (movc3 clobbers r0-r5)
+        movl    #{iters}, r6
+cp:     movc3   #{block}, src, dst
+        movc3   #{block}, dst, src
+        sobgtr  r6, cp
+
+        ; checksum: xor of destination bytes
+        clrl    r8
+        moval   dst, r1
+        movl    #{block}, r2
+ck:     movzbl  (r1)+, r3
+        xorl2   r3, r8
+        sobgtr  r2, ck
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+src:    .space {block}
+dst:    .space {block}
+"#,
+    );
+
+    // Rust mirror: the copies do not change the data, so the checksum is
+    // the xor of the filled block.
+    let mut x = 99u32;
+    let mut check = 0u32;
+    for _ in 0..block {
+        x = lcg(x);
+        check ^= (x >> 16) & 0xFF;
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+/// Recursive Fibonacci through `calls`/`ret` — deep stack traffic and the
+/// procedure-call microcode.
+pub fn fib_recursive(name: &str, n: u32) -> Workload {
+    assert!(n <= 24, "keep the run time sane");
+    let source = format!(
+        r#"
+start:
+        pushl   #{n}
+        calls   #1, fib
+        movl    r0, r8
+{FOLD_AND_PRINT}
+
+fib:    .word   0b1100          ; saves r2, r3
+        movl    4(ap), r2
+        cmpl    r2, #2
+        bgeq    1f
+        movl    r2, r0
+        ret
+1:      subl3   #1, r2, r3
+        pushl   r3
+        calls   #1, fib
+        movl    r0, r3
+        subl2   #2, r2
+        pushl   r2
+        calls   #1, fib
+        addl2   r3, r0
+        ret
+{EPILOGUE}
+"#,
+    );
+
+    fn fib(n: u32) -> u32 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1).wrapping_add(fib(n - 2))
+        }
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(fib(n))),
+    }
+}
+
+/// Binary-search over a sorted table — the "database/index lookup"
+/// analogue: log-depth dependent accesses with scattered locality.
+pub fn binary_search(name: &str, n: u32, lookups: u32) -> Workload {
+    assert!(n >= 8 && n.is_power_of_two(), "table size must be a power of two");
+    let source = format!(
+        r#"
+start:
+        ; build a sorted table: arr[i] = 3*i + 1
+        clrl    r2
+        moval   arr, r1
+fill:   mull3   #3, r2, r3
+        incl    r3
+        movl    r3, (r1)+
+        aoblss  #{n}, r2, fill
+
+        ; look up LCG-chosen keys; count hits
+        movl    #42, r7           ; LCG state
+        clrl    r8                ; hit counter / checksum accumulator
+        movl    #{lookups}, r9
+next:   mull2   #1103515245, r7
+        addl2   #12345, r7
+        ashl    #-16, r7, r3
+        bicl3   #0xFFFF0000, r3, r3
+        ; key = r3 % (3n) approximated by masking to < 4n then compare
+        bicl3   #{keymask_inv}, r3, r3
+        ; binary search for key r3 in arr[0..n)
+        clrl    r4                ; lo
+        movl    #{n}, r5          ; hi (exclusive)
+search: cmpl    r4, r5
+        bgeq    miss
+        addl3   r4, r5, r6
+        ashl    #-1, r6, r6       ; mid
+        ashl    #2, r6, r0
+        moval   arr, r1
+        addl2   r0, r1
+        cmpl    (r1), r3
+        beql    hit
+        blss    golow
+        movl    r6, r5            ; arr[mid] > key: hi = mid
+        brb     search
+golow:  addl3   #1, r6, r4        ; lo = mid + 1
+        brb     search
+hit:    incl    r8
+        addl2   r6, r8            ; fold the found index in
+miss:   sobgtr  r9, next
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+arr:    .space {bytes}
+"#,
+        keymask_inv = format_args!("{:#x}", !(4 * n - 1)),
+        bytes = n * 4,
+    );
+
+    // Rust mirror.
+    let mut x = 42u32;
+    let arr: Vec<u32> = (0..n).map(|i| 3 * i + 1).collect();
+    let mut check = 0u32;
+    for _ in 0..lookups {
+        x = lcg(x);
+        let key = ((x >> 16) & 0xFFFF) & (4 * n - 1);
+        let mut lo = 0u32;
+        let mut hi = n;
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match arr[mid as usize].cmp(&key) {
+                std::cmp::Ordering::Equal => {
+                    check = check.wrapping_add(1).wrapping_add(mid);
+                    break;
+                }
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Less => lo = mid + 1,
+            }
+        }
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+/// A queue-discipline simulation built on the microcoded `insque`/
+/// `remque` — the "kernel data structure" analogue (VMS schedulers lived
+/// on these instructions).
+pub fn queue_sim(name: &str, nodes: u32, ops: u32) -> Workload {
+    assert!((2..=64).contains(&nodes));
+    let source = format!(
+        r#"
+start:
+        ; head is a self-linked empty queue
+        moval   head, r6
+        movl    r6, (r6)
+        movl    r6, 4(r6)
+        ; insert all nodes after head, stamping values
+        clrl    r2
+init:   ashl    #4, r2, r3        ; 16-byte nodes
+        moval   pool, r4
+        addl2   r3, r4
+        movl    r2, 8(r4)         ; value field
+        insque  (r4), (r6)
+        aoblss  #{nodes}, r2, init
+
+        ; rotate: remove the front entry (head's successor), fold its
+        ; value, re-insert at the front or the back by the LCG's low bit
+        movl    #7, r7            ; LCG
+        clrl    r8
+        movl    #{ops}, r9
+rot:    movl    (r6), r4          ; front entry address
+        remque  (r4), r1          ; r1 = removed entry
+        addl2   8(r1), r8         ; fold its value
+        mull2   #1103515245, r7
+        addl2   #12345, r7
+        blbs    r7, front
+        movl    4(r6), r5         ; head's predecessor = back of queue
+        insque  (r1), (r5)        ; re-insert at the back
+        brb     1f
+front:  insque  (r1), (r6)        ; re-insert at the front
+1:      sobgtr  r9, rot
+{FOLD_AND_PRINT}
+{EPILOGUE}
+        .align 4
+head:   .long 0, 0
+pool:   .space {bytes}
+"#,
+        bytes = nodes * 16,
+    );
+
+    // Rust mirror: a deque of node values; remove front, fold, re-insert
+    // at front or back depending on the LCG's low bit.
+    use std::collections::VecDeque;
+    // insque (r4), (r6) inserts after head: the queue is LIFO from the
+    // front. After init the front is node nodes-1 … back is node 0.
+    let mut q: VecDeque<u32> = (0..nodes).rev().collect();
+    let mut x = 7u32;
+    let mut check = 0u32;
+    for _ in 0..ops {
+        let v = q.pop_front().expect("queue never empties");
+        check = check.wrapping_add(v);
+        x = lcg(x);
+        if x & 1 != 0 {
+            q.push_front(v);
+        } else {
+            q.push_back(v);
+        }
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_coprime() {
+        for nodes in [4u32, 64, 100, 1024, 2048] {
+            let w = list_chase("x", nodes, 10);
+            assert!(!w.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn mirrors_are_deterministic() {
+        assert_eq!(matrix("a", 6), matrix("a", 6));
+        assert_eq!(sort("s", 64), sort("s", 64));
+    }
+
+    #[test]
+    fn fib_expected_value() {
+        // fib(12) = 144 → fold(144) = 0x90.
+        assert_eq!(fib_recursive("f", 12).expected_output, "90");
+    }
+}
+
+/// Strided writes and sums across the demand-zero heap — the "process
+/// with dynamic memory" analogue: every first touch of a page is a
+/// kernel page-fault service visible in complete traces.
+pub fn heap_walk(name: &str, pages: u32, passes: u32) -> Workload {
+    assert!(pages >= 1 && passes >= 1);
+    let heap = 0x0010_0000u32; // atum_os::USER_HEAP_VA
+    let source = format!(
+        r#"
+start:
+        ; pass 1 writes fault every page in; later passes are warm
+        clrl    r8
+        movl    #{passes}, r9
+pass:   movl    #{heap:#x}, r6
+        movl    #{pages}, r7
+page:   movl    r7, (r6)          ; first touch faults the page in
+        addl2   #4, r6
+        movl    r9, (r6)
+        addl2   (r6), r8
+        subl2   #4, r6
+        addl2   (r6), r8
+        addl2   #512, r6
+        sobgtr  r7, page
+        sobgtr  r9, pass
+{FOLD_AND_PRINT}
+{EPILOGUE}
+"#,
+    );
+
+    // Rust mirror.
+    let mut check = 0u32;
+    for pass in (1..=passes).rev() {
+        for page in (1..=pages).rev() {
+            check = check.wrapping_add(pass).wrapping_add(page);
+        }
+    }
+    Workload {
+        name: name.to_string(),
+        source,
+        expected_output: format!("{:02x}", fold(check)),
+    }
+}

@@ -1,0 +1,181 @@
+//! # atum-workloads — parametric SVX benchmark programs
+//!
+//! Synthetic stand-ins for the paper's VMS workloads, chosen for their
+//! *locality structure* rather than their function:
+//!
+//! | Workload | Paper analogue | Behaviour |
+//! |---|---|---|
+//! | [`matrix`] | circuit simulator / numeric code | dense row-major array sweeps |
+//! | [`list_chase`] | Lisp runtime | pointer chasing over a scattered cycle |
+//! | [`lexer`] | compiler front end | byte scanning, branchy classification |
+//! | [`sort`] | utility / sort phase | shellsort with gap-strided accesses |
+//! | [`block_copy`] | I/O staging | `movc3` block moves |
+//! | [`fib_recursive`] | call-heavy code | deep `calls`/`ret` recursion |
+//! | [`binary_search`] | index lookups | log-depth dependent probes |
+//! | [`queue_sim`] | kernel queues | microcoded `insque`/`remque` churn |
+//! | [`heap_walk`] | dynamic memory | demand-zero page faults + strided heap traffic |
+//!
+//! Every workload is **self-checking**: the program computes a checksum
+//! on the simulated machine and prints it as two hex digits via the MOSS
+//! `putc` syscall; [`Workload::expected_output`] holds the value computed
+//! by a Rust mirror of the same algorithm. A mismatch means the machine,
+//! microcode, assembler or kernel miscomputed — so every experiment run
+//! doubles as a correctness test of the whole stack.
+//!
+//! ```
+//! use atum_machine::Machine;
+//!
+//! let w = atum_workloads::matrix("m", 6);
+//! let image = atum_os::BootImage::builder().user_program(&w.source).build().unwrap();
+//! let mut m = Machine::new(image.memory_layout());
+//! image.load_into(&mut m).unwrap();
+//! m.run_until_halt(200_000_000).unwrap();
+//! assert_eq!(String::from_utf8(m.take_console_output()).unwrap(), w.expected_output);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+
+pub use generators::{
+    binary_search, block_copy, fib_recursive, heap_walk, lexer, list_chase, matrix, queue_sim,
+    sort,
+};
+
+/// A generated workload: source, identity and its expected console
+/// output (the self-check checksum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Short name used in reports.
+    pub name: String,
+    /// SVX assembly source (loaded at the MOSS user base).
+    pub source: String,
+    /// Expected console output (two lowercase hex digits).
+    pub expected_output: String,
+}
+
+/// The shared epilogue: prints the low byte of `r0` as two hex digits and
+/// exits. Programs `brw print_exit` with the folded checksum in `r0`.
+pub(crate) const EPILOGUE: &str = r#"
+; ── shared epilogue: print r0 (byte) as hex, exit ──────────────────────
+print_exit:
+        movzbl  r0, r9
+        ashl    #-4, r9, r0
+        bicl2   #0xFFFFFFF0, r0
+        moval   hexdigits, r1
+        addl2   r0, r1
+        movzbl  (r1), r0
+        chmk    #1
+        bicl3   #0xFFFFFFF0, r9, r0
+        moval   hexdigits, r1
+        addl2   r0, r1
+        movzbl  (r1), r0
+        chmk    #1
+        chmk    #0
+hexdigits: .ascii "0123456789abcdef"
+        .align 4
+"#;
+
+/// Folds a 32-bit checksum into one byte, the same way the assembly
+/// epilogue callers do (xor of all four bytes).
+pub(crate) fn fold(v: u32) -> u8 {
+    (v ^ (v >> 8) ^ (v >> 16) ^ (v >> 24)) as u8
+}
+
+/// The canonical fold sequence in assembly: folds `r8` into `r0` and
+/// branches to the epilogue.
+pub(crate) const FOLD_AND_PRINT: &str = r#"
+        ; fold r8 into one byte in r0
+        movl    r8, r0
+        ashl    #-16, r8, r1
+        xorl2   r1, r0
+        ashl    #-8, r0, r1
+        xorl2   r1, r0
+        brw     print_exit
+"#;
+
+/// The LCG all workloads use for reproducible pseudo-random data
+/// (`x ← x·1103515245 + 12345`, 32-bit wrap).
+pub(crate) fn lcg(x: u32) -> u32 {
+    x.wrapping_mul(1_103_515_245).wrapping_add(12_345)
+}
+
+/// The quick suite used by tests: small instances of every generator.
+pub fn suite_small() -> Vec<Workload> {
+    vec![
+        matrix("matrix", 6),
+        list_chase("list", 64, 2_000),
+        lexer("lexer", 1_024, 1),
+        sort("sort", 64),
+        block_copy("copy", 512, 8),
+        fib_recursive("fib", 12),
+        binary_search("bsearch", 64, 500),
+        queue_sim("queue", 16, 400),
+        heap_walk("heap", 8, 3),
+    ]
+}
+
+/// The standard suite used by the experiments: instances sized so each
+/// touches tens of KiB and runs millions of references.
+pub fn suite_standard() -> Vec<Workload> {
+    vec![
+        matrix("matrix", 20),
+        list_chase("list", 2_048, 60_000),
+        lexer("lexer", 16_384, 4),
+        sort("sort", 1_024),
+        block_copy("copy", 8_192, 24),
+        fib_recursive("fib", 18),
+        binary_search("bsearch", 2_048, 15_000),
+        queue_sim("queue", 48, 30_000),
+        heap_walk("heap", 30, 400),
+    ]
+}
+
+/// The standard 4-process multiprogramming mix (numeric + pointer +
+/// scanning + demand-paged heap), the shape of the paper's
+/// multiprogrammed traces.
+pub fn mix_std() -> Vec<Workload> {
+    vec![
+        matrix("matrix", 16),
+        list_chase("list", 1_024, 40_000),
+        lexer("lexer", 8_192, 3),
+        heap_walk("heap", 24, 1_500),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_workloads_assemble() {
+        for w in suite_small().into_iter().chain(suite_standard()) {
+            let src = format!(".org 0x200\n{}\n", w.source);
+            atum_asm::assemble(&src)
+                .unwrap_or_else(|e| panic!("{} does not assemble: {e}", w.name));
+            assert_eq!(w.expected_output.len(), 2, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn fold_matches_asm_semantics() {
+        assert_eq!(fold(0x12345678), 0x12 ^ 0x34 ^ 0x56 ^ 0x78);
+        assert_eq!(fold(0), 0);
+        assert_eq!(fold(0xFF), 0xFF);
+    }
+
+    #[test]
+    fn lcg_reference_values() {
+        let mut x = 1u32;
+        x = lcg(x);
+        assert_eq!(x, 1_103_527_590);
+    }
+
+    #[test]
+    fn names_are_unique_within_suites() {
+        let suite = suite_standard();
+        let names: std::collections::HashSet<_> = suite.iter().map(|w| &w.name).collect();
+        assert_eq!(names.len(), suite.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Runs every workload solo under MOSS and checks the printed checksum
+//! against the Rust mirror — a full-stack correctness test (assembler →
+//! microcode → machine → kernel → workload).
+
+use atum_machine::{Machine, RunExit};
+use atum_os::BootImage;
+use atum_workloads::Workload;
+
+fn run_solo(w: &Workload, budget: u64) -> String {
+    let image = BootImage::builder()
+        .user_program(&w.source)
+        .build()
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+    let mut m = Machine::new(image.memory_layout());
+    image.load_into(&mut m).unwrap();
+    let exit = m.run(budget);
+    assert_eq!(exit, RunExit::Halted, "{} did not halt", w.name);
+    String::from_utf8(m.take_console_output()).unwrap()
+}
+
+#[test]
+fn small_suite_checksums_match() {
+    for w in atum_workloads::suite_small() {
+        let out = run_solo(&w, 400_000_000);
+        assert_eq!(out, w.expected_output, "workload {}", w.name);
+    }
+}
+
+#[test]
+fn matrix_scales() {
+    for n in [4, 8, 12] {
+        let w = atum_workloads::matrix("m", n);
+        assert_eq!(run_solo(&w, 600_000_000), w.expected_output, "n={n}");
+    }
+}
+
+#[test]
+fn list_chase_varies_with_params() {
+    let a = atum_workloads::list_chase("a", 64, 1_000);
+    let b = atum_workloads::list_chase("b", 128, 1_000);
+    assert_eq!(run_solo(&a, 200_000_000), a.expected_output);
+    assert_eq!(run_solo(&b, 200_000_000), b.expected_output);
+}
+
+#[test]
+fn mix_runs_multiprogrammed_and_all_checksums_appear() {
+    let mix = atum_workloads::mix_std();
+    let mut builder = BootImage::builder().quantum(8_000);
+    for w in &mix {
+        builder = builder.user_program(&w.source);
+    }
+    let image = builder.build().unwrap();
+    let mut m = Machine::new(image.memory_layout());
+    image.load_into(&mut m).unwrap();
+    assert_eq!(m.run(4_000_000_000), RunExit::Halted);
+    let out = String::from_utf8(m.take_console_output()).unwrap();
+    // Output interleaving is scheduler-dependent, but each process prints
+    // exactly two hex digits, and with putc being a single syscall per
+    // character pairs can split. Check total length and that every
+    // expected digit multiset appears.
+    assert_eq!(out.len(), 2 * mix.len());
+    let mut got: Vec<char> = out.chars().collect();
+    let mut want: Vec<char> = mix
+        .iter()
+        .flat_map(|w| w.expected_output.chars())
+        .collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want, "checksum digits scrambled or missing: {out}");
+}

@@ -1,0 +1,74 @@
+//! Cache study: drive the cache simulator from a captured complete-system
+//! trace and reproduce the F1/F2 story — what including the OS and the
+//! context switches does to miss rates.
+//!
+//! ```text
+//! cargo run --release --example cache_study
+//! ```
+
+use atum::cache::{simulate, CacheConfig, SwitchPolicy};
+use atum::core::{CaptureSession, Tracer};
+use atum::machine::Machine;
+use atum::os::BootImage;
+
+fn main() {
+    // Capture the standard multiprogramming mix.
+    let mix = atum::workloads::mix_std();
+    let mut builder = BootImage::builder().quantum(15_000);
+    for w in &mix {
+        builder = builder.user_program(&w.source);
+    }
+    let image = builder.build().expect("boot image");
+    let mut machine = Machine::new(image.memory_layout());
+    image.load_into(&mut machine).expect("load");
+    let tracer = Tracer::attach(&mut machine).expect("attach");
+    tracer.set_pid(&mut machine, 0);
+    let capture = CaptureSession::new(&tracer, 100_000_000_000)
+        .run(&mut machine)
+        .expect("capture");
+    let _ = machine.take_console_output();
+
+    let trace = capture.trace;
+    let user_only = trace.user_only();
+    println!(
+        "trace: {} refs total, {} user-only\n",
+        trace.ref_count(),
+        user_only.ref_count()
+    );
+
+    // F1: complete vs user-only, direct-mapped.
+    println!("miss rate vs size — complete-system vs user-only trace:");
+    println!("{:>8} {:>12} {:>12}", "size", "complete", "user-only");
+    let base = CacheConfig::builder().block(16).assoc(1).build().unwrap();
+    for size in [1u32 << 10, 4 << 10, 16 << 10, 64 << 10] {
+        let full = simulate(&trace, &base.with_size(size));
+        let user = simulate(&user_only, &base.with_size(size));
+        println!(
+            "{:>7}K {:>11.2}% {:>11.2}%",
+            size / 1024,
+            100.0 * full.miss_rate(),
+            100.0 * user.miss_rate()
+        );
+    }
+
+    // F2: context-switch policies.
+    println!("\nmiss rate vs size — context-switch policy (2-way):");
+    println!("{:>8} {:>12} {:>12}", "size", "flush", "pid-tagged");
+    let base = CacheConfig::builder().block(16).assoc(2).build().unwrap();
+    for size in [1u32 << 10, 4 << 10, 16 << 10, 64 << 10] {
+        let flush = simulate(&trace, &base.with_size(size).with_switch(SwitchPolicy::Flush));
+        let tag = simulate(&trace, &base.with_size(size).with_switch(SwitchPolicy::PidTag));
+        println!(
+            "{:>7}K {:>11.2}% {:>11.2}%",
+            size / 1024,
+            100.0 * flush.miss_rate(),
+            100.0 * tag.miss_rate()
+        );
+    }
+
+    println!(
+        "\nthe flush column stops improving with size — an untagged cache\n\
+         restarts cold on every quantum, which is exactly the effect the\n\
+         paper's multiprogrammed traces made visible for the first time."
+    );
+}

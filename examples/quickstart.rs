@@ -1,0 +1,62 @@
+//! Quickstart: assemble a program, boot MOSS, attach the ATUM tracer,
+//! and look at the first records of a complete-system address trace.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use atum::core::Tracer;
+use atum::machine::Machine;
+use atum::os::BootImage;
+
+fn main() {
+    // A tiny user program: sum 1..=10, print the result digit, exit.
+    let program = "
+start:  clrl    r1
+        movl    #10, r2
+loop:   addl2   r2, r1
+        sobgtr  r2, loop
+        movl    #'0', r0        ; 55 -> prints 'U' + newline-ish demo
+        addl2   r1, r0
+        chmk    #1              ; putc
+        chmk    #0              ; exit
+";
+
+    // The boot loader assembles the kernel + program and lays out memory.
+    let image = BootImage::builder()
+        .user_program(program)
+        .build()
+        .expect("boot image");
+    let mut machine = Machine::new(image.memory_layout());
+    image.load_into(&mut machine).expect("load");
+
+    // Attach ATUM: this *patches the control store* — after this call the
+    // machine's microcode logs every reference to hidden physical memory.
+    let tracer = Tracer::attach(&mut machine).expect("attach");
+    println!(
+        "patch installed: {} micro-words appended to the control store",
+        tracer.patches().words()
+    );
+    tracer.set_pid(&mut machine, 0);
+    tracer.set_enabled(&mut machine, true);
+
+    machine.run_until_halt(50_000_000).expect("run to halt");
+    println!(
+        "console: {:?}",
+        String::from_utf8_lossy(&machine.take_console_output())
+    );
+
+    let trace = tracer.extract(&machine).expect("extract");
+    println!("\nfirst 25 trace records:");
+    for r in trace.iter().take(25) {
+        println!("  {r}");
+    }
+
+    let stats = trace.stats();
+    println!("\n{stats}");
+    println!(
+        "\nnote the kernel-mode ('k') references: boot, the CHMK system\n\
+         calls and the scheduler are all in the trace — that is the thing\n\
+         user-level tracers could not see."
+    );
+}

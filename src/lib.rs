@@ -1,0 +1,66 @@
+//! # atum — an ATUM (ISCA 1986) reproduction
+//!
+//! *ATUM: A New Technique for Capturing Address Traces Using Microcode*
+//! (Agarwal, Sites, Horowitz, ISCA-13, 1986) captured complete-system
+//! address traces — operating system, interrupts and every process of a
+//! multiprogrammed mix included — by patching the writable control store of
+//! a VAX 8200 so that every memory reference also deposited a record into a
+//! region of physical memory hidden from the OS.
+//!
+//! This workspace reproduces the technique end-to-end on a simulated
+//! microcoded machine. This umbrella crate re-exports the member crates
+//! under stable names; see `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the reproduced evaluation.
+//!
+//! ## Crate map
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`arch`] | `atum-arch` | the SVX instruction-set architecture |
+//! | [`asm`] | `atum-asm` | two-pass assembler and disassembler |
+//! | [`ucode`] | `atum-ucode` | micro-ops, microassembler, patchable control store, stock microcode |
+//! | [`machine`] | `atum-machine` | micro-engine, memory, MMU/TLB, devices |
+//! | [`core`] | `atum-core` | **the ATUM tracer**: patches, records, extraction, stitching |
+//! | [`os`] | `atum-os` | the MOSS kernel and boot-image builder |
+//! | [`workloads`] | `atum-workloads` | parametric benchmark generators |
+//! | [`baselines`] | `atum-baselines` | T-bit tracer and architectural simulator comparators |
+//! | [`cache`] | `atum-cache` | trace-driven cache and TLB simulators |
+//! | [`analysis`] | `atum-analysis` | experiment runners and reporting |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use atum::core::Tracer;
+//! use atum::machine::Machine;
+//!
+//! // Assemble a user program, build a bootable system around it, attach
+//! // the ATUM tracer, run, and read the trace back.
+//! let image = atum::os::BootImage::builder()
+//!     .user_program(
+//!         "start: movl #10, r0\n\
+//!          loop:  sobgtr r0, loop\n\
+//!                 chmk #0\n", // syscall 0 = exit
+//!     )
+//!     .build()
+//!     .expect("boot image");
+//! let mut machine = Machine::new(image.memory_layout());
+//! image.load_into(&mut machine).expect("load");
+//! let tracer = Tracer::attach(&mut machine).expect("attach");
+//! tracer.set_enabled(&mut machine, true);
+//! machine.run_until_halt(2_000_000).expect("run");
+//! let trace = tracer.extract(&machine).expect("extract");
+//! assert!(trace.len() > 0);
+//! let stats = trace.stats();
+//! assert!(stats.kernel_refs > 0, "the OS is in the trace");
+//! ```
+
+pub use atum_analysis as analysis;
+pub use atum_arch as arch;
+pub use atum_asm as asm;
+pub use atum_baselines as baselines;
+pub use atum_cache as cache;
+pub use atum_core as core;
+pub use atum_machine as machine;
+pub use atum_os as os;
+pub use atum_ucode as ucode;
+pub use atum_workloads as workloads;
