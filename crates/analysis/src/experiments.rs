@@ -6,7 +6,7 @@ use crate::table::{Report, Table};
 use crate::Scale;
 use atum_baselines::{ArchExit, ArchSim, TbitTracer};
 use atum_cache::{
-    simulate, simulate_split, simulate_tlb, sweep_assoc, sweep_block, Cache, CacheConfig,
+    simulate, simulate_many, simulate_split, simulate_tlb, sweep_block, Cache, CacheConfig,
     SwitchPolicy, TlbConfig, WritePolicy,
 };
 use atum_core::{PatchStyle, RecordKind, Trace};
@@ -54,7 +54,17 @@ fn t1_workload(scale: Scale) -> Workload {
 fn cache_sizes(scale: Scale) -> Vec<u32> {
     match scale {
         Scale::Quick => vec![1 << 10, 4 << 10, 16 << 10],
-        Scale::Full => vec![1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10],
+        Scale::Full => vec![
+            1 << 10,
+            2 << 10,
+            4 << 10,
+            8 << 10,
+            16 << 10,
+            32 << 10,
+            64 << 10,
+            128 << 10,
+            256 << 10,
+        ],
     }
 }
 
@@ -180,12 +190,41 @@ pub fn t2_trace_characteristics(scale: Scale) -> Result<Report, RunnerError> {
         Scale::Full => atum_workloads::suite_standard(),
     };
     let q = quantum(scale);
+    // Floor: the *traced* context-switch path costs ~5–6k cycles; quanta
+    // below that spiral into pure scheduling (the dilation effect ATUM
+    // dealt with by tracing against a 10ms VMS clock, thousands of
+    // instructions per tick even when slowed).
+    let quanta: &[u32] = match scale {
+        Scale::Quick => &[12_000, 40_000],
+        Scale::Full => &[10_000, 20_000, 60_000, 240_000],
+    };
+
+    // Every capture this experiment needs, fanned across the job pool.
+    // Each capture is deterministic, and `parallel_map` returns results
+    // in input order, so rows are identical at any thread count.
+    enum Job<'a> {
+        Solo(&'a atum_workloads::Workload),
+        Mix,
+        Quantum(u32),
+    }
+    let jobs: Vec<Job> = suite
+        .iter()
+        .map(Job::Solo)
+        .chain(std::iter::once(Job::Mix))
+        .chain(quanta.iter().map(|&qq| Job::Quantum(qq)))
+        .collect();
+    let runs = crate::parallel::parallel_map(crate::parallel::jobs(), jobs, |_, j| match j {
+        Job::Solo(w) => capture_mix(std::slice::from_ref(w), q, BUDGET),
+        Job::Mix => capture_standard_mix(scale),
+        Job::Quantum(qq) => capture_mix(&mix(scale), qq, BUDGET),
+    });
+    let mut runs = runs.into_iter();
 
     let mut t = Table::new([
         "workload", "refs", "%I", "%R", "%W", "%OS", "ctx", "pages", "drains",
     ]);
     for w in &suite {
-        let run = capture_mix(std::slice::from_ref(w), q, BUDGET)?;
+        let run = runs.next().expect("solo run")?;
         let s = run.trace.stats();
         t.row([
             w.name.clone(),
@@ -200,7 +239,7 @@ pub fn t2_trace_characteristics(scale: Scale) -> Result<Report, RunnerError> {
         ]);
     }
     // The multiprogrammed mix as the final row.
-    let run = capture_standard_mix(scale)?;
+    let run = runs.next().expect("mix run")?;
     let s = run.trace.stats();
     t.row([
         format!("mix({})", mix(scale).len()),
@@ -220,16 +259,8 @@ pub fn t2_trace_characteristics(scale: Scale) -> Result<Report, RunnerError> {
     // OS fraction as a function of scheduling intensity: the quantum is
     // the knob that turns a batch machine into a timesharing one.
     let mut qt = Table::new(["quantum (cycles)", "%OS", "ctx switches"]);
-    // Floor: the *traced* context-switch path costs ~5–6k cycles; quanta
-    // below that spiral into pure scheduling (the dilation effect ATUM
-    // dealt with by tracing against a 10ms VMS clock, thousands of
-    // instructions per tick even when slowed).
-    let quanta: &[u32] = match scale {
-        Scale::Quick => &[12_000, 40_000],
-        Scale::Full => &[10_000, 20_000, 60_000, 240_000],
-    };
     for &qq in quanta {
-        let run = capture_mix(&mix(scale), qq, BUDGET)?;
+        let run = runs.next().expect("quantum run")?;
         let s = run.trace.stats();
         qt.row([
             qq.to_string(),
@@ -264,16 +295,18 @@ pub fn f1_os_vs_user(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerEr
         .expect("config");
     let sizes = cache_sizes(scale);
     let user = run.trace.user_only();
+    let cfgs: Vec<CacheConfig> = sizes.iter().map(|&s| base.with_size(s)).collect();
+    // One pass per trace evaluates the whole size sweep.
+    let full = simulate_many(&run.trace, &cfgs);
+    let uo = simulate_many(&user, &cfgs);
 
     let mut t = Table::new(["size", "complete miss%", "user-only miss%", "gap (pp)"]);
-    for &size in &sizes {
-        let full = simulate(&run.trace, &base.with_size(size));
-        let u = simulate(&user, &base.with_size(size));
+    for (i, &size) in sizes.iter().enumerate() {
         t.row([
             format!("{}K", size / 1024),
-            pct(full.miss_rate()),
-            pct(u.miss_rate()),
-            format!("{:+.2}", 100.0 * (full.miss_rate() - u.miss_rate())),
+            pct(full[i].miss_rate()),
+            pct(uo[i].miss_rate()),
+            format!("{:+.2}", 100.0 * (full[i].miss_rate() - uo[i].miss_rate())),
         ]);
     }
     let mut r = Report::new("F1", "miss rate vs cache size: complete vs user-only trace");
@@ -301,20 +334,34 @@ pub fn f2_switch_policy(scale: Scale, run: &CapturedRun) -> Result<Report, Runne
         .build()
         .expect("config");
     let sizes = cache_sizes(scale);
+    let policies = [
+        SwitchPolicy::Flush,
+        SwitchPolicy::PidTag,
+        SwitchPolicy::Ignore,
+    ];
+    let mut cfgs = Vec::new();
+    for &size in &sizes {
+        for sw in policies {
+            cfgs.push(base.with_size(size).with_switch(sw));
+        }
+    }
+    // One traversal: the engine groups the sweep by switch policy into
+    // three shared stacks.
+    let stats = simulate_many(&run.trace, &cfgs);
 
     let mut t = Table::new(["size", "flush miss%", "pid-tag miss%", "naive miss%"]);
-    for &size in &sizes {
-        let flush = simulate(&run.trace, &base.with_size(size).with_switch(SwitchPolicy::Flush));
-        let tag = simulate(&run.trace, &base.with_size(size).with_switch(SwitchPolicy::PidTag));
-        let naive = simulate(&run.trace, &base.with_size(size).with_switch(SwitchPolicy::Ignore));
+    for (i, &size) in sizes.iter().enumerate() {
         t.row([
             format!("{}K", size / 1024),
-            pct(flush.miss_rate()),
-            pct(tag.miss_rate()),
-            pct(naive.miss_rate()),
+            pct(stats[3 * i].miss_rate()),
+            pct(stats[3 * i + 1].miss_rate()),
+            pct(stats[3 * i + 2].miss_rate()),
         ]);
     }
-    let mut r = Report::new("F2", "multiprogramming: purge-on-switch vs address-space tags");
+    let mut r = Report::new(
+        "F2",
+        "multiprogramming: purge-on-switch vs address-space tags",
+    );
     r.table("2-way, 16 B blocks, complete trace", t);
     r.note(
         "shape vs paper: purging on every switch costs more as the cache grows \
@@ -376,22 +423,28 @@ pub fn f4_associativity(scale: Scale, run: &CapturedRun) -> Result<Report, Runne
     };
     let sizes = [4u32 << 10, 16 << 10, 64 << 10];
     let mut t = Table::new(["ways", "4K miss%", "16K miss%", "64K miss%"]);
-    let mut per_size = Vec::new();
+    // The whole size × ways grid shares one stack-engine traversal.
+    let mut cfgs = Vec::new();
     for &s in &sizes {
-        let base = CacheConfig::builder()
-            .size(s)
-            .block(16)
-            .switch_policy(SwitchPolicy::PidTag)
-            .build()
-            .expect("config");
-        per_size.push(sweep_assoc(&run.trace, &base, &ways));
+        for &w in &ways {
+            cfgs.push(
+                CacheConfig::builder()
+                    .size(s)
+                    .block(16)
+                    .assoc(w)
+                    .switch_policy(SwitchPolicy::PidTag)
+                    .build()
+                    .expect("config"),
+            );
+        }
     }
+    let stats = simulate_many(&run.trace, &cfgs);
     for (i, &w) in ways.iter().enumerate() {
         t.row([
             format!("{w}"),
-            pct(per_size[0][i].1.miss_rate()),
-            pct(per_size[1][i].1.miss_rate()),
-            pct(per_size[2][i].1.miss_rate()),
+            pct(stats[i].miss_rate()),
+            pct(stats[ways.len() + i].miss_rate()),
+            pct(stats[2 * ways.len() + i].miss_rate()),
         ]);
     }
     let mut r = Report::new("F4", "miss rate vs associativity");
@@ -437,7 +490,10 @@ pub fn f5_tlb(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
             pct(ut.miss_rate()),
         ]);
     }
-    let mut r = Report::new("F5", "TLB miss rate: size × switch policy × trace completeness");
+    let mut r = Report::new(
+        "F5",
+        "TLB miss rate: size × switch policy × trace completeness",
+    );
     r.table("2-way TLB, 512 B pages", t);
     r.note(
         "shape vs paper: flushing the TLB on every switch dominates its miss \
@@ -459,21 +515,32 @@ pub fn f6_organisation(scale: Scale, run: &CapturedRun) -> Result<Report, Runner
         Scale::Quick => vec![4 << 10, 16 << 10],
         Scale::Full => vec![2 << 10, 8 << 10, 32 << 10, 128 << 10],
     };
-    let mut t = Table::new(["total budget", "unified miss%", "split I miss%", "split D miss%", "split overall%"]);
-    for &b in &budgets {
-        let unified = CacheConfig::builder()
-            .size(b)
-            .block(16)
-            .assoc(2)
-            .switch_policy(SwitchPolicy::PidTag)
-            .build()
-            .expect("config");
-        let half = unified.with_size(b / 2);
-        let u = simulate(&run.trace, &unified);
+    let mut t = Table::new([
+        "total budget",
+        "unified miss%",
+        "split I miss%",
+        "split D miss%",
+        "split overall%",
+    ]);
+    let unified_cfgs: Vec<CacheConfig> = budgets
+        .iter()
+        .map(|&b| {
+            CacheConfig::builder()
+                .size(b)
+                .block(16)
+                .assoc(2)
+                .switch_policy(SwitchPolicy::PidTag)
+                .build()
+                .expect("config")
+        })
+        .collect();
+    let unified_stats = simulate_many(&run.trace, &unified_cfgs);
+    for (i, &b) in budgets.iter().enumerate() {
+        let half = unified_cfgs[i].with_size(b / 2);
         let sp = simulate_split(&run.trace, &half, &half);
         t.row([
             format!("{}K", b / 1024),
-            pct(u.miss_rate()),
+            pct(unified_stats[i].miss_rate()),
             pct(sp.icache.miss_rate()),
             pct(sp.dcache.miss_rate()),
             pct(sp.miss_rate()),
@@ -501,8 +568,10 @@ pub fn f6_organisation(scale: Scale, run: &CapturedRun) -> Result<Report, Runner
         .write_policy(WritePolicy::WriteThroughNoAllocate)
         .build()
         .expect("config");
-    let swb = simulate(&run.trace, &wb);
-    let swt = simulate(&run.trace, &wt);
+    // Write-through takes the grouped-replay fallback; write-back rides
+    // the stack engine — still one trace traversal for both.
+    let wstats = simulate_many(&run.trace, &[wb, wt]);
+    let (swb, swt) = (wstats[0], wstats[1]);
     let mut wtab = Table::new(["policy", "miss%", "memory write traffic (events)"]);
     wtab.row([
         "write-back + allocate".to_string(),
@@ -516,7 +585,10 @@ pub fn f6_organisation(scale: Scale, run: &CapturedRun) -> Result<Report, Runner
     ]);
 
     let mut r = Report::new("F6", "cache organisation: split I/D and write policy");
-    r.table("unified vs split at equal total budget (2-way, pid-tagged)", t);
+    r.table(
+        "unified vs split at equal total budget (2-way, pid-tagged)",
+        t,
+    );
     r.table(&format!("write policies at {}K", size / 1024), wtab);
     r.note(
         "shape vs paper-era results: splitting helps once each half holds its stream (the I-stream dominates CISC traces); write-through turns every store into memory traffic while write-back pays only on eviction",
@@ -575,7 +647,12 @@ pub fn e1_cold_start(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerEr
         .expect("config");
     let continuous = simulate(&run.trace, &cfg).miss_rate();
 
-    let mut t = Table::new(["sample refs", "sampled miss%", "continuous miss%", "bias (pp)"]);
+    let mut t = Table::new([
+        "sample refs",
+        "sampled miss%",
+        "continuous miss%",
+        "bias (pp)",
+    ]);
     for &s in &samples {
         let m = sampled_miss_rate(&run.trace, &cfg, s);
         t.row([
@@ -586,7 +663,10 @@ pub fn e1_cold_start(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerEr
         ]);
     }
     let mut r = Report::new("E1", "cold-start bias of trace samples");
-    r.table("16K 2-way cache; every other window kept, cold start per window", t);
+    r.table(
+        "16K 2-way cache; every other window kept, cold start per window",
+        t,
+    );
     r.note(
         "shape vs paper: short samples overstate miss rates (cold caches); the \
          bias shrinks as samples grow — ATUM's big hidden buffer is what made \
@@ -663,10 +743,9 @@ pub fn e3_os_breakdown(scale: Scale, run: &CapturedRun) -> Result<Report, Runner
                 };
             }
             RecordKind::CtxSwitch => cat = Cat::CtxSwitch,
-            k if k.is_ref()
-                && r.is_kernel() => {
-                    counts[cat as usize] += 1;
-                }
+            k if k.is_ref() && r.is_kernel() => {
+                counts[cat as usize] += 1;
+            }
             _ => {}
         }
     }
@@ -687,10 +766,7 @@ pub fn e3_os_breakdown(scale: Scale, run: &CapturedRun) -> Result<Report, Runner
         ]);
     }
     let mut r = Report::new("E3", "operating-system reference breakdown");
-    r.table(
-        &format!("{total} kernel references in the standard mix"),
-        t,
-    );
+    r.table(&format!("{total} kernel references in the standard mix"), t);
     r.note("attribution: each kernel reference charged to the most recent marker");
     Ok(r)
 }
@@ -748,12 +824,7 @@ pub fn a1_patch_cost(scale: Scale) -> Result<Report, RunnerError> {
     let refs = base_counts.total_refs().max(1);
     let base_cpr = base_cycles as f64 / refs as f64;
 
-    let mut t = Table::new([
-        "style",
-        "patch words",
-        "cycles/ref overhead",
-        "slowdown",
-    ]);
+    let mut t = Table::new(["style", "patch words", "cycles/ref overhead", "slowdown"]);
     t.row([
         "(untraced)".to_string(),
         "0".to_string(),
@@ -787,28 +858,102 @@ pub fn a1_patch_cost(scale: Scale) -> Result<Report, RunnerError> {
     Ok(r)
 }
 
-/// Runs every experiment at a scale, capturing the shared mix once.
+/// Every experiment id, in report order.
+pub const ALL_IDS: [&str; 13] = [
+    "t1", "t2", "f1", "f2", "f3", "f4", "f5", "f6", "e1", "e2", "e3", "e4", "a1",
+];
+
+/// Whether an experiment analyses the shared standard-mix capture.
+pub fn needs_shared(id: &str) -> bool {
+    matches!(
+        id,
+        "f1" | "f2" | "f3" | "f4" | "f5" | "f6" | "e1" | "e2" | "e3" | "e4"
+    )
+}
+
+/// Runs one experiment by id. Experiments that analyse the standard mix
+/// use `shared` when given and capture their own copy when not.
 ///
 /// # Errors
 ///
-/// Any [`RunnerError`] from any experiment.
-pub fn run_all(scale: Scale) -> Result<Vec<Report>, RunnerError> {
-    let shared = capture_standard_mix(scale)?;
-    Ok(vec![
-        t1_technique_comparison(scale)?,
-        t2_trace_characteristics(scale)?,
-        f1_os_vs_user(scale, &shared)?,
-        f2_switch_policy(scale, &shared)?,
-        f3_block_size(scale, &shared)?,
-        f4_associativity(scale, &shared)?,
-        f5_tlb(scale, &shared)?,
-        f6_organisation(scale, &shared)?,
-        e1_cold_start(scale, &shared)?,
-        e2_compaction(scale, &shared)?,
-        e3_os_breakdown(scale, &shared)?,
-        e4_working_set(scale, &shared)?,
-        a1_patch_cost(scale)?,
-    ])
+/// Any [`RunnerError`]; unknown ids report as [`RunnerError::Boot`].
+pub fn run_by_id(
+    id: &str,
+    scale: Scale,
+    shared: Option<&CapturedRun>,
+) -> Result<Report, RunnerError> {
+    let owned;
+    let run = if needs_shared(id) {
+        match shared {
+            Some(r) => r,
+            None => {
+                owned = capture_standard_mix(scale)?;
+                &owned
+            }
+        }
+    } else {
+        match id {
+            "t1" => return t1_technique_comparison(scale),
+            "t2" => return t2_trace_characteristics(scale),
+            "a1" => return a1_patch_cost(scale),
+            other => {
+                return Err(RunnerError::Boot(format!(
+                    "unknown experiment id '{other}'"
+                )))
+            }
+        }
+    };
+    match id {
+        "f1" => f1_os_vs_user(scale, run),
+        "f2" => f2_switch_policy(scale, run),
+        "f3" => f3_block_size(scale, run),
+        "f4" => f4_associativity(scale, run),
+        "f5" => f5_tlb(scale, run),
+        "f6" => f6_organisation(scale, run),
+        "e1" => e1_cold_start(scale, run),
+        "e2" => e2_compaction(scale, run),
+        "e3" => e3_os_breakdown(scale, run),
+        "e4" => e4_working_set(scale, run),
+        _ => unreachable!("needs_shared covers exactly the f/e ids"),
+    }
+}
+
+/// Runs the given experiments on up to `jobs` threads, capturing the
+/// standard mix **once** and sharing it across every experiment that
+/// wants it. Results come back in `ids` order with per-id errors, and
+/// are identical at any thread count (see [`crate::parallel`]).
+pub fn run_selected(
+    scale: Scale,
+    ids: &[String],
+    jobs: usize,
+) -> Vec<(String, Result<Report, RunnerError>)> {
+    let shared: Option<Result<CapturedRun, RunnerError>> = ids
+        .iter()
+        .any(|id| needs_shared(&id.to_lowercase()))
+        .then(|| capture_standard_mix(scale));
+    crate::parallel::parallel_map(jobs, ids.to_vec(), |_, id| {
+        let lc = id.to_lowercase();
+        let report = match (&shared, needs_shared(&lc)) {
+            (Some(Ok(run)), true) => run_by_id(&lc, scale, Some(run)),
+            (Some(Err(e)), true) => Err(e.clone()),
+            _ => run_by_id(&lc, scale, None),
+        };
+        (id, report)
+    })
+}
+
+/// Runs every experiment at a scale, capturing the shared mix once and
+/// fanning the experiments over `jobs` threads.
+///
+/// # Errors
+///
+/// The first [`RunnerError`] in report order.
+pub fn run_all(scale: Scale, jobs: usize) -> Result<Vec<Report>, RunnerError> {
+    let ids: Vec<String> = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    run_selected(scale, &ids, jobs)
+        .into_iter()
+        .map(|(_, r)| r)
+        .collect()
 }
 
 #[cfg(test)]
@@ -832,7 +977,10 @@ mod tests {
         assert!(!rows.is_empty());
         // At least one size where the complete trace misses more.
         let any_gap = rows.iter().any(|row| row[3].starts_with('+'));
-        assert!(any_gap, "complete trace should miss more somewhere: {rows:?}");
+        assert!(
+            any_gap,
+            "complete trace should miss more somewhere: {rows:?}"
+        );
     }
 
     #[test]

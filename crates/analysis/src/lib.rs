@@ -18,10 +18,12 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod parallel;
 mod runner;
 mod table;
 pub mod working_set;
 
+pub use parallel::{parallel_map, set_jobs};
 pub use runner::{capture_mix, run_untraced, CapturedRun, RunnerError};
 pub use table::{Report, Table};
 pub use working_set::{working_set, working_set_curve, WorkingSet};

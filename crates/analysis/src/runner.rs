@@ -32,7 +32,10 @@ impl fmt::Display for RunnerError {
             RunnerError::NoHalt(e) => write!(f, "no halt: {e}"),
             RunnerError::Tracer(e) => write!(f, "tracer: {e}"),
             RunnerError::ChecksumMismatch { expected, actual } => {
-                write!(f, "checksum mismatch: expected digits {expected}, got {actual}")
+                write!(
+                    f,
+                    "checksum mismatch: expected digits {expected}, got {actual}"
+                )
             }
         }
     }

@@ -68,9 +68,7 @@ mod tests {
     fn trace_of(pages: &[(u8, u32)]) -> Trace {
         pages
             .iter()
-            .map(|&(pid, page)| {
-                TraceRecord::new(RecordKind::Read, page * 512, 4, pid, false)
-            })
+            .map(|&(pid, page)| TraceRecord::new(RecordKind::Read, page * 512, 4, pid, false))
             .collect()
     }
 

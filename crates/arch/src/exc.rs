@@ -236,7 +236,10 @@ mod tests {
         );
         assert_eq!(Exception::Chmk(3).class(), ExceptionClass::Trap);
         assert_eq!(Exception::TraceTrap.class(), ExceptionClass::Trap);
-        assert_eq!(Exception::ReservedInstruction.class(), ExceptionClass::Fault);
+        assert_eq!(
+            Exception::ReservedInstruction.class(),
+            ExceptionClass::Fault
+        );
     }
 
     #[test]

@@ -326,16 +326,7 @@ mod tests {
     #[test]
     fn decode_immediate_long() {
         // movl #0x11223344, r0  (immediate = (pc)+ = specifier 0x8F)
-        let insn = decode(&[
-            Opcode::Movl.to_byte(),
-            0x8F,
-            0x44,
-            0x33,
-            0x22,
-            0x11,
-            0x50,
-        ])
-        .unwrap();
+        let insn = decode(&[Opcode::Movl.to_byte(), 0x8F, 0x44, 0x33, 0x22, 0x11, 0x50]).unwrap();
         assert_eq!(insn.operands[0], Operand::Immediate(0x1122_3344));
         assert_eq!(insn.len, 7);
     }

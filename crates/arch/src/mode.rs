@@ -260,9 +260,7 @@ impl AddrMode {
     /// is the operand size).
     pub fn extension_bytes(self, op_size: DataSize, reg: u8) -> u32 {
         match self {
-            AddrMode::Literal | AddrMode::Register | AddrMode::RegDeferred | AddrMode::AutoDec => {
-                0
-            }
+            AddrMode::Literal | AddrMode::Register | AddrMode::RegDeferred | AddrMode::AutoDec => 0,
             AddrMode::AutoInc => {
                 if reg == 15 {
                     op_size.bytes()

@@ -407,6 +407,9 @@ mod tests {
         assert!(Opcode::Mtpr.is_privileged());
         assert!(Opcode::Ldpctx.is_privileged());
         assert!(!Opcode::Movl.is_privileged());
-        assert!(!Opcode::Chmk.is_privileged(), "chmk must work from user mode");
+        assert!(
+            !Opcode::Chmk.is_privileged(),
+            "chmk must work from user mode"
+        );
     }
 }

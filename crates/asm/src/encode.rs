@@ -118,9 +118,7 @@ pub fn encode_insn(
     {
         match spec.access {
             Access::Branch(disp_size) => {
-                encode_branch(
-                    insn, kind, disp_size, ast, far, addr, &mut out, ctx, i,
-                )?;
+                encode_branch(insn, kind, disp_size, ast, far, addr, &mut out, ctx, i)?;
             }
             access => {
                 encode_specifier(ast, access, spec.size, *form, addr, &mut out, ctx)?;

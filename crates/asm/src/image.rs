@@ -54,9 +54,7 @@ impl Image {
 
     /// One past the highest address occupied, or 0 for an empty image.
     pub fn end(&self) -> u32 {
-        self.segments
-            .last()
-            .map_or(0, |(a, b)| a + b.len() as u32)
+        self.segments.last().map_or(0, |(a, b)| a + b.len() as u32)
     }
 
     /// Flattens to a single byte vector starting at [`Image::base`], with

@@ -520,10 +520,7 @@ mod tests {
 
     #[test]
     fn forward_and_backward_symbols_resolve() {
-        let img = assemble(
-            "A = 2\n movl #A, r0\n movl #B, r1\n B = 3\n",
-        )
-        .unwrap();
+        let img = assemble("A = 2\n movl #A, r0\n movl #B, r1\n B = 3\n").unwrap();
         let insns = decode_stream(&img.flatten());
         assert_eq!(insns[0].operands[0], Operand::Literal(2));
         assert_eq!(insns[1].operands[0], Operand::Literal(3));
@@ -571,7 +568,10 @@ mod tests {
                 wide: Some(Opcode::Brw)
             }
         );
-        assert_eq!(BranchKind::of(Opcode::Brw), BranchKind::Plain { wide: None });
+        assert_eq!(
+            BranchKind::of(Opcode::Brw),
+            BranchKind::Plain { wide: None }
+        );
         assert_eq!(BranchKind::of(Opcode::Beql), BranchKind::Cond);
         assert_eq!(BranchKind::of(Opcode::Sobgtr), BranchKind::Trailing);
         assert_eq!(BranchKind::of(Opcode::Movl), BranchKind::NotABranch);

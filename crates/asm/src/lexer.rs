@@ -187,9 +187,7 @@ fn lex_number(bytes: &[u8], start: usize, lineno: u32) -> Result<(i64, usize), A
         match bytes[i + 1] {
             b'x' | b'X' => (16, i + 2),
             b'o' | b'O' => (8, i + 2),
-            b'b' | b'B' if bytes.get(i + 2).is_some_and(|c| matches!(c, b'0' | b'1')) => {
-                (2, i + 2)
-            }
+            b'b' | b'B' if bytes.get(i + 2).is_some_and(|c| matches!(c, b'0' | b'1')) => (2, i + 2),
             _ => (10, i),
         }
     } else {
@@ -252,9 +250,7 @@ fn lex_string(bytes: &[u8], start: usize, lineno: u32) -> Result<(Vec<u8>, usize
                 let esc = *bytes
                     .get(i)
                     .ok_or_else(|| AsmError::new(lineno, "unterminated escape"))?;
-                out.push(
-                    escape_value(esc).ok_or_else(|| AsmError::new(lineno, "unknown escape"))?,
-                );
+                out.push(escape_value(esc).ok_or_else(|| AsmError::new(lineno, "unknown escape"))?);
                 i += 1;
             }
             c => {
@@ -316,7 +312,10 @@ mod tests {
 
     #[test]
     fn comment_terminates() {
-        assert_eq!(lex("nop ; the rest is ignored: #@!("), vec![Token::Ident("nop".into())]);
+        assert_eq!(
+            lex("nop ; the rest is ignored: #@!("),
+            vec![Token::Ident("nop".into())]
+        );
     }
 
     #[test]
@@ -328,10 +327,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            lex("\"a\\tb\\n\""),
-            vec![Token::Str(b"a\tb\n".to_vec())]
-        );
+        assert_eq!(lex("\"a\\tb\\n\""), vec![Token::Str(b"a\tb\n".to_vec())]);
     }
 
     #[test]
@@ -344,7 +340,10 @@ mod tests {
 
     #[test]
     fn dot_alone_is_location_counter() {
-        assert_eq!(lex(". + 2"), vec![Token::Dot, Token::Plus, Token::Number(2)]);
+        assert_eq!(
+            lex(". + 2"),
+            vec![Token::Dot, Token::Plus, Token::Number(2)]
+        );
     }
 
     #[test]

@@ -93,8 +93,7 @@ mod tests {
         let mut off = 0u32;
         let mut ops = Vec::new();
         while (off as usize) < bytes.len() {
-            let insn =
-                DecodedInsn::decode(off, &mut |a| bytes.get(a as usize).copied()).unwrap();
+            let insn = DecodedInsn::decode(off, &mut |a| bytes.get(a as usize).copied()).unwrap();
             ops.push(insn.opcode);
             off += insn.len;
         }

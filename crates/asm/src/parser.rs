@@ -277,7 +277,10 @@ fn parse_operand(cur: &mut TokCursor<'_>) -> Result<OperandAst, AsmError> {
         }
         if let Some(reg) = peek_paren_reg(cur) {
             consume_paren_reg(cur);
-            cur.expect(&Token::Plus, "'+' (only @(rN)+ is a deferred register form)")?;
+            cur.expect(
+                &Token::Plus,
+                "'+' (only @(rN)+ is a deferred register form)",
+            )?;
             return Ok(OperandAst::AutoIncDeferred(reg));
         }
         let e = parse_expr(cur)?;
@@ -389,7 +392,9 @@ fn resolve_numeric_labels(stmts: &mut [Stmt]) -> Result<(), AsmError> {
                     }
                 }
             }
-            Some(StmtKind::Assign(_, e)) | Some(StmtKind::Org(e)) | Some(StmtKind::Align(e))
+            Some(StmtKind::Assign(_, e))
+            | Some(StmtKind::Org(e))
+            | Some(StmtKind::Align(e))
             | Some(StmtKind::Space(e, _)) => rewrite(e)?,
             Some(StmtKind::Data(_, es)) => {
                 for e in es {
@@ -413,9 +418,7 @@ fn rewrite_expr(
             let (numeral, back) = match name.strip_suffix('b') {
                 Some(n) if !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()) => (n, true),
                 _ => match name.strip_suffix('f') {
-                    Some(n) if !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()) => {
-                        (n, false)
-                    }
+                    Some(n) if !n.is_empty() && n.chars().all(|c| c.is_ascii_digit()) => (n, false),
                     _ => return Ok(()),
                 },
             };
@@ -516,7 +519,10 @@ mod tests {
         let i = insn("movl -8(sp), r0");
         assert!(matches!(
             &i.operands[0],
-            OperandAst::Displacement { deferred: false, .. }
+            OperandAst::Displacement {
+                deferred: false,
+                ..
+            }
         ));
     }
 
@@ -543,9 +549,10 @@ mod tests {
     fn directives() {
         assert!(matches!(one(".org 0x400").kind, Some(StmtKind::Org(_))));
         assert!(matches!(one(".align 4").kind, Some(StmtKind::Align(_))));
-        assert!(
-            matches!(one(".space 8, 0xFF").kind, Some(StmtKind::Space(_, 0xFF)))
-        );
+        assert!(matches!(
+            one(".space 8, 0xFF").kind,
+            Some(StmtKind::Space(_, 0xFF))
+        ));
         assert!(matches!(
             one(".byte 1, 2, 3").kind,
             Some(StmtKind::Data(DataSize::Byte, ref v)) if v.len() == 3
@@ -576,7 +583,9 @@ mod tests {
         assert_eq!(stmts[3].labels, vec![".L1.1"]);
         let target = |s: &Stmt| match &s.kind {
             Some(StmtKind::Insn(i)) => match &i.operands[0] {
-                OperandAst::Relative { expr: Expr::Sym(n), .. } => n.clone(),
+                OperandAst::Relative {
+                    expr: Expr::Sym(n), ..
+                } => n.clone(),
                 other => panic!("{other:?}"),
             },
             other => panic!("{other:?}"),

@@ -227,8 +227,13 @@ impl ArchSim {
         if block != self.cur_iblock {
             self.cur_iblock = block;
             if self.emit {
-                self.trace
-                    .push(TraceRecord::new(RecordKind::IFetch, block, 4, self.pid, false));
+                self.trace.push(TraceRecord::new(
+                    RecordKind::IFetch,
+                    block,
+                    4,
+                    self.pid,
+                    false,
+                ));
             }
         }
     }
@@ -377,7 +382,11 @@ impl ArchSim {
                 }
                 let (r, fl) = div(divisor, dividend);
                 self.flags = fl;
-                let dst = if insn.opcode == Divl3 { &ops[2] } else { &ops[1] };
+                let dst = if insn.opcode == Divl3 {
+                    &ops[2]
+                } else {
+                    &ops[1]
+                };
                 self.wr(dst, DataSize::Long, r)?;
             }
             Incl => {
@@ -628,7 +637,11 @@ impl ArchSim {
                 }
                 let addr = base.wrapping_add(pos >> 3);
                 let old = self.data_read(addr, DataSize::Long);
-                let mask = if size == 0 { 0 } else { ((1u32 << size) - 1) << (pos & 7) };
+                let mask = if size == 0 {
+                    0
+                } else {
+                    ((1u32 << size) - 1) << (pos & 7)
+                };
                 let new = (old & !mask) | ((src << (pos & 7)) & mask);
                 self.data_write(addr, DataSize::Long, new);
             }
@@ -713,7 +726,9 @@ impl ArchSim {
                 let p = self.regs[usize::from(reg)].wrapping_add(disp as u32);
                 self.data_read(p, DataSize::Long)
             }
-            Operand::Literal(_) | Operand::Immediate(_) | Operand::Register(_)
+            Operand::Literal(_)
+            | Operand::Immediate(_)
+            | Operand::Register(_)
             | Operand::BranchDisp(_) => {
                 return Err(SimFault::Decode(DecodeError::InvalidForAccess(
                     atum_arch::AddrMode::Literal,
@@ -926,11 +941,7 @@ fn ash(cnt: i32, src: u32) -> (u32, bool) {
     if cnt >= 0 {
         let c = cnt.min(63) as u32;
         let r = if c >= 32 { 0 } else { src << c };
-        let back = if c >= 32 {
-            0
-        } else {
-            ((r as i32) >> c) as u32
-        };
+        let back = if c >= 32 { 0 } else { ((r as i32) >> c) as u32 };
         (r, src != 0 && (back != src || c >= 32))
     } else {
         let c = (-cnt).min(31) as u32;
@@ -953,9 +964,8 @@ mod tests {
 
     #[test]
     fn basic_program() {
-        let mut sim = run_src(
-            "start: movl #5, r1\n addl3 r1, #10, r2\n movl #'x', r0\n chmk #1\n chmk #0\n",
-        );
+        let mut sim =
+            run_src("start: movl #5, r1\n addl3 r1, #10, r2\n movl #'x', r0\n chmk #1\n chmk #0\n");
         assert_eq!(sim.reg(2), 15);
         assert_eq!(sim.take_console_output(), b"x");
     }
@@ -1003,10 +1013,7 @@ mod tests {
         let mut sim = ArchSim::new();
         sim.load_image(&img);
         sim.set_pc(0x200);
-        assert_eq!(
-            sim.run(10),
-            ArchExit::Fault(SimFault::DivideByZero)
-        );
+        assert_eq!(sim.run(10), ArchExit::Fault(SimFault::DivideByZero));
     }
 
     #[test]
@@ -1015,6 +1022,9 @@ mod tests {
         let mut sim = ArchSim::new();
         sim.load_image(&img);
         sim.set_pc(0x200);
-        assert!(matches!(sim.run(10), ArchExit::Fault(SimFault::Unsupported(_))));
+        assert!(matches!(
+            sim.run(10),
+            ArchExit::Fault(SimFault::Unsupported(_))
+        ));
     }
 }

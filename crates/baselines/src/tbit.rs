@@ -101,7 +101,8 @@ impl TbitTracer {
             .build()
             .map_err(|e| TbitError::Boot(e.to_string()))?;
         let mut m = Machine::new(base.memory_layout());
-        base.load_into(&mut m).map_err(|e| TbitError::Boot(e.to_string()))?;
+        base.load_into(&mut m)
+            .map_err(|e| TbitError::Boot(e.to_string()))?;
         match m.run(self.budget) {
             RunExit::Halted => {}
             other => return Err(TbitError::Run(other)),

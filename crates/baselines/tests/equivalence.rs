@@ -81,8 +81,15 @@ fn insn() -> impl Strategy<Value = Insn> {
 #[derive(Debug, Clone)]
 enum Block {
     Straight(Vec<Insn>),
-    Loop { count: u8, body: Vec<Insn> },
-    Cond { a: String, b: String, body: Vec<Insn> },
+    Loop {
+        count: u8,
+        body: Vec<Insn>,
+    },
+    Cond {
+        a: String,
+        b: String,
+        body: Vec<Insn>,
+    },
 }
 
 fn block() -> impl Strategy<Value = Block> {
@@ -149,7 +156,11 @@ fn run_sim(img: &atum_asm::Image) -> ArchSim {
     sim.set_reg(14, 0x8000);
     sim.set_reg(10, SCRATCH);
     sim.stop_on_halt = true;
-    assert_eq!(sim.run(1_000_000), ArchExit::Exited, "simulator did not halt");
+    assert_eq!(
+        sim.run(1_000_000),
+        ArchExit::Exited,
+        "simulator did not halt"
+    );
     sim
 }
 

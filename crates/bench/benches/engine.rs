@@ -93,6 +93,48 @@ fn cache_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+fn cache_multi_throughput(c: &mut Criterion) {
+    // The paper's sweeps ask the same question of many configurations at
+    // once. Compare N independent `simulate` passes against one
+    // `simulate_many` pass over the same N configurations (a size sweep,
+    // all LRU write-back, so the stack engine takes them in one walk).
+    let img = bench_program();
+    let mut m = loaded_machine(&img);
+    let tracer = Tracer::attach(&mut m).unwrap();
+    tracer.set_enabled(&mut m, true);
+    m.run(u64::MAX);
+    let trace = tracer.extract(&m).unwrap();
+    let refs = trace.ref_count() as u64;
+
+    let mut cfgs: Vec<atum_cache::CacheConfig> = Vec::new();
+    for kb in [1u32, 2, 4, 8, 16, 32, 64] {
+        for ways in [1u32, 2, 4, 8] {
+            cfgs.push(
+                atum_cache::CacheConfig::builder()
+                    .size(kb << 10)
+                    .block(16)
+                    .assoc(ways)
+                    .build()
+                    .unwrap(),
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("cache_multi");
+    g.throughput(Throughput::Elements(refs * cfgs.len() as u64));
+    g.bench_function("replay_per_config", |b| {
+        b.iter(|| {
+            cfgs.iter()
+                .map(|cfg| atum_cache::simulate(&trace, cfg))
+                .collect::<Vec<_>>()
+        })
+    });
+    g.bench_function("single_pass", |b| {
+        b.iter(|| atum_cache::simulate_many(&trace, &cfgs))
+    });
+    g.finish();
+}
+
 fn archsim_throughput(c: &mut Criterion) {
     // The architectural simulator is much faster on the host than the
     // microcoded machine — and sees nothing but one user program. Both
@@ -125,9 +167,7 @@ fn archsim_throughput(c: &mut Criterion) {
 
 fn build_costs(c: &mut Criterion) {
     let mut g = c.benchmark_group("build");
-    g.bench_function("stock_control_store", |b| {
-        b.iter(atum_ucode::stock::build)
-    });
+    g.bench_function("stock_control_store", |b| b.iter(atum_ucode::stock::build));
     let kernel_src = atum_os::kernel::source(&atum_os::KernelOptions::default());
     g.bench_function("assemble_kernel", |b| {
         b.iter(|| atum_asm::assemble(&kernel_src).unwrap())
@@ -145,6 +185,6 @@ fn build_costs(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, cache_throughput, archsim_throughput, build_costs
+    targets = engine_throughput, cache_throughput, cache_multi_throughput, archsim_throughput, build_costs
 }
 criterion_main!(benches);

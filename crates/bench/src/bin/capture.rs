@@ -69,9 +69,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "mix" => args.workloads.extend(atum_workloads::mix_std()),
             name => {
-                args.workloads.push(
-                    preset(name).ok_or_else(|| format!("unknown workload '{name}'"))?,
-                );
+                args.workloads
+                    .push(preset(name).ok_or_else(|| format!("unknown workload '{name}'"))?);
             }
         }
     }

@@ -6,39 +6,17 @@
 //! cargo run -p atum-bench --release --bin experiments -- quick   # small instances
 //! cargo run -p atum-bench --release --bin experiments -- full f1 f2
 //! cargo run -p atum-bench --release --bin experiments -- quick --csv f1
+//! cargo run -p atum-bench --release --bin experiments -- full --jobs 4
 //! ```
 //!
 //! `--csv` additionally emits each table as CSV after its report.
+//! `--jobs N` fans independent experiments (and their internal capture
+//! runs) over N threads; output is byte-identical for every N. The
+//! standard mix is captured once and shared across all experiments that
+//! analyse it.
 
 use atum_analysis::{experiments, Report, Scale};
 use std::process::ExitCode;
-
-fn run_one(id: &str, scale: Scale) -> Result<Report, String> {
-    let shared_needed = matches!(id, "f1" | "f2" | "f3" | "f4" | "f5" | "f6" | "e1" | "e2" | "e3" | "e4");
-    let shared = if shared_needed {
-        Some(experiments::capture_standard_mix(scale).map_err(|e| e.to_string())?)
-    } else {
-        None
-    };
-    let shared = shared.as_ref();
-    let report = match id {
-        "t1" => experiments::t1_technique_comparison(scale),
-        "t2" => experiments::t2_trace_characteristics(scale),
-        "f1" => experiments::f1_os_vs_user(scale, shared.unwrap()),
-        "f2" => experiments::f2_switch_policy(scale, shared.unwrap()),
-        "f3" => experiments::f3_block_size(scale, shared.unwrap()),
-        "f4" => experiments::f4_associativity(scale, shared.unwrap()),
-        "f5" => experiments::f5_tlb(scale, shared.unwrap()),
-        "f6" => experiments::f6_organisation(scale, shared.unwrap()),
-        "e1" => experiments::e1_cold_start(scale, shared.unwrap()),
-        "e2" => experiments::e2_compaction(scale, shared.unwrap()),
-        "e3" => experiments::e3_os_breakdown(scale, shared.unwrap()),
-        "e4" => experiments::e4_working_set(scale, shared.unwrap()),
-        "a1" => experiments::a1_patch_cost(scale),
-        other => return Err(format!("unknown experiment id '{other}'")),
-    };
-    report.map_err(|e| e.to_string())
-}
 
 fn print_report(r: &Report, csv: bool) {
     println!("{r}\n");
@@ -53,6 +31,20 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let csv = args.iter().any(|a| a == "--csv");
     args.retain(|a| a != "--csv");
+    let mut jobs = atum_analysis::parallel::jobs();
+    if let Some(pos) = args.iter().position(|a| a == "--jobs") {
+        let Some(n) = args.get(pos + 1).and_then(|v| v.parse::<usize>().ok()) else {
+            eprintln!("--jobs needs a positive integer");
+            return ExitCode::FAILURE;
+        };
+        if n == 0 {
+            eprintln!("--jobs needs a positive integer");
+            return ExitCode::FAILURE;
+        }
+        jobs = n;
+        args.drain(pos..pos + 2);
+    }
+    atum_analysis::set_jobs(jobs);
     let (scale, ids): (Scale, Vec<String>) = match args.split_first() {
         Some((first, rest)) if first == "quick" => (Scale::Quick, rest.to_vec()),
         Some((first, rest)) if first == "full" => (Scale::Full, rest.to_vec()),
@@ -61,38 +53,28 @@ fn main() -> ExitCode {
     };
 
     eprintln!(
-        "# ATUM reproduction — experiment harness ({:?} scale)",
-        scale
+        "# ATUM reproduction — experiment harness ({:?} scale, {} jobs)",
+        scale, jobs
     );
 
-    if ids.is_empty() {
-        match experiments::run_all(scale) {
-            Ok(reports) => {
-                for r in reports {
-                    print_report(&r, csv);
-                }
-                ExitCode::SUCCESS
-            }
-            Err(e) => {
-                eprintln!("experiment run failed: {e}");
-                ExitCode::FAILURE
-            }
-        }
+    let ids = if ids.is_empty() {
+        experiments::ALL_IDS.iter().map(|s| s.to_string()).collect()
     } else {
-        let mut ok = true;
-        for id in &ids {
-            match run_one(&id.to_lowercase(), scale) {
-                Ok(r) => print_report(&r, csv),
-                Err(e) => {
-                    eprintln!("{id}: {e}");
-                    ok = false;
-                }
+        ids
+    };
+    let mut ok = true;
+    for (id, result) in experiments::run_selected(scale, &ids, jobs) {
+        match result {
+            Ok(r) => print_report(&r, csv),
+            Err(e) => {
+                eprintln!("{id}: {e}");
+                ok = false;
             }
         }
-        if ok {
-            ExitCode::SUCCESS
-        } else {
-            ExitCode::FAILURE
-        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

@@ -13,7 +13,9 @@ use atum_ucode::stock;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "entries".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "entries".to_string());
     let mut cs = stock::build();
     match arg.as_str() {
         "entries" => {
@@ -40,13 +42,17 @@ fn main() -> ExitCode {
             match cs.listing_of(sym) {
                 Some(l) => println!("{l}"),
                 None => {
-                let mut names: Vec<&String> = cs.symbols().keys().collect();
-                names.sort();
+                    let mut names: Vec<&String> = cs.symbols().keys().collect();
+                    names.sort();
                     eprintln!("unknown symbol '{sym}'. available:");
                     for chunk in names.chunks(6) {
                         eprintln!(
                             "  {}",
-                            chunk.iter().map(|s| s.as_str()).collect::<Vec<_>>().join("  ")
+                            chunk
+                                .iter()
+                                .map(|s| s.as_str())
+                                .collect::<Vec<_>>()
+                                .join("  ")
                         );
                     }
                     return ExitCode::FAILURE;

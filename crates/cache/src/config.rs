@@ -111,6 +111,42 @@ impl CacheConfig {
         self.switch = sw;
         self
     }
+
+    /// Returns a copy with a different associativity.
+    ///
+    /// # Panics
+    ///
+    /// When `ways` breaks validation (not a power of two, or
+    /// `block * ways` exceeding the size).
+    pub fn with_assoc(self, ways: u32) -> CacheConfig {
+        CacheConfig::builder()
+            .size(self.size)
+            .block(self.block)
+            .assoc(ways)
+            .replacement(self.replacement)
+            .write_policy(self.write)
+            .switch_policy(self.switch)
+            .build()
+            .expect("with_assoc")
+    }
+
+    /// Returns a copy with a different block size.
+    ///
+    /// # Panics
+    ///
+    /// When `bytes` breaks validation (not a power of two, below 4, or
+    /// `bytes * assoc` exceeding the size).
+    pub fn with_block(self, bytes: u32) -> CacheConfig {
+        CacheConfig::builder()
+            .size(self.size)
+            .block(bytes)
+            .assoc(self.assoc)
+            .replacement(self.replacement)
+            .write_policy(self.write)
+            .switch_policy(self.switch)
+            .build()
+            .expect("with_block")
+    }
 }
 
 impl fmt::Display for CacheConfig {
@@ -197,13 +233,19 @@ impl CacheConfigBuilder {
     pub fn build(self) -> Result<CacheConfig, ConfigError> {
         let pow2 = |v: u32| v != 0 && v & (v - 1) == 0;
         if !pow2(self.size) {
-            return Err(ConfigError(format!("size {} not a power of two", self.size)));
+            return Err(ConfigError(format!(
+                "size {} not a power of two",
+                self.size
+            )));
         }
         if !pow2(self.block) || self.block < 4 {
             return Err(ConfigError(format!("block {} invalid", self.block)));
         }
         if !pow2(self.assoc) {
-            return Err(ConfigError(format!("assoc {} not a power of two", self.assoc)));
+            return Err(ConfigError(format!(
+                "assoc {} not a power of two",
+                self.assoc
+            )));
         }
         if self.block * self.assoc > self.size {
             return Err(ConfigError(format!(

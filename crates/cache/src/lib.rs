@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod config;
+mod multi;
 mod set_assoc;
 mod sim;
 mod split;
@@ -44,6 +45,7 @@ mod tlb;
 pub use config::{
     CacheConfig, CacheConfigBuilder, ConfigError, Replacement, SwitchPolicy, WritePolicy,
 };
+pub use multi::{simulate_many, stackable};
 pub use set_assoc::{AccessKind, Cache};
 pub use sim::{simulate, simulate_tlb, sweep_assoc, sweep_block, sweep_size};
 pub use split::{simulate_split, SplitStats};

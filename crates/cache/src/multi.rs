@@ -1,0 +1,577 @@
+//! Single-pass multi-configuration cache simulation.
+//!
+//! The paper's cache studies sweep size, block size and associativity
+//! over the same captured trace. Simulating each configuration
+//! separately re-walks the trace once per point; this module evaluates
+//! an entire sweep in **one traversal** using a generalized
+//! stack-distance (Mattson) engine.
+//!
+//! For set-associative LRU caches with bit-selection indexing, the
+//! inclusion property holds: a reference's hit/miss outcome in a cache
+//! with `S = 2^s` sets and `A` ways is determined by its *set-relative
+//! stack distance* — the number of distinct blocks mapping to the same
+//! set (mod `S`) that were touched since the last touch of this block.
+//! One global LRU stack therefore answers every `(S, A)` in the sweep
+//! at once: walking from the most recent entry down to the referenced
+//! block, count per set-count how many prior blocks share its set; the
+//! reference hits in `(S, A)` iff that count is below `A`.
+//!
+//! Write-back accounting is *lazy*, which keeps misses cheap: a block
+//! whose stack distance reaches `A` was evicted at the moment its
+//! `A`-th same-set successor arrived, so a dirty bit surviving to the
+//! block's next touch (or to a purge, or to the end of the trace) means
+//! exactly one write-back happened — counted then, not at eviction
+//! time. Statistics are only observed at the end, so the deferral is
+//! invisible, and an access never has to walk past its own stack
+//! distance (an absent block needs no walk at all). Dirty state is a
+//! per-entry bitmask over the group's configurations.
+//!
+//! Inclusion requires that every access reorder the stack the same way
+//! in every configuration. That holds for LRU with write-allocate; it
+//! fails for FIFO and random replacement (no stack property) and for
+//! write-through-no-allocate (a write miss does not insert, and whether
+//! it misses depends on the configuration). Those configurations fall
+//! back to grouped per-configuration replay — independent [`Cache`]
+//! models fed from the same single trace traversal.
+//!
+//! The produced [`CacheStats`] are field-for-field identical to running
+//! [`crate::sim::simulate`] per configuration (the property suite in
+//! `tests/multi_equiv.rs` pins this down).
+
+use crate::config::{CacheConfig, Replacement, SwitchPolicy, WritePolicy};
+use crate::set_assoc::{AccessKind, Cache};
+use crate::stats::CacheStats;
+use atum_core::{RecordKind, Trace};
+use std::collections::{HashMap, HashSet};
+
+const NIL: u32 = u32::MAX;
+
+/// Whether a configuration can join a shared-stack group (LRU +
+/// write-back; see the module docs for why the others cannot).
+pub fn stackable(cfg: &CacheConfig) -> bool {
+    cfg.replacement() == Replacement::Lru && cfg.write_policy() == WritePolicy::WriteBackAllocate
+}
+
+/// One entry of the global LRU stack.
+#[derive(Debug, Clone)]
+struct Node {
+    block: u32,
+    /// Per-configuration dirty bits (bit i = group's i-th config).
+    dirty: u64,
+    prev: u32,
+    next: u32,
+}
+
+#[derive(Debug, Clone)]
+struct GroupCfg {
+    /// log2 of the set count.
+    slog: usize,
+    assoc: u32,
+    /// Index into `simulate_many`'s input slice.
+    orig: usize,
+    bit: u64,
+}
+
+/// A shared-stack group: configurations with equal block size, switch
+/// policy, LRU replacement and write-back policy.
+///
+/// Counters that are provably identical across the group's members —
+/// access/kind totals, context switches, compulsory misses — are kept
+/// once at group level; only hits and write-backs are per configuration
+/// (misses are derived as `accesses - hits` at collection time).
+#[derive(Debug)]
+struct StackGroup {
+    block_size: u32,
+    switch: SwitchPolicy,
+    cfgs: Vec<GroupCfg>,
+    s_max: usize,
+    all_mask: u64,
+
+    nodes: Vec<Node>,
+    head: u32,
+    map: HashMap<(u8, u32), u32>,
+    seen: HashSet<u64>,
+
+    // Shared across every configuration in the group.
+    accesses: u64,
+    ifetches: u64,
+    reads: u64,
+    writes: u64,
+    ctx_switches: u64,
+    cold: u64,
+
+    // Per configuration.
+    hits: Vec<u64>,
+    ifetch_hits: Vec<u64>,
+    read_hits: Vec<u64>,
+    write_hits: Vec<u64>,
+    writebacks: Vec<u64>,
+    invalidations: Vec<u64>,
+
+    // Per-access scratch: same-set predecessor counts bucketed by
+    // min(trailing zeros of block xor, s_max), and their suffix sums.
+    bucket: Vec<u32>,
+    dist: Vec<u32>,
+}
+
+impl StackGroup {
+    fn new(configs: &[CacheConfig], orig_indices: &[usize]) -> StackGroup {
+        assert!(orig_indices.len() <= 64, "dirty bitmask is 64 bits wide");
+        let block_size = configs[orig_indices[0]].block();
+        let switch = configs[orig_indices[0]].switch_policy();
+        let cfgs: Vec<GroupCfg> = orig_indices
+            .iter()
+            .enumerate()
+            .map(|(i, &orig)| {
+                let c = &configs[orig];
+                debug_assert_eq!(c.block(), block_size);
+                debug_assert_eq!(c.switch_policy(), switch);
+                GroupCfg {
+                    slog: c.sets().trailing_zeros() as usize,
+                    assoc: c.assoc(),
+                    orig,
+                    bit: 1u64 << i,
+                }
+            })
+            .collect();
+        let s_max = cfgs.iter().map(|c| c.slog).max().unwrap_or(0);
+        let n = cfgs.len();
+        StackGroup {
+            block_size,
+            switch,
+            all_mask: if n == 64 { u64::MAX } else { (1u64 << n) - 1 },
+            s_max,
+            cfgs,
+            nodes: Vec::new(),
+            head: NIL,
+            map: HashMap::new(),
+            seen: HashSet::new(),
+            accesses: 0,
+            ifetches: 0,
+            reads: 0,
+            writes: 0,
+            ctx_switches: 0,
+            cold: 0,
+            hits: vec![0; n],
+            ifetch_hits: vec![0; n],
+            read_hits: vec![0; n],
+            write_hits: vec![0; n],
+            writebacks: vec![0; n],
+            invalidations: vec![0; n],
+            bucket: vec![0; s_max + 1],
+            dist: vec![0; s_max + 1],
+        }
+    }
+
+    /// Assembles the full statistics for the group's `i`-th member.
+    fn stats_for(&self, i: usize) -> CacheStats {
+        CacheStats {
+            accesses: self.accesses,
+            hits: self.hits[i],
+            misses: self.accesses - self.hits[i],
+            cold_misses: self.cold,
+            ifetch_accesses: self.ifetches,
+            ifetch_misses: self.ifetches - self.ifetch_hits[i],
+            read_accesses: self.reads,
+            read_misses: self.reads - self.read_hits[i],
+            write_accesses: self.writes,
+            write_misses: self.writes - self.write_hits[i],
+            writebacks: self.writebacks[i],
+            write_throughs: 0,
+            flush_invalidations: self.invalidations[i],
+            context_switches: self.ctx_switches,
+        }
+    }
+
+    fn context_switch(&mut self) {
+        self.ctx_switches += 1;
+        if self.switch == SwitchPolicy::Flush {
+            self.flush();
+        }
+    }
+
+    /// Purge accounting: every resident line counts an invalidation;
+    /// every surviving dirty bit counts a write-back (resident ⇒ the
+    /// purge writes it back now, non-resident ⇒ its past eviction did) —
+    /// then the stack is emptied (first-touch history is kept, matching
+    /// `Cache`).
+    fn flush(&mut self) {
+        let mut above: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.s_max + 1];
+        let mut cur = self.head;
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            for (i, c) in self.cfgs.iter().enumerate() {
+                let set = node.block & ((1u32 << c.slog) - 1);
+                let pos = above[c.slog].get(&set).copied().unwrap_or(0);
+                if pos < c.assoc {
+                    self.invalidations[i] += 1;
+                }
+                if node.dirty & c.bit != 0 {
+                    self.writebacks[i] += 1;
+                }
+            }
+            for (s, counts) in above.iter_mut().enumerate() {
+                *counts.entry(node.block & ((1u32 << s) - 1)).or_insert(0) += 1;
+            }
+            cur = node.next;
+        }
+        self.nodes.clear();
+        self.map.clear();
+        self.head = NIL;
+    }
+
+    /// End-of-trace settlement for the lazy write-back accounting: a
+    /// dirty bit on a block that is no longer resident records an
+    /// eviction-time write-back that was deferred; resident dirty lines
+    /// stay uncounted (they are still in the cache), matching `Cache`.
+    fn finish(&mut self) {
+        let mut above: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.s_max + 1];
+        let mut cur = self.head;
+        while cur != NIL {
+            let node = &self.nodes[cur as usize];
+            if node.dirty != 0 {
+                for (i, c) in self.cfgs.iter().enumerate() {
+                    if node.dirty & c.bit == 0 {
+                        continue;
+                    }
+                    let set = node.block & ((1u32 << c.slog) - 1);
+                    let pos = above[c.slog].get(&set).copied().unwrap_or(0);
+                    if pos >= c.assoc {
+                        self.writebacks[i] += 1;
+                    }
+                }
+            }
+            for (s, counts) in above.iter_mut().enumerate() {
+                *counts.entry(node.block & ((1u32 << s) - 1)).or_insert(0) += 1;
+            }
+            cur = node.next;
+        }
+    }
+
+    /// Computes suffix sums of the tz buckets into `dist` (so
+    /// `dist[s]` = same-set predecessors seen so far for set count
+    /// `2^s`), returning whether every configuration is already a
+    /// decided miss.
+    fn all_decided(&mut self) -> bool {
+        let mut acc = 0u32;
+        for s in (0..=self.s_max).rev() {
+            acc += self.bucket[s];
+            self.dist[s] = acc;
+        }
+        self.cfgs.iter().all(|c| self.dist[c.slog] >= c.assoc)
+    }
+
+    fn access(&mut self, addr: u32, kind: AccessKind, pid: u8) {
+        let is_write = kind.is_write();
+        self.accesses += 1;
+        match kind {
+            AccessKind::IFetch => self.ifetches += 1,
+            AccessKind::Read => self.reads += 1,
+            AccessKind::Write => self.writes += 1,
+        }
+        let pid_tag = match self.switch {
+            SwitchPolicy::PidTag => pid,
+            _ => 0,
+        };
+        let blockno = addr / self.block_size;
+        let target = self.map.get(&(pid_tag, blockno)).copied();
+
+        let mut hit_mask = 0u64;
+        match target {
+            None => {
+                // A first touch is a compulsory miss in every
+                // configuration simultaneously; any other absent block
+                // (purged earlier) misses everywhere too. Either way no
+                // stack walk is needed.
+                if self.seen.insert(((pid_tag as u64) << 32) | blockno as u64) {
+                    self.cold += 1;
+                }
+            }
+            Some(tnode) => {
+                // Walk MRU → LRU up to the referenced block, bucketing
+                // each predecessor by how many low block-number bits it
+                // shares (one O(1) update per node). Periodically stop
+                // early once every configuration's same-set count has
+                // reached its associativity — all decided misses.
+                self.bucket.fill(0);
+                let mut cur = self.head;
+                let mut batch = 0u32;
+                while cur != NIL && cur != tnode {
+                    let node = &self.nodes[cur as usize];
+                    let tz = (node.block ^ blockno).trailing_zeros() as usize;
+                    let next = node.next;
+                    self.bucket[tz.min(self.s_max)] += 1;
+                    batch += 1;
+                    if batch == 64 {
+                        batch = 0;
+                        if self.all_decided() {
+                            break;
+                        }
+                    }
+                    cur = next;
+                }
+                let decided_all = self.all_decided();
+                let old_dirty = self.nodes[tnode as usize].dirty;
+                for (i, c) in self.cfgs.iter().enumerate() {
+                    if !decided_all && self.dist[c.slog] < c.assoc {
+                        self.hits[i] += 1;
+                        match kind {
+                            AccessKind::IFetch => self.ifetch_hits[i] += 1,
+                            AccessKind::Read => self.read_hits[i] += 1,
+                            AccessKind::Write => self.write_hits[i] += 1,
+                        }
+                        hit_mask |= c.bit;
+                    } else if old_dirty & c.bit != 0 {
+                        // Lazy write-back: a miss on a block still in the
+                        // stack means it was evicted since its last touch;
+                        // a surviving dirty bit records that the eviction
+                        // wrote it back. The bit itself is dropped by the
+                        // `hit_mask` filter below.
+                        self.writebacks[i] += 1;
+                    }
+                }
+            }
+        }
+
+        // Allocate-on-miss everywhere (write-back groups only), so every
+        // configuration reorders identically: move/insert at MRU. Hit
+        // configurations keep their dirty bit; miss configurations start
+        // the fresh line clean unless this access writes it.
+        let old_dirty = match target {
+            Some(t) => {
+                self.unlink(t);
+                self.nodes[t as usize].dirty
+            }
+            None => 0,
+        };
+        let dirty = (old_dirty & hit_mask) | if is_write { self.all_mask } else { 0 };
+        match target {
+            Some(t) => {
+                self.nodes[t as usize].dirty = dirty;
+                self.push_front(t);
+            }
+            None => {
+                let idx = self.nodes.len() as u32;
+                self.nodes.push(Node {
+                    block: blockno,
+                    dirty,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.map.insert((pid_tag, blockno), idx);
+                self.push_front(idx);
+            }
+        }
+    }
+
+    fn unlink(&mut self, idx: u32) {
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev != NIL {
+            self.nodes[prev as usize].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: u32) {
+        self.nodes[idx as usize].prev = NIL;
+        self.nodes[idx as usize].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head as usize].prev = idx;
+        }
+        self.head = idx;
+    }
+}
+
+/// Simulates every configuration in one traversal of the trace.
+///
+/// Results are index-aligned with `cfgs` and identical to calling
+/// [`crate::sim::simulate`] per configuration. LRU write-back
+/// configurations sharing a block size and switch policy are evaluated
+/// by the stack-distance engine; the rest replay on independent
+/// [`Cache`] models driven from the same traversal.
+pub fn simulate_many(trace: &Trace, cfgs: &[CacheConfig]) -> Vec<CacheStats> {
+    let mut direct: Vec<(usize, Cache)> = Vec::new();
+    let mut grouped: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
+    for (i, c) in cfgs.iter().enumerate() {
+        if stackable(c) {
+            grouped
+                .entry((c.block(), c.switch_policy() as u8))
+                .or_default()
+                .push(i);
+        } else {
+            direct.push((i, Cache::new(*c)));
+        }
+    }
+    // A one-config group gets no amortization from the shared stack and
+    // would pay its walk costs for nothing — replay it directly.
+    let mut groups: Vec<StackGroup> = Vec::new();
+    for indices in grouped.values() {
+        for chunk in indices.chunks(64) {
+            if chunk.len() == 1 {
+                direct.push((chunk[0], Cache::new(cfgs[chunk[0]])));
+            } else {
+                groups.push(StackGroup::new(cfgs, chunk));
+            }
+        }
+    }
+
+    for r in trace.iter() {
+        match r.kind() {
+            RecordKind::CtxSwitch => {
+                for g in &mut groups {
+                    g.context_switch();
+                }
+                for (_, c) in &mut direct {
+                    c.context_switch(r.pid());
+                }
+            }
+            kind => {
+                if let Some(access) = crate::sim::record_kind_to_access(kind) {
+                    for g in &mut groups {
+                        g.access(r.addr, access, r.pid());
+                    }
+                    for (_, c) in &mut direct {
+                        c.access(r.addr, access, r.pid());
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = vec![CacheStats::default(); cfgs.len()];
+    for g in &mut groups {
+        g.finish();
+    }
+    for g in &groups {
+        for (i, c) in g.cfgs.iter().enumerate() {
+            out[c.orig] = g.stats_for(i);
+        }
+    }
+    for (orig, c) in &direct {
+        out[*orig] = *c.stats();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::simulate;
+    use atum_core::TraceRecord;
+
+    fn trace_with_switches() -> Trace {
+        let mut t = Trace::new();
+        // Two processes ping-ponging over overlapping footprints, with
+        // strided writes so write-back accounting is exercised.
+        for round in 0..30u32 {
+            let pid = (round % 3) as u8 + 1;
+            t.push(TraceRecord::new(RecordKind::CtxSwitch, 0, 0, pid, true));
+            for b in 0..48u32 {
+                let addr = (b * 16 + round * 8) % 4096;
+                let kind = if b % 5 == 0 {
+                    RecordKind::Write
+                } else if b % 7 == 0 {
+                    RecordKind::IFetch
+                } else {
+                    RecordKind::Read
+                };
+                t.push(TraceRecord::new(kind, addr, 4, pid, false));
+            }
+        }
+        t
+    }
+
+    fn sweep_configs(switch: SwitchPolicy) -> Vec<CacheConfig> {
+        let mut v = Vec::new();
+        for size in [256u32, 512, 1024, 4096] {
+            for assoc in [1u32, 2, 4] {
+                v.push(
+                    CacheConfig::builder()
+                        .size(size)
+                        .block(16)
+                        .assoc(assoc)
+                        .switch_policy(switch)
+                        .build()
+                        .unwrap(),
+                );
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn matches_reference_for_each_switch_policy() {
+        let t = trace_with_switches();
+        for switch in [
+            SwitchPolicy::Ignore,
+            SwitchPolicy::Flush,
+            SwitchPolicy::PidTag,
+        ] {
+            let cfgs = sweep_configs(switch);
+            let many = simulate_many(&t, &cfgs);
+            for (cfg, got) in cfgs.iter().zip(&many) {
+                let want = simulate(&t, cfg);
+                assert_eq!(*got, want, "mismatch under {cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn non_lru_configs_fall_back_and_still_match() {
+        let t = trace_with_switches();
+        let cfgs: Vec<CacheConfig> = [Replacement::Fifo, Replacement::Random, Replacement::Lru]
+            .into_iter()
+            .map(|r| {
+                CacheConfig::builder()
+                    .size(512)
+                    .block(16)
+                    .assoc(2)
+                    .replacement(r)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        let many = simulate_many(&t, &cfgs);
+        for (cfg, got) in cfgs.iter().zip(&many) {
+            assert_eq!(*got, simulate(&t, cfg), "mismatch under {cfg}");
+        }
+    }
+
+    #[test]
+    fn write_through_falls_back() {
+        let cfg = CacheConfig::builder()
+            .size(512)
+            .block(16)
+            .write_policy(WritePolicy::WriteThroughNoAllocate)
+            .build()
+            .unwrap();
+        assert!(!stackable(&cfg));
+        let t = trace_with_switches();
+        assert_eq!(simulate_many(&t, &[cfg])[0], simulate(&t, &cfg));
+    }
+
+    #[test]
+    fn mixed_block_sizes_split_into_groups() {
+        let t = trace_with_switches();
+        let cfgs: Vec<CacheConfig> = [8u32, 16, 32]
+            .into_iter()
+            .map(|b| CacheConfig::builder().size(1024).block(b).build().unwrap())
+            .collect();
+        let many = simulate_many(&t, &cfgs);
+        for (cfg, got) in cfgs.iter().zip(&many) {
+            assert_eq!(*got, simulate(&t, cfg), "mismatch under {cfg}");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(simulate_many(&Trace::new(), &[]).is_empty());
+    }
+}

@@ -306,7 +306,10 @@ mod tests {
                 .unwrap(),
         );
         c.access(0x200, AccessKind::Write, 0);
-        assert!(!c.access(0x200, AccessKind::Read, 0), "write did not allocate");
+        assert!(
+            !c.access(0x200, AccessKind::Read, 0),
+            "write did not allocate"
+        );
         assert_eq!(c.stats().write_throughs, 1);
         assert_eq!(c.stats().writebacks, 0);
     }

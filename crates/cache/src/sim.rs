@@ -6,7 +6,7 @@ use crate::stats::CacheStats;
 use crate::tlb::{TlbConfig, TlbSim};
 use atum_core::{RecordKind, Trace};
 
-fn record_kind_to_access(kind: RecordKind) -> Option<AccessKind> {
+pub(crate) fn record_kind_to_access(kind: RecordKind) -> Option<AccessKind> {
     match kind {
         RecordKind::IFetch => Some(AccessKind::IFetch),
         RecordKind::Read => Some(AccessKind::Read),
@@ -47,49 +47,55 @@ pub fn simulate_tlb(trace: &Trace, cfg: &TlbConfig) -> CacheStats {
     *tlb.stats()
 }
 
-/// Miss rate as a function of cache size; other parameters from `base`.
-pub fn sweep_size(trace: &Trace, base: &CacheConfig, sizes: &[u32]) -> Vec<(u32, CacheStats)> {
-    sizes
+fn sweep<F>(trace: &Trace, points: &[u32], make: F) -> Vec<(u32, CacheStats)>
+where
+    F: Fn(u32) -> CacheConfig,
+{
+    let cfgs: Vec<CacheConfig> = points.iter().map(|&p| make(p)).collect();
+    points
         .iter()
-        .map(|&s| (s, simulate(trace, &base.with_size(s))))
+        .copied()
+        .zip(crate::multi::simulate_many(trace, &cfgs))
         .collect()
+}
+
+/// Miss rate as a function of cache size; other parameters from `base`.
+///
+/// All sweeps run through [`crate::multi::simulate_many`]: LRU
+/// write-back points share one trace traversal, everything else replays
+/// grouped.
+pub fn sweep_size(trace: &Trace, base: &CacheConfig, sizes: &[u32]) -> Vec<(u32, CacheStats)> {
+    sweep(trace, sizes, |s| base.with_size(s))
 }
 
 /// Miss rate as a function of block size.
 pub fn sweep_block(trace: &Trace, base: &CacheConfig, blocks: &[u32]) -> Vec<(u32, CacheStats)> {
-    blocks
-        .iter()
-        .map(|&b| {
-            let cfg = CacheConfig::builder()
-                .size(base.size())
-                .block(b)
-                .assoc(base.assoc())
-                .replacement(base.replacement())
-                .write_policy(base.write_policy())
-                .switch_policy(base.switch_policy())
-                .build()
-                .expect("sweep config");
-            (b, simulate(trace, &cfg))
-        })
-        .collect()
+    sweep(trace, blocks, |b| {
+        CacheConfig::builder()
+            .size(base.size())
+            .block(b)
+            .assoc(base.assoc())
+            .replacement(base.replacement())
+            .write_policy(base.write_policy())
+            .switch_policy(base.switch_policy())
+            .build()
+            .expect("sweep config")
+    })
 }
 
 /// Miss rate as a function of associativity.
 pub fn sweep_assoc(trace: &Trace, base: &CacheConfig, ways: &[u32]) -> Vec<(u32, CacheStats)> {
-    ways.iter()
-        .map(|&w| {
-            let cfg = CacheConfig::builder()
-                .size(base.size())
-                .block(base.block())
-                .assoc(w)
-                .replacement(base.replacement())
-                .write_policy(base.write_policy())
-                .switch_policy(base.switch_policy())
-                .build()
-                .expect("sweep config");
-            (w, simulate(trace, &cfg))
-        })
-        .collect()
+    sweep(trace, ways, |w| {
+        CacheConfig::builder()
+            .size(base.size())
+            .block(base.block())
+            .assoc(w)
+            .replacement(base.replacement())
+            .write_policy(base.write_policy())
+            .switch_policy(base.switch_policy())
+            .build()
+            .expect("sweep config")
+    })
 }
 
 #[cfg(test)]

@@ -72,8 +72,20 @@ mod tests {
     fn mixed_trace() -> Trace {
         let mut t = Trace::new();
         for i in 0..512u32 {
-            t.push(TraceRecord::new(RecordKind::IFetch, 0x1000 + (i % 64) * 4, 4, 1, false));
-            t.push(TraceRecord::new(RecordKind::Read, 0x8000 + (i % 200) * 4, 4, 1, false));
+            t.push(TraceRecord::new(
+                RecordKind::IFetch,
+                0x1000 + (i % 64) * 4,
+                4,
+                1,
+                false,
+            ));
+            t.push(TraceRecord::new(
+                RecordKind::Read,
+                0x8000 + (i % 200) * 4,
+                4,
+                1,
+                false,
+            ));
         }
         t
     }
@@ -94,8 +106,18 @@ mod tests {
         // An I-loop and a D-stream that collide in a small unified cache
         // coexist when split.
         let t = mixed_trace();
-        let unified = CacheConfig::builder().size(512).block(16).assoc(1).build().unwrap();
-        let half = CacheConfig::builder().size(256).block(16).assoc(1).build().unwrap();
+        let unified = CacheConfig::builder()
+            .size(512)
+            .block(16)
+            .assoc(1)
+            .build()
+            .unwrap();
+        let half = CacheConfig::builder()
+            .size(256)
+            .block(16)
+            .assoc(1)
+            .build()
+            .unwrap();
         let u = crate::sim::simulate(&t, &unified);
         let s = simulate_split(&t, &half, &half);
         // The 64-entry (1 KiB footprint) I-loop fits a 256 B I-cache

@@ -24,9 +24,7 @@
 
 use crate::record::{meta, RecordKind};
 use atum_arch::{Opcode, PrivReg};
-use atum_ucode::{
-    AluOp, ControlStore, Entry, MicroAsm, MicroCond, MicroOp, MicroReg, Target,
-};
+use atum_ucode::{AluOp, ControlStore, Entry, MicroAsm, MicroCond, MicroOp, MicroReg, Target};
 use std::fmt;
 
 /// TRCTL bit assignments.
@@ -292,7 +290,12 @@ fn build_ref_stub(
         }
         None => {
             ua.mov(imm((kind as u32) << meta::KIND_SHIFT), p(5));
-            ua.alu_l(AluOp::Lsl, imm(meta::SIZE_SHIFT), MicroReg::OSizeBytes, p(7));
+            ua.alu_l(
+                AluOp::Lsl,
+                imm(meta::SIZE_SHIFT),
+                MicroReg::OSizeBytes,
+                p(7),
+            );
             ua.alu_l(AluOp::Or, p(5), p(7), p(5));
         }
     }
@@ -433,10 +436,7 @@ mod tests {
         let _ = PatchSet::install(&mut cs).unwrap();
         for addr in cs.stock_len()..cs.len() {
             if let MicroOp::Alu { dst, .. } | MicroOp::Mov { dst, .. } = cs.word(addr) {
-                let ok = matches!(
-                    dst,
-                    MicroReg::P(_) | MicroReg::Mar | MicroReg::Mdr
-                );
+                let ok = matches!(dst, MicroReg::P(_) | MicroReg::Mar | MicroReg::Mdr);
                 assert!(ok, "patch word {addr} writes {dst}");
             }
         }

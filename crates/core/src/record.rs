@@ -52,7 +52,10 @@ impl RecordKind {
 
     /// Whether this record is an actual memory reference (I or D).
     pub fn is_ref(self) -> bool {
-        matches!(self, RecordKind::IFetch | RecordKind::Read | RecordKind::Write)
+        matches!(
+            self,
+            RecordKind::IFetch | RecordKind::Read | RecordKind::Write
+        )
     }
 
     /// Whether this record is a data reference.

@@ -172,16 +172,13 @@ impl Tracer {
     pub fn extract(&self, m: &Machine) -> Result<Trace, TracerError> {
         let ptr = m.read_prv(PrivReg::Trptr);
         let len = ptr.saturating_sub(self.base);
-        let bytes = m
-            .read_phys(self.base, len)
-            .map_err(TracerError::Extract)?;
+        let bytes = m.read_phys(self.base, len).map_err(TracerError::Extract)?;
         let mut trace = Trace::new();
         for chunk in bytes.chunks_exact(8) {
             let addr = u32::from_le_bytes(chunk[0..4].try_into().expect("chunk"));
             let meta = u32::from_le_bytes(chunk[4..8].try_into().expect("chunk"));
-            let rec = TraceRecord::from_raw(addr, meta).ok_or_else(|| {
-                TracerError::Extract(format!("corrupt record meta {meta:#010x}"))
-            })?;
+            let rec = TraceRecord::from_raw(addr, meta)
+                .ok_or_else(|| TracerError::Extract(format!("corrupt record meta {meta:#010x}")))?;
             trace.push(rec);
         }
         Ok(trace)

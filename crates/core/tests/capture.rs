@@ -138,11 +138,19 @@ fn buffer_full_halts_and_drains_stitch() {
         .run(&mut m)
         .unwrap();
     assert_eq!(capture.exit, RunExit::Halted);
-    assert!(capture.drains > 2, "multiple drains, got {}", capture.drains);
+    assert!(
+        capture.drains > 2,
+        "multiple drains, got {}",
+        capture.drains
+    );
     let s = capture.trace.stats();
     assert_eq!(s.writes, 400, "no write lost across drains");
     assert_eq!(
-        capture.trace.iter().filter(|r| r.kind() == RecordKind::SegmentMark).count() as u32,
+        capture
+            .trace
+            .iter()
+            .filter(|r| r.kind() == RecordKind::SegmentMark)
+            .count() as u32,
         capture.drains,
         "one segment mark per drain boundary"
     );
@@ -198,7 +206,9 @@ fn exception_markers_captured() {
     assert_eq!(ints[0].addr, 0x40, "marker carries the SCB vector");
     assert_eq!(m.gpr(1), 7);
     // The handler's stack pops are kernel data reads in the trace.
-    assert!(t.iter().any(|r| r.kind() == RecordKind::Read && r.is_kernel()));
+    assert!(t
+        .iter()
+        .any(|r| r.kind() == RecordKind::Read && r.is_kernel()));
 }
 
 #[test]
@@ -253,14 +263,16 @@ fn detach_restores_stock_behaviour() {
     tracer.set_enabled(&mut m, true);
     tracer.detach(&mut m);
     assert_eq!(m.run(1_000_000), RunExit::Halted);
-    assert_eq!(m.read_prv(atum_arch::PrivReg::Trptr), m.memory().layout().reserved_base());
+    assert_eq!(
+        m.read_prv(atum_arch::PrivReg::Trptr),
+        m.memory().layout().reserved_base()
+    );
 }
 
 #[test]
 fn encode_round_trips_a_real_capture() {
-    let mut m = load(
-        "start: movl #30, r0\nloop: incl counter\n sobgtr r0, loop\n halt\ncounter: .long 0",
-    );
+    let mut m =
+        load("start: movl #30, r0\nloop: incl counter\n sobgtr r0, loop\n halt\ncounter: .long 0");
     let tracer = Tracer::attach(&mut m).unwrap();
     tracer.set_enabled(&mut m, true);
     m.run(1_000_000);
@@ -291,7 +303,11 @@ fn spill_and_scratch_styles_capture_identical_traces() {
     };
     let (scratch, scratch_cycles) = run_style(atum_core::PatchStyle::Scratch);
     let (spill, spill_cycles) = run_style(atum_core::PatchStyle::Spill);
-    assert_eq!(scratch.records(), spill.records(), "same records either way");
+    assert_eq!(
+        scratch.records(),
+        spill.records(),
+        "same records either way"
+    );
     assert!(
         spill_cycles > scratch_cycles * 3 / 2,
         "spill is measurably more expensive: {scratch_cycles} vs {spill_cycles}"

@@ -18,9 +18,7 @@ fn record() -> impl Strategy<Value = TraceRecord> {
         any::<u8>(),
         any::<bool>(),
     )
-        .prop_map(|(kind, addr, size, pid, kernel)| {
-            TraceRecord::new(kind, addr, size, pid, kernel)
-        })
+        .prop_map(|(kind, addr, size, pid, kernel)| TraceRecord::new(kind, addr, size, pid, kernel))
 }
 
 proptest! {

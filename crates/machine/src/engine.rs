@@ -9,9 +9,7 @@ use crate::mmu::{self, AccessKind};
 use crate::Machine;
 use atum_arch::exc::{ArithKind, ScbVector, IPL_TIMER};
 use atum_arch::mem::PAGE_OFFSET_MASK;
-use atum_arch::{
-    DataSize, Exception, ExceptionClass, PrivReg, Psl, Region, VirtAddr, PAGE_SIZE,
-};
+use atum_arch::{DataSize, Exception, ExceptionClass, PrivReg, Psl, Region, VirtAddr, PAGE_SIZE};
 use atum_ucode::{
     AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel, Target,
 };

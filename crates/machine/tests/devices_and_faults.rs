@@ -221,7 +221,11 @@ fn movc3_restarts_cleanly_after_fault() {
     m.write_phys(0x24, &img.symbol("h").unwrap().to_le_bytes())
         .unwrap();
     assert_eq!(m.run(5_000_000), RunExit::Halted);
-    assert_eq!(&m.gpr(4).to_le_bytes(), b"ABCD", "copy completed after repair");
+    assert_eq!(
+        &m.gpr(4).to_le_bytes(),
+        b"ABCD",
+        "copy completed after repair"
+    );
 }
 
 #[test]

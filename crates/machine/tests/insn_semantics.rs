@@ -86,10 +86,8 @@ fn mcoml_and_mnegl() {
 
 #[test]
 fn clr_family() {
-    let m = run(
-        "start: movl #-1, r0\n movl #-1, r1\n movl #-1, r2\n \
-         clrb r0\n clrw r1\n clrl r2\n halt",
-    );
+    let m = run("start: movl #-1, r0\n movl #-1, r1\n movl #-1, r2\n \
+         clrb r0\n clrw r1\n clrl r2\n halt");
     assert_eq!(m.gpr(0), 0xFFFF_FF00);
     assert_eq!(m.gpr(1), 0xFFFF_0000);
     assert_eq!(m.gpr(2), 0);
@@ -151,12 +149,10 @@ fn pc_relative_modes() {
 
 #[test]
 fn writes_through_modes() {
-    let m = run(
-        "start: moval buf, r1\n movl #1, (r1)\n movl #2, 4(r1)\n \
+    let m = run("start: moval buf, r1\n movl #1, (r1)\n movl #2, 4(r1)\n \
          moval buf, r2\n movl #3, (r2)+\n movl @#buf2, r0\n movl #4, @#buf2\n \
          movl buf, r5\n movl buf+4, r6\n movl buf2, r7\n halt\n\
-         buf: .long 0, 0\nbuf2: .long 9",
-    );
+         buf: .long 0, 0\nbuf2: .long 9");
     assert_eq!(m.gpr(5), 3, "autoinc write overwrote (r1) write");
     assert_eq!(m.gpr(6), 2);
     assert_eq!(m.gpr(7), 4);
@@ -228,9 +224,7 @@ fn incl_memory_operand() {
 
 #[test]
 fn ashl_shifts() {
-    let m = run(
-        "start: movl #1, r1\n ashl #4, r1, r2\n movl #-16, r3\n ashl #-2, r3, r4\n halt",
-    );
+    let m = run("start: movl #1, r1\n ashl #4, r1, r2\n movl #-16, r3\n ashl #-2, r3, r4\n halt");
     assert_eq!(m.gpr(2), 16);
     assert_eq!(m.gpr(4) as i32, -4, "negative count is arithmetic right");
 }
@@ -263,7 +257,9 @@ fn cmp_and_tst_flags() {
 #[test]
 fn cmpb_uses_byte_width() {
     // 0x180 vs 0x80 equal at byte width.
-    let m = run("start: movl #0x180, r1\n movl #0x80, r2\n cmpb r1, r2\n beql 1f\n movl #1, r3\n1: halt");
+    let m = run(
+        "start: movl #0x180, r1\n movl #0x80, r2\n cmpb r1, r2\n beql 1f\n movl #1, r3\n1: halt",
+    );
     assert_eq!(m.gpr(3), 0, "branch taken on byte equality");
 }
 
@@ -334,29 +330,27 @@ fn aoblss_loops() {
 
 #[test]
 fn blbs_blbc() {
-    let m = run("start: movl #5, r1\n blbs r1, 1f\n movl #9, r2\n1: blbc r1, 2f\n movl #3, r3\n2: halt");
+    let m = run(
+        "start: movl #5, r1\n blbs r1, 1f\n movl #9, r2\n1: blbc r1, 2f\n movl #3, r3\n2: halt",
+    );
     assert_eq!(m.gpr(2), 0, "low bit set → taken");
     assert_eq!(m.gpr(3), 3, "blbc not taken");
 }
 
 #[test]
 fn bsb_rsb() {
-    let m = run(
-        "start: bsbb sub\n movl #2, r2\n halt\n\
-         sub: movl #1, r1\n rsb",
-    );
+    let m = run("start: bsbb sub\n movl #2, r2\n halt\n\
+         sub: movl #1, r1\n rsb");
     assert_eq!(m.gpr(1), 1);
     assert_eq!(m.gpr(2), 2);
 }
 
 #[test]
 fn jsb_with_deferred_target_and_jmp() {
-    let m = run(
-        "start: jsb @vec\n movl #2, r2\n jmp end\n movl #99, r3\n\
+    let m = run("start: jsb @vec\n movl #2, r2\n jmp end\n movl #99, r3\n\
          end: halt\n\
          sub: movl #1, r1\n rsb\n\
-         vec: .long sub",
-    );
+         vec: .long sub");
     assert_eq!(m.gpr(1), 1);
     assert_eq!(m.gpr(2), 2);
     assert_eq!(m.gpr(3), 0);
@@ -379,12 +373,10 @@ fn pushal_pushes_address() {
 
 #[test]
 fn calls_ret_with_register_save() {
-    let m = run(
-        "start: movl #111, r2\n movl #222, r3\n \
+    let m = run("start: movl #111, r2\n movl #222, r3\n \
          pushl #41\n calls #1, proc\n halt\n\
          proc: .word 0b1100       ; save r2, r3\n\
-         movl 4(ap), r0\n incl r0\n movl #0, r2\n movl #0, r3\n ret",
-    );
+         movl 4(ap), r0\n incl r0\n movl #0, r2\n movl #0, r3\n ret");
     assert_eq!(m.gpr(0), 42, "argument fetched through AP");
     assert_eq!(m.gpr(2), 111, "r2 restored by ret");
     assert_eq!(m.gpr(3), 222, "r3 restored by ret");
@@ -402,22 +394,18 @@ fn calls_cleans_arguments_and_restores_sp() {
 
 #[test]
 fn nested_calls() {
-    let m = run(
-        "start: calls #0, outer\n halt\n\
+    let m = run("start: calls #0, outer\n halt\n\
          outer: .word 0b10   ; saves r1\n\
          movl #5, r1\n calls #0, inner\n addl3 r1, r0, r0\n ret\n\
-         inner: .word 0b10\n movl #100, r1\n movl r1, r0\n ret",
-    );
+         inner: .word 0b10\n movl #100, r1\n movl r1, r0\n ret");
     // inner returns r0=100 (r1 restored to 5), outer adds 5 → 105.
     assert_eq!(m.gpr(0), 105);
 }
 
 #[test]
 fn pushr_popr() {
-    let m = run(
-        "start: movl #1, r1\n movl #2, r2\n movl #3, r3\n \
-         pushr #0b1110\n clrl r1\n clrl r2\n clrl r3\n popr #0b1110\n halt",
-    );
+    let m = run("start: movl #1, r1\n movl #2, r2\n movl #3, r3\n \
+         pushr #0b1110\n clrl r1\n clrl r2\n clrl r3\n popr #0b1110\n halt");
     assert_eq!(m.gpr(1), 1);
     assert_eq!(m.gpr(2), 2);
     assert_eq!(m.gpr(3), 3);
@@ -427,11 +415,9 @@ fn pushr_popr() {
 
 #[test]
 fn movc3_copies() {
-    let m = run(
-        "start: movl dst, r4 ; preload to prove it changes\n \
+    let m = run("start: movl dst, r4 ; preload to prove it changes\n \
          movc3 #5, src, dst\n halt\n\
-         src: .ascii \"HELLO\"\n .space 3\ndst: .space 8, 0xEE",
-    );
+         src: .ascii \"HELLO\"\n .space 3\ndst: .space 8, 0xEE");
     assert_eq!(m.gpr(0), 0, "R0 cleared");
     assert!(m.psl().z(), "movc3 leaves Z set");
     // R3 is one past the destination end; read the copy back from memory.
@@ -442,35 +428,27 @@ fn movc3_copies() {
 
 #[test]
 fn movc3_leaves_cursors() {
-    let m = run(
-        "start: movc3 #3, src, dst\n halt\nsrc: .ascii \"abc\"\n .space 1\ndst: .space 4",
-    );
+    let m = run("start: movc3 #3, src, dst\n halt\nsrc: .ascii \"abc\"\n .space 1\ndst: .space 4");
     // R1 = src end, R3 = dst end; check via distance.
     assert_eq!(m.gpr(3) - m.gpr(1), 4, "dst is 4 past src here");
 }
 
 #[test]
 fn cmpc3_equal_and_differing() {
-    let m = run(
-        "start: cmpc3 #3, a, b\n beql 1f\n movl #9, r5\n1: halt\n\
-         a: .ascii \"abc\"\nb: .ascii \"abc\"",
-    );
+    let m = run("start: cmpc3 #3, a, b\n beql 1f\n movl #9, r5\n1: halt\n\
+         a: .ascii \"abc\"\nb: .ascii \"abc\"");
     assert_eq!(m.gpr(5), 0, "equal strings set Z");
     assert_eq!(m.gpr(0), 0, "R0 = remaining = 0");
 
-    let m = run(
-        "start: cmpc3 #3, a, b\n blss 1f\n movl #9, r5\n1: halt\n\
-         a: .ascii \"abd\"\nb: .ascii \"abq\"",
-    );
+    let m = run("start: cmpc3 #3, a, b\n blss 1f\n movl #9, r5\n1: halt\n\
+         a: .ascii \"abd\"\nb: .ascii \"abq\"");
     assert_eq!(m.gpr(5), 0, "d < q at the mismatch");
     assert_eq!(m.gpr(0), 1, "one byte remained at mismatch");
 }
 
 #[test]
 fn locc_finds_byte() {
-    let m = run(
-        "start: locc #'l', #5, str\n halt\nstr: .ascii \"hello\"",
-    );
+    let m = run("start: locc #'l', #5, str\n halt\nstr: .ascii \"hello\"");
     assert_eq!(m.gpr(0), 3, "bytes remaining at the first l");
     assert!(!m.psl().z());
     let m = run("start: locc #'z', #5, str\n halt\nstr: .ascii \"hello\"");
@@ -512,10 +490,8 @@ fn extzv_extracts() {
 
 #[test]
 fn insv_inserts() {
-    let m = run(
-        "start: insv #0xF, #4, #8, word\n movl word, r1\n halt\n\
-         word: .long 0xABCD1234",
-    );
+    let m = run("start: insv #0xF, #4, #8, word\n movl word, r1\n halt\n\
+         word: .long 0xABCD1234");
     assert_eq!(m.gpr(1), 0xABCD_10F4, "bits 4..12 replaced with 0x0F");
 }
 
@@ -535,7 +511,11 @@ fn extzv_rejects_wide_fields() {
     // 0x14 (which holds 0) and lands on opcode 0x00 = HALT at address 0.
     let exit = m.run(100_000);
     assert_eq!(exit, RunExit::Halted);
-    assert!(m.pc() <= 4, "vectored to the null handler, pc={:#x}", m.pc());
+    assert!(
+        m.pc() <= 4,
+        "vectored to the null handler, pc={:#x}",
+        m.pc()
+    );
     assert_eq!(m.gpr(1), 0, "destination untouched");
     assert!(m.counts().exceptions >= 1);
 }

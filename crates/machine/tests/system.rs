@@ -2,7 +2,7 @@
 //! memory management, mode switching, context switching and fault
 //! restartability — the behaviours the MOSS kernel is built on.
 
-use atum_arch::{PageProt, PrivReg, Pte, Psl};
+use atum_arch::{PageProt, PrivReg, Psl, Pte};
 use atum_machine::{Machine, MemLayout, RunExit};
 
 const ORG: u32 = 0x1000;
@@ -41,40 +41,32 @@ fn run(src: &str) -> Machine {
 
 #[test]
 fn chmk_traps_with_code_and_rei_returns() {
-    let m = run(
-        "start: chmk #42\n movl #7, r2\n halt\n\
-         handler_at_40: popl r1      ; parameter (the chmk code)\n rei",
-    );
+    let m = run("start: chmk #42\n movl #7, r2\n halt\n\
+         handler_at_40: popl r1      ; parameter (the chmk code)\n rei");
     assert_eq!(m.gpr(1), 42, "handler saw the chmk code");
     assert_eq!(m.gpr(2), 7, "rei resumed after the chmk");
 }
 
 #[test]
 fn reserved_opcode_faults() {
-    let m = run(
-        "start: .byte 0xFF\n halt\n\
-         handler_at_10: movl #1, r9\n halt",
-    );
+    let m = run("start: .byte 0xFF\n halt\n\
+         handler_at_10: movl #1, r9\n halt");
     assert_eq!(m.gpr(9), 1);
     assert_eq!(m.counts().exceptions, 1);
 }
 
 #[test]
 fn divide_by_zero_traps_with_code() {
-    let m = run(
-        "start: movl #10, r1\n clrl r2\n divl3 r2, r1, r3\n halt\n\
-         handler_at_30: popl r8\n rei",
-    );
+    let m = run("start: movl #10, r1\n clrl r2\n divl3 r2, r1, r3\n halt\n\
+         handler_at_30: popl r8\n rei");
     assert_eq!(m.gpr(8), 2, "arithmetic trap code 2 = divide by zero");
     assert_eq!(m.gpr(3), 0, "destination untouched");
 }
 
 #[test]
 fn bpt_traps() {
-    let m = run(
-        "start: bpt\n movl #5, r1\n halt\n\
-         handler_at_2c: movl #1, r9\n rei",
-    );
+    let m = run("start: bpt\n movl #5, r1\n halt\n\
+         handler_at_2c: movl #1, r9\n rei");
     assert_eq!(m.gpr(9), 1);
     assert_eq!(m.gpr(1), 5, "trap PC was past the bpt");
 }
@@ -85,26 +77,22 @@ fn fault_pushes_faulting_pc_and_restarts() {
     // r1 to a valid buffer and reis — the instruction must restart and
     // succeed, proving the PC pushed was the *faulting* instruction's and
     // that autoincrement side effects were rolled back.
-    let m = run(
-        "start: movl #0x00700000, r1   ; beyond 4 MiB of memory\n\
+    let m = run("start: movl #0x00700000, r1   ; beyond 4 MiB of memory\n\
          movl (r1)+, r2\n halt\n\
          handler_at_24: popl r7        ; faulting VA parameter\n\
          moval data, r1                ; repair\n rei\n\
-         data: .long 0xFEED",
-    );
+         data: .long 0xFEED");
     assert_eq!(m.gpr(7), 0x0070_0000, "fault parameter is the VA");
     assert_eq!(m.gpr(2), 0xFEED, "instruction restarted after repair");
 }
 
 #[test]
 fn autoincrement_rolled_back_on_fault() {
-    let m = run(
-        "start: movl #0x00700000, r1\n movl (r1)+, r2\n halt\n\
+    let m = run("start: movl #0x00700000, r1\n movl (r1)+, r2\n halt\n\
          handler_at_24: popl r7        ; discard the VA parameter\n\
          movl r1, r6                   ; observe r1 inside the handler\n\
          moval data, r1\n rei\n\
-         data: .long 1",
-    );
+         data: .long 1");
     assert_eq!(m.gpr(6), 0x0070_0000, "autoincrement was unwound");
 }
 
@@ -113,8 +101,7 @@ fn trace_bit_single_steps() {
     // Kernel enables T in the PSL it reis to; each subsequent instruction
     // then takes a trace trap. The handler counts them and clears T after
     // three, letting the program finish.
-    let m = run(
-        "start: clrl r6\n\
+    let m = run("start: clrl r6\n\
          pushal traced\n                ; PC\n\
          mfpr #18, r0                   ; current IPL (reuse as scratch)\n\
          movl (sp), r1\n popl r1\n\
@@ -123,8 +110,7 @@ fn trace_bit_single_steps() {
          traced: incl r2\n incl r2\n incl r2\n incl r2\n halt\n\
          handler_at_28: incl r6\n cmpl r6, #3\n bneq 1f\n\
          bicl2 #0x10, 4(sp)             ; clear T in the saved PSL\n\
-         1: rei",
-    );
+         1: rei");
     assert_eq!(m.gpr(6), 3, "three trace traps");
     assert_eq!(m.gpr(2), 4, "program still completed");
 }
@@ -133,15 +119,13 @@ fn trace_bit_single_steps() {
 
 #[test]
 fn interval_timer_interrupts() {
-    let m = run(
-        "start: clrl r6\n\
+    let m = run("start: clrl r6\n\
          mtpr #500, #25      ; ICR: every 500 cycles\n\
          mtpr #0x41, #24     ; ICCS: run + interrupt enable\n\
          mtpr #0, #18        ; IPL 0 opens the gate\n\
          loop: cmpl r6, #3\n blss loop\n\
          mtpr #0, #24        ; stop the clock\n halt\n\
-         handler_at_c0: incl r6\n rei",
-    );
+         handler_at_c0: incl r6\n rei");
     assert_eq!(m.gpr(6), 3);
     assert_eq!(m.counts().interrupts, 3);
 }
@@ -161,13 +145,11 @@ fn timer_blocked_above_its_ipl() {
 
 #[test]
 fn software_interrupt_via_sirr() {
-    let m = run(
-        "start: mtpr #3, #19     ; request soft IRQ level 3\n\
+    let m = run("start: mtpr #3, #19     ; request soft IRQ level 3\n\
          movl #1, r1            ; still blocked: boot IPL is 31\n\
          mtpr #0, #18           ; open the gate\n\
          movl #2, r2\n halt\n\
-         handler_at_8c: movl r1, r7\n incl r6\n rei",
-    );
+         handler_at_8c: movl r1, r7\n incl r6\n rei");
     assert_eq!(m.gpr(6), 1, "delivered exactly once");
     assert_eq!(m.gpr(7), 1, "delivery waited for the IPL drop");
 }
@@ -176,16 +158,14 @@ fn software_interrupt_via_sirr() {
 fn interrupt_priority_nesting() {
     // A level-2 handler requests level 5 mid-flight; level 5 preempts it
     // because the handler runs at IPL 2.
-    let m = run(
-        "start: clrl r6\n clrl r7\n\
+    let m = run("start: clrl r6\n clrl r7\n\
          mtpr #2, #19\n mtpr #0, #18\n\
          movl #1, r9\n halt\n\
          handler_at_88: movl #1, r6\n\
          mtpr #5, #19          ; higher level preempts immediately\n\
          movl r7, r8           ; r8 records whether 5 already ran\n\
          rei\n\
-         handler_at_94: movl #1, r7\n rei",
-    );
+         handler_at_94: movl #1, r7\n rei");
     assert_eq!(m.gpr(6), 1);
     assert_eq!(m.gpr(7), 1);
     assert_eq!(m.gpr(8), 1, "level 5 ran before level 2 finished");
@@ -267,9 +247,11 @@ fn setup_mapping(m: &mut Machine, pages: u32, p0_prot: PageProt) {
     let sys_table = 0x0011_0000u32;
     for vpn in 0..pages {
         let pte = Pte::new(vpn, p0_prot);
-        m.write_phys(p0_table + vpn * 4, &pte.0.to_le_bytes()).unwrap();
+        m.write_phys(p0_table + vpn * 4, &pte.0.to_le_bytes())
+            .unwrap();
         let spte = Pte::new(vpn, PageProt::KernelRw);
-        m.write_phys(sys_table + vpn * 4, &spte.0.to_le_bytes()).unwrap();
+        m.write_phys(sys_table + vpn * 4, &spte.0.to_le_bytes())
+            .unwrap();
     }
     m.write_prv(PrivReg::P0br, p0_table);
     m.write_prv(PrivReg::P0lr, pages);
@@ -348,10 +330,16 @@ fn modify_bit_set_on_first_write() {
     assert_eq!(m.run(1_000_000), RunExit::Halted);
     let p0_table = 0x0010_0000u32;
     let read_pte = Pte(u32::from_le_bytes(
-        m.read_phys(p0_table + (0x2000 >> 9) * 4, 4).unwrap().try_into().unwrap(),
+        m.read_phys(p0_table + (0x2000 >> 9) * 4, 4)
+            .unwrap()
+            .try_into()
+            .unwrap(),
     ));
     let write_pte = Pte(u32::from_le_bytes(
-        m.read_phys(p0_table + (0x2200 >> 9) * 4, 4).unwrap().try_into().unwrap(),
+        m.read_phys(p0_table + (0x2200 >> 9) * 4, 4)
+            .unwrap()
+            .try_into()
+            .unwrap(),
     ));
     assert!(!read_pte.modified());
     assert!(write_pte.modified());

@@ -16,9 +16,7 @@
 //! ```
 
 use crate::kernel::{self, KernelOptions};
-use crate::{
-    KERNEL_BASE_VA, MAX_PROCS, SYSTEM_VA, USER_BASE_VA, USER_STACK_PAGES, USER_STACK_TOP,
-};
+use crate::{KERNEL_BASE_VA, MAX_PROCS, SYSTEM_VA, USER_BASE_VA, USER_STACK_PAGES, USER_STACK_TOP};
 use atum_arch::{CpuMode, PageProt, PrivReg, Psl, Pte, PAGE_SIZE};
 use atum_asm::Image;
 use atum_machine::{Machine, MemLayout};
@@ -141,10 +139,7 @@ impl BootImage {
         }
         m.write_prv(PrivReg::Scbb, SCB_PHYS);
         m.write_prv(PrivReg::Sbr, SYS_PT_PHYS);
-        m.write_prv(
-            PrivReg::Slr,
-            self.layout.os_visible_bytes / PAGE_SIZE,
-        );
+        m.write_prv(PrivReg::Slr, self.layout.os_visible_bytes / PAGE_SIZE);
         m.write_prv(PrivReg::Mapen, 1);
         m.set_gpr(14, self.boot_sp);
         let mut psl = Psl::new(); // kernel, IPL 31
@@ -385,14 +380,24 @@ impl BootImageBuilder {
             let base_va = SYSTEM_VA + buf_phys;
             poke(&mut kbytes, &kernel, "swt_base", base_va);
             poke(&mut kbytes, &kernel, "swt_ptr", base_va);
-            poke(&mut kbytes, &kernel, "swt_limit", base_va + self.kernel_opts.swtrace_bytes);
+            poke(
+                &mut kbytes,
+                &kernel,
+                "swt_limit",
+                base_va + self.kernel_opts.swtrace_bytes,
+            );
         }
 
         // The frame pool for demand paging: everything between the bump
         // allocator's high-water mark and the OS-visible limit.
         let pool_base = (bump.next + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
         poke(&mut kbytes, &kernel, "freemem", pool_base);
-        poke(&mut kbytes, &kernel, "freemem_end", self.layout.os_visible_bytes);
+        poke(
+            &mut kbytes,
+            &kernel,
+            "freemem_end",
+            self.layout.os_visible_bytes,
+        );
 
         // The kernel image must fit under the system page table region.
         if KERNEL_PHYS + kbytes.len() as u32 > SYS_PT_PHYS {

@@ -129,7 +129,11 @@ fn divide_fault_kills_process() {
         .unwrap();
     let mut m = boot(&image);
     run_to_halt(&mut m, 50_000_000);
-    assert_eq!(m.take_console_output(), b"k", "bad process died before printing");
+    assert_eq!(
+        m.take_console_output(),
+        b"k",
+        "bad process died before printing"
+    );
 }
 
 #[test]
@@ -237,7 +241,10 @@ fn user_stack_supports_deep_recursion() {
     // fib(14) via calls needs a few KiB of user stack — exercise the P1
     // mapping depth under MOSS.
     let w = atum_workloads::fib_recursive("f", 14);
-    let image = BootImage::builder().user_program(&w.source).build().unwrap();
+    let image = BootImage::builder()
+        .user_program(&w.source)
+        .build()
+        .unwrap();
     let mut m = boot(&image);
     run_to_halt(&mut m, 2_000_000_000);
     assert_eq!(

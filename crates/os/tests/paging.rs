@@ -164,8 +164,7 @@ fn two_processes_get_separate_heap_frames() {
     let mut out = m.take_console_output();
     out.sort_unstable();
     assert_eq!(
-        out,
-        b"12",
+        out, b"12",
         "each process saw its own pid at the same heap VA"
     );
 }

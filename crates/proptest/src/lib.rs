@@ -1,0 +1,280 @@
+//! A self-contained, offline property-testing shim.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the real `proptest` crate cannot be fetched. This crate
+//! re-implements the (small) subset of its API that the workspace's test
+//! suites use — `proptest!`, strategies over integer ranges and tuples,
+//! `prop_oneof!`/`Just`/`any`, `prop_map`/`prop_filter`/`prop_filter_map`,
+//! `proptest::collection::vec`, `prop::sample::Index`, and the
+//! `prop_assert*` macros — with deterministic pseudo-random generation
+//! seeded per test. It generates and checks; it does not shrink.
+//!
+//! The generator is seeded from the test's module path and name, so a
+//! failing case reproduces on re-run. Set `PROPTEST_CASES` to override
+//! the per-test case count globally (e.g. a CI soak).
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-runner configuration and failure plumbing.
+
+    use std::fmt;
+
+    /// Per-test configuration (case count).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+
+        /// The effective case count: `PROPTEST_CASES` overrides if set.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A failed property case (created by `prop_assert!`).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+}
+
+/// `ProptestConfig` under its prelude name.
+pub use test_runner::Config as ProptestConfig;
+
+pub mod rng {
+    //! Deterministic splitmix64 generator, seeded per test.
+
+    /// A tiny deterministic RNG (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// Seeds from a test's identifier string (stable across runs).
+        pub fn from_name(name: &str) -> TestRng {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::Range;
+
+    /// Strategy producing `Vec`s whose length is drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    use crate::strategy::Arbitrary;
+
+    /// An abstract index into a collection of as-yet-unknown size.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Resolves against a concrete length.
+        pub fn index(&self, len: usize) -> usize {
+            if len == 0 {
+                0
+            } else {
+                (self.0 % len as u64) as usize
+            }
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut crate::rng::TestRng) -> Index {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests over generated inputs.
+///
+/// Supports the standard form: an optional
+/// `#![proptest_config(ProptestConfig::with_cases(N))]` header followed by
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not for direct use.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let mut __rng = $crate::rng::TestRng::from_name(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __case in 0..__cfg.effective_cases() {
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);)*
+                    let __run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    };
+                    if let ::std::result::Result::Err(e) = __run() {
+                        let mut __inputs = ::std::string::String::new();
+                        $(__inputs.push_str(&format!("\n  {} = {:?}", stringify!($arg), $arg));)*
+                        panic!(
+                            "property '{}' failed at case {}: {}\ninputs:{}",
+                            stringify!($name),
+                            __case,
+                            e,
+                            __inputs,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not
+/// panicking directly) so the harness can report the inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`prop_oneof![3 => a, 1 => b]`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

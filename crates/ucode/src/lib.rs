@@ -52,6 +52,6 @@ pub mod uop;
 pub use masm::MicroAsm;
 pub use store::ControlStore;
 pub use uop::{
-    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
-    SpecTable, Target,
+    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel, SpecTable,
+    Target,
 };

@@ -193,7 +193,7 @@ mod tests {
         assert!(l.lines().count() >= cs.len() as usize);
         // Every line with an address parses.
         for line in l.lines().filter(|l| l.starts_with("  ")) {
-            let addr: u32 = line.trim().split_whitespace().next().unwrap().parse().unwrap();
+            let addr: u32 = line.split_whitespace().next().unwrap().parse().unwrap();
             assert!(addr < cs.len());
         }
     }

@@ -21,8 +21,8 @@
 
 use crate::store::ControlStore;
 use crate::uop::{
-    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
-    SpecTable, Target,
+    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel, SpecTable,
+    Target,
 };
 use atum_arch::DataSize;
 use std::collections::HashMap;

@@ -33,12 +33,54 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
     // Zero/sign-extending moves and conversions: read at the narrow size,
     // transform, write at the target size.
     for (op, sym, rsize, wsize, alu, cc) in [
-        (Opcode::Movzbl, "i.movzbl", DataSize::Byte, DataSize::Long, Some((AluOp::And, imm(0xFF))), CcEffect::Logic),
-        (Opcode::Movzwl, "i.movzwl", DataSize::Word, DataSize::Long, Some((AluOp::And, imm(0xFFFF))), CcEffect::Logic),
-        (Opcode::Cvtbl, "i.cvtbl", DataSize::Byte, DataSize::Long, Some((AluOp::SextB, imm(0))), CcEffect::Logic),
-        (Opcode::Cvtwl, "i.cvtwl", DataSize::Word, DataSize::Long, Some((AluOp::SextW, imm(0))), CcEffect::Logic),
-        (Opcode::Mcoml, "i.mcoml", DataSize::Long, DataSize::Long, Some((AluOp::Not, imm(0))), CcEffect::Logic),
-        (Opcode::Mnegl, "i.mnegl", DataSize::Long, DataSize::Long, Some((AluOp::Neg, imm(0))), CcEffect::Arith),
+        (
+            Opcode::Movzbl,
+            "i.movzbl",
+            DataSize::Byte,
+            DataSize::Long,
+            Some((AluOp::And, imm(0xFF))),
+            CcEffect::Logic,
+        ),
+        (
+            Opcode::Movzwl,
+            "i.movzwl",
+            DataSize::Word,
+            DataSize::Long,
+            Some((AluOp::And, imm(0xFFFF))),
+            CcEffect::Logic,
+        ),
+        (
+            Opcode::Cvtbl,
+            "i.cvtbl",
+            DataSize::Byte,
+            DataSize::Long,
+            Some((AluOp::SextB, imm(0))),
+            CcEffect::Logic,
+        ),
+        (
+            Opcode::Cvtwl,
+            "i.cvtwl",
+            DataSize::Word,
+            DataSize::Long,
+            Some((AluOp::SextW, imm(0))),
+            CcEffect::Logic,
+        ),
+        (
+            Opcode::Mcoml,
+            "i.mcoml",
+            DataSize::Long,
+            DataSize::Long,
+            Some((AluOp::Not, imm(0))),
+            CcEffect::Logic,
+        ),
+        (
+            Opcode::Mnegl,
+            "i.mnegl",
+            DataSize::Long,
+            DataSize::Long,
+            Some((AluOp::Neg, imm(0))),
+            CcEffect::Arith,
+        ),
     ] {
         let mut ua = MicroAsm::new();
         ua.global(sym);
@@ -84,7 +126,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.set_size(asize);
         ua.call("spec.addr");
         ua.mov(t(0), t(7));
-        ua.alu(AluOp::Pass, imm(0), t(7), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.alu(
+            AluOp::Pass,
+            imm(0),
+            t(7),
+            JUNK,
+            CcEffect::Logic,
+            DataSize::Long,
+        );
         ua.set_size(DataSize::Long);
         ua.mov(t(7), t(1));
         ua.call("spec.write");
@@ -99,7 +148,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.global("i.pushl");
         ua.set_size(DataSize::Long);
         ua.call("spec.read");
-        ua.alu(AluOp::Pass, imm(0), t(0), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.alu(
+            AluOp::Pass,
+            imm(0),
+            t(0),
+            JUNK,
+            CcEffect::Logic,
+            DataSize::Long,
+        );
         ua.mov(t(0), t(1));
         ua.call("stack.push");
         ua.decode_next();
@@ -110,7 +166,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.global("i.pushal");
         ua.set_size(DataSize::Long);
         ua.call("spec.addr");
-        ua.alu(AluOp::Pass, imm(0), t(0), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.alu(
+            AluOp::Pass,
+            imm(0),
+            t(0),
+            JUNK,
+            CcEffect::Logic,
+            DataSize::Long,
+        );
         ua.mov(t(0), t(1));
         ua.call("stack.push");
         ua.decode_next();
@@ -189,7 +252,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.call("spec.read"); // dividend
         ua.mov(t(0), t(8));
         ua.call("spec.modify"); // destination (decoded as modify; doc'd)
-        ua.alu(AluOp::Div, t(7), t(8), t(1), CcEffect::Arith, DataSize::Long);
+        ua.alu(
+            AluOp::Div,
+            t(7),
+            t(8),
+            t(1),
+            CcEffect::Arith,
+            DataSize::Long,
+        );
         ua.jif(MicroCond::UDivZero, "cs.div.zero");
         ua.call("spec.writeback");
         ua.decode_next();
@@ -202,7 +272,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.call("spec.read"); // divisor
         ua.mov(t(0), t(7));
         ua.call("spec.modify"); // dividend/destination
-        ua.alu(AluOp::Div, t(7), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.alu(
+            AluOp::Div,
+            t(7),
+            t(0),
+            t(1),
+            CcEffect::Arith,
+            DataSize::Long,
+        );
         ua.jif(MicroCond::UDivZero, "cs.div.zero");
         ua.call("spec.writeback");
         ua.decode_next();
@@ -236,7 +313,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.alu_l(AluOp::SextB, imm(0), t(0), t(7));
         ua.set_size(DataSize::Long);
         ua.call("spec.read");
-        ua.alu(AluOp::Ash, t(7), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.alu(
+            AluOp::Ash,
+            t(7),
+            t(0),
+            t(1),
+            CcEffect::Arith,
+            DataSize::Long,
+        );
         ua.call("spec.write");
         ua.decode_next();
         ua.commit(cs).expect("i.ashl");
@@ -284,7 +368,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.call("spec.read");
         ua.mov(t(0), t(7));
         ua.call("spec.read");
-        ua.alu(AluOp::And, t(7), t(0), JUNK, CcEffect::Logic, DataSize::Long);
+        ua.alu(
+            AluOp::And,
+            t(7),
+            t(0),
+            JUNK,
+            CcEffect::Logic,
+            DataSize::Long,
+        );
         ua.decode_next();
         ua.commit(cs).expect("i.bitl");
         out.push((Opcode::Bitl, "i.bitl"));

@@ -131,7 +131,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.global(sym);
         ua.set_size(DataSize::Long);
         ua.call("spec.modify");
-        ua.alu(AluOp::RSub, imm(1), t(0), t(1), CcEffect::Arith, DataSize::Long);
+        ua.alu(
+            AluOp::RSub,
+            imm(1),
+            t(0),
+            t(1),
+            CcEffect::Arith,
+            DataSize::Long,
+        );
         ua.call("spec.writeback");
         ua.call("br.disp8");
         ua.jif(cond, "br.take");
@@ -152,7 +159,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.call("spec.read");
         ua.mov(t(0), t(7));
         ua.call("spec.modify");
-        ua.alu(AluOp::Add, t(0), imm(1), t(1), CcEffect::Arith, DataSize::Long);
+        ua.alu(
+            AluOp::Add,
+            t(0),
+            imm(1),
+            t(1),
+            CcEffect::Arith,
+            DataSize::Long,
+        );
         ua.mov(t(1), t(8));
         ua.call("spec.writeback");
         ua.call("br.disp8");

@@ -38,7 +38,7 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.set_size(DataSize::Byte);
         ua.call("spec.addr");
         ua.mov(t(0), t(8)); // procedure address
-        // Push numarg; AP will point at it.
+                            // Push numarg; AP will point at it.
         ua.mov(t(7), t(1));
         ua.call("stack.push");
         ua.mov(SP, t(10));

@@ -5,9 +5,7 @@
 use super::{imm, t, JUNK, PC, SP};
 use crate::masm::MicroAsm;
 use crate::store::ControlStore;
-use crate::uop::{
-    AluOp, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
-};
+use crate::uop::{AluOp, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel};
 use atum_arch::{DataSize, PrivReg, Psl};
 
 /// Builds the plumbing; returns the reserved-instruction fault address
@@ -33,7 +31,10 @@ fn build_faults(cs: &mut ControlStore) {
     ua.global("cs.priv");
     ua.fault(FaultKind::Privileged);
     ua.global("cs.div.zero");
-    ua.mov(imm(atum_arch::exc::ArithKind::DivideByZero as u32), MicroReg::ExcParam);
+    ua.mov(
+        imm(atum_arch::exc::ArithKind::DivideByZero as u32),
+        MicroReg::ExcParam,
+    );
     ua.fault(FaultKind::Arithmetic);
     ua.commit(cs).expect("faults");
 }

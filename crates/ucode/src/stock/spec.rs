@@ -61,14 +61,24 @@ fn build_ea(cs: &mut ControlStore) {
 
     ua.global("ea.autodec");
     ua.jif(MicroCond::RegNumIsPc, "cs.rsvd.mode");
-    ua.alu_l(AluOp::Sub, MicroReg::GprIdx, MicroReg::OSizeBytes, MicroReg::GprIdx);
+    ua.alu_l(
+        AluOp::Sub,
+        MicroReg::GprIdx,
+        MicroReg::OSizeBytes,
+        MicroReg::GprIdx,
+    );
     ua.mov(MicroReg::GprIdx, t(0));
     ua.ret();
 
     // (Rn)+ — PC case is handled by the per-table handlers.
     ua.global("ea.autoinc");
     ua.mov(MicroReg::GprIdx, t(0));
-    ua.alu_l(AluOp::Add, MicroReg::GprIdx, MicroReg::OSizeBytes, MicroReg::GprIdx);
+    ua.alu_l(
+        AluOp::Add,
+        MicroReg::GprIdx,
+        MicroReg::OSizeBytes,
+        MicroReg::GprIdx,
+    );
     ua.ret();
 
     // @(Rn)+ — pointer at (Rn), then advance by 4.

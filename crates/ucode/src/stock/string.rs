@@ -42,7 +42,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.mov(t(9), MicroReg::Gpr(3));
         ua.mov(imm(0), MicroReg::Gpr(4));
         ua.mov(imm(0), MicroReg::Gpr(5));
-        ua.alu(AluOp::Pass, imm(0), imm(0), JUNK, CcEffect::Test, DataSize::Long);
+        ua.alu(
+            AluOp::Pass,
+            imm(0),
+            imm(0),
+            JUNK,
+            CcEffect::Test,
+            DataSize::Long,
+        );
         ua.decode_next();
         ua.commit(cs).expect("i.movc3");
         out.push((Opcode::Movc3, "i.movc3"));
@@ -70,14 +77,28 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.mov(t(9), MicroReg::Mar);
         ua.call_entry(Entry::XferRead);
         // Compare s1 byte with s2 byte; stop on mismatch.
-        ua.alu(AluOp::Sub, t(10), MicroReg::Mdr, JUNK, CcEffect::Cmp, DataSize::Byte);
+        ua.alu(
+            AluOp::Sub,
+            t(10),
+            MicroReg::Mdr,
+            JUNK,
+            CcEffect::Cmp,
+            DataSize::Byte,
+        );
         ua.jif(MicroCond::ArchNeq, "done");
         ua.alu_l(AluOp::Add, t(8), imm(1), t(8));
         ua.alu_l(AluOp::Add, t(9), imm(1), t(9));
         ua.alu_l(AluOp::Sub, t(7), imm(1), t(7));
         ua.jmp("loop");
         ua.label("equal");
-        ua.alu(AluOp::Pass, imm(0), imm(0), JUNK, CcEffect::Test, DataSize::Long);
+        ua.alu(
+            AluOp::Pass,
+            imm(0),
+            imm(0),
+            JUNK,
+            CcEffect::Test,
+            DataSize::Long,
+        );
         ua.label("done");
         ua.mov(t(7), MicroReg::Gpr(0));
         ua.mov(t(8), MicroReg::Gpr(1));
@@ -114,7 +135,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.label("done");
         ua.mov(t(7), MicroReg::Gpr(0));
         ua.mov(t(8), MicroReg::Gpr(1));
-        ua.alu(AluOp::Pass, imm(0), t(7), JUNK, CcEffect::Test, DataSize::Long);
+        ua.alu(
+            AluOp::Pass,
+            imm(0),
+            t(7),
+            JUNK,
+            CcEffect::Test,
+            DataSize::Long,
+        );
         ua.decode_next();
         ua.commit(cs).expect("i.locc");
         out.push((Opcode::Locc, "i.locc"));
@@ -170,7 +198,7 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.alu_l(AluOp::Add, t(7), imm(4), MicroReg::Mar);
         ua.call_entry(Entry::XferRead);
         ua.mov(MicroReg::Mdr, t(9)); // pred
-        // [pred] = succ; [succ+4] = pred
+                                     // [pred] = succ; [succ+4] = pred
         ua.mov(t(9), MicroReg::Mar);
         ua.mov(t(8), MicroReg::Mdr);
         ua.call_entry(Entry::XferWrite);
@@ -202,7 +230,7 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.jif(MicroCond::UPos, "cs.rsvd.operand");
         ua.call("spec.addr");
         ua.mov(t(0), t(9)); // base
-        // MAR ← base + pos>>3; bit ← pos & 7.
+                            // MAR ← base + pos>>3; bit ← pos & 7.
         ua.alu_l(AluOp::Lsr, imm(3), t(7), t(10));
         ua.alu_l(AluOp::Add, t(9), t(10), MicroReg::Mar);
         ua.alu_l(AluOp::And, t(7), imm(7), t(11));
@@ -212,7 +240,14 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         // mask = (1 << size) - 1
         ua.alu_l(AluOp::Lsl, t(8), imm(1), t(13));
         ua.alu_l(AluOp::Sub, t(13), imm(1), t(13));
-        ua.alu(AluOp::And, t(12), t(13), t(1), CcEffect::Logic, DataSize::Long);
+        ua.alu(
+            AluOp::And,
+            t(12),
+            t(13),
+            t(1),
+            CcEffect::Logic,
+            DataSize::Long,
+        );
         ua.call("spec.write");
         ua.decode_next();
         ua.commit(cs).expect("i.extzv");
@@ -243,7 +278,7 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.set_size(DataSize::Long);
         ua.call_entry(Entry::XferRead);
         ua.mov(MicroReg::Mdr, t(10)); // old longword
-        // mask = ((1 << size) - 1) << bit
+                                      // mask = ((1 << size) - 1) << bit
         ua.alu_l(AluOp::Lsl, t(8), imm(1), t(13));
         ua.alu_l(AluOp::Sub, t(13), imm(1), t(13));
         ua.alu_l(AluOp::Lsl, t(11), t(13), t(13));

@@ -103,7 +103,7 @@ pub fn build(cs: &mut ControlStore) -> Vec<(Opcode, &'static str)> {
         ua.mov(t(0), t(7)); // new PC
         ua.call("stack.pop");
         ua.mov(t(0), t(8)); // new PSL
-        // If returning to user mode, bank the stack pointers.
+                            // If returning to user mode, bank the stack pointers.
         ua.alu_l(AluOp::Lsr, imm(24), t(8), JUNK);
         ua.alu_l(AluOp::And, JUNK, imm(3), JUNK);
         ua.jif(MicroCond::UZero, "tokernel");

@@ -70,7 +70,10 @@ pub enum MicroReg {
 impl MicroReg {
     /// Whether this register can be a destination.
     pub fn is_writable(self) -> bool {
-        !matches!(self, MicroReg::Imm(_) | MicroReg::OSizeBytes | MicroReg::OSizeMask)
+        !matches!(
+            self,
+            MicroReg::Imm(_) | MicroReg::OSizeBytes | MicroReg::OSizeMask
+        )
     }
 }
 

@@ -331,8 +331,7 @@ arr:    .space {bytes}
         })
         .collect();
     arr.sort_unstable();
-    let check =
-        (arr[0] as u32) ^ (arr[(n - 1) as usize] as u32) ^ (arr[(n / 2) as usize] as u32);
+    let check = (arr[0] as u32) ^ (arr[(n - 1) as usize] as u32) ^ (arr[(n / 2) as usize] as u32);
     Workload {
         name: name.to_string(),
         source,
@@ -441,7 +440,10 @@ fib:    .word   0b1100          ; saves r2, r3
 /// Binary-search over a sorted table — the "database/index lookup"
 /// analogue: log-depth dependent accesses with scattered locality.
 pub fn binary_search(name: &str, n: u32, lookups: u32) -> Workload {
-    assert!(n >= 8 && n.is_power_of_two(), "table size must be a power of two");
+    assert!(
+        n >= 8 && n.is_power_of_two(),
+        "table size must be a power of two"
+    );
     let source = format!(
         r#"
 start:
@@ -591,31 +593,6 @@ pool:   .space {bytes}
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn stride_is_coprime() {
-        for nodes in [4u32, 64, 100, 1024, 2048] {
-            let w = list_chase("x", nodes, 10);
-            assert!(!w.source.is_empty());
-        }
-    }
-
-    #[test]
-    fn mirrors_are_deterministic() {
-        assert_eq!(matrix("a", 6), matrix("a", 6));
-        assert_eq!(sort("s", 64), sort("s", 64));
-    }
-
-    #[test]
-    fn fib_expected_value() {
-        // fib(12) = 144 → fold(144) = 0x90.
-        assert_eq!(fib_recursive("f", 12).expected_output, "90");
-    }
-}
-
 /// Strided writes and sums across the demand-zero heap — the "process
 /// with dynamic memory" analogue: every first touch of a page is a
 /// kernel page-fault service visible in complete traces.
@@ -655,5 +632,30 @@ page:   movl    r7, (r6)          ; first touch faults the page in
         name: name.to_string(),
         source,
         expected_output: format!("{:02x}", fold(check)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stride_is_coprime() {
+        for nodes in [4u32, 64, 100, 1024, 2048] {
+            let w = list_chase("x", nodes, 10);
+            assert!(!w.source.is_empty());
+        }
+    }
+
+    #[test]
+    fn mirrors_are_deterministic() {
+        assert_eq!(matrix("a", 6), matrix("a", 6));
+        assert_eq!(sort("s", 64), sort("s", 64));
+    }
+
+    #[test]
+    fn fib_expected_value() {
+        // fib(12) = 144 → fold(144) = 0x90.
+        assert_eq!(fib_recursive("f", 12).expected_output, "90");
     }
 }

@@ -39,8 +39,7 @@
 mod generators;
 
 pub use generators::{
-    binary_search, block_copy, fib_recursive, heap_walk, lexer, list_chase, matrix, queue_sim,
-    sort,
+    binary_search, block_copy, fib_recursive, heap_walk, lexer, list_chase, matrix, queue_sim, sort,
 };
 
 /// A generated workload: source, identity and its expected console

@@ -60,10 +60,7 @@ fn mix_runs_multiprogrammed_and_all_checksums_appear() {
     // expected digit multiset appears.
     assert_eq!(out.len(), 2 * mix.len());
     let mut got: Vec<char> = out.chars().collect();
-    let mut want: Vec<char> = mix
-        .iter()
-        .flat_map(|w| w.expected_output.chars())
-        .collect();
+    let mut want: Vec<char> = mix.iter().flat_map(|w| w.expected_output.chars()).collect();
     got.sort_unstable();
     want.sort_unstable();
     assert_eq!(got, want, "checksum digits scrambled or missing: {out}");

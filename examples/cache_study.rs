@@ -6,7 +6,7 @@
 //! cargo run --release --example cache_study
 //! ```
 
-use atum::cache::{simulate, CacheConfig, SwitchPolicy};
+use atum::cache::{simulate_many, CacheConfig, SwitchPolicy};
 use atum::core::{CaptureSession, Tracer};
 use atum::machine::Machine;
 use atum::os::BootImage;
@@ -36,33 +36,48 @@ fn main() {
         user_only.ref_count()
     );
 
+    // Each sweep is a single pass over the trace: every size here is
+    // LRU write-back, so `simulate_many` folds the whole sweep into one
+    // stack-distance walk instead of one replay per configuration.
+    let sizes = [1u32 << 10, 4 << 10, 16 << 10, 64 << 10];
+
     // F1: complete vs user-only, direct-mapped.
     println!("miss rate vs size — complete-system vs user-only trace:");
     println!("{:>8} {:>12} {:>12}", "size", "complete", "user-only");
     let base = CacheConfig::builder().block(16).assoc(1).build().unwrap();
-    for size in [1u32 << 10, 4 << 10, 16 << 10, 64 << 10] {
-        let full = simulate(&trace, &base.with_size(size));
-        let user = simulate(&user_only, &base.with_size(size));
+    let cfgs: Vec<CacheConfig> = sizes.iter().map(|&s| base.with_size(s)).collect();
+    let full = simulate_many(&trace, &cfgs);
+    let user = simulate_many(&user_only, &cfgs);
+    for (i, size) in sizes.iter().enumerate() {
         println!(
             "{:>7}K {:>11.2}% {:>11.2}%",
             size / 1024,
-            100.0 * full.miss_rate(),
-            100.0 * user.miss_rate()
+            100.0 * full[i].miss_rate(),
+            100.0 * user[i].miss_rate()
         );
     }
 
-    // F2: context-switch policies.
+    // F2: context-switch policies — both policies of every size in one
+    // call; the engine splits them into one stack group per policy.
     println!("\nmiss rate vs size — context-switch policy (2-way):");
     println!("{:>8} {:>12} {:>12}", "size", "flush", "pid-tagged");
     let base = CacheConfig::builder().block(16).assoc(2).build().unwrap();
-    for size in [1u32 << 10, 4 << 10, 16 << 10, 64 << 10] {
-        let flush = simulate(&trace, &base.with_size(size).with_switch(SwitchPolicy::Flush));
-        let tag = simulate(&trace, &base.with_size(size).with_switch(SwitchPolicy::PidTag));
+    let cfgs: Vec<CacheConfig> = sizes
+        .iter()
+        .flat_map(|&s| {
+            [
+                base.with_size(s).with_switch(SwitchPolicy::Flush),
+                base.with_size(s).with_switch(SwitchPolicy::PidTag),
+            ]
+        })
+        .collect();
+    let stats = simulate_many(&trace, &cfgs);
+    for (i, size) in sizes.iter().enumerate() {
         println!(
             "{:>7}K {:>11.2}% {:>11.2}%",
             size / 1024,
-            100.0 * flush.miss_rate(),
-            100.0 * tag.miss_rate()
+            100.0 * stats[2 * i].miss_rate(),
+            100.0 * stats[2 * i + 1].miss_rate()
         );
     }
 

@@ -77,7 +77,11 @@ fn archival_encoding_preserves_cache_results() {
     let bytes = atum::core::encode_trace(&trace);
     let decoded = atum::core::decode_trace(&bytes).unwrap();
 
-    for policy in [SwitchPolicy::Ignore, SwitchPolicy::Flush, SwitchPolicy::PidTag] {
+    for policy in [
+        SwitchPolicy::Ignore,
+        SwitchPolicy::Flush,
+        SwitchPolicy::PidTag,
+    ] {
         let cfg = CacheConfig::builder()
             .size(8 << 10)
             .block(16)
@@ -153,7 +157,8 @@ fn detach_stops_capture_and_restores_behaviour() {
 
 #[test]
 fn tiny_buffer_capture_equals_big_buffer_capture() {
-    let program = "start: movl #300, r6\nloop: incl counter\n sobgtr r6, loop\n chmk #0\ncounter: .long 0";
+    let program =
+        "start: movl #300, r6\nloop: incl counter\n sobgtr r6, loop\n chmk #0\ncounter: .long 0";
     let capture_with = |buf: Option<u32>| {
         let image = BootImage::builder().user_program(program).build().unwrap();
         let mut m = Machine::new(image.memory_layout());
