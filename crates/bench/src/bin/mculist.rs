@@ -1,13 +1,16 @@
-//! Microcode listing tool: dump the stock control store, a single
-//! routine, the entry table, or the ATUM patch region.
+//! Microcode listing and verification tool: dump the stock control
+//! store, a single routine, the entry table, or the ATUM patch region,
+//! or run the static verifier over everything the repository builds.
 //!
 //! ```text
 //! mculist entries            # where the patchable hooks point
 //! mculist xfer.read          # one routine
 //! mculist patches            # the ATUM patch region (installs first)
 //! mculist all                # the whole store
+//! mculist verify             # static verification; nonzero exit on errors
 //! ```
 
+use atum_bench::mculist::{patches_report, verify};
 use atum_core::PatchSet;
 use atum_ucode::stock;
 use std::process::ExitCode;
@@ -24,20 +27,25 @@ fn main() -> ExitCode {
             println!("after installing the ATUM patches:\n{}", cs.entry_summary());
         }
         "patches" => {
-            let ps = PatchSet::install(&mut cs).expect("install");
-            println!(
-                ";; ATUM patch region: {} micro-words\n{}",
-                ps.words(),
-                cs.listing(cs.stock_len(), cs.len())
-            );
+            print!("{}", patches_report());
         }
         "all" => {
             println!("{}", cs.listing(0, cs.len()));
         }
+        "verify" => {
+            let v = verify();
+            print!("{}", v.report);
+            if v.errors > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
         sym => {
             // Patch symbols (atum.*) only exist after installation.
             if cs.symbol(sym).is_none() {
-                let _ = PatchSet::install(&mut cs);
+                if let Err(e) = PatchSet::install(&mut cs) {
+                    eprintln!("cannot install patches to resolve '{sym}': {e}");
+                    return ExitCode::FAILURE;
+                }
             }
             match cs.listing_of(sym) {
                 Some(l) => println!("{l}"),

@@ -14,4 +14,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod mculist;
+
 pub use atum_analysis::{experiments, Report, Scale};

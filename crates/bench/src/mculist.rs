@@ -1,0 +1,114 @@
+//! Shared implementation of the `mculist` subcommands, so the golden
+//! tests pin the exact bytes the binary prints.
+
+use atum_core::{PatchSet, PatchStyle};
+use atum_mclint::{error_count, lint, svx, Finding};
+use atum_os::kernel::{self, KernelOptions};
+use atum_os::TbitMode;
+use atum_ucode::stock;
+use std::fmt::Write as _;
+
+/// The `mculist patches` report: the ATUM patch region as a listing.
+pub fn patches_report() -> String {
+    let mut cs = stock::build();
+    let ps = PatchSet::install(&mut cs).expect("install on a fresh stock store cannot fail");
+    format!(
+        ";; ATUM patch region: {} micro-words\n{}",
+        ps.words(),
+        cs.listing(cs.stock_len(), cs.len())
+    )
+}
+
+/// Result of running the full static-verification suite.
+pub struct VerifyReport {
+    /// Human-readable report, one section per subject.
+    pub report: String,
+    /// Total findings across all subjects.
+    pub findings: usize,
+    /// Error-severity findings (the CI gate fails on any).
+    pub errors: usize,
+}
+
+fn section(out: &mut String, title: &str, findings: &[Finding]) -> (usize, usize) {
+    if findings.is_empty() {
+        let _ = writeln!(out, "{title:<42} ok");
+    } else {
+        let _ = writeln!(out, "{title:<42} {} finding(s)", findings.len());
+        for f in findings {
+            let _ = writeln!(out, "    {f}");
+        }
+    }
+    (findings.len(), error_count(findings))
+}
+
+/// Runs every verifier pass over every artifact this repository builds:
+/// the stock control store, the patched store in both styles, the MOSS
+/// kernel in both T-bit modes, and every standard workload image.
+pub fn verify() -> VerifyReport {
+    let mut out = String::new();
+    let mut findings = 0;
+    let mut errors = 0;
+    let mut add = |out: &mut String, title: &str, fs: &[Finding]| {
+        let (f, e) = section(out, title, fs);
+        findings += f;
+        errors += e;
+    };
+
+    let cs = stock::build();
+    add(&mut out, "stock control store", &lint::run(&cs));
+
+    for (style, name) in [
+        (PatchStyle::Scratch, "patched store (scratch style)"),
+        (PatchStyle::Spill, "patched store (spill style)"),
+    ] {
+        let mut cs = stock::build();
+        PatchSet::install_with_style(&mut cs, style).expect("install");
+        add(&mut out, name, &lint::run(&cs));
+    }
+
+    for (tbit, name) in [
+        (TbitMode::Ignore, "MOSS kernel (tbit ignored)"),
+        (TbitMode::LogPc, "MOSS kernel (tbit software trace)"),
+    ] {
+        let opts = KernelOptions {
+            tbit,
+            ..KernelOptions::default()
+        };
+        let img = atum_asm::assemble(&kernel::source(&opts)).expect("kernel assembles");
+        add(
+            &mut out,
+            name,
+            &svx::check_image(&img, svx::ImageKind::Kernel),
+        );
+    }
+
+    for w in atum_workloads::suite_standard() {
+        let src = format!(".org {:#x}\n{}\n", atum_os::USER_BASE_VA, w.source);
+        let img = atum_asm::assemble(&src).expect("workload assembles");
+        let title = format!("workload '{}'", w.name);
+        add(
+            &mut out,
+            &title,
+            &svx::check_image(&img, svx::ImageKind::User),
+        );
+    }
+
+    let _ = writeln!(out, "\nverify: {findings} finding(s), {errors} error(s)");
+    VerifyReport {
+        report: out,
+        findings,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verify_is_clean_on_shipped_artifacts() {
+        let v = verify();
+        assert_eq!(v.errors, 0, "{}", v.report);
+        assert_eq!(v.findings, 0, "{}", v.report);
+    }
+}

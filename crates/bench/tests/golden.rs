@@ -1,0 +1,23 @@
+//! Golden-file test pinning the `mculist patches` listing.
+//!
+//! The patch region is the heart of the reproduction: its exact shape —
+//! symbol layout, capacity check, record stores, rejoin jumps — is what
+//! both the transparency verifier and the paper's patch-size numbers
+//! describe. Any change to it shows up here as a diff against
+//! `tests/golden/patches.txt`; regenerate deliberately with
+//! `cargo run -p atum-bench --bin mculist -- patches > crates/bench/tests/golden/patches.txt`.
+
+use atum_bench::mculist::patches_report;
+
+#[test]
+fn mculist_patches_output_matches_golden_file() {
+    let expected = include_str!("golden/patches.txt");
+    let actual = patches_report();
+    assert!(
+        actual == expected,
+        "`mculist patches` output drifted from tests/golden/patches.txt.\n\
+         If the change is intentional, regenerate the golden file:\n\
+         cargo run -p atum-bench --bin mculist -- patches > crates/bench/tests/golden/patches.txt\n\
+         \n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}

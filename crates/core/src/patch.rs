@@ -406,11 +406,17 @@ mod tests {
     #[test]
     fn double_install_rejected() {
         let mut cs = stock::build();
-        PatchSet::install(&mut cs).unwrap();
+        let ps = PatchSet::install(&mut cs).unwrap();
+        let words = cs.patch_words();
         assert_eq!(
             PatchSet::install(&mut cs).unwrap_err(),
             PatchError::AlreadyInstalled
         );
+        // The rejected attempt must not have grown the WCS or moved any
+        // hook: patch_words accounting stays exactly one install's worth.
+        assert_eq!(cs.patch_words(), words);
+        assert_eq!(cs.patch_words(), ps.words());
+        assert_eq!(cs.entry(Entry::XferRead), cs.symbol("atum.read").unwrap());
     }
 
     #[test]

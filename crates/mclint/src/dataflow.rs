@@ -1,0 +1,219 @@
+//! Def-use dataflow over micro-registers.
+//!
+//! Three checks:
+//!
+//! 1. **never-written reads** — a reachable read of a micro-temporary
+//!    (`T0`–`T15`, `P0`–`P7`) that no reachable word ever writes. The
+//!    engine zero-initialises the register file, so such a read computes
+//!    with a constant the author almost certainly did not intend;
+//! 2. **dead writes** — a micro-temporary written somewhere but never
+//!    read anywhere. `T15` is exempt: it is the documented junk
+//!    destination for flag-setting ALU ops;
+//! 3. **the `P` reservation** — no word in the *stock* region may touch
+//!    `P0`–`P7` in any operand position. This is the invariant the whole
+//!    ATUM patch scheme rests on: the patches may clobber patch scratch
+//!    freely precisely because stock microcode provably never reads or
+//!    writes it.
+//!
+//! The def-use sets are global over the reachable store rather than
+//! path-sensitive: the stock microcode passes values between routines
+//! through documented register conventions (`T0` = specifier result and
+//! so on), so per-path uninitialised-read analysis would drown in false
+//! positives at routine boundaries. The global check is the sound core:
+//! a register read *somewhere* but written *nowhere* is a defect no
+//! convention can excuse.
+
+use crate::cfg::{self, SymbolMap};
+use crate::{Finding, Pass, Severity};
+use atum_ucode::{ControlStore, MicroOp, MicroReg};
+
+/// Register operands the word at `addr` reads. Includes the implicit
+/// `MAR`/`MDR` traffic of the memory micro-ops.
+pub fn reads(op: MicroOp) -> Vec<MicroReg> {
+    match op {
+        MicroOp::Mov { src, .. } => vec![src],
+        MicroOp::Alu { a, b, .. } => vec![a, b],
+        MicroOp::SetSizeDyn(r) => vec![r],
+        MicroOp::Read { .. } | MicroOp::PhysRead => vec![MicroReg::Mar],
+        MicroOp::Write { .. } | MicroOp::PhysWrite => vec![MicroReg::Mar, MicroReg::Mdr],
+        MicroOp::ReadPr { num, .. } => vec![num],
+        MicroOp::WritePr { num, src } => vec![num, src],
+        _ => Vec::new(),
+    }
+}
+
+/// Register operands the word at `addr` writes. Includes the implicit
+/// `MDR` result of the memory reads.
+pub fn writes(op: MicroOp) -> Vec<MicroReg> {
+    match op {
+        MicroOp::Mov { dst, .. } => vec![dst],
+        MicroOp::Alu { dst, .. } => vec![dst],
+        MicroOp::Read { .. } | MicroOp::PhysRead => vec![MicroReg::Mdr],
+        MicroOp::ReadPr { dst, .. } => vec![dst],
+        _ => Vec::new(),
+    }
+}
+
+/// Index for micro-temporaries in the def-use tables: `T0`–`T15` then
+/// `P0`–`P7`.
+fn temp_index(r: MicroReg) -> Option<usize> {
+    match r {
+        MicroReg::T(n) if n < 16 => Some(n as usize),
+        MicroReg::P(n) if n < 8 => Some(16 + n as usize),
+        _ => None,
+    }
+}
+
+fn temp_name(i: usize) -> String {
+    if i < 16 {
+        format!("t{i}")
+    } else {
+        format!("p{}", i - 16)
+    }
+}
+
+/// The documented junk destination (`T15`); flag-setting ops write it
+/// with no intention of it ever being read.
+const JUNK_INDEX: usize = 15;
+
+/// Runs the def-use checks.
+pub fn check(cs: &ControlStore) -> Vec<Finding> {
+    let map = SymbolMap::new(cs);
+    let reachable = cfg::reachable(cs);
+    let mut out = Vec::new();
+
+    // First reachable read/write site per micro-temporary.
+    let mut first_read: [Option<u32>; 24] = [None; 24];
+    let mut first_write: [Option<u32>; 24] = [None; 24];
+
+    for addr in 0..cs.len() {
+        let op = cs.word(addr);
+
+        // The P reservation is checked over the whole stock region,
+        // reachable or not: dead stock code touching patch scratch is
+        // still a landmine for the next patch author.
+        if addr < cs.stock_len() {
+            for r in reads(op).into_iter().chain(writes(op)) {
+                if matches!(r, MicroReg::P(_)) {
+                    out.push(Finding {
+                        pass: Pass::Dataflow,
+                        severity: Severity::Error,
+                        symbol: map.name(addr),
+                        addr,
+                        message: format!(
+                            "stock micro-word touches patch scratch {r} (reserved for patches)"
+                        ),
+                    });
+                    break;
+                }
+            }
+        }
+
+        if !reachable[addr as usize] {
+            continue;
+        }
+        for r in reads(op) {
+            if let Some(i) = temp_index(r) {
+                first_read[i].get_or_insert(addr);
+            }
+        }
+        for r in writes(op) {
+            if let Some(i) = temp_index(r) {
+                first_write[i].get_or_insert(addr);
+            }
+        }
+    }
+
+    for i in 0..24 {
+        match (first_read[i], first_write[i]) {
+            (Some(read_at), None) => out.push(Finding {
+                pass: Pass::Dataflow,
+                severity: Severity::Error,
+                symbol: map.name(read_at),
+                addr: read_at,
+                message: format!(
+                    "read of micro-temporary {} which no reachable word ever writes",
+                    temp_name(i)
+                ),
+            }),
+            (None, Some(write_at)) if i != JUNK_INDEX => out.push(Finding {
+                pass: Pass::Dataflow,
+                severity: Severity::Warning,
+                symbol: map.name(write_at),
+                addr: write_at,
+                message: format!(
+                    "dead write: micro-temporary {} is written but never read",
+                    temp_name(i)
+                ),
+            }),
+            _ => {}
+        }
+    }
+
+    out.sort_by_key(|f| f.addr);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_ucode::{stock, Entry, Target};
+
+    #[test]
+    fn stock_store_is_dataflow_clean() {
+        let cs = stock::build();
+        let findings = check(&cs);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn never_written_read_is_reported() {
+        let mut cs = stock::build();
+        // Reading a temp the stock code writes is fine; use a P register
+        // nothing in this store ever writes.
+        let addr = cs.append_routine(
+            "bad.uninit",
+            vec![
+                MicroOp::Mov {
+                    src: MicroReg::P(6),
+                    dst: MicroReg::Mar,
+                },
+                MicroOp::Jump(Target::Abs(cs.entry(Entry::XferRead))),
+            ],
+        );
+        cs.set_entry(Entry::XferRead, addr);
+        let findings = check(&cs);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.symbol == "bad.uninit"
+                    && f.message.contains("no reachable word ever writes")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn stock_p_use_is_reported() {
+        // A synthetic store whose "stock" region touches P3.
+        let mut cs = atum_ucode::ControlStore::new();
+        cs.append_routine(
+            "stock.bad",
+            vec![
+                MicroOp::Mov {
+                    src: MicroReg::Imm(1),
+                    dst: MicroReg::P(3),
+                },
+                MicroOp::Jump(Target::Abs(0)),
+            ],
+        );
+        cs.seal_stock();
+        let findings = check(&cs);
+        let f = findings
+            .iter()
+            .find(|f| f.message.contains("patch scratch"))
+            .expect("stock P use must be flagged");
+        assert_eq!(f.symbol, "stock.bad");
+        assert_eq!(f.addr, 0);
+        assert_eq!(f.severity, Severity::Error);
+    }
+}

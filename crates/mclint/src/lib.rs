@@ -1,0 +1,152 @@
+//! # atum-mclint — static verifier for microcode, patches and SVX images
+//!
+//! ATUM's central claims — the patch is *invisible* to the OS and
+//! *transparent* to architectural execution — are checked dynamically by
+//! the equivalence suite in `atum-baselines`. This crate proves the same
+//! properties statically, straight off the control store, the way a
+//! microcode group would have vetted a WCS patch before loading it on a
+//! production 8200:
+//!
+//! * [`structural`] — control-flow sanity over the micro-CFG: every
+//!   routine reachable from some entry, no fall-through off the end of
+//!   the store, all branch targets in range, dispatch tables fully
+//!   populated;
+//! * [`dataflow`] — def-use over [`MicroReg`]: reads of never-written
+//!   micro-temporaries, dead writes, and the "stock microcode never
+//!   touches `P0`–`P7`" reservation the patches depend on;
+//! * [`transparency`] — the ATUM-specific verifier: each installed patch
+//!   routine writes only patch scratch (`P0`–`P7`) and the saved-and-
+//!   restored `MAR`/`MDR`, its memory stores are physical stores whose
+//!   address derivation stays inside the reserved buffer's bounds check,
+//!   and it rejoins the stock flow at the hooked entry's original target;
+//! * [`svx`] — an assembly-level lint for images built by `atum-asm`
+//!   (the MOSS kernel and the workloads): `calls`/`ret` balance,
+//!   privileged instructions outside kernel images, SCB vector coverage.
+//!
+//! The top-level entry point is [`lint::run`]; `mculist verify` (in
+//! `atum-bench`) drives it from the command line and CI gates on it.
+//!
+//! What the verifier deliberately cannot prove is documented per pass and
+//! summarised in `DESIGN.md` — briefly: it does not model timing (the
+//! ATUM *slowdown* is measured, not verified), it trusts the engine's
+//! micro-op semantics, and its buffer-bounds proof covers the derivation
+//! patterns the patches actually use rather than arbitrary address
+//! arithmetic.
+//!
+//! [`MicroReg`]: atum_ucode::MicroReg
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod dataflow;
+pub mod structural;
+pub mod svx;
+pub mod transparency;
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but conceivably intended; does not fail `mculist verify`.
+    Warning,
+    /// A defect: the property the pass proves does not hold.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Which pass produced a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Pass {
+    /// Micro-CFG structural checks.
+    Structural,
+    /// Def-use / liveness over micro-registers.
+    Dataflow,
+    /// ATUM patch transparency verification.
+    Transparency,
+    /// SVX assembly image lint.
+    Svx,
+}
+
+impl fmt::Display for Pass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pass::Structural => f.write_str("structural"),
+            Pass::Dataflow => f.write_str("dataflow"),
+            Pass::Transparency => f.write_str("transparency"),
+            Pass::Svx => f.write_str("svx"),
+        }
+    }
+}
+
+/// One verifier finding.
+///
+/// `symbol` is the nearest symbol at or before `addr` (rendered as
+/// `name+offset` when not exactly at the symbol), so a finding always
+/// names the offending routine; `addr` is the micro-address in the
+/// control store for the microcode passes, or the virtual address for
+/// [`Pass::Svx`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The pass that produced this finding.
+    pub pass: Pass,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Nearest enclosing symbol (`name` or `name+offset`), or a raw
+    /// address rendering when no symbol covers `addr`.
+    pub symbol: String,
+    /// Micro-address (control-store passes) or virtual address (SVX).
+    pub addr: u32,
+    /// Human-readable description of the defect.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {} @{:#06x}: {}",
+            self.severity, self.pass, self.symbol, self.addr, self.message
+        )
+    }
+}
+
+impl Finding {
+    /// Whether this finding fails a verification gate.
+    pub fn is_error(&self) -> bool {
+        self.severity == Severity::Error
+    }
+}
+
+/// Counts errors in a finding list.
+pub fn error_count(findings: &[Finding]) -> usize {
+    findings.iter().filter(|f| f.is_error()).count()
+}
+
+/// The composed control-store verifier.
+pub mod lint {
+    use super::{dataflow, structural, transparency, Finding};
+    use atum_ucode::ControlStore;
+
+    /// Runs every control-store pass — structural, dataflow and (when
+    /// hooks are installed) transparency — and returns the combined
+    /// findings sorted by micro-address. SVX images are linted
+    /// separately through [`crate::svx::check_image`], since they are
+    /// not part of the control store.
+    pub fn run(cs: &ControlStore) -> Vec<Finding> {
+        let mut out = structural::check(cs);
+        out.extend(dataflow::check(cs));
+        out.extend(transparency::check(cs));
+        out.sort_by_key(|f| (f.addr, f.pass as u8));
+        out
+    }
+}

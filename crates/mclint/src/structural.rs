@@ -1,0 +1,200 @@
+//! Structural checks over the micro-CFG.
+//!
+//! Proves four properties a control store must have before anything else
+//! about it is worth asking:
+//!
+//! 1. **no wild branches** — every `Target::Abs` in a reachable word, and
+//!    every entry-table and dispatch-table slot, lands inside the store;
+//! 2. **full dispatch coverage** — all 256 opcode slots and all 4×16
+//!    specifier slots point somewhere real (unassigned opcodes must point
+//!    at the reserved-instruction fault routine, not at word 0 garbage);
+//! 3. **no fall-through off the end** — no reachable word can advance
+//!    past the last micro-word (a real sequencer would fetch garbage);
+//! 4. **no orphan routines** — every symbol is reachable from some
+//!    engine entry point (an unreachable routine is dead WCS weight at
+//!    best, a mis-wired dispatch slot at worst).
+
+use crate::cfg::{self, SymbolMap};
+use crate::{Finding, Pass, Severity};
+use atum_ucode::{ControlStore, Entry, MicroOp, SpecTable, Target};
+
+fn finding(map: &SymbolMap, addr: u32, severity: Severity, message: String) -> Finding {
+    Finding {
+        pass: Pass::Structural,
+        severity,
+        symbol: map.name(addr),
+        addr,
+        message,
+    }
+}
+
+/// Runs all structural checks.
+pub fn check(cs: &ControlStore) -> Vec<Finding> {
+    let map = SymbolMap::new(cs);
+    let len = cs.len();
+    let mut out = Vec::new();
+
+    // 1a. Entry table in range.
+    for e in Entry::ALL {
+        let t = cs.entry(e);
+        if t >= len {
+            out.push(finding(
+                &map,
+                t.min(len.saturating_sub(1)),
+                Severity::Error,
+                format!("entry slot {e:?} points at {t:#06x}, outside the {len}-word store"),
+            ));
+        }
+    }
+    // 1b/2. Dispatch tables in range.
+    for b in 0..=255u8 {
+        let t = cs.opcode_target(b);
+        if t >= len {
+            out.push(finding(
+                &map,
+                0,
+                Severity::Error,
+                format!("opcode dispatch slot {b:#04x} points at {t:#06x}, outside the store"),
+            ));
+        }
+    }
+    for table in [
+        SpecTable::Read,
+        SpecTable::Write,
+        SpecTable::Modify,
+        SpecTable::Addr,
+    ] {
+        for nibble in 0..16u8 {
+            let t = cs.spec_target(table, nibble);
+            if t >= len {
+                out.push(finding(
+                    &map,
+                    0,
+                    Severity::Error,
+                    format!(
+                        "specifier dispatch {table:?}/{nibble:#x} points at {t:#06x}, outside the store"
+                    ),
+                ));
+            }
+        }
+    }
+
+    let reachable = cfg::reachable(cs);
+
+    // 1c. Absolute targets of reachable words in range; 3. fall-through
+    // off the end.
+    for addr in 0..len {
+        if !reachable[addr as usize] {
+            continue;
+        }
+        let op = cs.word(addr);
+        let target = match op {
+            MicroOp::Jump(Target::Abs(t)) => Some(t),
+            MicroOp::JumpIf {
+                target: Target::Abs(t),
+                ..
+            } => Some(t),
+            MicroOp::Call(Target::Abs(t)) => Some(t),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t >= len {
+                out.push(finding(
+                    &map,
+                    addr,
+                    Severity::Error,
+                    format!("branch target {t:#06x} outside the {len}-word store"),
+                ));
+            }
+        }
+        if addr + 1 == len && cfg::falls_through(op) {
+            out.push(finding(
+                &map,
+                addr,
+                Severity::Error,
+                "last micro-word can fall through off the end of the store".to_string(),
+            ));
+        }
+    }
+
+    // 4. Every routine reachable.
+    let mut orphans: Vec<(u32, &str)> = cs
+        .symbols()
+        .iter()
+        .filter(|(_, &a)| (a as usize) < reachable.len() && !reachable[a as usize])
+        .map(|(n, &a)| (a, n.as_str()))
+        .collect();
+    orphans.sort_unstable();
+    for (addr, name) in orphans {
+        out.push(Finding {
+            pass: Pass::Structural,
+            severity: Severity::Error,
+            symbol: name.to_string(),
+            addr,
+            message: format!("routine '{name}' is unreachable from every engine entry point"),
+        });
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_ucode::stock;
+
+    #[test]
+    fn stock_store_is_structurally_clean() {
+        let cs = stock::build();
+        let findings = check(&cs);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn orphan_routine_is_reported_with_symbol_and_address() {
+        let mut cs = stock::build();
+        let addr = cs.append_routine("orphan.routine", vec![MicroOp::Ret]);
+        let findings = check(&cs);
+        assert_eq!(findings.len(), 1);
+        let f = &findings[0];
+        assert_eq!(f.severity, Severity::Error);
+        assert_eq!(f.symbol, "orphan.routine");
+        assert_eq!(f.addr, addr);
+        assert!(f.message.contains("unreachable"), "{f}");
+    }
+
+    #[test]
+    fn wild_branch_is_reported() {
+        let mut cs = stock::build();
+        let wild = cs.len() + 100;
+        let addr = cs.append_routine("bad.jump", vec![MicroOp::Jump(Target::Abs(wild))]);
+        cs.set_entry(Entry::XferRead, addr);
+        let findings = check(&cs);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.addr == addr && f.message.contains("outside")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn fall_through_off_the_end_is_reported() {
+        let mut cs = stock::build();
+        let addr = cs.append_routine(
+            "bad.fall",
+            vec![MicroOp::Mov {
+                src: atum_ucode::MicroReg::Imm(0),
+                dst: atum_ucode::MicroReg::P(0),
+            }],
+        );
+        cs.set_entry(Entry::XferRead, addr);
+        let findings = check(&cs);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("fall through off the end")),
+            "{findings:#?}"
+        );
+    }
+}

@@ -1,0 +1,481 @@
+//! Static lint over assembled SVX images (the MOSS kernel and the
+//! workload programs).
+//!
+//! The image is disassembled by reachability from its entry symbols —
+//! never linearly, because data (`state`, `pcbtab`, string tables) lives
+//! between routines and linear sweeps would drown in junk decodes. Three
+//! checks run over the reachable instructions:
+//!
+//! 1. **call/return discipline** — a procedure entered with `calls` must
+//!    return with `ret` (which unwinds the `calls` frame) and one entered
+//!    with `bsbb`/`bsbw`/`jsb` must return with `rsb` (which pops only
+//!    the PC). Mixing the two unbalances the stack by a frame;
+//! 2. **privilege** — user-mode images must not contain reachable
+//!    privileged instructions (`halt`, `rei`, `ldpctx`, `svpctx`,
+//!    `mtpr`, `mfpr`); they would fault at run time;
+//! 3. **SCB coverage** (kernel images) — boot code must initialise every
+//!    exception vector the machine can deliver, by a reachable
+//!    `movl #handler, @#SCB+offset`. An uninitialised vector sends the
+//!    machine through a zero longword on the first fault of that kind.
+//!    The console receive/transmit vectors are deliberately *not*
+//!    required: MOSS polls the console through the host harness and
+//!    never raises its IPL below the console level, so those interrupts
+//!    cannot be delivered.
+//!
+//! What this pass deliberately cannot do: follow dynamic transfers
+//! (`jmp (rN)`, computed `jsb`) — such targets are simply not traversed —
+//! and it cannot prove stack *depth* balance, only that entry and return
+//! styles agree.
+
+use crate::{Finding, Pass, Severity};
+use atum_arch::{DecodedInsn, Opcode, Operand, ScbVector};
+use atum_asm::Image;
+use atum_os::SYSTEM_VA;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// What mode an image runs in (decides which checks apply).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImageKind {
+    /// The MOSS kernel: privileged instructions allowed, SCB coverage
+    /// required.
+    Kernel,
+    /// A workload program: runs in user mode.
+    User,
+}
+
+/// Vectors the kernel must initialise before any process runs.
+fn required_vectors() -> Vec<(u32, &'static str)> {
+    vec![
+        (ScbVector::MachineCheck.offset(), "machine check"),
+        (
+            ScbVector::KernelStackInvalid.offset(),
+            "kernel stack invalid",
+        ),
+        (
+            ScbVector::ReservedInstruction.offset(),
+            "reserved instruction",
+        ),
+        (ScbVector::ReservedOperand.offset(), "reserved operand"),
+        (
+            ScbVector::ReservedAddrMode.offset(),
+            "reserved addressing mode",
+        ),
+        (ScbVector::AccessViolation.offset(), "access violation"),
+        (
+            ScbVector::TranslationInvalid.offset(),
+            "translation invalid",
+        ),
+        (ScbVector::TraceTrap.offset(), "trace trap"),
+        (ScbVector::Breakpoint.offset(), "breakpoint"),
+        (ScbVector::Arithmetic.offset(), "arithmetic trap"),
+        (ScbVector::Chmk.offset(), "chmk system call"),
+        (ScbVector::IntervalTimer.offset(), "interval timer"),
+    ]
+}
+
+/// Sorted symbol view for rendering addresses as `name+offset`.
+struct ImageSymbols {
+    starts: Vec<(u32, String)>,
+}
+
+impl ImageSymbols {
+    fn new(img: &Image) -> ImageSymbols {
+        let mut starts: Vec<(u32, String)> =
+            img.symbols().iter().map(|(n, a)| (*a, n.clone())).collect();
+        starts.sort_unstable();
+        ImageSymbols { starts }
+    }
+
+    fn name(&self, addr: u32) -> String {
+        match self.starts.binary_search_by_key(&addr, |&(a, _)| a) {
+            Ok(i) => self.starts[i].1.clone(),
+            Err(0) => format!("@{addr:#010x}"),
+            Err(i) => {
+                let (base, name) = &self.starts[i - 1];
+                format!("{name}+{}", addr - base)
+            }
+        }
+    }
+}
+
+/// How control leaves an instruction.
+enum Flow {
+    /// No successors (`rsb`, `ret`, `rei`, `halt`).
+    Terminal,
+    /// Unconditional transfer to a static target (`brb`, `brw`, static
+    /// `jmp`); dynamic `jmp` has no followable successor.
+    Goto(Option<u32>),
+    /// Conditional branch / loop op: target plus fall-through.
+    Cond(Option<u32>),
+    /// Subroutine call: target plus fall-through (the callee returns).
+    CallLike(Option<u32>),
+    /// Everything else: fall-through.
+    Fall,
+}
+
+/// Static target of a branch/call operand, if the addressing mode pins
+/// one down. `next` is the address of the following instruction (branch
+/// displacements are relative to it).
+fn static_target(op: &Operand, next: u32) -> Option<u32> {
+    match *op {
+        Operand::BranchDisp(d) => Some(next.wrapping_add(d as u32)),
+        Operand::Absolute(a) => Some(a),
+        Operand::Relative(a) => Some(a),
+        _ => None,
+    }
+}
+
+fn flow_of(insn: &DecodedInsn, addr: u32) -> Flow {
+    let next = addr + insn.len;
+    let last = insn.operands.last();
+    match insn.opcode {
+        Opcode::Rsb | Opcode::Ret | Opcode::Rei | Opcode::Halt => Flow::Terminal,
+        // `chmk #EXIT` terminates the process under the MOSS ABI; every
+        // other syscall returns to the next instruction. Without this the
+        // traversal would decode whatever data follows a program's final
+        // exit as code.
+        Opcode::Chmk
+            if matches!(
+                insn.operands.first(),
+                Some(&Operand::Literal(n)) if n as u16 == atum_os::syscalls::EXIT
+            ) =>
+        {
+            Flow::Terminal
+        }
+        Opcode::Brb | Opcode::Brw | Opcode::Jmp => {
+            Flow::Goto(last.and_then(|o| static_target(o, next)))
+        }
+        Opcode::Bsbb | Opcode::Bsbw | Opcode::Jsb => {
+            Flow::CallLike(last.and_then(|o| static_target(o, next)))
+        }
+        // `calls` reads the 16-bit register-save mask at the procedure
+        // head; execution begins two bytes past the target.
+        Opcode::Calls => Flow::CallLike(
+            last.and_then(|o| static_target(o, next))
+                .map(|t| t.wrapping_add(2)),
+        ),
+        Opcode::Sobgtr
+        | Opcode::Sobgeq
+        | Opcode::Aoblss
+        | Opcode::Aobleq
+        | Opcode::Blbs
+        | Opcode::Blbc => Flow::Cond(last.and_then(|o| static_target(o, next))),
+        op if op.is_conditional_branch() => Flow::Cond(last.and_then(|o| static_target(o, next))),
+        _ => Flow::Fall,
+    }
+}
+
+/// Lints one assembled image.
+pub fn check_image(img: &Image, kind: ImageKind) -> Vec<Finding> {
+    let syms = ImageSymbols::new(img);
+    let base = img.base();
+    let end = img.end();
+    let flat = img.flatten();
+    let mut fetch = |a: u32| {
+        if a >= base && a < end {
+            flat.get((a - base) as usize).copied()
+        } else {
+            None
+        }
+    };
+
+    let mut out: Vec<Finding> = Vec::new();
+    let mut emit = |syms: &ImageSymbols, addr: u32, severity: Severity, message: String| {
+        out.push(Finding {
+            pass: Pass::Svx,
+            severity,
+            symbol: syms.name(addr),
+            addr,
+            message,
+        });
+    };
+
+    // Entry points: for the kernel, the boot symbol and every vector
+    // routine; for user images, `start` (when defined) and the image
+    // base, where execution begins.
+    let mut work: Vec<u32> = Vec::new();
+    match kind {
+        ImageKind::Kernel => {
+            for (name, &a) in img.symbols() {
+                if name == "kstart" || name.starts_with("vec_") {
+                    work.push(a);
+                }
+            }
+            if work.is_empty() {
+                work.push(base);
+            }
+        }
+        ImageKind::User => {
+            work.push(img.symbol("start").unwrap_or(base));
+        }
+    }
+
+    // Reachability disassembly. Records every decoded instruction and
+    // the static targets of each call style along the way.
+    let mut insns: BTreeMap<u32, DecodedInsn> = BTreeMap::new();
+    let mut calls_targets: HashMap<u32, u32> = HashMap::new(); // target → a call site
+    let mut bsb_targets: HashMap<u32, u32> = HashMap::new();
+    let mut scb_writes: HashMap<u32, (u32, u32)> = HashMap::new(); // vector → (handler, site)
+    let mut seen: HashSet<u32> = HashSet::new();
+    while let Some(addr) = work.pop() {
+        if !seen.insert(addr) {
+            continue;
+        }
+        if addr < base || addr >= end {
+            emit(
+                &syms,
+                addr,
+                Severity::Error,
+                format!("reachable code address {addr:#010x} is outside the image"),
+            );
+            continue;
+        }
+        let insn = match DecodedInsn::decode(addr, &mut fetch) {
+            Ok(i) => i,
+            Err(e) => {
+                emit(
+                    &syms,
+                    addr,
+                    Severity::Error,
+                    format!("reachable bytes do not decode: {e}"),
+                );
+                continue;
+            }
+        };
+
+        if kind == ImageKind::User && insn.opcode.is_privileged() {
+            emit(
+                &syms,
+                addr,
+                Severity::Error,
+                format!(
+                    "privileged instruction {} in a user-mode image (faults at run time)",
+                    insn.opcode.mnemonic()
+                ),
+            );
+        }
+
+        // SCB vector initialisation: movl #handler, @#SCB+offset.
+        if kind == ImageKind::Kernel && insn.opcode == Opcode::Movl {
+            if let [src, Operand::Absolute(dst)] = insn.operands[..] {
+                let scb = SYSTEM_VA;
+                if (scb..scb + 0x200).contains(&dst) {
+                    if let Operand::Immediate(handler) = src {
+                        scb_writes.insert(dst - scb, (handler, addr));
+                        if handler < base || handler >= end {
+                            emit(
+                                &syms,
+                                addr,
+                                Severity::Error,
+                                format!(
+                                    "SCB vector {:#04x} is pointed at {handler:#010x}, outside the kernel image",
+                                    dst - scb
+                                ),
+                            );
+                        } else {
+                            // The handler is code even if unnamed.
+                            work.push(handler);
+                        }
+                    }
+                }
+            }
+        }
+
+        let next = addr + insn.len;
+        match flow_of(&insn, addr) {
+            Flow::Terminal => {}
+            Flow::Goto(t) => {
+                if let Some(t) = t {
+                    work.push(t);
+                }
+            }
+            Flow::Cond(t) => {
+                if let Some(t) = t {
+                    work.push(t);
+                }
+                work.push(next);
+            }
+            Flow::CallLike(t) => {
+                if let Some(t) = t {
+                    work.push(t);
+                    match insn.opcode {
+                        Opcode::Calls => {
+                            calls_targets.entry(t).or_insert(addr);
+                        }
+                        _ => {
+                            bsb_targets.entry(t).or_insert(addr);
+                        }
+                    }
+                }
+                work.push(next);
+            }
+            Flow::Fall => work.push(next),
+        }
+        insns.insert(addr, insn);
+    }
+
+    // Call/return discipline: walk each procedure body (never descending
+    // into callees — their returns belong to them) and collect the
+    // return opcodes it can reach.
+    let returns_of = |entry: u32| -> HashSet<Opcode> {
+        let mut rets = HashSet::new();
+        let mut local_seen = HashSet::new();
+        let mut stack = vec![entry];
+        while let Some(a) = stack.pop() {
+            if !local_seen.insert(a) {
+                continue;
+            }
+            let Some(insn) = insns.get(&a) else { continue };
+            let next = a + insn.len;
+            match flow_of(insn, a) {
+                Flow::Terminal => {
+                    rets.insert(insn.opcode);
+                }
+                Flow::Goto(t) => {
+                    if let Some(t) = t {
+                        stack.push(t);
+                    }
+                }
+                Flow::Cond(t) => {
+                    if let Some(t) = t {
+                        stack.push(t);
+                    }
+                    stack.push(next);
+                }
+                // A nested call returns here; its own returns are not ours.
+                Flow::CallLike(_) => stack.push(next),
+                Flow::Fall => stack.push(next),
+            }
+        }
+        rets
+    };
+
+    for (&t, &site) in &calls_targets {
+        if bsb_targets.contains_key(&t) {
+            emit(
+                &syms,
+                t,
+                Severity::Error,
+                format!(
+                    "procedure {} is entered both with calls and with bsb/jsb (incompatible frames)",
+                    syms.name(t)
+                ),
+            );
+        }
+        if returns_of(t).contains(&Opcode::Rsb) {
+            emit(
+                &syms,
+                site,
+                Severity::Error,
+                format!(
+                    "calls to {} but the procedure returns with rsb (leaves the calls frame on the stack)",
+                    syms.name(t)
+                ),
+            );
+        }
+    }
+    for (&t, &site) in &bsb_targets {
+        if returns_of(t).contains(&Opcode::Ret) {
+            emit(
+                &syms,
+                site,
+                Severity::Error,
+                format!(
+                    "bsb/jsb to {} but the subroutine returns with ret (pops a frame that was never pushed)",
+                    syms.name(t)
+                ),
+            );
+        }
+    }
+
+    if kind == ImageKind::Kernel {
+        for (off, name) in required_vectors() {
+            if !scb_writes.contains_key(&off) {
+                emit(
+                    &syms,
+                    base,
+                    Severity::Error,
+                    format!(
+                        "SCB vector {off:#04x} ({name}) is never initialised by reachable boot code"
+                    ),
+                );
+            }
+        }
+    }
+
+    out.sort_by_key(|f| f.addr);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_asm::assemble;
+    use atum_os::kernel::{self, KernelOptions};
+
+    fn kernel_image() -> Image {
+        assemble(&kernel::source(&KernelOptions::default())).expect("kernel")
+    }
+
+    #[test]
+    fn moss_kernel_is_clean() {
+        let findings = check_image(&kernel_image(), ImageKind::Kernel);
+        assert!(findings.is_empty(), "{findings:#?}");
+    }
+
+    #[test]
+    fn workloads_are_clean() {
+        for w in atum_workloads::suite_standard() {
+            let src = format!(".org {:#x}\n{}\n", atum_os::USER_BASE_VA, w.source);
+            let img = assemble(&src).expect(&w.name);
+            let findings = check_image(&img, ImageKind::User);
+            assert!(findings.is_empty(), "{}: {findings:#?}", w.name);
+        }
+    }
+
+    #[test]
+    fn privileged_instruction_in_user_image_is_reported() {
+        let img = assemble(".org 0x200\nstart:  mtpr r0, #18\n        halt\n").expect("asm");
+        let findings = check_image(&img, ImageKind::User);
+        assert!(
+            findings.iter().any(|f| f.message.contains("mtpr")),
+            "{findings:#?}"
+        );
+        assert!(
+            findings.iter().any(|f| f.message.contains("halt")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn calls_into_rsb_routine_is_reported() {
+        let src = ".org 0x200\n\
+start:  calls   #0, sub\n\
+        chmk    #0\n\
+sub:    .word   0\n\
+        rsb\n";
+        let img = assemble(src).expect("asm");
+        let findings = check_image(&img, ImageKind::User);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("returns with rsb")),
+            "{findings:#?}"
+        );
+    }
+
+    #[test]
+    fn missing_scb_vector_is_reported() {
+        // A "kernel" that sets up only one vector.
+        let src = ".org 0x80002000\n\
+kstart: movl    #vec_t, @#0x800000C0\n\
+spin:   brb     spin\n\
+vec_t:  rei\n";
+        let img = assemble(src).expect("asm");
+        let findings = check_image(&img, ImageKind::Kernel);
+        assert!(
+            findings.iter().any(|f| f.message.contains("machine check")),
+            "{findings:#?}"
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! The verifier's acceptance suite.
+//!
+//! Positive half: the stock control store and the genuinely installed
+//! ATUM patches (both styles) must lint completely clean — zero findings,
+//! warnings included. Negative half: each deliberately seeded bug must
+//! produce a finding that names the offending symbol and micro-address.
+
+use atum_arch::{DataSize, PrivReg};
+use atum_core::patch::{PatchSet, PatchStyle};
+use atum_mclint::{error_count, lint, Finding, Severity};
+use atum_ucode::{stock, AluOp, CcEffect, ControlStore, Entry, MicroOp, MicroReg, Target};
+
+fn assert_clean(findings: &[Finding], what: &str) {
+    assert!(
+        findings.is_empty(),
+        "{what} should lint clean, got:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+/// A finding that names both the expected symbol and a concrete address.
+fn expect_finding<'a>(findings: &'a [Finding], symbol: &str, needle: &str) -> &'a Finding {
+    findings
+        .iter()
+        .find(|f| f.symbol.starts_with(symbol) && f.message.contains(needle))
+        .unwrap_or_else(|| {
+            panic!(
+                "expected a finding at '{symbol}' containing '{needle}', got:\n{}",
+                findings
+                    .iter()
+                    .map(|f| f.to_string())
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            )
+        })
+}
+
+// ── positive: real stores are clean ──────────────────────────────────
+
+#[test]
+fn stock_store_lints_clean() {
+    let cs = stock::build();
+    assert_clean(&lint::run(&cs), "stock store");
+}
+
+#[test]
+fn patched_store_scratch_style_lints_clean() {
+    let mut cs = stock::build();
+    PatchSet::install_with_style(&mut cs, PatchStyle::Scratch).unwrap();
+    assert_clean(&lint::run(&cs), "patched store (scratch)");
+}
+
+#[test]
+fn patched_store_spill_style_lints_clean() {
+    let mut cs = stock::build();
+    PatchSet::install_with_style(&mut cs, PatchStyle::Spill).unwrap();
+    assert_clean(&lint::run(&cs), "patched store (spill)");
+}
+
+#[test]
+fn uninstalled_store_lints_like_stock_plus_orphans() {
+    // After uninstall the hooks are gone but the patch routines remain in
+    // the WCS as dead weight: exactly the orphan-routine findings, and
+    // nothing else.
+    let mut cs = stock::build();
+    let set = PatchSet::install(&mut cs).unwrap();
+    set.uninstall(&mut cs);
+    let findings = lint::run(&cs);
+    assert!(!findings.is_empty(), "orphaned patch routines expected");
+    for f in &findings {
+        assert!(
+            f.message.contains("unreachable"),
+            "only orphan findings expected after uninstall, got: {f}"
+        );
+        assert!(f.symbol.starts_with("atum."), "unexpected orphan: {f}");
+    }
+}
+
+// ── negative: seeded bug 1 — architectural register clobber ──────────
+
+#[test]
+fn patch_clobbering_architectural_register_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    let addr = cs.append_routine(
+        "evil.clobber",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Imm(0xDEAD),
+                dst: MicroReg::Gpr(3),
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.clobber", "architecturally visible");
+    assert_eq!(f.addr, addr);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("r3"), "{f}");
+}
+
+// ── negative: seeded bug 2 — store outside the reserved buffer ───────
+
+#[test]
+fn unchecked_buffer_store_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_write = cs.symbol("xfer.write").unwrap();
+    // Reads TRPTR and stores through it with no TRLIM bounds check: the
+    // exact bug the capacity-check pattern exists to prevent.
+    let addr = cs.append_routine(
+        "evil.unchecked",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::ReadPr {
+                num: MicroReg::Imm(PrivReg::Trptr.number()),
+                dst: MicroReg::P(2),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(2),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::PhysWrite,
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Jump(Target::Abs(stock_write)),
+        ],
+    );
+    cs.set_entry(Entry::XferWrite, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.unchecked", "bounds check");
+    assert_eq!(f.addr, addr + 3);
+    assert_eq!(f.severity, Severity::Error);
+}
+
+#[test]
+fn wild_physical_store_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    // Stores through a constant physical address nowhere near the buffer.
+    let addr = cs.append_routine(
+        "evil.wild",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Imm(0x1000),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::PhysWrite,
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.wild", "outside the reserved trace region");
+    assert_eq!(f.addr, addr + 1);
+}
+
+// ── negative: seeded bug 3 — missing rejoin ──────────────────────────
+
+#[test]
+fn patch_that_never_rejoins_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    // Ends in decode.next instead of jumping back to the displaced
+    // routine: the hooked transfer never happens.
+    let addr = cs.append_routine(
+        "evil.norejoin",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::DecodeNext,
+        ],
+    );
+    cs.set_entry(Entry::XferIFetch, addr);
+    let findings = lint::run(&cs);
+    expect_finding(
+        &findings,
+        "evil.norejoin",
+        "ends the architectural instruction",
+    );
+    let f = expect_finding(&findings, "evil.norejoin", "no path rejoins");
+    assert_eq!(f.addr, addr);
+}
+
+#[test]
+fn patch_rejoining_at_the_wrong_routine_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    // Rejoins the *write* flow from the *read* hook: reads would execute
+    // as writes.
+    let stock_write = cs.symbol("xfer.write").unwrap();
+    let addr = cs.append_routine(
+        "evil.crossjoin",
+        vec![MicroOp::Jump(Target::Abs(stock_write))],
+    );
+    cs.set_entry(Entry::XferRead, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(
+        &findings,
+        "evil.crossjoin",
+        "instead of the displaced xfer.read",
+    );
+    assert_eq!(f.addr, addr);
+}
+
+// ── negative: seeded bug 4 — unreachable routine ─────────────────────
+
+#[test]
+fn unreachable_patch_routine_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let addr = cs.append_routine("evil.orphan", vec![MicroOp::Ret]);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.orphan", "unreachable");
+    assert_eq!(f.addr, addr);
+    assert_eq!(f.severity, Severity::Error);
+}
+
+// ── negative: seeded bug 5 — stock microcode touching P scratch ──────
+
+#[test]
+fn stock_use_of_patch_scratch_is_caught() {
+    // Build a minimal synthetic store whose "stock" region violates the
+    // P-register reservation (the shipped stock builder cannot, which is
+    // itself asserted by `stock_store_lints_clean`).
+    let mut cs = ControlStore::new();
+    let addr = cs.append_routine(
+        "stock.pclobber",
+        vec![
+            MicroOp::Alu {
+                op: AluOp::Add,
+                a: MicroReg::P(5),
+                b: MicroReg::Imm(1),
+                dst: MicroReg::P(5),
+                size: DataSize::Long,
+                cc: CcEffect::None,
+            },
+            MicroOp::Jump(Target::Abs(0)),
+        ],
+    );
+    cs.seal_stock();
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "stock.pclobber", "patch scratch");
+    assert_eq!(f.addr, addr);
+    assert_eq!(f.severity, Severity::Error);
+}
+
+// ── negative: seeded bug 6 — condition-code leak ─────────────────────
+
+#[test]
+fn patch_setting_condition_codes_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    let addr = cs.append_routine(
+        "evil.ccleak",
+        vec![
+            MicroOp::Alu {
+                op: AluOp::Sub,
+                a: MicroReg::P(1),
+                b: MicroReg::P(2),
+                dst: MicroReg::P(3),
+                size: DataSize::Long,
+                cc: CcEffect::Arith,
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.ccleak", "condition codes");
+    assert_eq!(f.addr, addr);
+}
+
+// ── error counting for the CLI gate ──────────────────────────────────
+
+#[test]
+fn error_count_matches_severity() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    cs.append_routine("evil.orphan", vec![MicroOp::Ret]);
+    let findings = lint::run(&cs);
+    assert!(error_count(&findings) >= 1);
+    assert_eq!(
+        error_count(&findings),
+        findings.iter().filter(|f| f.is_error()).count()
+    );
+}

@@ -146,6 +146,16 @@ impl ControlStore {
         self.fault_addr
     }
 
+    /// Marks everything currently in the store as the stock (pre-patch)
+    /// region, leaving the dispatch structures as they are. The shipped
+    /// microcode is sealed through the richer internal path in
+    /// [`crate::stock::build`]; this method exists for alternative stock
+    /// builders and for verifier tests that need a synthetic store with a
+    /// non-empty stock region.
+    pub fn seal_stock(&mut self) {
+        self.stock_len = self.len();
+    }
+
     pub(crate) fn finish_stock(
         &mut self,
         fault_addr: u32,
@@ -242,6 +252,44 @@ mod tests {
         let mut cs = ControlStore::new();
         cs.append_routine("x", vec![MicroOp::Halt]);
         cs.append_routine("x", vec![MicroOp::Halt]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of store")]
+    fn opcode_target_out_of_range_panics() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("a", vec![MicroOp::Halt]);
+        cs.set_opcode_target(0x12, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of store")]
+    fn spec_target_out_of_range_panics() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("a", vec![MicroOp::Halt]);
+        cs.set_spec_target(SpecTable::Read, 3, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty micro-routine")]
+    fn empty_routine_panics() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("nothing", vec![]);
+    }
+
+    #[test]
+    fn patch_words_accumulates_across_appends() {
+        let mut cs = ControlStore::new();
+        cs.append_routine("stockish", vec![MicroOp::Halt]);
+        cs.seal_stock();
+        cs.append_routine("patch.a", vec![MicroOp::Ret, MicroOp::Ret]);
+        cs.append_routine("patch.b", vec![MicroOp::Ret]);
+        assert_eq!(cs.patch_words(), 3);
+        assert_eq!(cs.stock_len(), 1);
+        // Re-sealing adopts the patches into the stock region.
+        cs.seal_stock();
+        assert_eq!(cs.patch_words(), 0);
+        assert_eq!(cs.stock_len(), 4);
     }
 
     #[test]
