@@ -40,6 +40,7 @@ pub enum DataSize {
 
 impl DataSize {
     /// Size in bytes (1, 2 or 4).
+    #[inline]
     pub fn bytes(self) -> u32 {
         match self {
             DataSize::Byte => 1,
@@ -49,11 +50,13 @@ impl DataSize {
     }
 
     /// Size in bits (8, 16 or 32).
+    #[inline]
     pub fn bits(self) -> u32 {
         self.bytes() * 8
     }
 
     /// Mask selecting the low `bits()` bits of a longword.
+    #[inline]
     pub fn mask(self) -> u32 {
         match self {
             DataSize::Byte => 0xFF,
@@ -63,11 +66,13 @@ impl DataSize {
     }
 
     /// The sign bit for this size.
+    #[inline]
     pub fn sign_bit(self) -> u32 {
         1 << (self.bits() - 1)
     }
 
     /// Sign-extends `value` (assumed masked to this size) to 32 bits.
+    #[inline]
     pub fn sign_extend(self, value: u32) -> u32 {
         let v = value & self.mask();
         if v & self.sign_bit() != 0 {
@@ -78,6 +83,7 @@ impl DataSize {
     }
 
     /// Truncates `value` to this size.
+    #[inline]
     pub fn truncate(self, value: u32) -> u32 {
         value & self.mask()
     }
@@ -113,6 +119,7 @@ pub enum Access {
 impl Access {
     /// Whether this access kind is encoded as an operand specifier (true)
     /// or as a bare displacement in the instruction stream (false).
+    #[inline]
     pub fn has_specifier(self) -> bool {
         !matches!(self, Access::Branch(_))
     }
@@ -213,6 +220,7 @@ impl AddrMode {
     /// # Errors
     ///
     /// Returns [`ReservedModeError`] for mode 4 (indexed — reserved in SVX).
+    #[inline]
     pub fn decode_specifier(specifier: u8) -> Result<(AddrMode, u8), ReservedModeError> {
         let reg = specifier & 0x0F;
         let mode = match specifier >> 4 {
@@ -237,6 +245,7 @@ impl AddrMode {
     /// The high nibble this mode encodes to (for non-literal modes).
     ///
     /// Literal returns 0; encoders place the literal's high two bits there.
+    #[inline]
     pub fn encode_nibble(self) -> u8 {
         match self {
             AddrMode::Literal => 0,
@@ -258,6 +267,7 @@ impl AddrMode {
     /// specifier byte, for an operand of size `op_size`, when the register
     /// is `reg` (PC matters: autoincrement-PC is an immediate whose length
     /// is the operand size).
+    #[inline]
     pub fn extension_bytes(self, op_size: DataSize, reg: u8) -> u32 {
         match self {
             AddrMode::Literal | AddrMode::Register | AddrMode::RegDeferred | AddrMode::AutoDec => 0,

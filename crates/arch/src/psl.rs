@@ -40,6 +40,7 @@ pub enum CpuMode {
 impl CpuMode {
     /// Decodes a two-bit mode field. Encodings 1 and 2 (the VAX's executive
     /// and supervisor modes) collapse to [`CpuMode::User`].
+    #[inline]
     pub fn from_bits(bits: u32) -> CpuMode {
         if bits & 0b11 == 0 {
             CpuMode::Kernel
@@ -49,6 +50,7 @@ impl CpuMode {
     }
 
     /// The two-bit field encoding of this mode.
+    #[inline]
     pub fn to_bits(self) -> u32 {
         match self {
             CpuMode::Kernel => 0,
@@ -57,6 +59,7 @@ impl CpuMode {
     }
 
     /// Whether this is kernel mode.
+    #[inline]
     pub fn is_kernel(self) -> bool {
         matches!(self, CpuMode::Kernel)
     }
@@ -124,6 +127,7 @@ impl Psl {
         | Self::PRV_MASK;
 
     /// A boot-state PSL: kernel mode, IPL 31, no condition codes.
+    #[inline]
     pub fn new() -> Psl {
         let mut p = Psl(0);
         p.set_ipl(31);
@@ -131,76 +135,91 @@ impl Psl {
     }
 
     /// Reconstructs a PSL from a raw image, discarding must-be-zero bits.
+    #[inline]
     pub fn from_bits(bits: u32) -> Psl {
         Psl(bits & Self::VALID_MASK)
     }
 
     /// The raw 32-bit image.
+    #[inline]
     pub fn bits(self) -> u32 {
         self.0
     }
 
     /// Carry flag.
+    #[inline]
     pub fn c(self) -> bool {
         self.0 & Self::C != 0
     }
 
     /// Overflow flag.
+    #[inline]
     pub fn v(self) -> bool {
         self.0 & Self::V != 0
     }
 
     /// Zero flag.
+    #[inline]
     pub fn z(self) -> bool {
         self.0 & Self::Z != 0
     }
 
     /// Negative flag.
+    #[inline]
     pub fn n(self) -> bool {
         self.0 & Self::N != 0
     }
 
     /// Trace-trap enable flag.
+    #[inline]
     pub fn t(self) -> bool {
         self.0 & Self::T != 0
     }
 
     /// Trace-pending flag (internal; see [`Psl::TP`]).
+    #[inline]
     pub fn tp(self) -> bool {
         self.0 & Self::TP != 0
     }
 
     /// Sets the carry flag.
+    #[inline]
     pub fn set_c(&mut self, on: bool) {
         self.set_bit(Self::C, on);
     }
 
     /// Sets the overflow flag.
+    #[inline]
     pub fn set_v(&mut self, on: bool) {
         self.set_bit(Self::V, on);
     }
 
     /// Sets the zero flag.
+    #[inline]
     pub fn set_z(&mut self, on: bool) {
         self.set_bit(Self::Z, on);
     }
 
     /// Sets the negative flag.
+    #[inline]
     pub fn set_n(&mut self, on: bool) {
         self.set_bit(Self::N, on);
     }
 
     /// Sets the trace-trap enable flag.
+    #[inline]
     pub fn set_t(&mut self, on: bool) {
         self.set_bit(Self::T, on);
     }
 
     /// Sets the trace-pending flag.
+    #[inline]
     pub fn set_tp(&mut self, on: bool) {
         self.set_bit(Self::TP, on);
     }
 
     /// Writes all four condition codes at once.
+    #[inline]
     pub fn set_cc(&mut self, n: bool, z: bool, v: bool, c: bool) {
         self.set_n(n);
         self.set_z(z);
@@ -209,6 +228,7 @@ impl Psl {
     }
 
     /// The current interrupt priority level (0–31).
+    #[inline]
     pub fn ipl(self) -> u8 {
         ((self.0 & Self::IPL_MASK) >> Self::IPL_SHIFT) as u8
     }
@@ -218,32 +238,38 @@ impl Psl {
     /// # Panics
     ///
     /// Panics if `ipl > 31`.
+    #[inline]
     pub fn set_ipl(&mut self, ipl: u8) {
         assert!(ipl < 32, "IPL {ipl} out of range");
         self.0 = (self.0 & !Self::IPL_MASK) | ((ipl as u32) << Self::IPL_SHIFT);
     }
 
     /// The current CPU mode.
+    #[inline]
     pub fn mode(self) -> CpuMode {
         CpuMode::from_bits((self.0 & Self::CUR_MASK) >> Self::CUR_SHIFT)
     }
 
     /// Sets the current CPU mode.
+    #[inline]
     pub fn set_mode(&mut self, mode: CpuMode) {
         self.0 = (self.0 & !Self::CUR_MASK) | (mode.to_bits() << Self::CUR_SHIFT);
     }
 
     /// The previous CPU mode (recorded on exception entry).
+    #[inline]
     pub fn prev_mode(self) -> CpuMode {
         CpuMode::from_bits((self.0 & Self::PRV_MASK) >> Self::PRV_SHIFT)
     }
 
     /// Sets the previous CPU mode.
+    #[inline]
     pub fn set_prev_mode(&mut self, mode: CpuMode) {
         self.0 = (self.0 & !Self::PRV_MASK) | (mode.to_bits() << Self::PRV_SHIFT);
     }
 
     /// Whether the CPU is in kernel mode.
+    #[inline]
     pub fn is_kernel(self) -> bool {
         self.mode().is_kernel()
     }

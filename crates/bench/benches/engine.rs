@@ -69,6 +69,68 @@ fn engine_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fast-engine vs reference-engine capture rates, written machine-readably
+/// to `BENCH_capture.json` at the workspace root. Trials are interleaved
+/// fast/reference and best-of so host-speed drift cancels in the ratio —
+/// the speedup, not the absolute rate, is the pinned result.
+fn capture_rates(_c: &mut Criterion) {
+    if !criterion::filter_matches("engine/capture_rates") {
+        return;
+    }
+    const ROUNDS: usize = 10;
+    let img = bench_program();
+    let load = |style: Option<PatchStyle>| {
+        let mut m = loaded_machine(&img);
+        if let Some(style) = style {
+            let t = Tracer::attach_with_style(&mut m, style).unwrap();
+            t.set_enabled(&mut m, true);
+        }
+        m
+    };
+    let mut entries = Vec::new();
+    for (name, style) in [
+        ("untraced", None),
+        ("atum_scratch", Some(PatchStyle::Scratch)),
+        ("atum_spill", Some(PatchStyle::Spill)),
+    ] {
+        let mut probe = load(style);
+        probe.run(u64::MAX);
+        let insns = probe.insns();
+        let mut best = [f64::MAX; 2];
+        for _ in 0..ROUNDS {
+            for (i, reference) in [(0, false), (1, true)] {
+                let mut m = load(style);
+                m.set_reference_engine(reference);
+                let t0 = std::time::Instant::now();
+                m.run(u64::MAX);
+                best[i] = best[i].min(t0.elapsed().as_secs_f64());
+            }
+        }
+        let fast = insns as f64 / best[0];
+        let reference = insns as f64 / best[1];
+        println!(
+            "bench engine/capture_rates/{name}: fast {fast:.3e} insn/s  \
+             reference {reference:.3e} insn/s  speedup {:.2}x",
+            fast / reference
+        );
+        entries.push(format!(
+            "    \"{name}\": {{\n      \"insns\": {insns},\n      \
+             \"fast_insns_per_sec\": {fast:.1},\n      \
+             \"reference_insns_per_sec\": {reference:.1},\n      \
+             \"speedup\": {:.3}\n    }}",
+            fast / reference
+        ));
+    }
+    let json = format!(
+        "{{\n  \"workload\": \"list_chase nodes=256 steps=4000\",\n  \
+         \"unit\": \"architectural instructions per second\",\n  \
+         \"configs\": {{\n{}\n  }}\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_capture.json");
+    std::fs::write(path, json).expect("write BENCH_capture.json");
+}
+
 fn cache_throughput(c: &mut Criterion) {
     // Capture one real trace to drive the simulators.
     let img = bench_program();
@@ -185,6 +247,6 @@ fn build_costs(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = engine_throughput, cache_throughput, cache_multi_throughput, archsim_throughput, build_costs
+    targets = engine_throughput, capture_rates, cache_throughput, cache_multi_throughput, archsim_throughput, build_costs
 }
 criterion_main!(benches);

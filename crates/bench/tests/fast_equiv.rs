@@ -1,0 +1,295 @@
+//! Differential fast-vs-reference engine suite.
+//!
+//! The predecoded fast engine (`crates/machine/src/fast.rs`) must be
+//! observationally identical to the word-at-a-time reference
+//! interpreter — same architectural state, same microcycle counts, same
+//! trace bytes. This suite runs randomized programs on both engines in
+//! lockstep and compares them at **every instruction boundary**, both
+//! untraced and under each ATUM patch style (where the trace-buffer
+//! bytes are compared raw, exactly as the microcode wrote them).
+
+use atum_core::PatchStyle;
+use atum_machine::{Machine, MemLayout, RunExit};
+use proptest::prelude::*;
+
+const ORG: u32 = 0x1000;
+const SCRATCH: u32 = 0x4000;
+
+fn reg() -> impl Strategy<Value = String> {
+    (0u8..10).prop_map(|r| format!("r{r}"))
+}
+
+/// A read operand: register, literal, immediate, or scratch memory.
+fn src() -> impl Strategy<Value = String> {
+    prop_oneof![
+        reg(),
+        (0u32..64).prop_map(|v| format!("#{v}")),
+        any::<i32>().prop_map(|v| format!("#{v}")),
+        (0u32..32).prop_map(|o| format!("@#{:#x}", SCRATCH + o * 4)),
+        (0u32..32).prop_map(|o| format!("{}(r10)", o * 4)),
+    ]
+}
+
+/// A read operand for byte/word instructions (immediates must fit).
+fn bsrc() -> impl Strategy<Value = String> {
+    prop_oneof![
+        reg(),
+        (-128i32..256).prop_map(|v| format!("#{v}")),
+        (0u32..32).prop_map(|o| format!("@#{:#x}", SCRATCH + o * 4)),
+        (0u32..32).prop_map(|o| format!("{}(r10)", o * 4)),
+    ]
+}
+
+/// A write operand: register or scratch memory.
+fn dst() -> impl Strategy<Value = String> {
+    prop_oneof![
+        reg(),
+        (0u32..32).prop_map(|o| format!("@#{:#x}", SCRATCH + o * 4)),
+        (0u32..32).prop_map(|o| format!("{}(r10)", o * 4)),
+    ]
+}
+
+fn insn() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (src(), dst()).prop_map(|(a, b)| format!("movl {a}, {b}")),
+        (bsrc(), dst()).prop_map(|(a, b)| format!("movb {a}, {b}")),
+        (bsrc(), dst()).prop_map(|(a, b)| format!("movw {a}, {b}")),
+        (src(), reg()).prop_map(|(a, b)| format!("addl2 {a}, {b}")),
+        (src(), src(), dst()).prop_map(|(a, b, c)| format!("addl3 {a}, {b}, {c}")),
+        (src(), src(), dst()).prop_map(|(a, b, c)| format!("subl3 {a}, {b}, {c}")),
+        (src(), src(), dst()).prop_map(|(a, b, c)| format!("mull3 {a}, {b}, {c}")),
+        (src(), src(), dst()).prop_map(|(a, b, c)| format!("xorl3 {a}, {b}, {c}")),
+        (src(), src(), dst()).prop_map(|(a, b, c)| format!("bisl3 {a}, {b}, {c}")),
+        (src(), src(), dst()).prop_map(|(a, b, c)| format!("bicl3 {a}, {b}, {c}")),
+        ((-8i32..8), src(), dst()).prop_map(|(n, b, c)| format!("ashl #{n}, {b}, {c}")),
+        (src(), src()).prop_map(|(a, b)| format!("cmpl {a}, {b}")),
+        (bsrc(), bsrc()).prop_map(|(a, b)| format!("cmpb {a}, {b}")),
+        src().prop_map(|a| format!("tstl {a}")),
+        reg().prop_map(|a| format!("incl {a}")),
+        reg().prop_map(|a| format!("decl {a}")),
+        (bsrc(), dst()).prop_map(|(a, b)| format!("movzbl {a}, {b}")),
+        (bsrc(), dst()).prop_map(|(a, b)| format!("cvtbl {a}, {b}")),
+        (src(), dst()).prop_map(|(a, b)| format!("mnegl {a}, {b}")),
+        (src(), dst()).prop_map(|(a, b)| format!("mcoml {a}, {b}")),
+        (src(), src()).prop_map(|(a, b)| format!("bitl {a}, {b}")),
+    ]
+}
+
+/// A control-flow block: straight-line, a bounded `sobgtr` loop, or a
+/// conditional skip. Loops count down in `r11` (excluded from the random
+/// operand pool) so termination is guaranteed.
+#[derive(Debug, Clone)]
+enum Block {
+    Straight(Vec<String>),
+    Loop {
+        count: u8,
+        body: Vec<String>,
+    },
+    Cond {
+        a: String,
+        b: String,
+        body: Vec<String>,
+    },
+}
+
+fn block() -> impl Strategy<Value = Block> {
+    prop_oneof![
+        4 => proptest::collection::vec(insn(), 1..8).prop_map(Block::Straight),
+        1 => (1u8..6, proptest::collection::vec(insn(), 1..5))
+            .prop_map(|(count, body)| Block::Loop { count, body }),
+        1 => (src(), src(), proptest::collection::vec(insn(), 1..5))
+            .prop_map(|(a, b, body)| Block::Cond { a, b, body }),
+    ]
+}
+
+fn program() -> impl Strategy<Value = String> {
+    proptest::collection::vec(block(), 1..8).prop_map(|blocks| {
+        let mut src = String::from("start:\n");
+        src.push_str(&format!("        movl #{SCRATCH:#x}, r10\n"));
+        for (bi, b) in blocks.iter().enumerate() {
+            match b {
+                Block::Straight(insns) => {
+                    for i in insns {
+                        src.push_str(&format!("        {i}\n"));
+                    }
+                }
+                Block::Loop { count, body } => {
+                    src.push_str(&format!("        movl #{count}, r11\n"));
+                    src.push_str(&format!("loop{bi}:\n"));
+                    for i in body {
+                        src.push_str(&format!("        {i}\n"));
+                    }
+                    src.push_str(&format!("        sobgtr r11, loop{bi}\n"));
+                }
+                Block::Cond { a, b, body } => {
+                    src.push_str(&format!("        cmpl {a}, {b}\n"));
+                    src.push_str(&format!("        beql skip{bi}\n"));
+                    for i in body {
+                        src.push_str(&format!("        {i}\n"));
+                    }
+                    src.push_str(&format!("skip{bi}:\n"));
+                }
+            }
+        }
+        src.push_str("        halt\n");
+        src
+    })
+}
+
+/// Loads a machine with the program, optionally attaching an enabled
+/// tracer with the given patch style.
+fn load(img: &atum_asm::Image, style: Option<PatchStyle>, reference: bool) -> Machine {
+    let mut m = Machine::new(MemLayout::small());
+    for (a, b) in img.segments() {
+        m.write_phys(*a, b).unwrap();
+    }
+    m.set_gpr(14, 0x8000);
+    m.set_pc(ORG);
+    m.set_reference_engine(reference);
+    if let Some(style) = style {
+        let t = atum_core::Tracer::attach_with_style(&mut m, style).unwrap();
+        t.set_enabled(&mut m, true);
+    }
+    m
+}
+
+/// The raw trace-buffer bytes, exactly as the patch microcode wrote them.
+fn trace_bytes(m: &Machine) -> Vec<u8> {
+    let base = m.read_prv(atum_arch::PrivReg::Trbase);
+    let ptr = m.read_prv(atum_arch::PrivReg::Trptr);
+    m.read_phys(base, ptr.saturating_sub(base)).unwrap()
+}
+
+/// Runs both engines one instruction at a time, comparing everything
+/// observable at each boundary. Returns the failure case, if any.
+fn lockstep(src: &str, style: Option<PatchStyle>) -> Result<(), TestCaseError> {
+    let full = format!(".org {ORG:#x}\n{src}\n");
+    let img = atum_asm::assemble(&full).expect("generated program assembles");
+    let mut fast = load(&img, style, false);
+    let mut refm = load(&img, style, true);
+    for boundary in 0..200_000u32 {
+        let ef = fast.step_insns(1, 1_000_000);
+        let er = refm.step_insns(1, 1_000_000);
+        prop_assert_eq!(
+            ef,
+            er,
+            "exit differs at boundary {} after:\n{}",
+            boundary,
+            src
+        );
+        prop_assert_eq!(
+            fast.cycles(),
+            refm.cycles(),
+            "microcycle count differs at boundary {} after:\n{}",
+            boundary,
+            src
+        );
+        prop_assert_eq!(fast.insns(), refm.insns(), "insn count differs:\n{}", src);
+        for r in 0..16u8 {
+            prop_assert_eq!(
+                fast.gpr(r),
+                refm.gpr(r),
+                "r{} differs at boundary {} after:\n{}",
+                r,
+                boundary,
+                src
+            );
+        }
+        prop_assert_eq!(
+            fast.psl(),
+            refm.psl(),
+            "PSL differs at boundary {} after:\n{}",
+            boundary,
+            src
+        );
+        prop_assert_eq!(
+            fast.counts(),
+            refm.counts(),
+            "ref counts differ at boundary {} after:\n{}",
+            boundary,
+            src
+        );
+        if style.is_some() {
+            prop_assert_eq!(
+                trace_bytes(&fast),
+                trace_bytes(&refm),
+                "trace bytes differ at boundary {} after:\n{}",
+                boundary,
+                src
+            );
+        }
+        match ef {
+            None => continue,
+            Some(RunExit::Halted) => break,
+            Some(other) => panic!("unexpected exit {other:?} after:\n{src}"),
+        }
+    }
+    // Scratch memory must match too.
+    prop_assert_eq!(
+        fast.read_phys(SCRATCH, 128).unwrap(),
+        refm.read_phys(SCRATCH, 128).unwrap(),
+        "scratch memory differs after:\n{}",
+        src
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn engines_agree_untraced(src in program()) {
+        lockstep(&src, None)?;
+    }
+
+    #[test]
+    fn engines_agree_scratch_patch(src in program()) {
+        lockstep(&src, Some(PatchStyle::Scratch))?;
+    }
+
+    #[test]
+    fn engines_agree_spill_patch(src in program()) {
+        lockstep(&src, Some(PatchStyle::Spill))?;
+    }
+}
+
+/// The bench workload (pointer-chasing with ATUM attached) run in
+/// lockstep chunks — a deterministic deep case covering the exact
+/// capture path the benchmarks measure.
+#[test]
+fn bench_workload_lockstep() {
+    let w = atum_workloads::list_chase("bench", 64, 500);
+    let src = w
+        .source
+        .replace("chmk    #1", "nop")
+        .replace("chmk    #0", "halt");
+    let img = atum_asm::assemble(&format!(".org {ORG:#x}\n{src}\n")).expect("bench program");
+    for style in [None, Some(PatchStyle::Scratch), Some(PatchStyle::Spill)] {
+        let mut fast = load(&img, style, false);
+        let mut refm = load(&img, style, true);
+        fast.set_pc(img.symbol("start").unwrap());
+        refm.set_pc(img.symbol("start").unwrap());
+        loop {
+            let ef = fast.step_insns(64, 10_000_000);
+            let er = refm.step_insns(64, 10_000_000);
+            assert_eq!(ef, er, "{style:?}: exit differs");
+            assert_eq!(fast.cycles(), refm.cycles(), "{style:?}: cycles differ");
+            assert_eq!(fast.insns(), refm.insns(), "{style:?}: insns differ");
+            for r in 0..16u8 {
+                assert_eq!(fast.gpr(r), refm.gpr(r), "{style:?}: r{r} differs");
+            }
+            assert_eq!(fast.psl(), refm.psl(), "{style:?}: PSL differs");
+            assert_eq!(fast.counts(), refm.counts(), "{style:?}: counts differ");
+            assert_eq!(
+                trace_bytes(&fast),
+                trace_bytes(&refm),
+                "{style:?}: trace bytes differ"
+            );
+            match ef {
+                None => continue,
+                Some(RunExit::Halted) => break,
+                Some(other) => panic!("{style:?}: unexpected exit {other:?}"),
+            }
+        }
+    }
+}

@@ -10,6 +10,10 @@ use std::fmt;
 pub struct Trace {
     records: Vec<TraceRecord>,
     segment_starts: Vec<usize>,
+    /// Running count of I/D reference records, maintained on every
+    /// mutation so [`Trace::ref_count`] (hit per row by the experiment
+    /// tables and on every `Display`) never rescans the record vector.
+    ref_count: usize,
 }
 
 impl Trace {
@@ -18,6 +22,17 @@ impl Trace {
         Trace {
             records: Vec::new(),
             segment_starts: vec![0],
+            ref_count: 0,
+        }
+    }
+
+    /// An empty trace with record storage preallocated — the extraction
+    /// path knows the exact record count up front.
+    pub fn with_capacity(records: usize) -> Trace {
+        Trace {
+            records: Vec::with_capacity(records),
+            segment_starts: vec![0],
+            ref_count: 0,
         }
     }
 
@@ -33,17 +48,21 @@ impl Trace {
 
     /// Appends a record.
     pub fn push(&mut self, r: TraceRecord) {
+        self.ref_count += r.is_ref() as usize;
         self.records.push(r);
     }
 
     /// Appends another trace as a new segment (the stitch operation),
-    /// separated by a [`RecordKind::SegmentMark`].
+    /// separated by a [`RecordKind::SegmentMark`]. Stitching into an
+    /// empty trace extends the implicit first segment rather than
+    /// opening a second one (no mark, no new boundary).
     pub fn stitch(&mut self, other: Trace) {
         if !self.records.is_empty() {
             self.records
                 .push(TraceRecord::new(RecordKind::SegmentMark, 0, 0, 0, false));
+            self.segment_starts.push(self.records.len());
         }
-        self.segment_starts.push(self.records.len());
+        self.ref_count += other.ref_count;
         self.records.extend(other.records);
     }
 
@@ -67,21 +86,23 @@ impl Trace {
         self.records.iter().copied().filter(|r| r.is_ref())
     }
 
-    /// Total number of memory references.
+    /// Total number of memory references (cached, O(1)).
     pub fn ref_count(&self) -> usize {
-        self.refs().count()
+        self.ref_count
     }
 
     /// A new trace containing only user-mode references — what a
     /// pre-ATUM user-level tracer would have seen.
     pub fn user_only(&self) -> Trace {
+        let records: Vec<TraceRecord> = self
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.is_ref() && !r.is_kernel())
+            .collect();
         Trace {
-            records: self
-                .records
-                .iter()
-                .copied()
-                .filter(|r| r.is_ref() && !r.is_kernel())
-                .collect(),
+            ref_count: records.len(),
+            records,
             segment_starts: vec![0],
         }
     }
@@ -89,13 +110,15 @@ impl Trace {
     /// A new trace containing only references from one process (kernel
     /// references stamped with that pid included).
     pub fn pid_only(&self, pid: u8) -> Trace {
+        let records: Vec<TraceRecord> = self
+            .records
+            .iter()
+            .copied()
+            .filter(|r| r.is_ref() && r.pid() == pid)
+            .collect();
         Trace {
-            records: self
-                .records
-                .iter()
-                .copied()
-                .filter(|r| r.is_ref() && r.pid() == pid)
-                .collect(),
+            ref_count: records.len(),
+            records,
             segment_starts: vec![0],
         }
     }
@@ -108,7 +131,9 @@ impl Trace {
 
 impl Extend<TraceRecord> for Trace {
     fn extend<T: IntoIterator<Item = TraceRecord>>(&mut self, iter: T) {
+        let before = self.records.len();
         self.records.extend(iter);
+        self.ref_count += self.records[before..].iter().filter(|r| r.is_ref()).count();
     }
 }
 
@@ -187,7 +212,37 @@ mod tests {
                 .collect(),
         );
         assert_eq!(a.len(), 1);
+        // The implicit first segment absorbs the stitched records: no
+        // mark was inserted, so no second segment exists.
+        assert_eq!(a.segments(), 1);
+
+        // A second stitch does open a new segment.
+        a.stitch(
+            vec![rec(RecordKind::Read, 3, 0, false)]
+                .into_iter()
+                .collect(),
+        );
         assert_eq!(a.segments(), 2);
+        assert_eq!(a.records()[1].kind(), RecordKind::SegmentMark);
+    }
+
+    #[test]
+    fn cached_ref_count_tracks_every_mutation_path() {
+        let mut t = Trace::new();
+        t.push(rec(RecordKind::IFetch, 0x100, 1, false));
+        t.push(rec(RecordKind::CtxSwitch, 0x9000, 2, true));
+        t.extend(vec![
+            rec(RecordKind::Read, 0x200, 1, false),
+            rec(RecordKind::SegmentMark, 0, 0, false),
+        ]);
+        t.stitch(
+            vec![rec(RecordKind::Write, 0x300, 1, true)]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(t.ref_count(), t.refs().count());
+        assert_eq!(t.user_only().ref_count(), t.user_only().refs().count());
+        assert_eq!(t.pid_only(1).ref_count(), t.pid_only(1).refs().count());
     }
 
     #[test]

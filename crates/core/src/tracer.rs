@@ -172,8 +172,13 @@ impl Tracer {
     pub fn extract(&self, m: &Machine) -> Result<Trace, TracerError> {
         let ptr = m.read_prv(PrivReg::Trptr);
         let len = ptr.saturating_sub(self.base);
-        let bytes = m.read_phys(self.base, len).map_err(TracerError::Extract)?;
-        let mut trace = Trace::new();
+        // Borrow the buffer region in place (no host-side byte copy) and
+        // decode into storage sized for the exact record count.
+        let bytes = m
+            .memory()
+            .slice(self.base, len)
+            .map_err(TracerError::Extract)?;
+        let mut trace = Trace::with_capacity(len as usize / 8);
         for chunk in bytes.chunks_exact(8) {
             let addr = u32::from_le_bytes(chunk[0..4].try_into().expect("chunk"));
             let meta = u32::from_le_bytes(chunk[4..8].try_into().expect("chunk"));

@@ -16,6 +16,19 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
+/// Whether a bench name passes the command-line filter. As with the real
+/// criterion, every non-flag argument is a substring filter and a bench
+/// runs if any filter matches; no filters means run everything. Lets CI
+/// smoke a single bench (`cargo bench --bench engine -- engine/untraced`)
+/// without paying for the full suite.
+pub fn filter_matches(name: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()))
+}
+
 /// Units for throughput reporting.
 #[derive(Debug, Clone, Copy)]
 pub enum Throughput {
@@ -113,6 +126,9 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    if !filter_matches(name) {
+        return;
+    }
     // Warmup pass (also forces lazy setup).
     let mut b = Bencher {
         elapsed: Duration::ZERO,

@@ -4,18 +4,44 @@
 //! cost 2 microcycles, PTE-walk reads 2 each, everything else 1 — a
 //! deliberately simple model, but patched-vs-stock *ratios* (the paper's
 //! slowdown numbers) are insensitive to the absolute constants.
+//!
+//! Two interpreters share this accounting model and all architectural
+//! helpers:
+//!
+//! * the **reference engine** ([`Machine::step_micro`]) re-reads the
+//!   control store word by word and decodes every operand selector per
+//!   microcycle — slow, obviously correct, kept as the oracle;
+//! * the **fast engine** (`Machine::run_fast_inner`) runs the
+//!   predecoded [`DecOp`] image (see [`crate::fast`]), probes the
+//!   translation micro-cache before [`Machine::translate`], and uses the
+//!   single-bounds-check longword accessors of [`PhysMemory`].
+//!
+//! Every fast-path shortcut is cycle-neutral by construction: a
+//! micro-cache hit is exactly a TB hit (and is recorded as one), the
+//! aligned longword accessors fail on exactly the addresses the byte-loop
+//! accessors fail on, and the predecoded image resolves only indirections
+//! that cannot change while the store version is constant. The
+//! differential suite in `crates/bench/tests/fast_equiv.rs` runs both
+//! engines in lockstep to pin the equivalence.
+//!
+//! [`PhysMemory`]: crate::PhysMemory
 
+use crate::fast::{DecOp, Dst, Src};
 use crate::mmu::{self, AccessKind};
+use crate::regs::slots;
 use crate::Machine;
 use atum_arch::exc::{ArithKind, ScbVector, IPL_TIMER};
 use atum_arch::mem::PAGE_OFFSET_MASK;
-use atum_arch::{DataSize, Exception, ExceptionClass, PrivReg, Psl, Region, VirtAddr, PAGE_SIZE};
+use atum_arch::{
+    DataSize, Exception, ExceptionClass, PrivReg, Psl, Region, VirtAddr, PAGE_SHIFT, PAGE_SIZE,
+};
 use atum_ucode::{
     AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel, Target,
 };
 
-/// Maximum micro-subroutine nesting.
-const MICRO_STACK_LIMIT: usize = 64;
+/// Maximum micro-subroutine nesting (also the inline micro-stack's
+/// backing-array size; the stack pointer is `Machine::usp`).
+pub(crate) const MICRO_STACK_LIMIT: usize = 64;
 
 /// How a [`Machine::run`] call ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,11 +95,11 @@ impl RefCounts {
 
 #[derive(Debug, Clone, Copy, Default)]
 pub(crate) struct AluFlags {
-    z: bool,
-    n: bool,
-    c: bool,
-    v: bool,
-    divz: bool,
+    pub(crate) z: bool,
+    pub(crate) n: bool,
+    pub(crate) c: bool,
+    pub(crate) v: bool,
+    pub(crate) divz: bool,
 }
 
 impl Machine {
@@ -81,20 +107,34 @@ impl Machine {
     /// additional microcycles have elapsed.
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         let deadline = self.cycles.saturating_add(max_cycles);
-        loop {
-            if self.halted {
-                return RunExit::Halted;
-            }
-            if self.cycles >= deadline {
-                return RunExit::CycleLimit;
-            }
-            if let Some(exit) = self.step_micro() {
-                if exit == RunExit::Halted {
-                    self.halted = true;
+        if self.reference_engine {
+            loop {
+                if self.halted {
+                    return RunExit::Halted;
                 }
-                return exit;
+                if self.cycles >= deadline {
+                    return RunExit::CycleLimit;
+                }
+                if let Some(exit) = self.step_micro() {
+                    if exit == RunExit::Halted {
+                        self.halted = true;
+                    }
+                    return exit;
+                }
             }
         }
+        if self.halted {
+            return RunExit::Halted;
+        }
+        // An instruction target of u64::MAX never triggers, so the fast
+        // loop always produces a real exit here.
+        let exit = self
+            .run_fast(deadline, u64::MAX)
+            .unwrap_or(RunExit::CycleLimit);
+        if exit == RunExit::Halted {
+            self.halted = true;
+        }
+        exit
     }
 
     /// Runs until `n` more architectural instructions complete (or another
@@ -102,24 +142,517 @@ impl Machine {
     pub fn step_insns(&mut self, n: u64, max_cycles: u64) -> Option<RunExit> {
         let target = self.insns + n;
         let deadline = self.cycles.saturating_add(max_cycles);
-        while self.insns < target {
-            if self.halted {
-                return Some(RunExit::Halted);
-            }
-            if self.cycles >= deadline {
-                return Some(RunExit::CycleLimit);
-            }
-            if let Some(exit) = self.step_micro() {
-                if exit == RunExit::Halted {
-                    self.halted = true;
+        if self.reference_engine {
+            while self.insns < target {
+                if self.halted {
+                    return Some(RunExit::Halted);
                 }
-                return Some(exit);
+                if self.cycles >= deadline {
+                    return Some(RunExit::CycleLimit);
+                }
+                if let Some(exit) = self.step_micro() {
+                    if exit == RunExit::Halted {
+                        self.halted = true;
+                    }
+                    return Some(exit);
+                }
             }
+            return None;
         }
-        None
+        if self.insns >= target {
+            return None;
+        }
+        if self.halted {
+            return Some(RunExit::Halted);
+        }
+        let exit = self.run_fast(deadline, target);
+        if exit == Some(RunExit::Halted) {
+            self.halted = true;
+        }
+        exit
     }
 
-    /// Executes one micro-op. Returns `Some` on halt/fatal.
+    /// Drives the fast engine until a real exit, the cycle deadline, or
+    /// `insn_target` completed instructions (`None` return). The image is
+    /// moved out of `self` for the duration so the hot loop can hold a
+    /// direct slice reference while the architectural helpers still take
+    /// `&mut self`.
+    fn run_fast(&mut self, deadline: u64, insn_target: u64) -> Option<RunExit> {
+        self.ensure_fast();
+        let fast = std::mem::replace(&mut self.fast, crate::fast::FastImage::empty());
+        let exit = self.run_fast_inner(&fast, deadline, insn_target);
+        self.fast = fast;
+        exit
+    }
+
+    /// The fast hot loop: the predecoded interpreter with the micro-PC
+    /// and the cycle counter held in locals, synced to `self` around
+    /// every helper that can observe or modify them — the virtual memory
+    /// ops (a PTE walk charges cycles), exception entry (rewrites the
+    /// micro-PC), the instruction boundary (timer check reads cycles),
+    /// and privileged-register writes (ICCS/ICR arm the timer relative
+    /// to the current cycle).
+    ///
+    /// Check order per micro-op matches the reference loops in
+    /// [`Machine::run`]/[`Machine::step_insns`] exactly: instruction
+    /// target first (`None`), then the cycle deadline, then one
+    /// predecoded step.
+    fn run_fast_inner(
+        &mut self,
+        fast: &crate::fast::FastImage,
+        deadline: u64,
+        insn_target: u64,
+    ) -> Option<RunExit> {
+        let mut upc = self.upc;
+        let mut cycles = self.cycles;
+        let mut usp = self.usp;
+        let mut uf = self.regs.uflags;
+        // Mirror the loop locals into `self` (before a helper that needs
+        // the architectural counters) and back (after one that may have
+        // changed them). The micro-flags live in a local too, but no
+        // helper reads or writes them, so they sync only on loop exit.
+        macro_rules! sync {
+            () => {{
+                self.upc = upc;
+                self.cycles = cycles;
+                self.usp = usp;
+            }};
+        }
+        macro_rules! reload {
+            () => {{
+                upc = self.upc;
+                cycles = self.cycles;
+                usp = self.usp;
+            }};
+        }
+        // `insns` moves only inside `boundary()`, so the instruction-target
+        // compare runs once on entry and after each boundary instead of on
+        // every micro-op; the exit points (and their priority over the
+        // deadline) are exactly the reference loop's.
+        if self.insns >= insn_target {
+            return None;
+        }
+        // One predecoded micro-op: deadline check, fetch, execute. Factored
+        // as a macro so the loop below can instantiate it twice — two
+        // dispatch sites give the branch predictor two contexts for the
+        // op-kind indirect jump, which is the fast loop's main stall.
+        // Semantics are per-uop and identical at both sites.
+        macro_rules! dispatch_one {
+            ($run:lifetime) => {{
+            if cycles >= deadline {
+                break $run Some(RunExit::CycleLimit);
+            }
+            let Some(&op) = fast.ops.get(upc as usize) else {
+                break $run Some(RunExit::MicroError("micro-PC outside control store"));
+            };
+            upc += 1;
+            cycles += 1;
+            match op {
+                DecOp::MovSS { src, dst } => {
+                    self.regs.file[(dst & slots::MASK) as usize] =
+                        self.regs.file[(src & slots::MASK) as usize];
+                }
+                DecOp::MovIS { imm, dst } => {
+                    self.regs.file[(dst & slots::MASK) as usize] = imm;
+                }
+                DecOp::MovGIS { dst } => {
+                    self.regs.file[(dst & slots::MASK) as usize] =
+                        self.regs.file[(self.regs.file[slots::REGNUM] & 0xF) as usize];
+                }
+                DecOp::MovSGI { src } => {
+                    let v = self.regs.file[(src & slots::MASK) as usize];
+                    let n = (self.regs.file[slots::REGNUM] & 0xF) as u8;
+                    self.log_gpr(n);
+                    self.regs.file[n as usize] = v;
+                    if n == 15 {
+                        self.regs.file[slots::IBCNT] = 0;
+                    }
+                }
+                DecOp::MovSMF { src, dst } => {
+                    self.regs.file[(dst & slots::MASK) as usize] =
+                        self.regs.file[(src & slots::MASK) as usize] & 0xF;
+                }
+                DecOp::MovSG { src, gpr } => {
+                    let v = self.regs.file[(src & slots::MASK) as usize];
+                    let n = gpr & 0xF;
+                    self.log_gpr(n);
+                    self.regs.file[n as usize] = v;
+                    if n == 15 {
+                        self.regs.file[slots::IBCNT] = 0;
+                    }
+                }
+                DecOp::AluSS {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    cc,
+                    size,
+                } => {
+                    let av = self.regs.file[(a & slots::MASK) as usize];
+                    let bv = self.regs.file[(b & slots::MASK) as usize];
+                    self.alu_to_slot(op, av, bv, dst, cc, size, &mut uf);
+                }
+                DecOp::AluIS {
+                    op,
+                    imm,
+                    b,
+                    dst,
+                    cc,
+                    size,
+                } => {
+                    let bv = self.regs.file[(b & slots::MASK) as usize];
+                    self.alu_to_slot(op, imm, bv, dst, cc, size, &mut uf);
+                }
+                DecOp::AluSI {
+                    op,
+                    a,
+                    imm,
+                    dst,
+                    cc,
+                    size,
+                } => {
+                    let av = self.regs.file[(a & slots::MASK) as usize];
+                    self.alu_to_slot(op, av, imm, dst, cc, size, &mut uf);
+                }
+                DecOp::Mov { src, dst } => {
+                    let v = self.src(src);
+                    self.wdst(dst, v);
+                }
+                DecOp::MovID { imm, dst } => self.wdst(dst, imm),
+                DecOp::Alu {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    cc,
+                    size,
+                } => {
+                    let av = self.src(a);
+                    let bv = self.src(b);
+                    self.alu_generic(op, av, bv, dst, cc, size, &mut uf);
+                }
+                DecOp::AluID {
+                    op,
+                    imm,
+                    b,
+                    dst,
+                    cc,
+                    size,
+                } => {
+                    let bv = self.src(b);
+                    self.alu_generic(op, imm, bv, dst, cc, size, &mut uf);
+                }
+                DecOp::AluDI {
+                    op,
+                    a,
+                    imm,
+                    dst,
+                    cc,
+                    size,
+                } => {
+                    let av = self.src(a);
+                    self.alu_generic(op, av, imm, dst, cc, size, &mut uf);
+                }
+                DecOp::AluConst {
+                    result,
+                    fbits,
+                    cc,
+                    dst,
+                } => {
+                    let flags = AluFlags {
+                        z: fbits & 1 != 0,
+                        n: fbits & 2 != 0,
+                        c: fbits & 4 != 0,
+                        v: fbits & 8 != 0,
+                        divz: fbits & 16 != 0,
+                    };
+                    uf = crate::regs::UFlags {
+                        z: flags.z,
+                        n: flags.n,
+                        c: flags.c,
+                        v: flags.v,
+                        divz: flags.divz,
+                    };
+                    self.apply_cc(cc, flags);
+                    self.wdst(dst, result);
+                }
+                DecOp::SetSize(s) => self.regs.osize = s,
+                DecOp::SetSizeDyn(r) => {
+                    let v = self.src(r);
+                    self.regs.osize = match v {
+                        1 => DataSize::Byte,
+                        2 => DataSize::Word,
+                        4 => DataSize::Long,
+                        _ => break $run Some(RunExit::MicroError("bad dynamic size latch")),
+                    };
+                }
+                DecOp::SetSizeBad => {
+                    break $run Some(RunExit::MicroError("bad dynamic size latch"))
+                }
+                DecOp::Read { class, size } => {
+                    cycles += 1;
+                    let size = size.unwrap_or(self.regs.osize);
+                    sync!();
+                    match self.vread_fast(size, class) {
+                        Ok(()) => reload!(),
+                        Err(e) => {
+                            let r = self.enter_exception(e);
+                            reload!();
+                            if let Err(x) = r {
+                                break $run Some(x);
+                            }
+                        }
+                    }
+                }
+                DecOp::Write { size } => {
+                    cycles += 1;
+                    let size = size.unwrap_or(self.regs.osize);
+                    sync!();
+                    match self.vwrite_fast(size) {
+                        Ok(()) => reload!(),
+                        Err(e) => {
+                            let r = self.enter_exception(e);
+                            reload!();
+                            if let Err(x) = r {
+                                break $run Some(x);
+                            }
+                        }
+                    }
+                }
+                DecOp::PhysRead => {
+                    cycles += 1;
+                    match self.mem.read_u32(self.regs.file[slots::MAR]) {
+                        Some(v) => self.regs.file[slots::MDR] = v,
+                        None => {
+                            sync!();
+                            let r = self.enter_exception(Exception::MachineCheck);
+                            reload!();
+                            if let Err(x) = r {
+                                break $run Some(x);
+                            }
+                        }
+                    }
+                }
+                DecOp::PhysWrite => {
+                    cycles += 1;
+                    let v = self.regs.file[slots::MDR];
+                    if self.mem.write_u32(self.regs.file[slots::MAR], v).is_none() {
+                        sync!();
+                        let r = self.enter_exception(Exception::MachineCheck);
+                        reload!();
+                        if let Err(x) = r {
+                            break $run Some(x);
+                        }
+                    }
+                }
+                DecOp::Jump(t) => upc = t,
+                DecOp::JumpUZero(t) => {
+                    if uf.z {
+                        upc = t;
+                    }
+                }
+                DecOp::JumpUNotZero(t) => {
+                    if !uf.z {
+                        upc = t;
+                    }
+                }
+                DecOp::JumpRegNumIsPc(t) => {
+                    if self.regs.file[slots::REGNUM] & 0xF == 15 {
+                        upc = t;
+                    }
+                }
+                DecOp::JumpIf { cond, target } => {
+                    // `cond()` against the loop-local micro-flags; the PSL
+                    // conditions read `self` directly (the PSL is not
+                    // mirrored into a local).
+                    let psl = self.regs.psl;
+                    let take = match cond {
+                        MicroCond::UZero => uf.z,
+                        MicroCond::UNotZero => !uf.z,
+                        MicroCond::UNeg => uf.n,
+                        MicroCond::UPos => !uf.n,
+                        MicroCond::UCarry => uf.c,
+                        MicroCond::UNoCarry => !uf.c,
+                        MicroCond::UOvf => uf.v,
+                        MicroCond::UDivZero => uf.divz,
+                        MicroCond::USLess => uf.n != uf.v,
+                        MicroCond::USLeq => (uf.n != uf.v) || uf.z,
+                        MicroCond::RegNumIsPc => {
+                            self.regs.file[slots::REGNUM] & 0xF == 15
+                        }
+                        MicroCond::UserMode => !psl.is_kernel(),
+                        MicroCond::KernelMode => psl.is_kernel(),
+                        MicroCond::ArchEql => psl.z(),
+                        MicroCond::ArchNeq => !psl.z(),
+                        MicroCond::ArchGtr => !(psl.n() || psl.z()),
+                        MicroCond::ArchLeq => psl.n() || psl.z(),
+                        MicroCond::ArchGeq => !psl.n(),
+                        MicroCond::ArchLss => psl.n(),
+                        MicroCond::ArchGtru => !(psl.c() || psl.z()),
+                        MicroCond::ArchLequ => psl.c() || psl.z(),
+                        MicroCond::ArchVs => psl.v(),
+                        MicroCond::ArchVc => !psl.v(),
+                        MicroCond::ArchCs => psl.c(),
+                        MicroCond::ArchCc => !psl.c(),
+                    };
+                    if take {
+                        upc = target;
+                    }
+                }
+                DecOp::Call(t) => {
+                    if usp >= MICRO_STACK_LIMIT {
+                        break $run Some(RunExit::MicroError("micro-stack overflow"));
+                    }
+                    self.ustack[usp] = upc;
+                    usp += 1;
+                    upc = t;
+                }
+                DecOp::Ret => {
+                    if usp == 0 {
+                        break $run Some(RunExit::MicroError("micro-stack underflow"));
+                    }
+                    usp -= 1;
+                    upc = self.ustack[usp];
+                }
+                DecOp::DispatchOpcode => {
+                    upc = fast.opcode_table[(self.regs.file[slots::OPREG] & 0xFF) as usize];
+                }
+                DecOp::DispatchSpec(table) => {
+                    upc = fast.spec_tables[table as usize]
+                        [((self.regs.file[slots::SPEC] >> 4) & 0xF) as usize];
+                }
+                DecOp::DecodeNext => {
+                    sync!();
+                    let r = self.boundary();
+                    reload!();
+                    if let Some(x) = r {
+                        break $run Some(x);
+                    }
+                    if self.insns >= insn_target {
+                        break $run None;
+                    }
+                }
+                DecOp::AdvancePc => {
+                    self.log_gpr(15);
+                    self.regs.file[15] = self.regs.file[15].wrapping_add(1);
+                }
+                DecOp::Fault(kind) => {
+                    let exc = self.fault_to_exception(kind);
+                    sync!();
+                    let r = self.enter_exception(exc);
+                    reload!();
+                    if let Err(x) = r {
+                        break $run Some(x);
+                    }
+                }
+                DecOp::ReadPrK { reg, dst } => {
+                    let v = self.read_prv_fixed(reg);
+                    self.wdst(dst, v);
+                }
+                DecOp::ReadPr { num, dst } => {
+                    let n = self.src(num);
+                    match self.read_prv_dyn(n) {
+                        Ok(v) => self.wdst(dst, v),
+                        Err(e) => {
+                            sync!();
+                            let r = self.enter_exception(e);
+                            reload!();
+                            if let Err(x) = r {
+                                break $run Some(x);
+                            }
+                        }
+                    }
+                }
+                DecOp::ReadPrBad => {
+                    sync!();
+                    let r = self.enter_exception(Exception::ReservedOperand);
+                    reload!();
+                    if let Err(x) = r {
+                        break $run Some(x);
+                    }
+                }
+                DecOp::WritePrK { reg, src } => {
+                    let v = self.src(src);
+                    if !self.write_prv_plain(reg, v) {
+                        sync!();
+                        self.write_prv_internal(reg, v);
+                    }
+                }
+                DecOp::WritePrKI { reg, imm } => {
+                    if !self.write_prv_plain(reg, imm) {
+                        sync!();
+                        self.write_prv_internal(reg, imm);
+                    }
+                }
+                DecOp::WritePr { num, src } => {
+                    let n = self.src(num);
+                    let v = self.src(src);
+                    match PrivReg::from_number(n) {
+                        Some(reg) => {
+                            sync!();
+                            self.write_prv_internal(reg, v);
+                        }
+                        None => {
+                            sync!();
+                            let r = self.enter_exception(Exception::ReservedOperand);
+                            reload!();
+                            if let Err(x) = r {
+                                break $run Some(x);
+                            }
+                        }
+                    }
+                }
+                DecOp::WritePrI { num, imm } => {
+                    let n = self.src(num);
+                    match PrivReg::from_number(n) {
+                        Some(reg) => {
+                            sync!();
+                            self.write_prv_internal(reg, imm);
+                        }
+                        None => {
+                            sync!();
+                            let r = self.enter_exception(Exception::ReservedOperand);
+                            reload!();
+                            if let Err(x) = r {
+                                break $run Some(x);
+                            }
+                        }
+                    }
+                }
+                DecOp::WritePrBad => {
+                    sync!();
+                    let r = self.enter_exception(Exception::ReservedOperand);
+                    reload!();
+                    if let Err(x) = r {
+                        break $run Some(x);
+                    }
+                }
+                DecOp::TbFlushAll => {
+                    self.tlb.flush_all();
+                    self.xc.flush_all();
+                }
+                DecOp::TbFlushProc => {
+                    self.tlb.flush_process();
+                    self.xc.flush_all();
+                }
+                DecOp::Halt => break $run Some(RunExit::Halted),
+            }
+            }};
+        }
+        let exit = 'run: loop {
+            dispatch_one!('run);
+            dispatch_one!('run);
+        };
+        self.upc = upc;
+        self.cycles = cycles;
+        self.usp = usp;
+        self.regs.uflags = uf;
+        exit
+    }
+
+    /// Executes one micro-op on the reference path. Returns `Some` on
+    /// halt/fatal.
     fn step_micro(&mut self) -> Option<RunExit> {
         if self.upc >= self.cs.len() {
             return Some(RunExit::MicroError("micro-PC outside control store"));
@@ -183,8 +716,8 @@ impl Machine {
             }
             MicroOp::PhysRead => {
                 self.cycles += 1;
-                match self.mem.read_le(self.regs.mar, 4) {
-                    Some(v) => self.regs.mdr = v,
+                match self.mem.read_le(self.regs.file[slots::MAR], 4) {
+                    Some(v) => self.regs.file[slots::MDR] = v,
                     None => {
                         if let Err(x) = self.enter_exception(Exception::MachineCheck) {
                             return Some(x);
@@ -194,8 +727,12 @@ impl Machine {
             }
             MicroOp::PhysWrite => {
                 self.cycles += 1;
-                let v = self.regs.mdr;
-                if self.mem.write_le(self.regs.mar, 4, v).is_none() {
+                let v = self.regs.file[slots::MDR];
+                if self
+                    .mem
+                    .write_le(self.regs.file[slots::MAR], 4, v)
+                    .is_none()
+                {
                     if let Err(x) = self.enter_exception(Exception::MachineCheck) {
                         return Some(x);
                     }
@@ -208,26 +745,32 @@ impl Machine {
                 }
             }
             MicroOp::Call(t) => {
-                if self.ustack.len() >= MICRO_STACK_LIMIT {
+                if self.usp >= MICRO_STACK_LIMIT {
                     return Some(RunExit::MicroError("micro-stack overflow"));
                 }
-                self.ustack.push(self.upc);
+                self.ustack[self.usp] = self.upc;
+                self.usp += 1;
                 self.upc = self.resolve(t);
             }
-            MicroOp::Ret => match self.ustack.pop() {
-                Some(addr) => self.upc = addr,
-                None => return Some(RunExit::MicroError("micro-stack underflow")),
-            },
+            MicroOp::Ret => {
+                if self.usp == 0 {
+                    return Some(RunExit::MicroError("micro-stack underflow"));
+                }
+                self.usp -= 1;
+                self.upc = self.ustack[self.usp];
+            }
             MicroOp::DispatchOpcode => {
-                self.upc = self.cs.opcode_target(self.regs.opreg as u8);
+                self.upc = self.cs.opcode_target(self.regs.file[slots::OPREG] as u8);
             }
             MicroOp::DispatchSpec(table) => {
-                self.upc = self.cs.spec_target(table, (self.regs.spec >> 4) as u8);
+                self.upc = self
+                    .cs
+                    .spec_target(table, (self.regs.file[slots::SPEC] >> 4) as u8);
             }
             MicroOp::DecodeNext => return self.boundary(),
             MicroOp::AdvancePc => {
                 self.log_gpr(15);
-                self.regs.gpr[15] = self.regs.gpr[15].wrapping_add(1);
+                self.regs.file[15] = self.regs.file[15].wrapping_add(1);
             }
             MicroOp::Fault(kind) => {
                 let exc = self.fault_to_exception(kind);
@@ -258,11 +801,113 @@ impl Machine {
                     }
                 }
             }
-            MicroOp::TbFlushAll => self.tlb.flush_all(),
-            MicroOp::TbFlushProc => self.tlb.flush_process(),
+            MicroOp::TbFlushAll => {
+                self.tlb.flush_all();
+                self.xc.flush_all();
+            }
+            MicroOp::TbFlushProc => {
+                self.tlb.flush_process();
+                self.xc.flush_all();
+            }
             MicroOp::Halt => return Some(RunExit::Halted),
         }
         None
+    }
+
+    // ── The fast engine’s operand helpers ─────────────────────────────
+
+    /// ALU execute with the result going to a plain slot (the
+    /// specialized `Alu*` forms).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn alu_to_slot(
+        &mut self,
+        op: AluOp,
+        av: u32,
+        bv: u32,
+        dst: u8,
+        cc: CcEffect,
+        size: DataSize,
+        uf: &mut crate::regs::UFlags,
+    ) {
+        let (result, flags) = alu_exec(op, av, bv, size);
+        *uf = crate::regs::UFlags {
+            z: flags.z,
+            n: flags.n,
+            c: flags.c,
+            v: flags.v,
+            divz: flags.divz,
+        };
+        self.apply_cc(cc, flags);
+        self.regs.file[(dst & slots::MASK) as usize] = result;
+    }
+
+    /// ALU execute through the generic operand writers (the unspecialized
+    /// `Alu`/`AluID`/`AluDI` forms).
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn alu_generic(
+        &mut self,
+        op: AluOp,
+        av: u32,
+        bv: u32,
+        dst: Dst,
+        cc: CcEffect,
+        size: DataSize,
+        uf: &mut crate::regs::UFlags,
+    ) {
+        let (result, flags) = alu_exec(op, av, bv, size);
+        *uf = crate::regs::UFlags {
+            z: flags.z,
+            n: flags.n,
+            c: flags.c,
+            v: flags.v,
+            divz: flags.divz,
+        };
+        self.apply_cc(cc, flags);
+        self.wdst(dst, result);
+    }
+
+    /// Predecoded source-operand fetch. Slot indices are masked with
+    /// [`slots::MASK`] (the file is padded to a power of two) so the
+    /// access compiles without a bounds check.
+    #[inline(always)]
+    fn src(&self, s: Src) -> u32 {
+        match s {
+            Src::Slot(i) => self.regs.file[(i & slots::MASK) as usize],
+            Src::GprIdx => self.regs.file[(self.regs.file[slots::REGNUM] & 0xF) as usize],
+            Src::Psl => self.regs.psl.bits(),
+            Src::OSizeBytes => self.regs.osize.bytes(),
+            Src::OSizeMask => self.regs.osize.mask(),
+        }
+    }
+
+    /// Predecoded destination write.
+    #[inline(always)]
+    fn wdst(&mut self, d: Dst, v: u32) {
+        match d {
+            Dst::Slot(i) => self.regs.file[(i & slots::MASK) as usize] = v,
+            Dst::Gpr(n) => {
+                let n = n & 0xF;
+                self.log_gpr(n);
+                self.regs.file[n as usize] = v;
+                if n == 15 {
+                    self.regs.file[slots::IBCNT] = 0;
+                }
+            }
+            Dst::GprIdx => {
+                let n = (self.regs.file[slots::REGNUM] & 0xF) as u8;
+                self.log_gpr(n);
+                self.regs.file[n as usize] = v;
+                if n == 15 {
+                    self.regs.file[slots::IBCNT] = 0;
+                }
+            }
+            Dst::Psl => self.regs.psl = Psl::from_bits(v),
+            Dst::MaskedFF(i) => self.regs.file[(i & slots::MASK) as usize] = v & 0xFF,
+            Dst::MaskedF(i) => self.regs.file[(i & slots::MASK) as usize] = v & 0xF,
+            Dst::ReadOnly => debug_assert!(false, "write to read-only micro-register"),
+        }
     }
 
     fn sel_size(&self, sel: SizeSel) -> DataSize {
@@ -281,25 +926,25 @@ impl Machine {
 
     pub(crate) fn read_src(&mut self, r: MicroReg) -> u32 {
         match r {
-            MicroReg::Gpr(n) => self.regs.gpr[(n & 0xF) as usize],
-            MicroReg::T(n) => self.regs.t[(n & 0xF) as usize],
-            MicroReg::P(n) => self.regs.p[(n & 0x7) as usize],
-            MicroReg::Mar => self.regs.mar,
-            MicroReg::Mdr => self.regs.mdr,
+            MicroReg::Gpr(n) => self.regs.file[(n & 0xF) as usize],
+            MicroReg::T(n) => self.regs.file[slots::T0 + (n & 0xF) as usize],
+            MicroReg::P(n) => self.regs.file[slots::P0 + (n & 0x7) as usize],
+            MicroReg::Mar => self.regs.file[slots::MAR],
+            MicroReg::Mdr => self.regs.file[slots::MDR],
             MicroReg::Psl => self.regs.psl.bits(),
-            MicroReg::Spec => self.regs.spec,
-            MicroReg::OpReg => self.regs.opreg,
-            MicroReg::RegNum => self.regs.regnum,
-            MicroReg::GprIdx => self.regs.gpr[(self.regs.regnum & 0xF) as usize],
+            MicroReg::Spec => self.regs.file[slots::SPEC],
+            MicroReg::OpReg => self.regs.file[slots::OPREG],
+            MicroReg::RegNum => self.regs.file[slots::REGNUM],
+            MicroReg::GprIdx => self.regs.file[(self.regs.file[slots::REGNUM] & 0xF) as usize],
             MicroReg::OSizeBytes => self.regs.osize.bytes(),
             MicroReg::OSizeMask => self.regs.osize.mask(),
-            MicroReg::IbData => self.regs.ibdata,
-            MicroReg::IbCnt => self.regs.ibcnt,
-            MicroReg::ExcVec => self.regs.excvec,
-            MicroReg::ExcParam => self.regs.excparam,
-            MicroReg::ExcFlags => self.regs.excflags,
-            MicroReg::ExcPc => self.regs.excpc,
-            MicroReg::ExcIpl => self.regs.excipl,
+            MicroReg::IbData => self.regs.file[slots::IBDATA],
+            MicroReg::IbCnt => self.regs.file[slots::IBCNT],
+            MicroReg::ExcVec => self.regs.file[slots::EXCVEC],
+            MicroReg::ExcParam => self.regs.file[slots::EXCPARAM],
+            MicroReg::ExcFlags => self.regs.file[slots::EXCFLAGS],
+            MicroReg::ExcPc => self.regs.file[slots::EXCPC],
+            MicroReg::ExcIpl => self.regs.file[slots::EXCIPL],
             MicroReg::Imm(v) => v,
         }
     }
@@ -309,55 +954,57 @@ impl Machine {
             MicroReg::Gpr(n) => {
                 let n = (n & 0xF) as usize;
                 self.log_gpr(n as u8);
-                self.regs.gpr[n] = v;
+                self.regs.file[n] = v;
                 if n == 15 {
-                    self.regs.ibcnt = 0;
+                    self.regs.file[slots::IBCNT] = 0;
                 }
             }
             MicroReg::GprIdx => {
-                let n = (self.regs.regnum & 0xF) as usize;
+                let n = (self.regs.file[slots::REGNUM] & 0xF) as usize;
                 self.log_gpr(n as u8);
-                self.regs.gpr[n] = v;
+                self.regs.file[n] = v;
                 if n == 15 {
-                    self.regs.ibcnt = 0;
+                    self.regs.file[slots::IBCNT] = 0;
                 }
             }
-            MicroReg::T(n) => self.regs.t[(n & 0xF) as usize] = v,
-            MicroReg::P(n) => self.regs.p[(n & 0x7) as usize] = v,
-            MicroReg::Mar => self.regs.mar = v,
-            MicroReg::Mdr => self.regs.mdr = v,
+            MicroReg::T(n) => self.regs.file[slots::T0 + (n & 0xF) as usize] = v,
+            MicroReg::P(n) => self.regs.file[slots::P0 + (n & 0x7) as usize] = v,
+            MicroReg::Mar => self.regs.file[slots::MAR] = v,
+            MicroReg::Mdr => self.regs.file[slots::MDR] = v,
             MicroReg::Psl => self.regs.psl = Psl::from_bits(v),
-            MicroReg::Spec => self.regs.spec = v & 0xFF,
-            MicroReg::OpReg => self.regs.opreg = v & 0xFF,
-            MicroReg::RegNum => self.regs.regnum = v & 0xF,
-            MicroReg::IbData => self.regs.ibdata = v,
-            MicroReg::IbCnt => self.regs.ibcnt = v,
-            MicroReg::ExcVec => self.regs.excvec = v,
-            MicroReg::ExcParam => self.regs.excparam = v,
-            MicroReg::ExcFlags => self.regs.excflags = v,
-            MicroReg::ExcPc => self.regs.excpc = v,
-            MicroReg::ExcIpl => self.regs.excipl = v,
+            MicroReg::Spec => self.regs.file[slots::SPEC] = v & 0xFF,
+            MicroReg::OpReg => self.regs.file[slots::OPREG] = v & 0xFF,
+            MicroReg::RegNum => self.regs.file[slots::REGNUM] = v & 0xF,
+            MicroReg::IbData => self.regs.file[slots::IBDATA] = v,
+            MicroReg::IbCnt => self.regs.file[slots::IBCNT] = v,
+            MicroReg::ExcVec => self.regs.file[slots::EXCVEC] = v,
+            MicroReg::ExcParam => self.regs.file[slots::EXCPARAM] = v,
+            MicroReg::ExcFlags => self.regs.file[slots::EXCFLAGS] = v,
+            MicroReg::ExcPc => self.regs.file[slots::EXCPC] = v,
+            MicroReg::ExcIpl => self.regs.file[slots::EXCIPL] = v,
             MicroReg::Imm(_) | MicroReg::OSizeBytes | MicroReg::OSizeMask => {
                 debug_assert!(false, "write to read-only micro-register {r}");
             }
         }
     }
 
+    #[inline(always)]
     fn log_gpr(&mut self, n: u8) {
+        let n = n & 0xF;
         let bit = 1u16 << n;
         if self.rlog_mask & bit == 0 {
             self.rlog_mask |= bit;
-            self.rlog.push((n, self.regs.gpr[n as usize]));
+            self.rlog.push((n, self.regs.file[n as usize]));
         }
     }
 
     fn rollback(&mut self) {
         while let Some((n, old)) = self.rlog.pop() {
-            self.regs.gpr[n as usize] = old;
+            self.regs.file[n as usize] = old;
         }
         self.rlog_mask = 0;
         self.regs.psl = self.psl_at_start;
-        self.regs.ibcnt = 0;
+        self.regs.file[slots::IBCNT] = 0;
     }
 
     fn apply_cc(&mut self, cc: CcEffect, f: AluFlags) {
@@ -402,7 +1049,7 @@ impl Machine {
             MicroCond::UDivZero => f.divz,
             MicroCond::USLess => f.n != f.v,
             MicroCond::USLeq => (f.n != f.v) || f.z,
-            MicroCond::RegNumIsPc => self.regs.regnum & 0xF == 15,
+            MicroCond::RegNumIsPc => self.regs.file[slots::REGNUM] & 0xF == 15,
             MicroCond::UserMode => !psl.is_kernel(),
             MicroCond::KernelMode => psl.is_kernel(),
             MicroCond::ArchEql => psl.z(),
@@ -426,11 +1073,11 @@ impl Machine {
             FaultKind::ReservedOperand => Exception::ReservedOperand,
             FaultKind::ReservedAddrMode => Exception::ReservedAddrMode,
             FaultKind::Privileged => Exception::PrivilegedInstruction,
-            FaultKind::Arithmetic => Exception::Arithmetic(match self.regs.excparam {
+            FaultKind::Arithmetic => Exception::Arithmetic(match self.regs.file[slots::EXCPARAM] {
                 1 => ArithKind::Overflow,
                 _ => ArithKind::DivideByZero,
             }),
-            FaultKind::Chmk => Exception::Chmk(self.regs.excparam as u16),
+            FaultKind::Chmk => Exception::Chmk(self.regs.file[slots::EXCPARAM] as u16),
             FaultKind::Breakpoint => Exception::Breakpoint,
         }
     }
@@ -454,20 +1101,20 @@ impl Machine {
         if exc.class() == ExceptionClass::Fault {
             self.rollback();
         }
-        self.regs.excvec = exc.vector();
+        self.regs.file[slots::EXCVEC] = exc.vector();
         let (param, has_param) = match exc.parameter() {
             Some(p) => (p, 1),
             None => (0, 0),
         };
-        self.regs.excparam = param;
-        self.regs.excflags = has_param;
-        self.regs.excpc = if exc.class() == ExceptionClass::Fault {
+        self.regs.file[slots::EXCPARAM] = param;
+        self.regs.file[slots::EXCFLAGS] = has_param;
+        self.regs.file[slots::EXCPC] = if exc.class() == ExceptionClass::Fault {
             self.insn_pc
         } else {
-            self.regs.gpr[15]
+            self.regs.file[15]
         };
-        self.regs.ibcnt = 0;
-        self.ustack.clear();
+        self.regs.file[slots::IBCNT] = 0;
+        self.usp = 0;
         self.upc = self.cs.entry(Entry::ExcDispatch);
         Ok(())
     }
@@ -475,13 +1122,13 @@ impl Machine {
     fn enter_interrupt(&mut self, vector: u32, ipl: u8) {
         self.counts.interrupts += 1;
         self.exc_depth = 1;
-        self.regs.excvec = vector;
-        self.regs.excparam = 0;
-        self.regs.excflags = 2;
-        self.regs.excipl = ipl as u32;
-        self.regs.excpc = self.regs.gpr[15];
-        self.regs.ibcnt = 0;
-        self.ustack.clear();
+        self.regs.file[slots::EXCVEC] = vector;
+        self.regs.file[slots::EXCPARAM] = 0;
+        self.regs.file[slots::EXCFLAGS] = 2;
+        self.regs.file[slots::EXCIPL] = ipl as u32;
+        self.regs.file[slots::EXCPC] = self.regs.file[15];
+        self.regs.file[slots::IBCNT] = 0;
+        self.usp = 0;
         self.upc = self.cs.entry(Entry::ExcDispatch);
     }
 
@@ -491,7 +1138,7 @@ impl Machine {
         self.rlog.clear();
         self.rlog_mask = 0;
         self.insns += 1;
-        self.ustack.clear();
+        self.usp = 0;
 
         // Trace (T-bit) trap sequencing: TP set at the start of a traced
         // instruction fires here, before anything else.
@@ -500,7 +1147,7 @@ impl Machine {
             psl.set_tp(false);
             self.regs.psl = psl;
             self.psl_at_start = psl;
-            self.insn_pc = self.regs.gpr[15];
+            self.insn_pc = self.regs.file[15];
             if let Err(x) = self.enter_exception(Exception::TraceTrap) {
                 return Some(x);
             }
@@ -525,7 +1172,7 @@ impl Machine {
         if self.timer_pending && self.prv.iccs & 0x40 != 0 && IPL_TIMER > cur_ipl {
             self.timer_pending = false;
             self.prv.iccs &= !0x80;
-            self.insn_pc = self.regs.gpr[15];
+            self.insn_pc = self.regs.file[15];
             self.psl_at_start = self.regs.psl;
             self.enter_interrupt(ScbVector::IntervalTimer.offset(), IPL_TIMER);
             return None;
@@ -534,14 +1181,14 @@ impl Machine {
             let level = 31 - self.prv.sisr.leading_zeros();
             if level as u8 > cur_ipl && (1..=15).contains(&level) {
                 self.prv.sisr &= !(1 << level);
-                self.insn_pc = self.regs.gpr[15];
+                self.insn_pc = self.regs.file[15];
                 self.psl_at_start = self.regs.psl;
                 self.enter_interrupt(ScbVector::software(level as u8), level as u8);
                 return None;
             }
         }
 
-        self.insn_pc = self.regs.gpr[15];
+        self.insn_pc = self.regs.file[15];
         self.psl_at_start = self.regs.psl;
         self.upc = self.cs.entry(Entry::Fetch);
         None
@@ -549,15 +1196,16 @@ impl Machine {
 
     // ── Virtual memory ────────────────────────────────────────────────
 
+    /// Reference read path: per-access selector decode, no micro-cache.
     fn vread(&mut self, size: DataSize, class: RefClass) -> Result<(), Exception> {
         match class {
             RefClass::IFetch => self.counts.ifetch += 1,
             _ => self.counts.data_reads += 1,
         }
-        let va = self.regs.mar;
+        let va = self.regs.file[slots::MAR];
         let n = size.bytes();
         if self.prv.mapen == 0 {
-            self.regs.mdr = self
+            self.regs.file[slots::MDR] = self
                 .mem
                 .read_le(va, n)
                 .ok_or(Exception::TranslationInvalid(VirtAddr(va)))?;
@@ -565,7 +1213,7 @@ impl Machine {
         }
         if (va & PAGE_OFFSET_MASK) + n <= PAGE_SIZE {
             let pa = self.translate(va, AccessKind::Read)?;
-            self.regs.mdr = self.mem.read_le(pa, n).ok_or(Exception::MachineCheck)?;
+            self.regs.file[slots::MDR] = self.mem.read_le(pa, n).ok_or(Exception::MachineCheck)?;
         } else {
             let mut v = 0u32;
             for i in 0..n {
@@ -573,15 +1221,16 @@ impl Machine {
                 let b = self.mem.read_u8(pa).ok_or(Exception::MachineCheck)?;
                 v |= (b as u32) << (8 * i);
             }
-            self.regs.mdr = v;
+            self.regs.file[slots::MDR] = v;
         }
         Ok(())
     }
 
+    /// Reference write path.
     fn vwrite(&mut self, size: DataSize) -> Result<(), Exception> {
         self.counts.data_writes += 1;
-        let va = self.regs.mar;
-        let v = self.regs.mdr;
+        let va = self.regs.file[slots::MAR];
+        let v = self.regs.file[slots::MDR];
         let n = size.bytes();
         if self.prv.mapen == 0 {
             self.mem
@@ -592,6 +1241,102 @@ impl Machine {
         if (va & PAGE_OFFSET_MASK) + n <= PAGE_SIZE {
             let pa = self.translate(va, AccessKind::Write)?;
             self.mem.write_le(pa, n, v).ok_or(Exception::MachineCheck)?;
+        } else {
+            // Translate both pages first so a fault can't leave a torn
+            // write behind.
+            for i in 0..n {
+                self.translate(va.wrapping_add(i), AccessKind::Write)?;
+            }
+            for i in 0..n {
+                let pa = self.translate(va.wrapping_add(i), AccessKind::Write)?;
+                self.mem
+                    .write_u8(pa, (v >> (8 * i)) as u8)
+                    .ok_or(Exception::MachineCheck)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Fast read path: longword accessors when the transfer is a
+    /// longword, translation micro-cache probe before the full
+    /// [`Machine::translate`]. A micro-cache hit is by construction a TB
+    /// hit, and is recorded as one ([`crate::Tlb`] `note_hit`), so the
+    /// statistics and cycle counts match the reference path exactly.
+    #[inline]
+    fn vread_fast(&mut self, size: DataSize, class: RefClass) -> Result<(), Exception> {
+        match class {
+            RefClass::IFetch => self.counts.ifetch += 1,
+            _ => self.counts.data_reads += 1,
+        }
+        let va = self.regs.file[slots::MAR];
+        let n = size.bytes();
+        if self.prv.mapen == 0 {
+            let v = if n == 4 {
+                self.mem.read_u32(va)
+            } else {
+                self.mem.read_le(va, n)
+            };
+            self.regs.file[slots::MDR] = v.ok_or(Exception::TranslationInvalid(VirtAddr(va)))?;
+            return Ok(());
+        }
+        if (va & PAGE_OFFSET_MASK) + n <= PAGE_SIZE {
+            let pa = match self.xc.probe_read(va >> PAGE_SHIFT, self.regs.psl.mode()) {
+                Some(base) => {
+                    self.tlb.note_hit();
+                    base + (va & PAGE_OFFSET_MASK)
+                }
+                None => self.translate(va, AccessKind::Read)?,
+            };
+            let v = if n == 4 {
+                self.mem.read_u32(pa)
+            } else {
+                self.mem.read_le(pa, n)
+            };
+            self.regs.file[slots::MDR] = v.ok_or(Exception::MachineCheck)?;
+        } else {
+            let mut v = 0u32;
+            for i in 0..n {
+                let pa = self.translate(va.wrapping_add(i), AccessKind::Read)?;
+                let b = self.mem.read_u8(pa).ok_or(Exception::MachineCheck)?;
+                v |= (b as u32) << (8 * i);
+            }
+            self.regs.file[slots::MDR] = v;
+        }
+        Ok(())
+    }
+
+    /// Fast write path (see [`Machine::vread_fast`]); the micro-cache hit
+    /// additionally requires the modified bit to have been set at install
+    /// time, so the modify-bit write-back always takes the full path.
+    #[inline]
+    fn vwrite_fast(&mut self, size: DataSize) -> Result<(), Exception> {
+        self.counts.data_writes += 1;
+        let va = self.regs.file[slots::MAR];
+        let v = self.regs.file[slots::MDR];
+        let n = size.bytes();
+        if self.prv.mapen == 0 {
+            let ok = if n == 4 {
+                self.mem.write_u32(va, v)
+            } else {
+                self.mem.write_le(va, n, v)
+            };
+            ok.ok_or(Exception::TranslationInvalid(VirtAddr(va)))?;
+            return Ok(());
+        }
+        if (va & PAGE_OFFSET_MASK) + n <= PAGE_SIZE {
+            let pa = match self.xc.probe_write(va >> PAGE_SHIFT, self.regs.psl.mode()) {
+                Some(base) => {
+                    self.tlb.note_hit();
+                    base + (va & PAGE_OFFSET_MASK)
+                }
+                None => self.translate(va, AccessKind::Write)?,
+            };
+            let ok = if n == 4 {
+                self.mem.write_u32(pa, v)
+            } else {
+                self.mem.write_le(pa, n, v)
+            };
+            ok.ok_or(Exception::MachineCheck)?;
         } else {
             // Translate both pages first so a fault can't leave a torn
             // write behind.
@@ -642,6 +1387,10 @@ impl Machine {
                 )?;
                 self.counts.pte_reads += r.pte_reads as u64;
                 self.cycles += 2 * r.pte_reads as u64;
+                // The insert may evict a different tag sharing the slot;
+                // the micro-cache must not outlive the TB entry it
+                // shadows.
+                self.xc.invalidate_slot(gvpn);
                 self.tlb
                     .insert(gvpn, r.pte, vaddr.region().is_per_process());
                 r.pte
@@ -653,20 +1402,25 @@ impl Machine {
             let (base, _) = self.region_base_len(vaddr.region());
             let pte_pa = base.wrapping_add(vaddr.vpn() * 4);
             self.mem.write_le(pte_pa, 4, pte.0);
+            self.xc.invalidate_slot(gvpn);
             self.tlb.update(gvpn, pte);
         }
         let pa = pte.frame_base() + vaddr.offset();
         if !self.mem.contains(pa, 1) {
             return Err(Exception::MachineCheck);
         }
+        // Full success: shadow the TB entry in the micro-cache. `write_ok`
+        // (modified bit already set) gates write hits so the modify-bit
+        // write-back above still happens on the full path.
+        self.xc
+            .install(gvpn, pte.frame_base(), pte.prot(), pte.modified());
         Ok(pa)
     }
 
     // ── Privileged registers ──────────────────────────────────────────
 
-    fn read_prv_dyn(&mut self, num: u32) -> Result<u32, Exception> {
-        let reg = PrivReg::from_number(num).ok_or(Exception::ReservedOperand)?;
-        Ok(match reg {
+    fn read_prv_fixed(&mut self, reg: PrivReg) -> u32 {
+        match reg {
             PrivReg::Rxdb => self.console_in.pop_front().map_or(0, u32::from),
             PrivReg::Rxcs => {
                 if self.console_in.is_empty() {
@@ -676,19 +1430,63 @@ impl Machine {
                 }
             }
             _ => self.prv.read(reg, &self.regs),
-        })
+        }
+    }
+
+    fn read_prv_dyn(&mut self, num: u32) -> Result<u32, Exception> {
+        let reg = PrivReg::from_number(num).ok_or(Exception::ReservedOperand)?;
+        Ok(self.read_prv_fixed(reg))
+    }
+
+    /// The side-effect-free subset of [`Machine::write_prv_internal`]:
+    /// plain latch stores that touch neither the cycle counter, the
+    /// timer, the console nor any translation structure. Returns `false`
+    /// when the register needs the full path (with the loop counters
+    /// published first — ICCS/ICR arm the timer from `cycles`).
+    #[inline(always)]
+    fn write_prv_plain(&mut self, reg: PrivReg, v: u32) -> bool {
+        match reg {
+            PrivReg::Ksp => self.prv.ksp = v,
+            PrivReg::Usp => self.prv.usp = v,
+            PrivReg::Pcbb => self.prv.pcbb = v,
+            PrivReg::Scbb => self.prv.scbb = v,
+            PrivReg::Trctl => self.prv.trctl = v,
+            PrivReg::Trbase => self.prv.trbase = v,
+            PrivReg::Trptr => self.prv.trptr = v,
+            PrivReg::Trlim => self.prv.trlim = v,
+            _ => return false,
+        }
+        true
     }
 
     pub(crate) fn write_prv_internal(&mut self, reg: PrivReg, v: u32) {
         match reg {
             PrivReg::Ksp => self.prv.ksp = v,
             PrivReg::Usp => self.prv.usp = v,
-            PrivReg::P0br => self.prv.p0br = v,
-            PrivReg::P0lr => self.prv.p0lr = v,
-            PrivReg::P1br => self.prv.p1br = v,
-            PrivReg::P1lr => self.prv.p1lr = v,
-            PrivReg::Sbr => self.prv.sbr = v,
-            PrivReg::Slr => self.prv.slr = v,
+            PrivReg::P0br => {
+                self.prv.p0br = v;
+                self.xc.flush_all();
+            }
+            PrivReg::P0lr => {
+                self.prv.p0lr = v;
+                self.xc.flush_all();
+            }
+            PrivReg::P1br => {
+                self.prv.p1br = v;
+                self.xc.flush_all();
+            }
+            PrivReg::P1lr => {
+                self.prv.p1lr = v;
+                self.xc.flush_all();
+            }
+            PrivReg::Sbr => {
+                self.prv.sbr = v;
+                self.xc.flush_all();
+            }
+            PrivReg::Slr => {
+                self.prv.slr = v;
+                self.xc.flush_all();
+            }
             PrivReg::Pcbb => self.prv.pcbb = v,
             PrivReg::Scbb => self.prv.scbb = v,
             PrivReg::Ipl => self.regs.psl.set_ipl((v & 31) as u8),
@@ -721,15 +1519,25 @@ impl Machine {
             PrivReg::Trbase => self.prv.trbase = v,
             PrivReg::Trptr => self.prv.trptr = v,
             PrivReg::Trlim => self.prv.trlim = v,
-            PrivReg::Mapen => self.prv.mapen = v & 1,
-            PrivReg::Tbia => self.tlb.flush_all(),
-            PrivReg::Tbis => self.tlb.flush_single(v),
+            PrivReg::Mapen => {
+                self.prv.mapen = v & 1;
+                self.xc.flush_all();
+            }
+            PrivReg::Tbia => {
+                self.tlb.flush_all();
+                self.xc.flush_all();
+            }
+            PrivReg::Tbis => {
+                self.tlb.flush_single(v);
+                self.xc.invalidate_slot(v >> PAGE_SHIFT);
+            }
         }
     }
 }
 
 // ── The ALU ───────────────────────────────────────────────────────────
 
+#[inline(always)]
 pub(crate) fn alu_exec(op: AluOp, a: u32, b: u32, size: DataSize) -> (u32, AluFlags) {
     let mask = size.mask();
     let sign = size.sign_bit();
@@ -816,6 +1624,7 @@ pub(crate) fn alu_exec(op: AluOp, a: u32, b: u32, size: DataSize) -> (u32, AluFl
     (result, f)
 }
 
+#[inline(always)]
 fn sub_flags(a: u32, b: u32, mask: u32, sign: u32, f: &mut AluFlags) -> u32 {
     // a - b with the VAX borrow convention: C set when b > a unsigned.
     let r = a.wrapping_sub(b) & mask;
@@ -824,6 +1633,7 @@ fn sub_flags(a: u32, b: u32, mask: u32, sign: u32, f: &mut AluFlags) -> u32 {
     r
 }
 
+#[inline(always)]
 fn sext(v: u32, size: DataSize) -> i32 {
     size.sign_extend(v) as i32
 }

@@ -1,0 +1,580 @@
+//! The capture-path fast engine: a predecoded view of the control store.
+//!
+//! [`FastImage::build`] walks the sealed [`ControlStore`] once and lowers
+//! every [`MicroOp`] into a [`DecOp`]: operand selectors become slot
+//! indices into the unified register file (see [`crate::regs::slots`]),
+//! `Target::Entry` indirections become absolute control-store addresses,
+//! size selectors become `Option<DataSize>`, and constant privileged
+//! register numbers become resolved [`PrivReg`]s. The image also snapshots
+//! the opcode and specifier dispatch tables so a dispatch is a flat array
+//! load.
+//!
+//! The image is keyed on [`ControlStore::version`]: any mutation of the
+//! store (a WCS append, an entry or dispatch repoint) moves the counter
+//! and the next `run`/`step_insns` rebuilds. Between mutations the image
+//! is exactly equivalent to interpreting the store directly — the
+//! differential suite in `crates/bench/tests/fast_equiv.rs` pins this.
+
+use atum_arch::{DataSize, PrivReg};
+use atum_ucode::{
+    AluOp, CcEffect, ControlStore, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
+    SpecTable, Target,
+};
+
+use crate::regs::slots;
+
+/// A pre-resolved source operand.
+///
+/// Immediates are deliberately *not* representable here: `dec_op` hoists
+/// every `MicroReg::Imm` into a dedicated `*I*` [`DecOp`] variant, which
+/// keeps this enum (and with it every generic op) two bytes wide. The
+/// whole `DecOp` stays within 12 bytes — small enough that the predecoded
+/// image of a patched control store lives comfortably in L1.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Src {
+    /// A slot in the unified register file.
+    Slot(u8),
+    /// The PSL image.
+    Psl,
+    /// The GPR selected by the `RegNum` latch.
+    GprIdx,
+    /// Current operand size in bytes.
+    OSizeBytes,
+    /// Current operand size mask.
+    OSizeMask,
+}
+
+/// A pre-resolved destination operand.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Dst {
+    /// A plain slot (micro-temporaries, patch scratch, MAR/MDR, latches).
+    Slot(u8),
+    /// A general register: logged for rollback, PC write invalidates the
+    /// prefetch buffer.
+    Gpr(u8),
+    /// The GPR selected by the `RegNum` latch.
+    GprIdx,
+    /// The PSL image.
+    Psl,
+    /// A slot written through an 8-bit mask (`Spec`/`OpReg`).
+    MaskedFF(u8),
+    /// A slot written through a 4-bit mask (`RegNum`).
+    MaskedF(u8),
+    /// A write the micro-assembler should never emit (immediates and the
+    /// read-only size views); dropped, with a debug assertion.
+    ReadOnly,
+}
+
+/// One predecoded micro-op. Mirrors [`MicroOp`] 1:1 by control-store
+/// address, with every static indirection already resolved.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum DecOp {
+    /// Slot→slot move — the dominant micro-op in the stock fetch/decode
+    /// routines, specialized so it executes with no selector dispatch.
+    MovSS {
+        src: u8,
+        dst: u8,
+    },
+    /// Immediate→slot move.
+    MovIS {
+        imm: u32,
+        dst: u8,
+    },
+    /// RegNum-selected GPR → slot (register-mode operand fetch).
+    MovGIS {
+        dst: u8,
+    },
+    /// Slot → RegNum-selected GPR (register-mode result write-back).
+    MovSGI {
+        src: u8,
+    },
+    /// Slot → the RegNum latch (4-bit masked; the decode loop's
+    /// specifier crack).
+    MovSMF {
+        src: u8,
+        dst: u8,
+    },
+    /// Slot → fixed GPR.
+    MovSG {
+        src: u8,
+        gpr: u8,
+    },
+    /// ALU with both sources and the destination in plain slots.
+    AluSS {
+        op: AluOp,
+        a: u8,
+        b: u8,
+        dst: u8,
+        cc: CcEffect,
+        size: DataSize,
+    },
+    /// ALU with an immediate `a` source.
+    AluIS {
+        op: AluOp,
+        imm: u32,
+        b: u8,
+        dst: u8,
+        cc: CcEffect,
+        size: DataSize,
+    },
+    /// ALU with an immediate `b` source.
+    AluSI {
+        op: AluOp,
+        a: u8,
+        imm: u32,
+        dst: u8,
+        cc: CcEffect,
+        size: DataSize,
+    },
+    /// The general forms, for the operand shapes not specialized above.
+    /// Immediate operands get their own variants (see [`Src`]).
+    Mov {
+        src: Src,
+        dst: Dst,
+    },
+    MovID {
+        imm: u32,
+        dst: Dst,
+    },
+    Alu {
+        op: AluOp,
+        a: Src,
+        b: Src,
+        dst: Dst,
+        cc: CcEffect,
+        size: DataSize,
+    },
+    AluID {
+        op: AluOp,
+        imm: u32,
+        b: Src,
+        dst: Dst,
+        cc: CcEffect,
+        size: DataSize,
+    },
+    AluDI {
+        op: AluOp,
+        a: Src,
+        imm: u32,
+        dst: Dst,
+        cc: CcEffect,
+        size: DataSize,
+    },
+    /// An ALU op whose operands were both immediates: the result and the
+    /// micro-flags (packed `z n c v divz` in bits 0..5) are computed at
+    /// decode time.
+    AluConst {
+        result: u32,
+        fbits: u8,
+        cc: CcEffect,
+        dst: Dst,
+    },
+    SetSize(DataSize),
+    SetSizeDyn(Src),
+    /// `SetSizeDyn` of a constant that is not 1/2/4: hits the reference
+    /// path's "bad dynamic size latch" error when executed.
+    SetSizeBad,
+    /// `size: None` means "use the osize latch".
+    Read {
+        class: RefClass,
+        size: Option<DataSize>,
+    },
+    Write {
+        size: Option<DataSize>,
+    },
+    PhysRead,
+    PhysWrite,
+    Jump(u32),
+    /// `JumpIf` on the three conditions that dominate the stock decode
+    /// loop, specialized so the flag test inlines into the dispatch arm.
+    JumpUZero(u32),
+    JumpUNotZero(u32),
+    JumpRegNumIsPc(u32),
+    JumpIf {
+        cond: MicroCond,
+        target: u32,
+    },
+    Call(u32),
+    Ret,
+    DispatchOpcode,
+    DispatchSpec(u8),
+    DecodeNext,
+    AdvancePc,
+    Fault(FaultKind),
+    /// Privileged read with the register number known at decode time.
+    ReadPrK {
+        reg: PrivReg,
+        dst: Dst,
+    },
+    ReadPr {
+        num: Src,
+        dst: Dst,
+    },
+    /// `ReadPr`/`WritePr` with a constant register number that names no
+    /// register: faults `ReservedOperand` when executed, exactly like the
+    /// reference path.
+    ReadPrBad,
+    /// Privileged write with the register number known at decode time.
+    WritePrK {
+        reg: PrivReg,
+        src: Src,
+    },
+    WritePrKI {
+        reg: PrivReg,
+        imm: u32,
+    },
+    WritePr {
+        num: Src,
+        src: Src,
+    },
+    WritePrI {
+        num: Src,
+        imm: u32,
+    },
+    WritePrBad,
+    TbFlushAll,
+    TbFlushProc,
+    Halt,
+}
+
+/// The predecoded control store plus snapshots of its dispatch tables.
+#[derive(Debug)]
+pub(crate) struct FastImage {
+    /// The [`ControlStore::version`] this image was built from.
+    pub(crate) version: u64,
+    pub(crate) ops: Vec<DecOp>,
+    pub(crate) opcode_table: [u32; 256],
+    pub(crate) spec_tables: [[u32; 16]; SpecTable::COUNT],
+}
+
+impl FastImage {
+    /// A placeholder that can never match a real store version (versions
+    /// count up from zero), forcing a build on first use.
+    pub(crate) fn empty() -> FastImage {
+        FastImage {
+            version: u64::MAX,
+            ops: Vec::new(),
+            opcode_table: [0; 256],
+            spec_tables: [[0; 16]; SpecTable::COUNT],
+        }
+    }
+
+    /// Predecodes the whole store.
+    pub(crate) fn build(cs: &ControlStore) -> FastImage {
+        let mut opcode_table = [0u32; 256];
+        for (i, slot) in opcode_table.iter_mut().enumerate() {
+            *slot = cs.opcode_target(i as u8);
+        }
+        let mut spec_tables = [[0u32; 16]; SpecTable::COUNT];
+        for table in [
+            SpecTable::Read,
+            SpecTable::Write,
+            SpecTable::Modify,
+            SpecTable::Addr,
+        ] {
+            for nibble in 0..16u8 {
+                spec_tables[table.index()][nibble as usize] = cs.spec_target(table, nibble);
+            }
+        }
+        FastImage {
+            version: cs.version(),
+            ops: cs.words().iter().map(|&op| dec_op(op, cs)).collect(),
+            opcode_table,
+            spec_tables,
+        }
+    }
+}
+
+fn dec_target(t: Target, cs: &ControlStore) -> u32 {
+    match t {
+        Target::Abs(a) => a,
+        Target::Entry(e) => cs.entry(e),
+    }
+}
+
+fn dec_size(s: SizeSel) -> Option<DataSize> {
+    match s {
+        SizeSel::Fixed(s) => Some(s),
+        SizeSel::OSize => None,
+    }
+}
+
+/// Decodes a non-immediate source; `MicroReg::Imm` yields `Err(value)`
+/// and the caller picks an immediate-carrying [`DecOp`] variant.
+fn dec_src(r: MicroReg) -> Result<Src, u32> {
+    Ok(match r {
+        MicroReg::Imm(v) => return Err(v),
+        MicroReg::Gpr(n) => Src::Slot((slots::GPR0 + (n & 0xF) as usize) as u8),
+        MicroReg::T(n) => Src::Slot((slots::T0 + (n & 0xF) as usize) as u8),
+        MicroReg::P(n) => Src::Slot((slots::P0 + (n & 0x7) as usize) as u8),
+        MicroReg::Mar => Src::Slot(slots::MAR as u8),
+        MicroReg::Mdr => Src::Slot(slots::MDR as u8),
+        MicroReg::Psl => Src::Psl,
+        MicroReg::Spec => Src::Slot(slots::SPEC as u8),
+        MicroReg::OpReg => Src::Slot(slots::OPREG as u8),
+        MicroReg::RegNum => Src::Slot(slots::REGNUM as u8),
+        MicroReg::GprIdx => Src::GprIdx,
+        MicroReg::OSizeBytes => Src::OSizeBytes,
+        MicroReg::OSizeMask => Src::OSizeMask,
+        MicroReg::IbData => Src::Slot(slots::IBDATA as u8),
+        MicroReg::IbCnt => Src::Slot(slots::IBCNT as u8),
+        MicroReg::ExcVec => Src::Slot(slots::EXCVEC as u8),
+        MicroReg::ExcParam => Src::Slot(slots::EXCPARAM as u8),
+        MicroReg::ExcFlags => Src::Slot(slots::EXCFLAGS as u8),
+        MicroReg::ExcPc => Src::Slot(slots::EXCPC as u8),
+        MicroReg::ExcIpl => Src::Slot(slots::EXCIPL as u8),
+    })
+}
+
+fn dec_dst(r: MicroReg) -> Dst {
+    match r {
+        MicroReg::Gpr(n) => Dst::Gpr(n & 0xF),
+        MicroReg::GprIdx => Dst::GprIdx,
+        MicroReg::T(n) => Dst::Slot((slots::T0 + (n & 0xF) as usize) as u8),
+        MicroReg::P(n) => Dst::Slot((slots::P0 + (n & 0x7) as usize) as u8),
+        MicroReg::Mar => Dst::Slot(slots::MAR as u8),
+        MicroReg::Mdr => Dst::Slot(slots::MDR as u8),
+        MicroReg::Psl => Dst::Psl,
+        MicroReg::Spec => Dst::MaskedFF(slots::SPEC as u8),
+        MicroReg::OpReg => Dst::MaskedFF(slots::OPREG as u8),
+        MicroReg::RegNum => Dst::MaskedF(slots::REGNUM as u8),
+        MicroReg::IbData => Dst::Slot(slots::IBDATA as u8),
+        MicroReg::IbCnt => Dst::Slot(slots::IBCNT as u8),
+        MicroReg::ExcVec => Dst::Slot(slots::EXCVEC as u8),
+        MicroReg::ExcParam => Dst::Slot(slots::EXCPARAM as u8),
+        MicroReg::ExcFlags => Dst::Slot(slots::EXCFLAGS as u8),
+        MicroReg::ExcPc => Dst::Slot(slots::EXCPC as u8),
+        MicroReg::ExcIpl => Dst::Slot(slots::EXCIPL as u8),
+        MicroReg::Imm(_) | MicroReg::OSizeBytes | MicroReg::OSizeMask => Dst::ReadOnly,
+    }
+}
+
+fn dec_op(op: MicroOp, cs: &ControlStore) -> DecOp {
+    match op {
+        MicroOp::Mov { src, dst } => match (dec_src(src), dec_dst(dst)) {
+            (Ok(Src::Slot(src)), Dst::Slot(dst)) => DecOp::MovSS { src, dst },
+            (Err(imm), Dst::Slot(dst)) => DecOp::MovIS { imm, dst },
+            (Ok(Src::GprIdx), Dst::Slot(dst)) => DecOp::MovGIS { dst },
+            (Ok(Src::Slot(src)), Dst::GprIdx) => DecOp::MovSGI { src },
+            (Ok(Src::Slot(src)), Dst::MaskedF(dst)) => DecOp::MovSMF { src, dst },
+            (Ok(Src::Slot(src)), Dst::Gpr(gpr)) => DecOp::MovSG { src, gpr },
+            (Ok(src), dst) => DecOp::Mov { src, dst },
+            (Err(imm), dst) => DecOp::MovID { imm, dst },
+        },
+        MicroOp::Alu {
+            op,
+            a,
+            b,
+            dst,
+            cc,
+            size,
+        } => match (dec_src(a), dec_src(b), dec_dst(dst)) {
+            (Ok(Src::Slot(a)), Ok(Src::Slot(b)), Dst::Slot(dst)) => DecOp::AluSS {
+                op,
+                a,
+                b,
+                dst,
+                cc,
+                size,
+            },
+            (Err(imm), Ok(Src::Slot(b)), Dst::Slot(dst)) => DecOp::AluIS {
+                op,
+                imm,
+                b,
+                dst,
+                cc,
+                size,
+            },
+            (Ok(Src::Slot(a)), Err(imm), Dst::Slot(dst)) => DecOp::AluSI {
+                op,
+                a,
+                imm,
+                dst,
+                cc,
+                size,
+            },
+            (Ok(a), Ok(b), dst) => DecOp::Alu {
+                op,
+                a,
+                b,
+                dst,
+                cc,
+                size,
+            },
+            (Err(imm), Ok(b), dst) => DecOp::AluID {
+                op,
+                imm,
+                b,
+                dst,
+                cc,
+                size,
+            },
+            (Ok(a), Err(imm), dst) => DecOp::AluDI {
+                op,
+                a,
+                imm,
+                dst,
+                cc,
+                size,
+            },
+            (Err(av), Err(bv), dst) => {
+                // Both operands constant: fold the whole ALU op now.
+                let (result, f) = crate::engine::alu_exec(op, av, bv, size);
+                let fbits = f.z as u8
+                    | (f.n as u8) << 1
+                    | (f.c as u8) << 2
+                    | (f.v as u8) << 3
+                    | (f.divz as u8) << 4;
+                DecOp::AluConst {
+                    result,
+                    fbits,
+                    cc,
+                    dst,
+                }
+            }
+        },
+        MicroOp::SetSize(s) => DecOp::SetSize(s),
+        MicroOp::SetSizeDyn(r) => match dec_src(r) {
+            Ok(src) => DecOp::SetSizeDyn(src),
+            // A constant dynamic-size latch folds to the fixed form (an
+            // out-of-range constant keeps the runtime error path).
+            Err(1) => DecOp::SetSize(DataSize::Byte),
+            Err(2) => DecOp::SetSize(DataSize::Word),
+            Err(4) => DecOp::SetSize(DataSize::Long),
+            Err(_) => DecOp::SetSizeBad,
+        },
+        MicroOp::Read { class, size } => DecOp::Read {
+            class,
+            size: dec_size(size),
+        },
+        MicroOp::Write { size } => DecOp::Write {
+            size: dec_size(size),
+        },
+        MicroOp::PhysRead => DecOp::PhysRead,
+        MicroOp::PhysWrite => DecOp::PhysWrite,
+        MicroOp::Jump(t) => DecOp::Jump(dec_target(t, cs)),
+        MicroOp::JumpIf { cond, target } => {
+            let target = dec_target(target, cs);
+            match cond {
+                MicroCond::UZero => DecOp::JumpUZero(target),
+                MicroCond::UNotZero => DecOp::JumpUNotZero(target),
+                MicroCond::RegNumIsPc => DecOp::JumpRegNumIsPc(target),
+                cond => DecOp::JumpIf { cond, target },
+            }
+        }
+        MicroOp::Call(t) => DecOp::Call(dec_target(t, cs)),
+        MicroOp::Ret => DecOp::Ret,
+        MicroOp::DispatchOpcode => DecOp::DispatchOpcode,
+        MicroOp::DispatchSpec(table) => DecOp::DispatchSpec(table.index() as u8),
+        MicroOp::DecodeNext => DecOp::DecodeNext,
+        MicroOp::AdvancePc => DecOp::AdvancePc,
+        MicroOp::Fault(kind) => DecOp::Fault(kind),
+        // A constant register number that actually names a register
+        // resolves at decode time; an invalid constant still faults
+        // ReservedOperand at run time, exactly like the reference path.
+        MicroOp::ReadPr { num, dst } => match dec_src(num) {
+            Err(n) => match PrivReg::from_number(n) {
+                Some(reg) => DecOp::ReadPrK {
+                    reg,
+                    dst: dec_dst(dst),
+                },
+                None => DecOp::ReadPrBad,
+            },
+            Ok(num) => DecOp::ReadPr {
+                num,
+                dst: dec_dst(dst),
+            },
+        },
+        MicroOp::WritePr { num, src } => match (dec_src(num), dec_src(src)) {
+            (Err(n), src) => match (PrivReg::from_number(n), src) {
+                (Some(reg), Ok(src)) => DecOp::WritePrK { reg, src },
+                (Some(reg), Err(imm)) => DecOp::WritePrKI { reg, imm },
+                (None, _) => DecOp::WritePrBad,
+            },
+            (Ok(num), Ok(src)) => DecOp::WritePr { num, src },
+            (Ok(num), Err(imm)) => DecOp::WritePrI { num, imm },
+        },
+        MicroOp::TbFlushAll => DecOp::TbFlushAll,
+        MicroOp::TbFlushProc => DecOp::TbFlushProc,
+        MicroOp::Halt => DecOp::Halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_ucode::Entry;
+
+    #[test]
+    fn decop_is_small() {
+        assert!(
+            std::mem::size_of::<DecOp>() <= 12,
+            "DecOp grew to {} bytes",
+            std::mem::size_of::<DecOp>()
+        );
+    }
+
+    #[test]
+    fn build_is_one_to_one_and_version_keyed() {
+        let cs = atum_ucode::stock::build();
+        let img = FastImage::build(&cs);
+        assert_eq!(img.ops.len(), cs.len() as usize);
+        assert_eq!(img.version, cs.version());
+        assert_eq!(
+            img.opcode_table[0x12],
+            cs.opcode_target(0x12),
+            "dispatch tables are snapshotted"
+        );
+    }
+
+    #[test]
+    fn empty_image_never_matches_a_store() {
+        let cs = atum_ucode::stock::build();
+        assert_ne!(FastImage::empty().version, cs.version());
+    }
+
+    #[test]
+    fn entry_targets_resolve_to_current_slots() {
+        let mut cs = atum_ucode::stock::build();
+        let v0 = cs.version();
+        let addr = cs.append_routine(
+            "test.patch",
+            vec![MicroOp::Jump(Target::Entry(Entry::Fetch))],
+        );
+        cs.set_entry(Entry::XferRead, addr);
+        assert!(cs.version() > v0, "mutations move the version counter");
+        let img = FastImage::build(&cs);
+        match img.ops[addr as usize] {
+            DecOp::Jump(t) => assert_eq!(t, cs.entry(Entry::Fetch)),
+            ref other => panic!("expected jump, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_priv_reg_numbers_resolve() {
+        let mut cs = ControlStore::new();
+        cs.append_routine(
+            "t",
+            vec![
+                MicroOp::ReadPr {
+                    num: MicroReg::Imm(PrivReg::Sbr.number()),
+                    dst: MicroReg::T(0),
+                },
+                MicroOp::WritePr {
+                    num: MicroReg::T(1),
+                    src: MicroReg::T(0),
+                },
+                MicroOp::Halt,
+            ],
+        );
+        let img = FastImage::build(&cs);
+        assert!(matches!(
+            img.ops[0],
+            DecOp::ReadPrK {
+                reg: PrivReg::Sbr,
+                ..
+            }
+        ));
+        assert!(matches!(img.ops[1], DecOp::WritePr { .. }));
+    }
+}

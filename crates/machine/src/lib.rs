@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod engine;
+mod fast;
 mod mem;
 mod mmu;
 mod regs;
@@ -55,7 +56,8 @@ pub struct Machine {
     pub(crate) mem: PhysMemory,
     pub(crate) tlb: Tlb,
     pub(crate) upc: u32,
-    pub(crate) ustack: Vec<u32>,
+    pub(crate) ustack: [u32; engine::MICRO_STACK_LIMIT],
+    pub(crate) usp: usize,
     pub(crate) cycles: u64,
     pub(crate) insns: u64,
     pub(crate) insn_pc: u32,
@@ -69,6 +71,14 @@ pub struct Machine {
     pub(crate) console_out: Vec<u8>,
     pub(crate) console_in: std::collections::VecDeque<u8>,
     pub(crate) counts: RefCounts,
+    /// Predecoded control-store image (rebuilt when the store version
+    /// moves; see [`crate::fast`]).
+    pub(crate) fast: fast::FastImage,
+    /// Translation micro-cache fronting the TB on the fast path.
+    pub(crate) xc: mmu::XlateCache,
+    /// When set, `run`/`step_insns` use the word-at-a-time reference
+    /// interpreter instead of the predecoded fast engine.
+    pub(crate) reference_engine: bool,
 }
 
 impl Machine {
@@ -88,7 +98,8 @@ impl Machine {
             prv: PrvFile::new(),
             mem: PhysMemory::new(layout),
             tlb: Tlb::new(),
-            ustack: Vec::with_capacity(16),
+            ustack: [0; engine::MICRO_STACK_LIMIT],
+            usp: 0,
             cycles: 0,
             insns: 0,
             insn_pc: 0,
@@ -102,6 +113,9 @@ impl Machine {
             console_out: Vec::new(),
             console_in: std::collections::VecDeque::new(),
             counts: RefCounts::default(),
+            fast: fast::FastImage::empty(),
+            xc: mmu::XlateCache::new(),
+            reference_engine: false,
         };
         m.regs.psl = Psl::new();
         m.psl_at_start = m.regs.psl;
@@ -144,14 +158,14 @@ impl Machine {
 
     /// A general register's value.
     pub fn gpr(&self, n: u8) -> u32 {
-        self.regs.gpr[(n & 0xF) as usize]
+        self.regs.gpr((n & 0xF) as usize)
     }
 
     /// Sets a general register.
     pub fn set_gpr(&mut self, n: u8, value: u32) {
-        self.regs.gpr[(n & 0xF) as usize] = value;
+        self.regs.file[(n & 0xF) as usize] = value;
         if n & 0xF == 15 {
-            self.regs.ibcnt = 0;
+            self.regs.file[regs::slots::IBCNT] = 0;
         }
     }
 
@@ -166,7 +180,7 @@ impl Machine {
         self.set_gpr(Gpr::PC.index(), pc);
         self.insn_pc = pc;
         self.upc = self.cs.entry(Entry::Fetch);
-        self.ustack.clear();
+        self.usp = 0;
     }
 
     /// The processor status longword.
@@ -230,6 +244,24 @@ impl Machine {
     /// console "continue" command; used after trace-buffer-full halts).
     pub fn resume(&mut self) {
         self.halted = false;
+    }
+
+    /// Selects the word-at-a-time reference interpreter instead of the
+    /// predecoded fast engine. Both produce identical architectural
+    /// state, traces, counters and microcycle counts (the differential
+    /// suite pins this); the reference path exists as the oracle and for
+    /// debugging the fast one.
+    pub fn set_reference_engine(&mut self, on: bool) {
+        self.reference_engine = on;
+    }
+
+    /// Rebuilds the predecoded image if the control store has been
+    /// mutated since it was last built (patch loads bump the store's
+    /// version counter; between mutations this is a single compare).
+    pub(crate) fn ensure_fast(&mut self) {
+        if self.fast.version != self.cs.version() {
+            self.fast = fast::FastImage::build(&self.cs);
+        }
     }
 
     /// Runs until halt, returning an error on a cycle-limit or fatal exit.

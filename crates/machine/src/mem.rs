@@ -122,6 +122,43 @@ impl PhysMemory {
         Some(())
     }
 
+    /// Reads a little-endian longword with a single bounds check — the
+    /// capture-path fast accessor (instruction-stream refills, PTE
+    /// fetches and the trace patch's record stores are all longwords).
+    #[inline]
+    pub fn read_u32(&self, pa: u32) -> Option<u32> {
+        let bytes = self.bytes.get(pa as usize..(pa as usize).checked_add(4)?)?;
+        Some(u32::from_le_bytes(bytes.try_into().ok()?))
+    }
+
+    /// Writes a little-endian longword with a single bounds check.
+    #[inline]
+    pub fn write_u32(&mut self, pa: u32, v: u32) -> Option<()> {
+        let bytes = self
+            .bytes
+            .get_mut(pa as usize..(pa as usize).checked_add(4)?)?;
+        bytes.copy_from_slice(&v.to_le_bytes());
+        Some(())
+    }
+
+    /// Borrows a physical range without copying (the trace-extraction
+    /// path; [`PhysMemory::read_bytes`] clones, this does not).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the range falls outside memory.
+    pub fn slice(&self, pa: u32, len: u32) -> Result<&[u8], String> {
+        if !self.contains(pa, len) {
+            return Err(format!(
+                "physical read {:#x}+{} outside {} bytes of memory",
+                pa,
+                len,
+                self.bytes.len()
+            ));
+        }
+        Ok(&self.bytes[pa as usize..(pa + len) as usize])
+    }
+
     /// Reads a little-endian value of `size` bytes (1, 2 or 4).
     #[inline]
     pub fn read_le(&self, pa: u32, size: u32) -> Option<u32> {

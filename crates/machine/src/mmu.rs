@@ -66,6 +66,14 @@ impl Tlb {
         self.stats
     }
 
+    /// Records a hit without probing (the translation micro-cache fronts
+    /// the TB; its hits are, by construction, TB hits, and the statistics
+    /// must not notice the shortcut).
+    #[inline]
+    pub(crate) fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
     /// Looks up a global VPN; hit returns the cached PTE.
     pub fn lookup(&mut self, gvpn: u32) -> Option<Pte> {
         let e = &self.entries[(gvpn as usize) % TB_ENTRIES];
@@ -127,6 +135,114 @@ impl Tlb {
 impl Default for Tlb {
     fn default() -> Tlb {
         Tlb::new()
+    }
+}
+
+// ── The translation micro-cache ───────────────────────────────────────
+
+/// One pre-resolved translation: the page's physical base plus the
+/// protection needed to re-check access rights under the *current* CPU
+/// mode (mode can change between installs, so the decision itself is
+/// never cached).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct XcEntry {
+    valid: bool,
+    tag: u32,
+    pa_base: u32,
+    prot: PageProt,
+    /// The PTE's modified bit was set at install time, so a write hit
+    /// needs no modify-bit write-back.
+    write_ok: bool,
+}
+
+impl Default for XcEntry {
+    fn default() -> XcEntry {
+        XcEntry {
+            valid: false,
+            tag: 0,
+            pa_base: 0,
+            prot: PageProt::NoAccess,
+            write_ok: false,
+        }
+    }
+}
+
+/// A host-side direct-mapped VPN → (frame base, protection) array in
+/// front of [`Machine::translate`]: the aligned in-page hit path does no
+/// PTE walk, no TB probe and builds no `Result`.
+///
+/// **Correctness invariant:** a valid entry is always a shadow of the
+/// *current* content of the TB slot with the same index ([`TB_ENTRIES`]
+/// entries, same `gvpn % N` index function). `Machine::translate`
+/// invalidates the slot whenever the TB slot's tag changes and installs
+/// only on full success, so a micro-cache hit is exactly the set of
+/// accesses the TB would also have served — microcycle counts, PTE-read
+/// counts and TB statistics cannot tell the two paths apart. A stale
+/// *conservative* entry (invalid, or missing a permission the TB would
+/// grant) merely falls back to the slow path; a stale *permissive* entry
+/// can never exist.
+///
+/// [`Machine::translate`]: crate::Machine
+#[derive(Debug, Clone)]
+pub(crate) struct XlateCache {
+    entries: Vec<XcEntry>,
+}
+
+impl XlateCache {
+    pub(crate) fn new() -> XlateCache {
+        XlateCache {
+            entries: vec![XcEntry::default(); TB_ENTRIES],
+        }
+    }
+
+    /// Read probe: frame base if present and readable in `mode`.
+    #[inline]
+    pub(crate) fn probe_read(&self, gvpn: u32, mode: atum_arch::CpuMode) -> Option<u32> {
+        let e = &self.entries[(gvpn as usize) % TB_ENTRIES];
+        if e.valid && e.tag == gvpn && e.prot.allows_read(mode) {
+            Some(e.pa_base)
+        } else {
+            None
+        }
+    }
+
+    /// Write probe: frame base if present, writable in `mode`, and the
+    /// modified bit needs no write-back.
+    #[inline]
+    pub(crate) fn probe_write(&self, gvpn: u32, mode: atum_arch::CpuMode) -> Option<u32> {
+        let e = &self.entries[(gvpn as usize) % TB_ENTRIES];
+        if e.valid && e.tag == gvpn && e.write_ok && e.prot.allows_write(mode) {
+            Some(e.pa_base)
+        } else {
+            None
+        }
+    }
+
+    /// Installs a translation (only ever called after a fully successful
+    /// `Machine::translate`, which is what keeps the shadow invariant).
+    #[inline]
+    pub(crate) fn install(&mut self, gvpn: u32, pa_base: u32, prot: PageProt, write_ok: bool) {
+        self.entries[(gvpn as usize) % TB_ENTRIES] = XcEntry {
+            valid: true,
+            tag: gvpn,
+            pa_base,
+            prot,
+            write_ok,
+        };
+    }
+
+    /// Invalidates the slot that covers `gvpn`, whatever its tag (used
+    /// when the TB slot's content changes under it).
+    #[inline]
+    pub(crate) fn invalidate_slot(&mut self, gvpn: u32) {
+        self.entries[(gvpn as usize) % TB_ENTRIES].valid = false;
+    }
+
+    /// Drops everything (TB flushes and mapping-register writes).
+    pub(crate) fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
     }
 }
 

@@ -17,39 +17,63 @@ pub struct UFlags {
     pub divz: bool,
 }
 
-/// The datapath register file.
+/// Slot indices into the unified micro-register file.
+///
+/// The capture-path fast engine predecodes every static [`MicroReg`]
+/// operand selector down to one of these indices at control-store seal
+/// time, so the per-microcycle operand fetch is a single array access
+/// instead of a 20-way selector decode. The layout is load-bearing:
+/// the 16 GPRs sit at the bottom so an architectural register number is
+/// its own slot index (`GprIdx` and the register-change log rely on it).
+///
+/// [`MicroReg`]: atum_ucode::MicroReg
+pub mod slots {
+    /// First general register (R15 = PC = slot 15).
+    pub const GPR0: usize = 0;
+    /// First micro-temporary.
+    pub const T0: usize = 16;
+    /// First patch-scratch register.
+    pub const P0: usize = 32;
+    /// Memory address register.
+    pub const MAR: usize = 40;
+    /// Memory data register.
+    pub const MDR: usize = 41;
+    /// Current specifier byte.
+    pub const SPEC: usize = 42;
+    /// Current opcode byte.
+    pub const OPREG: usize = 43;
+    /// Register-number latch.
+    pub const REGNUM: usize = 44;
+    /// Prefetch-buffer data.
+    pub const IBDATA: usize = 45;
+    /// Prefetch-buffer valid byte count.
+    pub const IBCNT: usize = 46;
+    /// Exception vector latch.
+    pub const EXCVEC: usize = 47;
+    /// Exception parameter latch.
+    pub const EXCPARAM: usize = 48;
+    /// Exception flags latch.
+    pub const EXCFLAGS: usize = 49;
+    /// PC to push for the pending exception.
+    pub const EXCPC: usize = 50;
+    /// IPL for interrupt entry.
+    pub const EXCIPL: usize = 51;
+    /// Number of slots, padded to a power of two so a predecoded slot
+    /// index masked with `COUNT - 1` needs no bounds check (slots 52–63
+    /// are unreachable: the predecoder only emits the indices above).
+    pub const COUNT: usize = 64;
+    /// Index mask (`COUNT` is a power of two).
+    pub const MASK: u8 = (COUNT - 1) as u8;
+}
+
+/// The datapath register file: one dense slot array (see [`slots`]) plus
+/// the three registers that are not plain 32-bit latches (PSL, operand
+/// size, micro-flags).
 #[derive(Debug, Clone)]
 pub struct RegFile {
-    /// Architectural general registers (R15 = PC).
-    pub gpr: [u32; 16],
-    /// Micro-temporaries.
-    pub t: [u32; 16],
-    /// Patch scratch.
-    pub p: [u32; 8],
-    /// Memory address register.
-    pub mar: u32,
-    /// Memory data register.
-    pub mdr: u32,
-    /// Current specifier byte.
-    pub spec: u32,
-    /// Current opcode byte.
-    pub opreg: u32,
-    /// Register-number latch.
-    pub regnum: u32,
-    /// Prefetch-buffer data.
-    pub ibdata: u32,
-    /// Prefetch-buffer valid byte count.
-    pub ibcnt: u32,
-    /// Exception latches.
-    pub excvec: u32,
-    /// Exception parameter.
-    pub excparam: u32,
-    /// Exception flags.
-    pub excflags: u32,
-    /// PC to push for the pending exception.
-    pub excpc: u32,
-    /// IPL for interrupt entry.
-    pub excipl: u32,
+    /// The unified slot file: GPRs, micro-temporaries, patch scratch,
+    /// MAR/MDR and the decode/exception latches.
+    pub file: [u32; slots::COUNT],
     /// The PSL.
     pub psl: Psl,
     /// Operand-size latch.
@@ -62,25 +86,29 @@ impl RegFile {
     /// Boot-state register file.
     pub fn new() -> RegFile {
         RegFile {
-            gpr: [0; 16],
-            t: [0; 16],
-            p: [0; 8],
-            mar: 0,
-            mdr: 0,
-            spec: 0,
-            opreg: 0,
-            regnum: 0,
-            ibdata: 0,
-            ibcnt: 0,
-            excvec: 0,
-            excparam: 0,
-            excflags: 0,
-            excpc: 0,
-            excipl: 0,
+            file: [0; slots::COUNT],
             psl: Psl::new(),
             osize: DataSize::Long,
             uflags: UFlags::default(),
         }
+    }
+
+    /// A general register's value (R15 = PC).
+    #[inline]
+    pub fn gpr(&self, n: usize) -> u32 {
+        self.file[slots::GPR0 + (n & 0xF)]
+    }
+
+    /// A micro-temporary's value.
+    #[inline]
+    pub fn t(&self, n: usize) -> u32 {
+        self.file[slots::T0 + (n & 0xF)]
+    }
+
+    /// A patch-scratch register's value.
+    #[inline]
+    pub fn p(&self, n: usize) -> u32 {
+        self.file[slots::P0 + (n & 0x7)]
     }
 }
 
@@ -181,7 +209,7 @@ mod tests {
     #[test]
     fn boot_state_is_zeroed() {
         let r = RegFile::new();
-        assert!(r.gpr.iter().all(|&v| v == 0));
+        assert!(r.file.iter().all(|&v| v == 0));
         assert_eq!(r.osize, DataSize::Long);
         assert!(r.psl.is_kernel());
     }

@@ -199,8 +199,8 @@ impl State {
 
     fn join(&self, other: &State) -> State {
         let mut regs = [AbsVal::Top; 10];
-        for i in 0..10 {
-            regs[i] = self.regs[i].join(other.regs[i]);
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = self.regs[i].join(other.regs[i]);
         }
         State {
             regs,
@@ -407,17 +407,17 @@ impl Verifier<'_> {
             }
             MicroOp::PhysRead => st.set(MicroReg::Mdr, AbsVal::Top),
             MicroOp::PhysWrite => self.check_store(addr, st),
-            MicroOp::WritePr { num, .. } => {
-                if st.eval(num) == AbsVal::Const(PrivReg::Trptr.number()) {
-                    // The pointer moved: snapshots and the headroom proof
-                    // refer to the old value.
-                    for r in st.regs.iter_mut() {
-                        if matches!(r, AbsVal::Pr { pr, .. } if *pr == PrivReg::Trptr.number()) {
-                            *r = AbsVal::Top;
-                        }
+            MicroOp::WritePr { num, .. }
+                if st.eval(num) == AbsVal::Const(PrivReg::Trptr.number()) =>
+            {
+                // The pointer moved: snapshots and the headroom proof
+                // refer to the old value.
+                for r in st.regs.iter_mut() {
+                    if matches!(r, AbsVal::Pr { pr, .. } if *pr == PrivReg::Trptr.number()) {
+                        *r = AbsVal::Top;
                     }
-                    st.checked = 0;
                 }
+                st.checked = 0;
             }
             _ => {}
         }

@@ -33,6 +33,11 @@ pub struct ControlStore {
     fault_addr: u32,
     /// Length of the stock portion (everything appended later is "WCS").
     stock_len: u32,
+    /// Mutation counter: bumped by every operation that can change what
+    /// the sequencer would execute (word appends, entry/dispatch
+    /// repointing, sealing). Engines that predecode the store key their
+    /// caches on this value and rebuild when it moves.
+    version: u64,
 }
 
 impl ControlStore {
@@ -47,7 +52,16 @@ impl ControlStore {
             symbols: HashMap::new(),
             fault_addr: 0,
             stock_len: 0,
+            version: 0,
         }
+    }
+
+    /// The store's mutation counter. Any change that could alter execution
+    /// (appending words, repointing an entry or dispatch slot, sealing)
+    /// increments it; two reads returning the same value bracket a span in
+    /// which predecoded views of the store remain valid.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The micro-word at `addr`.
@@ -58,6 +72,12 @@ impl ControlStore {
     /// garbage; the simulator prefers to fail loudly).
     pub fn word(&self, addr: u32) -> MicroOp {
         self.words[addr as usize]
+    }
+
+    /// All micro-words as a slice (predecoders and verifiers walk this
+    /// instead of calling [`ControlStore::word`] per address).
+    pub fn words(&self) -> &[MicroOp] {
+        &self.words
     }
 
     /// Number of micro-words.
@@ -90,6 +110,7 @@ impl ControlStore {
     pub fn set_entry(&mut self, e: Entry, addr: u32) {
         assert!(addr < self.len(), "entry target {addr} out of store");
         self.entries[e.index()] = addr;
+        self.version += 1;
     }
 
     /// The opcode dispatch target for an opcode byte.
@@ -101,6 +122,7 @@ impl ControlStore {
     pub fn set_opcode_target(&mut self, opcode: u8, addr: u32) {
         assert!(addr < self.len(), "dispatch target {addr} out of store");
         self.opcode_table[opcode as usize] = addr;
+        self.version += 1;
     }
 
     /// The specifier dispatch target for a mode nibble.
@@ -112,6 +134,7 @@ impl ControlStore {
     pub fn set_spec_target(&mut self, table: SpecTable, nibble: u8, addr: u32) {
         assert!(addr < self.len(), "dispatch target {addr} out of store");
         self.spec_tables[table.index()][(nibble & 0xF) as usize] = addr;
+        self.version += 1;
     }
 
     /// Appends a routine to the store (the WCS load) and records `name` in
@@ -128,6 +151,7 @@ impl ControlStore {
             "duplicate micro-symbol {name}"
         );
         self.words.extend(words);
+        self.version += 1;
         addr
     }
 
@@ -154,6 +178,7 @@ impl ControlStore {
     /// non-empty stock region.
     pub fn seal_stock(&mut self) {
         self.stock_len = self.len();
+        self.version += 1;
     }
 
     pub(crate) fn finish_stock(
@@ -168,10 +193,12 @@ impl ControlStore {
         self.opcode_table = opcode_table;
         self.spec_tables = spec_tables;
         self.stock_len = self.len();
+        self.version += 1;
     }
 
     pub(crate) fn raw_append(&mut self, words: Vec<MicroOp>) {
         self.words.extend(words);
+        self.version += 1;
     }
 
     pub(crate) fn define_symbol(&mut self, name: String, addr: u32) {
