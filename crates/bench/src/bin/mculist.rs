@@ -7,17 +7,28 @@
 //! mculist xfer.read          # one routine
 //! mculist patches            # the ATUM patch region (installs first)
 //! mculist all                # the whole store
-//! mculist verify             # static verification; nonzero exit on errors
+//! mculist verify             # static verification; nonzero exit on findings
+//! mculist cost               # static slowdown-band gate; nonzero exit on findings
 //! ```
+//!
+//! `verify` and `cost` accept `--format json` for machine-readable
+//! output.
 
-use atum_bench::mculist::{patches_report, verify};
+use atum_bench::mculist::{cost_report, patches_report, verify};
 use atum_core::PatchSet;
 use atum_ucode::stock;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let arg = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--format=json")
+        || args
+            .windows(2)
+            .any(|w| w[0] == "--format" && w[1] == "json");
+    let arg = args
+        .iter()
+        .find(|a| !a.starts_with("--") && **a != "json")
+        .cloned()
         .unwrap_or_else(|| "entries".to_string());
     let mut cs = stock::build();
     match arg.as_str() {
@@ -34,8 +45,33 @@ fn main() -> ExitCode {
         }
         "verify" => {
             let v = verify();
-            print!("{}", v.report);
-            if v.errors > 0 {
+            if json {
+                print!("{}", v.render_json());
+            } else {
+                print!("{}", v.render());
+            }
+            if v.findings > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
+        // The deterministic half of `cost` alone (no BENCH_capture.json
+        // comparison): what the golden test pins, and how to regenerate
+        // `crates/bench/tests/golden/cost.txt`.
+        "cost-static" => {
+            let c = cost_report();
+            print!("{}", c.static_report);
+            if c.findings > 0 {
+                return ExitCode::FAILURE;
+            }
+        }
+        "cost" => {
+            let c = cost_report();
+            if json {
+                print!("{}", c.json);
+            } else {
+                print!("{}{}", c.static_report, c.bench_report);
+            }
+            if c.findings > 0 || c.errors > 0 {
                 return ExitCode::FAILURE;
             }
         }

@@ -1,8 +1,10 @@
 //! Shared implementation of the `mculist` subcommands, so the golden
 //! tests pin the exact bytes the binary prints.
 
-use atum_core::{PatchSet, PatchStyle};
-use atum_mclint::{error_count, lint, svx, Finding};
+use atum_core::{PatchSet, PatchStyle, Tracer};
+use atum_machine::{Machine, MemLayout};
+use atum_mclint::cost::{Bounds, RefProfile};
+use atum_mclint::{cost, error_count, lint, lowering, svx, Finding};
 use atum_os::kernel::{self, KernelOptions};
 use atum_os::TbitMode;
 use atum_ucode::stock;
@@ -19,43 +21,35 @@ pub fn patches_report() -> String {
     )
 }
 
-/// Result of running the full static-verification suite.
-pub struct VerifyReport {
-    /// Human-readable report, one section per subject.
-    pub report: String,
-    /// Total findings across all subjects.
-    pub findings: usize,
-    /// Error-severity findings (the CI gate fails on any).
-    pub errors: usize,
+/// One verified artifact and its findings.
+pub struct Subject {
+    /// What was verified (e.g. `patched store (scratch style)`).
+    pub title: String,
+    /// The findings, sorted the way the passes emit them.
+    pub findings: Vec<Finding>,
 }
 
-fn section(out: &mut String, title: &str, findings: &[Finding]) -> (usize, usize) {
-    if findings.is_empty() {
-        let _ = writeln!(out, "{title:<42} ok");
-    } else {
-        let _ = writeln!(out, "{title:<42} {} finding(s)", findings.len());
-        for f in findings {
-            let _ = writeln!(out, "    {f}");
-        }
-    }
-    (findings.len(), error_count(findings))
+/// Result of running the full static-verification suite.
+pub struct VerifyReport {
+    /// Every artifact verified, with its findings.
+    pub subjects: Vec<Subject>,
+    /// Total findings across all subjects.
+    pub findings: usize,
+    /// Error-severity findings.
+    pub errors: usize,
 }
 
 /// Runs every verifier pass over every artifact this repository builds:
 /// the stock control store, the patched store in both styles, the MOSS
 /// kernel in both T-bit modes, and every standard workload image.
 pub fn verify() -> VerifyReport {
-    let mut out = String::new();
-    let mut findings = 0;
-    let mut errors = 0;
-    let mut add = |out: &mut String, title: &str, fs: &[Finding]| {
-        let (f, e) = section(out, title, fs);
-        findings += f;
-        errors += e;
-    };
+    let mut subjects = Vec::new();
 
     let cs = stock::build();
-    add(&mut out, "stock control store", &lint::run(&cs));
+    subjects.push(Subject {
+        title: "stock control store".into(),
+        findings: lint::run(&cs),
+    });
 
     for (style, name) in [
         (PatchStyle::Scratch, "patched store (scratch style)"),
@@ -63,7 +57,10 @@ pub fn verify() -> VerifyReport {
     ] {
         let mut cs = stock::build();
         PatchSet::install_with_style(&mut cs, style).expect("install");
-        add(&mut out, name, &lint::run(&cs));
+        subjects.push(Subject {
+            title: name.into(),
+            findings: lint::run(&cs),
+        });
     }
 
     for (tbit, name) in [
@@ -75,30 +72,439 @@ pub fn verify() -> VerifyReport {
             ..KernelOptions::default()
         };
         let img = atum_asm::assemble(&kernel::source(&opts)).expect("kernel assembles");
-        add(
-            &mut out,
-            name,
-            &svx::check_image(&img, svx::ImageKind::Kernel),
-        );
+        subjects.push(Subject {
+            title: name.into(),
+            findings: svx::check_image(&img, svx::ImageKind::Kernel),
+        });
     }
 
     for w in atum_workloads::suite_standard() {
         let src = format!(".org {:#x}\n{}\n", atum_os::USER_BASE_VA, w.source);
         let img = atum_asm::assemble(&src).expect("workload assembles");
-        let title = format!("workload '{}'", w.name);
-        add(
-            &mut out,
-            &title,
-            &svx::check_image(&img, svx::ImageKind::User),
-        );
+        subjects.push(Subject {
+            title: format!("workload '{}'", w.name),
+            findings: svx::check_image(&img, svx::ImageKind::User),
+        });
     }
 
-    let _ = writeln!(out, "\nverify: {findings} finding(s), {errors} error(s)");
+    let findings = subjects.iter().map(|s| s.findings.len()).sum();
+    let errors = subjects.iter().map(|s| error_count(&s.findings)).sum();
     VerifyReport {
-        report: out,
+        subjects,
         findings,
         errors,
     }
+}
+
+impl VerifyReport {
+    /// The human-readable report, one section per subject.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.subjects {
+            if s.findings.is_empty() {
+                let _ = writeln!(out, "{:<42} ok", s.title);
+            } else {
+                let _ = writeln!(out, "{:<42} {} finding(s)", s.title, s.findings.len());
+                for f in &s.findings {
+                    let _ = writeln!(out, "    {f}");
+                }
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\nverify: {} finding(s), {} error(s)",
+            self.findings, self.errors
+        );
+        out
+    }
+
+    /// The machine-readable report (`--format json`).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"subjects\": [\n");
+        for (i, s) in self.subjects.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"title\": \"{}\", \"findings\": [",
+                json_escape(&s.title)
+            );
+            for (j, f) in s.findings.iter().enumerate() {
+                let _ = write!(out, "{}{}", if j > 0 { ", " } else { "" }, finding_json(f));
+            }
+            let _ = write!(out, "]}}");
+            let _ = writeln!(
+                out,
+                "{}",
+                if i + 1 < self.subjects.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"findings\": {},\n  \"errors\": {}\n}}\n",
+            self.findings, self.errors
+        );
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn finding_json(f: &Finding) -> String {
+    format!(
+        "{{\"pass\": \"{}\", \"severity\": \"{}\", \"symbol\": \"{}\", \
+         \"addr\": {}, \"message\": \"{}\"}}",
+        f.pass,
+        f.severity,
+        json_escape(&f.symbol),
+        f.addr,
+        json_escape(&f.message)
+    )
+}
+
+// ── `mculist cost`: the static slowdown-band gate ────────────────────
+
+/// The paper's slowdown band: traced runs are 10–20× slower.
+const BAND: (f64, f64) = (10.0, 20.0);
+
+/// Result of the cost analysis and its gates.
+pub struct CostReport {
+    /// Deterministic section (golden-pinned): per-hook bounds, aggregate
+    /// dilation vs the band, and the simulated tight check.
+    pub static_report: String,
+    /// Host-dependent section: measured `BENCH_capture.json` rates
+    /// checked against the static envelope.
+    pub bench_report: String,
+    /// Machine-readable form of everything (`--format json`).
+    pub json: String,
+    /// Lint findings from the cost and lowering passes.
+    pub findings: usize,
+    /// Error findings plus failed gates.
+    pub errors: usize,
+}
+
+/// The bench workload (`list_chase`, syscalls stubbed out), identical to
+/// the one `benches/engine.rs` measures — so the static envelope and the
+/// measured rates describe the same run.
+fn bench_image() -> atum_asm::Image {
+    let w = atum_workloads::list_chase("bench", 256, 4_000);
+    let src = w
+        .source
+        .replace("chmk    #1", "nop")
+        .replace("chmk    #0", "halt");
+    atum_asm::assemble(&format!(".org 0x1000\n{src}\n")).expect("bench program")
+}
+
+fn bench_machine(img: &atum_asm::Image) -> Machine {
+    let mut m = Machine::new(MemLayout::small());
+    for (a, b) in img.segments() {
+        m.write_phys(*a, b).expect("image fits in memory");
+    }
+    m.set_gpr(14, 0x8000);
+    m.set_pc(img.symbol("start").expect("bench program has a start"));
+    m
+}
+
+fn fmt_bounds(b: Option<Bounds>) -> String {
+    match b {
+        Some(b) => b.to_string(),
+        None => "unbounded".into(),
+    }
+}
+
+fn json_bounds(b: Option<Bounds>) -> String {
+    match b {
+        Some(b) => format!("[{}, {}]", b.min, b.max),
+        None => "null".into(),
+    }
+}
+
+/// Runs the cost pass over both patch styles, gates the aggregate
+/// dilation against the paper band, re-runs the bench workload on the
+/// simulator to check the bound *contains the actual added cycles*, and
+/// checks the measured host rates in `BENCH_capture.json` against the
+/// envelope.
+pub fn cost_report() -> CostReport {
+    let mut stat = String::new();
+    let mut json = String::from("{\n");
+    let mut findings_total = 0;
+    let mut errors = 0;
+
+    // The standard-mix reference profile: the bench workload's
+    // architectural reference counts, measured once untraced. This is
+    // simulator-deterministic, so everything derived from it is
+    // golden-pinnable.
+    let img = bench_image();
+    let mut base = bench_machine(&img);
+    base.run(u64::MAX);
+    let base_cycles = base.cycles();
+    let bc = *base.counts();
+    let profile = RefProfile {
+        ifetch: bc.ifetch,
+        data_reads: bc.data_reads,
+        data_writes: bc.data_writes,
+        exceptions: 0,
+        ctx_switches: 0,
+    };
+    let _ = writeln!(
+        stat,
+        "cost: static micro-cycle analysis of the ATUM patches\n\
+         reference profile (untraced bench run): {} insns, {} ifetch, \
+         {} reads, {} writes, {} cycles\n",
+        base.insns(),
+        bc.ifetch,
+        bc.data_reads,
+        bc.data_writes,
+        base_cycles
+    );
+    let _ = write!(
+        json,
+        "  \"profile\": {{\"insns\": {}, \"ifetch\": {}, \"data_reads\": {}, \
+         \"data_writes\": {}, \"cycles\": {}}},\n  \"styles\": {{\n",
+        base.insns(),
+        bc.ifetch,
+        bc.data_reads,
+        bc.data_writes,
+        base_cycles
+    );
+
+    let mut max_dilations = Vec::new();
+    for (si, (style, name)) in [
+        (PatchStyle::Scratch, "scratch"),
+        (PatchStyle::Spill, "spill"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut cs = stock::build();
+        PatchSet::install_with_style(&mut cs, style).expect("install");
+        let rep = cost::analyze(&cs);
+        let mut fs = rep.findings.clone();
+        fs.extend(lowering::check(&cs));
+        findings_total += fs.len();
+        errors += error_count(&fs);
+
+        let _ = writeln!(stat, "patched store ({name} style)");
+        for f in &fs {
+            let _ = writeln!(stat, "    {f}");
+        }
+        let _ = write!(json, "    \"{name}\": {{\n      \"hooks\": [\n");
+        for (hi, h) in rep.hooks.iter().enumerate() {
+            let dil = h.dilation();
+            let _ = writeln!(
+                stat,
+                "  {:<18} {:<12} stock {:<9} added on {:<9} off {:<3} dilation {}",
+                h.hook.desc,
+                h.symbol,
+                fmt_bounds(h.stock),
+                format!("+{}", fmt_bounds(h.added_on)),
+                format!("+{}", fmt_bounds(h.added_off)),
+                match dil {
+                    Some((lo, hi)) => format!("{lo:.2}..{hi:.2}"),
+                    None => "-".into(),
+                },
+            );
+            let _ = writeln!(
+                json,
+                "        {{\"slot\": \"{}\", \"symbol\": \"{}\", \"stock\": {}, \
+                 \"added_on\": {}, \"added_off\": {}, \"dilation\": {}}}{}",
+                json_escape(&h.hook.desc),
+                json_escape(&h.symbol),
+                json_bounds(h.stock),
+                json_bounds(h.added_on),
+                json_bounds(h.added_off),
+                match dil {
+                    Some((lo, hi)) => format!("[{lo:.4}, {hi:.4}]"),
+                    None => "null".into(),
+                },
+                if hi + 1 < rep.hooks.len() { "," } else { "" },
+            );
+        }
+        let _ = writeln!(json, "      ],");
+
+        // Gate: aggregate dilation vs the paper band. The scratch style
+        // must land inside it; the spill style's slow stores put it
+        // above the band (EXPERIMENTS.md, known deviation 1), so it
+        // gates only on the floor.
+        let agg = rep.aggregate_dilation(&profile);
+        let band_ok = match (style, agg) {
+            (PatchStyle::Scratch, Some((lo, hi))) => lo >= BAND.0 && hi <= BAND.1,
+            (PatchStyle::Spill, Some((lo, _))) => lo >= BAND.0,
+            (_, None) => false,
+        };
+        if !band_ok {
+            errors += 1;
+        }
+        let agg_str = match agg {
+            Some((lo, hi)) => format!("{lo:.2}..{hi:.2}"),
+            None => "unbounded".into(),
+        };
+        let band_desc = match style {
+            PatchStyle::Scratch => format!("within {:.0}..{:.0}x band", BAND.0, BAND.1),
+            PatchStyle::Spill => {
+                format!("above {:.0}x band floor (above band: slow stores)", BAND.0)
+            }
+        };
+        let _ = writeln!(
+            stat,
+            "  aggregate dilation (standard mix): {agg_str}  {band_desc}: {}",
+            if band_ok { "ok" } else { "FAIL" }
+        );
+
+        // Gate: the tight deterministic check. Re-run the same workload
+        // traced; the extra simulated cycles must land inside the
+        // statically proved interval, and the architectural reference
+        // counts must be untouched (transparency, dynamically).
+        let mut m = bench_machine(&img);
+        let tracer = Tracer::attach_with_style(&mut m, style).expect("attach");
+        tracer.set_enabled(&mut m, true);
+        m.run(u64::MAX);
+        let tc = *m.counts();
+        let transparent = (tc.ifetch, tc.data_reads, tc.data_writes)
+            == (bc.ifetch, bc.data_reads, bc.data_writes)
+            && tc.exceptions == bc.exceptions;
+        let added = m.cycles().saturating_sub(base_cycles);
+        let bound = rep.added_interval(&profile);
+        let tight_ok = transparent && bound.is_some_and(|b| added >= b.min && added <= b.max);
+        if !tight_ok {
+            errors += 1;
+        }
+        let _ = writeln!(
+            stat,
+            "  simulated traced run: +{added} cycles, static bound {}: {}",
+            fmt_bounds(bound),
+            if tight_ok { "ok" } else { "FAIL" }
+        );
+        let _ = writeln!(
+            stat,
+            "  reference counts unchanged under tracing: {}\n",
+            if transparent { "ok" } else { "FAIL" }
+        );
+
+        max_dilations.push((name, rep.max_dilation()));
+        let _ = write!(
+            json,
+            "      \"aggregate_dilation\": {},\n      \"band_ok\": {band_ok},\n      \
+             \"simulated_added_cycles\": {added},\n      \"added_bound\": {},\n      \
+             \"tight_ok\": {tight_ok},\n      \"max_dilation\": {},\n      \
+             \"findings\": [",
+            match agg {
+                Some((lo, hi)) => format!("[{lo:.4}, {hi:.4}]"),
+                None => "null".into(),
+            },
+            json_bounds(bound),
+            match rep.max_dilation() {
+                Some(d) => format!("{d:.4}"),
+                None => "null".into(),
+            },
+        );
+        for (j, f) in fs.iter().enumerate() {
+            let _ = write!(json, "{}{}", if j > 0 { ", " } else { "" }, finding_json(f));
+        }
+        let _ = writeln!(json, "]\n    }}{}", if si == 0 { "," } else { "" });
+    }
+    let _ = write!(json, "  }},\n  \"bench\": {{\n");
+
+    // Gate: measured host rates against the static envelope. Whole-run
+    // slowdown cannot exceed the worst per-invocation dilation (every
+    // untraced reference already pays its stock transfer cost, so the
+    // traced/untraced cycle ratio is a mediant of per-class dilations),
+    // and it cannot fall below 1.
+    let mut bench = String::new();
+    let _ = writeln!(
+        bench,
+        "measured rates (BENCH_capture.json) vs the static envelope"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_capture.json");
+    match std::fs::read_to_string(path) {
+        Err(e) => {
+            errors += 1;
+            let _ = writeln!(bench, "  cannot read BENCH_capture.json: {e}  FAIL");
+            let _ = writeln!(json, "    \"error\": \"unreadable\"");
+        }
+        Ok(text) => {
+            for (si, (cfg, name)) in [("atum_scratch", "scratch"), ("atum_spill", "spill")]
+                .into_iter()
+                .enumerate()
+            {
+                let envelope = max_dilations
+                    .iter()
+                    .find(|(n, _)| *n == name)
+                    .and_then(|(_, d)| *d);
+                let _ = write!(json, "    \"{name}\": {{");
+                for (ei, engine) in ["fast", "reference"].into_iter().enumerate() {
+                    let key = format!("{engine}_insns_per_sec");
+                    let slow = match (
+                        bench_rate(&text, "untraced", &key),
+                        bench_rate(&text, cfg, &key),
+                    ) {
+                        (Some(u), Some(t)) if t > 0.0 => Some(u / t),
+                        _ => None,
+                    };
+                    let ok = match (slow, envelope) {
+                        (Some(s), Some(d)) => s >= 1.0 && s <= d,
+                        _ => false,
+                    };
+                    if !ok {
+                        errors += 1;
+                    }
+                    let _ = writeln!(
+                        bench,
+                        "  {name:<8} {engine:<9} engine: measured {}x, envelope 1.00..{}: {}",
+                        slow.map_or("?".into(), |s| format!("{s:.2}")),
+                        envelope.map_or("?".into(), |d| format!("{d:.2}")),
+                        if ok { "ok" } else { "FAIL" }
+                    );
+                    let _ = write!(
+                        json,
+                        "{}\"{engine}_slowdown\": {}, \"{engine}_ok\": {ok}",
+                        if ei > 0 { ", " } else { "" },
+                        slow.map_or("null".into(), |s| format!("{s:.4}")),
+                    );
+                }
+                let _ = writeln!(json, "}}{}", if si == 0 { "," } else { "" });
+            }
+        }
+    }
+    let _ = writeln!(
+        bench,
+        "\ncost: {findings_total} finding(s), {errors} error(s)"
+    );
+    let _ = write!(
+        json,
+        "  }},\n  \"findings\": {findings_total},\n  \"errors\": {errors}\n}}\n"
+    );
+
+    CostReport {
+        static_report: stat,
+        bench_report: bench,
+        json,
+        findings: findings_total,
+        errors,
+    }
+}
+
+/// Minimal extraction of `"key": <number>` inside the `"config"` object
+/// of `BENCH_capture.json` (fixed, known shape — not a JSON parser).
+fn bench_rate(text: &str, config: &str, key: &str) -> Option<f64> {
+    let start = text.find(&format!("\"{config}\""))?;
+    let body = &text[start..];
+    let body = &body[..body.find('}')?];
+    let ki = body.find(&format!("\"{key}\""))?;
+    let after = &body[ki..];
+    let val = after[after.find(':')? + 1..].trim_start();
+    let end = val
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE".contains(c)))
+        .unwrap_or(val.len());
+    val[..end].parse().ok()
 }
 
 #[cfg(test)]
@@ -108,7 +514,53 @@ mod tests {
     #[test]
     fn verify_is_clean_on_shipped_artifacts() {
         let v = verify();
-        assert_eq!(v.errors, 0, "{}", v.report);
-        assert_eq!(v.findings, 0, "{}", v.report);
+        assert_eq!(v.errors, 0, "{}", v.render());
+        assert_eq!(v.findings, 0, "{}", v.render());
+    }
+
+    #[test]
+    fn verify_json_is_well_formed_enough() {
+        let j = verify().render_json();
+        assert!(j.starts_with("{\n"));
+        assert!(j.contains("\"subjects\""));
+        assert!(j.trim_end().ends_with('}'));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+    }
+
+    #[test]
+    fn cost_gates_pass_on_shipped_patches() {
+        let c = cost_report();
+        assert_eq!(
+            c.errors, 0,
+            "{}{}\n{}",
+            c.static_report, c.bench_report, c.json
+        );
+        assert_eq!(c.findings, 0, "{}", c.static_report);
+        assert_eq!(
+            c.json.matches('{').count(),
+            c.json.matches('}').count(),
+            "unbalanced braces:\n{}",
+            c.json
+        );
+    }
+
+    #[test]
+    fn bench_rate_extracts_known_shape() {
+        let text = "{\n  \"configs\": {\n    \"untraced\": {\n      \
+                    \"insns\": 15223,\n      \"fast_insns_per_sec\": 2585469.3,\n      \
+                    \"reference_insns_per_sec\": 1272682.0\n    }\n  }\n}\n";
+        assert_eq!(
+            bench_rate(text, "untraced", "fast_insns_per_sec"),
+            Some(2585469.3)
+        );
+        assert_eq!(
+            bench_rate(text, "untraced", "reference_insns_per_sec"),
+            Some(1272682.0)
+        );
+        assert_eq!(bench_rate(text, "missing", "fast_insns_per_sec"), None);
     }
 }

@@ -7,7 +7,27 @@
 //! `tests/golden/patches.txt`; regenerate deliberately with
 //! `cargo run -p atum-bench --bin mculist -- patches > crates/bench/tests/golden/patches.txt`.
 
-use atum_bench::mculist::patches_report;
+use atum_bench::mculist::{cost_report, patches_report};
+
+/// Pins the deterministic half of `mculist cost`: the per-hook cycle
+/// bounds, the aggregate dilation against the paper's 10–20× band, and
+/// the simulated tight check. These are pure functions of the microcode
+/// and the cycle model — any drift means the patches or the model
+/// changed, and the paper-band argument needs re-checking. Regenerate
+/// deliberately with
+/// `cargo run -p atum-bench --bin mculist -- cost-static > crates/bench/tests/golden/cost.txt`.
+#[test]
+fn mculist_cost_static_output_matches_golden_file() {
+    let expected = include_str!("golden/cost.txt");
+    let actual = cost_report().static_report;
+    assert!(
+        actual == expected,
+        "`mculist cost-static` output drifted from tests/golden/cost.txt.\n\
+         If the change is intentional, regenerate the golden file:\n\
+         cargo run -p atum-bench --bin mculist -- cost-static > crates/bench/tests/golden/cost.txt\n\
+         \n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
 
 #[test]
 fn mculist_patches_output_matches_golden_file() {

@@ -54,7 +54,7 @@ pub enum PatchStyle {
 }
 
 /// Error installing the patches.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PatchError {
     /// The control store already contains an ATUM patch set.
     AlreadyInstalled,

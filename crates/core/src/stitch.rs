@@ -48,7 +48,7 @@ impl<'t> CaptureSession<'t> {
     ///
     /// # Errors
     ///
-    /// [`TracerError::Extract`] if a drain fails.
+    /// Any extraction [`TracerError`] if a drain fails.
     pub fn run(&self, m: &mut Machine) -> Result<Capture, TracerError> {
         self.tracer.set_enabled(m, true);
         let deadline = m.cycles().saturating_add(self.max_total_cycles);

@@ -4,18 +4,41 @@ use crate::patch::{trctl, PatchError, PatchSet};
 use crate::record::TraceRecord;
 use crate::trace::Trace;
 use atum_arch::PrivReg;
-use atum_machine::Machine;
+use atum_machine::{Machine, MemError};
 use std::fmt;
 
 /// Errors from tracer operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Extraction failures are typed rather than stringly — the host drains
+/// the buffer while a capture is live, and a scribbled trace pointer or a
+/// corrupt record must surface as a diagnosable error (with the offending
+/// register/record values) instead of aborting mid-capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TracerError {
     /// Patch installation failed.
     Patch(PatchError),
     /// The machine's reserved region is too small for even one record.
     ReservedTooSmall,
-    /// The trace region contents could not be read back.
-    Extract(String),
+    /// The trace write pointer read back from `TRPTR` does not lie on a
+    /// record boundary inside the buffer — the register was scribbled, or
+    /// the tracer was pointed at the wrong machine.
+    BadTracePointer {
+        /// The `TRPTR` value read back.
+        trptr: u32,
+        /// The buffer base this tracer attached with.
+        base: u32,
+        /// The buffer limit this tracer attached with.
+        limit: u32,
+    },
+    /// The buffer region could not be read back from physical memory.
+    Region(MemError),
+    /// A buffered record failed to decode.
+    CorruptRecord {
+        /// Byte offset of the record from the buffer base.
+        offset: u32,
+        /// The undecodable meta longword.
+        meta: u32,
+    },
 }
 
 impl fmt::Display for TracerError {
@@ -23,12 +46,26 @@ impl fmt::Display for TracerError {
         match self {
             TracerError::Patch(e) => write!(f, "patch installation failed: {e}"),
             TracerError::ReservedTooSmall => f.write_str("reserved region too small"),
-            TracerError::Extract(e) => write!(f, "trace extraction failed: {e}"),
+            TracerError::BadTracePointer { trptr, base, limit } => write!(
+                f,
+                "trace pointer {trptr:#010x} invalid for buffer {base:#010x}..{limit:#010x}"
+            ),
+            TracerError::Region(e) => write!(f, "trace extraction failed: {e}"),
+            TracerError::CorruptRecord { offset, meta } => write!(
+                f,
+                "corrupt record at buffer offset {offset:#x}: meta {meta:#010x}"
+            ),
         }
     }
 }
 
 impl std::error::Error for TracerError {}
+
+impl From<MemError> for TracerError {
+    fn from(e: MemError) -> TracerError {
+        TracerError::Region(e)
+    }
+}
 
 impl From<PatchError> for TracerError {
     fn from(e: PatchError) -> TracerError {
@@ -158,32 +195,43 @@ impl Tracer {
         m.write_prv(PrivReg::Trctl, v);
     }
 
-    /// Number of records currently in the buffer.
+    /// Number of records currently in the buffer. A `TRPTR` below the
+    /// buffer base (a scribbled register) reads as zero rather than
+    /// wrapping; [`Tracer::extract`] reports it as an error.
     pub fn pending_records(&self, m: &Machine) -> u32 {
-        (m.read_prv(PrivReg::Trptr) - self.base) / 8
+        m.read_prv(PrivReg::Trptr).saturating_sub(self.base) / 8
     }
 
     /// Reads the buffered records without disturbing the machine.
     ///
     /// # Errors
     ///
-    /// [`TracerError::Extract`] if the region read fails or a record is
-    /// corrupt.
+    /// [`TracerError::BadTracePointer`] if `TRPTR` is outside the buffer
+    /// or off a record boundary; [`TracerError::Region`] if the region
+    /// read fails; [`TracerError::CorruptRecord`] if a record does not
+    /// decode.
     pub fn extract(&self, m: &Machine) -> Result<Trace, TracerError> {
         let ptr = m.read_prv(PrivReg::Trptr);
-        let len = ptr.saturating_sub(self.base);
+        if ptr < self.base || ptr > self.limit || !(ptr - self.base).is_multiple_of(8) {
+            return Err(TracerError::BadTracePointer {
+                trptr: ptr,
+                base: self.base,
+                limit: self.limit,
+            });
+        }
+        let len = ptr - self.base;
         // Borrow the buffer region in place (no host-side byte copy) and
         // decode into storage sized for the exact record count.
-        let bytes = m
-            .memory()
-            .slice(self.base, len)
-            .map_err(TracerError::Extract)?;
+        let bytes = m.memory().slice(self.base, len)?;
         let mut trace = Trace::with_capacity(len as usize / 8);
-        for chunk in bytes.chunks_exact(8) {
-            let addr = u32::from_le_bytes(chunk[0..4].try_into().expect("chunk"));
-            let meta = u32::from_le_bytes(chunk[4..8].try_into().expect("chunk"));
-            let rec = TraceRecord::from_raw(addr, meta)
-                .ok_or_else(|| TracerError::Extract(format!("corrupt record meta {meta:#010x}")))?;
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            let addr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            let meta = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+            let rec =
+                TraceRecord::from_raw(addr, meta).ok_or_else(|| TracerError::CorruptRecord {
+                    offset: i as u32 * 8,
+                    meta,
+                })?;
             trace.push(rec);
         }
         Ok(trace)

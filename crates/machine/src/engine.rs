@@ -1,9 +1,13 @@
 //! The micro-engine: executes micro-ops from the control store.
 //!
-//! One `match` arm per [`MicroOp`]. Cycle accounting: memory micro-ops
-//! cost 2 microcycles, PTE-walk reads 2 each, everything else 1 — a
-//! deliberately simple model, but patched-vs-stock *ratios* (the paper's
-//! slowdown numbers) are insensitive to the absolute constants.
+//! One `match` arm per [`MicroOp`]. Cycle accounting comes from the shared
+//! model in [`atum_ucode::cost`]: memory micro-ops cost
+//! `BASE + MEM_EXTRA` (= 2) microcycles, PTE-walk reads `PTE_READ` (= 2)
+//! each, everything else `BASE` (= 1) — a deliberately simple model, but
+//! patched-vs-stock *ratios* (the paper's slowdown numbers) are
+//! insensitive to the absolute constants. The static cost pass in
+//! `atum-mclint` sums the same constants over control-store paths, so its
+//! bounds are bounds on what these engines report.
 //!
 //! Two interpreters share this accounting model and all architectural
 //! helpers:
@@ -36,7 +40,8 @@ use atum_arch::{
     DataSize, Exception, ExceptionClass, PrivReg, Psl, Region, VirtAddr, PAGE_SHIFT, PAGE_SIZE,
 };
 use atum_ucode::{
-    AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel, Target,
+    cost, AluOp, CcEffect, Entry, FaultKind, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
+    Target,
 };
 
 /// Maximum micro-subroutine nesting (also the inline micro-stack's
@@ -246,7 +251,7 @@ impl Machine {
                 break $run Some(RunExit::MicroError("micro-PC outside control store"));
             };
             upc += 1;
-            cycles += 1;
+            cycles += cost::BASE;
             match op {
                 DecOp::MovSS { src, dst } => {
                     self.regs.file[(dst & slots::MASK) as usize] =
@@ -391,7 +396,7 @@ impl Machine {
                     break $run Some(RunExit::MicroError("bad dynamic size latch"))
                 }
                 DecOp::Read { class, size } => {
-                    cycles += 1;
+                    cycles += cost::MEM_EXTRA;
                     let size = size.unwrap_or(self.regs.osize);
                     sync!();
                     match self.vread_fast(size, class) {
@@ -406,7 +411,7 @@ impl Machine {
                     }
                 }
                 DecOp::Write { size } => {
-                    cycles += 1;
+                    cycles += cost::MEM_EXTRA;
                     let size = size.unwrap_or(self.regs.osize);
                     sync!();
                     match self.vwrite_fast(size) {
@@ -421,7 +426,7 @@ impl Machine {
                     }
                 }
                 DecOp::PhysRead => {
-                    cycles += 1;
+                    cycles += cost::MEM_EXTRA;
                     match self.mem.read_u32(self.regs.file[slots::MAR]) {
                         Some(v) => self.regs.file[slots::MDR] = v,
                         None => {
@@ -435,7 +440,7 @@ impl Machine {
                     }
                 }
                 DecOp::PhysWrite => {
-                    cycles += 1;
+                    cycles += cost::MEM_EXTRA;
                     let v = self.regs.file[slots::MDR];
                     if self.mem.write_u32(self.regs.file[slots::MAR], v).is_none() {
                         sync!();
@@ -659,7 +664,7 @@ impl Machine {
         }
         let op = self.cs.word(self.upc);
         self.upc += 1;
-        self.cycles += 1;
+        self.cycles += cost::BASE;
         match op {
             MicroOp::Mov { src, dst } => {
                 let v = self.read_src(src);
@@ -697,7 +702,7 @@ impl Machine {
                 };
             }
             MicroOp::Read { class, size } => {
-                self.cycles += 1;
+                self.cycles += cost::MEM_EXTRA;
                 let size = self.sel_size(size);
                 if let Err(e) = self.vread(size, class) {
                     if let Err(x) = self.enter_exception(e) {
@@ -706,7 +711,7 @@ impl Machine {
                 }
             }
             MicroOp::Write { size } => {
-                self.cycles += 1;
+                self.cycles += cost::MEM_EXTRA;
                 let size = self.sel_size(size);
                 if let Err(e) = self.vwrite(size) {
                     if let Err(x) = self.enter_exception(e) {
@@ -715,7 +720,7 @@ impl Machine {
                 }
             }
             MicroOp::PhysRead => {
-                self.cycles += 1;
+                self.cycles += cost::MEM_EXTRA;
                 match self.mem.read_le(self.regs.file[slots::MAR], 4) {
                     Some(v) => self.regs.file[slots::MDR] = v,
                     None => {
@@ -726,7 +731,7 @@ impl Machine {
                 }
             }
             MicroOp::PhysWrite => {
-                self.cycles += 1;
+                self.cycles += cost::MEM_EXTRA;
                 let v = self.regs.file[slots::MDR];
                 if self
                     .mem
@@ -1386,7 +1391,7 @@ impl Machine {
                     |pa| mem.read_le(pa, 4),
                 )?;
                 self.counts.pte_reads += r.pte_reads as u64;
-                self.cycles += 2 * r.pte_reads as u64;
+                self.cycles += cost::PTE_READ * r.pte_reads as u64;
                 // The insert may evict a different tag sharing the slot;
                 // the micro-cache must not outlive the TB entry it
                 // shadows.
@@ -1593,7 +1598,9 @@ pub(crate) fn alu_exec(op: AluOp, a: u32, b: u32, size: DataSize) -> (u32, AluFl
                 f.v = bm != 0 && (back != bm || c >= 32);
                 shifted
             } else {
-                let c = (-count).min(31) as u32;
+                // unsigned_abs: a count of i32::MIN must saturate, not
+                // overflow the negation.
+                let c = count.unsigned_abs().min(31);
                 ((sext(bm, size) >> c) as u32) & mask
             }
         }

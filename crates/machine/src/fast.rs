@@ -13,7 +13,11 @@
 //! store (a WCS append, an entry or dispatch repoint) moves the counter
 //! and the next `run`/`step_insns` rebuilds. Between mutations the image
 //! is exactly equivalent to interpreting the store directly — the
-//! differential suite in `crates/bench/tests/fast_equiv.rs` pins this.
+//! differential suite in `crates/bench/tests/fast_equiv.rs` pins this
+//! dynamically, and the lowering-equivalence pass in `atum-mclint`
+//! re-derives every [`DecOp`] from its source [`MicroOp`] statically.
+//! The types here are public (read-only: all construction goes through
+//! [`FastImage::build`]) so that external verifiers can inspect the image.
 
 use atum_arch::{DataSize, PrivReg};
 use atum_ucode::{
@@ -30,8 +34,8 @@ use crate::regs::slots;
 /// keeps this enum (and with it every generic op) two bytes wide. The
 /// whole `DecOp` stays within 12 bytes — small enough that the predecoded
 /// image of a patched control store lives comfortably in L1.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum Src {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Src {
     /// A slot in the unified register file.
     Slot(u8),
     /// The PSL image.
@@ -45,8 +49,8 @@ pub(crate) enum Src {
 }
 
 /// A pre-resolved destination operand.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum Dst {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dst {
     /// A plain slot (micro-temporaries, patch scratch, MAR/MDR, latches).
     Slot(u8),
     /// A general register: logged for rollback, PC write invalidates the
@@ -67,184 +71,290 @@ pub(crate) enum Dst {
 
 /// One predecoded micro-op. Mirrors [`MicroOp`] 1:1 by control-store
 /// address, with every static indirection already resolved.
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum DecOp {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecOp {
     /// Slot→slot move — the dominant micro-op in the stock fetch/decode
     /// routines, specialized so it executes with no selector dispatch.
     MovSS {
+        /// Source slot.
         src: u8,
+        /// Destination slot.
         dst: u8,
     },
     /// Immediate→slot move.
     MovIS {
+        /// Immediate value.
         imm: u32,
+        /// Destination slot.
         dst: u8,
     },
     /// RegNum-selected GPR → slot (register-mode operand fetch).
     MovGIS {
+        /// Destination slot.
         dst: u8,
     },
     /// Slot → RegNum-selected GPR (register-mode result write-back).
     MovSGI {
+        /// Source slot.
         src: u8,
     },
     /// Slot → the RegNum latch (4-bit masked; the decode loop's
     /// specifier crack).
     MovSMF {
+        /// Source slot.
         src: u8,
+        /// Destination slot (the RegNum latch).
         dst: u8,
     },
     /// Slot → fixed GPR.
     MovSG {
+        /// Source slot.
         src: u8,
+        /// Destination GPR number.
         gpr: u8,
     },
     /// ALU with both sources and the destination in plain slots.
     AluSS {
+        /// Operation.
         op: AluOp,
+        /// First input slot.
         a: u8,
+        /// Second input slot.
         b: u8,
+        /// Destination slot.
         dst: u8,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Operation size.
         size: DataSize,
     },
     /// ALU with an immediate `a` source.
     AluIS {
+        /// Operation.
         op: AluOp,
+        /// Immediate first input.
         imm: u32,
+        /// Second input slot.
         b: u8,
+        /// Destination slot.
         dst: u8,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Operation size.
         size: DataSize,
     },
     /// ALU with an immediate `b` source.
     AluSI {
+        /// Operation.
         op: AluOp,
+        /// First input slot.
         a: u8,
+        /// Immediate second input.
         imm: u32,
+        /// Destination slot.
         dst: u8,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Operation size.
         size: DataSize,
     },
-    /// The general forms, for the operand shapes not specialized above.
+    /// General move, for the operand shapes not specialized above.
     /// Immediate operands get their own variants (see [`Src`]).
     Mov {
+        /// Source selector.
         src: Src,
+        /// Destination selector.
         dst: Dst,
     },
+    /// General immediate move.
     MovID {
+        /// Immediate value.
         imm: u32,
+        /// Destination selector.
         dst: Dst,
     },
+    /// General ALU op.
     Alu {
+        /// Operation.
         op: AluOp,
+        /// First input.
         a: Src,
+        /// Second input.
         b: Src,
+        /// Destination selector.
         dst: Dst,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Operation size.
         size: DataSize,
     },
+    /// General ALU op with an immediate `a` source.
     AluID {
+        /// Operation.
         op: AluOp,
+        /// Immediate first input.
         imm: u32,
+        /// Second input.
         b: Src,
+        /// Destination selector.
         dst: Dst,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Operation size.
         size: DataSize,
     },
+    /// General ALU op with an immediate `b` source.
     AluDI {
+        /// Operation.
         op: AluOp,
+        /// First input.
         a: Src,
+        /// Immediate second input.
         imm: u32,
+        /// Destination selector.
         dst: Dst,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Operation size.
         size: DataSize,
     },
     /// An ALU op whose operands were both immediates: the result and the
     /// micro-flags (packed `z n c v divz` in bits 0..5) are computed at
     /// decode time.
     AluConst {
+        /// The constant-folded result.
         result: u32,
+        /// Micro-flags, packed `z n c v divz` in bits 0..5.
         fbits: u8,
+        /// PSL condition-code effect.
         cc: CcEffect,
+        /// Destination selector.
         dst: Dst,
     },
+    /// Latches the operand size.
     SetSize(DataSize),
+    /// Latches the operand size from a register holding 1, 2 or 4.
     SetSizeDyn(Src),
     /// `SetSizeDyn` of a constant that is not 1/2/4: hits the reference
     /// path's "bad dynamic size latch" error when executed.
     SetSizeBad,
-    /// `size: None` means "use the osize latch".
+    /// Virtual-memory read; `size: None` means "use the osize latch".
     Read {
+        /// Reference classification (for tracing).
         class: RefClass,
+        /// Resolved transfer size, or `None` for the osize latch.
         size: Option<DataSize>,
     },
+    /// Virtual-memory write; `size: None` means "use the osize latch".
     Write {
+        /// Resolved transfer size, or `None` for the osize latch.
         size: Option<DataSize>,
     },
+    /// Physical longword read.
     PhysRead,
+    /// Physical longword write.
     PhysWrite,
+    /// Unconditional jump to a resolved control-store address.
     Jump(u32),
-    /// `JumpIf` on the three conditions that dominate the stock decode
-    /// loop, specialized so the flag test inlines into the dispatch arm.
+    /// `JumpIf` on `UZero`, specialized so the flag test inlines into the
+    /// dispatch arm (with [`DecOp::JumpUNotZero`] and
+    /// [`DecOp::JumpRegNumIsPc`], the conditions that dominate the stock
+    /// decode loop).
     JumpUZero(u32),
+    /// `JumpIf` on `UNotZero` (specialized; see [`DecOp::JumpUZero`]).
     JumpUNotZero(u32),
+    /// `JumpIf` on `RegNumIsPc` (specialized; see [`DecOp::JumpUZero`]).
     JumpRegNumIsPc(u32),
+    /// Conditional jump (the conditions not specialized above).
     JumpIf {
+        /// Condition.
         cond: MicroCond,
+        /// Resolved target address.
         target: u32,
     },
+    /// Micro-subroutine call to a resolved address.
     Call(u32),
+    /// Return from micro-subroutine.
     Ret,
+    /// Jump through the opcode dispatch table on `OpReg`.
     DispatchOpcode,
+    /// Jump through a specifier dispatch table (by table index).
     DispatchSpec(u8),
+    /// End of architectural instruction.
     DecodeNext,
+    /// `PC ← PC + 1` without invalidating the prefetch buffer.
     AdvancePc,
+    /// Raise a fault/trap from microcode.
     Fault(FaultKind),
     /// Privileged read with the register number known at decode time.
     ReadPrK {
+        /// The resolved privileged register.
         reg: PrivReg,
+        /// Destination selector.
         dst: Dst,
     },
+    /// Privileged read with a dynamic register number.
     ReadPr {
+        /// Register-number source.
         num: Src,
+        /// Destination selector.
         dst: Dst,
     },
-    /// `ReadPr`/`WritePr` with a constant register number that names no
-    /// register: faults `ReservedOperand` when executed, exactly like the
-    /// reference path.
+    /// `ReadPr` with a constant register number that names no register:
+    /// faults `ReservedOperand` when executed, exactly like the reference
+    /// path.
     ReadPrBad,
     /// Privileged write with the register number known at decode time.
     WritePrK {
+        /// The resolved privileged register.
         reg: PrivReg,
+        /// Value source.
         src: Src,
     },
+    /// Privileged write with both the register number and the value known
+    /// at decode time.
     WritePrKI {
+        /// The resolved privileged register.
         reg: PrivReg,
+        /// Immediate value.
         imm: u32,
     },
+    /// Privileged write with a dynamic register number.
     WritePr {
+        /// Register-number source.
         num: Src,
+        /// Value source.
         src: Src,
     },
+    /// Privileged write of an immediate through a dynamic register number.
     WritePrI {
+        /// Register-number source.
         num: Src,
+        /// Immediate value.
         imm: u32,
     },
+    /// `WritePr` with a constant register number that names no register
+    /// (see [`DecOp::ReadPrBad`]).
     WritePrBad,
+    /// Invalidate the whole translation buffer.
     TbFlushAll,
+    /// Invalidate per-process translation-buffer entries.
     TbFlushProc,
+    /// Halt the processor.
     Halt,
 }
 
 /// The predecoded control store plus snapshots of its dispatch tables.
 #[derive(Debug)]
-pub(crate) struct FastImage {
+pub struct FastImage {
     /// The [`ControlStore::version`] this image was built from.
-    pub(crate) version: u64,
-    pub(crate) ops: Vec<DecOp>,
-    pub(crate) opcode_table: [u32; 256],
-    pub(crate) spec_tables: [[u32; 16]; SpecTable::COUNT],
+    pub version: u64,
+    /// One [`DecOp`] per control-store word, same addressing.
+    pub ops: Vec<DecOp>,
+    /// Snapshot of the opcode dispatch table.
+    pub opcode_table: [u32; 256],
+    /// Snapshots of the four specifier dispatch tables.
+    pub spec_tables: [[u32; 16]; SpecTable::COUNT],
 }
 
 impl FastImage {
@@ -260,7 +370,7 @@ impl FastImage {
     }
 
     /// Predecodes the whole store.
-    pub(crate) fn build(cs: &ControlStore) -> FastImage {
+    pub fn build(cs: &ControlStore) -> FastImage {
         let mut opcode_table = [0u32; 256];
         for (i, slot) in opcode_table.iter_mut().enumerate() {
             *slot = cs.opcode_target(i as u8);

@@ -34,13 +34,14 @@
 #![warn(missing_docs)]
 
 mod engine;
-mod fast;
+pub mod fast;
 mod mem;
 mod mmu;
-mod regs;
+pub mod regs;
 
 pub use engine::{RefCounts, RunExit};
-pub use mem::{MemLayout, PhysMemory};
+pub use fast::FastImage;
+pub use mem::{MemError, MemLayout, PhysMemory};
 pub use mmu::{Tlb, TlbStats};
 pub use regs::{PrvFile, RegFile};
 
@@ -142,8 +143,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the range falls outside physical memory.
-    pub fn write_phys(&mut self, pa: u32, bytes: &[u8]) -> Result<(), String> {
+    /// Returns a [`MemError`] if the range falls outside physical memory.
+    pub fn write_phys(&mut self, pa: u32, bytes: &[u8]) -> Result<(), MemError> {
         self.mem.write_bytes(pa, bytes)
     }
 
@@ -151,8 +152,8 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Returns `Err` if the range falls outside physical memory.
-    pub fn read_phys(&self, pa: u32, len: u32) -> Result<Vec<u8>, String> {
+    /// Returns a [`MemError`] if the range falls outside physical memory.
+    pub fn read_phys(&self, pa: u32, len: u32) -> Result<Vec<u8>, MemError> {
         self.mem.read_bytes(pa, len)
     }
 
@@ -262,6 +263,14 @@ impl Machine {
         if self.fast.version != self.cs.version() {
             self.fast = fast::FastImage::build(&self.cs);
         }
+    }
+
+    /// The predecoded control-store image, rebuilt first if the store has
+    /// been mutated since the last build — the inspection point for
+    /// external verifiers of the fast-engine lowering.
+    pub fn fast_image(&mut self) -> &fast::FastImage {
+        self.ensure_fast();
+        &self.fast
     }
 
     /// Runs until halt, returning an error on a cycle-limit or fatal exit.

@@ -66,6 +66,39 @@ impl fmt::Display for MemLayout {
     }
 }
 
+/// A physical-memory range violation: an access to `pa..pa+len` fell
+/// outside the `mem_len` bytes of physical memory.
+///
+/// The typed form matters on the trace-extraction path: the host drains
+/// the trace buffer while the machine is live, and a corrupt trace
+/// pointer must surface as a diagnosable error, not a panic mid-capture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemError {
+    /// First physical address of the offending access.
+    pub pa: u32,
+    /// Length of the access in bytes.
+    pub len: u32,
+    /// Size of physical memory in bytes.
+    pub mem_len: u32,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "physical {} {:#x}+{} outside {} bytes of memory",
+            if self.write { "write" } else { "read" },
+            self.pa,
+            self.len,
+            self.mem_len
+        )
+    }
+}
+
+impl std::error::Error for MemError {}
+
 /// Flat little-endian physical memory.
 #[derive(Debug, Clone)]
 pub struct PhysMemory {
@@ -146,15 +179,15 @@ impl PhysMemory {
     ///
     /// # Errors
     ///
-    /// Returns a description if the range falls outside memory.
-    pub fn slice(&self, pa: u32, len: u32) -> Result<&[u8], String> {
+    /// Returns a [`MemError`] if the range falls outside memory.
+    pub fn slice(&self, pa: u32, len: u32) -> Result<&[u8], MemError> {
         if !self.contains(pa, len) {
-            return Err(format!(
-                "physical read {:#x}+{} outside {} bytes of memory",
+            return Err(MemError {
                 pa,
                 len,
-                self.bytes.len()
-            ));
+                mem_len: self.len(),
+                write: false,
+            });
         }
         Ok(&self.bytes[pa as usize..(pa + len) as usize])
     }
@@ -188,15 +221,15 @@ impl PhysMemory {
     ///
     /// # Errors
     ///
-    /// Returns a description if the range falls outside memory.
-    pub fn write_bytes(&mut self, pa: u32, data: &[u8]) -> Result<(), String> {
+    /// Returns a [`MemError`] if the range falls outside memory.
+    pub fn write_bytes(&mut self, pa: u32, data: &[u8]) -> Result<(), MemError> {
         if !self.contains(pa, data.len() as u32) {
-            return Err(format!(
-                "physical write {:#x}..{:#x} outside {} bytes of memory",
+            return Err(MemError {
                 pa,
-                pa as u64 + data.len() as u64,
-                self.bytes.len()
-            ));
+                len: data.len() as u32,
+                mem_len: self.len(),
+                write: true,
+            });
         }
         self.bytes[pa as usize..pa as usize + data.len()].copy_from_slice(data);
         Ok(())
@@ -206,15 +239,15 @@ impl PhysMemory {
     ///
     /// # Errors
     ///
-    /// Returns a description if the range falls outside memory.
-    pub fn read_bytes(&self, pa: u32, len: u32) -> Result<Vec<u8>, String> {
+    /// Returns a [`MemError`] if the range falls outside memory.
+    pub fn read_bytes(&self, pa: u32, len: u32) -> Result<Vec<u8>, MemError> {
         if !self.contains(pa, len) {
-            return Err(format!(
-                "physical read {:#x}+{} outside {} bytes of memory",
+            return Err(MemError {
                 pa,
                 len,
-                self.bytes.len()
-            ));
+                mem_len: self.len(),
+                write: false,
+            });
         }
         Ok(self.bytes[pa as usize..(pa + len) as usize].to_vec())
     }

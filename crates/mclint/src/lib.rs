@@ -21,17 +21,30 @@
 //!   and it rejoins the stock flow at the hooked entry's original target;
 //! * [`svx`] — an assembly-level lint for images built by `atum-asm`
 //!   (the MOSS kernel and the workloads): `calls`/`ret` balance,
-//!   privileged instructions outside kernel images, SCB vector coverage.
+//!   privileged instructions outside kernel images, SCB vector coverage;
+//! * [`cost`] — static micro-cycle cost analysis: proves every hook's
+//!   added cycles are loop-free and bounded, and computes per-hook
+//!   `[min, max]` added-cycle intervals and dilation bounds in the same
+//!   cycle model ([`atum_ucode::cost`]) both execution engines charge —
+//!   the static side of the paper's 10–20× slowdown band;
+//! * [`lowering`] — fast-engine lowering equivalence: independently
+//!   re-derives what each predecoded `DecOp` must be from its source
+//!   [`MicroOp`](atum_ucode::MicroOp) (operand slot mapping, resolved
+//!   targets and sizes, constant-folded ALU results recomputed from
+//!   scratch) and diffs that against the sealed
+//!   [`FastImage`](atum_machine::FastImage).
 //!
-//! The top-level entry point is [`lint::run`]; `mculist verify` (in
-//! `atum-bench`) drives it from the command line and CI gates on it.
+//! The top-level entry point is [`lint::run`]; `mculist verify` and
+//! `mculist cost` (in `atum-bench`) drive it from the command line and
+//! CI gates on both.
 //!
 //! What the verifier deliberately cannot prove is documented per pass and
-//! summarised in `DESIGN.md` — briefly: it does not model timing (the
-//! ATUM *slowdown* is measured, not verified), it trusts the engine's
-//! micro-op semantics, and its buffer-bounds proof covers the derivation
-//! patterns the patches actually use rather than arbitrary address
-//! arithmetic.
+//! summarised in `DESIGN.md` — briefly: the cost pass bounds *modelled*
+//! micro-cycles, not host wall-clock or a real 8200's memory-system
+//! stalls; it trusts the engine's micro-op semantics (the lowering pass
+//! narrows that trust to the reference engine only); and its
+//! buffer-bounds proof covers the derivation patterns the patches
+//! actually use rather than arbitrary address arithmetic.
 //!
 //! [`MicroReg`]: atum_ucode::MicroReg
 
@@ -39,7 +52,9 @@
 #![warn(missing_docs)]
 
 pub mod cfg;
+pub mod cost;
 pub mod dataflow;
+pub mod lowering;
 pub mod structural;
 pub mod svx;
 pub mod transparency;
@@ -75,6 +90,10 @@ pub enum Pass {
     Transparency,
     /// SVX assembly image lint.
     Svx,
+    /// Static micro-cycle cost bounds (loop-freedom, bounded added cost).
+    Cost,
+    /// Fast-engine lowering equivalence against the control store.
+    Lowering,
 }
 
 impl fmt::Display for Pass {
@@ -84,6 +103,8 @@ impl fmt::Display for Pass {
             Pass::Dataflow => f.write_str("dataflow"),
             Pass::Transparency => f.write_str("transparency"),
             Pass::Svx => f.write_str("svx"),
+            Pass::Cost => f.write_str("cost"),
+            Pass::Lowering => f.write_str("lowering"),
         }
     }
 }
@@ -134,18 +155,20 @@ pub fn error_count(findings: &[Finding]) -> usize {
 
 /// The composed control-store verifier.
 pub mod lint {
-    use super::{dataflow, structural, transparency, Finding};
+    use super::{cost, dataflow, lowering, structural, transparency, Finding};
     use atum_ucode::ControlStore;
 
-    /// Runs every control-store pass — structural, dataflow and (when
-    /// hooks are installed) transparency — and returns the combined
-    /// findings sorted by micro-address. SVX images are linted
-    /// separately through [`crate::svx::check_image`], since they are
-    /// not part of the control store.
+    /// Runs every control-store pass — structural, dataflow, cost,
+    /// lowering-equivalence and (when hooks are installed) transparency
+    /// — and returns the combined findings sorted by micro-address. SVX
+    /// images are linted separately through [`crate::svx::check_image`],
+    /// since they are not part of the control store.
     pub fn run(cs: &ControlStore) -> Vec<Finding> {
         let mut out = structural::check(cs);
         out.extend(dataflow::check(cs));
         out.extend(transparency::check(cs));
+        out.extend(cost::check(cs));
+        out.extend(lowering::check(cs));
         out.sort_by_key(|f| (f.addr, f.pass as u8));
         out
     }

@@ -52,9 +52,23 @@ const SPILL_LINE_BYTES: i64 = 32;
 /// shallow; anything deeper is a runaway).
 const MAX_CALL_DEPTH: usize = 8;
 
+/// Which patchable slot a hook occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HookSlot {
+    /// An entry-table slot.
+    Entry(Entry),
+    /// An opcode-dispatch slot.
+    Opcode(u8),
+    /// A specifier-dispatch slot (table, high nibble).
+    Spec(atum_ucode::SpecTable, u8),
+}
+
 /// An installed hook: a patchable slot re-pointed into the patch region.
 #[derive(Debug, Clone)]
 pub struct Hook {
+    /// The slot, in typed form (the cost pass keys per-reference-class
+    /// weighting off this).
+    pub slot: HookSlot,
     /// Human description of the slot (`entry XferRead`, `opcode ldpctx`).
     pub desc: String,
     /// Patch-region address the slot points at.
@@ -78,6 +92,7 @@ pub fn detect_hooks(cs: &ControlStore) -> Vec<Hook> {
         let t = cs.entry(e);
         if t >= stock_len && t < cs.len() {
             out.push(Hook {
+                slot: HookSlot::Entry(e),
                 desc: format!("entry {e:?}"),
                 patch_addr: t,
                 expected: cs.symbol(e.symbol()),
@@ -100,6 +115,7 @@ pub fn detect_hooks(cs: &ControlStore) -> Vec<Hook> {
                 None => (Some(cs.fault_addr()), "<reserved-instruction fault>".into()),
             };
             out.push(Hook {
+                slot: HookSlot::Opcode(b),
                 desc: format!("opcode {b:#04x}"),
                 patch_addr: t,
                 expected,
@@ -118,6 +134,7 @@ pub fn detect_hooks(cs: &ControlStore) -> Vec<Hook> {
             let t = cs.spec_target(table, nibble);
             if t >= stock_len && t < cs.len() {
                 out.push(Hook {
+                    slot: HookSlot::Spec(table, nibble),
                     desc: format!("spec {table:?}/{nibble:#x}"),
                     patch_addr: t,
                     expected: None,

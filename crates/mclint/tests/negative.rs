@@ -286,6 +286,76 @@ fn patch_setting_condition_codes_is_caught() {
     assert_eq!(f.addr, addr);
 }
 
+// ── negative: seeded bug 7 — hot loop in a patch ─────────────────────
+
+#[test]
+fn hot_loop_patch_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    // Spins on itself with no Halt: the one shape of unbounded added
+    // cost the real buffer-full protocol is careful to avoid.
+    let addr = cs.len();
+    cs.append_routine(
+        "evil.hotloop",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::Jump(Target::Abs(addr)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.hotloop", "hot loop");
+    assert_eq!(f.addr, addr);
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.pass, atum_mclint::Pass::Cost);
+}
+
+// ── negative: seeded bug 8 — unbounded cost via micro-recursion ──────
+
+#[test]
+fn recursive_patch_call_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    let addr = cs.len();
+    cs.append_routine(
+        "evil.recurse",
+        vec![
+            MicroOp::Call(Target::Abs(addr)),
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, addr);
+    let findings = lint::run(&cs);
+    let f = expect_finding(&findings, "evil.recurse", "recursive micro-call");
+    assert_eq!(f.addr, addr);
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.pass, atum_mclint::Pass::Cost);
+}
+
+// ── negative: seeded bug 9 — corrupted fast-engine lowering ──────────
+
+#[test]
+fn corrupted_lowering_is_caught() {
+    use atum_machine::fast::{DecOp, FastImage};
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let mut img = FastImage::build(&cs);
+    // Flip one lowered word inside the logger: the store still proves
+    // transparent, but the engine that actually runs the capture path
+    // would diverge.
+    let addr = cs.symbol("atum.log").unwrap();
+    img.ops[addr as usize] = DecOp::DecodeNext;
+    let findings = atum_mclint::lowering::check_image(&cs, &img);
+    let f = expect_finding(&findings, "atum.log", "lowering mismatch");
+    assert_eq!(f.addr, addr);
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.pass, atum_mclint::Pass::Lowering);
+}
+
 // ── error counting for the CLI gate ──────────────────────────────────
 
 #[test]

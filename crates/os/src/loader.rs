@@ -135,7 +135,8 @@ impl BootImage {
     /// image was built for.
     pub fn load_into(&self, m: &mut Machine) -> Result<(), BootError> {
         for (pa, bytes) in &self.writes {
-            m.write_phys(*pa, bytes).map_err(BootError::Load)?;
+            m.write_phys(*pa, bytes)
+                .map_err(|e| BootError::Load(e.to_string()))?;
         }
         m.write_prv(PrivReg::Scbb, SCB_PHYS);
         m.write_prv(PrivReg::Sbr, SYS_PT_PHYS);

@@ -1,0 +1,86 @@
+//! The micro-cycle cost model, shared by the execution engines and the
+//! static cost pass in `atum-mclint`.
+//!
+//! The model mirrors a vertical micro-engine with a one-cycle datapath:
+//! every micro-op spends [`BASE`] cycle at dispatch, memory transfers
+//! (`Read`/`Write`/`PhysRead`/`PhysWrite`) spend [`MEM_EXTRA`] more in the
+//! memory interface, and each page-table-entry read performed by address
+//! translation adds [`PTE_READ`] on top of the op that triggered the walk.
+//!
+//! Both engines in `atum-machine` (the reference interpreter and the
+//! predecoded fast engine) charge cycles exclusively through these
+//! constants, and `atum-mclint`'s cost pass sums [`op_cost`] over
+//! control-store paths — so a static bound proved by the lint is a bound
+//! on what the engines actually report, with translation walks as the only
+//! dynamic (per-walk, not per-path) term.
+
+use crate::uop::MicroOp;
+
+/// Cycles charged at dispatch for every micro-op.
+pub const BASE: u64 = 1;
+
+/// Additional cycles charged by the memory interface for each
+/// `Read`/`Write`/`PhysRead`/`PhysWrite` micro-op.
+pub const MEM_EXTRA: u64 = 1;
+
+/// Cycles charged per page-table-entry read during address translation
+/// (on top of the memory micro-op that required the walk).
+pub const PTE_READ: u64 = 2;
+
+/// Whether a micro-op touches the memory interface (and therefore costs
+/// [`MEM_EXTRA`] beyond [`BASE`]).
+pub fn is_mem_op(op: &MicroOp) -> bool {
+    matches!(
+        op,
+        MicroOp::Read { .. } | MicroOp::Write { .. } | MicroOp::PhysRead | MicroOp::PhysWrite
+    )
+}
+
+/// The translation-independent cost of one micro-op: [`BASE`], plus
+/// [`MEM_EXTRA`] for memory transfers. PTE-walk cycles are a dynamic
+/// property of the TLB state and are *not* included; static analysis must
+/// account for them separately (or bound them by the worst-case walk).
+pub fn op_cost(op: &MicroOp) -> u64 {
+    BASE + if is_mem_op(op) { MEM_EXTRA } else { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uop::{MicroReg, RefClass, SizeSel, Target};
+
+    #[test]
+    fn mem_ops_cost_two_cycles() {
+        assert_eq!(
+            op_cost(&MicroOp::Read {
+                class: RefClass::DataRead,
+                size: SizeSel::OSize,
+            }),
+            BASE + MEM_EXTRA
+        );
+        assert_eq!(
+            op_cost(&MicroOp::Write {
+                size: SizeSel::OSize
+            }),
+            2
+        );
+        assert_eq!(op_cost(&MicroOp::PhysRead), 2);
+        assert_eq!(op_cost(&MicroOp::PhysWrite), 2);
+    }
+
+    #[test]
+    fn non_mem_ops_cost_one_cycle() {
+        for op in [
+            MicroOp::Mov {
+                src: MicroReg::T(0),
+                dst: MicroReg::T(1),
+            },
+            MicroOp::Jump(Target::Abs(0)),
+            MicroOp::Ret,
+            MicroOp::DecodeNext,
+            MicroOp::Halt,
+        ] {
+            assert_eq!(op_cost(&op), BASE, "{op:?}");
+        }
+    }
+}
