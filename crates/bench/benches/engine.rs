@@ -4,7 +4,7 @@
 //! build times.
 
 use atum_core::{PatchStyle, Tracer};
-use atum_machine::{Machine, MemLayout};
+use atum_machine::{EngineTier, Machine, MemLayout};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
 fn bench_program() -> atum_asm::Image {
@@ -69,15 +69,23 @@ fn engine_throughput(c: &mut Criterion) {
     g.finish();
 }
 
-/// Fast-engine vs reference-engine capture rates, written machine-readably
-/// to `BENCH_capture.json` at the workspace root. Trials are interleaved
-/// fast/reference and best-of so host-speed drift cancels in the ratio —
-/// the speedup, not the absolute rate, is the pinned result.
+/// Per-tier capture rates (reference vs fast vs superblock), written
+/// machine-readably to `BENCH_capture.json` at the workspace root.
+/// Trials are interleaved across the tiers and best-of so host-speed
+/// drift cancels in the ratios — the speedups, not the absolute rates,
+/// are the pinned result. `mculist cost` gates on this file: every
+/// traced slowdown must sit inside the static envelope, and the
+/// superblock rate must not regress below the fast-engine rate.
 fn capture_rates(_c: &mut Criterion) {
     if !criterion::filter_matches("engine/capture_rates") {
         return;
     }
     const ROUNDS: usize = 10;
+    const TIERS: [EngineTier; 3] = [
+        EngineTier::Reference,
+        EngineTier::Fast,
+        EngineTier::Superblock,
+    ];
     let img = bench_program();
     let load = |style: Option<PatchStyle>| {
         let mut m = loaded_machine(&img);
@@ -96,29 +104,36 @@ fn capture_rates(_c: &mut Criterion) {
         let mut probe = load(style);
         probe.run(u64::MAX);
         let insns = probe.insns();
-        let mut best = [f64::MAX; 2];
+        let mut best = [f64::MAX; 3];
         for _ in 0..ROUNDS {
-            for (i, reference) in [(0, false), (1, true)] {
+            for (i, &tier) in TIERS.iter().enumerate() {
                 let mut m = load(style);
-                m.set_reference_engine(reference);
+                m.set_engine_tier(tier);
                 let t0 = std::time::Instant::now();
                 m.run(u64::MAX);
                 best[i] = best[i].min(t0.elapsed().as_secs_f64());
             }
         }
-        let fast = insns as f64 / best[0];
-        let reference = insns as f64 / best[1];
+        let reference = insns as f64 / best[0];
+        let fast = insns as f64 / best[1];
+        let superblock = insns as f64 / best[2];
         println!(
-            "bench engine/capture_rates/{name}: fast {fast:.3e} insn/s  \
-             reference {reference:.3e} insn/s  speedup {:.2}x",
-            fast / reference
+            "bench engine/capture_rates/{name}: reference {reference:.3e} insn/s  \
+             fast {fast:.3e} insn/s ({:.2}x)  superblock {superblock:.3e} insn/s \
+             ({:.2}x, {:.2}x over fast)",
+            fast / reference,
+            superblock / reference,
+            superblock / fast
         );
         entries.push(format!(
             "    \"{name}\": {{\n      \"insns\": {insns},\n      \
              \"fast_insns_per_sec\": {fast:.1},\n      \
+             \"superblock_insns_per_sec\": {superblock:.1},\n      \
              \"reference_insns_per_sec\": {reference:.1},\n      \
-             \"speedup\": {:.3}\n    }}",
-            fast / reference
+             \"speedup\": {:.3},\n      \
+             \"superblock_speedup\": {:.3}\n    }}",
+            fast / reference,
+            superblock / reference
         ));
     }
     let json = format!(

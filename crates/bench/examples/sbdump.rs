@@ -1,0 +1,62 @@
+//! Diagnostic: dump superblock-cache shape after running the bench
+//! workload — block count, element mix, and block sizes.
+
+use atum_core::{PatchStyle, Tracer};
+use atum_machine::fast::DecOp;
+
+fn main() {
+    let w = atum_workloads::list_chase("bench", 256, 4_000);
+    let src = w
+        .source
+        .replace("chmk    #1", "nop")
+        .replace("chmk    #0", "halt");
+    let img = atum_asm::assemble(&format!(".org 0x1000\n{src}\n")).expect("bench program");
+    for (name, style) in [
+        ("untraced", None),
+        ("atum_scratch", Some(PatchStyle::Scratch)),
+    ] {
+        let mut m = atum_machine::Machine::new(atum_machine::MemLayout::small());
+        for (a, b) in img.segments() {
+            m.write_phys(*a, b).unwrap();
+        }
+        m.set_gpr(14, 0x8000);
+        m.set_pc(img.symbol("start").unwrap());
+        if let Some(style) = style {
+            let t = Tracer::attach_with_style(&mut m, style).unwrap();
+            t.set_enabled(&mut m, true);
+        }
+        m.run(u64::MAX);
+        let cache = m.superblock_cache();
+        let mut blocks = 0usize;
+        let mut elems = 0usize;
+        let mut pures = 0usize;
+        let mut guards = 0usize;
+        let mut mems = 0usize;
+        let mut bounds = 0usize;
+        let mut cyc = 0u64;
+        for b in cache.blocks() {
+            blocks += 1;
+            cyc += b.static_cycles();
+            for s in &b.ops {
+                elems += 1;
+                match &s.op {
+                    DecOp::JumpUZero(_)
+                    | DecOp::JumpUNotZero(_)
+                    | DecOp::JumpRegNumIsPc(_)
+                    | DecOp::JumpIf { .. } => guards += 1,
+                    DecOp::Read { .. }
+                    | DecOp::Write { .. }
+                    | DecOp::PhysRead
+                    | DecOp::PhysWrite => mems += 1,
+                    DecOp::DecodeNext => bounds += 1,
+                    DecOp::Call(_) | DecOp::Ret => {}
+                    _ => pures += 1,
+                }
+            }
+        }
+        println!(
+            "{name:<14} blocks {blocks:>4}  elems {elems:>5} ({:.1}/block)  pure {pures:>4}  guards {guards:>4}  mem {mems:>4}  boundaries {bounds}  static cycles {cyc}",
+            elems as f64 / blocks.max(1) as f64,
+        );
+    }
+}

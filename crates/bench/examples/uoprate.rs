@@ -1,9 +1,10 @@
-//! Quick engine-throughput probe: fast vs reference interpreter on the
-//! untraced and ATUM-patched bench workloads. Trials are interleaved so
-//! host-speed drift hits both engines equally; the ratio is the number
-//! to watch.
+//! Quick engine-throughput probe: superblock vs fast vs reference
+//! interpreter on the untraced and ATUM-patched bench workloads. Trials
+//! are interleaved so host-speed drift hits all tiers equally; the
+//! ratios are the numbers to watch.
 
 use atum_core::{PatchStyle, Tracer};
+use atum_machine::EngineTier;
 
 fn main() {
     let w = atum_workloads::list_chase("bench", 256, 4_000);
@@ -25,6 +26,11 @@ fn main() {
         }
         m
     };
+    const TIERS: [EngineTier; 3] = [
+        EngineTier::Superblock,
+        EngineTier::Fast,
+        EngineTier::Reference,
+    ];
     for (name, style) in [
         ("untraced", None),
         ("atum_scratch", Some(PatchStyle::Scratch)),
@@ -32,23 +38,25 @@ fn main() {
     ] {
         let mut probe = load(style);
         probe.run(u64::MAX);
-        let mut best = [f64::MAX; 2];
+        let mut best = [f64::MAX; 3];
         for _ in 0..8 {
-            for (i, reference) in [(0, false), (1, true)] {
+            for (i, tier) in TIERS.iter().enumerate() {
                 let mut m = load(style);
-                m.set_reference_engine(reference);
+                m.set_engine_tier(*tier);
                 let t0 = std::time::Instant::now();
                 m.run(u64::MAX);
                 best[i] = best[i].min(t0.elapsed().as_secs_f64());
             }
         }
         println!(
-            "{name:<14} {:>8} insns {:>9} cycles  fast {:>7.3}ms ({:.1} ns/uop)  ref {:>7.3}ms  speedup {:.2}x",
+            "{name:<14} {:>8} insns {:>9} cycles  sb {:>7.3}ms ({:.1} ns/uop)  fast {:>7.3}ms  ref {:>7.3}ms  sb/ref {:.2}x  sb/fast {:.2}x",
             probe.insns(),
             probe.cycles(),
             best[0] * 1e3,
             best[0] / probe.cycles() as f64 * 1e9,
             best[1] * 1e3,
+            best[2] * 1e3,
+            best[2] / best[0],
             best[1] / best[0]
         );
     }

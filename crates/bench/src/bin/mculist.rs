@@ -55,11 +55,16 @@ fn main() -> ExitCode {
             }
         }
         // The deterministic half of `cost` alone (no BENCH_capture.json
-        // comparison): what the golden test pins, and how to regenerate
-        // `crates/bench/tests/golden/cost.txt`.
+        // comparison): what the golden tests pin, and how to regenerate
+        // `crates/bench/tests/golden/cost.txt` (text) and
+        // `crates/bench/tests/golden/cost.json` (`--format json`).
         "cost-static" => {
             let c = cost_report();
-            print!("{}", c.static_report);
+            if json {
+                print!("{}", c.json_static);
+            } else {
+                print!("{}", c.static_report);
+            }
             if c.findings > 0 {
                 return ExitCode::FAILURE;
             }

@@ -1,19 +1,35 @@
-//! Differential fast-vs-reference engine suite.
+//! Three-way differential engine suite: reference vs fast vs
+//! superblock.
 //!
-//! The predecoded fast engine (`crates/machine/src/fast.rs`) must be
-//! observationally identical to the word-at-a-time reference
-//! interpreter — same architectural state, same microcycle counts, same
-//! trace bytes. This suite runs randomized programs on both engines in
-//! lockstep and compares them at **every instruction boundary**, both
-//! untraced and under each ATUM patch style (where the trace-buffer
-//! bytes are compared raw, exactly as the microcode wrote them).
+//! The predecoded fast engine (`crates/machine/src/fast.rs`) and the
+//! traced-superblock tier stacked on it
+//! (`crates/machine/src/superblock.rs`) must both be observationally
+//! identical to the word-at-a-time reference interpreter — same
+//! architectural state, same microcycle counts, same trace bytes. This
+//! suite runs randomized programs on all three tiers in lockstep and
+//! compares them at **every instruction boundary**, both untraced and
+//! under each ATUM patch style (where the trace-buffer bytes are
+//! compared raw, exactly as the microcode wrote them).
+//!
+//! Lockstepping at single-instruction granularity is itself part of the
+//! point for the superblock tier: it exercises the insn-target exit in
+//! the middle of chained blocks, while the block cache keeps heating
+//! and forming across steps.
 
 use atum_core::PatchStyle;
-use atum_machine::{Machine, MemLayout, RunExit};
+use atum_machine::{EngineTier, Machine, MemLayout, RunExit};
 use proptest::prelude::*;
 
 const ORG: u32 = 0x1000;
 const SCRATCH: u32 = 0x4000;
+
+/// The tiers under test, with the reference interpreter first as the
+/// baseline the other two are diffed against.
+const TIERS: [EngineTier; 3] = [
+    EngineTier::Reference,
+    EngineTier::Fast,
+    EngineTier::Superblock,
+];
 
 fn reg() -> impl Strategy<Value = String> {
     (0u8..10).prop_map(|r| format!("r{r}"))
@@ -138,14 +154,14 @@ fn program() -> impl Strategy<Value = String> {
 
 /// Loads a machine with the program, optionally attaching an enabled
 /// tracer with the given patch style.
-fn load(img: &atum_asm::Image, style: Option<PatchStyle>, reference: bool) -> Machine {
+fn load(img: &atum_asm::Image, style: Option<PatchStyle>, tier: EngineTier) -> Machine {
     let mut m = Machine::new(MemLayout::small());
     for (a, b) in img.segments() {
         m.write_phys(*a, b).unwrap();
     }
     m.set_gpr(14, 0x8000);
     m.set_pc(ORG);
-    m.set_reference_engine(reference);
+    m.set_engine_tier(tier);
     if let Some(style) = style {
         let t = atum_core::Tracer::attach_with_style(&mut m, style).unwrap();
         t.set_enabled(&mut m, true);
@@ -160,77 +176,98 @@ fn trace_bytes(m: &Machine) -> Vec<u8> {
     m.read_phys(base, ptr.saturating_sub(base)).unwrap()
 }
 
-/// Runs both engines one instruction at a time, comparing everything
-/// observable at each boundary. Returns the failure case, if any.
+/// Runs all three tiers one instruction at a time, comparing everything
+/// observable at each boundary against the reference interpreter.
+/// Returns the failure case, if any.
 fn lockstep(src: &str, style: Option<PatchStyle>) -> Result<(), TestCaseError> {
     let full = format!(".org {ORG:#x}\n{src}\n");
     let img = atum_asm::assemble(&full).expect("generated program assembles");
-    let mut fast = load(&img, style, false);
-    let mut refm = load(&img, style, true);
+    let mut machines: Vec<Machine> = TIERS.iter().map(|&t| load(&img, style, t)).collect();
     for boundary in 0..200_000u32 {
-        let ef = fast.step_insns(1, 1_000_000);
-        let er = refm.step_insns(1, 1_000_000);
-        prop_assert_eq!(
-            ef,
-            er,
-            "exit differs at boundary {} after:\n{}",
-            boundary,
-            src
-        );
-        prop_assert_eq!(
-            fast.cycles(),
-            refm.cycles(),
-            "microcycle count differs at boundary {} after:\n{}",
-            boundary,
-            src
-        );
-        prop_assert_eq!(fast.insns(), refm.insns(), "insn count differs:\n{}", src);
-        for r in 0..16u8 {
+        let exits: Vec<Option<RunExit>> = machines
+            .iter_mut()
+            .map(|m| m.step_insns(1, 1_000_000))
+            .collect();
+        let (refm, rest) = machines.split_first().unwrap();
+        for (m, (&tier, exit)) in rest.iter().zip(TIERS[1..].iter().zip(&exits[1..])) {
             prop_assert_eq!(
-                fast.gpr(r),
-                refm.gpr(r),
-                "r{} differs at boundary {} after:\n{}",
-                r,
+                *exit,
+                exits[0],
+                "{:?}: exit differs at boundary {} after:\n{}",
+                tier,
                 boundary,
                 src
             );
-        }
-        prop_assert_eq!(
-            fast.psl(),
-            refm.psl(),
-            "PSL differs at boundary {} after:\n{}",
-            boundary,
-            src
-        );
-        prop_assert_eq!(
-            fast.counts(),
-            refm.counts(),
-            "ref counts differ at boundary {} after:\n{}",
-            boundary,
-            src
-        );
-        if style.is_some() {
             prop_assert_eq!(
-                trace_bytes(&fast),
-                trace_bytes(&refm),
-                "trace bytes differ at boundary {} after:\n{}",
+                m.cycles(),
+                refm.cycles(),
+                "{:?}: microcycle count differs at boundary {} after:\n{}",
+                tier,
                 boundary,
                 src
             );
+            prop_assert_eq!(
+                m.insns(),
+                refm.insns(),
+                "{:?}: insn count differs:\n{}",
+                tier,
+                src
+            );
+            for r in 0..16u8 {
+                prop_assert_eq!(
+                    m.gpr(r),
+                    refm.gpr(r),
+                    "{:?}: r{} differs at boundary {} after:\n{}",
+                    tier,
+                    r,
+                    boundary,
+                    src
+                );
+            }
+            prop_assert_eq!(
+                m.psl(),
+                refm.psl(),
+                "{:?}: PSL differs at boundary {} after:\n{}",
+                tier,
+                boundary,
+                src
+            );
+            prop_assert_eq!(
+                m.counts(),
+                refm.counts(),
+                "{:?}: ref counts differ at boundary {} after:\n{}",
+                tier,
+                boundary,
+                src
+            );
+            if style.is_some() {
+                prop_assert_eq!(
+                    trace_bytes(m),
+                    trace_bytes(refm),
+                    "{:?}: trace bytes differ at boundary {} after:\n{}",
+                    tier,
+                    boundary,
+                    src
+                );
+            }
         }
-        match ef {
+        match exits[0] {
             None => continue,
             Some(RunExit::Halted) => break,
             Some(other) => panic!("unexpected exit {other:?} after:\n{src}"),
         }
     }
     // Scratch memory must match too.
-    prop_assert_eq!(
-        fast.read_phys(SCRATCH, 128).unwrap(),
-        refm.read_phys(SCRATCH, 128).unwrap(),
-        "scratch memory differs after:\n{}",
-        src
-    );
+    let (refm, rest) = machines.split_first().unwrap();
+    for (m, &tier) in rest.iter().zip(&TIERS[1..]) {
+        prop_assert_eq!(
+            m.read_phys(SCRATCH, 128).unwrap(),
+            refm.read_phys(SCRATCH, 128).unwrap(),
+            "{:?}: scratch memory differs after:\n{}",
+            tier,
+            src
+        );
+    }
     Ok(())
 }
 
@@ -254,8 +291,9 @@ proptest! {
 }
 
 /// The bench workload (pointer-chasing with ATUM attached) run in
-/// lockstep chunks — a deterministic deep case covering the exact
-/// capture path the benchmarks measure.
+/// lockstep chunks across all three tiers — a deterministic deep case
+/// covering the exact capture path the benchmarks measure, with runs
+/// long enough for the superblock cache to heat up and dispatch blocks.
 #[test]
 fn bench_workload_lockstep() {
     let w = atum_workloads::list_chase("bench", 64, 500);
@@ -265,27 +303,40 @@ fn bench_workload_lockstep() {
         .replace("chmk    #0", "halt");
     let img = atum_asm::assemble(&format!(".org {ORG:#x}\n{src}\n")).expect("bench program");
     for style in [None, Some(PatchStyle::Scratch), Some(PatchStyle::Spill)] {
-        let mut fast = load(&img, style, false);
-        let mut refm = load(&img, style, true);
-        fast.set_pc(img.symbol("start").unwrap());
-        refm.set_pc(img.symbol("start").unwrap());
+        let mut machines: Vec<Machine> = TIERS.iter().map(|&t| load(&img, style, t)).collect();
+        for m in &mut machines {
+            m.set_pc(img.symbol("start").unwrap());
+        }
         loop {
-            let ef = fast.step_insns(64, 10_000_000);
-            let er = refm.step_insns(64, 10_000_000);
-            assert_eq!(ef, er, "{style:?}: exit differs");
-            assert_eq!(fast.cycles(), refm.cycles(), "{style:?}: cycles differ");
-            assert_eq!(fast.insns(), refm.insns(), "{style:?}: insns differ");
-            for r in 0..16u8 {
-                assert_eq!(fast.gpr(r), refm.gpr(r), "{style:?}: r{r} differs");
+            let exits: Vec<Option<RunExit>> = machines
+                .iter_mut()
+                .map(|m| m.step_insns(64, 10_000_000))
+                .collect();
+            let (refm, rest) = machines.split_first().unwrap();
+            for (m, (&tier, exit)) in rest.iter().zip(TIERS[1..].iter().zip(&exits[1..])) {
+                assert_eq!(*exit, exits[0], "{style:?}/{tier:?}: exit differs");
+                assert_eq!(
+                    m.cycles(),
+                    refm.cycles(),
+                    "{style:?}/{tier:?}: cycles differ"
+                );
+                assert_eq!(m.insns(), refm.insns(), "{style:?}/{tier:?}: insns differ");
+                for r in 0..16u8 {
+                    assert_eq!(m.gpr(r), refm.gpr(r), "{style:?}/{tier:?}: r{r} differs");
+                }
+                assert_eq!(m.psl(), refm.psl(), "{style:?}/{tier:?}: PSL differs");
+                assert_eq!(
+                    m.counts(),
+                    refm.counts(),
+                    "{style:?}/{tier:?}: counts differ"
+                );
+                assert_eq!(
+                    trace_bytes(m),
+                    trace_bytes(refm),
+                    "{style:?}/{tier:?}: trace bytes differ"
+                );
             }
-            assert_eq!(fast.psl(), refm.psl(), "{style:?}: PSL differs");
-            assert_eq!(fast.counts(), refm.counts(), "{style:?}: counts differ");
-            assert_eq!(
-                trace_bytes(&fast),
-                trace_bytes(&refm),
-                "{style:?}: trace bytes differ"
-            );
-            match ef {
+            match exits[0] {
                 None => continue,
                 Some(RunExit::Halted) => break,
                 Some(other) => panic!("{style:?}: unexpected exit {other:?}"),

@@ -29,6 +29,24 @@ fn mculist_cost_static_output_matches_golden_file() {
     );
 }
 
+/// Pins the machine-readable form of the same deterministic half
+/// (`cost-static --format json`) — what downstream tooling parses, with
+/// the superblock tier's per-tier added-cycle agreement included.
+/// Regenerate deliberately with
+/// `cargo run -p atum-bench --bin mculist -- cost-static --format json > crates/bench/tests/golden/cost.json`.
+#[test]
+fn mculist_cost_static_json_matches_golden_file() {
+    let expected = include_str!("golden/cost.json");
+    let actual = cost_report().json_static;
+    assert!(
+        actual == expected,
+        "`mculist cost-static --format json` output drifted from tests/golden/cost.json.\n\
+         If the change is intentional, regenerate the golden file:\n\
+         cargo run -p atum-bench --bin mculist -- cost-static --format json > crates/bench/tests/golden/cost.json\n\
+         \n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
 #[test]
 fn mculist_patches_output_matches_golden_file() {
     let expected = include_str!("golden/patches.txt");

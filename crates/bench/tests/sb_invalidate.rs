@@ -1,0 +1,205 @@
+//! Superblock-cache invalidation proptest.
+//!
+//! The traced-superblock tier caches stitched blocks keyed on the
+//! control-store version and a TB-event epoch. This suite drives
+//! randomized interleavings of the events that must invalidate (or must
+//! not corrupt) that cache — control-store patches (version bumps),
+//! `TBIA`/`TBIS` flushes, mapping-register writes, trace-enable
+//! toggles — against a superblock-tier machine and a reference-tier
+//! twin receiving the identical event stream. After every event the
+//! full observable state is compared: a stale block executing even once
+//! would diverge the cycle count, a register, or the trace bytes.
+//!
+//! As a second line of proof, each case ends by diffing the live block
+//! cache against the final control store with the mclint `superblock`
+//! pass: whatever survived the event stream must be re-derivable from
+//! the current microcode, at the current version.
+
+use atum_arch::PrivReg;
+use atum_core::{PatchStyle, Tracer};
+use atum_machine::{EngineTier, Machine, MemLayout};
+use atum_ucode::MicroOp;
+use proptest::prelude::*;
+
+const ORG: u32 = 0x1000;
+
+/// One step of the randomized interleaving.
+#[derive(Debug, Clone)]
+enum Event {
+    /// Execute this many instructions on both machines.
+    Step(u16),
+    /// Single-entry TB invalidate (bumps the superblock epoch).
+    Tbis(u32),
+    /// Full TB invalidate (bumps the superblock epoch).
+    Tbia,
+    /// Mapping-register write (base/length registers; bumps the epoch).
+    MapReg(u8, u32),
+    /// Toggle trace capture via `TRCTL` (no invalidation required: the
+    /// patched microcode tests the enable bit at runtime).
+    Toggle(bool),
+    /// Append a padding routine to both control stores — a
+    /// `ControlStore::version()` bump, the same signal a patch install
+    /// or uninstall produces.
+    Patch,
+}
+
+fn event() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        4 => (1u16..150).prop_map(Event::Step),
+        1 => any::<u32>().prop_map(Event::Tbis),
+        1 => Just(Event::Tbia),
+        1 => (0u8..6, any::<u32>()).prop_map(|(r, v)| Event::MapReg(r, v)),
+        1 => any::<bool>().prop_map(Event::Toggle),
+        1 => Just(Event::Patch),
+    ]
+}
+
+/// The mapping registers an event may write. All are harmless while
+/// mapping stays disabled, but every write must bump the epoch.
+const MAP_REGS: [PrivReg; 6] = [
+    PrivReg::P0br,
+    PrivReg::P0lr,
+    PrivReg::P1br,
+    PrivReg::P1lr,
+    PrivReg::Sbr,
+    PrivReg::Slr,
+];
+
+fn load(style: Option<PatchStyle>, tier: EngineTier) -> (Machine, Option<Tracer>) {
+    // A long pointer-chase: enough iterations that no randomized event
+    // stream reaches the final halt, so every step executes real code.
+    let w = atum_workloads::list_chase("bench", 64, 1_000_000);
+    let src = w
+        .source
+        .replace("chmk    #1", "nop")
+        .replace("chmk    #0", "halt");
+    let img = atum_asm::assemble(&format!(".org {ORG:#x}\n{src}\n")).expect("bench program");
+    let mut m = Machine::new(MemLayout::small());
+    for (a, b) in img.segments() {
+        m.write_phys(*a, b).unwrap();
+    }
+    m.set_gpr(14, 0x8000);
+    m.set_pc(img.symbol("start").unwrap());
+    m.set_engine_tier(tier);
+    let t = style.map(|style| {
+        let t = Tracer::attach_with_style(&mut m, style).unwrap();
+        t.set_enabled(&mut m, true);
+        t
+    });
+    (m, t)
+}
+
+fn trace_bytes(m: &Machine) -> Vec<u8> {
+    let base = m.read_prv(PrivReg::Trbase);
+    let ptr = m.read_prv(PrivReg::Trptr);
+    m.read_phys(base, ptr.saturating_sub(base)).unwrap()
+}
+
+fn assert_same(sb: &Machine, refm: &Machine, at: usize) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        sb.cycles(),
+        refm.cycles(),
+        "cycles differ after event {}",
+        at
+    );
+    prop_assert_eq!(sb.insns(), refm.insns(), "insns differ after event {}", at);
+    for r in 0..16u8 {
+        prop_assert_eq!(sb.gpr(r), refm.gpr(r), "r{} differs after event {}", r, at);
+    }
+    prop_assert_eq!(sb.psl(), refm.psl(), "PSL differs after event {}", at);
+    prop_assert_eq!(
+        sb.counts(),
+        refm.counts(),
+        "counts differ after event {}",
+        at
+    );
+    prop_assert_eq!(
+        trace_bytes(sb),
+        trace_bytes(refm),
+        "trace bytes differ after event {}",
+        at
+    );
+    Ok(())
+}
+
+fn interleave(style: Option<PatchStyle>, events: &[Event]) -> Result<(), TestCaseError> {
+    let (mut sb, sb_t) = load(style, EngineTier::Superblock);
+    let (mut refm, ref_t) = load(style, EngineTier::Reference);
+    let mut patches = 0u32;
+    for (at, ev) in events.iter().enumerate() {
+        match ev {
+            Event::Step(n) => {
+                let es = sb.step_insns(*n as u64, u64::MAX);
+                let er = refm.step_insns(*n as u64, u64::MAX);
+                prop_assert_eq!(es, er, "exit differs after event {}", at);
+            }
+            Event::Tbis(va) => {
+                sb.write_prv(PrivReg::Tbis, *va);
+                refm.write_prv(PrivReg::Tbis, *va);
+            }
+            Event::Tbia => {
+                sb.write_prv(PrivReg::Tbia, 0);
+                refm.write_prv(PrivReg::Tbia, 0);
+            }
+            Event::MapReg(r, v) => {
+                let reg = MAP_REGS[*r as usize % MAP_REGS.len()];
+                sb.write_prv(reg, *v);
+                refm.write_prv(reg, *v);
+            }
+            Event::Toggle(on) => {
+                if let (Some(ts), Some(tr)) = (&sb_t, &ref_t) {
+                    ts.set_enabled(&mut sb, *on);
+                    tr.set_enabled(&mut refm, *on);
+                }
+            }
+            Event::Patch => {
+                patches += 1;
+                let name = format!("pad.{patches}");
+                sb.control_store_mut()
+                    .append_routine(&name, vec![MicroOp::Halt]);
+                refm.control_store_mut()
+                    .append_routine(&name, vec![MicroOp::Halt]);
+            }
+        }
+        assert_same(&sb, &refm, at)?;
+    }
+    // Drain a final stretch so late invalidations get re-executed over.
+    let es = sb.step_insns(300, u64::MAX);
+    let er = refm.step_insns(300, u64::MAX);
+    prop_assert_eq!(es, er, "final exit differs");
+    assert_same(&sb, &refm, events.len())?;
+    // Whatever blocks survived must re-derive cleanly from the final
+    // store at the final version — the static half of the proof.
+    let version = sb.superblock_cache().version();
+    let blocks: Vec<_> = sb.superblock_cache().blocks().cloned().collect();
+    let findings = atum_mclint::superblock::check_blocks(sb.control_store(), version, &blocks);
+    prop_assert!(
+        findings.is_empty(),
+        "live cache fails re-derivation:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn invalidation_untraced(events in proptest::collection::vec(event(), 1..24)) {
+        interleave(None, &events)?;
+    }
+
+    #[test]
+    fn invalidation_scratch_patch(events in proptest::collection::vec(event(), 1..24)) {
+        interleave(Some(PatchStyle::Scratch), &events)?;
+    }
+
+    #[test]
+    fn invalidation_spill_patch(events in proptest::collection::vec(event(), 1..24)) {
+        interleave(Some(PatchStyle::Spill), &events)?;
+    }
+}

@@ -38,15 +38,59 @@ pub mod fast;
 mod mem;
 mod mmu;
 pub mod regs;
+pub mod superblock;
 
 pub use engine::{RefCounts, RunExit};
 pub use fast::FastImage;
 pub use mem::{MemError, MemLayout, PhysMemory};
 pub use mmu::{Tlb, TlbStats};
 pub use regs::{PrvFile, RegFile};
+pub use superblock::{SbCache, SbOp, Superblock};
+
+/// Which interpreter drives [`Machine::run`] / [`Machine::step_insns`].
+/// All three tiers produce identical architectural state, traces,
+/// counters and microcycle counts (the three-way differential suite in
+/// `atum-bench` pins this); they differ only in host throughput.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EngineTier {
+    /// The word-at-a-time reference interpreter — slow, obviously
+    /// correct, kept as the oracle.
+    Reference,
+    /// The predecoded per-op fast engine (PR 4).
+    Fast,
+    /// The fast engine plus the traced-superblock tier: hot micro-paths
+    /// are stitched into whole-block dispatches (see
+    /// [`superblock`]).
+    #[default]
+    Superblock,
+}
 
 use atum_arch::{CpuMode, Gpr, PrivReg, Psl};
 use atum_ucode::{stock, ControlStore, Entry};
+
+/// Process-global default [`EngineTier`] for newly created machines
+/// (`2` = [`EngineTier::Superblock`], the enum's default).
+static DEFAULT_TIER: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(2);
+
+/// Sets the [`EngineTier`] every subsequently created [`Machine`] starts
+/// on. Harnesses that build machines deep inside a pipeline (the
+/// experiment runner in `atum-analysis`) can be tier-toggled wholesale
+/// with this — the tier byte-identity suite runs the quick-scale
+/// experiments under every tier and asserts identical output. Existing
+/// machines are unaffected; use [`Machine::set_engine_tier`] for those.
+pub fn set_default_engine_tier(tier: EngineTier) {
+    DEFAULT_TIER.store(tier as u8, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The tier newly created machines start on (see
+/// [`set_default_engine_tier`]).
+pub fn default_engine_tier() -> EngineTier {
+    match DEFAULT_TIER.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => EngineTier::Reference,
+        1 => EngineTier::Fast,
+        _ => EngineTier::Superblock,
+    }
+}
 
 /// The machine: control store, datapath state, memory, MMU and devices.
 #[derive(Debug)]
@@ -77,9 +121,16 @@ pub struct Machine {
     pub(crate) fast: fast::FastImage,
     /// Translation micro-cache fronting the TB on the fast path.
     pub(crate) xc: mmu::XlateCache,
-    /// When set, `run`/`step_insns` use the word-at-a-time reference
-    /// interpreter instead of the predecoded fast engine.
-    pub(crate) reference_engine: bool,
+    /// Which interpreter `run`/`step_insns` use.
+    pub(crate) tier: EngineTier,
+    /// Superblock cache for the superblock tier (keyed on the store
+    /// version and `sb_epoch`; see [`superblock::SbCache`]).
+    pub(crate) sblocks: superblock::SbCache,
+    /// TB/mapping-event epoch: bumped on every translation-structure
+    /// event (TBIA/TBIS writes, `tbflush` micro-ops, base/length/MAPEN
+    /// register writes) so the superblock cache invalidates at exactly
+    /// the points the translation micro-cache flushes.
+    pub(crate) sb_epoch: u64,
 }
 
 impl Machine {
@@ -116,7 +167,9 @@ impl Machine {
             counts: RefCounts::default(),
             fast: fast::FastImage::empty(),
             xc: mmu::XlateCache::new(),
-            reference_engine: false,
+            tier: default_engine_tier(),
+            sblocks: superblock::SbCache::empty(),
+            sb_epoch: 0,
         };
         m.regs.psl = Psl::new();
         m.psl_at_start = m.regs.psl;
@@ -252,8 +305,28 @@ impl Machine {
     /// state, traces, counters and microcycle counts (the differential
     /// suite pins this); the reference path exists as the oracle and for
     /// debugging the fast one.
+    ///
+    /// Kept for PR 4 era callers: `true` selects
+    /// [`EngineTier::Reference`], `false` [`EngineTier::Fast`]. New code
+    /// should use [`Machine::set_engine_tier`].
     pub fn set_reference_engine(&mut self, on: bool) {
-        self.reference_engine = on;
+        self.tier = if on {
+            EngineTier::Reference
+        } else {
+            EngineTier::Fast
+        };
+    }
+
+    /// Selects the execution tier for [`Machine::run`] /
+    /// [`Machine::step_insns`]. Tiers can be switched at any instruction
+    /// boundary; all produce identical results.
+    pub fn set_engine_tier(&mut self, tier: EngineTier) {
+        self.tier = tier;
+    }
+
+    /// The currently selected execution tier.
+    pub fn engine_tier(&self) -> EngineTier {
+        self.tier
     }
 
     /// Rebuilds the predecoded image if the control store has been
@@ -271,6 +344,31 @@ impl Machine {
     pub fn fast_image(&mut self) -> &fast::FastImage {
         self.ensure_fast();
         &self.fast
+    }
+
+    /// Rekeys (and empties) the superblock cache if the control store
+    /// has been mutated since it was last keyed. The TB-event epoch is
+    /// checked lazily at every probe, so it needs no eager handling
+    /// here.
+    pub(crate) fn ensure_superblocks(&mut self) {
+        if self.sblocks.version() != self.cs.version() {
+            self.sblocks.reset(
+                self.cs.version(),
+                self.sb_epoch,
+                self.cs.entry(Entry::Fetch),
+                self.fast.ops.len(),
+            );
+        }
+    }
+
+    /// The superblock cache, rekeyed first if the control store has been
+    /// mutated — the inspection point for external verifiers of the
+    /// superblock stitching (the `superblock` pass in `atum-mclint`
+    /// re-derives every cached block from the micro-words and diffs).
+    pub fn superblock_cache(&mut self) -> &superblock::SbCache {
+        self.ensure_fast();
+        self.ensure_superblocks();
+        &self.sblocks
     }
 
     /// Runs until halt, returning an error on a cycle-limit or fatal exit.

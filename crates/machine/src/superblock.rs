@@ -1,0 +1,518 @@
+//! The traced-superblock tier: straight-line stitches of predecoded
+//! micro-ops, dispatched whole from the fast engine's hot loop.
+//!
+//! The fast engine (see [`crate::fast`]) still pays one dispatch per
+//! [`DecOp`]: a deadline check, a bounds-checked fetch, a micro-PC
+//! increment and a cycle charge around every op. This module stitches
+//! hot micro-paths into **superblocks**: a block starts at a dispatch
+//! target (or another block's exit) once it has been reached
+//! [`HOT_THRESHOLD`] times, and follows the microcode statically —
+//! unconditional jumps are folded away entirely (their cycle cost fused
+//! into the precomputed offsets), matched `call`/`ret` pairs are
+//! followed through, and an instruction boundary (`DecodeNext`)
+//! continues into the fetch routine — until it reaches an op whose
+//! successor cannot be known statically (a dispatch, a halt/fault, a
+//! dynamic privileged-register access).
+//!
+//! The payoff is in the representation: a block is a flat [`SbOp`] list
+//! where every element carries the **raw predecoded op** plus its
+//! control-store address and its **precomputed cumulative cycle cost**
+//! (`cyc`). Keeping the element a plain [`DecOp`] means the block
+//! executor dispatches through a single jump table exactly like the
+//! per-op loop — no second discriminant layer. One fused deadline check
+//! at block entry (`cycles + total_cost <= deadline`, which holds iff
+//! the per-op loop would have executed every charge of the block)
+//! replaces the per-op checks; pure ops then execute back-to-back with
+//! no fetch, no micro-PC tracking and no cycle arithmetic at all, and
+//! the current cycle count is reconstructed as `entry + cyc` only at the
+//! points that observe it (a taken guard, a memory helper, the
+//! boundary). Trace-append patch code is nothing special here — the
+//! hook's moves, adds and `Trptr` update fold into the block like any
+//! other microcode, which is how capture-path tracing gets the same
+//! fused accounting as the stock flow.
+//!
+//! Every op that can redirect the micro-PC becomes a guarded element: a
+//! conditional branch evaluates its condition and, when taken, **exits
+//! the block** back to the probe loop (which re-probes at the target, so
+//! hot micro-loop heads become blocks of their own and blocks chain
+//! without per-op involvement). A deadline that lands mid-block — only
+//! possible when a PTE walk charged cycles beyond the static total —
+//! falls back to the per-op loop at the next element's address with all
+//! accounting already per-op-identical.
+//!
+//! Equivalence is by construction and then proven twice over: the
+//! three-way differential suite in `crates/bench/tests/fast_equiv.rs`
+//! pins it dynamically, and the `superblock` pass in `atum-mclint`
+//! re-derives every cached block from its source micro-words and diffs.
+//!
+//! The cache is keyed on [`ControlStore::version`] exactly like
+//! [`FastImage`], and additionally invalidated on every TB/mapping-
+//! register event the translation micro-cache hooks (`TBIA`/`TBIS`
+//! writes, the `tbflush` micro-ops, base/length/`MAPEN` register writes)
+//! via the machine's superblock epoch counter — the conservative
+//! contract the invalidation proptest in `crates/bench` pins.
+//!
+//! [`ControlStore::version`]: atum_ucode::ControlStore::version
+//! [`FastImage`]: crate::fast::FastImage
+
+use atum_arch::PrivReg;
+use atum_ucode::cost;
+
+use crate::fast::{DecOp, FastImage};
+
+/// How many times a candidate head must be reached at dispatch before a
+/// block is formed there.
+pub const HOT_THRESHOLD: u16 = 16;
+
+/// Profiling-counter sentinel: formation at this head failed (the head op
+/// itself ends a block), never try again.
+const NEVER: u16 = u16::MAX;
+
+/// Cap on total micro-ops walked into one block (elements + folded
+/// jumps).
+pub const MAX_BLOCK_OPS: usize = 512;
+
+/// One element of a superblock: the raw predecoded op, its
+/// control-store address and the cumulative cycle cost of the block
+/// through this element inclusive (counting the [`cost::BASE`] of every
+/// folded unconditional jump executed before it). The address is what
+/// makes exits exact: any fault, guard or fallback mid-block resumes
+/// the per-op loop at a real control-store address with all accounting
+/// per-op-identical.
+///
+/// Only a restricted member set ever appears here:
+///
+/// * pure ops (see the formation filter): no exits, no faults, no
+///   micro-PC effects, cost exactly [`cost::BASE`];
+/// * conditional micro-branches, which act as **guards**: taken ⇒ exit
+///   the block to the branch target, not taken ⇒ fall through to the
+///   next element;
+/// * memory ops ([`DecOp::Read`]/[`DecOp::Write`]/[`DecOp::PhysRead`]/
+///   [`DecOp::PhysWrite`]), which may fault out of the block;
+/// * [`DecOp::Call`] matched by a later [`DecOp::Ret`] in the same
+///   block — formation followed the callee, so the call pushes its
+///   statically known return address (`upc + 1`) and the ret pops it;
+/// * [`DecOp::DecodeNext`], the instruction boundary, followed through
+///   into the fetch routine unless a trap or interrupt redirects the
+///   micro-PC (which exits the block).
+///
+/// Unconditional [`DecOp::Jump`]s never appear: they fold into the
+/// cycle offsets at formation time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SbOp {
+    /// Control-store address of this element.
+    pub upc: u32,
+    /// Cycles charged from block entry through this element, inclusive.
+    pub cyc: u32,
+    /// The predecoded op itself.
+    pub op: DecOp,
+}
+
+/// A formed superblock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblock {
+    /// Control-store address the block starts at.
+    pub head: u32,
+    /// The elements, in execution order (may be empty for a pure folded
+    /// jump chain, which still charges cycles).
+    pub ops: Vec<SbOp>,
+    /// Where the per-op loop resumes after the last element: the address
+    /// of the block-ending op (a dispatch, halt, fault, …) the block
+    /// does not subsume.
+    pub exit_upc: u32,
+    /// Total static cycle charge of a full guard-free pass, including
+    /// every folded jump (trailing ones too) and the memory surcharge of
+    /// the memory elements — everything except data-dependent PTE-walk
+    /// charges. Always ≥ 1.
+    pub total_cost: u32,
+}
+
+/// Whether a constant privileged-register write is free of engine side
+/// effects (no timer arming, no console, no translation structures) and
+/// so can live inside a superblock as a pure op. Mirrors the fast
+/// engine's `write_prv_plain` set.
+pub fn plain_prv(reg: PrivReg) -> bool {
+    matches!(
+        reg,
+        PrivReg::Ksp
+            | PrivReg::Usp
+            | PrivReg::Pcbb
+            | PrivReg::Scbb
+            | PrivReg::Trctl
+            | PrivReg::Trbase
+            | PrivReg::Trptr
+            | PrivReg::Trlim
+    )
+}
+
+/// Whether a predecoded op is pure for superblock purposes: it cannot
+/// exit, fault, or move the micro-PC, and costs exactly [`cost::BASE`].
+fn pure_op(op: &DecOp) -> bool {
+    match op {
+        DecOp::MovSS { .. }
+        | DecOp::MovIS { .. }
+        | DecOp::MovGIS { .. }
+        | DecOp::MovSGI { .. }
+        | DecOp::MovSMF { .. }
+        | DecOp::MovSG { .. }
+        | DecOp::AluSS { .. }
+        | DecOp::AluIS { .. }
+        | DecOp::AluSI { .. }
+        | DecOp::Mov { .. }
+        | DecOp::MovID { .. }
+        | DecOp::Alu { .. }
+        | DecOp::AluID { .. }
+        | DecOp::AluDI { .. }
+        | DecOp::AluConst { .. }
+        | DecOp::SetSize(_)
+        | DecOp::AdvancePc
+        | DecOp::ReadPrK { .. } => true,
+        DecOp::WritePrK { reg, .. } | DecOp::WritePrKI { reg, .. } => plain_prv(*reg),
+        _ => false,
+    }
+}
+
+impl Superblock {
+    /// Statically forms the superblock headed at `head`, or `None` when
+    /// the head op itself ends a block (a dispatch, halt, …).
+    ///
+    /// Formation is a pure function of the predecoded image and the
+    /// resolved fetch entry — that determinism is what lets the
+    /// `superblock` pass in `atum-mclint` re-derive every cached block
+    /// independently from the source micro-words and diff.
+    pub fn form(img: &FastImage, fetch_entry: u32, head: u32) -> Option<Superblock> {
+        let store = &img.ops;
+        if head as usize >= store.len() {
+            return None;
+        }
+        let mut ops: Vec<SbOp> = Vec::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut callstack: Vec<u32> = Vec::new();
+        let mut cyc: u32 = 0;
+        let mut walked = 0usize;
+        let mut upc = head;
+
+        macro_rules! push_op {
+            ($charge:expr, $op:expr) => {{
+                cyc += $charge;
+                ops.push(SbOp { upc, cyc, op: $op });
+            }};
+        }
+
+        loop {
+            if walked >= MAX_BLOCK_OPS {
+                break;
+            }
+            // Re-reaching an address closes the block (a micro-loop: the
+            // block will chain back into itself through the cache).
+            if !visited.insert(upc) {
+                break;
+            }
+            let Some(&op) = store.get(upc as usize) else {
+                break;
+            };
+            walked += 1;
+            let base = cost::BASE as u32;
+            let mem = (cost::BASE + cost::MEM_EXTRA) as u32;
+            match op {
+                _ if pure_op(&op) => {
+                    push_op!(base, op);
+                    upc += 1;
+                }
+                // Unconditional jumps fold away: their BASE cycle joins
+                // the cumulative offsets and the walk continues at the
+                // target.
+                DecOp::Jump(t) => {
+                    cyc += base;
+                    upc = t;
+                }
+                // Conditional branches become guards: not-taken falls
+                // through in the block, taken exits it.
+                DecOp::JumpUZero(_)
+                | DecOp::JumpUNotZero(_)
+                | DecOp::JumpRegNumIsPc(_)
+                | DecOp::JumpIf { .. } => {
+                    push_op!(base, op);
+                    upc += 1;
+                }
+                DecOp::Read { .. } | DecOp::Write { .. } | DecOp::PhysRead | DecOp::PhysWrite => {
+                    push_op!(mem, op);
+                    upc += 1;
+                }
+                DecOp::Call(t) => {
+                    push_op!(base, op);
+                    callstack.push(upc + 1);
+                    upc = t;
+                }
+                DecOp::Ret => match callstack.pop() {
+                    // Matched to a call followed earlier in this block:
+                    // the pop is statically known to land there.
+                    Some(ret) => {
+                        push_op!(base, op);
+                        upc = ret;
+                    }
+                    // Return through a stack frame the block did not
+                    // push: the target is dynamic, end the block.
+                    None => break,
+                },
+                DecOp::DecodeNext => {
+                    push_op!(base, op);
+                    upc = fetch_entry;
+                }
+                // Everything else ends the block: dispatches (dynamic
+                // successor), halt/fault, dynamic or side-effecting
+                // privileged-register ops, TB flushes (which must also
+                // invalidate this cache), bad-constant traps.
+                _ => break,
+            }
+        }
+        if cyc == 0 {
+            return None;
+        }
+        Some(Superblock {
+            head,
+            ops,
+            exit_upc: upc,
+            total_cost: cyc,
+        })
+    }
+
+    /// The block's static microcycle charge for one full guard-free pass
+    /// — [`Superblock::total_cost`] as the `u64` the engines count in.
+    /// Excludes only data-dependent PTE-walk charges.
+    pub fn static_cycles(&self) -> u64 {
+        self.total_cost as u64
+    }
+}
+
+/// How one superblock execution left the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SbExit {
+    /// Keep going at the (already updated) micro-PC and re-probe the
+    /// cache there — the block ran to an exit that made progress (its
+    /// end, a taken guard, an exception entry), so chaining terminates.
+    Chain,
+    /// Resume the per-op loop at the micro-PC without re-probing: the
+    /// block bailed on a deadline check (at entry, before executing
+    /// anything; or after a PTE walk pushed the cycle count past what
+    /// the static total allowed for), so the per-op loop must make the
+    /// progress.
+    Fallback,
+    /// Propagate a run-loop exit.
+    Exit(Option<crate::RunExit>),
+}
+
+/// The per-machine superblock cache: blocks by head address plus the
+/// profiling counters that decide when to form one. Keyed on
+/// [`ControlStore::version`](atum_ucode::ControlStore::version) and the
+/// machine's TB-event epoch; a mismatch on either empties the cache
+/// before any block can be dispatched.
+#[derive(Debug)]
+pub struct SbCache {
+    version: u64,
+    epoch: u64,
+    fetch_entry: u32,
+    counts: Vec<u16>,
+    blocks: Vec<Option<Box<Superblock>>>,
+    formed: usize,
+}
+
+impl SbCache {
+    /// A placeholder that can never match a real store version, forcing a
+    /// reset on first use (mirrors [`FastImage::empty`]).
+    pub(crate) fn empty() -> SbCache {
+        SbCache {
+            version: u64::MAX,
+            epoch: 0,
+            fetch_entry: 0,
+            counts: Vec::new(),
+            blocks: Vec::new(),
+            formed: 0,
+        }
+    }
+
+    /// The store version the cached blocks were formed against.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The TB-event epoch the cache was (re)built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The resolved `Entry::Fetch` address blocks were formed against —
+    /// where an in-block instruction boundary continues.
+    pub fn fetch_entry(&self) -> u32 {
+        self.fetch_entry
+    }
+
+    /// Number of blocks currently formed.
+    pub fn len(&self) -> usize {
+        self.formed
+    }
+
+    /// Whether no blocks are formed.
+    pub fn is_empty(&self) -> bool {
+        self.formed == 0
+    }
+
+    /// The cached blocks, in head-address order — the inspection point
+    /// for the `superblock` equivalence pass in `atum-mclint`.
+    pub fn blocks(&self) -> impl Iterator<Item = &Superblock> {
+        self.blocks.iter().filter_map(|b| b.as_deref())
+    }
+
+    /// The block headed at `upc`, if one is formed.
+    pub fn get(&self, upc: u32) -> Option<&Superblock> {
+        self.blocks.get(upc as usize)?.as_deref()
+    }
+
+    /// Drops every block and counter, rekeying to `version`/`epoch` with
+    /// the store's current geometry.
+    pub(crate) fn reset(&mut self, version: u64, epoch: u64, fetch_entry: u32, len: usize) {
+        self.version = version;
+        self.epoch = epoch;
+        self.fetch_entry = fetch_entry;
+        self.counts.clear();
+        self.counts.resize(len, 0);
+        self.blocks.clear();
+        self.blocks.resize_with(len, || None);
+        self.formed = 0;
+    }
+
+    /// The dispatch-time probe: profiles `upc` as a head candidate,
+    /// forms a block once it crosses [`HOT_THRESHOLD`], and returns the
+    /// block to dispatch if one exists. A TB-event epoch mismatch empties
+    /// the cache first — a stale block is never returned.
+    #[inline]
+    pub(crate) fn probe(&mut self, upc: u32, img: &FastImage, epoch: u64) -> Option<&Superblock> {
+        if self.epoch != epoch {
+            let (v, fe, len) = (self.version, self.fetch_entry, self.counts.len());
+            self.reset(v, epoch, fe, len);
+        }
+        let i = upc as usize;
+        if i >= self.blocks.len() {
+            return None;
+        }
+        if self.blocks[i].is_some() {
+            return self.blocks[i].as_deref();
+        }
+        let c = self.counts[i];
+        if c == NEVER {
+            return None;
+        }
+        if c + 1 < HOT_THRESHOLD {
+            self.counts[i] = c + 1;
+            return None;
+        }
+        match Superblock::form(img, self.fetch_entry, upc) {
+            Some(sb) => {
+                self.formed += 1;
+                self.blocks[i] = Some(Box::new(sb));
+                self.blocks[i].as_deref()
+            }
+            None => {
+                self.counts[i] = NEVER;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_ucode::Entry;
+
+    #[test]
+    fn fetch_head_forms_a_block_ending_at_a_dispatch() {
+        let cs = atum_ucode::stock::build();
+        let img = FastImage::build(&cs);
+        let fetch = cs.entry(Entry::Fetch);
+        let sb = Superblock::form(&img, fetch, fetch).expect("fetch path forms a block");
+        assert_eq!(sb.head, fetch);
+        assert!(!sb.ops.is_empty());
+        assert!(sb.total_cost as usize >= sb.ops.len());
+        // Cycle offsets are strictly increasing and end at the total
+        // minus any trailing folded jumps.
+        for w in sb.ops.windows(2) {
+            assert!(w[0].cyc < w[1].cyc);
+        }
+        assert!(sb.ops.last().unwrap().cyc <= sb.total_cost);
+        // The block must end at a real op the per-op loop executes.
+        assert!(matches!(
+            img.ops[sb.exit_upc as usize],
+            DecOp::DispatchOpcode | DecOp::DispatchSpec(_) | DecOp::Halt | DecOp::Fault(_)
+        ));
+    }
+
+    #[test]
+    fn formation_is_deterministic() {
+        let cs = atum_ucode::stock::build();
+        let img = FastImage::build(&cs);
+        let fetch = cs.entry(Entry::Fetch);
+        assert_eq!(
+            Superblock::form(&img, fetch, fetch),
+            Superblock::form(&img, fetch, fetch)
+        );
+    }
+
+    #[test]
+    fn dispatch_heads_never_form_empty_blocks() {
+        let cs = atum_ucode::stock::build();
+        let img = FastImage::build(&cs);
+        let fetch = cs.entry(Entry::Fetch);
+        for b in 0..=255u8 {
+            if let Some(sb) = Superblock::form(&img, fetch, cs.opcode_target(b)) {
+                assert!(sb.static_cycles() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn jump_to_self_is_a_one_cycle_block() {
+        let mut cs = atum_ucode::ControlStore::new();
+        let addr = cs.append_routine(
+            "spin",
+            vec![atum_ucode::MicroOp::Jump(atum_ucode::Target::Abs(0))],
+        );
+        let img = FastImage::build(&cs);
+        let sb = Superblock::form(&img, 0, addr).expect("self-jump forms");
+        assert_eq!(sb.exit_upc, addr, "loop closes back on its own head");
+        assert_eq!(sb.static_cycles(), 1);
+        assert!(sb.ops.is_empty(), "a pure jump chain has no elements");
+    }
+
+    #[test]
+    fn cache_probe_forms_only_past_threshold() {
+        let cs = atum_ucode::stock::build();
+        let img = FastImage::build(&cs);
+        let fetch = cs.entry(Entry::Fetch);
+        let mut cache = SbCache::empty();
+        cache.reset(cs.version(), 0, fetch, img.ops.len());
+        for _ in 0..HOT_THRESHOLD - 1 {
+            assert!(cache.probe(fetch, &img, 0).is_none());
+        }
+        assert!(cache.probe(fetch, &img, 0).is_some());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epoch_mismatch_empties_the_cache() {
+        let cs = atum_ucode::stock::build();
+        let img = FastImage::build(&cs);
+        let fetch = cs.entry(Entry::Fetch);
+        let mut cache = SbCache::empty();
+        cache.reset(cs.version(), 0, fetch, img.ops.len());
+        for _ in 0..HOT_THRESHOLD {
+            cache.probe(fetch, &img, 0);
+        }
+        assert_eq!(cache.len(), 1);
+        assert!(
+            cache.probe(fetch, &img, 1).is_none(),
+            "a TB event empties the cache before any block dispatches"
+        );
+        assert_eq!(cache.len(), 0);
+    }
+}

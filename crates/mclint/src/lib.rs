@@ -32,7 +32,13 @@
 //!   [`MicroOp`](atum_ucode::MicroOp) (operand slot mapping, resolved
 //!   targets and sizes, constant-folded ALU results recomputed from
 //!   scratch) and diffs that against the sealed
-//!   [`FastImage`](atum_machine::FastImage).
+//!   [`FastImage`](atum_machine::FastImage);
+//! * [`superblock`] — superblock formation equivalence: re-derives the
+//!   traced-superblock tier's stitched blocks (element addresses,
+//!   fused cycle offsets, exits) from the source micro-words through
+//!   an independent copy of the stitching rules, for every head the
+//!   block cache could probe, and can diff a live cache for stale or
+//!   tampered blocks.
 //!
 //! The top-level entry point is [`lint::run`]; `mculist verify` and
 //! `mculist cost` (in `atum-bench`) drive it from the command line and
@@ -56,6 +62,7 @@ pub mod cost;
 pub mod dataflow;
 pub mod lowering;
 pub mod structural;
+pub mod superblock;
 pub mod svx;
 pub mod transparency;
 
@@ -94,6 +101,8 @@ pub enum Pass {
     Cost,
     /// Fast-engine lowering equivalence against the control store.
     Lowering,
+    /// Superblock formation equivalence against the control store.
+    Superblock,
 }
 
 impl fmt::Display for Pass {
@@ -105,6 +114,7 @@ impl fmt::Display for Pass {
             Pass::Svx => f.write_str("svx"),
             Pass::Cost => f.write_str("cost"),
             Pass::Lowering => f.write_str("lowering"),
+            Pass::Superblock => f.write_str("superblock"),
         }
     }
 }
@@ -155,20 +165,22 @@ pub fn error_count(findings: &[Finding]) -> usize {
 
 /// The composed control-store verifier.
 pub mod lint {
-    use super::{cost, dataflow, lowering, structural, transparency, Finding};
+    use super::{cost, dataflow, lowering, structural, superblock, transparency, Finding};
     use atum_ucode::ControlStore;
 
     /// Runs every control-store pass — structural, dataflow, cost,
-    /// lowering-equivalence and (when hooks are installed) transparency
-    /// — and returns the combined findings sorted by micro-address. SVX
-    /// images are linted separately through [`crate::svx::check_image`],
-    /// since they are not part of the control store.
+    /// lowering-equivalence, superblock-formation equivalence and (when
+    /// hooks are installed) transparency — and returns the combined
+    /// findings sorted by micro-address. SVX images are linted
+    /// separately through [`crate::svx::check_image`], since they are
+    /// not part of the control store.
     pub fn run(cs: &ControlStore) -> Vec<Finding> {
         let mut out = structural::check(cs);
         out.extend(dataflow::check(cs));
         out.extend(transparency::check(cs));
         out.extend(cost::check(cs));
         out.extend(lowering::check(cs));
+        out.extend(superblock::check(cs));
         out.sort_by_key(|f| (f.addr, f.pass as u8));
         out
     }

@@ -1,0 +1,342 @@
+//! Superblock formation equivalence: statically verify the traced-
+//! superblock tier's blocks against the microcode they claim to stitch.
+//!
+//! The capture path's hottest configuration dispatches whole
+//! [`Superblock`]s, so a formation bug — a folded jump charging the
+//! wrong cycles, a call/ret matched across the wrong frame, a pure-op
+//! filter admitting an op with engine side effects — would corrupt
+//! cycle counts or architectural state while every per-op proof stays
+//! green. This pass closes that gap the way [`crate::lowering`] does
+//! for the predecoded image: for every control-store address it
+//! independently re-derives the block that must form there — walking
+//! the *source micro-words* through its own copy of the stitching
+//! rules, with each word lowered by the already-proven independent
+//! derivation in [`crate::lowering`] — and diffs the machine's formed
+//! block element by element (address, cumulative cycle offset, op),
+//! plus the exit address and the static total.
+//!
+//! [`check`] proves the formation function itself, exhaustively over
+//! every head the cache could ever probe. [`check_blocks`] diffs an
+//! *existing* block set (say, a machine's live cache after a run)
+//! against a store, catching stale or tampered blocks — the runtime
+//! side the seeded-bug suite exercises.
+//!
+//! What this pass cannot prove is that the block *executor* replays the
+//! per-op loop faithfully (guard exits, PTE-walk cycle credit, fault
+//! unwinding); that is pinned dynamically by the three-way lockstep
+//! suite in `crates/bench/tests/fast_equiv.rs`.
+
+use crate::cfg::SymbolMap;
+use crate::{Finding, Pass, Severity};
+use atum_arch::PrivReg;
+use atum_machine::fast::{DecOp, FastImage};
+use atum_machine::superblock::MAX_BLOCK_OPS;
+use atum_machine::{SbOp, Superblock};
+use atum_ucode::{cost, ControlStore, Entry};
+
+/// Proves the machine's formation function against this pass's
+/// independent derivation, for every possible head address in the
+/// store. The form `lint::run` uses.
+pub fn check(cs: &ControlStore) -> Vec<Finding> {
+    let img = FastImage::build(cs);
+    let fetch = cs.entry(Entry::Fetch);
+    let symbols = SymbolMap::new(cs);
+    let mut out = Vec::new();
+    for head in 0..cs.len() {
+        let got = Superblock::form(&img, fetch, head);
+        let want = derive(cs, fetch, head);
+        match (&got, &want) {
+            (None, None) => {}
+            (Some(sb), Some(want)) => diff_block(sb, want, &symbols, &mut out),
+            (Some(_), None) => out.push(Finding {
+                pass: Pass::Superblock,
+                severity: Severity::Error,
+                symbol: symbols.name(head),
+                addr: head,
+                message: "a block forms at this head, but independent derivation \
+                          says the head op ends a block"
+                    .into(),
+            }),
+            (None, Some(_)) => out.push(Finding {
+                pass: Pass::Superblock,
+                severity: Severity::Error,
+                symbol: symbols.name(head),
+                addr: head,
+                message: "no block forms at this head, but independent derivation \
+                          stitches one"
+                    .into(),
+            }),
+        }
+    }
+    out.sort_by_key(|f| f.addr);
+    out
+}
+
+/// Diffs an existing block set against a store: the runtime form, for a
+/// machine's live cache (or a deliberately corrupted copy — the
+/// seeded-bug suite). `version` is the store version the blocks claim
+/// to be formed against; a mismatch is a single stale-cache finding,
+/// since every block is then suspect.
+pub fn check_blocks(cs: &ControlStore, version: u64, blocks: &[Superblock]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if version != cs.version() {
+        out.push(Finding {
+            pass: Pass::Superblock,
+            severity: Severity::Error,
+            symbol: "superblock-cache".into(),
+            addr: 0,
+            message: format!(
+                "cache version {} does not match store version {}: the cache \
+                 is stale and every cached block is suspect",
+                version,
+                cs.version()
+            ),
+        });
+        return out;
+    }
+    let fetch = cs.entry(Entry::Fetch);
+    let symbols = SymbolMap::new(cs);
+    for sb in blocks {
+        match derive(cs, fetch, sb.head) {
+            Some(want) => diff_block(sb, &want, &symbols, &mut out),
+            None => out.push(Finding {
+                pass: Pass::Superblock,
+                severity: Severity::Error,
+                symbol: symbols.name(sb.head),
+                addr: sb.head,
+                message: "a block is cached at this head, but independent \
+                          derivation says the head op ends a block"
+                    .into(),
+            }),
+        }
+    }
+    out.sort_by_key(|f| f.addr);
+    out
+}
+
+/// The independently derived shape a block must have.
+struct Derived {
+    ops: Vec<SbOp>,
+    exit_upc: u32,
+    total_cost: u32,
+}
+
+/// Element-by-element diff of a formed (or cached) block against the
+/// independent derivation.
+fn diff_block(got: &Superblock, want: &Derived, symbols: &SymbolMap, out: &mut Vec<Finding>) {
+    for (i, (g, w)) in got.ops.iter().zip(&want.ops).enumerate() {
+        if g != w {
+            out.push(Finding {
+                pass: Pass::Superblock,
+                severity: Severity::Error,
+                symbol: symbols.name(w.upc),
+                addr: w.upc,
+                message: format!(
+                    "block @{:#06x} element {i} mismatch: cached \
+                     (upc {:#06x}, cyc {}, {:?}), derivation says \
+                     (upc {:#06x}, cyc {}, {:?})",
+                    got.head, g.upc, g.cyc, g.op, w.upc, w.cyc, w.op
+                ),
+            });
+            // The first divergent element poisons everything after it;
+            // one finding per block keeps the report readable.
+            return;
+        }
+    }
+    if got.ops.len() != want.ops.len() {
+        out.push(Finding {
+            pass: Pass::Superblock,
+            severity: Severity::Error,
+            symbol: symbols.name(got.head),
+            addr: got.head,
+            message: format!(
+                "block @{:#06x} has {} elements, derivation says {}",
+                got.head,
+                got.ops.len(),
+                want.ops.len()
+            ),
+        });
+        return;
+    }
+    if got.exit_upc != want.exit_upc {
+        out.push(Finding {
+            pass: Pass::Superblock,
+            severity: Severity::Error,
+            symbol: symbols.name(got.head),
+            addr: got.head,
+            message: format!(
+                "block @{:#06x} exits to {:#06x}, derivation says {:#06x}",
+                got.head, got.exit_upc, want.exit_upc
+            ),
+        });
+    }
+    if got.total_cost != want.total_cost {
+        out.push(Finding {
+            pass: Pass::Superblock,
+            severity: Severity::Error,
+            symbol: symbols.name(got.head),
+            addr: got.head,
+            message: format!(
+                "block @{:#06x} claims {} static cycles, derivation says {}",
+                got.head, got.total_cost, want.total_cost
+            ),
+        });
+    }
+}
+
+/// Restatement of the fast engine's plain (side-effect-free) constant
+/// privileged-register write set — deliberately not imported from
+/// `atum-machine`, so a machine-side drift in the pure-op filter shows
+/// up as a diff.
+fn plain_prv(reg: PrivReg) -> bool {
+    matches!(
+        reg,
+        PrivReg::Ksp
+            | PrivReg::Usp
+            | PrivReg::Pcbb
+            | PrivReg::Scbb
+            | PrivReg::Trctl
+            | PrivReg::Trbase
+            | PrivReg::Trptr
+            | PrivReg::Trlim
+    )
+}
+
+/// Restatement of the pure-op contract: no exits, no faults, no
+/// micro-PC effects, cost exactly [`cost::BASE`].
+fn pure_op(op: &DecOp) -> bool {
+    match op {
+        DecOp::MovSS { .. }
+        | DecOp::MovIS { .. }
+        | DecOp::MovGIS { .. }
+        | DecOp::MovSGI { .. }
+        | DecOp::MovSMF { .. }
+        | DecOp::MovSG { .. }
+        | DecOp::AluSS { .. }
+        | DecOp::AluIS { .. }
+        | DecOp::AluSI { .. }
+        | DecOp::Mov { .. }
+        | DecOp::MovID { .. }
+        | DecOp::Alu { .. }
+        | DecOp::AluID { .. }
+        | DecOp::AluDI { .. }
+        | DecOp::AluConst { .. }
+        | DecOp::SetSize(_)
+        | DecOp::AdvancePc
+        | DecOp::ReadPrK { .. } => true,
+        DecOp::WritePrK { reg, .. } | DecOp::WritePrKI { reg, .. } => plain_prv(*reg),
+        _ => false,
+    }
+}
+
+/// Independently re-derives the block headed at `head` from the source
+/// micro-words: each word is lowered by [`crate::lowering`]'s
+/// from-scratch derivation (never the sealed image), then stitched by
+/// this pass's own copy of the formation rules — fold unconditional
+/// jumps into the cycle offsets, follow matched call/ret pairs and
+/// instruction boundaries, stop at dispatches, dynamic ops and
+/// revisits.
+fn derive(cs: &ControlStore, fetch_entry: u32, head: u32) -> Option<Derived> {
+    if head >= cs.len() {
+        return None;
+    }
+    let mut ops: Vec<SbOp> = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    let mut callstack: Vec<u32> = Vec::new();
+    let mut cyc: u32 = 0;
+    let mut walked = 0usize;
+    let mut upc = head;
+    loop {
+        if walked >= MAX_BLOCK_OPS || !visited.insert(upc) || upc >= cs.len() {
+            break;
+        }
+        let op = crate::lowering::lower(cs.word(upc), cs);
+        walked += 1;
+        let base = cost::BASE as u32;
+        let mem = (cost::BASE + cost::MEM_EXTRA) as u32;
+        macro_rules! push_op {
+            ($charge:expr) => {{
+                cyc += $charge;
+                ops.push(SbOp { upc, cyc, op });
+            }};
+        }
+        match op {
+            _ if pure_op(&op) => {
+                push_op!(base);
+                upc += 1;
+            }
+            DecOp::Jump(t) => {
+                cyc += base;
+                upc = t;
+            }
+            DecOp::JumpUZero(_)
+            | DecOp::JumpUNotZero(_)
+            | DecOp::JumpRegNumIsPc(_)
+            | DecOp::JumpIf { .. } => {
+                push_op!(base);
+                upc += 1;
+            }
+            DecOp::Read { .. } | DecOp::Write { .. } | DecOp::PhysRead | DecOp::PhysWrite => {
+                push_op!(mem);
+                upc += 1;
+            }
+            DecOp::Call(t) => {
+                push_op!(base);
+                callstack.push(upc + 1);
+                upc = t;
+            }
+            DecOp::Ret => match callstack.pop() {
+                Some(ret) => {
+                    push_op!(base);
+                    upc = ret;
+                }
+                None => break,
+            },
+            DecOp::DecodeNext => {
+                push_op!(base);
+                upc = fetch_entry;
+            }
+            _ => break,
+        }
+    }
+    if cyc == 0 {
+        return None;
+    }
+    Some(Derived {
+        ops,
+        exit_upc: upc,
+        total_cost: cyc,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atum_ucode::stock;
+
+    #[test]
+    fn stock_store_forms_equivalently_everywhere() {
+        let cs = stock::build();
+        assert_eq!(check(&cs), Vec::new());
+    }
+
+    #[test]
+    fn live_blocks_from_formation_check_clean() {
+        let cs = stock::build();
+        let img = FastImage::build(&cs);
+        let fetch = cs.entry(Entry::Fetch);
+        let blocks: Vec<Superblock> = (0..cs.len())
+            .filter_map(|h| Superblock::form(&img, fetch, h))
+            .collect();
+        assert!(!blocks.is_empty());
+        assert_eq!(check_blocks(&cs, cs.version(), &blocks), Vec::new());
+    }
+
+    #[test]
+    fn stale_version_is_one_finding() {
+        let cs = stock::build();
+        let findings = check_blocks(&cs, cs.version() + 1, &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("stale"));
+    }
+}
