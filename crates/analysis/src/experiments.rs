@@ -6,8 +6,8 @@ use crate::table::{Report, Table};
 use crate::Scale;
 use atum_baselines::{ArchExit, ArchSim, TbitTracer};
 use atum_cache::{
-    simulate, simulate_many, simulate_split, simulate_tlb, sweep_block, Cache, CacheConfig,
-    SwitchPolicy, TlbConfig, WritePolicy,
+    simulate, simulate_many, simulate_many_stream, simulate_split, simulate_tlb,
+    simulate_tlb_stream, sweep_block, Cache, CacheConfig, SwitchPolicy, TlbConfig, WritePolicy,
 };
 use atum_core::{PatchStyle, RecordKind, Trace};
 use atum_workloads::Workload;
@@ -294,11 +294,12 @@ pub fn f1_os_vs_user(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerEr
         .build()
         .expect("config");
     let sizes = cache_sizes(scale);
-    let user = run.trace.user_only();
     let cfgs: Vec<CacheConfig> = sizes.iter().map(|&s| base.with_size(s)).collect();
-    // One pass per trace evaluates the whole size sweep.
+    // One pass per trace evaluates the whole size sweep; the user-only
+    // pass streams through a filtered view instead of copying the trace.
     let full = simulate_many(&run.trace, &cfgs);
-    let uo = simulate_many(&user, &cfgs);
+    let uo = simulate_many_stream(&mut run.trace.user_source(), &cfgs)
+        .expect("in-memory source cannot fail");
 
     let mut t = Table::new(["size", "complete miss%", "user-only miss%", "gap (pp)"]);
     for (i, &size) in sizes.iter().enumerate() {
@@ -472,7 +473,6 @@ pub fn f5_tlb(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
         Scale::Quick => vec![16, 64],
         Scale::Full => vec![8, 16, 32, 64, 128, 256],
     };
-    let user = run.trace.user_only();
     let mut t = Table::new([
         "entries",
         "flush miss%",
@@ -482,7 +482,13 @@ pub fn f5_tlb(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerError> {
     for &e in &entries {
         let flush = simulate_tlb(&run.trace, &TlbConfig::new(e, 2, SwitchPolicy::Flush));
         let tag = simulate_tlb(&run.trace, &TlbConfig::new(e, 2, SwitchPolicy::PidTag));
-        let ut = simulate_tlb(&user, &TlbConfig::new(e, 2, SwitchPolicy::PidTag));
+        // The user-only view streams straight off the complete trace —
+        // no per-entry copy.
+        let ut = simulate_tlb_stream(
+            &mut run.trace.user_source(),
+            &TlbConfig::new(e, 2, SwitchPolicy::PidTag),
+        )
+        .expect("in-memory source cannot fail");
         t.row([
             e.to_string(),
             pct(flush.miss_rate()),
@@ -783,7 +789,6 @@ pub fn e4_working_set(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerE
         Scale::Quick => vec![1_000, 10_000],
         Scale::Full => vec![1_000, 4_000, 16_000, 64_000],
     };
-    let user = run.trace.user_only();
     let mut t = Table::new([
         "window (refs)",
         "complete mean pages",
@@ -792,7 +797,8 @@ pub fn e4_working_set(scale: Scale, run: &CapturedRun) -> Result<Report, RunnerE
     ]);
     for &w in &windows {
         let full = crate::working_set::working_set(&run.trace, w);
-        let u = crate::working_set::working_set(&user, w);
+        let u = crate::working_set::working_set_stream(&mut run.trace.user_source(), w)
+            .expect("in-memory source cannot fail");
         t.row([
             w.to_string(),
             format!("{:.1}", full.mean_pages),

@@ -6,7 +6,7 @@
 //! traces show both the OS's own footprint and the *compounding* of
 //! per-process footprints across context switches.
 
-use atum_core::Trace;
+use atum_core::{Trace, TraceRecord, TraceSource, TraceStreamError};
 use std::collections::HashMap;
 
 /// The working-set measurement for one window size.
@@ -22,42 +22,117 @@ pub struct WorkingSet {
     pub windows: usize,
 }
 
+/// Incremental working-set state for one window size: feed references
+/// with [`WsState::step`], settle with [`WsState::finish`].
+#[derive(Debug)]
+struct WsState {
+    window: usize,
+    mean_acc: f64,
+    max_pages: usize,
+    windows: usize,
+    current: HashMap<(u8, u32), u32>,
+    in_window: usize,
+}
+
+impl WsState {
+    fn new(window: usize) -> WsState {
+        assert!(window > 0, "window must be positive");
+        WsState {
+            window,
+            mean_acc: 0.0,
+            max_pages: 0,
+            windows: 0,
+            current: HashMap::new(),
+            in_window: 0,
+        }
+    }
+
+    fn step(&mut self, r: &TraceRecord) {
+        if !r.is_ref() {
+            return;
+        }
+        *self.current.entry((r.pid(), r.page())).or_insert(0) += 1;
+        self.in_window += 1;
+        if self.in_window == self.window {
+            self.mean_acc += self.current.len() as f64;
+            self.max_pages = self.max_pages.max(self.current.len());
+            self.windows += 1;
+            self.current.clear();
+            self.in_window = 0;
+        }
+    }
+
+    fn finish(&self) -> WorkingSet {
+        WorkingSet {
+            window: self.window,
+            mean_pages: if self.windows == 0 {
+                0.0
+            } else {
+                self.mean_acc / self.windows as f64
+            },
+            max_pages: self.max_pages,
+            windows: self.windows,
+        }
+    }
+}
+
 /// Computes the working set of `trace` at one window size. Pages are
 /// distinguished per process id (two processes touching the same VA are
 /// two pages of demand).
 pub fn working_set(trace: &Trace, window: usize) -> WorkingSet {
-    assert!(window > 0, "window must be positive");
-    let mut mean_acc = 0f64;
-    let mut max_pages = 0usize;
-    let mut windows = 0usize;
-    let mut current: HashMap<(u8, u32), u32> = HashMap::new();
-    let mut in_window = 0usize;
-    for r in trace.refs() {
-        *current.entry((r.pid(), r.page())).or_insert(0) += 1;
-        in_window += 1;
-        if in_window == window {
-            mean_acc += current.len() as f64;
-            max_pages = max_pages.max(current.len());
-            windows += 1;
-            current.clear();
-            in_window = 0;
+    let mut state = WsState::new(window);
+    for r in trace.iter() {
+        state.step(r);
+    }
+    state.finish()
+}
+
+/// The out-of-core form of [`working_set`]: one pass over any
+/// [`TraceSource`], identical results to the in-memory form over the
+/// same records.
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source.
+pub fn working_set_stream<S: TraceSource>(
+    source: &mut S,
+    window: usize,
+) -> Result<WorkingSet, TraceStreamError> {
+    let mut state = WsState::new(window);
+    source.stream(&mut |batch| {
+        for r in batch {
+            state.step(r);
         }
-    }
-    WorkingSet {
-        window,
-        mean_pages: if windows == 0 {
-            0.0
-        } else {
-            mean_acc / windows as f64
-        },
-        max_pages,
-        windows,
-    }
+    })?;
+    Ok(state.finish())
 }
 
 /// Computes the working-set curve across several window sizes.
 pub fn working_set_curve(trace: &Trace, windows: &[usize]) -> Vec<WorkingSet> {
     windows.iter().map(|&w| working_set(trace, w)).collect()
+}
+
+/// The out-of-core form of [`working_set_curve`]: every window size is
+/// measured in a **single pass** over the source (window states are
+/// independent, so one traversal feeds them all) — crucial for file
+/// sources, where the in-memory form would re-read the file per window.
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source.
+pub fn working_set_curve_stream<S: TraceSource>(
+    source: &mut S,
+    windows: &[usize],
+) -> Result<Vec<WorkingSet>, TraceStreamError> {
+    let mut states: Vec<WsState> = windows.iter().map(|&w| WsState::new(w)).collect();
+    source.stream(&mut |batch| {
+        for r in batch {
+            for s in &mut states {
+                s.step(r);
+            }
+        }
+    })?;
+    Ok(states.iter().map(WsState::finish).collect())
 }
 
 #[cfg(test)]
@@ -119,5 +194,20 @@ mod tests {
     #[should_panic(expected = "window must be positive")]
     fn zero_window_panics() {
         working_set(&Trace::new(), 0);
+    }
+
+    #[test]
+    fn streamed_forms_match_in_memory() {
+        let pages: Vec<(u8, u32)> = (0..4096u32).map(|i| ((1 + i % 2) as u8, i % 53)).collect();
+        let t = trace_of(&pages);
+        let windows = [8usize, 64, 512];
+        assert_eq!(
+            working_set_stream(&mut &t, 64).unwrap(),
+            working_set(&t, 64)
+        );
+        assert_eq!(
+            working_set_curve_stream(&mut &t, &windows).unwrap(),
+            working_set_curve(&t, &windows)
+        );
     }
 }

@@ -1,0 +1,189 @@
+//! Out-of-core trace streaming benchmark: captures the standard mix,
+//! replicates it onto disk past a 16 MiB in-memory budget, then runs the
+//! same stackable cache sweep three ways — in-memory `simulate_many`,
+//! streamed from the segment file sequentially, and streamed with the
+//! parallel per-segment reader. The three result sets must be identical;
+//! the timings and the file's compression ratio are recorded
+//! machine-readably in `BENCH_trace.json` at the workspace root.
+//!
+//! ```text
+//! cargo bench -p atum-bench --bench trace_stream -- trace_stream
+//! ```
+
+use atum_analysis::{experiments, Scale};
+use atum_cache::{simulate_many, simulate_many_stream, CacheConfig};
+use atum_core::{RecordKind, SegmentFileSource, SegmentWriter, Trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The in-memory budget the on-disk trace must exceed: the sweep below
+/// demonstrably runs against a file bigger (in raw records) than this.
+const MEMORY_BUDGET: u64 = 16 << 20;
+
+/// Best-of timing rounds per variant (interleaved so host drift cancels
+/// in the ratios).
+const ROUNDS: usize = 3;
+
+/// Re-stitches one copy of `src` onto `big`, segment by segment, so the
+/// replica keeps `src`'s per-drain segment boundaries (a plain
+/// `stitch(clone)` would flatten them and starve the parallel reader).
+fn stitch_replica(big: &mut Trace, src: &Trace) {
+    for seg in src.segment_slices() {
+        let recs = match seg.last() {
+            // `stitch` re-adds the terminating mark itself.
+            Some(r) if r.kind() == RecordKind::SegmentMark => &seg[..seg.len() - 1],
+            _ => seg,
+        };
+        let sub: Trace = recs.iter().copied().collect();
+        big.stitch(sub);
+    }
+}
+
+fn sweep_configs() -> Vec<CacheConfig> {
+    let mut cfgs = Vec::new();
+    for kb in [1u32, 2, 4, 8, 16, 32, 64] {
+        for ways in [1u32, 4] {
+            cfgs.push(
+                CacheConfig::builder()
+                    .size(kb << 10)
+                    .block(16)
+                    .assoc(ways)
+                    .build()
+                    .unwrap(),
+            );
+        }
+    }
+    cfgs
+}
+
+fn best_of<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::MAX;
+    let mut last = None;
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("rounds >= 1"))
+}
+
+fn trace_stream(_c: &mut Criterion) {
+    if !criterion::filter_matches("trace_stream") {
+        return;
+    }
+
+    // One real capture of the standard mix; replicate it until the raw
+    // record size crosses the in-memory budget.
+    let run = experiments::capture_standard_mix(Scale::Quick).expect("capture standard mix");
+    let mut big = Trace::new();
+    let mut replicas = 0u32;
+    while (big.len() as u64) * 8 <= MEMORY_BUDGET {
+        stitch_replica(&mut big, &run.trace);
+        replicas += 1;
+    }
+
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../target/trace_stream.atrace"
+    );
+    let mut w = SegmentWriter::create(path).expect("create trace file");
+    w.write_trace(&big).expect("write trace");
+    let stats = w.finish().expect("flush trace");
+    assert!(
+        stats.raw_bytes() > MEMORY_BUDGET,
+        "on-disk trace must exceed the {} MiB in-memory budget, got {} raw bytes",
+        MEMORY_BUDGET >> 20,
+        stats.raw_bytes()
+    );
+    assert!(
+        stats.compression_ratio() >= 3.0,
+        "segment format must compact the captured mix >=3x, got {:.2}",
+        stats.compression_ratio()
+    );
+
+    let cfgs = sweep_configs();
+    // At least 2 so the ordered-merge reader is always exercised, even
+    // on a single-CPU host.
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
+
+    // Correctness first: all three paths must produce identical stats.
+    let baseline = simulate_many(&big, &cfgs);
+    let seq = simulate_many_stream(&mut SegmentFileSource::new(path), &cfgs).expect("stream");
+    let par = simulate_many_stream(&mut SegmentFileSource::with_jobs(path, jobs), &cfgs)
+        .expect("parallel stream");
+    assert_eq!(baseline, seq, "sequential streamed sweep diverged");
+    assert_eq!(baseline, par, "parallel streamed sweep diverged");
+
+    // Timing: interleave the variants inside each round.
+    let mut t_mem = f64::MAX;
+    let mut t_seq = f64::MAX;
+    let mut t_par = f64::MAX;
+    for _ in 0..ROUNDS {
+        let (t, _) = best_of(1, || simulate_many(&big, &cfgs));
+        t_mem = t_mem.min(t);
+        let (t, _) = best_of(1, || {
+            simulate_many_stream(&mut SegmentFileSource::new(path), &cfgs).expect("stream")
+        });
+        t_seq = t_seq.min(t);
+        let (t, _) = best_of(1, || {
+            simulate_many_stream(&mut SegmentFileSource::with_jobs(path, jobs), &cfgs)
+                .expect("parallel stream")
+        });
+        t_par = t_par.min(t);
+    }
+
+    let refs = big.ref_count() as f64;
+    let mem_rate = refs / t_mem;
+    let seq_rate = refs / t_seq;
+    let par_rate = refs / t_par;
+    let best_streamed = t_seq.min(t_par);
+    let slowdown = best_streamed / t_mem;
+    println!(
+        "bench trace_stream: {} records in {} segments ({} replicas of the standard mix)\n\
+         bench trace_stream: {} encoded bytes vs {} raw ({:.2}x compression)\n\
+         bench trace_stream: in-memory {mem_rate:.3e} refs/s  streamed {seq_rate:.3e} refs/s  \
+         parallel(x{jobs}) {par_rate:.3e} refs/s  (streamed best {slowdown:.3}x of in-memory)",
+        stats.records,
+        stats.segments,
+        replicas,
+        stats.encoded_bytes,
+        stats.raw_bytes(),
+        stats.compression_ratio(),
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"standard mix (Quick) x{replicas} replicas\",\n  \
+         \"unit\": \"memory references per second\",\n  \
+         \"memory_budget_bytes\": {MEMORY_BUDGET},\n  \
+         \"records\": {},\n  \"segments\": {},\n  \
+         \"raw_bytes\": {},\n  \"encoded_bytes\": {},\n  \
+         \"compression_ratio\": {:.3},\n  \
+         \"exceeds_memory_budget\": {},\n  \
+         \"configs\": {},\n  \"jobs\": {jobs},\n  \
+         \"results_identical\": true,\n  \
+         \"in_memory_refs_per_sec\": {mem_rate:.1},\n  \
+         \"streamed_refs_per_sec\": {seq_rate:.1},\n  \
+         \"parallel_refs_per_sec\": {par_rate:.1},\n  \
+         \"streamed_slowdown\": {slowdown:.3}\n}}\n",
+        stats.records,
+        stats.segments,
+        stats.raw_bytes(),
+        stats.encoded_bytes,
+        stats.compression_ratio(),
+        stats.raw_bytes() > MEMORY_BUDGET,
+        cfgs.len(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_trace.json");
+    std::fs::write(out, json).expect("write BENCH_trace.json");
+    std::fs::remove_file(path).ok();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = trace_stream
+}
+criterion_main!(benches);

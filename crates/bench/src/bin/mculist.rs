@@ -9,12 +9,13 @@
 //! mculist all                # the whole store
 //! mculist verify             # static verification; nonzero exit on findings
 //! mculist cost               # static slowdown-band gate; nonzero exit on findings
+//! mculist trace info F.atrace  # segment headers + compression stats of a trace file
 //! ```
 //!
-//! `verify` and `cost` accept `--format json` for machine-readable
-//! output.
+//! `verify`, `cost` and `trace info` accept `--format json` for
+//! machine-readable output.
 
-use atum_bench::mculist::{cost_report, patches_report, verify};
+use atum_bench::mculist::{cost_report, patches_report, trace_info, verify};
 use atum_core::PatchSet;
 use atum_ucode::stock;
 use std::process::ExitCode;
@@ -25,11 +26,18 @@ fn main() -> ExitCode {
         || args
             .windows(2)
             .any(|w| w[0] == "--format" && w[1] == "json");
-    let arg = args
+    let positional: Vec<String> = args
         .iter()
-        .find(|a| !a.starts_with("--") && **a != "json")
+        .filter(|a| !a.starts_with("--") && **a != "json")
+        .cloned()
+        .collect();
+    let arg = positional
+        .first()
         .cloned()
         .unwrap_or_else(|| "entries".to_string());
+    if arg == "trace" {
+        return run_trace(&positional[1..], json);
+    }
     let mut cs = stock::build();
     match arg.as_str() {
         "entries" => {
@@ -110,4 +118,35 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `mculist trace info <file>`: dump the per-segment headers and the
+/// compression statistics of an on-disk segment trace.
+fn run_trace(rest: &[String], json: bool) -> ExitCode {
+    let (action, path) = match rest {
+        [a, p] => (a.as_str(), p.as_str()),
+        [p] => ("info", p.as_str()),
+        _ => {
+            eprintln!("usage: mculist trace info <file.atrace> [--format json]");
+            return ExitCode::FAILURE;
+        }
+    };
+    if action != "info" {
+        eprintln!("unknown trace action '{action}' (expected 'info')");
+        return ExitCode::FAILURE;
+    }
+    match trace_info(path) {
+        Ok(report) => {
+            if json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot inspect '{path}': {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

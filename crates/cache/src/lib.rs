@@ -45,9 +45,12 @@ mod tlb;
 pub use config::{
     CacheConfig, CacheConfigBuilder, ConfigError, Replacement, SwitchPolicy, WritePolicy,
 };
-pub use multi::{simulate_many, stackable};
+pub use multi::{simulate_many, simulate_many_stream, stackable, MultiSim};
 pub use set_assoc::{AccessKind, Cache};
-pub use sim::{simulate, simulate_tlb, sweep_assoc, sweep_block, sweep_size};
+pub use sim::{
+    simulate, simulate_stream, simulate_tlb, simulate_tlb_stream, sweep_assoc, sweep_block,
+    sweep_size,
+};
 pub use split::{simulate_split, SplitStats};
 pub use stats::CacheStats;
 pub use tlb::{TlbConfig, TlbSim};

@@ -41,7 +41,7 @@
 use crate::config::{CacheConfig, Replacement, SwitchPolicy, WritePolicy};
 use crate::set_assoc::{AccessKind, Cache};
 use crate::stats::CacheStats;
-use atum_core::{RecordKind, Trace};
+use atum_core::{RecordKind, Trace, TraceRecord, TraceSource, TraceStreamError};
 use std::collections::{HashMap, HashSet};
 
 const NIL: u32 = u32::MAX;
@@ -389,6 +389,94 @@ impl StackGroup {
     }
 }
 
+/// The incremental form of [`simulate_many`]: sweep state that consumes
+/// records one at a time, so callers can drive it from an in-memory
+/// trace or any [`TraceSource`] without materialising the records.
+#[derive(Debug)]
+pub struct MultiSim {
+    n: usize,
+    groups: Vec<StackGroup>,
+    direct: Vec<(usize, Cache)>,
+}
+
+impl MultiSim {
+    /// Prepares a sweep over `cfgs`: stackable configurations join
+    /// shared-stack groups, the rest get independent [`Cache`] replays.
+    pub fn new(cfgs: &[CacheConfig]) -> MultiSim {
+        let mut direct: Vec<(usize, Cache)> = Vec::new();
+        let mut grouped: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
+        for (i, c) in cfgs.iter().enumerate() {
+            if stackable(c) {
+                grouped
+                    .entry((c.block(), c.switch_policy() as u8))
+                    .or_default()
+                    .push(i);
+            } else {
+                direct.push((i, Cache::new(*c)));
+            }
+        }
+        // A one-config group gets no amortization from the shared stack
+        // and would pay its walk costs for nothing — replay it directly.
+        let mut groups: Vec<StackGroup> = Vec::new();
+        for indices in grouped.values() {
+            for chunk in indices.chunks(64) {
+                if chunk.len() == 1 {
+                    direct.push((chunk[0], Cache::new(cfgs[chunk[0]])));
+                } else {
+                    groups.push(StackGroup::new(cfgs, chunk));
+                }
+            }
+        }
+        MultiSim {
+            n: cfgs.len(),
+            groups,
+            direct,
+        }
+    }
+
+    /// Feeds one trace record to every engine.
+    pub fn step(&mut self, r: &TraceRecord) {
+        match r.kind() {
+            RecordKind::CtxSwitch => {
+                for g in &mut self.groups {
+                    g.context_switch();
+                }
+                for (_, c) in &mut self.direct {
+                    c.context_switch(r.pid());
+                }
+            }
+            kind => {
+                if let Some(access) = crate::sim::record_kind_to_access(kind) {
+                    for g in &mut self.groups {
+                        g.access(r.addr, access, r.pid());
+                    }
+                    for (_, c) in &mut self.direct {
+                        c.access(r.addr, access, r.pid());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Settles the lazy write-back accounting and assembles the final
+    /// statistics, index-aligned with the input configurations.
+    pub fn finish(mut self) -> Vec<CacheStats> {
+        let mut out = vec![CacheStats::default(); self.n];
+        for g in &mut self.groups {
+            g.finish();
+        }
+        for g in &self.groups {
+            for (i, c) in g.cfgs.iter().enumerate() {
+                out[c.orig] = g.stats_for(i);
+            }
+        }
+        for (orig, c) in &self.direct {
+            out[*orig] = *c.stats();
+        }
+        out
+    }
+}
+
 /// Simulates every configuration in one traversal of the trace.
 ///
 /// Results are index-aligned with `cfgs` and identical to calling
@@ -397,67 +485,32 @@ impl StackGroup {
 /// by the stack-distance engine; the rest replay on independent
 /// [`Cache`] models driven from the same traversal.
 pub fn simulate_many(trace: &Trace, cfgs: &[CacheConfig]) -> Vec<CacheStats> {
-    let mut direct: Vec<(usize, Cache)> = Vec::new();
-    let mut grouped: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
-    for (i, c) in cfgs.iter().enumerate() {
-        if stackable(c) {
-            grouped
-                .entry((c.block(), c.switch_policy() as u8))
-                .or_default()
-                .push(i);
-        } else {
-            direct.push((i, Cache::new(*c)));
-        }
-    }
-    // A one-config group gets no amortization from the shared stack and
-    // would pay its walk costs for nothing — replay it directly.
-    let mut groups: Vec<StackGroup> = Vec::new();
-    for indices in grouped.values() {
-        for chunk in indices.chunks(64) {
-            if chunk.len() == 1 {
-                direct.push((chunk[0], Cache::new(cfgs[chunk[0]])));
-            } else {
-                groups.push(StackGroup::new(cfgs, chunk));
-            }
-        }
-    }
-
+    let mut sim = MultiSim::new(cfgs);
     for r in trace.iter() {
-        match r.kind() {
-            RecordKind::CtxSwitch => {
-                for g in &mut groups {
-                    g.context_switch();
-                }
-                for (_, c) in &mut direct {
-                    c.context_switch(r.pid());
-                }
-            }
-            kind => {
-                if let Some(access) = crate::sim::record_kind_to_access(kind) {
-                    for g in &mut groups {
-                        g.access(r.addr, access, r.pid());
-                    }
-                    for (_, c) in &mut direct {
-                        c.access(r.addr, access, r.pid());
-                    }
-                }
-            }
-        }
+        sim.step(r);
     }
+    sim.finish()
+}
 
-    let mut out = vec![CacheStats::default(); cfgs.len()];
-    for g in &mut groups {
-        g.finish();
-    }
-    for g in &groups {
-        for (i, c) in g.cfgs.iter().enumerate() {
-            out[c.orig] = g.stats_for(i);
+/// The out-of-core form of [`simulate_many`]: one traversal of any
+/// [`TraceSource`] — an on-disk segment file streams through at
+/// O(segment) resident memory, and the results are identical to the
+/// in-memory pass over the same records.
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source.
+pub fn simulate_many_stream<S: TraceSource>(
+    source: &mut S,
+    cfgs: &[CacheConfig],
+) -> Result<Vec<CacheStats>, TraceStreamError> {
+    let mut sim = MultiSim::new(cfgs);
+    source.stream(&mut |batch| {
+        for r in batch {
+            sim.step(r);
         }
-    }
-    for (orig, c) in &direct {
-        out[*orig] = *c.stats();
-    }
-    out
+    })?;
+    Ok(sim.finish())
 }
 
 #[cfg(test)]
@@ -573,5 +626,19 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(simulate_many(&Trace::new(), &[]).is_empty());
+    }
+
+    #[test]
+    fn streamed_matches_in_memory() {
+        let t = trace_with_switches();
+        for switch in [
+            SwitchPolicy::Ignore,
+            SwitchPolicy::Flush,
+            SwitchPolicy::PidTag,
+        ] {
+            let cfgs = sweep_configs(switch);
+            let want = simulate_many(&t, &cfgs);
+            assert_eq!(simulate_many_stream(&mut &t, &cfgs).unwrap(), want);
+        }
     }
 }

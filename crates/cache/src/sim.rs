@@ -4,7 +4,7 @@ use crate::config::CacheConfig;
 use crate::set_assoc::{AccessKind, Cache};
 use crate::stats::CacheStats;
 use crate::tlb::{TlbConfig, TlbSim};
-use atum_core::{RecordKind, Trace};
+use atum_core::{RecordKind, Trace, TraceRecord, TraceSource, TraceStreamError};
 
 pub(crate) fn record_kind_to_access(kind: RecordKind) -> Option<AccessKind> {
     match kind {
@@ -15,36 +15,83 @@ pub(crate) fn record_kind_to_access(kind: RecordKind) -> Option<AccessKind> {
     }
 }
 
+fn cache_step(cache: &mut Cache, r: &TraceRecord) {
+    match r.kind() {
+        RecordKind::CtxSwitch => cache.context_switch(r.pid()),
+        kind => {
+            if let Some(access) = record_kind_to_access(kind) {
+                cache.access(r.addr, access, r.pid());
+            }
+        }
+    }
+}
+
+fn tlb_step(tlb: &mut TlbSim, r: &TraceRecord) {
+    match r.kind() {
+        RecordKind::CtxSwitch => tlb.context_switch(r.pid()),
+        kind => {
+            if record_kind_to_access(kind).is_some() {
+                tlb.access(r.addr, r.pid());
+            }
+        }
+    }
+}
+
 /// Runs a trace through a cache configuration.
 pub fn simulate(trace: &Trace, cfg: &CacheConfig) -> CacheStats {
     let mut cache = Cache::new(*cfg);
     for r in trace.iter() {
-        match r.kind() {
-            RecordKind::CtxSwitch => cache.context_switch(r.pid()),
-            kind => {
-                if let Some(access) = record_kind_to_access(kind) {
-                    cache.access(r.addr, access, r.pid());
-                }
-            }
-        }
+        cache_step(&mut cache, r);
     }
     *cache.stats()
+}
+
+/// Runs any [`TraceSource`] through a cache configuration — identical
+/// results to [`simulate`] over the same records, at O(segment) memory
+/// for file sources.
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source.
+pub fn simulate_stream<S: TraceSource>(
+    source: &mut S,
+    cfg: &CacheConfig,
+) -> Result<CacheStats, TraceStreamError> {
+    let mut cache = Cache::new(*cfg);
+    source.stream(&mut |batch| {
+        for r in batch {
+            cache_step(&mut cache, r);
+        }
+    })?;
+    Ok(*cache.stats())
 }
 
 /// Runs a trace through a TLB configuration.
 pub fn simulate_tlb(trace: &Trace, cfg: &TlbConfig) -> CacheStats {
     let mut tlb = TlbSim::new(*cfg);
     for r in trace.iter() {
-        match r.kind() {
-            RecordKind::CtxSwitch => tlb.context_switch(r.pid()),
-            kind => {
-                if record_kind_to_access(kind).is_some() {
-                    tlb.access(r.addr, r.pid());
-                }
-            }
-        }
+        tlb_step(&mut tlb, r);
     }
     *tlb.stats()
+}
+
+/// Runs any [`TraceSource`] through a TLB configuration — the streaming
+/// form of [`simulate_tlb`].
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source.
+pub fn simulate_tlb_stream<S: TraceSource>(
+    source: &mut S,
+    cfg: &TlbConfig,
+) -> Result<CacheStats, TraceStreamError> {
+    let mut tlb = TlbSim::new(*cfg);
+    source.stream(&mut |batch| {
+        for r in batch {
+            tlb_step(&mut tlb, r);
+        }
+    })?;
+    Ok(*tlb.stats())
 }
 
 fn sweep<F>(trace: &Trace, points: &[u32], make: F) -> Vec<(u32, CacheStats)>

@@ -1,33 +1,64 @@
-//! Compact on-disk trace encoding.
+//! Compact on-disk trace encoding: the versioned **segment format**.
 //!
 //! The in-buffer format is 8 bytes per record because that is what a
 //! microcode patch can write cheaply; the archival format the host writes
 //! after extraction is delta-compressed, like the compaction step ATUM's
-//! hosts applied before shipping traces to the memory-system simulators:
+//! hosts applied before shipping traces to the memory-system simulators.
 //!
-//! * one tag byte per record — kind, kernel flag, size code, and a
-//!   "pid changed" flag;
+//! A trace file is a 5-byte header (`ATUM` magic + version byte) followed
+//! by a sequence of **segments** — one per drained sample, so the
+//! boundaries the paper's stitching methodology cares about survive the
+//! archive (v1 collapsed them). Each segment carries:
+//!
+//! * an `S` marker byte;
+//! * varint record count and payload length (the length is what lets a
+//!   reader *skip* a segment without decoding it — the parallel segment
+//!   reader in [`crate::stream`] is built on this);
+//! * a varint capture-cycle stamp (the machine's microcycle counter at
+//!   drain time; 0 when unknown, e.g. re-encoded in-memory traces);
+//! * the PID and kernel flag of the segment's first record (its context).
+//!
+//! Within a payload, each record is:
+//!
+//! * one tag byte — kind, kernel flag, size code, a "pid changed" flag,
+//!   and a **run** flag;
 //! * an optional pid byte;
 //! * a zigzag-varint address delta against the previous record *of the
 //!   same kind* (I-stream and data streams advance independently, so both
-//!   deltas stay small).
+//!   deltas stay small);
+//! * for runs, a varint count of *additional* records repeating the same
+//!   metadata and the same delta — sequential I-stream fetches collapse
+//!   to ~3 bytes however long the straight-line run is.
 //!
-//! Typical compaction is 3–4× over the raw form (measured in experiment
-//! E2).
+//! Delta state (per-kind last addresses and the last pid) **resets at
+//! every segment boundary**, so any segment can be decoded knowing only
+//! its own header — the property the out-of-core analysis path relies on.
+//!
+//! Typical compaction is 4–6× over the raw form (measured in experiment
+//! E2 and `BENCH_trace.json`).
 
 use crate::record::{RecordKind, TraceRecord};
 use crate::trace::Trace;
 use std::fmt;
 
-const MAGIC: &[u8; 4] = b"ATUM";
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"ATUM";
+pub(crate) const VERSION: u8 = 2;
+/// Marker byte opening every segment header.
+pub(crate) const SEG_MARK: u8 = b'S';
+
+const TAG_KERNEL: u8 = 1 << 3;
+const TAG_PID_CHANGED: u8 = 1 << 6;
+const TAG_RUN: u8 = 1 << 7;
 
 /// Errors from decoding an encoded trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DecodeTraceError {
     /// Missing or wrong magic/version header.
     BadHeader,
-    /// The byte stream ended mid-record.
+    /// A segment header is malformed (bad marker byte, or the payload
+    /// does not contain exactly the advertised records).
+    BadSegment,
+    /// The byte stream ended mid-record or mid-header.
     Truncated,
     /// A tag byte carried an invalid kind.
     BadTag(u8),
@@ -37,6 +68,7 @@ impl fmt::Display for DecodeTraceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeTraceError::BadHeader => f.write_str("bad trace file header"),
+            DecodeTraceError::BadSegment => f.write_str("malformed trace segment"),
             DecodeTraceError::Truncated => f.write_str("trace file truncated"),
             DecodeTraceError::BadTag(t) => write!(f, "invalid record tag {t:#04x}"),
         }
@@ -44,6 +76,24 @@ impl fmt::Display for DecodeTraceError {
 }
 
 impl std::error::Error for DecodeTraceError {}
+
+/// One segment's header: the metadata a reader needs to decode (or skip)
+/// the payload that follows, and the context ATUM's hosts kept alongside
+/// the raw addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegmentHeader {
+    /// Records in the segment (markers included).
+    pub records: u64,
+    /// Encoded payload length in bytes.
+    pub payload_len: u64,
+    /// Machine microcycle counter at capture/drain time (0 if unknown).
+    pub cycle: u64,
+    /// PID of the segment's first record (0 for an empty segment). Also
+    /// the initial pid-delta state of the payload.
+    pub pid: u8,
+    /// Whether the segment's first record was made in kernel mode.
+    pub kernel: bool,
+}
 
 fn size_code(size: u32) -> u8 {
     match size {
@@ -71,7 +121,7 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn push_varint(out: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -83,7 +133,7 @@ fn push_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeTraceError> {
+pub(crate) fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeTraceError> {
     let mut v = 0u64;
     let mut shift = 0;
     loop {
@@ -100,38 +150,179 @@ fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, DecodeTraceError> {
     }
 }
 
-/// Encodes a trace into the compact archival format.
-pub fn encode_trace(trace: &Trace) -> Vec<u8> {
-    let mut out = Vec::with_capacity(trace.len() * 3 + 16);
-    out.extend_from_slice(MAGIC);
-    out.push(VERSION);
-    push_varint(&mut out, trace.len() as u64);
+/// Encodes one segment's records into `payload` (cleared first), with
+/// delta state starting fresh: per-kind last addresses at 0, last pid at
+/// the value [`segment_header_of`] reports for these records.
+pub(crate) fn encode_segment_payload(records: &[TraceRecord], payload: &mut Vec<u8>) {
+    payload.clear();
     let mut last_addr = [0u32; 7]; // indexed by kind
-    let mut last_pid = 0u8;
-    for r in trace.iter() {
+    let mut last_pid = records.first().map_or(0, |r| r.pid());
+    let mut i = 0usize;
+    while i < records.len() {
+        let r = records[i];
         let kind = r.kind() as u8;
+        let delta = r.addr as i64 - last_addr[kind as usize] as i64;
+        // A run: following records with identical metadata whose
+        // addresses continue advancing by the same delta. Sequential
+        // I-stream fetches are the motivating case.
+        let mut extra = 0usize;
+        let mut prev = r.addr;
+        while let Some(&nxt) = records.get(i + 1 + extra) {
+            if nxt.meta == r.meta && nxt.addr == (prev as i64 + delta) as u32 {
+                prev = nxt.addr;
+                extra += 1;
+            } else {
+                break;
+            }
+        }
         let pid_changed = r.pid() != last_pid;
         let mut tag = kind & 0x07;
         if r.is_kernel() {
-            tag |= 1 << 3;
+            tag |= TAG_KERNEL;
         }
         tag |= size_code(r.size()) << 4;
         if pid_changed {
-            tag |= 1 << 6;
+            tag |= TAG_PID_CHANGED;
         }
-        out.push(tag);
+        if extra > 0 {
+            tag |= TAG_RUN;
+        }
+        payload.push(tag);
         if pid_changed {
-            out.push(r.pid());
+            payload.push(r.pid());
             last_pid = r.pid();
         }
-        let delta = r.addr as i64 - last_addr[kind as usize] as i64;
-        push_varint(&mut out, zigzag(delta));
-        last_addr[kind as usize] = r.addr;
+        push_varint(payload, zigzag(delta));
+        if extra > 0 {
+            push_varint(payload, extra as u64);
+        }
+        last_addr[kind as usize] = prev;
+        i += 1 + extra;
+    }
+}
+
+/// The header describing `records` as one segment.
+pub(crate) fn segment_header_of(
+    records: &[TraceRecord],
+    cycle: u64,
+    payload_len: u64,
+) -> SegmentHeader {
+    let first = records.first();
+    SegmentHeader {
+        records: records.len() as u64,
+        payload_len,
+        cycle,
+        pid: first.map_or(0, |r| r.pid()),
+        kernel: first.is_some_and(|r| r.is_kernel()),
+    }
+}
+
+/// Serialises a segment header.
+pub(crate) fn push_segment_header(out: &mut Vec<u8>, h: &SegmentHeader) {
+    out.push(SEG_MARK);
+    push_varint(out, h.records);
+    push_varint(out, h.payload_len);
+    push_varint(out, h.cycle);
+    out.push(h.pid);
+    out.push(h.kernel as u8);
+}
+
+/// Parses a segment header from `bytes` at `*pos`, advancing it.
+pub(crate) fn parse_segment_header(
+    bytes: &[u8],
+    pos: &mut usize,
+) -> Result<SegmentHeader, DecodeTraceError> {
+    let mark = *bytes.get(*pos).ok_or(DecodeTraceError::Truncated)?;
+    *pos += 1;
+    if mark != SEG_MARK {
+        return Err(DecodeTraceError::BadSegment);
+    }
+    let records = read_varint(bytes, pos)?;
+    let payload_len = read_varint(bytes, pos)?;
+    let cycle = read_varint(bytes, pos)?;
+    let pid = *bytes.get(*pos).ok_or(DecodeTraceError::Truncated)?;
+    let kernel = *bytes.get(*pos + 1).ok_or(DecodeTraceError::Truncated)? != 0;
+    *pos += 2;
+    Ok(SegmentHeader {
+        records,
+        payload_len,
+        cycle,
+        pid,
+        kernel,
+    })
+}
+
+/// Decodes one segment's payload, appending exactly `h.records` records
+/// to `out`. The whole payload must be consumed — trailing bytes, or a
+/// payload that runs out early, are [`DecodeTraceError::BadSegment`] /
+/// [`DecodeTraceError::Truncated`].
+pub(crate) fn decode_segment_payload(
+    payload: &[u8],
+    h: &SegmentHeader,
+    out: &mut Vec<TraceRecord>,
+) -> Result<(), DecodeTraceError> {
+    // Each encoded unit is ≥ 2 bytes but can expand to many records (a
+    // run), so reserve conservatively from the payload size, not the
+    // advertised count — a corrupt count must not allocate unbounded.
+    out.reserve(payload.len().min(h.records as usize));
+    let mut pos = 0usize;
+    let mut produced = 0u64;
+    let mut last_addr = [0u32; 7];
+    let mut last_pid = h.pid;
+    while produced < h.records {
+        let tag = *payload.get(pos).ok_or(DecodeTraceError::Truncated)?;
+        pos += 1;
+        let kind =
+            RecordKind::from_bits((tag & 0x07) as u32).ok_or(DecodeTraceError::BadTag(tag))?;
+        let kernel = tag & TAG_KERNEL != 0;
+        let size = code_size((tag >> 4) & 0x03);
+        if tag & TAG_PID_CHANGED != 0 {
+            last_pid = *payload.get(pos).ok_or(DecodeTraceError::Truncated)?;
+            pos += 1;
+        }
+        let delta = unzigzag(read_varint(payload, &mut pos)?);
+        let count = if tag & TAG_RUN != 0 {
+            1 + read_varint(payload, &mut pos)?
+        } else {
+            1
+        };
+        // A run longer than the records the header admits is corruption;
+        // reject before materialising anything.
+        if count > h.records - produced {
+            return Err(DecodeTraceError::BadSegment);
+        }
+        let mut addr = last_addr[kind as usize];
+        for _ in 0..count {
+            addr = (addr as i64 + delta) as u32;
+            out.push(TraceRecord::new(kind, addr, size, last_pid, kernel));
+        }
+        last_addr[kind as usize] = addr;
+        produced += count;
+    }
+    if pos != payload.len() {
+        return Err(DecodeTraceError::BadSegment);
+    }
+    Ok(())
+}
+
+/// Encodes a trace into the compact archival segment format, one file
+/// segment per trace segment — boundaries round-trip exactly.
+pub fn encode_trace(trace: &Trace) -> Vec<u8> {
+    let mut out = Vec::with_capacity(trace.len() * 2 + 16);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    let mut payload = Vec::new();
+    for seg in trace.segment_slices() {
+        encode_segment_payload(seg, &mut payload);
+        let h = segment_header_of(seg, 0, payload.len() as u64);
+        push_segment_header(&mut out, &h);
+        out.extend_from_slice(&payload);
     }
     out
 }
 
-/// Decodes a trace from the compact archival format.
+/// Decodes a trace from the compact archival segment format, restoring
+/// records *and* segment boundaries.
 ///
 /// # Errors
 ///
@@ -141,25 +332,23 @@ pub fn decode_trace(bytes: &[u8]) -> Result<Trace, DecodeTraceError> {
         return Err(DecodeTraceError::BadHeader);
     }
     let mut pos = 5;
-    let count = read_varint(bytes, &mut pos)?;
     let mut trace = Trace::new();
-    let mut last_addr = [0u32; 7];
-    let mut last_pid = 0u8;
-    for _ in 0..count {
-        let tag = *bytes.get(pos).ok_or(DecodeTraceError::Truncated)?;
-        pos += 1;
-        let kind =
-            RecordKind::from_bits((tag & 0x07) as u32).ok_or(DecodeTraceError::BadTag(tag))?;
-        let kernel = tag & (1 << 3) != 0;
-        let size = code_size((tag >> 4) & 0x03);
-        if tag & (1 << 6) != 0 {
-            last_pid = *bytes.get(pos).ok_or(DecodeTraceError::Truncated)?;
-            pos += 1;
+    let mut records = Vec::new();
+    let mut first = true;
+    while pos < bytes.len() {
+        let h = parse_segment_header(bytes, &mut pos)?;
+        let end = pos
+            .checked_add(h.payload_len as usize)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(DecodeTraceError::Truncated)?;
+        records.clear();
+        decode_segment_payload(&bytes[pos..end], &h, &mut records)?;
+        pos = end;
+        if !first {
+            trace.begin_segment();
         }
-        let delta = unzigzag(read_varint(bytes, &mut pos)?);
-        let addr = (last_addr[kind as usize] as i64 + delta) as u32;
-        last_addr[kind as usize] = addr;
-        trace.push(TraceRecord::new(kind, addr, size, last_pid, kernel));
+        first = false;
+        trace.extend(records.iter().copied());
     }
     Ok(trace)
 }
@@ -199,15 +388,29 @@ mod tests {
         t
     }
 
+    fn stitched_trace() -> Trace {
+        let mut t = sample_trace();
+        t.stitch(sample_trace());
+        t.stitch(Trace::new()); // an empty drained sample
+        t.stitch(sample_trace());
+        t
+    }
+
     #[test]
     fn round_trip() {
         let t = sample_trace();
         let bytes = encode_trace(&t);
         let back = decode_trace(&bytes).unwrap();
-        assert_eq!(back.len(), t.len());
-        for (a, b) in t.iter().zip(back.iter()) {
-            assert_eq!(a, b);
-        }
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn round_trip_preserves_segments() {
+        let t = stitched_trace();
+        assert_eq!(t.segments(), 4);
+        let back = decode_trace(&encode_trace(&t)).unwrap();
+        assert_eq!(back, t, "records and segment boundaries both survive");
+        assert_eq!(back.segments(), 4);
     }
 
     #[test]
@@ -216,40 +419,107 @@ mod tests {
         let raw = t.len() * 8;
         let encoded = encode_trace(&t).len();
         assert!(
-            (encoded as f64) < raw as f64 / 2.5,
-            "expected ≥2.5x compaction, got {raw}/{encoded}"
+            (encoded as f64) < raw as f64 / 3.0,
+            "expected ≥3x compaction, got {raw}/{encoded}"
         );
+    }
+
+    #[test]
+    fn istream_runs_collapse() {
+        // 1000 sequential fetches: one record establishes the position,
+        // the rest collapse into a single run.
+        let mut t = Trace::new();
+        for i in 0..1000u32 {
+            t.push(TraceRecord::new(
+                RecordKind::IFetch,
+                0x4000 + i * 4,
+                4,
+                3,
+                false,
+            ));
+        }
+        let bytes = encode_trace(&t);
+        assert!(
+            bytes.len() < 32,
+            "a straight-line I-stream should be a handful of bytes, got {}",
+            bytes.len()
+        );
+        assert_eq!(decode_trace(&bytes).unwrap(), t);
     }
 
     #[test]
     fn empty_trace() {
         let t = Trace::new();
         let bytes = encode_trace(&t);
-        assert!(decode_trace(&bytes).unwrap().is_empty());
+        let back = decode_trace(&bytes).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.segments(), 1);
     }
 
     #[test]
     fn header_validation() {
         assert_eq!(decode_trace(b"").unwrap_err(), DecodeTraceError::BadHeader);
         assert_eq!(
-            decode_trace(b"NOPE\x01\x00").unwrap_err(),
+            decode_trace(b"NOPE\x02\x00").unwrap_err(),
             DecodeTraceError::BadHeader
         );
+        // v1 files are rejected, not misread.
         assert_eq!(
-            decode_trace(b"ATUM\x02\x00").unwrap_err(),
+            decode_trace(b"ATUM\x01\x00").unwrap_err(),
             DecodeTraceError::BadHeader
         );
     }
 
     #[test]
     fn truncation_detected() {
-        let t = sample_trace();
+        let t = stitched_trace();
         let bytes = encode_trace(&t);
-        let cut = &bytes[..bytes.len() - 1];
-        assert!(matches!(
-            decode_trace(cut),
-            Err(DecodeTraceError::Truncated)
-        ));
+        for cut in [bytes.len() - 1, bytes.len() / 2, 6] {
+            assert!(
+                matches!(
+                    decode_trace(&bytes[..cut]),
+                    Err(DecodeTraceError::Truncated) | Err(DecodeTraceError::BadSegment)
+                ),
+                "cut at {cut} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_segment_marker_detected() {
+        let t = sample_trace();
+        let mut bytes = encode_trace(&t);
+        bytes[5] = b'X'; // the first segment's marker byte
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err(),
+            DecodeTraceError::BadSegment
+        );
+    }
+
+    #[test]
+    fn oversized_run_rejected_without_allocation() {
+        // Hand-build a segment claiming 2 records whose payload encodes a
+        // run of 100: must fail cleanly, not materialise the run.
+        let mut bytes = vec![b'A', b'T', b'U', b'M', VERSION];
+        let mut payload = Vec::new();
+        payload.push(1u8 | TAG_RUN | (2 << 4)); // IFetch, longword, run
+        push_varint(&mut payload, zigzag(4));
+        push_varint(&mut payload, 99); // 100 records total
+        push_segment_header(
+            &mut bytes,
+            &SegmentHeader {
+                records: 2,
+                payload_len: payload.len() as u64,
+                cycle: 0,
+                pid: 0,
+                kernel: false,
+            },
+        );
+        bytes.extend_from_slice(&payload);
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err(),
+            DecodeTraceError::BadSegment
+        );
     }
 
     #[test]

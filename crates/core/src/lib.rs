@@ -57,13 +57,18 @@ pub mod patch;
 mod record;
 mod stats;
 mod stitch;
+mod stream;
 mod trace;
 mod tracer;
 
-pub use encode::{decode_trace, encode_trace, DecodeTraceError};
+pub use encode::{decode_trace, encode_trace, DecodeTraceError, SegmentHeader};
 pub use patch::{PatchSet, PatchStyle};
 pub use record::{RecordKind, TraceRecord};
 pub use stats::TraceStats;
-pub use stitch::{Capture, CaptureSession};
+pub use stitch::{Capture, CaptureSession, CaptureStreamError, StreamedCapture};
+pub use stream::{
+    FilteredTraceSource, SegmentFileSource, SegmentReader, SegmentWriter, StreamStats, TraceSource,
+    TraceStreamError,
+};
 pub use trace::Trace;
 pub use tracer::{Tracer, TracerError};

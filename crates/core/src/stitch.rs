@@ -2,9 +2,13 @@
 //! the drained samples — the paper's methodology for traces longer than
 //! the hidden buffer.
 
+use crate::record::{RecordKind, TraceRecord};
+use crate::stream::{SegmentWriter, StreamStats};
 use crate::trace::Trace;
 use crate::tracer::{Tracer, TracerError};
 use atum_machine::{Machine, RunExit};
+use std::fmt;
+use std::io::{self, Write};
 
 /// The result of a capture session.
 #[derive(Debug)]
@@ -15,6 +19,57 @@ pub struct Capture {
     pub exit: RunExit,
     /// Number of buffer-full drains that occurred (segments - 1).
     pub drains: u32,
+}
+
+/// The result of a streamed capture session: the trace went to the
+/// [`SegmentWriter`], so only the exit and counters come back.
+#[derive(Debug)]
+pub struct StreamedCapture {
+    /// How the final run ended.
+    pub exit: RunExit,
+    /// Number of buffer-full drains that occurred.
+    pub drains: u32,
+    /// The writer's totals after the final segment.
+    pub stats: StreamStats,
+}
+
+/// Errors from a streamed capture: a drain failure or a write failure.
+#[derive(Debug)]
+pub enum CaptureStreamError {
+    /// Extraction from the hidden buffer failed.
+    Tracer(TracerError),
+    /// Writing a segment to the output failed.
+    Io(io::Error),
+}
+
+impl fmt::Display for CaptureStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureStreamError::Tracer(e) => write!(f, "capture drain failed: {e}"),
+            CaptureStreamError::Io(e) => write!(f, "segment write failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CaptureStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CaptureStreamError::Tracer(e) => Some(e),
+            CaptureStreamError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<TracerError> for CaptureStreamError {
+    fn from(e: TracerError) -> CaptureStreamError {
+        CaptureStreamError::Tracer(e)
+    }
+}
+
+impl From<io::Error> for CaptureStreamError {
+    fn from(e: io::Error) -> CaptureStreamError {
+        CaptureStreamError::Io(e)
+    }
 }
 
 /// Drives a traced machine to completion, draining the hidden buffer each
@@ -72,6 +127,68 @@ impl<'t> CaptureSession<'t> {
                         drains,
                     });
                 }
+            }
+        }
+    }
+
+    /// As [`CaptureSession::run`], but each drained sample goes straight
+    /// to a [`SegmentWriter`] and its record buffer is reused — the
+    /// capture's resident cost is O(hidden buffer), not O(trace).
+    ///
+    /// The file decodes to exactly the trace [`CaptureSession::run`]
+    /// would have returned: one file segment per stitched segment, with
+    /// the same [`RecordKind::SegmentMark`] separators, stamped with the
+    /// machine's cycle counter at each drain. (One segment is held back
+    /// until the next drain so the mark can be appended to its tail, as
+    /// stitching does.)
+    ///
+    /// # Errors
+    ///
+    /// [`CaptureStreamError::Tracer`] if a drain fails;
+    /// [`CaptureStreamError::Io`] if a segment write fails.
+    pub fn run_streaming<W: Write>(
+        &self,
+        m: &mut Machine,
+        w: &mut SegmentWriter<W>,
+    ) -> Result<StreamedCapture, CaptureStreamError> {
+        self.tracer.set_enabled(m, true);
+        let deadline = m.cycles().saturating_add(self.max_total_cycles);
+        let mut cur: Vec<TraceRecord> = Vec::new();
+        let mut pending: Vec<TraceRecord> = Vec::new();
+        let mut have_pending = false;
+        let mut pending_cycle = 0u64;
+        let mut drains = 0u32;
+        loop {
+            let budget = deadline.saturating_sub(m.cycles());
+            let exit = m.run(budget);
+            let full_drain = matches!(exit, RunExit::Halted)
+                && self.tracer.is_full(m)
+                && drains < self.max_drains;
+            self.tracer.drain_into(m, &mut cur)?;
+            // Leading empty samples vanish, exactly as stitching them
+            // into an empty trace would.
+            if have_pending || !cur.is_empty() {
+                if have_pending {
+                    pending.push(TraceRecord::new(RecordKind::SegmentMark, 0, 0, 0, false));
+                    w.write_segment(&pending, pending_cycle)?;
+                }
+                std::mem::swap(&mut pending, &mut cur);
+                pending_cycle = m.cycles();
+                have_pending = true;
+            }
+            if full_drain {
+                drains += 1;
+                m.resume();
+            } else {
+                if have_pending {
+                    w.write_segment(&pending, pending_cycle)?;
+                }
+                self.tracer.set_enabled(m, false);
+                return Ok(StreamedCapture {
+                    exit,
+                    drains,
+                    stats: w.stats(),
+                });
             }
         }
     }

@@ -1,0 +1,790 @@
+//! Streaming trace I/O: incremental segment-file writers and readers,
+//! and the [`TraceSource`] abstraction the out-of-core analysis passes
+//! consume.
+//!
+//! The archival format ([`crate::encode`]) is a sequence of
+//! independently-decodable segments; this module exploits that in three
+//! ways:
+//!
+//! * [`SegmentWriter`] appends segments incrementally — the capture
+//!   drain path writes each drained sample straight to disk and reuses
+//!   its record buffer, so a capture's resident cost is one buffer, not
+//!   the whole trace;
+//! * [`SegmentReader`] walks a file one segment at a time with reusable
+//!   payload/record buffers — O(segment) memory however large the file;
+//! * [`SegmentFileSource`] streams a file into a sink, optionally with a
+//!   pool of reader threads that decode segments concurrently and merge
+//!   them **in order**, so the records a consumer observes are identical
+//!   at any job count.
+//!
+//! [`TraceSource`] is the seam between capture and analysis: an
+//! in-memory [`Trace`], an allocation-free filtered view of one, or an
+//! on-disk segment file all stream the same way, and
+//! `simulate_many_stream` / `working_set_stream` in the downstream
+//! crates take any of them.
+
+use crate::encode::{
+    decode_segment_payload, encode_segment_payload, push_segment_header, segment_header_of,
+    DecodeTraceError, SegmentHeader, MAGIC, SEG_MARK, VERSION,
+};
+use crate::record::TraceRecord;
+use crate::trace::Trace;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Errors from streaming trace I/O.
+#[derive(Debug)]
+pub enum TraceStreamError {
+    /// An underlying read/write failed.
+    Io(io::Error),
+    /// The byte stream is not a valid segment trace file.
+    Decode(DecodeTraceError),
+}
+
+impl fmt::Display for TraceStreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceStreamError::Io(e) => write!(f, "trace stream I/O error: {e}"),
+            TraceStreamError::Decode(e) => write!(f, "trace stream decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceStreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceStreamError::Io(e) => Some(e),
+            TraceStreamError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for TraceStreamError {
+    fn from(e: io::Error) -> TraceStreamError {
+        TraceStreamError::Io(e)
+    }
+}
+
+impl From<DecodeTraceError> for TraceStreamError {
+    fn from(e: DecodeTraceError) -> TraceStreamError {
+        TraceStreamError::Decode(e)
+    }
+}
+
+/// Running totals a [`SegmentWriter`] maintains — enough to report the
+/// compression ratio without re-reading what was written.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Segments written.
+    pub segments: u64,
+    /// Records written (markers included).
+    pub records: u64,
+    /// Encoded bytes written, file header included.
+    pub encoded_bytes: u64,
+}
+
+impl StreamStats {
+    /// What the records would occupy in the raw 8-byte in-buffer form.
+    pub fn raw_bytes(&self) -> u64 {
+        self.records * 8
+    }
+
+    /// Raw-to-encoded compression ratio (0.0 for an empty stream).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.encoded_bytes == 0 {
+            0.0
+        } else {
+            self.raw_bytes() as f64 / self.encoded_bytes as f64
+        }
+    }
+}
+
+/// Incremental segment-file writer. Writes the file header up front,
+/// then one segment per [`SegmentWriter::write_segment`] call, reusing
+/// its internal encode buffers — the capture drain path's resident cost
+/// stays O(buffer).
+#[derive(Debug)]
+pub struct SegmentWriter<W: Write> {
+    w: W,
+    head: Vec<u8>,
+    payload: Vec<u8>,
+    stats: StreamStats,
+}
+
+impl SegmentWriter<BufWriter<File>> {
+    /// Creates (truncating) a segment trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from creating or writing the file.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<SegmentWriter<BufWriter<File>>> {
+        SegmentWriter::new(BufWriter::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> SegmentWriter<W> {
+    /// Wraps a writer, emitting the magic/version file header.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the underlying writer.
+    pub fn new(mut w: W) -> io::Result<SegmentWriter<W>> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[VERSION])?;
+        Ok(SegmentWriter {
+            w,
+            head: Vec::new(),
+            payload: Vec::new(),
+            stats: StreamStats {
+                segments: 0,
+                records: 0,
+                encoded_bytes: (MAGIC.len() + 1) as u64,
+            },
+        })
+    }
+
+    /// Appends one segment: `records` become an independently decodable
+    /// unit stamped with the capture-time `cycle` counter.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the underlying writer.
+    pub fn write_segment(&mut self, records: &[TraceRecord], cycle: u64) -> io::Result<()> {
+        encode_segment_payload(records, &mut self.payload);
+        let h = segment_header_of(records, cycle, self.payload.len() as u64);
+        self.head.clear();
+        push_segment_header(&mut self.head, &h);
+        self.w.write_all(&self.head)?;
+        self.w.write_all(&self.payload)?;
+        self.stats.segments += 1;
+        self.stats.records += h.records;
+        self.stats.encoded_bytes += (self.head.len() + self.payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Appends every segment of an in-memory trace (cycle stamps 0, as
+    /// re-encoded traces have no capture clock). The file decodes back
+    /// to `trace` exactly, boundaries included.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the underlying writer.
+    pub fn write_trace(&mut self, trace: &Trace) -> io::Result<()> {
+        for seg in trace.segment_slices() {
+            self.write_segment(seg, 0)?;
+        }
+        Ok(())
+    }
+
+    /// Totals so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Flushes and returns the totals.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] from the flush.
+    pub fn finish(mut self) -> io::Result<StreamStats> {
+        self.w.flush()?;
+        Ok(self.stats)
+    }
+}
+
+/// Reads one byte, distinguishing clean EOF (`None`) from errors.
+fn read_byte_opt<R: Read>(r: &mut R) -> io::Result<Option<u8>> {
+    let mut b = [0u8; 1];
+    loop {
+        match r.read(&mut b) {
+            Ok(0) => return Ok(None),
+            Ok(_) => return Ok(Some(b[0])),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn read_varint_r<R: Read>(r: &mut R) -> Result<u64, TraceStreamError> {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = read_byte_opt(r)?.ok_or(TraceStreamError::Decode(DecodeTraceError::Truncated))?;
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(TraceStreamError::Decode(DecodeTraceError::Truncated));
+        }
+    }
+}
+
+/// Reads a segment header from a reader positioned at a segment
+/// boundary; `None` at clean EOF.
+fn read_segment_header_r<R: Read>(r: &mut R) -> Result<Option<SegmentHeader>, TraceStreamError> {
+    let mark = match read_byte_opt(r)? {
+        None => return Ok(None),
+        Some(m) => m,
+    };
+    if mark != SEG_MARK {
+        return Err(TraceStreamError::Decode(DecodeTraceError::BadSegment));
+    }
+    let records = read_varint_r(r)?;
+    let payload_len = read_varint_r(r)?;
+    let cycle = read_varint_r(r)?;
+    let mut tail = [0u8; 2];
+    r.read_exact(&mut tail)
+        .map_err(|_| TraceStreamError::Decode(DecodeTraceError::Truncated))?;
+    Ok(Some(SegmentHeader {
+        records,
+        payload_len,
+        cycle,
+        pid: tail[0],
+        kernel: tail[1] != 0,
+    }))
+}
+
+fn check_file_header<R: Read>(r: &mut R) -> Result<(), TraceStreamError> {
+    let mut hdr = [0u8; 5];
+    r.read_exact(&mut hdr)
+        .map_err(|_| TraceStreamError::Decode(DecodeTraceError::BadHeader))?;
+    if &hdr[0..4] != MAGIC || hdr[4] != VERSION {
+        return Err(TraceStreamError::Decode(DecodeTraceError::BadHeader));
+    }
+    Ok(())
+}
+
+/// Reads exactly `len` payload bytes into `payload` (cleared first).
+/// Grows with the data actually present, so a corrupt length cannot
+/// trigger an unbounded allocation.
+fn read_payload<R: Read>(
+    r: &mut R,
+    len: u64,
+    payload: &mut Vec<u8>,
+) -> Result<(), TraceStreamError> {
+    payload.clear();
+    r.take(len).read_to_end(payload)?;
+    if payload.len() as u64 != len {
+        return Err(TraceStreamError::Decode(DecodeTraceError::Truncated));
+    }
+    Ok(())
+}
+
+/// Buffered segment-file reader: walks a file one segment at a time with
+/// reusable payload and record buffers, so memory stays O(largest
+/// segment) regardless of file size.
+#[derive(Debug)]
+pub struct SegmentReader<R: Read> {
+    r: R,
+    payload: Vec<u8>,
+    records: Vec<TraceRecord>,
+}
+
+impl SegmentReader<BufReader<File>> {
+    /// Opens a segment trace file.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceStreamError::Io`] if the open fails;
+    /// [`DecodeTraceError::BadHeader`] if it is not a segment trace file.
+    pub fn open(
+        path: impl AsRef<Path>,
+    ) -> Result<SegmentReader<BufReader<File>>, TraceStreamError> {
+        SegmentReader::new(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read> SegmentReader<R> {
+    /// Wraps a reader positioned at the start of a segment trace stream,
+    /// checking the magic/version header.
+    ///
+    /// # Errors
+    ///
+    /// As [`SegmentReader::open`].
+    pub fn new(mut r: R) -> Result<SegmentReader<R>, TraceStreamError> {
+        check_file_header(&mut r)?;
+        Ok(SegmentReader {
+            r,
+            payload: Vec::new(),
+            records: Vec::new(),
+        })
+    }
+
+    /// Decodes the next segment, or `None` at clean end-of-stream. The
+    /// returned slice borrows the reader's internal buffer and is valid
+    /// until the next call.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`].
+    pub fn next_segment(
+        &mut self,
+    ) -> Result<Option<(SegmentHeader, &[TraceRecord])>, TraceStreamError> {
+        let h = match read_segment_header_r(&mut self.r)? {
+            None => return Ok(None),
+            Some(h) => h,
+        };
+        read_payload(&mut self.r, h.payload_len, &mut self.payload)?;
+        self.records.clear();
+        decode_segment_payload(&self.payload, &h, &mut self.records)?;
+        Ok(Some((h, &self.records)))
+    }
+}
+
+/// A record stream: the seam between capture and analysis. In-memory
+/// traces, filtered views of them, and on-disk segment files all
+/// implement it, so the streaming analysis passes are agnostic to where
+/// records live.
+///
+/// `stream` delivers every record, in trace order, as a series of
+/// slices. It may be called more than once; each call restarts from the
+/// beginning (file sources reopen the file).
+pub trait TraceSource {
+    /// Streams all records into `sink`, in order.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`] from the underlying source.
+    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError>;
+}
+
+impl TraceSource for &Trace {
+    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
+        for seg in self.segment_slices() {
+            sink(seg);
+        }
+        Ok(())
+    }
+}
+
+impl TraceSource for Trace {
+    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
+        let mut by_ref: &Trace = self;
+        by_ref.stream(sink)
+    }
+}
+
+enum Filter {
+    User,
+    Pid(u8),
+}
+
+/// Chunk size for filtered in-memory sources: large enough to amortise
+/// the per-slice dispatch, small enough to stay cache-resident.
+const FILTER_CHUNK: usize = 4096;
+
+/// An allocation-free filtered view of an in-memory trace, streaming
+/// only the matching references (in fixed-size chunks). Built by
+/// [`Trace::user_source`] / [`Trace::pid_source`].
+pub struct FilteredTraceSource<'a> {
+    trace: &'a Trace,
+    filter: Filter,
+}
+
+impl<'a> FilteredTraceSource<'a> {
+    pub(crate) fn user(trace: &'a Trace) -> FilteredTraceSource<'a> {
+        FilteredTraceSource {
+            trace,
+            filter: Filter::User,
+        }
+    }
+
+    pub(crate) fn pid(trace: &'a Trace, pid: u8) -> FilteredTraceSource<'a> {
+        FilteredTraceSource {
+            trace,
+            filter: Filter::Pid(pid),
+        }
+    }
+}
+
+impl TraceSource for FilteredTraceSource<'_> {
+    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
+        let mut buf = Vec::with_capacity(FILTER_CHUNK);
+        let mut emit = |r: TraceRecord, buf: &mut Vec<TraceRecord>| {
+            buf.push(r);
+            if buf.len() == FILTER_CHUNK {
+                sink(buf);
+                buf.clear();
+            }
+        };
+        match self.filter {
+            Filter::User => {
+                for r in self.trace.user_refs() {
+                    emit(r, &mut buf);
+                }
+            }
+            Filter::Pid(p) => {
+                for r in self.trace.pid_refs(p) {
+                    emit(r, &mut buf);
+                }
+            }
+        }
+        if !buf.is_empty() {
+            sink(&buf);
+        }
+        Ok(())
+    }
+}
+
+/// One entry of a segment index: where a segment's payload starts.
+struct IndexEntry {
+    header: SegmentHeader,
+    payload_offset: u64,
+}
+
+/// Scans a file's segment headers without decoding payloads — the
+/// skip-seek pass that makes parallel reading possible.
+fn scan_index(path: &Path) -> Result<Vec<IndexEntry>, TraceStreamError> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    check_file_header(&mut r)?;
+    let mut pos: u64 = (MAGIC.len() + 1) as u64;
+    let mut index = Vec::new();
+    loop {
+        // Headers are tiny; re-serialising the parsed header is the
+        // cheapest way to know how many bytes it occupied.
+        let h = match read_segment_header_r(&mut r)? {
+            None => break,
+            Some(h) => h,
+        };
+        let mut sz = Vec::with_capacity(16);
+        push_segment_header(&mut sz, &h);
+        pos += sz.len() as u64;
+        if pos + h.payload_len > file_len {
+            return Err(TraceStreamError::Decode(DecodeTraceError::Truncated));
+        }
+        index.push(IndexEntry {
+            header: h,
+            payload_offset: pos,
+        });
+        r.seek_relative(h.payload_len as i64)?;
+        pos += h.payload_len;
+    }
+    Ok(index)
+}
+
+/// Decodes one indexed segment from an independent file handle.
+fn decode_segment_at(
+    r: &mut BufReader<File>,
+    entry: &IndexEntry,
+    payload: &mut Vec<u8>,
+) -> Result<Vec<TraceRecord>, TraceStreamError> {
+    r.seek(SeekFrom::Start(entry.payload_offset))?;
+    read_payload(r, entry.header.payload_len, payload)?;
+    let mut records = Vec::new();
+    decode_segment_payload(payload, &entry.header, &mut records)?;
+    Ok(records)
+}
+
+/// Shared state of the parallel reader: decoded segments waiting for the
+/// in-order consumer, the index the consumer wants next, and the abort
+/// flag that unwinds everything on error.
+struct MergeState {
+    ready: BTreeMap<usize, Result<Vec<TraceRecord>, TraceStreamError>>,
+    want: usize,
+    abort: bool,
+}
+
+/// Streams a segment file through a pool of `jobs` reader threads with
+/// an ordered merge: workers claim segment indices from a shared
+/// counter, decode with their own file handles, and deposit results
+/// keyed by index; the calling thread consumes them strictly in order,
+/// so the sink observes exactly the sequential byte order. A bounded
+/// in-flight window applies backpressure so memory stays O(jobs ×
+/// segment), not O(file).
+fn stream_parallel(
+    path: &Path,
+    jobs: usize,
+    sink: &mut dyn FnMut(&[TraceRecord]),
+) -> Result<(), TraceStreamError> {
+    let index = scan_index(path)?;
+    if index.is_empty() {
+        return Ok(());
+    }
+    let jobs = jobs.min(index.len());
+    let next = AtomicUsize::new(0);
+    let state = Mutex::new(MergeState {
+        ready: BTreeMap::new(),
+        want: 0,
+        abort: false,
+    });
+    let cv = Condvar::new();
+    // In-flight cap: enough to keep every worker busy while the
+    // consumer catches up, without buffering the whole file.
+    let cap = jobs * 2;
+    let mut outcome: Result<(), TraceStreamError> = Ok(());
+
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {
+                let mut file: Option<BufReader<File>> = None;
+                let mut payload = Vec::new();
+                loop {
+                    if state.lock().unwrap().abort {
+                        return;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= index.len() {
+                        return;
+                    }
+                    let res = match &mut file {
+                        Some(f) => decode_segment_at(f, &index[i], &mut payload),
+                        None => match File::open(path) {
+                            Ok(f) => {
+                                let f = file.insert(BufReader::new(f));
+                                decode_segment_at(f, &index[i], &mut payload)
+                            }
+                            Err(e) => Err(TraceStreamError::Io(e)),
+                        },
+                    };
+                    let mut g = state.lock().unwrap();
+                    // The consumer's wanted segment must always get
+                    // through, or the merge would deadlock at the cap.
+                    while g.ready.len() >= cap && i != g.want && !g.abort {
+                        g = cv.wait(g).unwrap();
+                    }
+                    if g.abort {
+                        return;
+                    }
+                    g.ready.insert(i, res);
+                    cv.notify_all();
+                }
+            });
+        }
+
+        // In-order consumer on the calling thread — the only place the
+        // (non-Send) sink is touched.
+        for want in 0..index.len() {
+            let res = {
+                let mut g = state.lock().unwrap();
+                g.want = want;
+                cv.notify_all();
+                while !g.ready.contains_key(&want) {
+                    g = cv.wait(g).unwrap();
+                }
+                g.ready.remove(&want).unwrap()
+            };
+            match res {
+                Ok(records) => sink(&records),
+                Err(e) => {
+                    outcome = Err(e);
+                    let mut g = state.lock().unwrap();
+                    g.abort = true;
+                    cv.notify_all();
+                    break;
+                }
+            }
+        }
+        let mut g = state.lock().unwrap();
+        g.want = index.len();
+        cv.notify_all();
+    });
+    outcome
+}
+
+/// A [`TraceSource`] over an on-disk segment file. Restartable — each
+/// [`TraceSource::stream`] call reopens the file — and optionally
+/// parallel: with `jobs > 1`, segments are decoded by a reader pool and
+/// merged in order, so the record stream is identical at any job count.
+#[derive(Debug, Clone)]
+pub struct SegmentFileSource {
+    path: PathBuf,
+    jobs: usize,
+}
+
+impl SegmentFileSource {
+    /// A sequential (single-reader) source for `path`.
+    pub fn new(path: impl Into<PathBuf>) -> SegmentFileSource {
+        SegmentFileSource {
+            path: path.into(),
+            jobs: 1,
+        }
+    }
+
+    /// A source decoding segments with `jobs` reader threads (clamped to
+    /// at least 1), merged in order.
+    pub fn with_jobs(path: impl Into<PathBuf>, jobs: usize) -> SegmentFileSource {
+        SegmentFileSource {
+            path: path.into(),
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// The file this source reads.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Decodes the whole file into an in-memory [`Trace`], restoring
+    /// segment boundaries (each file segment becomes a trace segment).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`].
+    pub fn read_to_trace(&self) -> Result<Trace, TraceStreamError> {
+        let mut rd = SegmentReader::open(&self.path)?;
+        let mut trace = Trace::new();
+        let mut first = true;
+        while let Some((_h, records)) = rd.next_segment()? {
+            if !first {
+                trace.begin_segment();
+            }
+            first = false;
+            trace.extend(records.iter().copied());
+        }
+        Ok(trace)
+    }
+}
+
+impl TraceSource for SegmentFileSource {
+    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
+        if self.jobs <= 1 {
+            let mut rd = SegmentReader::open(&self.path)?;
+            while let Some((_h, records)) = rd.next_segment()? {
+                sink(records);
+            }
+            Ok(())
+        } else {
+            stream_parallel(&self.path, self.jobs, sink)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+
+    fn collect<S: TraceSource>(src: &mut S) -> Vec<TraceRecord> {
+        let mut out = Vec::new();
+        src.stream(&mut |batch| out.extend_from_slice(batch))
+            .unwrap();
+        out
+    }
+
+    fn mixed_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..500u32 {
+            let pid = (1 + (i / 64) % 3) as u8;
+            t.push(TraceRecord::new(
+                RecordKind::IFetch,
+                0x1000 + i * 4,
+                4,
+                pid,
+                false,
+            ));
+            if i % 4 == 0 {
+                t.push(TraceRecord::new(
+                    RecordKind::Write,
+                    0x8000_0000 + i * 8,
+                    4,
+                    pid,
+                    true,
+                ));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn trace_source_streams_whole_trace() {
+        let t = mixed_trace();
+        assert_eq!(collect(&mut &t), t.records());
+    }
+
+    #[test]
+    fn filtered_sources_match_iterators() {
+        let t = mixed_trace();
+        assert_eq!(
+            collect(&mut t.user_source()),
+            t.user_refs().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect(&mut t.pid_source(2)),
+            t.pid_refs(2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn writer_reader_round_trip_with_stats() {
+        let mut t = mixed_trace();
+        t.stitch(mixed_trace());
+        let mut bytes = Vec::new();
+        let mut w = SegmentWriter::new(&mut bytes).unwrap();
+        w.write_trace(&t).unwrap();
+        let stats = w.finish().unwrap();
+        assert_eq!(stats.segments, t.segments() as u64);
+        assert_eq!(stats.records, t.len() as u64);
+        assert_eq!(stats.encoded_bytes, bytes.len() as u64);
+        assert!(stats.compression_ratio() > 3.0, "got {stats:?}");
+        // Matches the one-shot encoder byte for byte.
+        assert_eq!(bytes, crate::encode::encode_trace(&t));
+
+        let mut rd = SegmentReader::new(&bytes[..]).unwrap();
+        let mut back = Vec::new();
+        let mut headers = Vec::new();
+        while let Some((h, recs)) = rd.next_segment().unwrap() {
+            headers.push(h);
+            back.extend_from_slice(recs);
+        }
+        assert_eq!(back, t.records());
+        assert_eq!(headers.len(), t.segments());
+        assert_eq!(headers[0].pid, t.records()[0].pid());
+    }
+
+    #[test]
+    fn file_source_sequential_and_parallel_agree() {
+        let mut t = Trace::new();
+        for chunk in 0..37 {
+            let mut seg = Trace::new();
+            for i in 0..200u32 {
+                seg.push(TraceRecord::new(
+                    RecordKind::IFetch,
+                    0x1000 + chunk * 0x100 + i * 4,
+                    4,
+                    (chunk % 5) as u8,
+                    chunk % 7 == 0,
+                ));
+            }
+            t.stitch(seg);
+        }
+        let path =
+            std::env::temp_dir().join(format!("atum-stream-test-{}.atrace", std::process::id()));
+        let mut w = SegmentWriter::create(&path).unwrap();
+        w.write_trace(&t).unwrap();
+        w.finish().unwrap();
+
+        let seq = collect(&mut SegmentFileSource::new(&path));
+        assert_eq!(seq, t.records());
+        for jobs in [2, 4, 8] {
+            let par = collect(&mut SegmentFileSource::with_jobs(&path, jobs));
+            assert_eq!(par, seq, "jobs={jobs} must merge in order");
+        }
+        assert_eq!(SegmentFileSource::new(&path).read_to_trace().unwrap(), t);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reader_rejects_garbage() {
+        assert!(matches!(
+            SegmentReader::new(&b"NOTATRACE"[..]),
+            Err(TraceStreamError::Decode(DecodeTraceError::BadHeader))
+        ));
+        // Valid header, truncated segment.
+        let t = mixed_trace();
+        let bytes = crate::encode::encode_trace(&t);
+        let mut rd = SegmentReader::new(&bytes[..bytes.len() - 3]).unwrap();
+        assert!(matches!(
+            rd.next_segment(),
+            Err(TraceStreamError::Decode(DecodeTraceError::Truncated))
+        ));
+    }
+}

@@ -71,6 +71,28 @@ impl Trace {
         self.segment_starts.len()
     }
 
+    /// Opens a new segment at the current end of the trace, without
+    /// inserting a [`RecordKind::SegmentMark`] — used when rebuilding a
+    /// trace whose records (marks included) already exist, e.g. decoding
+    /// the archival segment format.
+    pub(crate) fn begin_segment(&mut self) {
+        self.segment_starts.push(self.records.len());
+    }
+
+    /// Iterates over the record slice of each segment, in order.
+    /// Concatenating the slices reproduces [`Trace::records`] exactly
+    /// (stitch marks live at the tail of the segment they terminate).
+    pub fn segment_slices(&self) -> impl Iterator<Item = &[TraceRecord]> + '_ {
+        self.segment_starts.iter().enumerate().map(|(i, &start)| {
+            let end = self
+                .segment_starts
+                .get(i + 1)
+                .copied()
+                .unwrap_or(self.records.len());
+            &self.records[start..end]
+        })
+    }
+
     /// Iterates over all records.
     pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
         self.records.iter()
@@ -91,36 +113,51 @@ impl Trace {
         self.ref_count
     }
 
-    /// A new trace containing only user-mode references — what a
-    /// pre-ATUM user-level tracer would have seen.
-    pub fn user_only(&self) -> Trace {
-        let records: Vec<TraceRecord> = self
-            .records
+    /// Iterates over user-mode references only — what a pre-ATUM
+    /// user-level tracer would have seen. Allocation-free; see
+    /// [`Trace::user_only`] for an owning form.
+    pub fn user_refs(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.records
             .iter()
             .copied()
             .filter(|r| r.is_ref() && !r.is_kernel())
-            .collect();
-        Trace {
-            ref_count: records.len(),
-            records,
-            segment_starts: vec![0],
-        }
     }
 
-    /// A new trace containing only references from one process (kernel
-    /// references stamped with that pid included).
-    pub fn pid_only(&self, pid: u8) -> Trace {
-        let records: Vec<TraceRecord> = self
-            .records
+    /// Iterates over one process's references only (kernel references
+    /// stamped with that pid included). Allocation-free; see
+    /// [`Trace::pid_only`] for an owning form.
+    pub fn pid_refs(&self, pid: u8) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.records
             .iter()
             .copied()
-            .filter(|r| r.is_ref() && r.pid() == pid)
-            .collect();
-        Trace {
-            ref_count: records.len(),
-            records,
-            segment_starts: vec![0],
-        }
+            .filter(move |r| r.is_ref() && r.pid() == pid)
+    }
+
+    /// A [`TraceSource`](crate::stream::TraceSource) yielding
+    /// [`Trace::user_refs`] in chunks — the streaming form the analysis
+    /// passes consume.
+    pub fn user_source(&self) -> crate::stream::FilteredTraceSource<'_> {
+        crate::stream::FilteredTraceSource::user(self)
+    }
+
+    /// A [`TraceSource`](crate::stream::TraceSource) yielding
+    /// [`Trace::pid_refs`] in chunks.
+    pub fn pid_source(&self, pid: u8) -> crate::stream::FilteredTraceSource<'_> {
+        crate::stream::FilteredTraceSource::pid(self, pid)
+    }
+
+    /// A new trace containing only user-mode references, for callers
+    /// that need ownership ([`Trace::user_refs`] is the allocation-free
+    /// form).
+    pub fn user_only(&self) -> Trace {
+        self.user_refs().collect()
+    }
+
+    /// A new trace containing only references from one process, for
+    /// callers that need ownership ([`Trace::pid_refs`] is the
+    /// allocation-free form).
+    pub fn pid_only(&self, pid: u8) -> Trace {
+        self.pid_refs(pid).collect()
     }
 
     /// Computes summary statistics.
@@ -142,6 +179,17 @@ impl FromIterator<TraceRecord> for Trace {
         let mut t = Trace::new();
         t.extend(iter);
         t
+    }
+}
+
+impl From<Vec<TraceRecord>> for Trace {
+    fn from(records: Vec<TraceRecord>) -> Trace {
+        let ref_count = records.iter().filter(|r| r.is_ref()).count();
+        Trace {
+            records,
+            segment_starts: vec![0],
+            ref_count,
+        }
     }
 }
 
@@ -243,6 +291,42 @@ mod tests {
         assert_eq!(t.ref_count(), t.refs().count());
         assert_eq!(t.user_only().ref_count(), t.user_only().refs().count());
         assert_eq!(t.pid_only(1).ref_count(), t.pid_only(1).refs().count());
+    }
+
+    #[test]
+    fn segment_slices_cover_records_exactly() {
+        let mut t: Trace = vec![rec(RecordKind::Read, 1, 0, false)]
+            .into_iter()
+            .collect();
+        t.stitch(
+            vec![rec(RecordKind::Read, 2, 0, false)]
+                .into_iter()
+                .collect(),
+        );
+        t.stitch(Trace::new());
+        let slices: Vec<&[TraceRecord]> = t.segment_slices().collect();
+        assert_eq!(slices.len(), t.segments());
+        let flat: Vec<TraceRecord> = slices.iter().flat_map(|s| s.iter().copied()).collect();
+        assert_eq!(flat, t.records());
+        // The mark terminating segment 1 sits at the tail of its slice.
+        assert_eq!(slices[0].last().unwrap().kind(), RecordKind::SegmentMark);
+    }
+
+    #[test]
+    fn filtered_iterators_match_owning_forms() {
+        let mut t = Trace::new();
+        t.push(rec(RecordKind::IFetch, 0x100, 1, false));
+        t.push(rec(RecordKind::Write, 0x300, 1, true));
+        t.push(rec(RecordKind::Read, 0x200, 2, false));
+        t.push(rec(RecordKind::CtxSwitch, 0x9000, 2, true));
+        assert_eq!(
+            t.user_refs().collect::<Vec<_>>(),
+            t.user_only().records().to_vec()
+        );
+        assert_eq!(
+            t.pid_refs(1).collect::<Vec<_>>(),
+            t.pid_only(1).records().to_vec()
+        );
     }
 
     #[test]

@@ -73,6 +73,15 @@ impl From<PatchError> for TracerError {
     }
 }
 
+fn decode_record(chunk: &[u8], i: usize) -> Result<TraceRecord, TracerError> {
+    let addr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    let meta = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+    TraceRecord::from_raw(addr, meta).ok_or(TracerError::CorruptRecord {
+        offset: i as u32 * 8,
+        meta,
+    })
+}
+
 /// The attached ATUM tracer: owns the patch handle and the buffer bounds.
 ///
 /// All control flows through the machine's privileged registers — the
@@ -211,6 +220,34 @@ impl Tracer {
     /// read fails; [`TracerError::CorruptRecord`] if a record does not
     /// decode.
     pub fn extract(&self, m: &Machine) -> Result<Trace, TracerError> {
+        let bytes = self.checked_buffer(m)?;
+        let mut trace = Trace::with_capacity(bytes.len() / 8);
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            trace.push(decode_record(chunk, i)?);
+        }
+        Ok(trace)
+    }
+
+    /// Reads the buffered records into a caller-owned vector (cleared
+    /// first) — the streaming drain path's allocation-free form: the
+    /// capture loop reuses one vector across every drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tracer::extract`].
+    pub fn extract_into(&self, m: &Machine, out: &mut Vec<TraceRecord>) -> Result<(), TracerError> {
+        let bytes = self.checked_buffer(m)?;
+        out.clear();
+        out.reserve(bytes.len() / 8);
+        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+            out.push(decode_record(chunk, i)?);
+        }
+        Ok(())
+    }
+
+    /// Validates `TRPTR` and borrows the filled buffer region in place
+    /// (no host-side byte copy).
+    fn checked_buffer<'m>(&self, m: &'m Machine) -> Result<&'m [u8], TracerError> {
         let ptr = m.read_prv(PrivReg::Trptr);
         if ptr < self.base || ptr > self.limit || !(ptr - self.base).is_multiple_of(8) {
             return Err(TracerError::BadTracePointer {
@@ -219,22 +256,7 @@ impl Tracer {
                 limit: self.limit,
             });
         }
-        let len = ptr - self.base;
-        // Borrow the buffer region in place (no host-side byte copy) and
-        // decode into storage sized for the exact record count.
-        let bytes = m.memory().slice(self.base, len)?;
-        let mut trace = Trace::with_capacity(len as usize / 8);
-        for (i, chunk) in bytes.chunks_exact(8).enumerate() {
-            let addr = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-            let meta = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
-            let rec =
-                TraceRecord::from_raw(addr, meta).ok_or_else(|| TracerError::CorruptRecord {
-                    offset: i as u32 * 8,
-                    meta,
-                })?;
-            trace.push(rec);
-        }
-        Ok(trace)
+        Ok(m.memory().slice(self.base, ptr - self.base)?)
     }
 
     /// Extracts the buffer, resets the write pointer and clears the FULL
@@ -245,10 +267,30 @@ impl Tracer {
     /// As [`Tracer::extract`].
     pub fn drain(&self, m: &mut Machine) -> Result<Trace, TracerError> {
         let t = self.extract(m)?;
+        self.reset_buffer(m);
+        Ok(t)
+    }
+
+    /// Drains into a caller-owned vector (cleared first), resetting the
+    /// write pointer and FULL flag — the streaming capture loop's drain.
+    ///
+    /// # Errors
+    ///
+    /// As [`Tracer::extract`].
+    pub fn drain_into(
+        &self,
+        m: &mut Machine,
+        out: &mut Vec<TraceRecord>,
+    ) -> Result<(), TracerError> {
+        self.extract_into(m, out)?;
+        self.reset_buffer(m);
+        Ok(())
+    }
+
+    fn reset_buffer(&self, m: &mut Machine) {
         m.write_prv(PrivReg::Trptr, self.base);
         let v = m.read_prv(PrivReg::Trctl) & !trctl::FULL;
         m.write_prv(PrivReg::Trctl, v);
-        Ok(t)
     }
 
     /// Detaches: disables capture and restores the stock dispatch targets.

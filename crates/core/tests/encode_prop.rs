@@ -1,6 +1,9 @@
 //! Property tests on the trace record format and the archival encoding.
 
-use atum_core::{decode_trace, encode_trace, RecordKind, Trace, TraceRecord};
+use atum_core::{
+    decode_trace, encode_trace, RecordKind, SegmentReader, SegmentWriter, Trace, TraceRecord,
+    TraceSource,
+};
 use proptest::prelude::*;
 
 fn record() -> impl Strategy<Value = TraceRecord> {
@@ -19,6 +22,70 @@ fn record() -> impl Strategy<Value = TraceRecord> {
         any::<bool>(),
     )
         .prop_map(|(kind, addr, size, pid, kernel)| TraceRecord::new(kind, addr, size, pid, kernel))
+}
+
+/// Bursty records: straight-line I-stream runs, PID/mode phases and the
+/// occasional marker — the shapes the run-length and pid-delta encoder
+/// paths actually take (pure `record()` noise almost never forms runs).
+fn bursty_segment() -> impl Strategy<Value = Vec<TraceRecord>> {
+    proptest::collection::vec(
+        (any::<u32>(), 1u32..50, any::<u8>(), any::<bool>(), 0u8..10),
+        0..20,
+    )
+    .prop_map(|bursts| {
+        let mut out = Vec::new();
+        for (base, len, pid, kernel, kind_sel) in bursts {
+            match kind_sel {
+                0..=5 => {
+                    for i in 0..len {
+                        out.push(TraceRecord::new(
+                            RecordKind::IFetch,
+                            base.wrapping_add(i * 4),
+                            4,
+                            pid,
+                            kernel,
+                        ));
+                    }
+                }
+                6 => {
+                    for i in 0..len {
+                        out.push(TraceRecord::new(
+                            RecordKind::Write,
+                            base.wrapping_add(i * 8),
+                            1,
+                            pid,
+                            kernel,
+                        ));
+                    }
+                }
+                7 => out.push(TraceRecord::new(RecordKind::CtxSwitch, base, 0, pid, true)),
+                8 => out.push(TraceRecord::new(RecordKind::Interrupt, base, 0, pid, true)),
+                _ => {
+                    for i in 0..len {
+                        out.push(TraceRecord::new(
+                            RecordKind::Read,
+                            base.wrapping_sub(i * 4),
+                            2,
+                            pid,
+                            kernel,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    })
+}
+
+/// A multi-segment trace built the way captures build them: stitched.
+fn stitched_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(bursty_segment(), 1..8).prop_map(|segments| {
+        let mut t = Trace::new();
+        for seg in segments {
+            t.stitch(seg.into_iter().collect());
+        }
+        t
+    })
 }
 
 proptest! {
@@ -53,6 +120,89 @@ proptest! {
         let bytes = encode_trace(&trace);
         let cut = cut.index(bytes.len());
         let _ = decode_trace(&bytes[..cut]); // must return, never panic
+    }
+
+    #[test]
+    fn multi_segment_round_trip_is_exact(t in stitched_trace()) {
+        let bytes = encode_trace(&t);
+        let back = decode_trace(&bytes).expect("decodes");
+        // Record-exact AND boundary-exact: `Trace` equality covers both.
+        prop_assert_eq!(&back, &t);
+        prop_assert_eq!(back.segments(), t.segments());
+    }
+
+    #[test]
+    fn multi_segment_with_random_noise_round_trips(
+        segs in proptest::collection::vec(proptest::collection::vec(record(), 0..120), 1..6)
+    ) {
+        // Arbitrary kinds/sizes/pids/modes across stitched segments.
+        let mut t = Trace::new();
+        for seg in &segs {
+            t.stitch(seg.iter().copied().collect());
+        }
+        let back = decode_trace(&encode_trace(&t)).expect("decodes");
+        prop_assert_eq!(&back, &t);
+    }
+
+    #[test]
+    fn incremental_writer_matches_one_shot_encoder(t in stitched_trace()) {
+        let mut bytes = Vec::new();
+        let mut w = SegmentWriter::new(&mut bytes).expect("header");
+        w.write_trace(&t).expect("write");
+        let stats = w.finish().expect("flush");
+        prop_assert_eq!(&bytes, &encode_trace(&t));
+        prop_assert_eq!(stats.records, t.len() as u64);
+        prop_assert_eq!(stats.segments, t.segments() as u64);
+
+        // And the buffered reader streams the same records back.
+        let mut rd = SegmentReader::new(&bytes[..]).expect("header");
+        let mut back = Vec::new();
+        while let Some((_h, recs)) = rd.next_segment().expect("segment") {
+            back.extend_from_slice(recs);
+        }
+        prop_assert_eq!(back, t.records());
+    }
+
+    #[test]
+    fn truncated_files_error_not_panic(t in stitched_trace(), cut in any::<prop::sample::Index>()) {
+        let bytes = encode_trace(&t);
+        if bytes.len() > 5 {
+            let cut = 5 + cut.index(bytes.len() - 5);
+            if cut < bytes.len() {
+                // Dropping a tail can only yield an error or a trace
+                // that is a strict prefix — never garbage records.
+                if let Ok(partial) = decode_trace(&bytes[..cut]) {
+                    prop_assert!(partial.len() <= t.len());
+                    prop_assert_eq!(partial.records(), &t.records()[..partial.len()]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_segment_corruption_is_contained(t in stitched_trace(), pos in any::<prop::sample::Index>(), bits in 1u8..255) {
+        let mut bytes = encode_trace(&t);
+        if bytes.len() > 5 {
+            let pos = 5 + pos.index(bytes.len() - 5);
+            bytes[pos] ^= bits;
+            // Must never panic; if it still decodes, segment boundaries
+            // stay within bounds.
+            if let Ok(back) = decode_trace(&bytes) {
+                prop_assert!(back.segments() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_sources_agree_with_filtered_copies(t in stitched_trace(), pid in any::<u8>()) {
+        let mut streamed = Vec::new();
+        t.user_source().stream(&mut |b| streamed.extend_from_slice(b)).expect("stream");
+        let user = t.user_only();
+        prop_assert_eq!(&streamed, user.records());
+        streamed.clear();
+        t.pid_source(pid).stream(&mut |b| streamed.extend_from_slice(b)).expect("stream");
+        let only = t.pid_only(pid);
+        prop_assert_eq!(&streamed, only.records());
     }
 
     #[test]

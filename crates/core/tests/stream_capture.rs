@@ -1,0 +1,174 @@
+//! End-to-end tests of the streaming capture path and the on-disk
+//! segment format: a streamed capture's file must decode to exactly the
+//! trace the in-memory session would have stitched, and the encoded
+//! byte layout is pinned by a golden file so format drift cannot land
+//! silently.
+
+use atum_core::{
+    decode_trace, encode_trace, CaptureSession, RecordKind, SegmentFileSource, SegmentReader,
+    SegmentWriter, Trace, TraceRecord, Tracer,
+};
+use atum_machine::{Machine, MemLayout, RunExit};
+use std::path::PathBuf;
+
+const ORG: u32 = 0x1000;
+
+fn load(src: &str) -> Machine {
+    let full = format!(".org {ORG:#x}\n{src}\n");
+    let img = atum_asm::assemble(&full).unwrap_or_else(|e| panic!("asm: {e}"));
+    let mut m = Machine::new(MemLayout::small());
+    for (addr, bytes) in img.segments() {
+        m.write_phys(*addr, bytes).expect("load");
+    }
+    m.set_gpr(14, 0x8000);
+    m.set_pc(img.symbol("start").unwrap_or(ORG));
+    m
+}
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("atum-{tag}-{}.atrace", std::process::id()))
+}
+
+#[test]
+fn streamed_capture_file_decodes_to_the_stitched_trace() {
+    let src = "start: movl #400, r0\nloop: movl r0, scratch\n sobgtr r0, loop\n halt\n\
+               scratch: .long 0";
+    // In-memory reference capture with a tiny buffer → many drains.
+    let mut a = load(src);
+    let base = a.memory().layout().reserved_base();
+    let tracer_a = Tracer::attach_region(&mut a, base, 2048).unwrap();
+    let cap = CaptureSession::new(&tracer_a, 1_000_000_000)
+        .run(&mut a)
+        .unwrap();
+    assert!(cap.drains > 2, "want a multi-drain run, got {}", cap.drains);
+
+    // Streamed capture of the identical machine straight to disk.
+    let mut b = load(src);
+    let tracer_b = Tracer::attach_region(&mut b, base, 2048).unwrap();
+    let path = temp_path("stream-capture");
+    let mut w = SegmentWriter::create(&path).unwrap();
+    let streamed = CaptureSession::new(&tracer_b, 1_000_000_000)
+        .run_streaming(&mut b, &mut w)
+        .unwrap();
+    w.finish().unwrap();
+
+    assert_eq!(streamed.exit, RunExit::Halted);
+    assert_eq!(streamed.drains, cap.drains);
+    assert_eq!(streamed.stats.records, cap.trace.len() as u64);
+    assert_eq!(streamed.stats.segments, cap.trace.segments() as u64);
+
+    // The file decodes to exactly what stitching produced: same records
+    // (marks included), same segment boundaries.
+    let back = SegmentFileSource::new(&path).read_to_trace().unwrap();
+    assert_eq!(back, cap.trace);
+
+    // Segment headers carry the capture clock: strictly increasing
+    // cycle stamps, and each segment's context matches its first record.
+    let mut rd = SegmentReader::open(&path).unwrap();
+    let mut last_cycle = 0u64;
+    while let Some((h, recs)) = rd.next_segment().unwrap() {
+        assert!(h.cycle > last_cycle, "cycle stamps must advance");
+        last_cycle = h.cycle;
+        assert_eq!(h.records, recs.len() as u64);
+        if let Some(first) = recs.first() {
+            assert_eq!(h.pid, first.pid());
+            assert_eq!(h.kernel, first.is_kernel());
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn streamed_capture_compresses_the_real_istream() {
+    let mut m = load(
+        "start: movl #300, r0\nloop: incl counter\n sobgtr r0, loop\n halt\n\
+         counter: .long 0",
+    );
+    let base = m.memory().layout().reserved_base();
+    let tracer = Tracer::attach_region(&mut m, base, 4096).unwrap();
+    let path = temp_path("stream-ratio");
+    let mut w = SegmentWriter::create(&path).unwrap();
+    let streamed = CaptureSession::new(&tracer, 1_000_000_000)
+        .run_streaming(&mut m, &mut w)
+        .unwrap();
+    w.finish().unwrap();
+    assert!(
+        streamed.stats.compression_ratio() >= 3.0,
+        "real captured I/D streams must compact ≥3x, got {:.2} ({} raw, {} encoded)",
+        streamed.stats.compression_ratio(),
+        streamed.stats.raw_bytes(),
+        streamed.stats.encoded_bytes,
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+/// A fixed trace exercising every record kind, size, PID changes,
+/// kernel/user mixes, I-stream runs and multiple segments — the golden
+/// input whose encoded bytes are pinned below.
+fn golden_trace() -> Trace {
+    let mut t = Trace::new();
+    let mut seg1 = Trace::new();
+    for i in 0..64u32 {
+        seg1.push(TraceRecord::new(
+            RecordKind::IFetch,
+            0x1000 + i * 4,
+            4,
+            1,
+            false,
+        ));
+        if i % 8 == 0 {
+            seg1.push(TraceRecord::new(
+                RecordKind::Read,
+                0x4000 + i * 2,
+                2,
+                1,
+                false,
+            ));
+        }
+    }
+    seg1.push(TraceRecord::new(RecordKind::CtxSwitch, 0x9000, 0, 2, true));
+    for i in 0..16u32 {
+        seg1.push(TraceRecord::new(
+            RecordKind::Write,
+            0x8000_0000 + i,
+            1,
+            2,
+            true,
+        ));
+    }
+    t.stitch(seg1);
+
+    let mut seg2 = Trace::new();
+    seg2.push(TraceRecord::new(RecordKind::Interrupt, 0x14, 0, 2, true));
+    for i in 0..32u32 {
+        seg2.push(TraceRecord::new(
+            RecordKind::IFetch,
+            0x2000 - i * 4,
+            4,
+            3,
+            false,
+        ));
+    }
+    t.stitch(seg2);
+    t.stitch(Trace::new()); // an empty drained sample
+    t
+}
+
+#[test]
+fn golden_segment_file_is_byte_stable() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/trace_v2.atrace");
+    let bytes = encode_trace(&golden_trace());
+    if std::env::var_os("ATUM_BLESS").is_some() {
+        std::fs::create_dir_all(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden")).unwrap();
+        std::fs::write(golden_path, &bytes).unwrap();
+    }
+    let golden = std::fs::read(golden_path)
+        .expect("golden file missing — regenerate with ATUM_BLESS=1 cargo test");
+    assert_eq!(
+        bytes, golden,
+        "encoded segment format drifted from the pinned v2 layout; if the \
+         change is deliberate, bump the version byte and re-bless"
+    );
+    // And the pinned bytes still decode to the pinned trace.
+    assert_eq!(decode_trace(&golden).unwrap(), golden_trace());
+}
