@@ -8,29 +8,71 @@
 //! mculist patches            # the ATUM patch region (installs first)
 //! mculist all                # the whole store
 //! mculist verify             # static verification; nonzero exit on findings
+//! mculist verify --pass atomicity  # one verifier pass only
 //! mculist cost               # static slowdown-band gate; nonzero exit on findings
 //! mculist trace info F.atrace  # segment headers + compression stats of a trace file
 //! ```
 //!
 //! `verify`, `cost` and `trace info` accept `--format json` for
-//! machine-readable output.
+//! machine-readable output; `verify` accepts `--pass <name>` to run a
+//! single verifier pass.
 
-use atum_bench::mculist::{cost_report, patches_report, trace_info, verify};
+use atum_bench::mculist::{cost_report, patches_report, trace_info, verify_pass};
 use atum_core::PatchSet;
+use atum_mclint::Pass;
 use atum_ucode::stock;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--format=json")
-        || args
-            .windows(2)
-            .any(|w| w[0] == "--format" && w[1] == "json");
-    let positional: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && **a != "json")
-        .cloned()
-        .collect();
+    let mut json = false;
+    let mut pass_name: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--format=json"
+            || a == "--format" && args.get(i + 1).map(String::as_str) == Some("json")
+        {
+            json = true;
+            if a == "--format" {
+                i += 1;
+            }
+        } else if let Some(v) = a.strip_prefix("--pass=") {
+            pass_name = Some(v.to_string());
+        } else if a == "--pass" {
+            match args.get(i + 1) {
+                Some(v) => {
+                    pass_name = Some(v.clone());
+                    i += 1;
+                }
+                None => {
+                    eprintln!("--pass needs a pass name");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else if !a.starts_with("--") {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    let pass = match &pass_name {
+        None => None,
+        Some(n) => match Pass::from_name(n) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!(
+                    "unknown pass '{n}'. available: {}",
+                    Pass::ALL
+                        .iter()
+                        .map(|p| p.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+    };
     let arg = positional
         .first()
         .cloned()
@@ -52,7 +94,7 @@ fn main() -> ExitCode {
             println!("{}", cs.listing(0, cs.len()));
         }
         "verify" => {
-            let v = verify();
+            let v = verify_pass(pass);
             if json {
                 print!("{}", v.render_json());
             } else {

@@ -3,8 +3,9 @@
 
 use atum_core::{PatchSet, PatchStyle, Tracer};
 use atum_machine::{EngineTier, Machine, MemLayout};
+use atum_mclint::atomicity::{self, StatePartition};
 use atum_mclint::cost::{Bounds, RefProfile};
-use atum_mclint::{cost, error_count, lint, lowering, svx, Finding};
+use atum_mclint::{cost, error_count, lint, lowering, svx, Finding, Pass};
 use atum_os::kernel::{self, KernelOptions};
 use atum_os::TbitMode;
 use atum_ucode::stock;
@@ -27,6 +28,9 @@ pub struct Subject {
     pub title: String,
     /// The findings, sorted the way the passes emit them.
     pub findings: Vec<Finding>,
+    /// For control-store subjects: the register/memory state partition
+    /// the atomicity pass extracted (surfaced in `--format json`).
+    pub partition: Option<StatePartition>,
 }
 
 /// Result of running the full static-verification suite.
@@ -43,48 +47,74 @@ pub struct VerifyReport {
 /// the stock control store, the patched store in both styles, the MOSS
 /// kernel in both T-bit modes, and every standard workload image.
 pub fn verify() -> VerifyReport {
+    verify_pass(None)
+}
+
+/// [`verify`] restricted to a single pass (`mculist verify --pass NAME`).
+///
+/// `None` runs everything. `Some(pass)` runs just that pass over the
+/// subjects it applies to: the control-store passes see the stock and
+/// both patched stores; [`Pass::Svx`] sees the kernel and workload
+/// images. The state partition is attached to control-store subjects
+/// whenever the atomicity pass runs.
+pub fn verify_pass(pass: Option<Pass>) -> VerifyReport {
     let mut subjects = Vec::new();
+    let store_pass = !matches!(pass, Some(Pass::Svx));
+    let image_pass = matches!(pass, None | Some(Pass::Svx));
+    let partition_pass = matches!(pass, None | Some(Pass::Atomicity));
 
-    let cs = stock::build();
-    subjects.push(Subject {
-        title: "stock control store".into(),
-        findings: lint::run(&cs),
-    });
-
-    for (style, name) in [
-        (PatchStyle::Scratch, "patched store (scratch style)"),
-        (PatchStyle::Spill, "patched store (spill style)"),
-    ] {
-        let mut cs = stock::build();
-        PatchSet::install_with_style(&mut cs, style).expect("install");
-        subjects.push(Subject {
-            title: name.into(),
-            findings: lint::run(&cs),
-        });
-    }
-
-    for (tbit, name) in [
-        (TbitMode::Ignore, "MOSS kernel (tbit ignored)"),
-        (TbitMode::LogPc, "MOSS kernel (tbit software trace)"),
-    ] {
-        let opts = KernelOptions {
-            tbit,
-            ..KernelOptions::default()
+    if store_pass {
+        let run = |cs: &_| match pass {
+            None => lint::run(cs),
+            Some(p) => lint::run_pass(cs, p),
         };
-        let img = atum_asm::assemble(&kernel::source(&opts)).expect("kernel assembles");
+        let cs = stock::build();
         subjects.push(Subject {
-            title: name.into(),
-            findings: svx::check_image(&img, svx::ImageKind::Kernel),
+            title: "stock control store".into(),
+            findings: run(&cs),
+            partition: partition_pass.then(|| atomicity::partition(&cs)),
         });
+
+        for (style, name) in [
+            (PatchStyle::Scratch, "patched store (scratch style)"),
+            (PatchStyle::Spill, "patched store (spill style)"),
+        ] {
+            let mut cs = stock::build();
+            PatchSet::install_with_style(&mut cs, style).expect("install");
+            subjects.push(Subject {
+                title: name.into(),
+                findings: run(&cs),
+                partition: partition_pass.then(|| atomicity::partition(&cs)),
+            });
+        }
     }
 
-    for w in atum_workloads::suite_standard() {
-        let src = format!(".org {:#x}\n{}\n", atum_os::USER_BASE_VA, w.source);
-        let img = atum_asm::assemble(&src).expect("workload assembles");
-        subjects.push(Subject {
-            title: format!("workload '{}'", w.name),
-            findings: svx::check_image(&img, svx::ImageKind::User),
-        });
+    if image_pass {
+        for (tbit, name) in [
+            (TbitMode::Ignore, "MOSS kernel (tbit ignored)"),
+            (TbitMode::LogPc, "MOSS kernel (tbit software trace)"),
+        ] {
+            let opts = KernelOptions {
+                tbit,
+                ..KernelOptions::default()
+            };
+            let img = atum_asm::assemble(&kernel::source(&opts)).expect("kernel assembles");
+            subjects.push(Subject {
+                title: name.into(),
+                findings: svx::check_image(&img, svx::ImageKind::Kernel),
+                partition: None,
+            });
+        }
+
+        for w in atum_workloads::suite_standard() {
+            let src = format!(".org {:#x}\n{}\n", atum_os::USER_BASE_VA, w.source);
+            let img = atum_asm::assemble(&src).expect("workload assembles");
+            subjects.push(Subject {
+                title: format!("workload '{}'", w.name),
+                findings: svx::check_image(&img, svx::ImageKind::User),
+                partition: None,
+            });
+        }
     }
 
     let findings = subjects.iter().map(|s| s.findings.len()).sum();
@@ -118,7 +148,9 @@ impl VerifyReport {
         out
     }
 
-    /// The machine-readable report (`--format json`).
+    /// The machine-readable report (`--format json`). Control-store
+    /// subjects carry the atomicity pass's state partition under a
+    /// `"partition"` key whenever that pass ran.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{\n  \"subjects\": [\n");
         for (i, s) in self.subjects.iter().enumerate() {
@@ -130,7 +162,11 @@ impl VerifyReport {
             for (j, f) in s.findings.iter().enumerate() {
                 let _ = write!(out, "{}{}", if j > 0 { ", " } else { "" }, finding_json(f));
             }
-            let _ = write!(out, "]}}");
+            let _ = write!(out, "]");
+            if let Some(p) = &s.partition {
+                let _ = write!(out, ", \"partition\": {}", p.to_json());
+            }
+            let _ = write!(out, "}}");
             let _ = writeln!(
                 out,
                 "{}",

@@ -7,7 +7,43 @@
 //! `tests/golden/patches.txt`; regenerate deliberately with
 //! `cargo run -p atum-bench --bin mculist -- patches > crates/bench/tests/golden/patches.txt`.
 
-use atum_bench::mculist::{cost_report, patches_report};
+use atum_bench::mculist::{cost_report, patches_report, verify};
+
+/// Pins the full `mculist verify` report: the subject list, its order,
+/// and the zero-findings state of every shipped artifact. Because
+/// `lint::run` sorts findings by (pass, symbol, address), any
+/// nondeterminism in a pass shows up here first. Regenerate deliberately
+/// with
+/// `cargo run -p atum-bench --bin mculist -- verify > crates/bench/tests/golden/verify.txt`.
+#[test]
+fn mculist_verify_output_matches_golden_file() {
+    let expected = include_str!("golden/verify.txt");
+    let actual = verify().render();
+    assert!(
+        actual == expected,
+        "`mculist verify` output drifted from tests/golden/verify.txt.\n\
+         If the change is intentional, regenerate the golden file:\n\
+         cargo run -p atum-bench --bin mculist -- verify > crates/bench/tests/golden/verify.txt\n\
+         \n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+/// Pins the machine-readable verify report, including the state
+/// partition the atomicity pass attaches to each control-store subject.
+/// Regenerate deliberately with
+/// `cargo run -p atum-bench --bin mculist -- verify --format json > crates/bench/tests/golden/verify.json`.
+#[test]
+fn mculist_verify_json_matches_golden_file() {
+    let expected = include_str!("golden/verify.json");
+    let actual = verify().render_json();
+    assert!(
+        actual == expected,
+        "`mculist verify --format json` output drifted from tests/golden/verify.json.\n\
+         If the change is intentional, regenerate the golden file:\n\
+         cargo run -p atum-bench --bin mculist -- verify --format json > crates/bench/tests/golden/verify.json\n\
+         \n--- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
 
 /// Pins the deterministic half of `mculist cost`: the per-hook cycle
 /// bounds, the aggregate dilation against the paper's 10–20× band, and

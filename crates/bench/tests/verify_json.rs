@@ -1,0 +1,121 @@
+//! Schema smoke test for `mculist verify --format json`.
+//!
+//! The golden test pins the exact bytes; this test pins the *shape*
+//! downstream tooling depends on, by actually parsing the report (the
+//! hand-rolled writer has no serializer keeping it honest). Every
+//! control-store subject must carry the atomicity pass's state
+//! partition, every partition entry must be fully classified, and the
+//! shipped artifacts must verify clean.
+
+use atum_bench::mculist::{verify, verify_pass};
+use atum_mclint::Pass;
+use serde_json::Value;
+
+fn subjects(v: &Value) -> &Vec<Value> {
+    v["subjects"].as_array().expect("subjects array")
+}
+
+/// The three control-store subjects, in report order.
+const STORE_TITLES: [&str; 3] = [
+    "stock control store",
+    "patched store (scratch style)",
+    "patched store (spill style)",
+];
+
+fn check_partition(subject: &Value) {
+    let partition = &subject["partition"];
+    assert!(
+        partition.as_object().is_some(),
+        "control-store subject without a partition block: {subject:?}"
+    );
+    for side in ["registers", "memory"] {
+        let entries = partition[side].as_array().expect("partition side");
+        assert!(!entries.is_empty(), "empty partition side '{side}'");
+        for e in entries {
+            assert!(e["name"].as_str().is_some_and(|n| !n.is_empty()));
+            let class = e["class"].as_str().expect("class string");
+            assert!(
+                ["per_context", "per_cpu_candidate", "shared"].contains(&class),
+                "unclassified or unknown state class '{class}' for '{}'",
+                e["name"].as_str().unwrap_or("?")
+            );
+            assert!(e["stock"].as_bool().is_some());
+            assert!(e["hooks"].as_bool().is_some());
+        }
+    }
+}
+
+#[test]
+fn verify_json_parses_and_carries_the_partition() {
+    let report = verify().render_json();
+    let v = serde_json::from_str(&report).expect("verify --format json is valid JSON");
+    assert_eq!(v["findings"].as_u64(), Some(0));
+    assert_eq!(v["errors"].as_u64(), Some(0));
+
+    let subs = subjects(&v);
+    assert_eq!(
+        subs.len(),
+        14,
+        "stock + 2 patched + 2 kernels + 9 workloads"
+    );
+    for s in subs {
+        let title = s["title"].as_str().expect("subject title");
+        assert_eq!(s["findings"].as_array().map(Vec::len), Some(0), "{title}");
+        if STORE_TITLES.contains(&title) {
+            check_partition(s);
+        } else {
+            assert!(
+                s["partition"].is_null(),
+                "image subject '{title}' should not carry a partition"
+            );
+        }
+    }
+
+    // The patched stores' hooks must touch the trace pointer (per-CPU
+    // candidate) and no hook may touch shared state.
+    for s in &subs[1..3] {
+        let regs = s["partition"]["registers"].as_array().unwrap();
+        let trptr = regs
+            .iter()
+            .find(|e| e["name"].as_str() == Some("trptr"))
+            .expect("patched store touches trptr");
+        assert_eq!(trptr["class"].as_str(), Some("per_cpu_candidate"));
+        assert_eq!(trptr["hooks"].as_bool(), Some(true));
+        for side in ["registers", "memory"] {
+            for e in s["partition"][side].as_array().unwrap() {
+                if e["class"].as_str() == Some("shared") {
+                    assert_eq!(
+                        e["hooks"].as_bool(),
+                        Some(false),
+                        "hook touches shared state '{}'",
+                        e["name"].as_str().unwrap_or("?")
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn verify_single_pass_json_parses() {
+    let report = verify_pass(Some(Pass::Atomicity)).render_json();
+    let v = serde_json::from_str(&report).expect("verify --pass atomicity --format json parses");
+    assert_eq!(v["findings"].as_u64(), Some(0));
+    let subs = subjects(&v);
+    assert_eq!(subs.len(), 3, "atomicity sees only the control stores");
+    for s in subs {
+        check_partition(s);
+    }
+
+    // A non-atomicity pass drops the partition block entirely.
+    let report = verify_pass(Some(Pass::Structural)).render_json();
+    let v = serde_json::from_str(&report).expect("verify --pass structural --format json parses");
+    for s in subjects(&v) {
+        assert!(s["partition"].is_null());
+    }
+
+    // The svx pass sees only the images.
+    let report = verify_pass(Some(Pass::Svx)).render_json();
+    let v = serde_json::from_str(&report).expect("verify --pass svx --format json parses");
+    assert_eq!(subjects(&v).len(), 11, "2 kernels + 9 workloads");
+}

@@ -1,0 +1,1263 @@
+//! The ATUM hook atomicity verifier and state-partition extractor.
+//!
+//! The transparency pass proves a patch is invisible to an *undisturbed*
+//! execution. This pass proves the hooks survive the three ways the
+//! machine can be disturbed mid-hook — and pins down the state
+//! partition the SMP work will be checked against:
+//!
+//! * **(a) fault-window safety** — a page fault or a raised micro-fault
+//!   diverts into `ExcDispatch`, which is *itself hooked*: the re-entered
+//!   hook clobbers the patch scratch (`P0`–`P7`) and the saved
+//!   `MAR`/`MDR` the interrupted hook still needs. The only sound shape
+//!   is therefore *no fault-permissible point inside a hook closure* —
+//!   every virtual transfer or `Fault` micro-op reachable from a hook is
+//!   an error (the shared [`cfg::can_fault`] predicate enumerates them).
+//!   The same argument covers interrupt delivery: a `DecodeNext` inside
+//!   a hook would open an interrupt window over live scratch;
+//! * **(b) trace-pointer protocol** — every hook must follow
+//!   read-`TRPTR` → prove headroom against `TRLIM` → store the record
+//!   strictly inside the proven window → advance `TRPTR` *last*, as the
+//!   single linearization point of the record. A drain observing `TRPTR`
+//!   at any micro-cycle then never sees a pointer covering torn or
+//!   unwritten records. The abstract interpreter re-proves the headroom
+//!   the way the transparency pass does, but — unlike transparency — it
+//!   *wipes* the proof at every [`MicroOp::Halt`]: the halt is the
+//!   buffer-full drain window, and the host may reset `TRPTR` there, so
+//!   headroom and pointer snapshots proven before a halt are stale after
+//!   it. It also tracks which record longwords have been written on
+//!   every path, and rejects an advance that publishes bytes no store
+//!   covered. Spill-line scratch is checked for cross-routine conflicts:
+//!   two different hook routines parking state in the same `TRLIM` line
+//!   would clobber each other when hooks nest;
+//! * **(c) state partition** — every register and memory region the
+//!   reachable control store touches is classified as
+//!   [`StateClass::PerContext`] (swapped or owned by the running
+//!   process: GPRs, datapath latches, the PCB and per-process page
+//!   tables), [`StateClass::PerCpuCandidate`] (what SMP must replicate
+//!   per processor: patch scratch, the `TR*` registers, the trace
+//!   buffer and spill line, the translation buffer), or
+//!   [`StateClass::Shared`] (system-wide: SCB, system page table,
+//!   clock, console, soft-IRQ state). Hooks may touch only the first
+//!   two classes — a hook reading or writing shared state races the
+//!   other CPUs' hooks the moment there *is* another CPU. The partition
+//!   is exported machine-readably ([`partition`] /
+//!   [`StatePartition::to_json`], surfaced by `mculist verify --format
+//!   json`).
+//!
+//! What this pass deliberately cannot prove: that the MOSS drain itself
+//! respects `TRPTR` (the drain reads the buffer from the host side; the
+//! SMP pass must re-check that per CPU against per-CPU pointers), that
+//! the host console restores `TRPTR`/`TRCTL` coherently after a
+//! full-buffer halt (the protocol proof only shows the microcode
+//! re-reads them before trusting them), or anything about memory-system
+//! ordering — the micro-engine retires one micro-op at a time, so
+//! "advance last" is a real linearization point here; a weaker memory
+//! model would need fences this micro-ISA cannot spell.
+
+use crate::cfg::{self, SymbolMap};
+use crate::{dataflow, transparency, Finding, Pass, Severity};
+use atum_arch::PrivReg;
+use atum_ucode::{AluOp, ControlStore, MicroCond, MicroOp, MicroReg, Target};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Bytes of each trace record (two longwords).
+const RECORD_BYTES: i64 = 8;
+/// Bytes of the reserved spill scratch line at `TRLIM`.
+const SPILL_LINE_BYTES: i64 = 32;
+/// Micro-call depth bound inside a patch (transparency reports the
+/// runaway; this pass just stops descending).
+const MAX_CALL_DEPTH: usize = 8;
+
+/// Which sharing class a piece of machine state falls in — the
+/// disjointness contract the SMP per-CPU buffers will be checked
+/// against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StateClass {
+    /// Owned by (or swapped with) the running process context: GPRs,
+    /// datapath latches, the banked stack pointers, PCB base,
+    /// per-process page tables and the memory they map.
+    PerContext,
+    /// Must become per-processor state under SMP: patch scratch, the
+    /// `TR*` trace registers, the trace buffer and spill line, the
+    /// translation buffer.
+    PerCpuCandidate,
+    /// Genuinely system-wide: SCB, system page table, interval clock,
+    /// console, software-interrupt state, the map-enable switch.
+    Shared,
+    /// The classifier could not place it — always accompanied by a
+    /// finding, and must never appear for the shipped artifacts.
+    Unclassified,
+}
+
+impl StateClass {
+    /// The snake_case name used in the JSON report.
+    pub fn name(self) -> &'static str {
+        match self {
+            StateClass::PerContext => "per_context",
+            StateClass::PerCpuCandidate => "per_cpu_candidate",
+            StateClass::Shared => "shared",
+            StateClass::Unclassified => "unclassified",
+        }
+    }
+}
+
+/// One classified piece of state and who touches it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionEntry {
+    /// Canonical name (`r0`, `trptr`, `process control block`, …).
+    pub name: String,
+    /// The sharing class.
+    pub class: StateClass,
+    /// Touched by reachable microcode outside the hook closures.
+    pub stock: bool,
+    /// Touched by an installed hook's closure.
+    pub hooks: bool,
+}
+
+/// The full register/memory state partition of a control store.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatePartition {
+    /// Every register the reachable store touches, in canonical order
+    /// (datapath registers, then privileged registers by number).
+    pub registers: Vec<PartitionEntry>,
+    /// Every memory region the reachable store touches, in canonical
+    /// order.
+    pub memory: Vec<PartitionEntry>,
+}
+
+impl StatePartition {
+    /// Renders the partition as a JSON object (hand-rolled, like the
+    /// rest of the `mculist` JSON surface).
+    pub fn to_json(&self) -> String {
+        fn entries(out: &mut String, list: &[PartitionEntry]) {
+            out.push('[');
+            for (i, e) in list.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"class\":\"{}\",\"stock\":{},\"hooks\":{}}}",
+                    e.name,
+                    e.class.name(),
+                    e.stock,
+                    e.hooks
+                ));
+            }
+            out.push(']');
+        }
+        let mut out = String::from("{\"registers\":");
+        entries(&mut out, &self.registers);
+        out.push_str(",\"memory\":");
+        entries(&mut out, &self.memory);
+        out.push('}');
+        out
+    }
+}
+
+/// Classifies a datapath register operand (`Imm` is not state). Returns
+/// the canonical name, the class and a stable sort key.
+fn classify_reg(r: MicroReg) -> Option<(String, StateClass, u32)> {
+    use StateClass::*;
+    let (name, class, key) = match r {
+        MicroReg::Gpr(n) => (format!("r{n}"), PerContext, n as u32),
+        MicroReg::T(n) => (format!("t{n}"), PerContext, 100 + n as u32),
+        MicroReg::P(n) => (format!("p{n}"), PerCpuCandidate, 200 + n as u32),
+        MicroReg::Mar => ("mar".into(), PerContext, 300),
+        MicroReg::Mdr => ("mdr".into(), PerContext, 301),
+        MicroReg::Psl => ("psl".into(), PerContext, 302),
+        MicroReg::Spec => ("spec".into(), PerContext, 303),
+        MicroReg::OpReg => ("opreg".into(), PerContext, 304),
+        MicroReg::RegNum => ("regnum".into(), PerContext, 305),
+        MicroReg::GprIdx => ("gpr[regnum]".into(), PerContext, 306),
+        MicroReg::OSizeBytes => ("osize".into(), PerContext, 307),
+        MicroReg::OSizeMask => ("omask".into(), PerContext, 308),
+        MicroReg::IbData => ("ibdata".into(), PerContext, 309),
+        MicroReg::IbCnt => ("ibcnt".into(), PerContext, 310),
+        MicroReg::ExcVec => ("excvec".into(), PerContext, 311),
+        MicroReg::ExcParam => ("excparam".into(), PerContext, 312),
+        MicroReg::ExcFlags => ("excflags".into(), PerContext, 313),
+        MicroReg::ExcPc => ("excpc".into(), PerContext, 314),
+        MicroReg::ExcIpl => ("excipl".into(), PerContext, 315),
+        MicroReg::Imm(_) => return None,
+    };
+    Some((name, class, key))
+}
+
+/// Classifies a privileged register by number.
+fn classify_pr(num: u32) -> StateClass {
+    use StateClass::*;
+    match PrivReg::from_number(num) {
+        // Swapped by ldpctx / banked with the process.
+        Some(
+            PrivReg::Ksp
+            | PrivReg::Usp
+            | PrivReg::P0br
+            | PrivReg::P0lr
+            | PrivReg::P1br
+            | PrivReg::P1lr
+            | PrivReg::Pcbb
+            | PrivReg::Ipl,
+        ) => PerContext,
+        // Trace machinery and the translation buffer: exactly what SMP
+        // must replicate per processor.
+        Some(
+            PrivReg::Trctl
+            | PrivReg::Trbase
+            | PrivReg::Trptr
+            | PrivReg::Trlim
+            | PrivReg::Tbia
+            | PrivReg::Tbis,
+        ) => PerCpuCandidate,
+        // System-wide.
+        Some(
+            PrivReg::Sbr
+            | PrivReg::Slr
+            | PrivReg::Scbb
+            | PrivReg::Sirr
+            | PrivReg::Sisr
+            | PrivReg::Iccs
+            | PrivReg::Icr
+            | PrivReg::Txdb
+            | PrivReg::Txcs
+            | PrivReg::Rxdb
+            | PrivReg::Rxcs
+            | PrivReg::Mapen,
+        ) => Shared,
+        None => Unclassified,
+    }
+}
+
+/// The memory regions the classifier knows, in canonical report order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Region {
+    VirtualSpace,
+    Pcb,
+    ProcessPageTables,
+    SystemPageTable,
+    Scb,
+    TraceBuffer,
+    SpillLine,
+    Unclassified,
+}
+
+impl Region {
+    fn name(self) -> &'static str {
+        match self {
+            Region::VirtualSpace => "virtual address space",
+            Region::Pcb => "process control block",
+            Region::ProcessPageTables => "per-process page tables",
+            Region::SystemPageTable => "system page table",
+            Region::Scb => "system control block",
+            Region::TraceBuffer => "trace buffer",
+            Region::SpillLine => "trace spill line",
+            Region::Unclassified => "unclassified physical memory",
+        }
+    }
+
+    fn class(self) -> StateClass {
+        match self {
+            Region::VirtualSpace | Region::Pcb | Region::ProcessPageTables => {
+                StateClass::PerContext
+            }
+            Region::TraceBuffer | Region::SpillLine => StateClass::PerCpuCandidate,
+            Region::SystemPageTable | Region::Scb => StateClass::Shared,
+            Region::Unclassified => StateClass::Unclassified,
+        }
+    }
+
+    /// The region a physical access lands in, given the privileged
+    /// register its `MAR` derivation is based on.
+    fn of_base(pr: u32) -> Region {
+        match PrivReg::from_number(pr) {
+            Some(PrivReg::Pcbb) => Region::Pcb,
+            Some(PrivReg::Scbb) => Region::Scb,
+            Some(PrivReg::P0br | PrivReg::P1br) => Region::ProcessPageTables,
+            Some(PrivReg::Sbr) => Region::SystemPageTable,
+            Some(PrivReg::Trbase | PrivReg::Trptr) => Region::TraceBuffer,
+            Some(PrivReg::Trlim) => Region::SpillLine,
+            _ => Region::Unclassified,
+        }
+    }
+}
+
+/// Runs the atomicity verifier: fault-window safety and the
+/// trace-pointer protocol over every installed hook, plus the
+/// partition-discipline check that hooks touch no shared state.
+pub fn check(cs: &ControlStore) -> Vec<Finding> {
+    analyze(cs).0
+}
+
+/// Extracts the register/memory state partition of the reachable store.
+pub fn partition(cs: &ControlStore) -> StatePartition {
+    analyze(cs).1
+}
+
+fn analyze(cs: &ControlStore) -> (Vec<Finding>, StatePartition) {
+    let map = SymbolMap::new(cs);
+    let reachable = cfg::reachable(cs);
+    let stock_len = cs.stock_len();
+
+    // Addresses belonging to some installed hook's closure (the stubs
+    // plus the shared logger, chased through whatever edges stay inside
+    // the patch region).
+    let hooks = transparency::detect_hooks(cs);
+    let mut hook_words: HashSet<u32> = HashSet::new();
+    for h in &hooks {
+        for a in cfg::region_closure(cs, h.patch_addr, stock_len, cs.len()) {
+            hook_words.insert(a);
+        }
+    }
+
+    let mut an = Analysis {
+        cs,
+        map: &map,
+        hook_words,
+        findings: Vec::new(),
+        emitted: HashSet::new(),
+        regs: BTreeMap::new(),
+        memory: BTreeMap::new(),
+        spill_writers: BTreeMap::new(),
+    };
+
+    // Obligation (c), register side, and the partition's register rows.
+    for addr in 0..cs.len() {
+        if reachable[addr as usize] {
+            an.classify_word(addr, cs.word(addr));
+        }
+    }
+
+    // Obligation (c), memory side, and the partition's memory rows.
+    an.walk_regions(&reachable);
+
+    // Obligations (a) and (b) over every installed hook.
+    for h in &hooks {
+        an.walk_hook(h);
+    }
+    an.check_spill_conflicts();
+
+    let registers = an.regs.values().cloned().collect();
+    let memory = an.memory.values().cloned().collect();
+    let mut findings = an.findings;
+    findings.sort_by(|a, b| (&a.symbol, a.addr).cmp(&(&b.symbol, b.addr)));
+    (findings, StatePartition { registers, memory })
+}
+
+struct Analysis<'a> {
+    cs: &'a ControlStore,
+    map: &'a SymbolMap,
+    hook_words: HashSet<u32>,
+    findings: Vec<Finding>,
+    emitted: HashSet<(u32, String)>,
+    /// Keyed `(group, key)` for canonical ordering: datapath registers
+    /// (group 0, layout order), privileged registers (group 1, by
+    /// number), dynamically selected PRs (group 2).
+    regs: BTreeMap<(u8, u32), PartitionEntry>,
+    memory: BTreeMap<Region, PartitionEntry>,
+    /// Spill-line conflict map: byte offset → hook routines that store
+    /// there, with one representative store address each.
+    spill_writers: BTreeMap<i64, Vec<(String, u32)>>,
+}
+
+impl Analysis<'_> {
+    fn emit(&mut self, addr: u32, severity: Severity, message: String) {
+        if self.emitted.insert((addr, message.clone())) {
+            self.findings.push(Finding {
+                pass: Pass::Atomicity,
+                severity,
+                symbol: self.map.name(addr),
+                addr,
+                message,
+            });
+        }
+    }
+
+    fn extent_of(&self, addr: u32) -> (u32, u32) {
+        let start = self.map.routine_start(addr).unwrap_or(addr);
+        let end = self.map.routine_end(start, self.cs.len());
+        (start, end)
+    }
+
+    fn touch_reg(&mut self, addr: u32, key: (u8, u32), name: String, class: StateClass) {
+        let in_hook = self.hook_words.contains(&addr);
+        let e = self.regs.entry(key).or_insert_with(|| PartitionEntry {
+            name: name.clone(),
+            class,
+            stock: false,
+            hooks: false,
+        });
+        if in_hook {
+            e.hooks = true;
+        } else {
+            e.stock = true;
+        }
+        if in_hook && class == StateClass::Shared {
+            self.emit(
+                addr,
+                Severity::Error,
+                format!("hook touches shared state ({name}); hooks may touch only per-context and per-CPU-candidate state"),
+            );
+        }
+    }
+
+    fn touch_region(&mut self, addr: u32, region: Region) {
+        let in_hook = self.hook_words.contains(&addr);
+        let e = self.memory.entry(region).or_insert_with(|| PartitionEntry {
+            name: region.name().into(),
+            class: region.class(),
+            stock: false,
+            hooks: false,
+        });
+        if in_hook {
+            e.hooks = true;
+        } else {
+            e.stock = true;
+        }
+        match region.class() {
+            StateClass::Unclassified => self.emit(
+                addr,
+                Severity::Error,
+                "physical memory access whose address derivation the partition cannot classify"
+                    .into(),
+            ),
+            StateClass::Shared if in_hook => self.emit(
+                addr,
+                Severity::Error,
+                format!(
+                    "hook touches shared memory ({}); hooks may touch only per-context and per-CPU-candidate state",
+                    region.name()
+                ),
+            ),
+            _ => {}
+        }
+    }
+
+    /// Partition bookkeeping for one reachable word: every register it
+    /// reads or writes, including privileged registers.
+    fn classify_word(&mut self, addr: u32, op: MicroOp) {
+        for r in dataflow::reads(op).into_iter().chain(dataflow::writes(op)) {
+            if let Some((name, class, key)) = classify_reg(r) {
+                self.touch_reg(addr, (0, key), name, class);
+            }
+        }
+        if let MicroOp::ReadPr { num, .. } | MicroOp::WritePr { num, .. } = op {
+            match num {
+                MicroReg::Imm(n) => {
+                    let class = classify_pr(n);
+                    let name = PrivReg::from_number(n)
+                        .map(|p| p.mnemonic().to_string())
+                        .unwrap_or_else(|| format!("pr[{n}]"));
+                    if class == StateClass::Unclassified {
+                        self.emit(
+                            addr,
+                            Severity::Error,
+                            format!("access to privileged register {name}, which the state partition cannot classify"),
+                        );
+                    }
+                    self.touch_reg(addr, (1, n), name, class);
+                }
+                _ => {
+                    // The stock mtpr/mfpr flows select the register at
+                    // run time; the partition must assume the worst.
+                    self.touch_reg(addr, (2, 0), "pr[dynamic]".into(), StateClass::Shared);
+                }
+            }
+        }
+        if matches!(op, MicroOp::TbFlushAll | MicroOp::TbFlushProc) {
+            self.touch_reg(
+                addr,
+                (1, PrivReg::Tbia.number()),
+                PrivReg::Tbia.mnemonic().into(),
+                StateClass::PerCpuCandidate,
+            );
+        }
+    }
+
+    // ---- memory-region walk (obligation (c), memory side) ----
+
+    /// Walks every reachable routine with a context-free abstract
+    /// interpreter tracking how `MAR` is derived, and classifies every
+    /// memory micro-op's target region. The microcode keeps its address
+    /// derivations inside one routine (PCB traffic from `pcbb`, SCB
+    /// traffic from `scbb`, trace traffic from `trptr`/`trlim`), so a
+    /// per-routine walk with callee write havoc resolves every shipped
+    /// access.
+    fn walk_regions(&mut self, reachable: &[bool]) {
+        let len = self.cs.len();
+        let mut starts: Vec<u32> = (0..len)
+            .filter(|&a| reachable[a as usize])
+            .map(|a| self.map.routine_start(a).unwrap_or(a))
+            .collect();
+        starts.sort_unstable();
+        starts.dedup();
+
+        // Transitive per-routine write sets over the tracked slots, so a
+        // micro-call havocs exactly what its callee may clobber.
+        let mut direct: HashMap<u32, (Vec<usize>, Vec<u32>)> = HashMap::new();
+        for &start in &starts {
+            let end = self.map.routine_end(start, len);
+            let mut wr: Vec<usize> = Vec::new();
+            let mut callees: Vec<u32> = Vec::new();
+            for addr in start..end {
+                if !reachable[addr as usize] {
+                    continue;
+                }
+                let op = self.cs.word(addr);
+                for r in dataflow::writes(op) {
+                    if let Some(i) = av_slot(r) {
+                        if !wr.contains(&i) {
+                            wr.push(i);
+                        }
+                    }
+                }
+                if let MicroOp::Call(t) = op {
+                    let tgt = cfg::resolve(self.cs, t);
+                    if tgt < len {
+                        callees.push(self.map.routine_start(tgt).unwrap_or(tgt));
+                    }
+                }
+            }
+            direct.insert(start, (wr, callees));
+        }
+        let mut havoc: HashMap<u32, Vec<usize>> =
+            starts.iter().map(|&s| (s, direct[&s].0.clone())).collect();
+        loop {
+            let mut changed = false;
+            for &s in &starts {
+                for c in direct[&s].1.clone() {
+                    let add: Vec<usize> = havoc.get(&c).cloned().unwrap_or_default();
+                    let set = havoc.get_mut(&s).expect("routine present");
+                    for i in add {
+                        if !set.contains(&i) {
+                            set.push(i);
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        for &start in &starts {
+            let end = self.map.routine_end(start, len);
+            let mut visited: HashSet<u32> = HashSet::new();
+            let mut seed = Some(start);
+            while let Some(entry) = seed {
+                self.walk_routine(entry, start, end, &havoc, &mut visited);
+                // Conservative fallback for words only enterable from
+                // outside their routine (the shipped store has none).
+                seed = (start..end).find(|&a| reachable[a as usize] && !visited.contains(&a));
+            }
+        }
+    }
+
+    /// One fixpoint walk inside `[lo, hi)` from `entry`, starting from
+    /// all-Top state.
+    fn walk_routine(
+        &mut self,
+        entry: u32,
+        lo: u32,
+        hi: u32,
+        havoc: &HashMap<u32, Vec<usize>>,
+        visited: &mut HashSet<u32>,
+    ) {
+        fn flow(
+            states: &mut HashMap<u32, Vec<Av>>,
+            work: &mut Vec<u32>,
+            lo: u32,
+            hi: u32,
+            tgt: u32,
+            st: &[Av],
+        ) {
+            if tgt < lo || tgt >= hi {
+                return;
+            }
+            match states.get_mut(&tgt) {
+                Some(old) => {
+                    let mut changed = false;
+                    for (o, &n) in old.iter_mut().zip(st) {
+                        let j = o.join(n);
+                        if j != *o {
+                            *o = j;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push(tgt);
+                    }
+                }
+                None => {
+                    states.insert(tgt, st.to_vec());
+                    work.push(tgt);
+                }
+            }
+        }
+
+        let mut states: HashMap<u32, Vec<Av>> = HashMap::new();
+        let mut work: Vec<u32> = vec![entry];
+        states.insert(entry, vec![Av::Top; AV_SLOTS]);
+        while let Some(addr) = work.pop() {
+            visited.insert(addr);
+            let mut st = states[&addr].clone();
+            let op = self.cs.word(addr);
+            match op {
+                MicroOp::Mov { src, dst } => {
+                    let v = av_eval(&st, src);
+                    av_set(&mut st, dst, v);
+                }
+                MicroOp::Alu {
+                    op: alu,
+                    a,
+                    b,
+                    dst,
+                    size,
+                    ..
+                } => {
+                    let av = av_eval(&st, a);
+                    let bv = av_eval(&st, b);
+                    let long = size == atum_arch::DataSize::Long;
+                    let v = match alu {
+                        AluOp::Add if long => av.add(bv),
+                        AluOp::Sub if long => av.sub(bv),
+                        _ => Av::Top,
+                    };
+                    av_set(&mut st, dst, v);
+                }
+                MicroOp::ReadPr { num, dst } => {
+                    let v = match num {
+                        MicroReg::Imm(n) => Av::PrOff {
+                            pr: n,
+                            off: Some(0),
+                        },
+                        _ => Av::Top,
+                    };
+                    av_set(&mut st, dst, v);
+                }
+                MicroOp::PhysRead | MicroOp::PhysWrite => {
+                    let region = match av_eval(&st, MicroReg::Mar) {
+                        Av::PrOff { pr, .. } => Region::of_base(pr),
+                        _ => Region::Unclassified,
+                    };
+                    self.touch_region(addr, region);
+                    if op == MicroOp::PhysRead {
+                        av_set(&mut st, MicroReg::Mdr, Av::Top);
+                    }
+                }
+                MicroOp::Read { .. } => {
+                    self.touch_region(addr, Region::VirtualSpace);
+                    av_set(&mut st, MicroReg::Mdr, Av::Top);
+                }
+                MicroOp::Write { .. } => self.touch_region(addr, Region::VirtualSpace),
+                MicroOp::Call(t) => {
+                    let tgt = cfg::resolve(self.cs, t);
+                    let callee = self.map.routine_start(tgt).unwrap_or(tgt);
+                    match havoc.get(&callee) {
+                        Some(set) => {
+                            for &i in set {
+                                st[i] = Av::Top;
+                            }
+                        }
+                        None => st.iter_mut().for_each(|v| *v = Av::Top),
+                    }
+                }
+                _ => {}
+            }
+            match op {
+                MicroOp::Jump(t) => flow(
+                    &mut states,
+                    &mut work,
+                    lo,
+                    hi,
+                    cfg::resolve(self.cs, t),
+                    &st,
+                ),
+                MicroOp::JumpIf { target, .. } => {
+                    flow(
+                        &mut states,
+                        &mut work,
+                        lo,
+                        hi,
+                        cfg::resolve(self.cs, target),
+                        &st,
+                    );
+                    flow(&mut states, &mut work, lo, hi, addr + 1, &st);
+                }
+                _ => {
+                    if cfg::falls_through(op) {
+                        flow(&mut states, &mut work, lo, hi, addr + 1, &st);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- hook protocol walk (obligations (a) and (b)) ----
+
+    /// Context-sensitive worklist walk over one hook's closure, checking
+    /// fault windows and the trace-pointer protocol. Control-flow
+    /// *policy* (rejoin discipline, escapes, patchable-slot re-entry) is
+    /// transparency's job; this walker simply stops at edges that leave
+    /// the patch.
+    fn walk_hook(&mut self, hook: &transparency::Hook) {
+        type Frame = (u32, u32, Option<u32>);
+        type Key = (Vec<Frame>, u32);
+
+        fn flow(states: &mut HashMap<Key, HState>, work: &mut Vec<Key>, key: Key, st: HState) {
+            match states.get(&key) {
+                Some(old) => {
+                    let joined = old.join(&st);
+                    if joined != *old {
+                        states.insert(key.clone(), joined);
+                        work.push(key);
+                    }
+                }
+                None => {
+                    states.insert(key.clone(), st);
+                    work.push(key);
+                }
+            }
+        }
+
+        let len = self.cs.len();
+        let stock_len = self.cs.stock_len();
+        let base = self.extent_of(hook.patch_addr);
+        let mut states: HashMap<Key, HState> = HashMap::new();
+        let mut work: Vec<Key> = Vec::new();
+        let root_ctx: Vec<Frame> = vec![(base.0, base.1, None)];
+        states.insert((root_ctx.clone(), hook.patch_addr), HState::entry());
+        work.push((root_ctx, hook.patch_addr));
+
+        while let Some((ctx, addr)) = work.pop() {
+            let st0 = states[&(ctx.clone(), addr)].clone();
+            let op = self.cs.word(addr);
+            let (rstart, rend, _) = *ctx.last().expect("non-empty context");
+
+            // Obligation (a): no fault window over live hook state. A
+            // fault diverts into the (hooked) exception dispatch, whose
+            // hook clobbers the patch scratch and the saved MAR/MDR this
+            // hook still needs.
+            if cfg::can_fault(op) {
+                let live: Vec<String> = (0..8)
+                    .filter(|&i| st0.regs[i] != HV::Top)
+                    .map(|i| format!("p{i}"))
+                    .collect();
+                let live = if live.is_empty() {
+                    "the patch scratch".to_string()
+                } else {
+                    format!("live patch scratch ({})", live.join(", "))
+                };
+                self.emit(
+                    addr,
+                    Severity::Error,
+                    format!(
+                        "fault-permissible point inside a hook: a fault here re-enters the trace hooks and clobbers {live} and the saved mar/mdr"
+                    ),
+                );
+            } else if op == MicroOp::DecodeNext {
+                self.emit(
+                    addr,
+                    Severity::Error,
+                    "instruction boundary inside a hook opens an interrupt window over live patch scratch".into(),
+                );
+            }
+
+            // Data effects, including the store/advance protocol checks.
+            let mut st = st0.clone();
+            self.hook_apply(addr, op, &mut st);
+
+            // Control flow.
+            match op {
+                MicroOp::Jump(t) => {
+                    if let Target::Abs(tgt) = t {
+                        if tgt >= stock_len && tgt < len {
+                            flow(&mut states, &mut work, (ctx.clone(), tgt), st);
+                        }
+                        // Into stock: the hook is over. Elsewhere:
+                        // transparency reports the escape.
+                    }
+                }
+                MicroOp::JumpIf { cond, target } => {
+                    // Refine the headroom proof on the carry-test edges,
+                    // exactly as transparency does.
+                    let (mut taken, mut nottaken) = (st.clone(), st.clone());
+                    if let Some((HV::Pr { pr: pa, off: ao }, HV::Pr { pr: pb, off: bo })) = st.cmp {
+                        if pa == PrivReg::Trlim.number() && pb == PrivReg::Trptr.number() {
+                            let headroom = bo - ao;
+                            match cond {
+                                MicroCond::UCarry => {
+                                    nottaken.checked = nottaken.checked.max(headroom)
+                                }
+                                MicroCond::UNoCarry => taken.checked = taken.checked.max(headroom),
+                                _ => {}
+                            }
+                        }
+                    }
+                    if let Target::Abs(tgt) = target {
+                        if tgt >= stock_len && tgt < len {
+                            flow(&mut states, &mut work, (ctx.clone(), tgt), taken);
+                        }
+                    }
+                    let next = addr + 1;
+                    if next >= rstart && next < rend {
+                        flow(&mut states, &mut work, (ctx.clone(), next), nottaken);
+                    }
+                }
+                MicroOp::Call(Target::Abs(tgt))
+                    if tgt >= stock_len && tgt < len && ctx.len() < MAX_CALL_DEPTH =>
+                {
+                    let (cstart, cend) = self.extent_of(tgt);
+                    let mut cctx = ctx.clone();
+                    cctx.push((cstart, cend, Some(addr + 1)));
+                    flow(&mut states, &mut work, (cctx, tgt), st);
+                }
+                MicroOp::Ret => {
+                    if let (.., Some(ret)) = *ctx.last().expect("non-empty context") {
+                        let mut rctx = ctx.clone();
+                        rctx.pop();
+                        let (pstart, pend, _) = *rctx.last().expect("caller frame");
+                        if ret >= pstart && ret < pend {
+                            flow(&mut states, &mut work, (rctx, ret), st);
+                        }
+                    }
+                }
+                MicroOp::Call(_)
+                | MicroOp::DecodeNext
+                | MicroOp::Fault(_)
+                | MicroOp::DispatchOpcode
+                | MicroOp::DispatchSpec(_) => {}
+                _ => {
+                    // Straight-line ops, including Halt (which falls
+                    // through when the host resumes the engine).
+                    let next = addr + 1;
+                    if next >= rstart && next < rend {
+                        flow(&mut states, &mut work, (ctx.clone(), next), st);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Abstract transfer for one hook word, enforcing the trace-pointer
+    /// protocol (obligation (b)).
+    fn hook_apply(&mut self, addr: u32, op: MicroOp, st: &mut HState) {
+        match op {
+            MicroOp::Mov { src, dst } => {
+                let v = st.eval(src);
+                st.set(dst, v);
+            }
+            MicroOp::Alu {
+                op: alu,
+                a,
+                b,
+                dst,
+                size,
+                ..
+            } => {
+                let av = st.eval(a);
+                let bv = st.eval(b);
+                let long = size == atum_arch::DataSize::Long;
+                let val = match alu {
+                    AluOp::Add if long => match (av, bv) {
+                        (HV::Const(x), HV::Const(y)) => HV::Const(x.wrapping_add(y)),
+                        (HV::Pr { pr, off }, HV::Const(c)) | (HV::Const(c), HV::Pr { pr, off }) => {
+                            HV::Pr {
+                                pr,
+                                off: off + c as i64,
+                            }
+                        }
+                        _ => HV::Top,
+                    },
+                    AluOp::Sub if long => match (av, bv) {
+                        (HV::Const(x), HV::Const(y)) => HV::Const(x.wrapping_sub(y)),
+                        (HV::Pr { pr, off }, HV::Const(c)) => HV::Pr {
+                            pr,
+                            off: off - c as i64,
+                        },
+                        _ => HV::Top,
+                    },
+                    _ => HV::Top,
+                };
+                st.cmp = if alu == AluOp::Sub && long {
+                    Some((av, bv))
+                } else {
+                    None
+                };
+                st.set(dst, val);
+            }
+            MicroOp::ReadPr { num, dst } => {
+                let v = match st.eval(num) {
+                    HV::Const(n) => {
+                        if n == PrivReg::Trptr.number() {
+                            // A fresh pointer read starts a new protocol
+                            // round: a later advance is that round's own
+                            // linearization point.
+                            st.advanced = false;
+                        }
+                        HV::Pr { pr: n, off: 0 }
+                    }
+                    _ => HV::Top,
+                };
+                st.set(dst, v);
+            }
+            MicroOp::PhysRead => st.set(MicroReg::Mdr, HV::Top),
+            MicroOp::PhysWrite => self.hook_store(addr, st),
+            MicroOp::WritePr { num, src } => {
+                if st.eval(num) == HV::Const(PrivReg::Trptr.number()) {
+                    self.hook_advance(addr, st, src);
+                } else if st.eval(num) == HV::Const(PrivReg::Trlim.number()) {
+                    // Moving the bound invalidates the headroom proof
+                    // and every TRLIM-derived snapshot.
+                    for r in st.regs.iter_mut() {
+                        if matches!(r, HV::Pr { pr, .. } if *pr == PrivReg::Trlim.number()) {
+                            *r = HV::Top;
+                        }
+                    }
+                    st.checked = 0;
+                    st.cmp = None;
+                }
+            }
+            MicroOp::Halt => {
+                // The buffer-full drain window: the host may reset TRPTR
+                // while the engine is halted, so every pointer snapshot,
+                // the headroom proof and the stored-longword evidence
+                // are stale on resume.
+                for r in st.regs.iter_mut() {
+                    if matches!(r, HV::Pr { pr, .. } if *pr == PrivReg::Trptr.number()) {
+                        *r = HV::Top;
+                    }
+                }
+                st.checked = 0;
+                st.stored = 0;
+                st.cmp = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// A physical store inside a hook must land in the proven record
+    /// window at `TRPTR` — before the advance — or in the spill line at
+    /// `TRLIM` (which is then checked for cross-routine conflicts).
+    fn hook_store(&mut self, addr: u32, st: &mut HState) {
+        match st.regs[8] {
+            HV::Pr { pr, off } if pr == PrivReg::Trptr.number() => {
+                if st.advanced {
+                    self.emit(
+                        addr,
+                        Severity::Error,
+                        "record store after the trptr advance: the advance must be the hook's last record effect (single linearization point)".into(),
+                    );
+                } else if st.checked >= RECORD_BYTES
+                    && off >= 0
+                    && off % 4 == 0
+                    && off <= st.checked - 4
+                {
+                    if off / 4 < 32 {
+                        st.stored |= 1u32 << (off / 4);
+                    }
+                } else {
+                    self.emit(
+                        addr,
+                        Severity::Error,
+                        format!(
+                            "record store at trptr{off:+} is not covered by headroom proven since the last drain window (proven: {} bytes)",
+                            st.checked
+                        ),
+                    );
+                }
+            }
+            HV::Pr { pr, off }
+                if pr == PrivReg::Trlim.number() && (0..=SPILL_LINE_BYTES - 4).contains(&off) =>
+            {
+                let routine = self
+                    .map
+                    .routine_start(addr)
+                    .map(|s| self.map.name(s))
+                    .unwrap_or_else(|| format!("@{addr:#06x}"));
+                let writers = self.spill_writers.entry(off).or_default();
+                if !writers.iter().any(|(n, _)| *n == routine) {
+                    writers.push((routine, addr));
+                }
+            }
+            other => self.emit(
+                addr,
+                Severity::Error,
+                format!(
+                    "hook store through {} is outside the trace-pointer protocol (record window or spill line)",
+                    other.describe()
+                ),
+            ),
+        }
+    }
+
+    /// The `TRPTR` advance: the hook's single linearization point. The
+    /// published pointer must be derived from the current round's
+    /// pointer read, stay inside the proven headroom, and every record
+    /// longword it publishes must have been stored on *every* path here.
+    fn hook_advance(&mut self, addr: u32, st: &mut HState, src: MicroReg) {
+        match st.eval(src) {
+            HV::Pr { pr, off } if pr == PrivReg::Trptr.number() => {
+                if off <= 0 {
+                    self.emit(
+                        addr,
+                        Severity::Error,
+                        format!("trptr advance by {off} bytes does not move the pointer past the record"),
+                    );
+                } else if off % 4 != 0 {
+                    self.emit(
+                        addr,
+                        Severity::Error,
+                        format!("trptr advance by {off} bytes is not longword-aligned"),
+                    );
+                } else if off > st.checked {
+                    self.emit(
+                        addr,
+                        Severity::Error,
+                        format!(
+                            "trptr advanced by {off} bytes but only {} bytes of headroom are proven",
+                            st.checked
+                        ),
+                    );
+                } else {
+                    let lw = off / 4;
+                    let need = if lw >= 32 { u32::MAX } else { (1u32 << lw) - 1 };
+                    if st.stored & need != need {
+                        self.emit(
+                            addr,
+                            Severity::Error,
+                            format!(
+                                "trptr advanced by {off} bytes over record longwords no store has written on every path — a drain here would publish a torn record"
+                            ),
+                        );
+                    }
+                }
+            }
+            other => self.emit(
+                addr,
+                Severity::Error,
+                format!(
+                    "trptr advanced to {}, which is not derived from the current trptr read",
+                    other.describe()
+                ),
+            ),
+        }
+        // The pointer moved: old-pointer snapshots and evidence are
+        // stale, and no further record store may follow this round.
+        for r in st.regs.iter_mut() {
+            if matches!(r, HV::Pr { pr, .. } if *pr == PrivReg::Trptr.number()) {
+                *r = HV::Top;
+            }
+        }
+        st.checked = 0;
+        st.stored = 0;
+        st.cmp = None;
+        st.advanced = true;
+    }
+
+    fn check_spill_conflicts(&mut self) {
+        let conflicts: Vec<(i64, Vec<(String, u32)>)> = self
+            .spill_writers
+            .iter()
+            .filter(|(_, v)| v.len() > 1)
+            .map(|(&off, v)| (off, v.clone()))
+            .collect();
+        for (off, writers) in conflicts {
+            let names: Vec<&str> = writers.iter().map(|(n, _)| n.as_str()).collect();
+            let addr = writers.last().expect("non-empty").1;
+            self.emit(
+                addr,
+                Severity::Error,
+                format!(
+                    "spill-line scratch at trlim{off:+} is written by {} — nested hooks would clobber each other's saved state",
+                    names.join(" and ")
+                ),
+            );
+        }
+    }
+}
+
+// ---- abstract values for the region walk ----
+
+/// Tracked slots: `T0`–`T15`, `P0`–`P7`, `MAR`, `MDR`.
+const AV_SLOTS: usize = 26;
+
+fn av_slot(r: MicroReg) -> Option<usize> {
+    match r {
+        MicroReg::T(n) if n < 16 => Some(n as usize),
+        MicroReg::P(n) if n < 8 => Some(16 + n as usize),
+        MicroReg::Mar => Some(24),
+        MicroReg::Mdr => Some(25),
+        _ => None,
+    }
+}
+
+/// Abstract value for the region walk: a privileged-register base plus a
+/// possibly unknown byte offset. The PCB save/restore loops compute
+/// their offsets through the junk register, so "`pcbb` plus *something*"
+/// must survive where a constant offset cannot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Av {
+    Top,
+    Const(u32),
+    PrOff { pr: u32, off: Option<i64> },
+}
+
+impl Av {
+    fn join(self, other: Av) -> Av {
+        if self == other {
+            return self;
+        }
+        match (self, other) {
+            (Av::PrOff { pr: a, .. }, Av::PrOff { pr: b, .. }) if a == b => {
+                Av::PrOff { pr: a, off: None }
+            }
+            _ => Av::Top,
+        }
+    }
+
+    fn add(self, other: Av) -> Av {
+        match (self, other) {
+            (Av::Const(x), Av::Const(y)) => Av::Const(x.wrapping_add(y)),
+            (Av::PrOff { pr, off }, Av::Const(c)) | (Av::Const(c), Av::PrOff { pr, off }) => {
+                Av::PrOff {
+                    pr,
+                    off: off.map(|o| o + c as i64),
+                }
+            }
+            (Av::PrOff { pr, .. }, Av::Top) | (Av::Top, Av::PrOff { pr, .. }) => {
+                Av::PrOff { pr, off: None }
+            }
+            _ => Av::Top,
+        }
+    }
+
+    fn sub(self, other: Av) -> Av {
+        match (self, other) {
+            (Av::Const(x), Av::Const(y)) => Av::Const(x.wrapping_sub(y)),
+            (Av::PrOff { pr, off }, Av::Const(c)) => Av::PrOff {
+                pr,
+                off: off.map(|o| o - c as i64),
+            },
+            _ => Av::Top,
+        }
+    }
+}
+
+fn av_eval(st: &[Av], r: MicroReg) -> Av {
+    match r {
+        MicroReg::Imm(v) => Av::Const(v),
+        _ => av_slot(r).map_or(Av::Top, |i| st[i]),
+    }
+}
+
+fn av_set(st: &mut [Av], r: MicroReg, v: Av) {
+    if let Some(i) = av_slot(r) {
+        st[i] = v;
+    }
+}
+
+// ---- abstract values and state for the hook protocol walk ----
+
+/// Abstract value in the hook walk: same derivation lattice as the
+/// transparency pass (`Init` marks the caller's live value at hook
+/// entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HV {
+    Top,
+    Const(u32),
+    Init(MicroReg),
+    Pr { pr: u32, off: i64 },
+}
+
+impl HV {
+    fn join(self, other: HV) -> HV {
+        if self == other {
+            self
+        } else {
+            HV::Top
+        }
+    }
+
+    fn describe(self) -> String {
+        match self {
+            HV::Top => "an unknown value".into(),
+            HV::Const(c) => format!("constant {c:#x}"),
+            HV::Init(r) => format!("the caller's {r}"),
+            HV::Pr { pr, off } => match PrivReg::from_number(pr) {
+                Some(p) => format!("{}{off:+}", p.mnemonic()),
+                None => format!("pr[{pr}]{off:+}"),
+            },
+        }
+    }
+}
+
+/// Tracked hook registers: `P0`–`P7`, `MAR`, `MDR`.
+fn hook_slot(r: MicroReg) -> Option<usize> {
+    match r {
+        MicroReg::P(n) if n < 8 => Some(n as usize),
+        MicroReg::Mar => Some(8),
+        MicroReg::Mdr => Some(9),
+        _ => None,
+    }
+}
+
+/// Abstract state along one path through a hook.
+#[derive(Debug, Clone, PartialEq)]
+struct HState {
+    regs: [HV; 10],
+    /// Operands of the last `Sub` (micro-carry = borrow = `a < b`).
+    cmp: Option<(HV, HV)>,
+    /// Headroom proven *in this protocol round*: `TRLIM − TRPTR ≥
+    /// checked` held at the last carry test, with no drain window since.
+    checked: i64,
+    /// Record longwords (relative to the round's pointer read) written
+    /// on every path reaching this point.
+    stored: u32,
+    /// Whether this round's `TRPTR` advance has already happened.
+    advanced: bool,
+}
+
+impl HState {
+    fn entry() -> HState {
+        let mut regs = [HV::Top; 10];
+        regs[8] = HV::Init(MicroReg::Mar);
+        regs[9] = HV::Init(MicroReg::Mdr);
+        HState {
+            regs,
+            cmp: None,
+            checked: 0,
+            stored: 0,
+            advanced: false,
+        }
+    }
+
+    fn join(&self, other: &HState) -> HState {
+        let mut regs = [HV::Top; 10];
+        for (i, r) in regs.iter_mut().enumerate() {
+            *r = self.regs[i].join(other.regs[i]);
+        }
+        HState {
+            regs,
+            cmp: match (self.cmp, other.cmp) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            checked: self.checked.min(other.checked),
+            stored: self.stored & other.stored,
+            advanced: self.advanced || other.advanced,
+        }
+    }
+
+    fn eval(&self, r: MicroReg) -> HV {
+        match r {
+            MicroReg::Imm(v) => HV::Const(v),
+            _ => hook_slot(r).map_or(HV::Top, |i| self.regs[i]),
+        }
+    }
+
+    fn set(&mut self, r: MicroReg, v: HV) {
+        if let Some(i) = hook_slot(r) {
+            self.regs[i] = v;
+        }
+    }
+}

@@ -125,6 +125,63 @@ pub fn reachable(cs: &ControlStore) -> Vec<bool> {
     seen
 }
 
+/// Whether executing `op` can divert control into the exception
+/// micro-flow: the virtual transfers fault on a translation miss or
+/// protection violation, and [`MicroOp::Fault`] *is* the diversion. The
+/// physical transfers never fault (they bypass translation), which is
+/// exactly why the ATUM patches are restricted to them.
+///
+/// This is the shared fault-permissible-point predicate used by both the
+/// `cost` pass (fault cycles escape the static added-cycle bound) and
+/// the `atomicity` pass (a fault mid-hook re-enters the trace hooks).
+pub fn can_fault(op: MicroOp) -> bool {
+    matches!(
+        op,
+        MicroOp::Read { .. } | MicroOp::Write { .. } | MicroOp::Fault(_)
+    )
+}
+
+/// Whether executing `op` opens a preemption window: [`MicroOp::Halt`]
+/// hands the machine to the host (the ATUM drain runs there), and
+/// [`MicroOp::DecodeNext`] is where pending interrupts are honoured.
+/// Neither diverts into the exception flow by itself, but anything live
+/// across one is exposed to the drain or the interrupt micro-flow.
+pub fn preempt_window(op: MicroOp) -> bool {
+    matches!(op, MicroOp::Halt | MicroOp::DecodeNext)
+}
+
+/// Every reachable micro-address whose word is a fault-permissible
+/// point ([`can_fault`]), sorted. A fault-exit observed from any other
+/// address is impossible: the closed-world CFG has no other diversion
+/// sites. (Preemption windows — [`preempt_window`] — are deliberately
+/// not included: a `Halt` hands control to the host without entering
+/// the exception flow, and the atomicity pass treats the two cases
+/// differently.)
+pub fn fault_points(cs: &ControlStore) -> Vec<u32> {
+    let seen = reachable(cs);
+    (0..cs.len())
+        .filter(|&a| seen[a as usize] && can_fault(cs.word(a)))
+        .collect()
+}
+
+/// The closure of a routine inside a region: every address in `[lo, hi)`
+/// reachable from `start` without leaving the region (edges out of the
+/// region — e.g. a patch rejoining the stock flow — are not followed).
+/// Sorted and deduplicated.
+pub fn region_closure(cs: &ControlStore, start: u32, lo: u32, hi: u32) -> Vec<u32> {
+    let mut seen = Vec::new();
+    let mut stack = vec![start];
+    while let Some(addr) = stack.pop() {
+        if addr < lo || addr >= hi || seen.contains(&addr) {
+            continue;
+        }
+        seen.push(addr);
+        stack.extend(successors(cs, addr));
+    }
+    seen.sort_unstable();
+    seen
+}
+
 /// A sorted `(address, name)` view of the symbol table, for resolving
 /// addresses back to `symbol+offset` form.
 pub struct SymbolMap {

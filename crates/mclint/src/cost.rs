@@ -36,7 +36,7 @@
 //! `cost::MEM_EXTRA` charge do not exist in this machine model; on a
 //! real 8200 they widen the envelope (see `EXPERIMENTS.md`).
 
-use crate::cfg::SymbolMap;
+use crate::cfg::{self, SymbolMap};
 use crate::transparency::{detect_hooks, Hook, HookSlot};
 use crate::{Finding, Pass, Severity};
 use atum_arch::{Opcode, PrivReg};
@@ -182,9 +182,27 @@ pub fn check(cs: &ControlStore) -> Vec<Finding> {
 pub fn analyze(cs: &ControlStore) -> CostReport {
     let symbols = SymbolMap::new(cs);
     let stock_entries = stock_entry_table(cs);
+    // Fault-permissible points, from the predicate shared with the
+    // atomicity pass. A faultable micro-op inside a hook closure diverts
+    // into the exception flow, and those cycles (fault delivery plus the
+    // re-entered hooks) are outside every static added-cycle interval
+    // computed below — so the intervals would silently under-report.
+    let fault_points = cfg::fault_points(cs);
     let mut hooks = Vec::new();
     let mut findings = Vec::new();
     for hook in detect_hooks(cs) {
+        let closure = cfg::region_closure(cs, hook.patch_addr, cs.stock_len(), cs.len());
+        for &fp in &fault_points {
+            if closure.binary_search(&fp).is_ok() {
+                findings.push(Finding {
+                    pass: Pass::Cost,
+                    severity: Severity::Warning,
+                    symbol: symbols.name(fp),
+                    addr: fp,
+                    message: "fault-permissible micro-op in a hook closure: fault-path cycles escape the static added-cycle interval".into(),
+                });
+            }
+        }
         // Findings come from the either-path walk (it covers the union
         // of the enabled and disabled path sets).
         let mut w = Walker::patch(cs, &symbols, Assume::Either);

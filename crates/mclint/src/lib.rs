@@ -38,7 +38,15 @@
 //!   fused cycle offsets, exits) from the source micro-words through
 //!   an independent copy of the stitching rules, for every head the
 //!   block cache could probe, and can diff a live cache for stale or
-//!   tampered blocks.
+//!   tampered blocks;
+//! * [`atomicity`] — hook atomicity under faults, interrupts and
+//!   concurrent drains: no fault-permissible point inside a hook
+//!   closure, every hook follows the read-`TRPTR` → bounds-check →
+//!   store → advance-last protocol (so a drain never observes a pointer
+//!   over a torn record), and the whole store's register/memory state
+//!   partition (per-context / per-CPU-candidate / shared) is extracted
+//!   and hooks are proven to touch no shared state — the contract the
+//!   SMP per-CPU buffers will be checked against.
 //!
 //! The top-level entry point is [`lint::run`]; `mculist verify` and
 //! `mculist cost` (in `atum-bench`) drive it from the command line and
@@ -57,6 +65,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomicity;
 pub mod cfg;
 pub mod cost;
 pub mod dataflow;
@@ -103,6 +112,29 @@ pub enum Pass {
     Lowering,
     /// Superblock formation equivalence against the control store.
     Superblock,
+    /// Hook atomicity: fault-window safety, the trace-pointer protocol
+    /// and the per-context/per-CPU/shared state partition.
+    Atomicity,
+}
+
+impl Pass {
+    /// Every pass, in report order.
+    pub const ALL: &'static [Pass] = &[
+        Pass::Structural,
+        Pass::Dataflow,
+        Pass::Transparency,
+        Pass::Svx,
+        Pass::Cost,
+        Pass::Lowering,
+        Pass::Superblock,
+        Pass::Atomicity,
+    ];
+
+    /// Parses a pass name as printed by [`Display`](fmt::Display) (and
+    /// accepted by `mculist verify --pass <name>`).
+    pub fn from_name(name: &str) -> Option<Pass> {
+        Pass::ALL.iter().copied().find(|p| p.to_string() == name)
+    }
 }
 
 impl fmt::Display for Pass {
@@ -115,6 +147,7 @@ impl fmt::Display for Pass {
             Pass::Cost => f.write_str("cost"),
             Pass::Lowering => f.write_str("lowering"),
             Pass::Superblock => f.write_str("superblock"),
+            Pass::Atomicity => f.write_str("atomicity"),
         }
     }
 }
@@ -165,15 +198,29 @@ pub fn error_count(findings: &[Finding]) -> usize {
 
 /// The composed control-store verifier.
 pub mod lint {
-    use super::{cost, dataflow, lowering, structural, superblock, transparency, Finding};
+    use super::{
+        atomicity, cost, dataflow, lowering, structural, superblock, transparency, Finding, Pass,
+    };
     use atum_ucode::ControlStore;
 
+    /// Fully deterministic report order: pass, then symbol, then
+    /// address. Pass-internal iteration order can never leak into the
+    /// report this way, which is what lets the verify output be golden-
+    /// pinned.
+    fn sort(mut out: Vec<Finding>) -> Vec<Finding> {
+        out.sort_by(|a, b| {
+            (a.pass as u8, &a.symbol, a.addr).cmp(&(b.pass as u8, &b.symbol, b.addr))
+        });
+        out
+    }
+
     /// Runs every control-store pass — structural, dataflow, cost,
-    /// lowering-equivalence, superblock-formation equivalence and (when
-    /// hooks are installed) transparency — and returns the combined
-    /// findings sorted by micro-address. SVX images are linted
-    /// separately through [`crate::svx::check_image`], since they are
-    /// not part of the control store.
+    /// lowering-equivalence, superblock-formation equivalence,
+    /// atomicity and (when hooks are installed) transparency — and
+    /// returns the combined findings sorted by pass, symbol and
+    /// micro-address. SVX images are linted separately through
+    /// [`crate::svx::check_image`], since they are not part of the
+    /// control store.
     pub fn run(cs: &ControlStore) -> Vec<Finding> {
         let mut out = structural::check(cs);
         out.extend(dataflow::check(cs));
@@ -181,7 +228,24 @@ pub mod lint {
         out.extend(cost::check(cs));
         out.extend(lowering::check(cs));
         out.extend(superblock::check(cs));
-        out.sort_by_key(|f| (f.addr, f.pass as u8));
-        out
+        out.extend(atomicity::check(cs));
+        sort(out)
+    }
+
+    /// Runs a single control-store pass, in the same deterministic
+    /// order as [`run`]. [`Pass::Svx`] returns no findings here: SVX
+    /// lints images, not the control store.
+    pub fn run_pass(cs: &ControlStore, pass: Pass) -> Vec<Finding> {
+        let out = match pass {
+            Pass::Structural => structural::check(cs),
+            Pass::Dataflow => dataflow::check(cs),
+            Pass::Transparency => transparency::check(cs),
+            Pass::Svx => Vec::new(),
+            Pass::Cost => cost::check(cs),
+            Pass::Lowering => lowering::check(cs),
+            Pass::Superblock => superblock::check(cs),
+            Pass::Atomicity => atomicity::check(cs),
+        };
+        sort(out)
     }
 }

@@ -7,8 +7,11 @@
 
 use atum_arch::{DataSize, PrivReg};
 use atum_core::patch::{PatchSet, PatchStyle};
-use atum_mclint::{error_count, lint, Finding, Severity};
-use atum_ucode::{stock, AluOp, CcEffect, ControlStore, Entry, MicroOp, MicroReg, Target};
+use atum_mclint::{atomicity, error_count, lint, transparency, Finding, Pass, Severity};
+use atum_ucode::{
+    stock, AluOp, CcEffect, ControlStore, Entry, MicroCond, MicroOp, MicroReg, RefClass, SizeSel,
+    Target,
+};
 
 fn assert_clean(findings: &[Finding], what: &str) {
     assert!(
@@ -455,6 +458,340 @@ fn cs_symbol_at(cs: &ControlStore, addr: u32) -> String {
     match best {
         Some((name, _)) => name.to_string(),
         None => format!("{addr:#06x}"),
+    }
+}
+
+// ── negative: seeded bugs 13–16 — atomicity violations ───────────────
+
+/// `Alu` with no condition-code side effect, the shape the real patches
+/// use for address arithmetic and the capacity check.
+fn alu(op: AluOp, a: MicroReg, b: MicroReg, dst: MicroReg) -> MicroOp {
+    MicroOp::Alu {
+        op,
+        a,
+        b,
+        dst,
+        size: DataSize::Long,
+        cc: CcEffect::None,
+    }
+}
+
+#[test]
+fn trptr_advanced_over_unwritten_record_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    // Proves headroom like the real logger but stores only the low
+    // longword before publishing the full 8-byte advance: a drain
+    // between the advance and the (never-written) high word reads a
+    // torn record.
+    let base = cs.append_routine(
+        "evil.earlyadvance",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::ReadPr {
+                num: MicroReg::Imm(PrivReg::Trptr.number()),
+                dst: MicroReg::P(2),
+            },
+            MicroOp::ReadPr {
+                num: MicroReg::Imm(PrivReg::Trlim.number()),
+                dst: MicroReg::P(3),
+            },
+            alu(AluOp::Add, MicroReg::P(2), MicroReg::Imm(8), MicroReg::P(4)),
+            alu(AluOp::Sub, MicroReg::P(3), MicroReg::P(4), MicroReg::P(7)),
+            MicroOp::JumpIf {
+                cond: MicroCond::UCarry,
+                target: Target::Abs(stock_read),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(2),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mdr,
+            },
+            MicroOp::PhysWrite,
+            MicroOp::WritePr {
+                num: MicroReg::Imm(PrivReg::Trptr.number()),
+                src: MicroReg::P(4),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, base);
+    let findings = lint::run_pass(&cs, Pass::Atomicity);
+    let f = expect_finding(&findings, "evil.earlyadvance", "torn record");
+    assert_eq!(f.addr, base + 9);
+    assert_eq!(f.severity, Severity::Error);
+    assert_eq!(f.pass, Pass::Atomicity);
+}
+
+#[test]
+fn fault_window_over_live_hook_scratch_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    // Saves MAR to P0, then issues a *virtual* read: a translation miss
+    // here diverts into the (hooked) exception dispatch, whose hook
+    // clobbers P0 — the saved MAR is gone when this hook resumes.
+    let base = cs.append_routine(
+        "evil.faultsave",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::Read {
+                class: RefClass::DataRead,
+                size: SizeSel::Fixed(DataSize::Long),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, base);
+    let findings = lint::run_pass(&cs, Pass::Atomicity);
+    let f = expect_finding(
+        &findings,
+        "evil.faultsave",
+        "fault-permissible point inside a hook",
+    );
+    assert_eq!(f.addr, base + 1);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("p0"), "{f}");
+}
+
+#[test]
+fn spill_line_shared_between_hook_routines_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install_with_style(&mut cs, PatchStyle::Spill).unwrap();
+    let stock_write = cs.symbol("xfer.write").unwrap();
+    // A second hook routine parking state at TRLIM+0 — the same slot the
+    // spill-style logger's prologue uses. The two would clobber each
+    // other's saved state when hooks nest.
+    let base = cs.append_routine(
+        "evil.spillhook",
+        vec![
+            MicroOp::ReadPr {
+                num: MicroReg::Imm(PrivReg::Trlim.number()),
+                dst: MicroReg::P(2),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(2),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::PhysWrite,
+            MicroOp::Jump(Target::Abs(stock_write)),
+        ],
+    );
+    cs.set_entry(Entry::XferWrite, base);
+    let findings = lint::run_pass(&cs, Pass::Atomicity);
+    let f = expect_finding(&findings, "evil.spillhook", "spill-line scratch");
+    assert_eq!(f.addr, base + 2);
+    assert_eq!(f.severity, Severity::Error);
+    assert!(f.message.contains("atum.log"), "{f}");
+}
+
+#[test]
+fn headroom_reused_across_drain_window_is_caught() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    // Proves headroom, then halts (the buffer-full drain window, where
+    // the host may reset TRPTR) and keeps using the pre-halt pointer
+    // snapshot and headroom proof. The transparency pass accepts this —
+    // to an undisturbed execution it is invisible — which is exactly the
+    // soundness gap the atomicity pass closes.
+    let base = cs.len();
+    cs.append_routine(
+        "evil.staleheadroom",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::Mov {
+                src: MicroReg::Mdr,
+                dst: MicroReg::P(6),
+            },
+            MicroOp::ReadPr {
+                num: MicroReg::Imm(PrivReg::Trptr.number()),
+                dst: MicroReg::P(2),
+            },
+            MicroOp::ReadPr {
+                num: MicroReg::Imm(PrivReg::Trlim.number()),
+                dst: MicroReg::P(3),
+            },
+            alu(AluOp::Add, MicroReg::P(2), MicroReg::Imm(8), MicroReg::P(4)),
+            alu(AluOp::Sub, MicroReg::P(3), MicroReg::P(4), MicroReg::P(7)),
+            MicroOp::JumpIf {
+                cond: MicroCond::UCarry,
+                target: Target::Abs(base + 15),
+            },
+            MicroOp::Halt,
+            MicroOp::Mov {
+                src: MicroReg::P(2),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mdr,
+            },
+            MicroOp::PhysWrite,
+            MicroOp::WritePr {
+                num: MicroReg::Imm(PrivReg::Trptr.number()),
+                src: MicroReg::P(4),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(6),
+                dst: MicroReg::Mdr,
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+            // full: restore and bail.
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(6),
+                dst: MicroReg::Mdr,
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, base);
+    assert_clean(
+        &transparency::check(&cs),
+        "stale-headroom hook under transparency alone",
+    );
+    let findings = lint::run_pass(&cs, Pass::Atomicity);
+    let f = expect_finding(
+        &findings,
+        "evil.staleheadroom",
+        "outside the trace-pointer protocol",
+    );
+    assert_eq!(f.addr, base + 10);
+    assert_eq!(f.severity, Severity::Error);
+    expect_finding(
+        &findings,
+        "evil.staleheadroom",
+        "not derived from the current trptr read",
+    );
+}
+
+// ── positive: the state partition of the shipped artifacts ───────────
+
+#[test]
+fn stock_partition_matches_golden_file() {
+    let expected = include_str!("golden/partition_stock.json");
+    let actual = format!("{}\n", atomicity::partition(&stock::build()).to_json());
+    assert!(
+        actual == expected,
+        "the stock state partition drifted from tests/golden/partition_stock.json.\n\
+         If the change is intentional, replace the golden file with the actual value:\n\
+         --- expected ---\n{expected}\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn shipped_partitions_have_no_unclassified_state() {
+    for style in [None, Some(PatchStyle::Scratch), Some(PatchStyle::Spill)] {
+        let mut cs = stock::build();
+        if let Some(style) = style {
+            PatchSet::install_with_style(&mut cs, style).unwrap();
+        }
+        let p = atomicity::partition(&cs);
+        for e in p.registers.iter().chain(p.memory.iter()) {
+            assert_ne!(
+                e.class,
+                atomicity::StateClass::Unclassified,
+                "unclassified state '{}' in the {:?} partition",
+                e.name,
+                style
+            );
+        }
+        // The patched stores must show the trace machinery as hook-
+        // touched per-CPU-candidate state.
+        if style.is_some() {
+            let trptr = p
+                .registers
+                .iter()
+                .find(|e| e.name == "trptr")
+                .expect("patched store touches trptr");
+            assert_eq!(trptr.class, atomicity::StateClass::PerCpuCandidate);
+            assert!(trptr.hooks);
+        }
+    }
+}
+
+// ── single-pass runs (`mculist verify --pass`) ───────────────────────
+
+/// `lint::run_pass` must agree with the filtered full run on every pass,
+/// and the full run must come out in the pinned deterministic order —
+/// the contract `mculist verify --pass <name>` and the verify golden
+/// rely on.
+#[test]
+fn run_pass_matches_filtered_full_run() {
+    let mut cs = stock::build();
+    PatchSet::install(&mut cs).unwrap();
+    let stock_read = cs.symbol("xfer.read").unwrap();
+    // Seed bugs across several passes at once.
+    cs.append_routine("evil.orphan", vec![MicroOp::Ret]);
+    let base = cs.append_routine(
+        "evil.faultsave",
+        vec![
+            MicroOp::Mov {
+                src: MicroReg::Mar,
+                dst: MicroReg::P(0),
+            },
+            MicroOp::Read {
+                class: RefClass::DataRead,
+                size: SizeSel::Fixed(DataSize::Long),
+            },
+            MicroOp::Mov {
+                src: MicroReg::P(0),
+                dst: MicroReg::Mar,
+            },
+            MicroOp::Jump(Target::Abs(stock_read)),
+        ],
+    );
+    cs.set_entry(Entry::XferRead, base);
+
+    let all = lint::run(&cs);
+    assert!(error_count(&all) >= 2, "expected seeded findings");
+    let keys: Vec<(u8, &String, u32)> = all
+        .iter()
+        .map(|f| (f.pass as u8, &f.symbol, f.addr))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(
+        keys, sorted,
+        "lint::run is not in (pass, symbol, addr) order"
+    );
+
+    for &p in Pass::ALL.iter() {
+        let single = lint::run_pass(&cs, p);
+        let filtered: Vec<Finding> = all.iter().filter(|f| f.pass == p).cloned().collect();
+        assert_eq!(
+            single, filtered,
+            "run_pass({p}) disagrees with the filtered full run"
+        );
     }
 }
 
