@@ -1,0 +1,236 @@
+//! Analysis-rate benchmark: the Fenwick recency-index sweep engine and
+//! the engine-parallel broadcast against the legacy linked-list walk.
+//!
+//! Captures the standard mix, replicates it to a few million records,
+//! then runs three sweep families — the F1-style direct-mapped size
+//! sweep, an associativity mix, and a purge-on-switch family — three
+//! ways each: the legacy walk (`oracle` feature), the Fenwick engine
+//! serially, and the Fenwick engine with batches broadcast to engine
+//! shards. All three result sets must be identical per family, and the
+//! best new-engine rate on the F1 family must be at least [`MIN_GAIN`]×
+//! the old walk (the CI floor gate). Rates are recorded machine-readably
+//! in `BENCH_analysis.json` at the workspace root.
+//!
+//! ```text
+//! cargo bench -p atum-bench --bench analysis -- analysis
+//! ```
+
+use atum_analysis::{experiments, Scale};
+use atum_cache::{simulate_many, simulate_many_oracle, CacheConfig, MultiSim, SwitchPolicy};
+use atum_core::{RecordKind, Trace};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// The raw-record budget the replicated trace must exceed — big enough
+/// that the legacy walk's per-access pointer chase dominates its
+/// constant costs.
+const RECORD_BUDGET: u64 = 4 << 20;
+
+/// Best-of timing rounds per variant (interleaved so host drift cancels
+/// in the ratios).
+const ROUNDS: usize = 3;
+
+/// CI floor: best new-engine rate over the F1 family must beat the old
+/// walk by at least this factor.
+const MIN_GAIN: f64 = 2.0;
+
+/// Re-stitches one copy of `src` onto `big`, keeping per-drain segment
+/// boundaries (a plain `stitch(clone)` would flatten them).
+fn stitch_replica(big: &mut Trace, src: &Trace) {
+    for seg in src.segment_slices() {
+        let recs = match seg.last() {
+            Some(r) if r.kind() == RecordKind::SegmentMark => &seg[..seg.len() - 1],
+            _ => seg,
+        };
+        let sub: Trace = recs.iter().copied().collect();
+        big.stitch(sub);
+    }
+}
+
+struct Family {
+    name: &'static str,
+    cfgs: Vec<CacheConfig>,
+}
+
+fn families() -> Vec<Family> {
+    // F1-style: direct-mapped size sweep, 16 B blocks — the paper's
+    // complete-vs-user miss-rate family and the gated workload.
+    let f1: Vec<CacheConfig> = [1u32, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .map(|kb| {
+            CacheConfig::builder()
+                .size(kb << 10)
+                .block(16)
+                .assoc(1)
+                .build()
+                .unwrap()
+        })
+        .collect();
+    // Associativity mix: sizes x ways in one shared stack.
+    let mut assoc = Vec::new();
+    for kb in [4u32, 16, 64] {
+        for ways in [1u32, 2, 4, 8] {
+            assoc.push(
+                CacheConfig::builder()
+                    .size(kb << 10)
+                    .block(16)
+                    .assoc(ways)
+                    .build()
+                    .unwrap(),
+            );
+        }
+    }
+    // Purge-on-switch: the multiprogramming family, exercising the
+    // flush path's shared resident walk.
+    let flush: Vec<CacheConfig> = [2u32, 8, 32]
+        .into_iter()
+        .flat_map(|kb| {
+            [1u32, 2].into_iter().map(move |ways| {
+                CacheConfig::builder()
+                    .size(kb << 10)
+                    .block(16)
+                    .assoc(ways)
+                    .switch_policy(SwitchPolicy::Flush)
+                    .build()
+                    .unwrap()
+            })
+        })
+        .collect();
+    vec![
+        Family {
+            name: "f1_size_sweep",
+            cfgs: f1,
+        },
+        Family {
+            name: "assoc_mix",
+            cfgs: assoc,
+        },
+        Family {
+            name: "flush_switch",
+            cfgs: flush,
+        },
+    ]
+}
+
+fn best_of<T>(rounds: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::MAX;
+    let mut last = None;
+    for _ in 0..rounds {
+        let t0 = std::time::Instant::now();
+        let out = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        last = Some(out);
+    }
+    (best, last.expect("rounds >= 1"))
+}
+
+fn analysis(_c: &mut Criterion) {
+    if !criterion::filter_matches("analysis") {
+        return;
+    }
+
+    let run = experiments::capture_standard_mix(Scale::Quick).expect("capture standard mix");
+    let mut big = Trace::new();
+    let mut replicas = 0u32;
+    while (big.len() as u64) <= RECORD_BUDGET / 8 {
+        stitch_replica(&mut big, &run.trace);
+        replicas += 1;
+    }
+    let refs = big.ref_count() as f64;
+
+    // At least 2 so the broadcast ring is always exercised, even on a
+    // single-CPU host.
+    let jobs = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8);
+
+    let mut rows = String::new();
+    let mut f1_gain = 0.0f64;
+    for fam in families() {
+        // Correctness first: all three paths must agree exactly.
+        let want = simulate_many(&big, &fam.cfgs);
+        assert_eq!(
+            want,
+            simulate_many_oracle(&big, &fam.cfgs),
+            "{}: Fenwick engine diverged from the legacy walk",
+            fam.name
+        );
+        assert_eq!(
+            want,
+            MultiSim::new(&fam.cfgs)
+                .run_parallel(&mut big.source(), jobs)
+                .expect("in-memory source cannot fail"),
+            "{}: parallel sweep diverged from serial",
+            fam.name
+        );
+
+        // Timing: interleave the variants inside each round.
+        let mut t_old = f64::MAX;
+        let mut t_fen = f64::MAX;
+        let mut t_par = f64::MAX;
+        for _ in 0..ROUNDS {
+            let (t, _) = best_of(1, || simulate_many_oracle(&big, &fam.cfgs));
+            t_old = t_old.min(t);
+            let (t, _) = best_of(1, || simulate_many(&big, &fam.cfgs));
+            t_fen = t_fen.min(t);
+            let (t, _) = best_of(1, || {
+                MultiSim::new(&fam.cfgs)
+                    .run_parallel(&mut big.source(), jobs)
+                    .expect("in-memory source cannot fail")
+            });
+            t_par = t_par.min(t);
+        }
+        let old_rate = refs / t_old;
+        let fen_rate = refs / t_fen;
+        let par_rate = refs / t_par;
+        let gain = t_old / t_fen.min(t_par);
+        if fam.name == "f1_size_sweep" {
+            f1_gain = gain;
+        }
+        println!(
+            "bench analysis[{}]: {} configs  old-walk {old_rate:.3e} refs/s  \
+             fenwick {fen_rate:.3e} refs/s  parallel(x{jobs}) {par_rate:.3e} refs/s  \
+             ({gain:.2}x over old walk)",
+            fam.name,
+            fam.cfgs.len(),
+        );
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\n      \"family\": \"{}\",\n      \"configs\": {},\n      \
+             \"old_walk_refs_per_sec\": {old_rate:.1},\n      \
+             \"fenwick_refs_per_sec\": {fen_rate:.1},\n      \
+             \"parallel_refs_per_sec\": {par_rate:.1},\n      \
+             \"gain_over_old_walk\": {gain:.3},\n      \
+             \"results_identical\": true\n    }}",
+            fam.name,
+            fam.cfgs.len(),
+        ));
+    }
+
+    assert!(
+        f1_gain >= MIN_GAIN,
+        "F1 sweep family must run at least {MIN_GAIN}x the legacy walk, got {f1_gain:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"standard mix (Quick) x{replicas} replicas\",\n  \
+         \"unit\": \"memory references per second\",\n  \
+         \"records\": {},\n  \"refs\": {},\n  \"jobs\": {jobs},\n  \
+         \"min_gain_floor\": {MIN_GAIN},\n  \
+         \"f1_gain_over_old_walk\": {f1_gain:.3},\n  \
+         \"families\": [\n{rows}\n  ]\n}}\n",
+        big.len(),
+        big.ref_count(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_analysis.json");
+    std::fs::write(out, json).expect("write BENCH_analysis.json");
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = analysis
+}
+criterion_main!(benches);

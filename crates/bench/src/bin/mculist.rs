@@ -11,13 +11,14 @@
 //! mculist verify --pass atomicity  # one verifier pass only
 //! mculist cost               # static slowdown-band gate; nonzero exit on findings
 //! mculist trace info F.atrace  # segment headers + compression stats of a trace file
+//! mculist trace info F.atrace --batch  # plus decode-only batched read timing
 //! ```
 //!
 //! `verify`, `cost` and `trace info` accept `--format json` for
 //! machine-readable output; `verify` accepts `--pass <name>` to run a
 //! single verifier pass.
 
-use atum_bench::mculist::{cost_report, patches_report, trace_info, verify_pass};
+use atum_bench::mculist::{cost_report, patches_report, trace_info, trace_info_batch, verify_pass};
 use atum_core::PatchSet;
 use atum_mclint::Pass;
 use atum_ucode::stock;
@@ -26,6 +27,7 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut json = false;
+    let mut batch = false;
     let mut pass_name: Option<String> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
@@ -38,6 +40,8 @@ fn main() -> ExitCode {
             if a == "--format" {
                 i += 1;
             }
+        } else if a == "--batch" {
+            batch = true;
         } else if let Some(v) = a.strip_prefix("--pass=") {
             pass_name = Some(v.to_string());
         } else if a == "--pass" {
@@ -78,7 +82,7 @@ fn main() -> ExitCode {
         .cloned()
         .unwrap_or_else(|| "entries".to_string());
     if arg == "trace" {
-        return run_trace(&positional[1..], json);
+        return run_trace(&positional[1..], json, batch);
     }
     let mut cs = stock::build();
     match arg.as_str() {
@@ -163,13 +167,14 @@ fn main() -> ExitCode {
 }
 
 /// `mculist trace info <file>`: dump the per-segment headers and the
-/// compression statistics of an on-disk segment trace.
-fn run_trace(rest: &[String], json: bool) -> ExitCode {
+/// compression statistics of an on-disk segment trace. `--batch` also
+/// times a decode-only pass through the batched pull reader.
+fn run_trace(rest: &[String], json: bool, batch: bool) -> ExitCode {
     let (action, path) = match rest {
         [a, p] => (a.as_str(), p.as_str()),
         [p] => ("info", p.as_str()),
         _ => {
-            eprintln!("usage: mculist trace info <file.atrace> [--format json]");
+            eprintln!("usage: mculist trace info <file.atrace> [--batch] [--format json]");
             return ExitCode::FAILURE;
         }
     };
@@ -177,7 +182,12 @@ fn run_trace(rest: &[String], json: bool) -> ExitCode {
         eprintln!("unknown trace action '{action}' (expected 'info')");
         return ExitCode::FAILURE;
     }
-    match trace_info(path) {
+    let result = if batch {
+        trace_info_batch(path)
+    } else {
+        trace_info(path)
+    };
+    match result {
         Ok(report) => {
             if json {
                 print!("{}", report.render_json());

@@ -646,6 +646,32 @@ pub struct TraceSegmentInfo {
     pub refs: u64,
 }
 
+/// Decode-only throughput of the batched pull path (`trace info
+/// --batch`): the file read end to end through
+/// [`atum_core::SegmentFileSource`] batches, best time of several
+/// passes.
+pub struct BatchTiming {
+    /// Timed passes over the file (best one reported).
+    pub passes: u32,
+    /// Records decoded per pass.
+    pub records: u64,
+    /// Batches the pass yielded.
+    pub batches: u64,
+    /// Best wall-clock seconds for one full pass.
+    pub best_secs: f64,
+}
+
+impl BatchTiming {
+    /// Decode rate of the best pass.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.best_secs > 0.0 {
+            self.records as f64 / self.best_secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// The `mculist trace info` report: per-segment headers plus the
 /// file-level compression statistics.
 pub struct TraceInfoReport {
@@ -659,6 +685,8 @@ pub struct TraceInfoReport {
     pub refs: u64,
     /// File size in bytes.
     pub file_bytes: u64,
+    /// Batched decode timing (`--batch` only).
+    pub batch: Option<BatchTiming>,
 }
 
 impl TraceInfoReport {
@@ -710,6 +738,18 @@ impl TraceInfoReport {
             self.file_bytes as f64 / self.records.max(1) as f64,
             self.compression_ratio(),
         );
+        if let Some(b) = &self.batch {
+            let _ = writeln!(
+                out,
+                "batched decode: {} records in {} batches, best of {} passes \
+                 {:.4}s ({:.3e} records/s)",
+                b.records,
+                b.batches,
+                b.passes,
+                b.best_secs,
+                b.records_per_sec(),
+            );
+        }
         out
     }
 
@@ -739,9 +779,22 @@ impl TraceInfoReport {
         let _ = writeln!(out, "  \"raw_bytes\": {},", self.raw_bytes());
         let _ = writeln!(
             out,
-            "  \"compression_ratio\": {:.4}",
-            self.compression_ratio()
+            "  \"compression_ratio\": {:.4}{}",
+            self.compression_ratio(),
+            if self.batch.is_some() { "," } else { "" }
         );
+        if let Some(b) = &self.batch {
+            let _ = writeln!(
+                out,
+                "  \"batch\": {{\"passes\": {}, \"records\": {}, \"batches\": {}, \
+                 \"best_secs\": {:.6}, \"records_per_sec\": {:.1}}}",
+                b.passes,
+                b.records,
+                b.batches,
+                b.best_secs,
+                b.records_per_sec(),
+            );
+        }
         out.push_str("}\n");
         out
     }
@@ -782,7 +835,47 @@ pub fn trace_info(path: &str) -> Result<TraceInfoReport, atum_core::TraceStreamE
         records,
         refs,
         file_bytes,
+        batch: None,
     })
+}
+
+/// [`trace_info`] plus a decode-only timing of the batched pull path
+/// (`mculist trace info --batch`): reads the file end to end through
+/// [`atum_core::SegmentFileSource::next_batch`] several times and
+/// reports the best pass — the ceiling any batch-fed analysis can
+/// reach on this file.
+///
+/// # Errors
+///
+/// Any [`atum_core::TraceStreamError`].
+pub fn trace_info_batch(path: &str) -> Result<TraceInfoReport, atum_core::TraceStreamError> {
+    use atum_core::TraceSource;
+    const PASSES: u32 = 3;
+    let mut report = trace_info(path)?;
+    let mut src = atum_core::SegmentFileSource::new(path);
+    let mut best = f64::MAX;
+    let mut records = 0u64;
+    let mut batches = 0u64;
+    for _ in 0..PASSES {
+        src.rewind()?;
+        let t0 = std::time::Instant::now();
+        let mut recs = 0u64;
+        let mut bats = 0u64;
+        while let Some(b) = src.next_batch()? {
+            recs += b.len() as u64;
+            bats += 1;
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+        records = recs;
+        batches = bats;
+    }
+    report.batch = Some(BatchTiming {
+        passes: PASSES,
+        records,
+        batches,
+        best_secs: best,
+    });
+    Ok(report)
 }
 
 fn varint_len(v: u64) -> u64 {
@@ -893,6 +986,21 @@ mod tests {
             "unbalanced braces:\n{j}"
         );
         assert!(j.contains("\"compression_ratio\""));
+
+        // The --batch form decodes every record through the batched
+        // pull reader and reports a rate, in both output formats.
+        let rb = trace_info_batch(path.to_str().unwrap()).unwrap();
+        let b = rb.batch.as_ref().expect("batch timing present");
+        assert_eq!(b.records, t.len() as u64);
+        assert!(b.batches >= t.segments() as u64 - 1);
+        assert!(rb.render().contains("batched decode"));
+        let jb = rb.render_json();
+        assert!(jb.contains("\"batch\""), "{jb}");
+        assert_eq!(
+            jb.matches('{').count(),
+            jb.matches('}').count(),
+            "unbalanced braces:\n{jb}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

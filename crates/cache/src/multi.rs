@@ -11,28 +11,76 @@
 //! with `S = 2^s` sets and `A` ways is determined by its *set-relative
 //! stack distance* — the number of distinct blocks mapping to the same
 //! set (mod `S`) that were touched since the last touch of this block.
-//! One global LRU stack therefore answers every `(S, A)` in the sweep
-//! at once: walking from the most recent entry down to the referenced
-//! block, count per set-count how many prior blocks share its set; the
-//! reference hits in `(S, A)` iff that count is below `A`.
+//! One recency order therefore answers every `(S, A)` in the sweep at
+//! once.
 //!
-//! Write-back accounting is *lazy*, which keeps misses cheap: a block
+//! The distance core is a **recency index** with two per-set
+//! representations, picked per level (one level = one distinct set
+//! count, the `s_max` bucket classes of the tz-counting formulation):
+//!
+//! * **Saturated order-statistic arrays** (`A_max ≤` [`SAT_CAP_MAX`],
+//!   the common case): each set keeps the `A_max` most recently touched
+//!   distinct blocks in MRU order, where `A_max` is the largest way
+//!   count any configuration asks of this level. The truncated stack is
+//!   exact below its capacity — a block found at position `i` has
+//!   set-relative stack distance exactly `i` — and a block that fell
+//!   off the end has distance `≥ A_max`, which already misses in every
+//!   configuration at the level. Distances the sweep can never act on
+//!   are never computed: this is the early-exit economics of the old
+//!   walk, made O(A_max) flat-array work per level instead of an
+//!   unbounded pointer chase.
+//! * **Fenwick (binary indexed) trees over access time** (high
+//!   associativity): every resident block carries the global time of
+//!   its last touch, and each set keeps a Fenwick tree over its
+//!   insertion history with one live mark per resident block. A set's
+//!   insertion times arrive in increasing order, so local slot order
+//!   *is* time order and the distance of a block last touched at `t` is
+//!   `live − prefix(t)` — answered in O(log n) regardless of way
+//!   count. Dead slots left by re-touches are compacted away once they
+//!   outnumber live ones, so memory and query depth stay O(resident)
+//!   amortised.
+//!
+//! An absent block (compulsory or post-purge miss in every
+//! configuration) needs no distance queries at all on either
+//! representation. Block residency, first-touch history and dirty
+//! bitmasks live in one flat open-addressing table keyed by
+//! `(pid_tag, blockno)` — one multiplicative-hash probe per access
+//! where the old engine paid two SipHash container lookups.
+//!
+//! Write-back accounting is *lazy*, exactly as in DESIGN §11: a block
 //! whose stack distance reaches `A` was evicted at the moment its
 //! `A`-th same-set successor arrived, so a dirty bit surviving to the
 //! block's next touch (or to a purge, or to the end of the trace) means
 //! exactly one write-back happened — counted then, not at eviction
 //! time. Statistics are only observed at the end, so the deferral is
-//! invisible, and an access never has to walk past its own stack
-//! distance (an absent block needs no walk at all). Dirty state is a
-//! per-entry bitmask over the group's configurations.
+//! invisible. Dirty state is a per-entry bitmask over the group's
+//! configurations.
 //!
-//! Inclusion requires that every access reorder the stack the same way
-//! in every configuration. That holds for LRU with write-allocate; it
-//! fails for FIFO and random replacement (no stack property) and for
-//! write-through-no-allocate (a write miss does not insert, and whether
-//! it misses depends on the configuration). Those configurations fall
-//! back to grouped per-configuration replay — independent [`Cache`]
-//! models fed from the same single trace traversal.
+//! The historical linked-list walk survives behind
+//! `#[cfg(any(test, feature = "oracle"))]` as [`mod@oracle`]: the
+//! property suites drive both engines over randomized traces (flushes
+//! and PID tags included) and demand field-for-field identical
+//! [`CacheStats`], pinning the invariants — hit iff set-relative
+//! distance < ways, lazy write-back settlement at re-touch/purge/end,
+//! purge invalidation = resident lines within ways, first-touch history
+//! preserved across purges.
+//!
+//! Inclusion requires that every access reorder the recency order the
+//! same way in every configuration. That holds for LRU with
+//! write-allocate; it fails for FIFO and random replacement (no stack
+//! property) and for write-through-no-allocate (a write miss does not
+//! insert, and whether it misses depends on the configuration). Those
+//! configurations fall back to grouped per-configuration replay —
+//! independent [`Cache`] models fed from the same single trace
+//! traversal.
+//!
+//! Every engine — each stack group, each direct-replay cache — is an
+//! independent sequential consumer of the same record stream, which is
+//! what [`MultiSim::run_parallel`] exploits: batches from a
+//! [`TraceSource`] are broadcast to the engines sharded over worker
+//! threads, and because each engine still sees every record in order,
+//! the assembled statistics are identical to the serial pass at any job
+//! count.
 //!
 //! The produced [`CacheStats`] are field-for-field identical to running
 //! [`crate::sim::simulate`] per configuration (the property suite in
@@ -41,10 +89,8 @@
 use crate::config::{CacheConfig, Replacement, SwitchPolicy, WritePolicy};
 use crate::set_assoc::{AccessKind, Cache};
 use crate::stats::CacheStats;
-use atum_core::{RecordKind, Trace, TraceRecord, TraceSource, TraceStreamError};
-use std::collections::{HashMap, HashSet};
-
-const NIL: u32 = u32::MAX;
+use atum_core::{RecordBatch, RecordKind, Trace, TraceRecord, TraceSource, TraceStreamError};
+use std::collections::HashMap;
 
 /// Whether a configuration can join a shared-stack group (LRU +
 /// write-back; see the module docs for why the others cannot).
@@ -52,28 +98,251 @@ pub fn stackable(cfg: &CacheConfig) -> bool {
     cfg.replacement() == Replacement::Lru && cfg.write_policy() == WritePolicy::WriteBackAllocate
 }
 
-/// One entry of the global LRU stack.
-#[derive(Debug, Clone)]
-struct Node {
-    block: u32,
-    /// Per-configuration dirty bits (bit i = group's i-th config).
-    dirty: u64,
-    prev: u32,
-    next: u32,
+/// One set's slice of the recency index: a Fenwick tree over the set's
+/// insertion history. Insertion times are strictly increasing, so slot
+/// order is time order and a block's position is found by binary
+/// search; one live mark per resident block. Dead slots (left when a
+/// block is re-touched and its mark moves to the top) are compacted
+/// away once they outnumber the live ones.
+#[derive(Debug, Clone, Default)]
+struct SetFen {
+    /// Global touch times, ascending; append-only between compactions.
+    times: Vec<u64>,
+    /// Liveness bitset over the slots, for O(n) compaction.
+    alive: Vec<u64>,
+    /// Fenwick array of the live marks.
+    fen: Vec<u32>,
+    live: u32,
+}
+
+impl SetFen {
+    /// Sum of the marks in slots `1..=i` (1-based).
+    fn prefix(&self, mut i: usize) -> u32 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.fen[i - 1];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Adds `delta` to slot `i` (1-based).
+    fn add(&mut self, mut i: usize, delta: i32) {
+        let n = self.times.len();
+        while i <= n {
+            self.fen[i - 1] = (self.fen[i - 1] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Appends a live mark at `time` (which must exceed every stored
+    /// time). Appending never disturbs existing Fenwick cells: the new
+    /// cell covers `(i − lowbit(i), i]` and is computed from prefixes.
+    fn push(&mut self, time: u64) {
+        debug_assert!(self.times.last().is_none_or(|&t| t < time));
+        self.times.push(time);
+        let i = self.times.len();
+        let lb = i & i.wrapping_neg();
+        let cell = self.prefix(i - 1) - self.prefix(i - lb) + 1;
+        self.fen.push(cell);
+        let w = (i - 1) / 64;
+        if w >= self.alive.len() {
+            self.alive.push(0);
+        }
+        self.alive[w] |= 1u64 << ((i - 1) % 64);
+        self.live += 1;
+    }
+
+    /// Clears the live mark of the block touched at `time`.
+    fn remove(&mut self, time: u64) {
+        let slot = self.times.partition_point(|&t| t < time);
+        debug_assert_eq!(self.times.get(slot), Some(&time));
+        self.add(slot + 1, -1);
+        self.alive[slot / 64] &= !(1u64 << (slot % 64));
+        self.live -= 1;
+        // Amortised O(1): a rebuild keeps query depth and memory
+        // O(live), and needs O(len) removals to trigger again.
+        if self.times.len() >= 64 && (self.live as usize) * 2 < self.times.len() {
+            self.compact();
+        }
+    }
+
+    /// Live marks strictly more recent than `time` — the set-relative
+    /// stack distance of the block last touched then.
+    fn count_after(&self, time: u64) -> u32 {
+        let slot = self.times.partition_point(|&t| t <= time);
+        self.live - self.prefix(slot)
+    }
+
+    /// Rebuilds with only the live slots. All marks are 1 afterwards,
+    /// so each Fenwick cell is just the size of its range.
+    fn compact(&mut self) {
+        let old = std::mem::take(&mut self.times);
+        self.times = old
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.alive[i / 64] & (1u64 << (i % 64)) != 0)
+            .map(|(_, &t)| t)
+            .collect();
+        let n = self.times.len();
+        debug_assert_eq!(n, self.live as usize);
+        self.fen.clear();
+        self.fen
+            .extend((1..=n).map(|i| (i & i.wrapping_neg()) as u32));
+        self.alive.clear();
+        self.alive.resize(n.div_ceil(64), u64::MAX);
+        if !n.is_multiple_of(64) {
+            let last = self.alive.len() - 1;
+            self.alive[last] = (1u64 << (n % 64)) - 1;
+        }
+    }
+
+    fn clear(&mut self) {
+        self.times.clear();
+        self.alive.clear();
+        self.fen.clear();
+        self.live = 0;
+    }
+}
+
+/// Widest way count a level serves with saturated order-statistic
+/// arrays; anything wider falls back to the Fenwick recency trees.
+const SAT_CAP_MAX: u32 = 16;
+
+/// Sentinel for an unoccupied slot in the saturated arrays and the
+/// block table (a real key is `(pid_tag << 32) | blockno`, < 2^40).
+const EMPTY: u64 = u64::MAX;
+
+/// The per-set distance structures of one level, picked by the widest
+/// way count the level must answer (see the module docs).
+#[derive(Debug)]
+enum LevelIndex {
+    /// `cap` keys per set in MRU order (non-empty prefix, [`EMPTY`]
+    /// tail), flat in one array: exact distances below `cap`,
+    /// saturated at `cap`.
+    Sat { cap: u32, slots: Vec<u64> },
+    /// Fenwick recency tree per set, for way counts past
+    /// [`SAT_CAP_MAX`].
+    Fen { sets: Vec<SetFen> },
+}
+
+/// The per-set recency indexes of one set count in the sweep (one
+/// "level" = one distinct `2^slog`), as flat arrays indexed by the
+/// masked block number — the reusable buffers the access/flush/finish
+/// walks share, with no per-call allocation.
+#[derive(Debug)]
+struct Level {
+    mask: u32,
+    index: LevelIndex,
+    /// Indices (into the group's `cfgs`) of the configurations indexed
+    /// by this set count.
+    cfg_ids: Vec<usize>,
 }
 
 #[derive(Debug, Clone)]
 struct GroupCfg {
-    /// log2 of the set count.
-    slog: usize,
+    /// Index into the group's `levels` (the config's set count).
+    level: usize,
     assoc: u32,
     /// Index into `simulate_many`'s input slice.
     orig: usize,
     bit: u64,
 }
 
+/// One block-table slot: a `(pid_tag, blockno)` key packed as
+/// `(pid << 32) | blockno`, the global time of the block's last touch
+/// (locating its live mark in the Fenwick levels), its
+/// per-configuration dirty bits (bit i = group's i-th config), and
+/// whether it is currently in the stack (cleared by a purge; the slot
+/// itself persists to carry first-touch history across purges).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    time: u64,
+    dirty: u64,
+    in_stack: bool,
+}
+
+const EMPTY_SLOT: Slot = Slot {
+    key: EMPTY,
+    time: 0,
+    dirty: 0,
+    in_stack: false,
+};
+
+/// Open-addressing block table (multiplicative hash, linear probing,
+/// power-of-two capacity). Slots are never deleted — a purge only
+/// clears `in_stack`/`dirty` — so probe chains never break and no
+/// tombstones are needed.
+#[derive(Debug)]
+struct BlockTable {
+    slots: Vec<Slot>,
+    len: usize,
+}
+
+impl BlockTable {
+    fn new() -> BlockTable {
+        BlockTable {
+            slots: vec![EMPTY_SLOT; 1024],
+            len: 0,
+        }
+    }
+
+    fn hash(key: u64) -> usize {
+        // Fibonacci hashing; the high bits carry the mix, so fold them
+        // down before masking.
+        (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) as usize
+    }
+
+    /// Index of `key`'s slot, inserting a fresh one if absent; the
+    /// second value is whether the key was newly inserted (a
+    /// first-ever touch). The returned index stays valid until the
+    /// next call (growth happens up front).
+    fn find_or_insert(&mut self, key: u64) -> (usize, bool) {
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(key) & mask;
+        loop {
+            let k = self.slots[i].key;
+            if k == key {
+                return (i, false);
+            }
+            if k == EMPTY {
+                self.slots[i] = Slot {
+                    key,
+                    time: 0,
+                    dirty: 0,
+                    in_stack: false,
+                };
+                self.len += 1;
+                return (i, true);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SLOT; doubled]);
+        let mask = self.slots.len() - 1;
+        for s in old {
+            if s.key == EMPTY {
+                continue;
+            }
+            let mut i = Self::hash(s.key) & mask;
+            while self.slots[i].key != EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = s;
+        }
+    }
+}
+
 /// A shared-stack group: configurations with equal block size, switch
-/// policy, LRU replacement and write-back policy.
+/// policy, LRU replacement and write-back policy, evaluated together on
+/// the Fenwick recency index.
 ///
 /// Counters that are provably identical across the group's members —
 /// access/kind totals, context switches, compulsory misses — are kept
@@ -84,13 +353,11 @@ struct StackGroup {
     block_size: u32,
     switch: SwitchPolicy,
     cfgs: Vec<GroupCfg>,
-    s_max: usize,
     all_mask: u64,
 
-    nodes: Vec<Node>,
-    head: u32,
-    map: HashMap<(u8, u32), u32>,
-    seen: HashSet<u64>,
+    levels: Vec<Level>,
+    table: BlockTable,
+    time: u64,
 
     // Shared across every configuration in the group.
     accesses: u64,
@@ -108,10 +375,87 @@ struct StackGroup {
     writebacks: Vec<u64>,
     invalidations: Vec<u64>,
 
-    // Per-access scratch: same-set predecessor counts bucketed by
-    // min(trailing zeros of block xor, s_max), and their suffix sums.
-    bucket: Vec<u32>,
+    /// Per-level scratch: the referenced block's set-relative distance
+    /// at each set count.
     dist: Vec<u32>,
+}
+
+impl Level {
+    /// Distance of a resident block in `set` (exact below the
+    /// saturation cap), then move-to-front. `prev_time` locates the
+    /// block's live mark in a Fenwick level; `t_new` is its new mark.
+    fn touch_resident(&mut self, set: usize, key: u64, prev_time: u64, t_new: u64) -> u32 {
+        match &mut self.index {
+            LevelIndex::Sat { cap: 1, slots } => {
+                // Direct-mapped level: the set holds one block.
+                let s = &mut slots[set];
+                let d = (*s != key) as u32;
+                *s = key;
+                d
+            }
+            LevelIndex::Sat { cap, slots } => {
+                let cap = *cap as usize;
+                let s = &mut slots[set * cap..(set + 1) * cap];
+                match s.iter().position(|&k| k == key) {
+                    Some(j) => {
+                        s[..=j].rotate_right(1);
+                        j as u32
+                    }
+                    None => {
+                        s.rotate_right(1);
+                        s[0] = key;
+                        cap as u32
+                    }
+                }
+            }
+            LevelIndex::Fen { sets } => {
+                let f = &mut sets[set];
+                let d = f.count_after(prev_time);
+                f.remove(prev_time);
+                f.push(t_new);
+                d
+            }
+        }
+    }
+
+    /// Inserts a block with no live mark (first touch or post-purge) at
+    /// the top of the recency order.
+    fn touch_absent(&mut self, set: usize, key: u64, t_new: u64) {
+        match &mut self.index {
+            LevelIndex::Sat { cap: 1, slots } => slots[set] = key,
+            LevelIndex::Sat { cap, slots } => {
+                let cap = *cap as usize;
+                let s = &mut slots[set * cap..(set + 1) * cap];
+                s.rotate_right(1);
+                s[0] = key;
+            }
+            LevelIndex::Fen { sets } => sets[set].push(t_new),
+        }
+    }
+
+    /// Current distance of a block without reordering (saturated at the
+    /// cap), for the end-of-trace residency checks.
+    fn position(&self, set: usize, key: u64, time: u64) -> u32 {
+        match &self.index {
+            LevelIndex::Sat { cap, slots } => {
+                let cap = *cap as usize;
+                let s = &slots[set * cap..(set + 1) * cap];
+                s.iter().position(|&k| k == key).unwrap_or(cap) as u32
+            }
+            LevelIndex::Fen { sets } => sets[set].count_after(time),
+        }
+    }
+
+    fn clear(&mut self) {
+        match &mut self.index {
+            LevelIndex::Sat { slots, .. } => slots.fill(EMPTY),
+            LevelIndex::Fen { sets } => {
+                for s in sets {
+                    s.clear();
+                }
+            }
+        }
+    }
 }
 
 impl StackGroup {
@@ -119,6 +463,14 @@ impl StackGroup {
         assert!(orig_indices.len() <= 64, "dirty bitmask is 64 bits wide");
         let block_size = configs[orig_indices[0]].block();
         let switch = configs[orig_indices[0]].switch_policy();
+        let mut slogs: Vec<usize> = orig_indices
+            .iter()
+            .map(|&o| configs[o].sets().trailing_zeros() as usize)
+            .collect();
+        slogs.sort_unstable();
+        slogs.dedup();
+        let mut cfg_ids: Vec<Vec<usize>> = vec![Vec::new(); slogs.len()];
+        let mut max_assoc = vec![0u32; slogs.len()];
         let cfgs: Vec<GroupCfg> = orig_indices
             .iter()
             .enumerate()
@@ -126,26 +478,47 @@ impl StackGroup {
                 let c = &configs[orig];
                 debug_assert_eq!(c.block(), block_size);
                 debug_assert_eq!(c.switch_policy(), switch);
+                let slog = c.sets().trailing_zeros() as usize;
+                let level = slogs.binary_search(&slog).expect("level exists");
+                cfg_ids[level].push(i);
+                max_assoc[level] = max_assoc[level].max(c.assoc());
                 GroupCfg {
-                    slog: c.sets().trailing_zeros() as usize,
+                    level,
                     assoc: c.assoc(),
                     orig,
                     bit: 1u64 << i,
                 }
             })
             .collect();
-        let s_max = cfgs.iter().map(|c| c.slog).max().unwrap_or(0);
+        let levels: Vec<Level> = slogs
+            .iter()
+            .zip(cfg_ids)
+            .zip(&max_assoc)
+            .map(|((&s, ids), &a_max)| Level {
+                mask: ((1u64 << s) - 1) as u32,
+                index: if a_max <= SAT_CAP_MAX {
+                    LevelIndex::Sat {
+                        cap: a_max,
+                        slots: vec![EMPTY; (1usize << s) * a_max as usize],
+                    }
+                } else {
+                    LevelIndex::Fen {
+                        sets: vec![SetFen::default(); 1usize << s],
+                    }
+                },
+                cfg_ids: ids,
+            })
+            .collect();
         let n = cfgs.len();
         StackGroup {
             block_size,
             switch,
             all_mask: if n == 64 { u64::MAX } else { (1u64 << n) - 1 },
-            s_max,
             cfgs,
-            nodes: Vec::new(),
-            head: NIL,
-            map: HashMap::new(),
-            seen: HashSet::new(),
+            dist: vec![0; levels.len()],
+            levels,
+            table: BlockTable::new(),
+            time: 0,
             accesses: 0,
             ifetches: 0,
             reads: 0,
@@ -158,8 +531,6 @@ impl StackGroup {
             write_hits: vec![0; n],
             writebacks: vec![0; n],
             invalidations: vec![0; n],
-            bucket: vec![0; s_max + 1],
-            dist: vec![0; s_max + 1],
         }
     }
 
@@ -193,72 +564,83 @@ impl StackGroup {
     /// Purge accounting: every resident line counts an invalidation;
     /// every surviving dirty bit counts a write-back (resident ⇒ the
     /// purge writes it back now, non-resident ⇒ its past eviction did) —
-    /// then the stack is emptied (first-touch history is kept, matching
-    /// `Cache`).
+    /// then the index is emptied (first-touch history is kept, matching
+    /// `Cache`). The resident lines of a configuration with `A` ways
+    /// are the top `min(A, live)` of each set, read straight off the
+    /// per-set live counts — one flat walk per level, shared by every
+    /// configuration at that level, no per-call allocation.
     fn flush(&mut self) {
-        let mut above: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.s_max + 1];
-        let mut cur = self.head;
-        while cur != NIL {
-            let node = &self.nodes[cur as usize];
-            for (i, c) in self.cfgs.iter().enumerate() {
-                let set = node.block & ((1u32 << c.slog) - 1);
-                let pos = above[c.slog].get(&set).copied().unwrap_or(0);
-                if pos < c.assoc {
-                    self.invalidations[i] += 1;
+        for lvl in &self.levels {
+            match &lvl.index {
+                LevelIndex::Sat { cap, slots } => {
+                    let cap = *cap as usize;
+                    for set in slots.chunks_exact(cap) {
+                        // MRU order keeps a non-empty prefix, so the
+                        // occupancy (true live count saturated at the
+                        // cap) is the prefix length — enough, since
+                        // every `assoc` here is at most the cap.
+                        let live = set.iter().take_while(|&&k| k != EMPTY).count() as u32;
+                        if live == 0 {
+                            continue;
+                        }
+                        for &i in &lvl.cfg_ids {
+                            self.invalidations[i] += live.min(self.cfgs[i].assoc) as u64;
+                        }
+                    }
                 }
-                if node.dirty & c.bit != 0 {
+                LevelIndex::Fen { sets } => {
+                    for set in sets {
+                        if set.live == 0 {
+                            continue;
+                        }
+                        for &i in &lvl.cfg_ids {
+                            self.invalidations[i] += set.live.min(self.cfgs[i].assoc) as u64;
+                        }
+                    }
+                }
+            }
+        }
+        for s in &self.table.slots {
+            if s.dirty == 0 {
+                continue;
+            }
+            for (i, c) in self.cfgs.iter().enumerate() {
+                if s.dirty & c.bit != 0 {
                     self.writebacks[i] += 1;
                 }
             }
-            for (s, counts) in above.iter_mut().enumerate() {
-                *counts.entry(node.block & ((1u32 << s) - 1)).or_insert(0) += 1;
-            }
-            cur = node.next;
         }
-        self.nodes.clear();
-        self.map.clear();
-        self.head = NIL;
+        for lvl in &mut self.levels {
+            lvl.clear();
+        }
+        for s in &mut self.table.slots {
+            s.in_stack = false;
+            s.dirty = 0;
+        }
     }
 
     /// End-of-trace settlement for the lazy write-back accounting: a
     /// dirty bit on a block that is no longer resident records an
     /// eviction-time write-back that was deferred; resident dirty lines
     /// stay uncounted (they are still in the cache), matching `Cache`.
+    /// Residency is one recency query per surviving dirty bit.
     fn finish(&mut self) {
-        let mut above: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.s_max + 1];
-        let mut cur = self.head;
-        while cur != NIL {
-            let node = &self.nodes[cur as usize];
-            if node.dirty != 0 {
-                for (i, c) in self.cfgs.iter().enumerate() {
-                    if node.dirty & c.bit == 0 {
-                        continue;
-                    }
-                    let set = node.block & ((1u32 << c.slog) - 1);
-                    let pos = above[c.slog].get(&set).copied().unwrap_or(0);
-                    if pos >= c.assoc {
-                        self.writebacks[i] += 1;
-                    }
+        for s in &self.table.slots {
+            if s.dirty == 0 {
+                continue;
+            }
+            let blockno = s.key as u32;
+            for (i, c) in self.cfgs.iter().enumerate() {
+                if s.dirty & c.bit == 0 {
+                    continue;
+                }
+                let lvl = &self.levels[c.level];
+                let set = (blockno & lvl.mask) as usize;
+                if lvl.position(set, s.key, s.time) >= c.assoc {
+                    self.writebacks[i] += 1;
                 }
             }
-            for (s, counts) in above.iter_mut().enumerate() {
-                *counts.entry(node.block & ((1u32 << s) - 1)).or_insert(0) += 1;
-            }
-            cur = node.next;
         }
-    }
-
-    /// Computes suffix sums of the tz buckets into `dist` (so
-    /// `dist[s]` = same-set predecessors seen so far for set count
-    /// `2^s`), returning whether every configuration is already a
-    /// decided miss.
-    fn all_decided(&mut self) -> bool {
-        let mut acc = 0u32;
-        for s in (0..=self.s_max).rev() {
-            acc += self.bucket[s];
-            self.dist[s] = acc;
-        }
-        self.cfgs.iter().all(|c| self.dist[c.slog] >= c.assoc)
     }
 
     fn access(&mut self, addr: u32, kind: AccessKind, pid: u8) {
@@ -274,136 +656,488 @@ impl StackGroup {
             _ => 0,
         };
         let blockno = addr / self.block_size;
-        let target = self.map.get(&(pid_tag, blockno)).copied();
+        let key = ((pid_tag as u64) << 32) | blockno as u64;
+        self.time += 1;
+        let t_new = self.time;
+        let (idx, is_new) = self.table.find_or_insert(key);
+        let slot = self.table.slots[idx];
 
         let mut hit_mask = 0u64;
-        match target {
-            None => {
-                // A first touch is a compulsory miss in every
-                // configuration simultaneously; any other absent block
-                // (purged earlier) misses everywhere too. Either way no
-                // stack walk is needed.
-                if self.seen.insert(((pid_tag as u64) << 32) | blockno as u64) {
-                    self.cold += 1;
+        let mut old_dirty = 0u64;
+        if slot.in_stack {
+            old_dirty = slot.dirty;
+            // One bounded query per level answers the set-relative
+            // stack distance (exact wherever it matters); a hit in
+            // `(2^s, A)` iff the distance at level s is below A. The
+            // query and the move-to-front reorder share one pass.
+            for (li, lvl) in self.levels.iter_mut().enumerate() {
+                let set = (blockno & lvl.mask) as usize;
+                self.dist[li] = lvl.touch_resident(set, key, slot.time, t_new);
+            }
+            let kind_hits = match kind {
+                AccessKind::IFetch => &mut self.ifetch_hits,
+                AccessKind::Read => &mut self.read_hits,
+                AccessKind::Write => &mut self.write_hits,
+            };
+            for (i, c) in self.cfgs.iter().enumerate() {
+                if self.dist[c.level] < c.assoc {
+                    self.hits[i] += 1;
+                    kind_hits[i] += 1;
+                    hit_mask |= c.bit;
+                } else if old_dirty & c.bit != 0 {
+                    // Lazy write-back: a miss on a block still in the
+                    // stack means it was evicted since its last touch;
+                    // a surviving dirty bit records that the eviction
+                    // wrote it back. The bit itself is dropped by the
+                    // `hit_mask` filter below.
+                    self.writebacks[i] += 1;
                 }
             }
-            Some(tnode) => {
-                // Walk MRU → LRU up to the referenced block, bucketing
-                // each predecessor by how many low block-number bits it
-                // shares (one O(1) update per node). Periodically stop
-                // early once every configuration's same-set count has
-                // reached its associativity — all decided misses.
-                self.bucket.fill(0);
-                let mut cur = self.head;
-                let mut batch = 0u32;
-                while cur != NIL && cur != tnode {
-                    let node = &self.nodes[cur as usize];
-                    let tz = (node.block ^ blockno).trailing_zeros() as usize;
-                    let next = node.next;
-                    self.bucket[tz.min(self.s_max)] += 1;
-                    batch += 1;
-                    if batch == 64 {
-                        batch = 0;
-                        if self.all_decided() {
-                            break;
-                        }
-                    }
-                    cur = next;
-                }
-                let decided_all = self.all_decided();
-                let old_dirty = self.nodes[tnode as usize].dirty;
-                for (i, c) in self.cfgs.iter().enumerate() {
-                    if !decided_all && self.dist[c.slog] < c.assoc {
-                        self.hits[i] += 1;
-                        match kind {
-                            AccessKind::IFetch => self.ifetch_hits[i] += 1,
-                            AccessKind::Read => self.read_hits[i] += 1,
-                            AccessKind::Write => self.write_hits[i] += 1,
-                        }
-                        hit_mask |= c.bit;
-                    } else if old_dirty & c.bit != 0 {
-                        // Lazy write-back: a miss on a block still in the
-                        // stack means it was evicted since its last touch;
-                        // a surviving dirty bit records that the eviction
-                        // wrote it back. The bit itself is dropped by the
-                        // `hit_mask` filter below.
-                        self.writebacks[i] += 1;
-                    }
-                }
+        } else {
+            // A first touch is a compulsory miss in every configuration
+            // simultaneously; any other absent block (purged earlier)
+            // misses everywhere too. Either way no distance queries are
+            // needed.
+            if is_new {
+                self.cold += 1;
+            }
+            for lvl in &mut self.levels {
+                let set = (blockno & lvl.mask) as usize;
+                lvl.touch_absent(set, key, t_new);
             }
         }
 
         // Allocate-on-miss everywhere (write-back groups only), so every
-        // configuration reorders identically: move/insert at MRU. Hit
-        // configurations keep their dirty bit; miss configurations start
-        // the fresh line clean unless this access writes it.
-        let old_dirty = match target {
-            Some(t) => {
-                self.unlink(t);
-                self.nodes[t as usize].dirty
-            }
-            None => 0,
-        };
+        // configuration reorders identically. Hit configurations keep
+        // their dirty bit; miss configurations start the fresh line
+        // clean unless this access writes it.
         let dirty = (old_dirty & hit_mask) | if is_write { self.all_mask } else { 0 };
-        match target {
-            Some(t) => {
-                self.nodes[t as usize].dirty = dirty;
-                self.push_front(t);
+        let s = &mut self.table.slots[idx];
+        s.time = t_new;
+        s.dirty = dirty;
+        s.in_stack = true;
+    }
+}
+
+/// The historical linked-list stack-distance engine, kept as the
+/// equivalence oracle for the Fenwick recency index (`cargo test`, or
+/// the `oracle` feature for benches). Same statistics, O(stack depth)
+/// per access: the property suites drive both engines over the same
+/// randomized traces and demand identical output.
+#[cfg(any(test, feature = "oracle"))]
+pub(crate) mod oracle {
+    use super::*;
+    use std::collections::HashSet;
+
+    const NIL: u32 = u32::MAX;
+
+    /// One entry of the global LRU stack.
+    #[derive(Debug, Clone)]
+    struct Node {
+        block: u32,
+        /// Per-configuration dirty bits (bit i = group's i-th config).
+        dirty: u64,
+        prev: u32,
+        next: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    struct OGroupCfg {
+        /// log2 of the set count.
+        slog: usize,
+        assoc: u32,
+        /// Index into `simulate_many`'s input slice.
+        orig: usize,
+        bit: u64,
+    }
+
+    /// The legacy shared-stack group: a doubly-linked MRU→LRU list
+    /// walked node by node, bucketing same-set predecessors by trailing
+    /// zeros of the block-number XOR, with a periodic all-decided early
+    /// exit.
+    #[derive(Debug)]
+    pub(crate) struct StackGroup {
+        block_size: u32,
+        switch: SwitchPolicy,
+        cfgs: Vec<OGroupCfg>,
+        s_max: usize,
+        all_mask: u64,
+
+        nodes: Vec<Node>,
+        head: u32,
+        map: HashMap<(u8, u32), u32>,
+        seen: HashSet<u64>,
+
+        accesses: u64,
+        ifetches: u64,
+        reads: u64,
+        writes: u64,
+        ctx_switches: u64,
+        cold: u64,
+
+        hits: Vec<u64>,
+        ifetch_hits: Vec<u64>,
+        read_hits: Vec<u64>,
+        write_hits: Vec<u64>,
+        writebacks: Vec<u64>,
+        invalidations: Vec<u64>,
+
+        bucket: Vec<u32>,
+        dist: Vec<u32>,
+    }
+
+    impl StackGroup {
+        pub(crate) fn new(configs: &[CacheConfig], orig_indices: &[usize]) -> StackGroup {
+            assert!(orig_indices.len() <= 64, "dirty bitmask is 64 bits wide");
+            let block_size = configs[orig_indices[0]].block();
+            let switch = configs[orig_indices[0]].switch_policy();
+            let cfgs: Vec<OGroupCfg> = orig_indices
+                .iter()
+                .enumerate()
+                .map(|(i, &orig)| {
+                    let c = &configs[orig];
+                    debug_assert_eq!(c.block(), block_size);
+                    debug_assert_eq!(c.switch_policy(), switch);
+                    OGroupCfg {
+                        slog: c.sets().trailing_zeros() as usize,
+                        assoc: c.assoc(),
+                        orig,
+                        bit: 1u64 << i,
+                    }
+                })
+                .collect();
+            let s_max = cfgs.iter().map(|c| c.slog).max().unwrap_or(0);
+            let n = cfgs.len();
+            StackGroup {
+                block_size,
+                switch,
+                all_mask: if n == 64 { u64::MAX } else { (1u64 << n) - 1 },
+                s_max,
+                cfgs,
+                nodes: Vec::new(),
+                head: NIL,
+                map: HashMap::new(),
+                seen: HashSet::new(),
+                accesses: 0,
+                ifetches: 0,
+                reads: 0,
+                writes: 0,
+                ctx_switches: 0,
+                cold: 0,
+                hits: vec![0; n],
+                ifetch_hits: vec![0; n],
+                read_hits: vec![0; n],
+                write_hits: vec![0; n],
+                writebacks: vec![0; n],
+                invalidations: vec![0; n],
+                bucket: vec![0; s_max + 1],
+                dist: vec![0; s_max + 1],
             }
-            None => {
-                let idx = self.nodes.len() as u32;
-                self.nodes.push(Node {
-                    block: blockno,
-                    dirty,
-                    prev: NIL,
-                    next: NIL,
-                });
-                self.map.insert((pid_tag, blockno), idx);
-                self.push_front(idx);
+        }
+
+        pub(crate) fn orig_of(&self, i: usize) -> usize {
+            self.cfgs[i].orig
+        }
+
+        pub(crate) fn len(&self) -> usize {
+            self.cfgs.len()
+        }
+
+        pub(crate) fn stats_for(&self, i: usize) -> CacheStats {
+            CacheStats {
+                accesses: self.accesses,
+                hits: self.hits[i],
+                misses: self.accesses - self.hits[i],
+                cold_misses: self.cold,
+                ifetch_accesses: self.ifetches,
+                ifetch_misses: self.ifetches - self.ifetch_hits[i],
+                read_accesses: self.reads,
+                read_misses: self.reads - self.read_hits[i],
+                write_accesses: self.writes,
+                write_misses: self.writes - self.write_hits[i],
+                writebacks: self.writebacks[i],
+                write_throughs: 0,
+                flush_invalidations: self.invalidations[i],
+                context_switches: self.ctx_switches,
             }
+        }
+
+        pub(crate) fn context_switch(&mut self) {
+            self.ctx_switches += 1;
+            if self.switch == SwitchPolicy::Flush {
+                self.flush();
+            }
+        }
+
+        fn flush(&mut self) {
+            let mut above: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.s_max + 1];
+            let mut cur = self.head;
+            while cur != NIL {
+                let node = &self.nodes[cur as usize];
+                for (i, c) in self.cfgs.iter().enumerate() {
+                    let set = node.block & ((1u32 << c.slog) - 1);
+                    let pos = above[c.slog].get(&set).copied().unwrap_or(0);
+                    if pos < c.assoc {
+                        self.invalidations[i] += 1;
+                    }
+                    if node.dirty & c.bit != 0 {
+                        self.writebacks[i] += 1;
+                    }
+                }
+                for (s, counts) in above.iter_mut().enumerate() {
+                    *counts.entry(node.block & ((1u32 << s) - 1)).or_insert(0) += 1;
+                }
+                cur = node.next;
+            }
+            self.nodes.clear();
+            self.map.clear();
+            self.head = NIL;
+        }
+
+        pub(crate) fn finish(&mut self) {
+            let mut above: Vec<HashMap<u32, u32>> = vec![HashMap::new(); self.s_max + 1];
+            let mut cur = self.head;
+            while cur != NIL {
+                let node = &self.nodes[cur as usize];
+                if node.dirty != 0 {
+                    for (i, c) in self.cfgs.iter().enumerate() {
+                        if node.dirty & c.bit == 0 {
+                            continue;
+                        }
+                        let set = node.block & ((1u32 << c.slog) - 1);
+                        let pos = above[c.slog].get(&set).copied().unwrap_or(0);
+                        if pos >= c.assoc {
+                            self.writebacks[i] += 1;
+                        }
+                    }
+                }
+                for (s, counts) in above.iter_mut().enumerate() {
+                    *counts.entry(node.block & ((1u32 << s) - 1)).or_insert(0) += 1;
+                }
+                cur = node.next;
+            }
+        }
+
+        fn all_decided(&mut self) -> bool {
+            let mut acc = 0u32;
+            for s in (0..=self.s_max).rev() {
+                acc += self.bucket[s];
+                self.dist[s] = acc;
+            }
+            self.cfgs.iter().all(|c| self.dist[c.slog] >= c.assoc)
+        }
+
+        pub(crate) fn access(&mut self, addr: u32, kind: AccessKind, pid: u8) {
+            let is_write = kind.is_write();
+            self.accesses += 1;
+            match kind {
+                AccessKind::IFetch => self.ifetches += 1,
+                AccessKind::Read => self.reads += 1,
+                AccessKind::Write => self.writes += 1,
+            }
+            let pid_tag = match self.switch {
+                SwitchPolicy::PidTag => pid,
+                _ => 0,
+            };
+            let blockno = addr / self.block_size;
+            let target = self.map.get(&(pid_tag, blockno)).copied();
+
+            let mut hit_mask = 0u64;
+            match target {
+                None => {
+                    if self.seen.insert(((pid_tag as u64) << 32) | blockno as u64) {
+                        self.cold += 1;
+                    }
+                }
+                Some(tnode) => {
+                    self.bucket.fill(0);
+                    let mut cur = self.head;
+                    let mut batch = 0u32;
+                    while cur != NIL && cur != tnode {
+                        let node = &self.nodes[cur as usize];
+                        let tz = (node.block ^ blockno).trailing_zeros() as usize;
+                        let next = node.next;
+                        self.bucket[tz.min(self.s_max)] += 1;
+                        batch += 1;
+                        if batch == 64 {
+                            batch = 0;
+                            if self.all_decided() {
+                                break;
+                            }
+                        }
+                        cur = next;
+                    }
+                    let decided_all = self.all_decided();
+                    let old_dirty = self.nodes[tnode as usize].dirty;
+                    for (i, c) in self.cfgs.iter().enumerate() {
+                        if !decided_all && self.dist[c.slog] < c.assoc {
+                            self.hits[i] += 1;
+                            match kind {
+                                AccessKind::IFetch => self.ifetch_hits[i] += 1,
+                                AccessKind::Read => self.read_hits[i] += 1,
+                                AccessKind::Write => self.write_hits[i] += 1,
+                            }
+                            hit_mask |= c.bit;
+                        } else if old_dirty & c.bit != 0 {
+                            self.writebacks[i] += 1;
+                        }
+                    }
+                }
+            }
+
+            let old_dirty = match target {
+                Some(t) => {
+                    self.unlink(t);
+                    self.nodes[t as usize].dirty
+                }
+                None => 0,
+            };
+            let dirty = (old_dirty & hit_mask) | if is_write { self.all_mask } else { 0 };
+            match target {
+                Some(t) => {
+                    self.nodes[t as usize].dirty = dirty;
+                    self.push_front(t);
+                }
+                None => {
+                    let idx = self.nodes.len() as u32;
+                    self.nodes.push(Node {
+                        block: blockno,
+                        dirty,
+                        prev: NIL,
+                        next: NIL,
+                    });
+                    self.map.insert((pid_tag, blockno), idx);
+                    self.push_front(idx);
+                }
+            }
+        }
+
+        fn unlink(&mut self, idx: u32) {
+            let (prev, next) = {
+                let n = &self.nodes[idx as usize];
+                (n.prev, n.next)
+            };
+            if prev != NIL {
+                self.nodes[prev as usize].next = next;
+            } else {
+                self.head = next;
+            }
+            if next != NIL {
+                self.nodes[next as usize].prev = prev;
+            }
+        }
+
+        fn push_front(&mut self, idx: u32) {
+            self.nodes[idx as usize].prev = NIL;
+            self.nodes[idx as usize].next = self.head;
+            if self.head != NIL {
+                self.nodes[self.head as usize].prev = idx;
+            }
+            self.head = idx;
+        }
+    }
+}
+
+/// A trace record decoded once into the operation every engine consumes
+/// — the per-record kind dispatch is hoisted out of the per-engine
+/// loop.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Switch(u8),
+    Ref {
+        access: AccessKind,
+        addr: u32,
+        pid: u8,
+    },
+}
+
+fn decode_op(r: &TraceRecord) -> Option<Op> {
+    match r.kind() {
+        RecordKind::CtxSwitch => Some(Op::Switch(r.pid())),
+        kind => crate::sim::record_kind_to_access(kind).map(|access| Op::Ref {
+            access,
+            addr: r.addr,
+            pid: r.pid(),
+        }),
+    }
+}
+
+/// One independent sequential consumer of the record stream: a shared
+/// stack group, or a direct per-configuration [`Cache`] replay. The
+/// engine is the unit [`MultiSim::run_parallel`] shards over workers.
+#[derive(Debug)]
+enum Engine {
+    Group(StackGroup),
+    #[cfg(any(test, feature = "oracle"))]
+    Oracle(oracle::StackGroup),
+    Direct {
+        orig: usize,
+        cache: Cache,
+    },
+}
+
+impl Engine {
+    fn apply(&mut self, op: Op) {
+        match self {
+            Engine::Group(g) => match op {
+                Op::Switch(_) => g.context_switch(),
+                Op::Ref { access, addr, pid } => g.access(addr, access, pid),
+            },
+            #[cfg(any(test, feature = "oracle"))]
+            Engine::Oracle(g) => match op {
+                Op::Switch(_) => g.context_switch(),
+                Op::Ref { access, addr, pid } => g.access(addr, access, pid),
+            },
+            Engine::Direct { cache, .. } => match op {
+                Op::Switch(pid) => cache.context_switch(pid),
+                Op::Ref { access, addr, pid } => {
+                    cache.access(addr, access, pid);
+                }
+            },
         }
     }
 
-    fn unlink(&mut self, idx: u32) {
-        let (prev, next) = {
-            let n = &self.nodes[idx as usize];
-            (n.prev, n.next)
-        };
-        if prev != NIL {
-            self.nodes[prev as usize].next = next;
-        } else {
-            self.head = next;
+    /// Feeds a whole batch: the kind dispatch happens once per batch
+    /// element, and the SoA columns stream linearly through the engine.
+    fn step_batch(&mut self, batch: &RecordBatch) {
+        for r in batch.iter() {
+            if let Some(op) = decode_op(&r) {
+                self.apply(op);
+            }
         }
-        if next != NIL {
-            self.nodes[next as usize].prev = prev;
-        }
-    }
-
-    fn push_front(&mut self, idx: u32) {
-        self.nodes[idx as usize].prev = NIL;
-        self.nodes[idx as usize].next = self.head;
-        if self.head != NIL {
-            self.nodes[self.head as usize].prev = idx;
-        }
-        self.head = idx;
     }
 }
 
 /// The incremental form of [`simulate_many`]: sweep state that consumes
-/// records one at a time, so callers can drive it from an in-memory
-/// trace or any [`TraceSource`] without materialising the records.
+/// records one at a time (or batch-wise), so callers can drive it from
+/// an in-memory trace or any [`TraceSource`] without materialising the
+/// records — serially via [`MultiSim::step`]/[`MultiSim::step_batch`],
+/// or engine-parallel via [`MultiSim::run_parallel`].
 #[derive(Debug)]
 pub struct MultiSim {
     n: usize,
-    groups: Vec<StackGroup>,
-    direct: Vec<(usize, Cache)>,
+    engines: Vec<Engine>,
 }
 
 impl MultiSim {
     /// Prepares a sweep over `cfgs`: stackable configurations join
     /// shared-stack groups, the rest get independent [`Cache`] replays.
     pub fn new(cfgs: &[CacheConfig]) -> MultiSim {
-        let mut direct: Vec<(usize, Cache)> = Vec::new();
+        Self::build(cfgs, false)
+    }
+
+    /// As [`MultiSim::new`], but stack groups use the legacy
+    /// linked-list walk — the equivalence oracle the property suites
+    /// and the analysis bench compare against.
+    #[cfg(any(test, feature = "oracle"))]
+    pub fn new_oracle(cfgs: &[CacheConfig]) -> MultiSim {
+        Self::build(cfgs, true)
+    }
+
+    fn build(cfgs: &[CacheConfig], use_oracle: bool) -> MultiSim {
+        #[cfg(not(any(test, feature = "oracle")))]
+        debug_assert!(!use_oracle);
+        let mut engines: Vec<Engine> = Vec::new();
         let mut grouped: HashMap<(u32, u8), Vec<usize>> = HashMap::new();
         for (i, c) in cfgs.iter().enumerate() {
             if stackable(c) {
@@ -412,66 +1146,94 @@ impl MultiSim {
                     .or_default()
                     .push(i);
             } else {
-                direct.push((i, Cache::new(*c)));
+                engines.push(Engine::Direct {
+                    orig: i,
+                    cache: Cache::new(*c),
+                });
             }
         }
         // A one-config group gets no amortization from the shared stack
         // and would pay its walk costs for nothing — replay it directly.
-        let mut groups: Vec<StackGroup> = Vec::new();
         for indices in grouped.values() {
             for chunk in indices.chunks(64) {
                 if chunk.len() == 1 {
-                    direct.push((chunk[0], Cache::new(cfgs[chunk[0]])));
+                    engines.push(Engine::Direct {
+                        orig: chunk[0],
+                        cache: Cache::new(cfgs[chunk[0]]),
+                    });
+                } else if use_oracle {
+                    #[cfg(any(test, feature = "oracle"))]
+                    engines.push(Engine::Oracle(oracle::StackGroup::new(cfgs, chunk)));
                 } else {
-                    groups.push(StackGroup::new(cfgs, chunk));
+                    engines.push(Engine::Group(StackGroup::new(cfgs, chunk)));
                 }
             }
         }
         MultiSim {
             n: cfgs.len(),
-            groups,
-            direct,
+            engines,
         }
     }
 
-    /// Feeds one trace record to every engine.
+    /// Feeds one trace record to every engine (the record's kind is
+    /// decoded once, not once per engine).
     pub fn step(&mut self, r: &TraceRecord) {
-        match r.kind() {
-            RecordKind::CtxSwitch => {
-                for g in &mut self.groups {
-                    g.context_switch();
-                }
-                for (_, c) in &mut self.direct {
-                    c.context_switch(r.pid());
-                }
-            }
-            kind => {
-                if let Some(access) = crate::sim::record_kind_to_access(kind) {
-                    for g in &mut self.groups {
-                        g.access(r.addr, access, r.pid());
-                    }
-                    for (_, c) in &mut self.direct {
-                        c.access(r.addr, access, r.pid());
-                    }
-                }
+        if let Some(op) = decode_op(r) {
+            for e in &mut self.engines {
+                e.apply(op);
             }
         }
+    }
+
+    /// Feeds one record batch to every engine, serially.
+    pub fn step_batch(&mut self, batch: &RecordBatch) {
+        for e in &mut self.engines {
+            e.step_batch(batch);
+        }
+    }
+
+    /// Drives the whole of `source` through the engines with up to
+    /// `jobs` worker threads, then settles and assembles the
+    /// statistics. Each engine is an independent sequential consumer
+    /// observing every batch in trace order, so the result is identical
+    /// to the serial pass ([`simulate_many_stream`]) at any `jobs` —
+    /// parallelism only moves wall clock.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`] from the source.
+    pub fn run_parallel<S: TraceSource + ?Sized>(
+        mut self,
+        source: &mut S,
+        jobs: usize,
+    ) -> Result<Vec<CacheStats>, TraceStreamError> {
+        atum_core::broadcast_batches(source, &mut self.engines, jobs, |e, b| e.step_batch(b))?;
+        Ok(self.finish())
     }
 
     /// Settles the lazy write-back accounting and assembles the final
     /// statistics, index-aligned with the input configurations.
     pub fn finish(mut self) -> Vec<CacheStats> {
         let mut out = vec![CacheStats::default(); self.n];
-        for g in &mut self.groups {
-            g.finish();
-        }
-        for g in &self.groups {
-            for (i, c) in g.cfgs.iter().enumerate() {
-                out[c.orig] = g.stats_for(i);
+        for e in &mut self.engines {
+            match e {
+                Engine::Group(g) => {
+                    g.finish();
+                    for (i, c) in g.cfgs.iter().enumerate() {
+                        out[c.orig] = g.stats_for(i);
+                    }
+                }
+                #[cfg(any(test, feature = "oracle"))]
+                Engine::Oracle(g) => {
+                    g.finish();
+                    for i in 0..g.len() {
+                        out[g.orig_of(i)] = g.stats_for(i);
+                    }
+                }
+                Engine::Direct { orig, cache } => {
+                    out[*orig] = *cache.stats();
+                }
             }
-        }
-        for (orig, c) in &self.direct {
-            out[*orig] = *c.stats();
         }
         out
     }
@@ -486,6 +1248,18 @@ impl MultiSim {
 /// [`Cache`] models driven from the same traversal.
 pub fn simulate_many(trace: &Trace, cfgs: &[CacheConfig]) -> Vec<CacheStats> {
     let mut sim = MultiSim::new(cfgs);
+    for r in trace.iter() {
+        sim.step(r);
+    }
+    sim.finish()
+}
+
+/// [`simulate_many`] on the legacy linked-list engine — the oracle the
+/// property suites and the analysis bench compare the recency index
+/// against.
+#[cfg(any(test, feature = "oracle"))]
+pub fn simulate_many_oracle(trace: &Trace, cfgs: &[CacheConfig]) -> Vec<CacheStats> {
+    let mut sim = MultiSim::new_oracle(cfgs);
     for r in trace.iter() {
         sim.step(r);
     }
@@ -511,6 +1285,21 @@ pub fn simulate_many_stream<S: TraceSource>(
         }
     })?;
     Ok(sim.finish())
+}
+
+/// The engine-parallel form of [`simulate_many_stream`]: batches are
+/// broadcast to the sweep's engines sharded over up to `jobs` worker
+/// threads. Identical results at any `jobs`.
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source.
+pub fn simulate_many_parallel<S: TraceSource + ?Sized>(
+    source: &mut S,
+    cfgs: &[CacheConfig],
+    jobs: usize,
+) -> Result<Vec<CacheStats>, TraceStreamError> {
+    MultiSim::new(cfgs).run_parallel(source, jobs)
 }
 
 #[cfg(test)]
@@ -577,6 +1366,23 @@ mod tests {
     }
 
     #[test]
+    fn oracle_engine_matches_fenwick_engine() {
+        let t = trace_with_switches();
+        for switch in [
+            SwitchPolicy::Ignore,
+            SwitchPolicy::Flush,
+            SwitchPolicy::PidTag,
+        ] {
+            let cfgs = sweep_configs(switch);
+            assert_eq!(
+                simulate_many(&t, &cfgs),
+                simulate_many_oracle(&t, &cfgs),
+                "engines diverge under {switch:?}"
+            );
+        }
+    }
+
+    #[test]
     fn non_lru_configs_fall_back_and_still_match() {
         let t = trace_with_switches();
         let cfgs: Vec<CacheConfig> = [Replacement::Fifo, Replacement::Random, Replacement::Lru]
@@ -629,6 +1435,34 @@ mod tests {
     }
 
     #[test]
+    fn high_associativity_levels_use_fenwick_and_match() {
+        // 32 ways exceeds SAT_CAP_MAX, so these levels run on the
+        // Fenwick recency trees; mixing in narrow configurations at the
+        // same block size shares the group across both index kinds.
+        let t = trace_with_switches();
+        let mut cfgs = vec![
+            CacheConfig::builder()
+                .size(1024)
+                .block(16)
+                .assoc(32)
+                .build()
+                .unwrap(),
+            CacheConfig::builder()
+                .size(4096)
+                .block(16)
+                .assoc(32)
+                .build()
+                .unwrap(),
+        ];
+        cfgs.extend(sweep_configs(SwitchPolicy::Ignore));
+        let many = simulate_many(&t, &cfgs);
+        for (cfg, got) in cfgs.iter().zip(&many) {
+            assert_eq!(*got, simulate(&t, cfg), "mismatch under {cfg}");
+        }
+        assert_eq!(many, simulate_many_oracle(&t, &cfgs));
+    }
+
+    #[test]
     fn streamed_matches_in_memory() {
         let t = trace_with_switches();
         for switch in [
@@ -638,7 +1472,149 @@ mod tests {
         ] {
             let cfgs = sweep_configs(switch);
             let want = simulate_many(&t, &cfgs);
-            assert_eq!(simulate_many_stream(&mut &t, &cfgs).unwrap(), want);
+            assert_eq!(simulate_many_stream(&mut t.source(), &cfgs).unwrap(), want);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_serial_at_any_jobs() {
+        let t = trace_with_switches();
+        for switch in [
+            SwitchPolicy::Ignore,
+            SwitchPolicy::Flush,
+            SwitchPolicy::PidTag,
+        ] {
+            let cfgs = sweep_configs(switch);
+            let want = simulate_many(&t, &cfgs);
+            for jobs in [1, 2, 4] {
+                assert_eq!(
+                    simulate_many_parallel(&mut t.source(), &cfgs, jobs).unwrap(),
+                    want,
+                    "jobs={jobs} under {switch:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn set_fen_compacts_and_stays_exact() {
+        let mut f = SetFen::default();
+        // Insert 1..=200, then repeatedly move the oldest live mark to
+        // the top — lots of dead slots, forcing compactions.
+        for t in 1..=200u64 {
+            f.push(t);
+        }
+        let mut times: std::collections::VecDeque<u64> = (1..=200).collect();
+        let mut clock = 200u64;
+        for _ in 0..500 {
+            let old = times.pop_front().unwrap();
+            clock += 1;
+            f.remove(old);
+            f.push(clock);
+            times.push_back(clock);
+            assert_eq!(f.live, 200);
+            // Distance of the oldest mark is everything above it.
+            assert_eq!(f.count_after(*times.front().unwrap()), 199);
+            assert_eq!(f.count_after(clock), 0);
+        }
+        assert!(
+            f.times.len() <= 2 * 200 + 64,
+            "dead slots must stay bounded, got {}",
+            f.times.len()
+        );
+    }
+}
+
+#[cfg(test)]
+mod oracle_prop {
+    //! Property suite: the Fenwick recency index against the legacy
+    //! linked-list walk, over randomized traces with context switches
+    //! (flushes) and PID tags — field-for-field identical statistics
+    //! for every configuration.
+
+    use super::*;
+    use atum_core::TraceRecord;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Event {
+        Access {
+            addr: u32,
+            kind: RecordKind,
+            pid: u8,
+        },
+        Switch {
+            pid: u8,
+        },
+    }
+
+    fn event() -> impl Strategy<Value = Event> {
+        prop_oneof![
+            12 => (0u32..16384, 0u8..3, 0u8..4).prop_map(|(addr, k, pid)| Event::Access {
+                addr,
+                kind: match k {
+                    0 => RecordKind::IFetch,
+                    1 => RecordKind::Read,
+                    _ => RecordKind::Write,
+                },
+                pid,
+            }),
+            1 => (0u8..4).prop_map(|pid| Event::Switch { pid }),
+        ]
+    }
+
+    fn trace_of(events: &[Event]) -> Trace {
+        let mut t = Trace::new();
+        for e in events {
+            match *e {
+                Event::Access { addr, kind, pid } => {
+                    t.push(TraceRecord::new(kind, addr, 4, pid, false));
+                }
+                Event::Switch { pid } => {
+                    t.push(TraceRecord::new(RecordKind::CtxSwitch, 0, 0, pid, true));
+                }
+            }
+        }
+        t
+    }
+
+    fn stack_config() -> impl Strategy<Value = CacheConfig> {
+        (
+            prop_oneof![Just(256u32), Just(512), Just(1024), Just(2048), Just(8192)],
+            prop_oneof![Just(8u32), Just(16), Just(32)],
+            // 32 ways exceeds SAT_CAP_MAX, driving the Fenwick path.
+            prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(32)],
+            prop_oneof![
+                Just(SwitchPolicy::Ignore),
+                Just(SwitchPolicy::Flush),
+                Just(SwitchPolicy::PidTag),
+            ],
+        )
+            .prop_filter_map("valid config", |(size, block, assoc, switch)| {
+                CacheConfig::builder()
+                    .size(size)
+                    .block(block)
+                    .assoc(assoc)
+                    .switch_policy(switch)
+                    .build()
+                    .ok()
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(192))]
+
+        #[test]
+        fn fenwick_matches_oracle(
+            cfgs in proptest::collection::vec(stack_config(), 1..10),
+            events in proptest::collection::vec(event(), 1..600),
+        ) {
+            let trace = trace_of(&events);
+            let fen = simulate_many(&trace, &cfgs);
+            let ora = simulate_many_oracle(&trace, &cfgs);
+            for ((cfg, f), o) in cfgs.iter().zip(&fen).zip(&ora) {
+                prop_assert_eq!(f, o, "recency index diverges from oracle under {}", cfg);
+            }
         }
     }
 }

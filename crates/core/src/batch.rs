@@ -1,0 +1,308 @@
+//! Decode-once record batches and the bounded broadcast ring that fans
+//! them out to independent analysis engines.
+//!
+//! The analysis hot path consumes traces as [`RecordBatch`]es: SoA
+//! blocks (`addrs`, packed `metas`) of a few thousand records, decoded
+//! once at the source and then walked linearly by every consumer —
+//! cache-friendly and free of the per-record virtual dispatch the old
+//! push-only path paid. [`TraceSource`](crate::TraceSource) yields them
+//! via `next_batch`; the per-record `stream` API is reimplemented on
+//! top, so existing consumers are unchanged.
+//!
+//! [`broadcast_batches`] is the engine-parallel driver: each consumer
+//! is an *independent sequential* state machine (a stack group, a cache
+//! replay, a working-set window), so a batch can be broadcast to every
+//! consumer and the consumers sharded over worker threads. Every
+//! consumer observes every batch in trace order, which makes the
+//! results **identical at any job count** — parallelism moves wall
+//! clock, never statistics. The ring is bounded (a slow shard applies
+//! backpressure to the producer) and the producing thread is the only
+//! one that touches the source.
+
+use crate::record::TraceRecord;
+use crate::stream::{TraceSource, TraceStreamError};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Target records per batch: large enough to amortise dispatch and ring
+/// hand-off, small enough that a batch stays cache-resident while every
+/// engine walks it. Segment-file sources use their natural segment size
+/// instead (a segment is already the decode unit).
+pub const BATCH_TARGET: usize = 8192;
+
+/// A decode-once, structure-of-arrays block of trace records: addresses
+/// in one contiguous array, the packed kind/pid/size/mode metadata word
+/// in another. Index `i` of both arrays is record `i`; the two arrays
+/// always have equal length.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecordBatch {
+    addrs: Vec<u32>,
+    metas: Vec<u32>,
+}
+
+impl RecordBatch {
+    /// An empty batch.
+    pub fn new() -> RecordBatch {
+        RecordBatch::default()
+    }
+
+    /// An empty batch with room for `n` records.
+    pub fn with_capacity(n: usize) -> RecordBatch {
+        RecordBatch {
+            addrs: Vec::with_capacity(n),
+            metas: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Removes all records, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.addrs.clear();
+        self.metas.clear();
+    }
+
+    /// Appends one record.
+    pub fn push(&mut self, r: TraceRecord) {
+        self.addrs.push(r.addr);
+        self.metas.push(r.meta);
+    }
+
+    /// Appends a slice of records.
+    pub fn extend_from_records(&mut self, records: &[TraceRecord]) {
+        self.addrs.reserve(records.len());
+        self.metas.reserve(records.len());
+        for r in records {
+            self.addrs.push(r.addr);
+            self.metas.push(r.meta);
+        }
+    }
+
+    /// Reserves room for `n` more records.
+    pub fn reserve(&mut self, n: usize) {
+        self.addrs.reserve(n);
+        self.metas.reserve(n);
+    }
+
+    /// The record at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn get(&self, i: usize) -> TraceRecord {
+        TraceRecord {
+            addr: self.addrs[i],
+            meta: self.metas[i],
+        }
+    }
+
+    /// The address column.
+    pub fn addrs(&self) -> &[u32] {
+        &self.addrs
+    }
+
+    /// The packed-metadata column (see [`TraceRecord`] for the layout).
+    pub fn metas(&self) -> &[u32] {
+        &self.metas
+    }
+
+    /// Iterates the records by value, in order.
+    pub fn iter(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.addrs
+            .iter()
+            .zip(&self.metas)
+            .map(|(&addr, &meta)| TraceRecord { addr, meta })
+    }
+
+    /// Rebuilds the array-of-structs form into `out` (cleared first) —
+    /// the compatibility shim under the per-record `stream` API.
+    pub fn copy_to(&self, out: &mut Vec<TraceRecord>) {
+        out.clear();
+        out.reserve(self.len());
+        out.extend(self.iter());
+    }
+}
+
+/// Per-shard bounded queue depth of the broadcast ring: enough to keep
+/// a shard busy while the producer decodes the next batch, small enough
+/// that memory stays O(jobs × batch), not O(trace).
+const RING_CAP: usize = 4;
+
+struct RingState {
+    queues: Vec<VecDeque<Arc<RecordBatch>>>,
+    done: bool,
+}
+
+/// Streams every batch of `source` to every consumer, in trace order,
+/// sharding the consumers over up to `jobs` worker threads.
+///
+/// Each consumer is an independent sequential state machine; the ring
+/// broadcasts each batch to every shard and each shard applies it to
+/// its consumers in order, so the final consumer states are **identical
+/// to a serial pass at any `jobs`** (with `jobs <= 1`, or a single
+/// consumer, the pass *is* serial — no threads, no copies). The source
+/// is rewound first and only ever touched by the calling thread.
+///
+/// # Errors
+///
+/// Any [`TraceStreamError`] from the source. Consumers may have
+/// observed a prefix of the records when an error is returned.
+pub fn broadcast_batches<S, C, F>(
+    source: &mut S,
+    consumers: &mut [C],
+    jobs: usize,
+    apply: F,
+) -> Result<(), TraceStreamError>
+where
+    S: TraceSource + ?Sized,
+    C: Send,
+    F: Fn(&mut C, &RecordBatch) + Sync,
+{
+    source.rewind()?;
+    let shards = jobs.max(1).min(consumers.len());
+    if shards <= 1 {
+        while let Some(batch) = source.next_batch()? {
+            for c in consumers.iter_mut() {
+                apply(c, batch);
+            }
+        }
+        return Ok(());
+    }
+
+    let chunk = consumers.len().div_ceil(shards);
+    let shard_slices: Vec<&mut [C]> = consumers.chunks_mut(chunk).collect();
+    let state = Mutex::new(RingState {
+        queues: shard_slices.iter().map(|_| VecDeque::new()).collect(),
+        done: false,
+    });
+    let cv = Condvar::new();
+    let mut outcome: Result<(), TraceStreamError> = Ok(());
+
+    std::thread::scope(|s| {
+        for (w, shard) in shard_slices.into_iter().enumerate() {
+            let state = &state;
+            let cv = &cv;
+            let apply = &apply;
+            s.spawn(move || loop {
+                let batch = {
+                    let mut g = state.lock().unwrap();
+                    loop {
+                        if let Some(b) = g.queues[w].pop_front() {
+                            // The producer may be blocked on this queue's
+                            // capacity.
+                            cv.notify_all();
+                            break Some(b);
+                        }
+                        if g.done {
+                            break None;
+                        }
+                        g = cv.wait(g).unwrap();
+                    }
+                };
+                match batch {
+                    Some(b) => {
+                        for c in shard.iter_mut() {
+                            apply(c, &b);
+                        }
+                    }
+                    None => return,
+                }
+            });
+        }
+
+        // Producer on the calling thread — the only place the (possibly
+        // non-Send) source is touched.
+        loop {
+            match source.next_batch() {
+                Ok(Some(batch)) => {
+                    let b = Arc::new(batch.clone());
+                    let mut g = state.lock().unwrap();
+                    while g.queues.iter().any(|q| q.len() >= RING_CAP) {
+                        g = cv.wait(g).unwrap();
+                    }
+                    for q in g.queues.iter_mut() {
+                        q.push_back(b.clone());
+                    }
+                    cv.notify_all();
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    outcome = Err(e);
+                    break;
+                }
+            }
+        }
+        let mut g = state.lock().unwrap();
+        g.done = true;
+        cv.notify_all();
+    });
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RecordKind;
+    use crate::trace::Trace;
+
+    fn trace(n: u32) -> Trace {
+        let mut t = Trace::new();
+        for i in 0..n {
+            t.push(TraceRecord::new(RecordKind::Read, i * 4, 4, 1, false));
+        }
+        t
+    }
+
+    #[test]
+    fn batch_round_trips_records() {
+        let t = trace(100);
+        let mut b = RecordBatch::new();
+        b.extend_from_records(t.records());
+        assert_eq!(b.len(), 100);
+        assert!(!b.is_empty());
+        assert_eq!(b.get(7), t.records()[7]);
+        assert_eq!(b.iter().collect::<Vec<_>>(), t.records());
+        let mut back = Vec::new();
+        b.copy_to(&mut back);
+        assert_eq!(back, t.records());
+        assert_eq!(b.addrs().len(), b.metas().len());
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn broadcast_matches_serial_at_any_jobs() {
+        let t = trace(20_000);
+        // Consumers fold the stream into a checksum; every job count
+        // must produce the same per-consumer state.
+        let fold = |acc: &mut u64, b: &RecordBatch| {
+            for r in b.iter() {
+                *acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(r.addr as u64 + r.meta as u64);
+            }
+        };
+        let mut want = vec![0u64; 5];
+        broadcast_batches(&mut t.source(), &mut want, 1, fold).unwrap();
+        for jobs in [2, 3, 4, 8] {
+            let mut got = vec![0u64; 5];
+            broadcast_batches(&mut t.source(), &mut got, jobs, fold).unwrap();
+            assert_eq!(got, want, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn broadcast_with_no_consumers_drains_source() {
+        let t = trace(10);
+        let mut none: Vec<u64> = Vec::new();
+        broadcast_batches(&mut t.source(), &mut none, 4, |_, _| {}).unwrap();
+    }
+}

@@ -37,9 +37,40 @@
 //! Typical compaction is 4–6× over the raw form (measured in experiment
 //! E2 and `BENCH_trace.json`).
 
+use crate::batch::RecordBatch;
 use crate::record::{RecordKind, TraceRecord};
 use crate::trace::Trace;
 use std::fmt;
+
+/// A decode target: anything segment payloads can be decoded into
+/// without an intermediate copy. The archival decoder is generic over
+/// this, so the array-of-structs [`Trace`] path and the
+/// structure-of-arrays [`RecordBatch`] path share one decode loop —
+/// records are decoded exactly once, straight into their final layout.
+pub(crate) trait RecordSink {
+    fn reserve_records(&mut self, n: usize);
+    fn push_record(&mut self, r: TraceRecord);
+}
+
+impl RecordSink for Vec<TraceRecord> {
+    fn reserve_records(&mut self, n: usize) {
+        self.reserve(n);
+    }
+
+    fn push_record(&mut self, r: TraceRecord) {
+        self.push(r);
+    }
+}
+
+impl RecordSink for RecordBatch {
+    fn reserve_records(&mut self, n: usize) {
+        self.reserve(n);
+    }
+
+    fn push_record(&mut self, r: TraceRecord) {
+        self.push(r);
+    }
+}
 
 pub(crate) const MAGIC: &[u8; 4] = b"ATUM";
 pub(crate) const VERSION: u8 = 2;
@@ -256,15 +287,15 @@ pub(crate) fn parse_segment_header(
 /// to `out`. The whole payload must be consumed — trailing bytes, or a
 /// payload that runs out early, are [`DecodeTraceError::BadSegment`] /
 /// [`DecodeTraceError::Truncated`].
-pub(crate) fn decode_segment_payload(
+pub(crate) fn decode_segment_payload<S: RecordSink>(
     payload: &[u8],
     h: &SegmentHeader,
-    out: &mut Vec<TraceRecord>,
+    out: &mut S,
 ) -> Result<(), DecodeTraceError> {
     // Each encoded unit is ≥ 2 bytes but can expand to many records (a
     // run), so reserve conservatively from the payload size, not the
     // advertised count — a corrupt count must not allocate unbounded.
-    out.reserve(payload.len().min(h.records as usize));
+    out.reserve_records(payload.len().min(h.records as usize));
     let mut pos = 0usize;
     let mut produced = 0u64;
     let mut last_addr = [0u32; 7];
@@ -294,7 +325,7 @@ pub(crate) fn decode_segment_payload(
         let mut addr = last_addr[kind as usize];
         for _ in 0..count {
             addr = (addr as i64 + delta) as u32;
-            out.push(TraceRecord::new(kind, addr, size, last_pid, kernel));
+            out.push_record(TraceRecord::new(kind, addr, size, last_pid, kernel));
         }
         last_addr[kind as usize] = addr;
         produced += count;

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod encode;
 pub mod patch;
 mod record;
@@ -61,14 +62,15 @@ mod stream;
 mod trace;
 mod tracer;
 
+pub use batch::{broadcast_batches, RecordBatch, BATCH_TARGET};
 pub use encode::{decode_trace, encode_trace, DecodeTraceError, SegmentHeader};
 pub use patch::{PatchSet, PatchStyle};
 pub use record::{RecordKind, TraceRecord};
 pub use stats::TraceStats;
 pub use stitch::{Capture, CaptureSession, CaptureStreamError, StreamedCapture};
 pub use stream::{
-    FilteredTraceSource, SegmentFileSource, SegmentReader, SegmentWriter, StreamStats, TraceSource,
-    TraceStreamError,
+    FilteredTraceSource, MemTraceSource, SegmentFileSource, SegmentReader, SegmentWriter,
+    StreamStats, TraceSource, TraceStreamError,
 };
 pub use trace::Trace;
 pub use tracer::{Tracer, TracerError};

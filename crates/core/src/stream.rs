@@ -22,7 +22,16 @@
 //! on-disk segment file all stream the same way, and
 //! `simulate_many_stream` / `working_set_stream` in the downstream
 //! crates take any of them.
+//!
+//! The trait is **pull-based**: `rewind` resets to the start and
+//! `next_batch` yields decode-once SoA [`RecordBatch`]es, which is what
+//! the engine-parallel broadcast driver
+//! ([`broadcast_batches`](crate::broadcast_batches)) and the batched
+//! simulators consume. The per-record `stream` API is a provided method
+//! reimplemented on top of the batches, so push-style consumers are
+//! unchanged.
 
+use crate::batch::{RecordBatch, BATCH_TARGET};
 use crate::encode::{
     decode_segment_payload, encode_segment_payload, push_segment_header, segment_header_of,
     DecodeTraceError, SegmentHeader, MAGIC, SEG_MARK, VERSION,
@@ -336,6 +345,27 @@ impl<R: Read> SegmentReader<R> {
         decode_segment_payload(&self.payload, &h, &mut self.records)?;
         Ok(Some((h, &self.records)))
     }
+
+    /// Decodes the next segment straight into a SoA batch (cleared
+    /// first) — the decode-once path under [`TraceSource::next_batch`].
+    /// Returns the header, or `None` at clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`].
+    pub fn next_segment_into(
+        &mut self,
+        out: &mut RecordBatch,
+    ) -> Result<Option<SegmentHeader>, TraceStreamError> {
+        let h = match read_segment_header_r(&mut self.r)? {
+            None => return Ok(None),
+            Some(h) => h,
+        };
+        read_payload(&mut self.r, h.payload_len, &mut self.payload)?;
+        out.clear();
+        decode_segment_payload(&self.payload, &h, out)?;
+        Ok(Some(h))
+    }
 }
 
 /// A record stream: the seam between capture and analysis. In-memory
@@ -343,31 +373,93 @@ impl<R: Read> SegmentReader<R> {
 /// implement it, so the streaming analysis passes are agnostic to where
 /// records live.
 ///
-/// `stream` delivers every record, in trace order, as a series of
-/// slices. It may be called more than once; each call restarts from the
-/// beginning (file sources reopen the file).
+/// The required API is pull-based: [`TraceSource::rewind`] resets to
+/// the beginning and [`TraceSource::next_batch`] yields the records, in
+/// trace order, as decode-once SoA [`RecordBatch`]es — what the
+/// broadcast fan-out and the batched simulators consume. The push-style
+/// [`TraceSource::stream`] is a provided method rebuilt on top of the
+/// batches; it may be called more than once, restarting each time (file
+/// sources reopen the file).
 pub trait TraceSource {
-    /// Streams all records into `sink`, in order.
+    /// Resets the source to the beginning of the record stream. File
+    /// sources reopen the file.
     ///
     /// # Errors
     ///
     /// Any [`TraceStreamError`] from the underlying source.
-    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError>;
-}
+    fn rewind(&mut self) -> Result<(), TraceStreamError>;
 
-impl TraceSource for &Trace {
+    /// Returns the next batch of records, or `None` at end of stream;
+    /// never yields an empty batch. The returned batch borrows the
+    /// source's internal buffer and is valid until the next call. A
+    /// fresh source is positioned at the beginning.
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`] from the underlying source.
+    fn next_batch(&mut self) -> Result<Option<&RecordBatch>, TraceStreamError>;
+
+    /// Streams all records into `sink`, in order, restarting from the
+    /// beginning. A compatibility shim over [`TraceSource::next_batch`]
+    /// (sources with a cheaper native slice form may override it).
+    ///
+    /// # Errors
+    ///
+    /// Any [`TraceStreamError`] from the underlying source.
     fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
-        for seg in self.segment_slices() {
-            sink(seg);
+        self.rewind()?;
+        let mut buf = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            batch.copy_to(&mut buf);
+            sink(&buf);
         }
         Ok(())
     }
 }
 
-impl TraceSource for Trace {
+/// A [`TraceSource`] over a whole in-memory trace, yielding
+/// [`BATCH_TARGET`]-sized batches. Built by [`Trace::source`].
+pub struct MemTraceSource<'a> {
+    trace: &'a Trace,
+    pos: usize,
+    batch: RecordBatch,
+}
+
+impl<'a> MemTraceSource<'a> {
+    pub(crate) fn new(trace: &'a Trace) -> MemTraceSource<'a> {
+        MemTraceSource {
+            trace,
+            pos: 0,
+            batch: RecordBatch::new(),
+        }
+    }
+}
+
+impl TraceSource for MemTraceSource<'_> {
+    fn rewind(&mut self) -> Result<(), TraceStreamError> {
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&RecordBatch>, TraceStreamError> {
+        let records = self.trace.records();
+        if self.pos >= records.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + BATCH_TARGET).min(records.len());
+        self.batch.clear();
+        self.batch.extend_from_records(&records[self.pos..end]);
+        self.pos = end;
+        Ok(Some(&self.batch))
+    }
+
     fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
-        let mut by_ref: &Trace = self;
-        by_ref.stream(sink)
+        // The records already exist in slice form; hand out the segment
+        // slices directly instead of round-tripping through batches.
+        for seg in self.trace.segment_slices() {
+            sink(seg);
+        }
+        Ok(())
     }
 }
 
@@ -377,15 +469,17 @@ enum Filter {
 }
 
 /// Chunk size for filtered in-memory sources: large enough to amortise
-/// the per-slice dispatch, small enough to stay cache-resident.
+/// the per-batch dispatch, small enough to stay cache-resident.
 const FILTER_CHUNK: usize = 4096;
 
-/// An allocation-free filtered view of an in-memory trace, streaming
-/// only the matching references (in fixed-size chunks). Built by
+/// An allocation-light filtered view of an in-memory trace, yielding
+/// only the matching references (in fixed-size batches). Built by
 /// [`Trace::user_source`] / [`Trace::pid_source`].
 pub struct FilteredTraceSource<'a> {
     trace: &'a Trace,
     filter: Filter,
+    pos: usize,
+    batch: RecordBatch,
 }
 
 impl<'a> FilteredTraceSource<'a> {
@@ -393,6 +487,8 @@ impl<'a> FilteredTraceSource<'a> {
         FilteredTraceSource {
             trace,
             filter: Filter::User,
+            pos: 0,
+            batch: RecordBatch::new(),
         }
     }
 
@@ -400,36 +496,37 @@ impl<'a> FilteredTraceSource<'a> {
         FilteredTraceSource {
             trace,
             filter: Filter::Pid(pid),
+            pos: 0,
+            batch: RecordBatch::new(),
         }
     }
 }
 
 impl TraceSource for FilteredTraceSource<'_> {
-    fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
-        let mut buf = Vec::with_capacity(FILTER_CHUNK);
-        let mut emit = |r: TraceRecord, buf: &mut Vec<TraceRecord>| {
-            buf.push(r);
-            if buf.len() == FILTER_CHUNK {
-                sink(buf);
-                buf.clear();
-            }
-        };
-        match self.filter {
-            Filter::User => {
-                for r in self.trace.user_refs() {
-                    emit(r, &mut buf);
-                }
-            }
-            Filter::Pid(p) => {
-                for r in self.trace.pid_refs(p) {
-                    emit(r, &mut buf);
-                }
-            }
-        }
-        if !buf.is_empty() {
-            sink(&buf);
-        }
+    fn rewind(&mut self) -> Result<(), TraceStreamError> {
+        self.pos = 0;
         Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&RecordBatch>, TraceStreamError> {
+        let records = self.trace.records();
+        self.batch.clear();
+        while self.pos < records.len() && self.batch.len() < FILTER_CHUNK {
+            let r = records[self.pos];
+            self.pos += 1;
+            let matches = match self.filter {
+                Filter::User => r.is_ref() && !r.is_kernel(),
+                Filter::Pid(p) => r.is_ref() && r.pid() == p,
+            };
+            if matches {
+                self.batch.push(r);
+            }
+        }
+        if self.batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(&self.batch))
+        }
     }
 }
 
@@ -590,14 +687,35 @@ fn stream_parallel(
     outcome
 }
 
-/// A [`TraceSource`] over an on-disk segment file. Restartable — each
-/// [`TraceSource::stream`] call reopens the file — and optionally
-/// parallel: with `jobs > 1`, segments are decoded by a reader pool and
-/// merged in order, so the record stream is identical at any job count.
-#[derive(Debug, Clone)]
+/// A [`TraceSource`] over an on-disk segment file. Restartable —
+/// [`TraceSource::rewind`] (and each [`TraceSource::stream`] call)
+/// reopens the file. [`TraceSource::next_batch`] decodes one segment
+/// per batch, straight into the SoA form (decode-once). With
+/// `jobs > 1`, the push-style `stream` decodes segments with a reader
+/// pool merged in order, so the record stream is identical at any job
+/// count; the pull path is always a single sequential reader (the
+/// broadcast fan-out parallelises the *consumers* instead).
+#[derive(Debug)]
 pub struct SegmentFileSource {
     path: PathBuf,
     jobs: usize,
+    /// Open reader of the in-progress pull pass (`None` before the
+    /// first `next_batch` and after a rewind).
+    reader: Option<SegmentReader<BufReader<File>>>,
+    batch: RecordBatch,
+}
+
+impl Clone for SegmentFileSource {
+    /// Clones the configuration; the clone starts a fresh pass at the
+    /// beginning of the file.
+    fn clone(&self) -> SegmentFileSource {
+        SegmentFileSource {
+            path: self.path.clone(),
+            jobs: self.jobs,
+            reader: None,
+            batch: RecordBatch::new(),
+        }
+    }
 }
 
 impl SegmentFileSource {
@@ -606,6 +724,8 @@ impl SegmentFileSource {
         SegmentFileSource {
             path: path.into(),
             jobs: 1,
+            reader: None,
+            batch: RecordBatch::new(),
         }
     }
 
@@ -615,6 +735,8 @@ impl SegmentFileSource {
         SegmentFileSource {
             path: path.into(),
             jobs: jobs.max(1),
+            reader: None,
+            batch: RecordBatch::new(),
         }
     }
 
@@ -645,11 +767,34 @@ impl SegmentFileSource {
 }
 
 impl TraceSource for SegmentFileSource {
+    fn rewind(&mut self) -> Result<(), TraceStreamError> {
+        self.reader = None;
+        Ok(())
+    }
+
+    fn next_batch(&mut self) -> Result<Option<&RecordBatch>, TraceStreamError> {
+        if self.reader.is_none() {
+            self.reader = Some(SegmentReader::open(&self.path)?);
+        }
+        let rd = self.reader.as_mut().expect("reader just opened");
+        // One batch per segment (a segment is the decode unit); skip
+        // empty segments so `None` keeps meaning end-of-stream.
+        loop {
+            match rd.next_segment_into(&mut self.batch)? {
+                None => return Ok(None),
+                Some(_) if self.batch.is_empty() => continue,
+                Some(_) => return Ok(Some(&self.batch)),
+            }
+        }
+    }
+
     fn stream(&mut self, sink: &mut dyn FnMut(&[TraceRecord])) -> Result<(), TraceStreamError> {
         if self.jobs <= 1 {
-            let mut rd = SegmentReader::open(&self.path)?;
-            while let Some((_h, records)) = rd.next_segment()? {
-                sink(records);
+            self.rewind()?;
+            let mut buf = Vec::new();
+            while let Some(batch) = self.next_batch()? {
+                batch.copy_to(&mut buf);
+                sink(&buf);
             }
             Ok(())
         } else {
@@ -694,10 +839,21 @@ mod tests {
         t
     }
 
+    fn collect_batched<S: TraceSource>(src: &mut S) -> Vec<TraceRecord> {
+        src.rewind().unwrap();
+        let mut out = Vec::new();
+        while let Some(b) = src.next_batch().unwrap() {
+            assert!(!b.is_empty(), "next_batch never yields an empty batch");
+            out.extend(b.iter());
+        }
+        out
+    }
+
     #[test]
     fn trace_source_streams_whole_trace() {
         let t = mixed_trace();
-        assert_eq!(collect(&mut &t), t.records());
+        assert_eq!(collect(&mut t.source()), t.records());
+        assert_eq!(collect_batched(&mut t.source()), t.records());
     }
 
     #[test]
@@ -710,6 +866,32 @@ mod tests {
         assert_eq!(
             collect(&mut t.pid_source(2)),
             t.pid_refs(2).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect_batched(&mut t.user_source()),
+            t.user_refs().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            collect_batched(&mut t.pid_source(2)),
+            t.pid_refs(2).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn rewind_restarts_a_pass() {
+        let t = mixed_trace();
+        let mut src = t.source();
+        // Consume a batch, rewind, and the full pass must still see
+        // everything from the beginning.
+        assert!(src.next_batch().unwrap().is_some());
+        assert_eq!(collect_batched(&mut src), t.records());
+
+        let mut f = t.user_source();
+        assert!(f.next_batch().unwrap().is_some());
+        assert_eq!(
+            collect_batched(&mut f),
+            t.user_refs().collect::<Vec<_>>(),
+            "filtered source rewinds cleanly"
         );
     }
 
@@ -768,6 +950,12 @@ mod tests {
             let par = collect(&mut SegmentFileSource::with_jobs(&path, jobs));
             assert_eq!(par, seq, "jobs={jobs} must merge in order");
         }
+        // The pull path decodes the same records, one segment per batch,
+        // and rewinds mid-pass cleanly.
+        let mut src = SegmentFileSource::new(&path);
+        assert!(src.next_batch().unwrap().is_some());
+        assert_eq!(collect_batched(&mut src), seq);
+        assert_eq!(collect_batched(&mut src.clone()), seq);
         assert_eq!(SegmentFileSource::new(&path).read_to_trace().unwrap(), t);
         std::fs::remove_file(&path).ok();
     }

@@ -133,6 +133,13 @@ impl Trace {
             .filter(move |r| r.is_ref() && r.pid() == pid)
     }
 
+    /// A [`TraceSource`](crate::stream::TraceSource) over the whole
+    /// trace, markers included — the streaming/batched form the
+    /// analysis passes consume.
+    pub fn source(&self) -> crate::stream::MemTraceSource<'_> {
+        crate::stream::MemTraceSource::new(self)
+    }
+
     /// A [`TraceSource`](crate::stream::TraceSource) yielding
     /// [`Trace::user_refs`] in chunks — the streaming form the analysis
     /// passes consume.

@@ -1,10 +1,27 @@
 //! Property tests on the trace record format and the archival encoding.
 
 use atum_core::{
-    decode_trace, encode_trace, RecordKind, SegmentReader, SegmentWriter, Trace, TraceRecord,
-    TraceSource,
+    decode_trace, encode_trace, RecordKind, SegmentFileSource, SegmentReader, SegmentWriter, Trace,
+    TraceRecord, TraceSource,
 };
 use proptest::prelude::*;
+
+/// Drains a source batch-by-batch, checking the batch invariants along
+/// the way (batches are never empty, and the flat record view matches
+/// the columnar one).
+fn collect_batches<S: TraceSource + ?Sized>(source: &mut S) -> Vec<TraceRecord> {
+    let mut out = Vec::new();
+    while let Some(batch) = source.next_batch().expect("batch") {
+        assert!(!batch.is_empty(), "sources must never yield empty batches");
+        assert_eq!(batch.addrs().len(), batch.len());
+        assert_eq!(batch.metas().len(), batch.len());
+        for (i, r) in batch.iter().enumerate() {
+            assert_eq!(batch.get(i), r);
+        }
+        out.extend(batch.iter());
+    }
+    out
+}
 
 fn record() -> impl Strategy<Value = TraceRecord> {
     (
@@ -216,6 +233,40 @@ proptest! {
         let by_pid: u64 = s.refs_by_pid.values().sum();
         prop_assert_eq!(by_pid, s.total_refs());
         prop_assert!(s.os_fraction() >= 0.0 && s.os_fraction() <= 1.0);
+    }
+
+    #[test]
+    fn batched_iteration_matches_per_record(t in stitched_trace(), pid in any::<u8>()) {
+        // The batch path over an in-memory source yields exactly the
+        // per-record view, markers and empty segments included…
+        prop_assert_eq!(collect_batches(&mut t.source()), t.records().to_vec());
+        // …and the filtered sources batch exactly their per-record
+        // iterator counterparts.
+        prop_assert_eq!(
+            collect_batches(&mut t.user_source()),
+            t.user_refs().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            collect_batches(&mut t.pid_source(pid)),
+            t.pid_refs(pid).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn file_source_batches_match_records_across_passes(t in stitched_trace(), case in any::<u32>()) {
+        let path = std::env::temp_dir().join(format!(
+            "atum-batch-prop-{}-{case}.atrace",
+            std::process::id()
+        ));
+        std::fs::write(&path, encode_trace(&t)).expect("write");
+        let mut src = SegmentFileSource::new(&path);
+        // Two full passes: rewind must restart the file exactly, with
+        // the batch view equal to the stitched records both times.
+        prop_assert_eq!(collect_batches(&mut src), t.records().to_vec());
+        src.rewind().expect("rewind");
+        prop_assert_eq!(collect_batches(&mut src), t.records().to_vec());
+        drop(src);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
