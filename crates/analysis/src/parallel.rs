@@ -9,10 +9,11 @@
 //! or host-randomness inputs). Thread count therefore affects wall
 //! clock only, never results.
 
+use atum_conc::sync::atomic::{AtomicUsize, Ordering};
+use atum_conc::sync::Mutex;
+use atum_conc::thread;
 use std::collections::VecDeque;
 use std::num::NonZeroUsize;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Global default thread count used by experiment internals (the
 /// per-workload capture fan inside T2, for example). 0 = not set; fall
@@ -28,7 +29,7 @@ pub fn set_jobs(n: usize) {
 /// The current default thread count (see [`set_jobs`]).
 pub fn jobs() -> usize {
     match JOBS.load(Ordering::Relaxed) {
-        0 => std::thread::available_parallelism()
+        0 => thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1),
         n => n,
@@ -58,7 +59,7 @@ where
     let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
     let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for _ in 0..workers {
             s.spawn(|| loop {
                 let next = queue.lock().expect("queue poisoned").pop_front();

@@ -1,0 +1,97 @@
+//! [`ModelCell`]: a shared cell whose accesses the race detector
+//! watches.
+//!
+//! Rust's type system already forbids unsynchronized shared mutation,
+//! so a real data race can't be written in safe code — but the *model*
+//! of one can: `ModelCell` stands in for "a plain memory location"
+//! in negative tests (and for protocol state whose accesses should be
+//! proven ordered). Every access is a visible operation; two accesses
+//! not ordered by happens-before, at least one of them a write, are
+//! reported as a data race with both access sites named. Storage is an
+//! `RwLock` underneath so the native build stays sound; under the model
+//! the lock is uncontended by construction.
+
+use std::sync::RwLock;
+
+#[cfg(atum_model)]
+use std::panic::Location;
+#[cfg(atum_model)]
+use std::sync::OnceLock;
+
+/// A shared memory location with race-detected accesses (see module
+/// docs). In normal builds it is just an `RwLock` wrapper.
+#[derive(Debug)]
+pub struct ModelCell<T> {
+    #[cfg(atum_model)]
+    id: OnceLock<usize>,
+    inner: RwLock<T>,
+}
+
+impl<T> ModelCell<T> {
+    /// Creates the cell (const, like the sync primitives).
+    pub const fn new(v: T) -> ModelCell<T> {
+        ModelCell {
+            #[cfg(atum_model)]
+            id: OnceLock::new(),
+            inner: RwLock::new(v),
+        }
+    }
+
+    #[cfg(atum_model)]
+    fn id(&self) -> usize {
+        *self.id.get_or_init(crate::rt::new_obj_id)
+    }
+
+    #[cfg(atum_model)]
+    #[track_caller]
+    fn record(&self, write: bool, kind: &'static str) {
+        if let Some((s, _)) = crate::rt::current() {
+            s.cell_access(self.id(), write, kind, Location::caller());
+        }
+    }
+
+    #[cfg(not(atum_model))]
+    fn record(&self, _write: bool, _kind: &'static str) {}
+
+    /// Reads through `f` (a race-detected read access).
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        self.record(false, "read");
+        f(&self.inner.read().expect("ModelCell poisoned"))
+    }
+
+    /// Mutates through `f` (a race-detected write access).
+    #[track_caller]
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        self.record(true, "write");
+        f(&mut self.inner.write().expect("ModelCell poisoned"))
+    }
+
+    /// Consumes the cell, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(e) => e.into_inner(),
+        }
+    }
+}
+
+impl<T: Copy> ModelCell<T> {
+    /// Reads the value (a race-detected read access).
+    #[track_caller]
+    pub fn get(&self) -> T {
+        self.with(|v| *v)
+    }
+
+    /// Writes the value (a race-detected write access).
+    #[track_caller]
+    pub fn set(&self, v: T) {
+        self.with_mut(|slot| *slot = v)
+    }
+}
+
+impl<T: Default> Default for ModelCell<T> {
+    fn default() -> ModelCell<T> {
+        ModelCell::new(T::default())
+    }
+}

@@ -1,0 +1,212 @@
+//! The exploration driver: [`check`] runs a closure under every
+//! distinct thread interleaving the bounds allow.
+//!
+//! In normal builds (`--cfg atum_model` absent) [`check`] simply runs
+//! the closure once with the shim types behaving as plain `std`
+//! re-exports, so model tests also execute as ordinary tests. Under
+//! the model cfg it becomes a stateless depth-first explorer: each run
+//! replays a recorded prefix of branch decisions and extends it, until
+//! the whole decision tree (bounded by the preemption budget) has been
+//! walked. The first failing schedule panics with a race / deadlock /
+//! assertion report plus the schedule trace that produced it.
+
+/// Exploration statistics, also printed as a single summary line so CI
+/// logs show state-space size regressions at a glance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Complete schedules executed.
+    pub schedules: usize,
+    /// Distinct interleavings among them (context-switch-point hash).
+    pub unique: usize,
+    /// Schedules whose event sequence hashed identically to an earlier
+    /// one (e.g. a spurious wakeup commuting with a notify).
+    pub duplicates: usize,
+    /// Deepest decision stack seen.
+    pub max_decisions: usize,
+    /// Longest event trace seen.
+    pub max_events: usize,
+}
+
+/// Bounds and adversary budgets for one [`Builder::check`] call.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Max context switches away from a runnable thread per schedule;
+    /// `None` removes the bound (full DFS — exponential).
+    pub preemption_bound: Option<u32>,
+    /// Forced spurious condvar wakeups injected per schedule (explored
+    /// as branches).
+    pub spurious_wakeups: u32,
+    /// `notify_one` calls that may be dropped per schedule (wakeup
+    /// stealing); 0 disables the adversary.
+    pub lost_notifies: u32,
+    /// Hard cap on explored schedules — exceeding it panics, so a
+    /// state-space blow-up fails loudly instead of hanging CI.
+    pub max_schedules: usize,
+    /// Per-schedule decision cap (livelock guard).
+    pub max_decisions: usize,
+    /// Events printed in a failure's schedule trace.
+    pub trace_tail: usize,
+    /// Label for the stats line.
+    pub name: String,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            preemption_bound: Some(2),
+            spurious_wakeups: 1,
+            lost_notifies: 0,
+            max_schedules: 100_000,
+            max_decisions: 20_000,
+            trace_tail: 60,
+            name: "model".to_string(),
+        }
+    }
+}
+
+impl Builder {
+    /// A default-bounded builder.
+    pub fn new() -> Builder {
+        Builder::default()
+    }
+
+    /// Sets the stats-line label.
+    pub fn name(mut self, name: &str) -> Builder {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Sets the preemption bound (`None` = unbounded DFS).
+    pub fn preemption_bound(mut self, b: Option<u32>) -> Builder {
+        self.preemption_bound = b;
+        self
+    }
+
+    /// Sets the forced-spurious-wakeup budget per schedule.
+    pub fn spurious_wakeups(mut self, n: u32) -> Builder {
+        self.spurious_wakeups = n;
+        self
+    }
+
+    /// Sets the lost-`notify_one` budget per schedule.
+    pub fn lost_notifies(mut self, n: u32) -> Builder {
+        self.lost_notifies = n;
+        self
+    }
+
+    /// Sets the schedule-count cap.
+    pub fn max_schedules(mut self, n: usize) -> Builder {
+        self.max_schedules = n;
+        self
+    }
+}
+
+/// Explores `f` under the default bounds. See [`Builder::check`].
+pub fn check<F: Fn()>(f: F) -> Stats {
+    Builder::default().check(f)
+}
+
+#[cfg(not(atum_model))]
+impl Builder {
+    /// Without `--cfg atum_model`: runs `f` once, natively.
+    pub fn check<F: Fn()>(&self, f: F) -> Stats {
+        f();
+        let stats = Stats {
+            schedules: 1,
+            unique: 1,
+            ..Stats::default()
+        };
+        self.print_stats(&stats);
+        stats
+    }
+}
+
+#[cfg(atum_model)]
+impl Builder {
+    /// Runs `f` under every interleaving the bounds allow; panics on
+    /// the first schedule that races, deadlocks, panics or trips an
+    /// assertion, with a schedule trace naming the access points.
+    pub fn check<F: Fn()>(&self, f: F) -> Stats {
+        use crate::rt;
+        use std::collections::HashSet;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::Arc;
+
+        let cfg = rt::Config {
+            preemption_bound: self.preemption_bound,
+            spurious_budget: self.spurious_wakeups,
+            lost_notify_budget: self.lost_notifies,
+            max_decisions: self.max_decisions,
+            trace_tail: self.trace_tail,
+        };
+        let mut replay: Vec<usize> = Vec::new();
+        let mut stats = Stats::default();
+        let mut seen: HashSet<u64> = HashSet::new();
+        loop {
+            stats.schedules += 1;
+            assert!(
+                stats.schedules <= self.max_schedules,
+                "atum-conc [{}]: schedule budget exceeded ({} explored) — \
+                 the protocol's state space grew past the bound; raise \
+                 max_schedules deliberately or shrink the test",
+                self.name,
+                self.max_schedules
+            );
+            let sched = Arc::new(rt::Scheduler::new(cfg.clone(), replay.clone()));
+            rt::set_current(sched.clone(), 0);
+            let run = catch_unwind(AssertUnwindSafe(&f));
+            rt::clear_current();
+            let out = sched.outcome();
+            if let Some(failure) = out.failure {
+                self.print_stats(&stats);
+                panic!("{failure}");
+            }
+            if let Err(payload) = run {
+                // A genuine panic on the root thread (e.g. an assert in
+                // the test body) with no detector-recorded failure.
+                let msg = rt::payload_to_string(payload);
+                let trace = sched.trace_tail();
+                self.print_stats(&stats);
+                panic!(
+                    "atum-conc [{}]: thread 0 panicked: {msg}\n{trace}",
+                    self.name
+                );
+            }
+            if seen.insert(out.events_hash) {
+                stats.unique += 1;
+            } else {
+                stats.duplicates += 1;
+            }
+            stats.max_decisions = stats.max_decisions.max(out.decisions.len());
+            stats.max_events = stats.max_events.max(out.events_len);
+            match rt::next_replay(&out.decisions, self.preemption_bound) {
+                Some(next) => replay = next,
+                None => break,
+            }
+        }
+        self.print_stats(&stats);
+        stats
+    }
+}
+
+impl Builder {
+    fn print_stats(&self, s: &Stats) {
+        println!(
+            "[atum-conc] {}: schedules={} unique={} duplicates={} \
+             max-decisions={} max-events={} preemption-bound={} \
+             spurious-budget={} lost-notify-budget={}",
+            self.name,
+            s.schedules,
+            s.unique,
+            s.duplicates,
+            s.max_decisions,
+            s.max_events,
+            match self.preemption_bound {
+                Some(b) => b.to_string(),
+                None => "unbounded".to_string(),
+            },
+            self.spurious_wakeups,
+            self.lost_notifies,
+        );
+    }
+}

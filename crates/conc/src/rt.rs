@@ -1,0 +1,973 @@
+//! The model-checking runtime: a cooperative scheduler that serialises
+//! every instrumented thread onto one "baton" and explores the tree of
+//! scheduling decisions by depth-first search.
+//!
+//! Only compiled under `--cfg atum_model`. The shim types in
+//! [`crate::sync`], [`crate::thread`] and [`crate::cell`] route every
+//! *visible operation* (lock attempt, atomic access, condvar wait /
+//! notify, spawn, join, cell access) through here. Each visible
+//! operation is preceded by a **decision point** where any eligible
+//! thread may be scheduled instead; between decision points a thread's
+//! code runs atomically, which is the standard sequentially-consistent
+//! operation-interleaving model. The explorer replays a recorded prefix
+//! of branch choices and extends it depth-first, subject to a
+//! preemption bound, so small protocols are explored **exhaustively**.
+//!
+//! On top of the scheduler sit three detectors:
+//!
+//! * a FastTrack-style **vector-clock race detector**: every lock
+//!   release/acquire, release/acquire atomic, spawn, join and condvar
+//!   notify/wake edge updates happens-before clocks, and every
+//!   non-atomic access ([`crate::cell::ModelCell`], `unsync_load` /
+//!   `unsync_store`) is checked against the recorded access history —
+//!   conflicting accesses unordered by happens-before fail the run
+//!   *even if no assertion ever fires on this schedule*;
+//! * a **deadlock detector**: when no thread is eligible to run and at
+//!   least one has not exited, the run fails with each blocked
+//!   thread's wait edge (what it waits on, who holds it);
+//! * **Condvar adversaries**: bounded forced spurious wakeups and
+//!   (opt-in) lost `notify_one` delivery are explored as ordinary
+//!   branches, so predicates that are not wakeup-safe are caught.
+//!
+//! Failures panic with a formatted report that names the access points
+//! (file:line of every event) and prints the schedule trace that led
+//! there.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::hash::{Hash, Hasher};
+use std::panic::Location;
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+
+/// Model-thread index. Thread 0 is the thread that called
+/// [`crate::model::Builder::check`].
+pub(crate) type Tid = usize;
+/// Global identity of an instrumented object (mutex, condvar, atomic,
+/// cell). Allocated once per object; reports use per-execution local
+/// numbers so identical schedules hash identically across runs.
+pub(crate) type ObjId = usize;
+
+static NEXT_OBJ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Allocates a fresh object identity (called lazily on first use).
+pub(crate) fn new_obj_id() -> ObjId {
+    NEXT_OBJ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// The panic payload used to unwind threads when an execution aborts
+/// (after a failure was recorded elsewhere). Never reported as a
+/// failure itself.
+pub(crate) struct Abort;
+
+pub(crate) fn is_abort(p: &(dyn std::any::Any + Send)) -> bool {
+    p.is::<Abort>()
+}
+
+pub(crate) fn payload_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A vector clock over model-thread indices.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, t: Tid) -> u32 {
+        self.0.get(t).copied().unwrap_or(0)
+    }
+
+    fn inc(&mut self, t: Tid) {
+        if self.0.len() <= t {
+            self.0.resize(t + 1, 0);
+        }
+        self.0[t] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-execution state
+// ---------------------------------------------------------------------------
+
+/// One recorded event: who did what to which object, where in the
+/// source. The schedule trace printed on failure is the sequence of
+/// these, and the dedup hash is computed over them.
+#[derive(Clone, Copy)]
+pub(crate) struct Event {
+    tid: Tid,
+    kind: &'static str,
+    /// Per-execution local object number (stable across identical
+    /// schedules), `usize::MAX` for thread-level events.
+    obj: usize,
+    loc: &'static Location<'static>,
+}
+
+#[derive(Clone, Debug)]
+enum Wait {
+    /// Blocked acquiring (or re-acquiring, after a condvar wake) a mutex.
+    Mutex(ObjId),
+    /// Parked on a condvar; woken by notify or a forced spurious wakeup.
+    Condvar { cv: ObjId, mutex: ObjId },
+    /// Waiting for a thread to exit.
+    Join(Tid),
+}
+
+#[derive(Clone, Debug)]
+enum Run {
+    Runnable,
+    Blocked(Wait),
+    Exited,
+}
+
+struct ThreadSt {
+    run: Run,
+    vc: VClock,
+    /// Set when a notify moved this thread out of a condvar wait (as
+    /// opposed to a forced spurious wakeup) — controls the notify
+    /// happens-before edge.
+    woken_by_notify: bool,
+    last: Option<Event>,
+}
+
+#[derive(Default)]
+struct MutexSt {
+    held_by: Option<Tid>,
+    vc: VClock,
+}
+
+#[derive(Default)]
+struct CvSt {
+    waiters: Vec<Tid>,
+    vc: VClock,
+}
+
+#[derive(Default)]
+struct AtomSt {
+    vc: VClock,
+}
+
+/// One recorded access to a memory location, for the race detector.
+struct Access {
+    tid: Tid,
+    /// The accessing thread's clock at access time; access `a`
+    /// happens-before thread `t` iff `a.vc[a.tid] <= t.vc[a.tid]`.
+    vc: VClock,
+    sync: bool,
+    kind: &'static str,
+    loc: &'static Location<'static>,
+}
+
+#[derive(Default)]
+struct CellSt {
+    /// Last write per thread.
+    writes: Vec<Access>,
+    /// Last read per thread.
+    reads: Vec<Access>,
+}
+
+/// One explored branch point: how many alternatives existed, which was
+/// taken, and what each alternative costs in preemptions.
+struct Decision {
+    nalts: usize,
+    taken: usize,
+    costs: Vec<u32>,
+    preempt_before: u32,
+}
+
+/// Exploration limits; assembled by [`crate::model::Builder`].
+#[derive(Clone, Debug)]
+pub(crate) struct Config {
+    pub preemption_bound: Option<u32>,
+    pub spurious_budget: u32,
+    pub lost_notify_budget: u32,
+    pub max_decisions: usize,
+    pub trace_tail: usize,
+}
+
+struct St {
+    threads: Vec<ThreadSt>,
+    active: Tid,
+    mutexes: BTreeMap<ObjId, MutexSt>,
+    condvars: BTreeMap<ObjId, CvSt>,
+    atomics: BTreeMap<ObjId, AtomSt>,
+    cells: BTreeMap<ObjId, CellSt>,
+    /// Global object id -> per-execution local number (report/hash ids).
+    local_ids: HashMap<ObjId, usize>,
+    replay: Vec<usize>,
+    depth: usize,
+    decisions: Vec<Decision>,
+    preemptions: u32,
+    spurious_used: u32,
+    lost_used: u32,
+    events: Vec<Event>,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+/// What an execution left behind, for the explorer to compute the next
+/// replay prefix and the stats.
+pub(crate) struct Outcome {
+    pub failure: Option<String>,
+    pub decisions: Vec<(usize, usize, Vec<u32>, u32)>,
+    pub events_hash: u64,
+    pub events_len: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+/// One execution's scheduler: the baton, the object tables, the branch
+/// recorder. A fresh one is built per explored schedule.
+pub(crate) struct Scheduler {
+    mu: StdMutex<St>,
+    cv: StdCondvar,
+    cfg: Config,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler the current OS thread is executing under, if any.
+/// Shim types fall back to plain `std` behaviour when this is `None`,
+/// so model-cfg builds still work outside `model::check`.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, Tid)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(s: Arc<Scheduler>, tid: Tid) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((s, tid)));
+}
+
+pub(crate) fn clear_current() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+impl Scheduler {
+    pub(crate) fn new(cfg: Config, replay: Vec<usize>) -> Scheduler {
+        let mut root_vc = VClock::default();
+        root_vc.inc(0);
+        Scheduler {
+            mu: StdMutex::new(St {
+                threads: vec![ThreadSt {
+                    run: Run::Runnable,
+                    vc: root_vc,
+                    woken_by_notify: false,
+                    last: None,
+                }],
+                active: 0,
+                mutexes: BTreeMap::new(),
+                condvars: BTreeMap::new(),
+                atomics: BTreeMap::new(),
+                cells: BTreeMap::new(),
+                local_ids: HashMap::new(),
+                replay,
+                depth: 0,
+                decisions: Vec::new(),
+                preemptions: 0,
+                spurious_used: 0,
+                lost_used: 0,
+                events: Vec::new(),
+                failure: None,
+                aborting: false,
+            }),
+            cv: StdCondvar::new(),
+            cfg,
+        }
+    }
+
+    /// Drains the fields the explorer needs once the execution is over.
+    pub(crate) fn outcome(&self) -> Outcome {
+        let st = self.lockst();
+        let mut h = std::hash::DefaultHasher::new();
+        for e in &st.events {
+            (e.tid, e.kind, e.obj).hash(&mut h);
+        }
+        Outcome {
+            failure: st.failure.clone(),
+            decisions: st
+                .decisions
+                .iter()
+                .map(|d| (d.nalts, d.taken, d.costs.clone(), d.preempt_before))
+                .collect(),
+            events_hash: h.finish(),
+            events_len: st.events.len(),
+        }
+    }
+
+    /// Formats the schedule trace tail — also used when the *root*
+    /// thread panics with a plain assertion (no recorded failure).
+    pub(crate) fn trace_tail(&self) -> String {
+        let st = self.lockst();
+        format_trace(&st, self.cfg.trace_tail)
+    }
+
+    /// Locks the baton state. Poison-tolerant: a failing schedule
+    /// unwinds (the abort sentinel) while this mutex's guard is live,
+    /// which poisons it — the state itself is still consistent, and
+    /// teardown (guard drops, parked threads waking) must keep working.
+    fn lockst(&self) -> StdMutexGuard<'_, St> {
+        self.mu.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn local(st: &mut St, obj: ObjId) -> usize {
+        let n = st.local_ids.len();
+        *st.local_ids.entry(obj).or_insert(n)
+    }
+
+    fn push_event(
+        &self,
+        st: &mut St,
+        tid: Tid,
+        kind: &'static str,
+        obj: ObjId,
+        loc: &'static Location<'static>,
+    ) {
+        let local = if obj == usize::MAX {
+            usize::MAX
+        } else {
+            Self::local(st, obj)
+        };
+        let e = Event {
+            tid,
+            kind,
+            obj: local,
+            loc,
+        };
+        st.threads[tid].last = Some(e);
+        st.events.push(e);
+    }
+
+    /// Records a failure, wakes every parked thread for teardown, and
+    /// unwinds the current thread.
+    fn fail(&self, st: &mut St, reason: String) -> ! {
+        if st.failure.is_none() {
+            let mut msg = reason;
+            let _ = write!(msg, "\n{}", format_trace(st, self.cfg.trace_tail));
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+        std::panic::panic_any(Abort);
+    }
+
+    /// Records a failure from a non-unwinding context (a child thread's
+    /// exit hook observing a genuine panic).
+    fn fail_no_unwind(&self, st: &mut St, reason: String) {
+        if st.failure.is_none() {
+            let mut msg = reason;
+            let _ = write!(msg, "\n{}", format_trace(st, self.cfg.trace_tail));
+            st.failure = Some(msg);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    fn check_abort(&self, st: &St) {
+        if st.aborting {
+            std::panic::panic_any(Abort);
+        }
+    }
+
+    // -- branching ---------------------------------------------------------
+
+    /// Picks one of `costs.len()` alternatives: replays the prefix,
+    /// then always takes alternative 0 (which by construction costs no
+    /// preemption). Single-alternative points are not recorded.
+    fn branch(&self, st: &mut St, costs: &[u32]) -> usize {
+        if costs.len() <= 1 {
+            return 0;
+        }
+        if st.decisions.len() >= self.cfg.max_decisions {
+            self.fail(
+                st,
+                format!(
+                    "atum-conc: decision limit ({}) exceeded — possible livelock \
+                     (a spin loop over shim operations never converges under the model)",
+                    self.cfg.max_decisions
+                ),
+            );
+        }
+        let taken = if st.depth < st.replay.len() {
+            st.replay[st.depth]
+        } else {
+            0
+        };
+        assert!(
+            taken < costs.len(),
+            "atum-conc internal error: replay diverged \
+             (the checked closure is not deterministic)"
+        );
+        st.decisions.push(Decision {
+            nalts: costs.len(),
+            taken,
+            costs: costs.to_vec(),
+            preempt_before: st.preemptions,
+        });
+        st.depth += 1;
+        st.preemptions += costs[taken];
+        // The bound is enforced when `next_replay` constructs the
+        // prefix; a default (index-0) extension always costs 0, so no
+        // schedule may land here over budget.
+        debug_assert!(
+            self.cfg
+                .preemption_bound
+                .is_none_or(|b| st.preemptions <= b),
+            "atum-conc internal error: schedule exceeded the preemption bound"
+        );
+        taken
+    }
+
+    fn eligible(st: &St, t: Tid) -> bool {
+        match &st.threads[t].run {
+            Run::Runnable => true,
+            Run::Blocked(Wait::Mutex(m)) => st.mutexes.get(m).is_none_or(|ms| ms.held_by.is_none()),
+            Run::Blocked(Wait::Join(t2)) => matches!(st.threads[*t2].run, Run::Exited),
+            Run::Blocked(Wait::Condvar { .. }) => false,
+            Run::Exited => false,
+        }
+    }
+
+    /// The scheduling decision: who runs next. `me_runs` says whether
+    /// the calling thread may continue (a yield point) or has just
+    /// blocked/exited. Detects deadlock when nobody is eligible.
+    fn pick_next(&self, st: &mut St, me: Tid, me_runs: bool) {
+        enum Choice {
+            Run(Tid),
+            Spurious(Tid),
+        }
+        let mut choices = Vec::new();
+        let mut costs: Vec<u32> = Vec::new();
+        if me_runs {
+            choices.push(Choice::Run(me));
+            costs.push(0);
+        }
+        let switch_cost = if me_runs { 1 } else { 0 };
+        for t in 0..st.threads.len() {
+            if t != me && Self::eligible(st, t) {
+                choices.push(Choice::Run(t));
+                costs.push(switch_cost);
+            }
+        }
+        if st.spurious_used < self.cfg.spurious_budget {
+            // A parked condvar waiter whose mutex is free may be woken
+            // spuriously: it reacquires the lock and rechecks its
+            // predicate with no notify having happened.
+            for t in 0..st.threads.len() {
+                if let Run::Blocked(Wait::Condvar { mutex, .. }) = &st.threads[t].run {
+                    if st.mutexes.get(mutex).is_none_or(|ms| ms.held_by.is_none()) {
+                        choices.push(Choice::Spurious(t));
+                        costs.push(switch_cost);
+                    }
+                }
+            }
+        }
+        if choices.is_empty() {
+            if st.threads.iter().any(|t| !matches!(t.run, Run::Exited)) {
+                let report = deadlock_report(st);
+                self.fail(st, report);
+            }
+            // Everyone exited: nothing left to schedule.
+            st.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        let i = self.branch(st, &costs);
+        match choices[i] {
+            Choice::Run(t) => st.active = t,
+            Choice::Spurious(t) => {
+                let (cv, mutex) = match &st.threads[t].run {
+                    Run::Blocked(Wait::Condvar { cv, mutex }) => (*cv, *mutex),
+                    _ => unreachable!("spurious choice over a non-waiter"),
+                };
+                if let Some(cvs) = st.condvars.get_mut(&cv) {
+                    cvs.waiters.retain(|&w| w != t);
+                }
+                st.threads[t].run = Run::Blocked(Wait::Mutex(mutex));
+                st.threads[t].woken_by_notify = false;
+                st.spurious_used += 1;
+                let loc = Location::caller();
+                self.push_event(st, t, "spurious-wakeup", cv, loc);
+                st.active = t;
+            }
+        }
+        if st.active != me {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Parks until this thread holds the baton again (or the execution
+    /// aborts, in which case it unwinds).
+    fn wait_turn<'a>(&'a self, mut st: StdMutexGuard<'a, St>, me: Tid) -> StdMutexGuard<'a, St> {
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == me {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn me(&self) -> Tid {
+        current().map(|(_, t)| t).expect("no current model thread")
+    }
+
+    // -- visible operations ------------------------------------------------
+
+    /// A plain decision point before a visible operation.
+    fn yield_point(&self, kind: &'static str, obj: ObjId, loc: &'static Location<'static>) {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        self.push_event(&mut st, me, kind, obj, loc);
+        self.pick_next(&mut st, me, true);
+        let _st = self.wait_turn(st, me);
+    }
+
+    pub(crate) fn mutex_lock(&self, m: ObjId, loc: &'static Location<'static>) {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        self.push_event(&mut st, me, "mutex-lock", m, loc);
+        self.pick_next(&mut st, me, true);
+        let mut st = self.wait_turn(st, me);
+        loop {
+            let free = st.mutexes.entry(m).or_default().held_by.is_none();
+            if free {
+                let vc = st.mutexes.get(&m).unwrap().vc.clone();
+                st.threads[me].vc.join(&vc);
+                st.mutexes.get_mut(&m).unwrap().held_by = Some(me);
+                return;
+            }
+            st.threads[me].run = Run::Blocked(Wait::Mutex(m));
+            self.pick_next(&mut st, me, false);
+            st = self.wait_turn(st, me);
+            st.threads[me].run = Run::Runnable;
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, m: ObjId, loc: &'static Location<'static>) {
+        let me = self.me();
+        let mut st = self.lockst();
+        if st.aborting {
+            // Guard drops run during abort unwinding; stay silent.
+            return;
+        }
+        self.push_event(&mut st, me, "mutex-unlock", m, loc);
+        let vc = st.threads[me].vc.clone();
+        let ms = st.mutexes.entry(m).or_default();
+        debug_assert_eq!(ms.held_by, Some(me), "unlock of a mutex not held");
+        ms.held_by = None;
+        ms.vc.join(&vc);
+        st.threads[me].vc.inc(me);
+    }
+
+    /// Parks on `cv`, releasing `m`; returns `true` if the wakeup was
+    /// spurious (no notify edge).
+    pub(crate) fn condvar_wait(
+        &self,
+        cv: ObjId,
+        m: ObjId,
+        loc: &'static Location<'static>,
+    ) -> bool {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        self.push_event(&mut st, me, "cv-wait", cv, loc);
+        // Logical release of the mutex.
+        let vc = st.threads[me].vc.clone();
+        let ms = st.mutexes.entry(m).or_default();
+        debug_assert_eq!(ms.held_by, Some(me), "condvar wait without the lock held");
+        ms.held_by = None;
+        ms.vc.join(&vc);
+        st.threads[me].vc.inc(me);
+        st.condvars.entry(cv).or_default().waiters.push(me);
+        st.threads[me].run = Run::Blocked(Wait::Condvar { cv, mutex: m });
+        st.threads[me].woken_by_notify = false;
+        self.pick_next(&mut st, me, false);
+        let mut st = self.wait_turn(st, me);
+        // Woken (notify or spurious): our wait was rewritten to
+        // `Wait::Mutex(m)` and we were only scheduled with `m` free.
+        st.threads[me].run = Run::Runnable;
+        let spurious = !st.threads[me].woken_by_notify;
+        let mvc = st.mutexes.entry(m).or_default().vc.clone();
+        st.threads[me].vc.join(&mvc);
+        if !spurious {
+            let cvc = st.condvars.entry(cv).or_default().vc.clone();
+            st.threads[me].vc.join(&cvc);
+        }
+        st.mutexes.get_mut(&m).unwrap().held_by = Some(me);
+        self.push_event(
+            &mut st,
+            me,
+            if spurious {
+                "cv-wake-spurious"
+            } else {
+                "cv-wake"
+            },
+            cv,
+            loc,
+        );
+        spurious
+    }
+
+    pub(crate) fn condvar_notify(&self, cv: ObjId, all: bool, loc: &'static Location<'static>) {
+        let me = self.me();
+        let mut st = self.lockst();
+        if st.aborting {
+            return;
+        }
+        self.push_event(
+            &mut st,
+            me,
+            if all {
+                "cv-notify-all"
+            } else {
+                "cv-notify-one"
+            },
+            cv,
+            loc,
+        );
+        let waiters = st.condvars.entry(cv).or_default().waiters.clone();
+        if waiters.is_empty() {
+            return;
+        }
+        let wake = |st: &mut St, t: Tid| {
+            let mutex = match &st.threads[t].run {
+                Run::Blocked(Wait::Condvar { mutex, .. }) => *mutex,
+                other => unreachable!("condvar waiter in state {other:?}"),
+            };
+            st.threads[t].run = Run::Blocked(Wait::Mutex(mutex));
+            st.threads[t].woken_by_notify = true;
+        };
+        if all {
+            for &t in &waiters {
+                wake(&mut st, t);
+            }
+            st.condvars.get_mut(&cv).unwrap().waiters.clear();
+        } else {
+            // Which waiter receives the notify is a scheduling choice;
+            // with a lost-notify budget, dropping it entirely is one
+            // more alternative (modelling a wakeup stolen by a thread
+            // whose predicate was already satisfied).
+            let lose = st.lost_used < self.cfg.lost_notify_budget;
+            let nalts = waiters.len() + usize::from(lose);
+            let costs = vec![0u32; nalts];
+            let i = self.branch(&mut st, &costs);
+            if i == waiters.len() {
+                st.lost_used += 1;
+                self.push_event(&mut st, me, "cv-notify-lost", cv, loc);
+            } else {
+                let t = waiters[i];
+                wake(&mut st, t);
+                st.condvars
+                    .get_mut(&cv)
+                    .unwrap()
+                    .waiters
+                    .retain(|&w| w != t);
+            }
+        }
+        let vc = st.threads[me].vc.clone();
+        st.condvars.get_mut(&cv).unwrap().vc.join(&vc);
+        st.threads[me].vc.inc(me);
+    }
+
+    /// An atomic access: a decision point, happens-before edges per the
+    /// ordering, and a sync-access record for the race detector.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn atomic_access(
+        &self,
+        a: ObjId,
+        write: bool,
+        acquire: bool,
+        release: bool,
+        unsync: bool,
+        kind: &'static str,
+        loc: &'static Location<'static>,
+    ) {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        self.push_event(&mut st, me, kind, a, loc);
+        self.pick_next(&mut st, me, true);
+        let mut st = self.wait_turn(st, me);
+        if !unsync {
+            if acquire {
+                let avc = st.atomics.entry(a).or_default().vc.clone();
+                st.threads[me].vc.join(&avc);
+            }
+            if release {
+                let vc = st.threads[me].vc.clone();
+                st.atomics.entry(a).or_default().vc.join(&vc);
+                st.threads[me].vc.inc(me);
+            }
+        }
+        self.record_access(&mut st, me, a, write, !unsync, kind, loc);
+    }
+
+    /// A non-atomic access through [`crate::cell::ModelCell`].
+    pub(crate) fn cell_access(
+        &self,
+        c: ObjId,
+        write: bool,
+        kind: &'static str,
+        loc: &'static Location<'static>,
+    ) {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        self.push_event(&mut st, me, kind, c, loc);
+        self.pick_next(&mut st, me, true);
+        let mut st = self.wait_turn(st, me);
+        self.record_access(&mut st, me, c, write, false, kind, loc);
+    }
+
+    /// FastTrack-style check of one access against the location's
+    /// history, then records it. Two accesses race when neither
+    /// happens-before the other, at least one writes, and they are not
+    /// both atomic.
+    #[allow(clippy::too_many_arguments)]
+    fn record_access(
+        &self,
+        st: &mut St,
+        me: Tid,
+        obj: ObjId,
+        write: bool,
+        sync: bool,
+        kind: &'static str,
+        loc: &'static Location<'static>,
+    ) {
+        let my_vc = st.threads[me].vc.clone();
+        let mut conflict: Option<(Tid, &'static str, &'static Location<'static>)> = None;
+        {
+            let cell = st.cells.entry(obj).or_default();
+            let hb = |a: &Access| a.vc.get(a.tid) <= my_vc.get(a.tid);
+            for a in &cell.writes {
+                if a.tid != me && !(a.sync && sync) && !hb(a) {
+                    conflict = Some((a.tid, a.kind, a.loc));
+                }
+            }
+            if write {
+                for a in &cell.reads {
+                    if conflict.is_none() && a.tid != me && !(a.sync && sync) && !hb(a) {
+                        conflict = Some((a.tid, a.kind, a.loc));
+                    }
+                }
+            }
+        }
+        if let Some((t2, kind2, loc2)) = conflict {
+            let local = Self::local(st, obj);
+            let report = format!(
+                "atum-conc: data race on object o{local}\n  \
+                 thread {me}: {kind} at {loc}\n  \
+                 thread {t2}: {kind2} at {loc2}\n  \
+                 (the two accesses are not ordered by happens-before)"
+            );
+            self.fail(st, report);
+        }
+        let cell = st.cells.entry(obj).or_default();
+        let rec = Access {
+            tid: me,
+            vc: my_vc,
+            sync,
+            kind,
+            loc,
+        };
+        let list = if write {
+            &mut cell.writes
+        } else {
+            &mut cell.reads
+        };
+        list.retain(|a| a.tid != me);
+        list.push(rec);
+    }
+
+    /// Registers a child thread (runnable, clock forked from the
+    /// parent). Deliberately does **not** yield: the caller must first
+    /// actually spawn the OS thread, then call [`Scheduler::spawn_yield`]
+    /// — yielding here could schedule a thread that does not exist yet
+    /// and wedge the run for real.
+    pub(crate) fn spawn_thread(&self, loc: &'static Location<'static>) -> Tid {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        let tid = st.threads.len();
+        let mut vc = st.threads[me].vc.clone();
+        vc.inc(tid);
+        st.threads.push(ThreadSt {
+            run: Run::Runnable,
+            vc,
+            woken_by_notify: false,
+            last: None,
+        });
+        st.threads[me].vc.inc(me);
+        self.push_event(&mut st, me, "spawn", usize::MAX, loc);
+        tid
+    }
+
+    /// The decision point right after a spawn — the explorer may run
+    /// the just-created child immediately.
+    pub(crate) fn spawn_yield(&self, loc: &'static Location<'static>) {
+        self.yield_point("spawn-yield", usize::MAX, loc);
+    }
+
+    /// First thing a child OS thread does: park until first scheduled.
+    pub(crate) fn child_start(&self, tid: Tid) {
+        let st = self.lockst();
+        let _st = self.wait_turn(st, tid);
+    }
+
+    /// Last thing a child does, panicking or not. A genuine panic
+    /// (anything but the abort sentinel) is recorded as the failure.
+    pub(crate) fn thread_exit(&self, tid: Tid, panic_msg: Option<String>) {
+        let mut st = self.lockst();
+        st.threads[tid].run = Run::Exited;
+        let loc = Location::caller();
+        self.push_event(&mut st, tid, "exit", usize::MAX, loc);
+        if let Some(msg) = panic_msg {
+            self.fail_no_unwind(&mut st, format!("atum-conc: thread {tid} panicked: {msg}"));
+            return;
+        }
+        if st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        self.pick_next(&mut st, tid, false);
+    }
+
+    /// Blocks until `t` exits, then joins its clock (the join edge).
+    pub(crate) fn join_thread(&self, t: Tid, loc: &'static Location<'static>) {
+        let me = self.me();
+        let mut st = self.lockst();
+        self.check_abort(&st);
+        self.push_event(&mut st, me, "join", usize::MAX, loc);
+        if !matches!(st.threads[t].run, Run::Exited) {
+            st.threads[me].run = Run::Blocked(Wait::Join(t));
+            self.pick_next(&mut st, me, false);
+            st = self.wait_turn(st, me);
+            st.threads[me].run = Run::Runnable;
+        }
+        debug_assert!(matches!(st.threads[t].run, Run::Exited));
+        let vc = st.threads[t].vc.clone();
+        st.threads[me].vc.join(&vc);
+    }
+
+    /// An explicit decision point (`thread::yield_now`).
+    pub(crate) fn yield_now(&self, loc: &'static Location<'static>) {
+        self.yield_point("yield", usize::MAX, loc);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+fn format_trace(st: &St, tail: usize) -> String {
+    let mut out = String::new();
+    let n = st.events.len();
+    let start = n.saturating_sub(tail);
+    let _ = writeln!(
+        out,
+        "--- schedule trace ({} of {} events, {} decision points, {} preemptions) ---",
+        n - start,
+        n,
+        st.decisions.len(),
+        st.preemptions
+    );
+    if start > 0 {
+        let _ = writeln!(out, "  ... {start} earlier events elided ...");
+    }
+    for e in &st.events[start..] {
+        if e.obj == usize::MAX {
+            let _ = writeln!(out, "  [t{}] {} at {}", e.tid, e.kind, e.loc);
+        } else {
+            let _ = writeln!(out, "  [t{}] {} o{} at {}", e.tid, e.kind, e.obj, e.loc);
+        }
+    }
+    out
+}
+
+fn deadlock_report(st: &St) -> String {
+    let mut out = String::from("atum-conc: deadlock — every live thread is blocked\n");
+    for (t, th) in st.threads.iter().enumerate() {
+        let line = match &th.run {
+            Run::Exited => continue,
+            Run::Runnable => format!("thread {t}: runnable (scheduler invariant violated)"),
+            Run::Blocked(Wait::Mutex(m)) => {
+                let holder = st
+                    .mutexes
+                    .get(m)
+                    .and_then(|ms| ms.held_by)
+                    .map(|h| format!("held by thread {h}"))
+                    .unwrap_or_else(|| "free".to_string());
+                format!(
+                    "thread {t}: blocked acquiring mutex o{} ({holder})",
+                    st.local_ids.get(m).copied().unwrap_or(usize::MAX)
+                )
+            }
+            Run::Blocked(Wait::Condvar { cv, .. }) => format!(
+                "thread {t}: parked on condvar o{} (no notify can arrive, spurious budget spent)",
+                st.local_ids.get(cv).copied().unwrap_or(usize::MAX)
+            ),
+            Run::Blocked(Wait::Join(t2)) => format!("thread {t}: joining thread {t2}"),
+        };
+        let _ = writeln!(out, "  {line}");
+        if let Some(e) = &th.last {
+            let _ = writeln!(out, "    last op: {} at {}", e.kind, e.loc);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Explorer support
+// ---------------------------------------------------------------------------
+
+/// Given the decisions of the run just finished, computes the replay
+/// prefix of the next run in depth-first order, honouring the
+/// preemption bound. `None` when the space is exhausted.
+pub(crate) fn next_replay(
+    decisions: &[(usize, usize, Vec<u32>, u32)],
+    bound: Option<u32>,
+) -> Option<Vec<usize>> {
+    for d in (0..decisions.len()).rev() {
+        let (nalts, taken, costs, preempt_before) = &decisions[d];
+        for (j, cost) in costs.iter().enumerate().take(*nalts).skip(taken + 1) {
+            if bound.is_none_or(|b| preempt_before + cost <= b) {
+                let mut replay: Vec<usize> = decisions[..d].iter().map(|(_, t, _, _)| *t).collect();
+                replay.push(j);
+                return Some(replay);
+            }
+        }
+    }
+    None
+}
+
+pub(crate) fn payload_to_string(p: Box<dyn std::any::Any + Send>) -> String {
+    payload_message(p.as_ref())
+}

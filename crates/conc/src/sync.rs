@@ -1,0 +1,484 @@
+//! Drop-in `std::sync` shims.
+//!
+//! In normal builds this module is a set of **zero-cost re-exports of
+//! `std::sync`** — code written against `atum_conc::sync` compiles to
+//! exactly what it compiled to before. Under `--cfg atum_model` the
+//! same names resolve to instrumented types that route every lock,
+//! wait, notify and atomic access through the model-checking runtime
+//! when executing inside [`crate::model::Builder::check`] (and degrade
+//! to plain `std` behaviour outside it, so ordinary tests still run
+//! under the model cfg).
+
+#[cfg(not(atum_model))]
+pub use std::sync::{Arc, Condvar, LockResult, Mutex, MutexGuard, PoisonError};
+
+/// `std::sync::atomic` re-export (instrumented under `--cfg atum_model`).
+#[cfg(not(atum_model))]
+pub mod atomic {
+    pub use std::sync::atomic::*;
+}
+
+#[cfg(atum_model)]
+pub use model_impl::{Condvar, Mutex, MutexGuard};
+
+// `Arc` is trusted even under the model: its refcount discipline is
+// std's to prove, and modelling it would only blow up the state space.
+#[cfg(atum_model)]
+pub use std::sync::{Arc, LockResult, PoisonError};
+
+#[cfg(atum_model)]
+pub use model_impl::atomic;
+
+#[cfg(atum_model)]
+mod model_impl {
+    use crate::rt;
+    use std::ops::{Deref, DerefMut};
+    use std::panic::Location;
+    use std::sync::{Arc, LockResult, OnceLock, PoisonError};
+
+    /// An instrumented `std::sync::Mutex`: every `lock` is a visible
+    /// operation (a scheduling decision point plus a happens-before
+    /// acquire edge); storage and the guard's borrow semantics are the
+    /// real `std` mutex underneath, which is uncontended by
+    /// construction — the model serialises threads.
+    pub struct Mutex<T> {
+        id: OnceLock<usize>,
+        inner: std::sync::Mutex<T>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex (const, like `std`).
+        pub const fn new(t: T) -> Mutex<T> {
+            Mutex {
+                id: OnceLock::new(),
+                inner: std::sync::Mutex::new(t),
+            }
+        }
+
+        fn id(&self) -> usize {
+            *self.id.get_or_init(rt::new_obj_id)
+        }
+
+        /// Acquires the lock. Under an active model run this is a
+        /// decision point and may block (logically) until the holder
+        /// releases; outside a run it is a plain `std` lock.
+        #[track_caller]
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            match rt::current() {
+                Some((s, _)) => {
+                    s.mutex_lock(self.id(), Location::caller());
+                    let g = self
+                        .inner
+                        .lock()
+                        .expect("model mutex poisoned under the baton");
+                    Ok(MutexGuard {
+                        sched: Some((s, self.id())),
+                        inner: Some(g),
+                        lock: self,
+                    })
+                }
+                None => match self.inner.lock() {
+                    Ok(g) => Ok(MutexGuard {
+                        sched: None,
+                        inner: Some(g),
+                        lock: self,
+                    }),
+                    Err(e) => Err(PoisonError::new(MutexGuard {
+                        sched: None,
+                        inner: Some(e.into_inner()),
+                        lock: self,
+                    })),
+                },
+            }
+        }
+
+        /// Consumes the mutex, returning the data.
+        pub fn into_inner(self) -> LockResult<T> {
+            match self.inner.into_inner() {
+                Ok(v) => Ok(v),
+                Err(e) => Err(PoisonError::new(e.into_inner())),
+            }
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Mutex<T> {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    /// Guard for [`Mutex`]; releasing it is the happens-before release
+    /// edge (not a decision point — release commutes with everything
+    /// up to the owner's next visible operation).
+    pub struct MutexGuard<'a, T> {
+        /// `Some` while the model run owns the logical lock.
+        sched: Option<(Arc<rt::Scheduler>, usize)>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+        lock: &'a Mutex<T>,
+    }
+
+    impl<T> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard already released")
+        }
+    }
+
+    impl<T> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard already released")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            // Release the real lock first, then record the logical
+            // release; nothing can run in between (we hold the baton).
+            self.inner = None;
+            if let Some((s, id)) = self.sched.take() {
+                s.mutex_unlock(id, Location::caller());
+            }
+        }
+    }
+
+    /// An instrumented `std::sync::Condvar` with two adversaries the
+    /// real one only exhibits under load: bounded **forced spurious
+    /// wakeups** and (opt-in) **lost `notify_one` delivery**, both
+    /// explored as scheduling branches.
+    pub struct Condvar {
+        id: OnceLock<usize>,
+        inner: std::sync::Condvar,
+    }
+
+    impl Condvar {
+        /// Creates the condvar (const, like `std`).
+        pub const fn new() -> Condvar {
+            Condvar {
+                id: OnceLock::new(),
+                inner: std::sync::Condvar::new(),
+            }
+        }
+
+        fn id(&self) -> usize {
+            *self.id.get_or_init(rt::new_obj_id)
+        }
+
+        /// Parks until notified (or spuriously woken — the model
+        /// injects those deliberately, within the configured budget).
+        #[track_caller]
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            let mut guard = guard;
+            match guard.sched.take() {
+                Some((s, mid)) => {
+                    let lock = guard.lock;
+                    // Drop the real guard without a logical release:
+                    // `condvar_wait` performs the release itself.
+                    guard.inner = None;
+                    drop(guard);
+                    s.condvar_wait(self.id(), mid, Location::caller());
+                    let g = lock
+                        .inner
+                        .lock()
+                        .expect("model mutex poisoned under the baton");
+                    Ok(MutexGuard {
+                        sched: Some((s, mid)),
+                        inner: Some(g),
+                        lock,
+                    })
+                }
+                None => {
+                    let lock = guard.lock;
+                    let std_guard = guard.inner.take().expect("guard already released");
+                    drop(guard);
+                    match self.inner.wait(std_guard) {
+                        Ok(g) => Ok(MutexGuard {
+                            sched: None,
+                            inner: Some(g),
+                            lock,
+                        }),
+                        Err(e) => Err(PoisonError::new(MutexGuard {
+                            sched: None,
+                            inner: Some(e.into_inner()),
+                            lock,
+                        })),
+                    }
+                }
+            }
+        }
+
+        /// Parks until `condition` returns `false` (the spurious-wakeup-
+        /// safe wait: the predicate is rechecked on every wake).
+        #[track_caller]
+        pub fn wait_while<'a, T, F>(
+            &self,
+            mut guard: MutexGuard<'a, T>,
+            mut condition: F,
+        ) -> LockResult<MutexGuard<'a, T>>
+        where
+            F: FnMut(&mut T) -> bool,
+        {
+            while condition(&mut *guard) {
+                guard = self.wait(guard)?;
+            }
+            Ok(guard)
+        }
+
+        /// Wakes one waiter. Under the model, *which* waiter is a
+        /// scheduling branch, and with a lost-notify budget one branch
+        /// drops the wakeup entirely.
+        #[track_caller]
+        pub fn notify_one(&self) {
+            if let Some((s, _)) = rt::current() {
+                s.condvar_notify(self.id(), false, Location::caller());
+            }
+            self.inner.notify_one();
+        }
+
+        /// Wakes every waiter.
+        #[track_caller]
+        pub fn notify_all(&self) {
+            if let Some((s, _)) = rt::current() {
+                s.condvar_notify(self.id(), true, Location::caller());
+            }
+            self.inner.notify_all();
+        }
+    }
+
+    impl Default for Condvar {
+        fn default() -> Condvar {
+            Condvar::new()
+        }
+    }
+
+    impl std::fmt::Debug for Condvar {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.pad("Condvar { .. }")
+        }
+    }
+
+    /// Instrumented `std::sync::atomic` subset: every access is a
+    /// decision point; `Acquire`/`Release`/`AcqRel`/`SeqCst` build the
+    /// corresponding happens-before edges, `Relaxed` builds none (the
+    /// model keeps per-operation interleaving semantics — it does not
+    /// model weak-memory reordering). The extra `unsync_load` /
+    /// `unsync_store` methods are *deliberately unsynchronized*
+    /// accesses for seeding race bugs in negative tests.
+    pub mod atomic {
+        use super::rt;
+        use std::panic::Location;
+        pub use std::sync::atomic::Ordering;
+        use std::sync::OnceLock;
+
+        fn acq(ord: Ordering) -> bool {
+            matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        fn rel(ord: Ordering) -> bool {
+            matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+        }
+
+        macro_rules! model_atomic {
+            ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+                $(#[$doc])*
+                pub struct $name {
+                    id: OnceLock<usize>,
+                    v: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic (const, like `std`).
+                    pub const fn new(v: $prim) -> $name {
+                        $name { id: OnceLock::new(), v: <$std>::new(v) }
+                    }
+
+                    fn id(&self) -> usize {
+                        *self.id.get_or_init(rt::new_obj_id)
+                    }
+
+                    /// Atomic load.
+                    #[track_caller]
+                    pub fn load(&self, ord: Ordering) -> $prim {
+                        if let Some((s, _)) = rt::current() {
+                            s.atomic_access(
+                                self.id(), false, acq(ord), false, false,
+                                "atomic-load", Location::caller(),
+                            );
+                        }
+                        self.v.load(ord)
+                    }
+
+                    /// Atomic store.
+                    #[track_caller]
+                    pub fn store(&self, v: $prim, ord: Ordering) {
+                        if let Some((s, _)) = rt::current() {
+                            s.atomic_access(
+                                self.id(), true, false, rel(ord), false,
+                                "atomic-store", Location::caller(),
+                            );
+                        }
+                        self.v.store(v, ord)
+                    }
+
+                    /// Atomic fetch-add (the work-claim idiom).
+                    #[track_caller]
+                    pub fn fetch_add(&self, v: $prim, ord: Ordering) -> $prim {
+                        if let Some((s, _)) = rt::current() {
+                            s.atomic_access(
+                                self.id(), true, acq(ord), rel(ord), false,
+                                "atomic-fetch-add", Location::caller(),
+                            );
+                        }
+                        self.v.fetch_add(v, ord)
+                    }
+
+                    /// Atomic swap.
+                    #[track_caller]
+                    pub fn swap(&self, v: $prim, ord: Ordering) -> $prim {
+                        if let Some((s, _)) = rt::current() {
+                            s.atomic_access(
+                                self.id(), true, acq(ord), rel(ord), false,
+                                "atomic-swap", Location::caller(),
+                            );
+                        }
+                        self.v.swap(v, ord)
+                    }
+
+                    /// **Seeded-bug helper**: a plain unsynchronized
+                    /// load — the race detector treats it as a
+                    /// non-atomic read of the same location.
+                    #[track_caller]
+                    pub fn unsync_load(&self) -> $prim {
+                        if let Some((s, _)) = rt::current() {
+                            s.atomic_access(
+                                self.id(), false, false, false, true,
+                                "unsync-load", Location::caller(),
+                            );
+                        }
+                        self.v.load(Ordering::Relaxed)
+                    }
+
+                    /// **Seeded-bug helper**: a plain unsynchronized
+                    /// store — races with any concurrent access.
+                    #[track_caller]
+                    pub fn unsync_store(&self, v: $prim) {
+                        if let Some((s, _)) = rt::current() {
+                            s.atomic_access(
+                                self.id(), true, false, false, true,
+                                "unsync-store", Location::caller(),
+                            );
+                        }
+                        self.v.store(v, Ordering::Relaxed)
+                    }
+                }
+
+                impl std::fmt::Debug for $name {
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        self.v.fmt(f)
+                    }
+                }
+            };
+        }
+
+        model_atomic!(
+            /// Instrumented `AtomicUsize`.
+            AtomicUsize,
+            std::sync::atomic::AtomicUsize,
+            usize
+        );
+        model_atomic!(
+            /// Instrumented `AtomicU64`.
+            AtomicU64,
+            std::sync::atomic::AtomicU64,
+            u64
+        );
+        model_atomic!(
+            /// Instrumented `AtomicU32`.
+            AtomicU32,
+            std::sync::atomic::AtomicU32,
+            u32
+        );
+
+        /// Instrumented `AtomicBool`.
+        pub struct AtomicBool {
+            id: OnceLock<usize>,
+            v: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// Creates the atomic (const, like `std`).
+            pub const fn new(v: bool) -> AtomicBool {
+                AtomicBool {
+                    id: OnceLock::new(),
+                    v: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            fn id(&self) -> usize {
+                *self.id.get_or_init(rt::new_obj_id)
+            }
+
+            /// Atomic load.
+            #[track_caller]
+            pub fn load(&self, ord: Ordering) -> bool {
+                if let Some((s, _)) = rt::current() {
+                    s.atomic_access(
+                        self.id(),
+                        false,
+                        acq(ord),
+                        false,
+                        false,
+                        "atomic-load",
+                        Location::caller(),
+                    );
+                }
+                self.v.load(ord)
+            }
+
+            /// Atomic store.
+            #[track_caller]
+            pub fn store(&self, v: bool, ord: Ordering) {
+                if let Some((s, _)) = rt::current() {
+                    s.atomic_access(
+                        self.id(),
+                        true,
+                        false,
+                        rel(ord),
+                        false,
+                        "atomic-store",
+                        Location::caller(),
+                    );
+                }
+                self.v.store(v, ord)
+            }
+
+            /// Atomic swap.
+            #[track_caller]
+            pub fn swap(&self, v: bool, ord: Ordering) -> bool {
+                if let Some((s, _)) = rt::current() {
+                    s.atomic_access(
+                        self.id(),
+                        true,
+                        acq(ord),
+                        rel(ord),
+                        false,
+                        "atomic-swap",
+                        Location::caller(),
+                    );
+                }
+                self.v.swap(v, ord)
+            }
+        }
+
+        impl std::fmt::Debug for AtomicBool {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                self.v.fmt(f)
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Drop-in `std::thread` shims (scoped threads + `yield_now`).
+//!
+//! Normal builds re-export `std::thread` wholesale. Under
+//! `--cfg atum_model`, `scope`/`spawn`/`join` register threads with the
+//! model-checking runtime so the explorer controls which thread runs at
+//! every visible operation; outside a [`crate::model::Builder::check`]
+//! run they degrade to plain `std` scoped threads.
+
+#[cfg(not(atum_model))]
+pub use std::thread::*;
+
+#[cfg(atum_model)]
+pub use model_impl::{scope, yield_now, Scope, ScopedJoinHandle};
+
+#[cfg(atum_model)]
+pub use std::thread::{available_parallelism, sleep, Result};
+
+#[cfg(atum_model)]
+mod model_impl {
+    use crate::rt;
+    use std::cell::RefCell;
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe, Location};
+    use std::sync::Arc;
+
+    /// Instrumented `std::thread::scope`: spawns are registered with the
+    /// active model run, and every child still alive when the closure
+    /// returns is logically joined (mirroring `std`'s implicit join)
+    /// before the real scope tears down its OS threads.
+    #[track_caller]
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> T,
+    {
+        let loc = Location::caller();
+        std::thread::scope(|inner| {
+            let wrapper = Scope {
+                inner,
+                tids: RefCell::new(Vec::new()),
+            };
+            let out = f(&wrapper);
+            // Implicit join of unjoined children, as `std` documents —
+            // but *logically*, so a child parked on the baton is driven
+            // to completion instead of wedging the real scope exit.
+            if let Some((s, _)) = rt::current() {
+                for tid in wrapper.tids.borrow().iter() {
+                    s.join_thread(*tid, loc);
+                }
+            }
+            out
+        })
+    }
+
+    /// Instrumented scope handle; `spawn` is the only entry point.
+    ///
+    /// Unlike `std`'s, this scope is not `Sync` — spawning is only
+    /// supported from the thread that owns the scope, which is the only
+    /// shape the ATUM pipelines use.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+        /// Model tids spawned through this scope and not yet joined
+        /// explicitly (kept for the implicit scope-exit join; stale
+        /// entries for explicitly joined children are harmless —
+        /// joining an exited thread is immediate).
+        tids: RefCell<Vec<usize>>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. Under an active model run the child
+        /// parks until the explorer first schedules it, and the spawn
+        /// itself is a decision point (the child may run immediately).
+        #[track_caller]
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            match rt::current() {
+                Some((s, _)) => {
+                    let loc = Location::caller();
+                    let tid = s.spawn_thread(loc);
+                    self.tids.borrow_mut().push(tid);
+                    let child_sched = s.clone();
+                    let handle = self.inner.spawn(move || {
+                        rt::set_current(child_sched.clone(), tid);
+                        child_sched.child_start(tid);
+                        let run = catch_unwind(AssertUnwindSafe(f));
+                        match run {
+                            Ok(v) => {
+                                child_sched.thread_exit(tid, None);
+                                rt::clear_current();
+                                v
+                            }
+                            Err(payload) => {
+                                // Record a *genuine* panic as the failure
+                                // before unwinding; the abort sentinel is
+                                // just teardown and records nothing.
+                                let msg = if rt::is_abort(payload.as_ref()) {
+                                    None
+                                } else {
+                                    Some(rt::payload_message(payload.as_ref()))
+                                };
+                                child_sched.thread_exit(tid, msg);
+                                rt::clear_current();
+                                resume_unwind(payload)
+                            }
+                        }
+                    });
+                    s.spawn_yield(loc);
+                    ScopedJoinHandle {
+                        inner: handle,
+                        model: Some((s, tid)),
+                    }
+                }
+                None => ScopedJoinHandle {
+                    inner: self.inner.spawn(f),
+                    model: None,
+                },
+            }
+        }
+    }
+
+    /// Instrumented `std::thread::ScopedJoinHandle`.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+        model: Option<(Arc<rt::Scheduler>, usize)>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Joins the child: a blocking visible operation under the
+        /// model (plus the happens-before join edge), then the real
+        /// OS-level join.
+        #[track_caller]
+        pub fn join(self) -> std::thread::Result<T> {
+            if let Some((s, tid)) = &self.model {
+                s.join_thread(*tid, Location::caller());
+            }
+            self.inner.join()
+        }
+    }
+
+    /// Instrumented `std::thread::yield_now`: an explicit decision
+    /// point under the model.
+    #[track_caller]
+    pub fn yield_now() {
+        if let Some((s, _)) = rt::current() {
+            s.yield_now(Location::caller());
+        }
+        std::thread::yield_now();
+    }
+}

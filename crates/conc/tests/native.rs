@@ -1,0 +1,81 @@
+//! The shim types outside `model::check`: they must behave exactly
+//! like their `std` counterparts — in normal builds because they *are*
+//! `std` re-exports, under `--cfg atum_model` because every shim falls
+//! back to plain behaviour when no scheduler is active. This is what
+//! lets the rest of the test suite run unchanged under the model cfg.
+
+use atum_conc::cell::ModelCell;
+use atum_conc::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use atum_conc::sync::{Arc, Condvar, Mutex};
+use atum_conc::thread;
+
+#[test]
+fn mutex_and_scope_work_without_a_scheduler() {
+    let total = Arc::new(Mutex::new(0usize));
+    thread::scope(|s| {
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let total = Arc::clone(&total);
+            handles.push(s.spawn(move || {
+                *total.lock().unwrap() += i;
+                i
+            }));
+        }
+        let mut returned = 0;
+        for h in handles {
+            returned += h.join().unwrap();
+        }
+        assert_eq!(returned, 6);
+    });
+    assert_eq!(*total.lock().unwrap(), 6);
+}
+
+#[test]
+fn condvar_wait_while_works_without_a_scheduler() {
+    let state = Arc::new((Mutex::new(0usize), Condvar::new()));
+    thread::scope(|s| {
+        let st = Arc::clone(&state);
+        s.spawn(move || {
+            for _ in 0..3 {
+                *st.0.lock().unwrap() += 1;
+                st.1.notify_all();
+            }
+        });
+        let g = state.0.lock().unwrap();
+        let g = state.1.wait_while(g, |n| *n < 3).unwrap();
+        assert_eq!(*g, 3);
+    });
+}
+
+#[test]
+fn atomics_work_without_a_scheduler() {
+    let n = AtomicUsize::new(1);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+    assert_eq!(n.load(Ordering::Acquire), 3);
+    n.store(7, Ordering::Release);
+    assert_eq!(n.swap(9, Ordering::AcqRel), 7);
+    let b = AtomicBool::new(false);
+    assert!(!b.swap(true, Ordering::SeqCst));
+    assert!(b.load(Ordering::Relaxed));
+}
+
+#[test]
+fn model_cell_is_a_plain_cell_without_a_scheduler() {
+    let c = ModelCell::new(10usize);
+    assert_eq!(c.get(), 10);
+    c.set(11);
+    c.with_mut(|v| *v += 1);
+    assert_eq!(c.with(|v| *v), 12);
+    assert_eq!(c.into_inner(), 12);
+}
+
+// Statics are the acid test for lazy object identity: a `static`
+// shim atomic must be constructible in a const context and usable both
+// with and without a scheduler.
+static GLOBAL: AtomicUsize = AtomicUsize::new(0);
+
+#[test]
+fn static_shim_atomic_works() {
+    GLOBAL.store(5, Ordering::SeqCst);
+    assert_eq!(GLOBAL.load(Ordering::SeqCst), 5);
+}

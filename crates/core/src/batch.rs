@@ -21,14 +21,22 @@
 
 use crate::record::TraceRecord;
 use crate::stream::{TraceSource, TraceStreamError};
+use atum_conc::sync::{Arc, Condvar, Mutex};
+use atum_conc::thread;
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
 
 /// Target records per batch: large enough to amortise dispatch and ring
 /// hand-off, small enough that a batch stays cache-resident while every
 /// engine walks it. Segment-file sources use their natural segment size
 /// instead (a segment is already the decode unit).
+#[cfg(not(atum_model))]
 pub const BATCH_TARGET: usize = 8192;
+
+/// Model-checking builds shrink the batch so a handful of records spans
+/// several batches and the ring protocol's full state space stays
+/// explorable.
+#[cfg(atum_model)]
+pub const BATCH_TARGET: usize = 4;
 
 /// A decode-once, structure-of-arrays block of trace records: addresses
 /// in one contiguous array, the packed kind/pid/size/mode metadata word
@@ -134,7 +142,13 @@ impl RecordBatch {
 /// Per-shard bounded queue depth of the broadcast ring: enough to keep
 /// a shard busy while the producer decodes the next batch, small enough
 /// that memory stays O(jobs × batch), not O(trace).
+#[cfg(not(atum_model))]
 const RING_CAP: usize = 4;
+
+/// Depth 1 under the model: backpressure engages on every batch, so the
+/// producer-blocked states are part of every explored schedule.
+#[cfg(atum_model)]
+const RING_CAP: usize = 1;
 
 struct RingState {
     queues: Vec<VecDeque<Arc<RecordBatch>>>,
@@ -186,26 +200,27 @@ where
     let cv = Condvar::new();
     let mut outcome: Result<(), TraceStreamError> = Ok(());
 
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for (w, shard) in shard_slices.into_iter().enumerate() {
             let state = &state;
             let cv = &cv;
             let apply = &apply;
             s.spawn(move || loop {
                 let batch = {
-                    let mut g = state.lock().unwrap();
-                    loop {
-                        if let Some(b) = g.queues[w].pop_front() {
-                            // The producer may be blocked on this queue's
-                            // capacity.
-                            cv.notify_all();
-                            break Some(b);
-                        }
-                        if g.done {
-                            break None;
-                        }
-                        g = cv.wait(g).unwrap();
+                    // Wake on work or shutdown; the predicate form is
+                    // spurious-wakeup-safe by construction.
+                    let mut g = cv
+                        .wait_while(state.lock().unwrap(), |g: &mut RingState| {
+                            g.queues[w].is_empty() && !g.done
+                        })
+                        .unwrap();
+                    let b = g.queues[w].pop_front();
+                    if b.is_some() {
+                        // The producer may be blocked on this queue's
+                        // capacity.
+                        cv.notify_all();
                     }
+                    b
                 };
                 match batch {
                     Some(b) => {
@@ -213,6 +228,7 @@ where
                             apply(c, &b);
                         }
                     }
+                    // Queue drained and the producer is done.
                     None => return,
                 }
             });
@@ -224,12 +240,14 @@ where
             match source.next_batch() {
                 Ok(Some(batch)) => {
                     let b = Arc::new(batch.clone());
-                    let mut g = state.lock().unwrap();
-                    while g.queues.iter().any(|q| q.len() >= RING_CAP) {
-                        g = cv.wait(g).unwrap();
-                    }
+                    let mut g = cv
+                        .wait_while(state.lock().unwrap(), |g: &mut RingState| {
+                            g.queues.iter().any(|q| q.len() >= RING_CAP)
+                        })
+                        .unwrap();
                     for q in g.queues.iter_mut() {
                         q.push_back(b.clone());
+                        debug_assert!(q.len() <= RING_CAP, "broadcast ring depth exceeded");
                     }
                     cv.notify_all();
                 }

@@ -38,13 +38,14 @@ use crate::encode::{
 };
 use crate::record::TraceRecord;
 use crate::trace::Trace;
+use atum_conc::sync::atomic::{AtomicUsize, Ordering};
+use atum_conc::sync::{Condvar, Mutex};
+use atum_conc::thread;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// Errors from streaming trace I/O.
 #[derive(Debug)]
@@ -470,7 +471,12 @@ enum Filter {
 
 /// Chunk size for filtered in-memory sources: large enough to amortise
 /// the per-batch dispatch, small enough to stay cache-resident.
+#[cfg(not(atum_model))]
 const FILTER_CHUNK: usize = 4096;
+
+/// Tiny chunks under the model so multi-batch behaviour is explorable.
+#[cfg(atum_model)]
+const FILTER_CHUNK: usize = 4;
 
 /// An allocation-light filtered view of an in-memory trace, yielding
 /// only the matching references (in fixed-size batches). Built by
@@ -615,11 +621,16 @@ fn stream_parallel(
     });
     let cv = Condvar::new();
     // In-flight cap: enough to keep every worker busy while the
-    // consumer catches up, without buffering the whole file.
+    // consumer catches up, without buffering the whole file. The model
+    // build pins it to 1 so the backpressure states (and the wanted-
+    // segment bypass below) are load-bearing in every explored schedule.
+    #[cfg(not(atum_model))]
     let cap = jobs * 2;
+    #[cfg(atum_model)]
+    let cap = 1;
     let mut outcome: Result<(), TraceStreamError> = Ok(());
 
-    std::thread::scope(|s| {
+    thread::scope(|s| {
         for _ in 0..jobs {
             s.spawn(|| {
                 let mut file: Option<BufReader<File>> = None;
@@ -642,16 +653,21 @@ fn stream_parallel(
                             Err(e) => Err(TraceStreamError::Io(e)),
                         },
                     };
-                    let mut g = state.lock().unwrap();
                     // The consumer's wanted segment must always get
                     // through, or the merge would deadlock at the cap.
-                    while g.ready.len() >= cap && i != g.want && !g.abort {
-                        g = cv.wait(g).unwrap();
-                    }
+                    let mut g = cv
+                        .wait_while(state.lock().unwrap(), |g: &mut MergeState| {
+                            g.ready.len() >= cap && i != g.want && !g.abort
+                        })
+                        .unwrap();
                     if g.abort {
                         return;
                     }
                     g.ready.insert(i, res);
+                    debug_assert!(
+                        g.ready.len() <= cap + 1,
+                        "merge window exceeded cap plus the wanted-segment bypass"
+                    );
                     cv.notify_all();
                 }
             });
@@ -664,9 +680,9 @@ fn stream_parallel(
                 let mut g = state.lock().unwrap();
                 g.want = want;
                 cv.notify_all();
-                while !g.ready.contains_key(&want) {
-                    g = cv.wait(g).unwrap();
-                }
+                let mut g = cv
+                    .wait_while(g, |g: &mut MergeState| !g.ready.contains_key(&want))
+                    .unwrap();
                 g.ready.remove(&want).unwrap()
             };
             match res {
